@@ -1,0 +1,1 @@
+"""Benchmark suite: one target per paper table/figure."""

@@ -1,0 +1,39 @@
+"""Bench: convergence claims — Algorithm 1 outer iterations and the
+single-level fixed point (paper: 7-15 and 30-40 respectively)."""
+
+from repro.experiments.convergence import run_convergence
+from repro.util.tablefmt import format_table
+
+
+def test_bench_convergence(benchmark, record_result):
+    study = benchmark.pedantic(run_convergence, rounds=1, iterations=1)
+
+    rows = []
+    for case, report in study.algorithm1_reports.items():
+        rows.append(
+            [
+                case,
+                report.outer_iterations,
+                report.inner_iterations_total,
+                f"{report.mu_residuals[-1]:.1e}",
+                "yes" if report.monotone_tail else "no",
+            ]
+        )
+    table = (
+        format_table(
+            ["case", "outer iters", "inner iters", "final residual", "contracting"],
+            rows,
+            title=(
+                "Algorithm 1 convergence at delta=1e-12 "
+                "(paper: 8 / 7 / 15 outer iterations)"
+            ),
+        )
+        + f"\n\nsingle-level fixed point (Fig. 3 config, x0=100,000): "
+        f"{study.single_level_iterations} iterations (paper: 30-40)"
+    )
+    record_result("convergence", table)
+
+    for report in study.algorithm1_reports.values():
+        assert report.outer_iterations <= 60
+        assert report.mu_residuals[-1] < 1e-10
+    assert study.single_level_iterations <= 40

@@ -1,0 +1,214 @@
+"""Benches for the extension features (beyond the paper's evaluation).
+
+* **Level selection** — the [22]-lineage capability the paper's intro
+  references: exhaustively choose the subset of checkpoint levels worth
+  enabling.  Reported: best subset per failure case + its gain over
+  always-enabling everything.
+* **Sensitivity** — regret of optimizing with misestimated inputs
+  (kappa / failure rates / costs off by +-10 % and +-30 %).
+* **Pareto** — the explicit wall-clock/efficiency frontier behind the
+  Fig. 7 discussion.
+"""
+
+from benchmarks.conftest import bench_runs
+from repro.core.algorithm1 import optimize
+from repro.core.corrections import corrected_parameters, corrected_wallclock
+from repro.core.selection import optimize_level_selection
+from repro.core.sensitivity import sensitivity_report
+from repro.analysis.pareto import pareto_sweep
+from repro.experiments.config import make_params
+from repro.sim.runner import simulate_solution
+from repro.util.tablefmt import format_table
+
+
+def test_bench_level_selection(benchmark, record_result):
+    cases = ("16-12-8-4", "4-2-1-0.5")
+
+    def run():
+        rows = []
+        for case in cases:
+            params = make_params(3e6, case)
+            all_levels = optimize(params).solution
+            selected = optimize_level_selection(params)
+            gain = (
+                all_levels.expected_wallclock
+                - selected.solution.expected_wallclock
+            ) / all_levels.expected_wallclock
+            rows.append(
+                [
+                    case,
+                    "+".join(str(l) for l in selected.best_subset),
+                    f"{selected.solution.expected_wallclock / 86_400:.2f}",
+                    f"{all_levels.expected_wallclock / 86_400:.2f}",
+                    f"{100 * gain:.2f}%",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["case", "best levels", "E(T_w) days", "all levels (days)", "gain"],
+        rows,
+        title="Extension: checkpoint-level selection (8 subsets searched)",
+    )
+    record_result("ext_level_selection", table)
+    # selection can never lose to the full stack
+    for row in rows:
+        assert float(row[2]) <= float(row[3]) * (1 + 1e-9)
+
+
+def test_bench_sensitivity(benchmark, record_result):
+    params = make_params(3e6, "8-4-2-1")
+
+    def run():
+        out = {}
+        for perturbation in (0.1, 0.3, -0.3):
+            out[perturbation] = sensitivity_report(
+                params, relative_perturbation=perturbation
+            )
+        return out
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for perturbation, entries in reports.items():
+        for entry in entries:
+            rows.append(
+                [
+                    entry.parameter,
+                    f"{100 * perturbation:+.0f}%",
+                    f"{100 * entry.regret:.3f}%",
+                    f"{entry.elasticity:.4f}",
+                ]
+            )
+    table = format_table(
+        ["misestimated input", "error", "wall-clock regret", "elasticity"],
+        rows,
+        title="Extension: sensitivity of the optimized configuration",
+    )
+    record_result("ext_sensitivity", table)
+    for entries in reports.values():
+        for entry in entries:
+            assert entry.regret >= -1e-9
+            assert entry.regret < 0.25  # flat near the optimum
+
+
+def test_bench_retry_correction(benchmark, record_result):
+    """Retry-aware correction vs first-order model vs simulation, per case:
+    the two analytic models must *bracket* the simulated mean
+    (plain <= simulated <= corrected; see corrections module docstring)."""
+    import numpy as np
+
+    cases = ("16-12-8-4", "8-4-2-1", "4-2-1-0.5")
+    n_runs = max(5, bench_runs() // 3)
+
+    def run():
+        rows = []
+        for case in cases:
+            params = make_params(3e6, case)
+            sol = optimize(params).solution
+            sim = simulate_solution(
+                params, sol, n_runs=n_runs, seed=31
+            ).mean_wallclock
+            plain = sol.expected_wallclock
+            corrected, _ = corrected_wallclock(
+                params, np.asarray(sol.intervals), sol.scale
+            )
+            rows.append(
+                [
+                    case,
+                    f"{plain / 86_400:.2f}",
+                    f"{corrected / 86_400:.2f}",
+                    f"{sim / 86_400:.2f}",
+                    f"{100 * abs(plain - sim) / sim:.1f}%",
+                    f"{100 * abs(corrected - sim) / sim:.1f}%",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "case",
+            "first-order (days)",
+            "retry-aware (days)",
+            "simulated (days)",
+            "err plain",
+            "err corrected",
+        ],
+        rows,
+        title=(
+            "Extension: retry-aware model correction (THEORY.md section 8) "
+            "- the analytic pair brackets the simulated mean"
+        ),
+    )
+    record_result("ext_retry_correction", table)
+    for row in rows:
+        plain, corrected, simulated = (float(row[i]) for i in (1, 2, 3))
+        assert plain <= simulated * 1.03, row[0]
+        assert simulated <= corrected * 1.05, row[0]
+
+
+def test_bench_corrected_optimizer(benchmark, record_result):
+    """Optimizing against the corrected objective: does it win in sim?"""
+    params = make_params(3e6, "16-12-8-4")
+    n_runs = max(5, bench_runs() // 3)
+
+    def run():
+        plain_sol = optimize(params).solution
+        corr_sol = optimize(corrected_parameters(params)).solution
+        plain_sim = simulate_solution(
+            params, plain_sol, n_runs=n_runs, seed=77
+        ).mean_wallclock
+        corr_sim = simulate_solution(
+            params, corr_sol, n_runs=n_runs, seed=77
+        ).mean_wallclock
+        return plain_sol, corr_sol, plain_sim, corr_sim
+
+    plain_sol, corr_sol, plain_sim, corr_sim = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = format_table(
+        ["optimizer", "N*", "x4", "simulated days"],
+        [
+            [
+                "first-order",
+                f"{plain_sol.scale:.0f}",
+                f"{plain_sol.intervals[-1]:.0f}",
+                f"{plain_sim / 86_400:.2f}",
+            ],
+            [
+                "retry-aware",
+                f"{corr_sol.scale:.0f}",
+                f"{corr_sol.intervals[-1]:.0f}",
+                f"{corr_sim / 86_400:.2f}",
+            ],
+        ],
+        title="Extension: optimizing against the retry-aware objective",
+    )
+    record_result("ext_corrected_optimizer", table)
+    assert corr_sim <= plain_sim * 1.02
+
+
+def test_bench_pareto(benchmark, record_result):
+    params = make_params(3e6, "8-4-2-1")
+    result = benchmark.pedantic(
+        pareto_sweep, args=(params,), kwargs={"n_points": 14}, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            f"{p.scale / 1000:.0f}k",
+            f"{p.wallclock / 86_400:.1f}",
+            f"{p.efficiency:.4f}",
+        ]
+        for p in result.frontier
+    ]
+    table = format_table(
+        ["scale", "E(T_w) days", "efficiency"],
+        rows,
+        title=(
+            "Extension: wall-clock vs efficiency Pareto frontier "
+            f"({len(result.frontier)} of {len(result.points)} swept scales)"
+        ),
+    )
+    record_result("ext_pareto", table)
+    assert result.frontier

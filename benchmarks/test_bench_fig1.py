@@ -1,0 +1,35 @@
+"""Bench: Figure 1 — speedup-vs-overhead tradeoff series."""
+
+from repro.experiments.fig1 import run_fig1
+from repro.util.tablefmt import format_table
+
+
+def test_bench_fig1(benchmark, record_result):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+
+    rows = []
+    step = max(1, len(result.scales) // 12)
+    for i in range(0, len(result.scales), step):
+        rows.append(
+            [
+                f"{result.scales[i] / 1000:.0f}k",
+                f"{result.performance_no_checkpoint[i]:.3e}",
+                f"{result.performance_with_checkpoint[i]:.3e}",
+            ]
+        )
+    table = format_table(
+        ["N (cores)", "perf (no ckpt)", "perf (with ckpt)"],
+        rows,
+        title=(
+            "Figure 1 - tradeoff between execution speedup and checkpoint "
+            f"overhead\noptimal N: no-ckpt={result.optimal_scale_no_checkpoint:.0f}, "
+            f"with-ckpt={result.optimal_scale_with_checkpoint:.0f}"
+        ),
+    )
+    record_result("fig1", table)
+
+    # Paper shape: the checkpointed optimum sits strictly left of N^(*).
+    assert (
+        result.optimal_scale_with_checkpoint
+        < result.optimal_scale_no_checkpoint
+    )

@@ -1,0 +1,42 @@
+"""Bench: Figure 2 — speedup curves and quadratic fits."""
+
+from repro.experiments.fig2 import kappa_recovery_error, run_fig2
+from repro.util.tablefmt import format_table
+
+
+def test_bench_fig2(benchmark, record_result):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+
+    rows = [
+        [
+            "Heat (paper-calibrated points)",
+            f"{result.heat_paper_fit.kappa:.3f}",
+            f"{result.heat_paper_fit.ideal_scale:.0f}",
+            f"{result.heat_paper_fit.residual_rms:.2f}",
+        ],
+        [
+            "Heat (measured from sim-MPI app)",
+            f"{result.heat_measured_fit.kappa:.4f}",
+            f"{result.heat_measured_fit.ideal_scale:.0f}",
+            f"{result.heat_measured_fit.residual_rms:.2f}",
+        ],
+        [
+            "Nek5000 eddy_uv (initial range)",
+            f"{result.eddy_fit.kappa:.3f}",
+            f"{result.eddy_fit.ideal_scale:.0f}",
+            f"{result.eddy_fit.residual_rms:.2f}",
+        ],
+    ]
+    table = format_table(
+        ["curve", "kappa", "fitted N^(*)", "residual RMS"],
+        rows,
+        title=(
+            "Figure 2 - quadratic speedup fits "
+            f"(paper: Heat kappa=0.46; eddy peak ~100 cores; "
+            f"measured eddy peak={result.eddy_peak_scale:.0f})"
+        ),
+    )
+    record_result("fig2", table)
+
+    assert kappa_recovery_error(result) < 0.1
+    assert 50.0 <= result.eddy_peak_scale <= 200.0

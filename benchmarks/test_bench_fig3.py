@@ -1,0 +1,35 @@
+"""Bench: Figure 3 — numerical confirmation of the single-level optimum."""
+
+from repro.experiments.fig3 import run_fig3
+from repro.util.tablefmt import format_table
+
+
+def test_bench_fig3(benchmark, record_result):
+    result = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+
+    rows = []
+    for scenario in (result.constant_cost, result.linear_cost):
+        sol = scenario.solution
+        rows.append(
+            [
+                scenario.label,
+                f"{sol.x:.1f}",
+                f"{sol.n:.0f}",
+                f"{scenario.paper_optimum[0]:.0f}",
+                f"{scenario.paper_optimum[1]:.0f}",
+                f"{sol.expected_wallclock / 86_400.0:.3f}",
+                sol.iterations,
+            ]
+        )
+    table = format_table(
+        ["scenario", "x*", "N*", "paper x*", "paper N*", "E(T_w) days", "iters"],
+        rows,
+        title="Figure 3 - single-level optimum (T_e=4,000 core-days, N^(*)=100k)",
+    )
+    record_result("fig3", table)
+
+    # Exact reproduction of the paper's quoted optima.
+    assert round(result.constant_cost.solution.x) == 797
+    assert abs(result.constant_cost.solution.n - 81_746) <= 2
+    assert round(result.linear_cost.solution.x) == 140
+    assert abs(result.linear_cost.solution.n - 20_215) <= 2

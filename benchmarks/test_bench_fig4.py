@@ -1,0 +1,30 @@
+"""Bench: Figure 4 — simulator validation (< 4 % vs the reference engine)."""
+
+from repro.experiments.fig4 import run_fig4
+from repro.util.tablefmt import format_table
+
+
+def test_bench_fig4(benchmark, record_result):
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+
+    rows = [
+        [
+            "-".join(str(i) for i in p.intervals),
+            f"{p.wallclock_event:.1f}",
+            f"{p.wallclock_tick:.1f}",
+            f"{100 * p.relative_difference:.2f}%",
+        ]
+        for p in result.points
+    ]
+    table = format_table(
+        ["intervals x1-x2-x3-x4", "event engine (s)", "tick engine (s)", "diff"],
+        rows,
+        title=(
+            "Figure 4 - simulator validation, 1,024-core Fusion config "
+            f"(max diff {100 * result.max_relative_difference:.2f}%, "
+            f"paper: < 4%)"
+        ),
+    )
+    record_result("fig4", table)
+
+    assert result.max_relative_difference < 0.04

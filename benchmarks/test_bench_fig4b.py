@@ -1,0 +1,35 @@
+"""Bench: Fig. 4b (extension) — abstract simulator vs functional ground truth.
+
+The paper validates its simulator against real cluster runs (< 4 %); here
+the reference is the functional end-to-end simulation (real Heat kernel +
+functional FTI + node-level failures), driven by the identical failure
+traces.
+"""
+
+from benchmarks.conftest import bench_runs
+from repro.experiments.fig4b import run_fig4b
+from repro.util.tablefmt import format_table
+
+
+def test_bench_fig4b(benchmark, record_result):
+    n_seeds = max(6, bench_runs() // 3)
+    result = benchmark.pedantic(
+        run_fig4b, kwargs={"n_seeds": n_seeds}, rounds=1, iterations=1
+    )
+    rows = [
+        [i, f"{f:.1f}", f"{a:.1f}"]
+        for i, (f, a) in enumerate(
+            zip(result.functional_runs, result.abstract_runs)
+        )
+    ]
+    table = format_table(
+        ["trace", "functional (s)", "abstract (s)"],
+        rows,
+        title=(
+            "Figure 4b - abstract simulator vs functional ground truth "
+            f"(paired traces; mean diff "
+            f"{100 * result.relative_difference:.2f}%, paper criterion < 4%)"
+        ),
+    )
+    record_result("fig4b", table)
+    assert result.relative_difference < 0.04

@@ -1,0 +1,65 @@
+"""Bench: Figure 5 + Table III — time portions and optimized scales.
+
+Regenerates the paper's main comparison at T_e = 3 million core-days,
+N^(*) = 10^6 cores, six failure cases: per-strategy wall-clock decomposition
+(the Fig. 5 stacked bars) and the Table III optimized scales.
+
+Shape assertions (paper-vs-measured values live in EXPERIMENTS.md):
+
+* ML(opt-scale) has the shortest wall-clock in every case;
+* wall-clock falls as failure rates fall;
+* optimized scales shrink with rising failure rates (Table III ordering)
+  and stay within 20-90 % of the million cores.
+"""
+
+from benchmarks.conftest import bench_runs
+from repro.analysis.tables import portions_table
+from repro.experiments.fig5 import run_fig5
+from repro.util.tablefmt import format_table
+
+
+def test_bench_fig5_and_table3(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"n_runs": bench_runs()}, rounds=1, iterations=1
+    )
+
+    sections = []
+    for case in result.cases:
+        sections.append(
+            portions_table(
+                case.ensembles,
+                title=f"Figure 5 - case {case.case} (mean portions, days)",
+            )
+        )
+
+    scales = result.optimized_scales()
+    rows = []
+    for strategy in ("ml-opt-scale", "sl-opt-scale"):
+        rows.append(
+            [strategy]
+            + [f"{scales[strategy][c.case] / 1000:.0f}k" for c in result.cases]
+        )
+    sections.append(
+        format_table(
+            ["solution"] + [c.case for c in result.cases],
+            rows,
+            title="Table III - optimized execution scales",
+        )
+    )
+    record_result("fig5_table3", "\n\n".join(sections))
+
+    # Shape assertions.
+    for case in result.cases:
+        best = case.ensembles["ml-opt-scale"].mean_wallclock
+        for name, ens in case.ensembles.items():
+            if name != "ml-opt-scale":
+                assert best < ens.mean_wallclock, (case.case, name)
+    by_case = {
+        c.case: c.ensembles["ml-opt-scale"].mean_wallclock for c in result.cases
+    }
+    assert by_case["4-2-1-0.5"] < by_case["8-4-2-1"] < by_case["16-8-4-2"]
+    assert by_case["4-3-2-1"] < by_case["8-6-4-2"] < by_case["16-12-8-4"]
+    ml_scales = scales["ml-opt-scale"]
+    assert ml_scales["16-12-8-4"] < ml_scales["8-6-4-2"] < ml_scales["4-3-2-1"]
+    for value in ml_scales.values():
+        assert 2e5 <= value <= 9e5

@@ -1,0 +1,37 @@
+"""Bench: Figure 7 — efficiency (processor utilization) of all strategies.
+
+Paper shape: SL(opt-scale) achieves the best efficiency (tiny scale,
+long wall-clock); ML(opt-scale) is second and beats both ori-scale
+solutions, which is its selling point — short wall-clock AND better
+utilization.
+"""
+
+from benchmarks.conftest import bench_runs
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig7 import run_fig7
+from repro.util.tablefmt import format_table
+
+STRATEGIES = ("ml-opt-scale", "sl-opt-scale", "ml-ori-scale", "sl-ori-scale")
+
+
+def test_bench_fig7(benchmark, record_result):
+    def run():
+        fig5 = run_fig5(n_runs=max(5, bench_runs() // 3))
+        return run_fig7(fig5)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for case, row in result.efficiencies.items():
+        rows.append([case] + [f"{row[s]:.4f}" for s in STRATEGIES])
+    table = format_table(
+        ["case", *STRATEGIES],
+        rows,
+        title=f"Figure 7 - efficiency (T_e={result.te_core_days:.0f} core-days)",
+    )
+    record_result("fig7", table)
+
+    for case, row in result.efficiencies.items():
+        assert row["sl-opt-scale"] >= row["ml-ori-scale"], case
+        assert row["ml-opt-scale"] >= row["ml-ori-scale"], case
+        assert row["ml-opt-scale"] >= row["sl-ori-scale"], case

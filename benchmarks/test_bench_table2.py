@@ -1,0 +1,50 @@
+"""Bench: Table II — checkpoint-cost characterization regeneration."""
+
+from repro.experiments.table2 import paper_coefficients, run_table2
+from repro.util.tablefmt import format_table
+
+
+def test_bench_table2(benchmark, record_result):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+
+    rows = []
+    for i, scale in enumerate(result.characterization.scales):
+        ours = result.characterization.table[i]
+        paper = result.paper_table[i]
+        rows.append(
+            [f"{scale:.0f} cores"]
+            + [f"{ours[l]:.2f} / {paper[l]:.2f}" for l in range(4)]
+        )
+    coeff_rows = [
+        [
+            f"level {level + 1}",
+            f"({ours[0]:.3f}, {ours[1]:.4f})",
+            f"({paper[0]:.3f}, {paper[1]:.4f})",
+        ]
+        for level, (ours, paper) in enumerate(
+            zip(result.fitted_coefficients, paper_coefficients())
+        )
+    ]
+    table = (
+        format_table(
+            ["scale", "L1 ours/paper", "L2", "L3", "L4 (PFS)"],
+            rows,
+            title="Table II - checkpoint overhead of FTI (seconds), regenerated vs paper",
+        )
+        + "\n\n"
+        + format_table(
+            ["level", "fitted (eps, alpha)", "paper (eps, alpha)"],
+            coeff_rows,
+            title="Least-squares coefficients (Formula 19)",
+        )
+    )
+    record_result("table2", table)
+
+    # The fitted coefficients are the quantity the optimization consumes.
+    for (ours_eps, ours_alpha), (paper_eps, paper_alpha) in zip(
+        result.fitted_coefficients, paper_coefficients()
+    ):
+        if paper_alpha == 0.0:
+            assert abs(ours_eps - paper_eps) / paper_eps < 0.1
+        else:
+            assert abs(ours_alpha - paper_alpha) / paper_alpha < 0.05

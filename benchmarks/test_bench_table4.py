@@ -1,0 +1,71 @@
+"""Bench: Table IV — constant PFS checkpoint cost (WCT days + efficiency).
+
+Paper values for reference (T_e = 2m core-days, costs 50/100/200/2000 s):
+ML(opt-scale) 10.6-14.6 days at efficiency 0.158-0.2; SL(ori-scale)
+~890 days at 0.002.  Shape assertions: ML(opt-scale) wins every cell,
+beats ML(ori-scale) on efficiency, and SL(ori-scale) collapses.
+"""
+
+from benchmarks.conftest import bench_runs
+from repro.experiments.table4 import TABLE4_BLOCK_ALLOCATIONS, run_table4
+from repro.util.tablefmt import format_table
+
+STRATEGIES = ("ml-opt-scale", "sl-opt-scale", "ml-ori-scale", "sl-ori-scale")
+PAPER_ROWS = {
+    "ml-opt-scale": ("14.6/0.158", "12.8/0.173", "11.1/0.193"),
+    "sl-opt-scale": ("37.3/0.092", "23.2/0.123", "17.2/0.146"),
+    "ml-ori-scale": ("15.4/0.130", "13.4/0.150", "11.7/0.171"),
+    "sl-ori-scale": ("890/0.002", "892/0.002", "890/0.002"),
+}
+
+
+def test_bench_table4(benchmark, record_result):
+    cases = ("16-12-8-4", "8-6-4-2", "4-3-2-1")
+    result = benchmark.pedantic(
+        run_table4,
+        kwargs={"n_runs": max(5, bench_runs() // 3)},
+        rounds=1,
+        iterations=1,
+    )
+
+    sections = []
+    for allocation in TABLE4_BLOCK_ALLOCATIONS:
+        rows = []
+        for strategy in STRATEGIES:
+            row = [strategy]
+            for case in cases:
+                wct = result.wct_days(allocation, case, strategy)
+                eff = result.efficiency(allocation, case, strategy)
+                row.append(f"{wct:.1f}/{eff:.3f}")
+            row.append(" | ".join(PAPER_ROWS[strategy]))
+            rows.append(row)
+        sections.append(
+            format_table(
+                ["strategy", *[f"{c} WCT/eff" for c in cases], "paper (3 cases)"],
+                rows,
+                title=f"Table IV - constant PFS cost, A={allocation:.0f}s block",
+            )
+        )
+    record_result("table4", "\n\n".join(sections))
+
+    for allocation in TABLE4_BLOCK_ALLOCATIONS:
+        for case in cases:
+            case_result = result.blocks[allocation][case]
+            analytic_best = case_result.solutions["ml-opt-scale"].expected_wallclock
+            best_wct = result.wct_days(allocation, case, "ml-opt-scale")
+            for other in STRATEGIES[1:]:
+                # analytic ordering strict; simulated means within noise
+                # tolerance for the mild cases, where the analytic ML(opt)
+                # vs ML(ori) gap is only ~2-3 % (the paper's own is 5 %)
+                other_solution = case_result.solutions[other]
+                if other_solution.feasible:
+                    assert analytic_best < other_solution.expected_wallclock
+                assert best_wct < result.wct_days(allocation, case, other) * 1.05
+            assert result.efficiency(
+                allocation, case, "ml-opt-scale"
+            ) > result.efficiency(allocation, case, "ml-ori-scale")
+        # the classic-Young catastrophe
+        assert result.wct_days(allocation, "16-12-8-4", "sl-ori-scale") > 150.0
+        assert (
+            result.efficiency(allocation, "16-12-8-4", "sl-ori-scale") < 0.02
+        )

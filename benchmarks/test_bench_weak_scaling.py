@@ -1,0 +1,51 @@
+"""Bench: the weak-scaling scenario (Section II generality claim).
+
+Regenerates the two-regime finding: with near-linear (Gustafson) speedup
+and fast restarts the optimal scale is the whole machine (scale
+optimization is a strong-scaling phenomenon); with scale-proportional
+restart costs the optimum moves interior even under weak scaling.
+"""
+
+from benchmarks.conftest import bench_runs
+from repro.experiments.weak_scaling import run_weak_scaling
+from repro.util.tablefmt import format_table
+
+
+def test_bench_weak_scaling(benchmark, record_result):
+    n_runs = max(4, bench_runs() // 5)
+
+    def run():
+        return (
+            run_weak_scaling(n_runs=n_runs, seed=5, recovery="fast"),
+            run_weak_scaling(recovery="slow"),
+        )
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for regime, result in (("fast restarts", fast), ("slow restarts", slow)):
+        for name in ("ml-opt-scale", "ml-ori-scale", "sl-opt-scale"):
+            sol = result.solutions[name]
+            sim = (
+                f"{result.ensembles[name].mean_wallclock / 86_400:.3f}"
+                if result.ensembles
+                else "-"
+            )
+            rows.append(
+                [
+                    regime,
+                    name,
+                    f"{sol.scale / 1000:.1f}k",
+                    f"{sol.expected_wallclock / 86_400:.3f}",
+                    sim,
+                ]
+            )
+    table = format_table(
+        ["regime", "strategy", "N*", "E(T_w) days", "simulated days"],
+        rows,
+        title="Weak scaling (Gustafson speedup): the two recovery regimes",
+    )
+    record_result("weak_scaling", table)
+
+    assert fast.solutions["ml-opt-scale"].scale == 100_000.0
+    assert slow.solutions["ml-opt-scale"].scale < 90_000.0

@@ -1,0 +1,72 @@
+"""Capacity planning: how many cores should a job actually request?
+
+A system operator's view of the paper's result: for a fixed workload, sweep
+the machine's reliability (the paper's failure-rate cases) and report how
+the optimal request size, wall-clock, and freed-up capacity change.  The
+punchline is Table III's: on failure-prone machines the optimal request is
+*much* smaller than the whole machine, and the freed cores improve system
+availability for everyone else.
+
+Run:  python examples/exascale_capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import make_params, ml_opt_scale, ml_ori_scale
+from repro.experiments.config import FIG5_CASES
+from repro.util.tablefmt import format_table
+from repro.util.units import seconds_to_days
+
+
+def main() -> None:
+    te_core_days = 3e6
+    machine_cores = 1_000_000
+
+    rows = []
+    for case in FIG5_CASES:
+        params = make_params(te_core_days, case)
+        opt = ml_opt_scale(params)
+        ori = ml_ori_scale(params)
+        gain = (
+            ori.expected_wallclock - opt.expected_wallclock
+        ) / ori.expected_wallclock
+        rows.append(
+            [
+                case,
+                f"{opt.scale_rounded():,}",
+                f"{100 * opt.scale / machine_cores:.0f}%",
+                f"{seconds_to_days(opt.expected_wallclock):.1f}",
+                f"{seconds_to_days(ori.expected_wallclock):.1f}",
+                f"{100 * gain:.0f}%",
+                f"{machine_cores - opt.scale_rounded():,}",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "failure case (events/day)",
+                "optimal request",
+                "of machine",
+                "WCT days (opt)",
+                "WCT days (all cores)",
+                "time saved",
+                "cores freed",
+            ],
+            rows,
+            title=(
+                f"Capacity planning for a {te_core_days:,.0f} core-day workload "
+                f"on a {machine_cores:,}-core machine"
+            ),
+        )
+    )
+    print(
+        "\nReading: as the machine gets less reliable (left rows), the "
+        "optimal request shrinks and the advantage over using every core "
+        "grows — requesting fewer cores finishes *sooner* and frees "
+        "hundreds of thousands of cores for other jobs."
+    )
+
+
+if __name__ == "__main__":
+    main()

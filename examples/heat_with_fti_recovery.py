@@ -1,0 +1,75 @@
+"""Functional demo: the real Heat Distribution app surviving node crashes.
+
+Runs the actual 2-D Jacobi heat solver on the simulated cluster under the
+FTI-like API, injects three escalating hardware-failure patterns, recovers
+through the matching checkpoint levels (partner copy, then real
+Reed-Solomon erasure decoding, then the PFS), and shows the final answer is
+bit-identical to an uninterrupted run.
+
+Run:  python examples/heat_with_fti_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.heat import HeatDistribution2D
+from repro.apps.simmpi import SimComm
+from repro.cluster.topology import ClusterTopology
+from repro.fti.api import FTIContext
+from repro.fti.levels import CheckpointLevel
+
+
+def main() -> None:
+    topology = ClusterTopology(num_nodes=16, rs_group_size=8, rs_parity=2)
+    ctx = FTIContext(topology, ranks_per_node=1)
+    comm = SimComm(n_ranks=16)
+    solver = HeatDistribution2D(grid_size=64, comm=comm)
+    reference = HeatDistribution2D(grid_size=64, comm=SimComm(n_ranks=1))
+
+    # Register each rank's row block with FTI (FTI_Protect equivalent).
+    blocks = np.array_split(np.arange(64), 16)
+    for rank, rows in enumerate(blocks):
+        ctx.protect(rank, "block", solver.grid[rows[0] + 1 : rows[-1] + 2])
+
+    def advance(steps: int, with_reference: bool = True) -> None:
+        for _ in range(steps):
+            solver.jacobi_sweep()
+            if with_reference:
+                reference.jacobi_sweep()
+
+    scenarios = [
+        (CheckpointLevel.PARTNER, [5], "single node crash"),
+        (CheckpointLevel.RS_ENCODING, [8, 9], "adjacent pair (defeats partner copy)"),
+        (CheckpointLevel.PFS, [0, 1, 2, 3], "half an RS group (defeats RS)"),
+    ]
+
+    for level, failed, description in scenarios:
+        advance(15)
+        ctx.checkpoint(level)
+        print(f"checkpointed at level {int(level)} ({level.display_name})")
+        # lose progress that will have to be re-executed
+        advance(7, with_reference=False)
+        ctx.fail_nodes(failed)
+        decision = ctx.recover()
+        print(
+            f"  {description}: nodes {failed} lost -> failure classified "
+            f"level {int(decision.failure_level)}, recovered from "
+            f"level {int(decision.recovery_level)}"
+        )
+        # re-execute the rolled-back sweeps; the reference advances the
+        # same 7 steps once, so both runs are at the same logical step
+        advance(7)
+
+    drift = float(np.max(np.abs(solver.grid - reference.grid)))
+    print(f"\nmax |recovered - uninterrupted| = {drift:.3e}")
+    assert drift == 0.0, "recovery must be bit-exact"
+    print(
+        f"simulated time charged to the protected run: "
+        f"{comm.elapsed * 1e3:.3f} ms across {solver.iterations_done} sweeps"
+    )
+    print("recovered run is bit-identical to the uninterrupted reference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Run every paper experiment at reduced replica counts.
+
+Walks the experiment registry (one driver per table/figure — see DESIGN.md
+section 4) with small ensembles so the whole paper reproduces in a few
+minutes.  The benchmark suite (``pytest benchmarks/ --benchmark-only``)
+runs the same drivers at full scale and records the outputs under
+``benchmarks/results/``.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.tables import portions_table
+from repro.experiments.convergence import run_convergence
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.table2 import run_table2
+
+
+def main() -> None:
+    t0 = time.time()
+
+    print("== Fig. 1: speedup-vs-overhead tradeoff ==")
+    fig1 = run_fig1(n_points=30)
+    print(
+        f"optimal scale without checkpointing: {fig1.optimal_scale_no_checkpoint:,.0f}; "
+        f"with: {fig1.optimal_scale_with_checkpoint:,.0f}"
+    )
+
+    print("\n== Fig. 2: speedup fits ==")
+    fig2 = run_fig2()
+    print(
+        f"Heat kappa = {fig2.heat_paper_fit.kappa:.3f} (paper 0.46); "
+        f"eddy peak at {fig2.eddy_peak_scale:.0f} cores (paper ~100)"
+    )
+
+    print("\n== Fig. 3: single-level optimum ==")
+    fig3 = run_fig3()
+    c, l = fig3.constant_cost.solution, fig3.linear_cost.solution
+    print(f"constant cost: x*={c.x:.0f}, N*={c.n:,.0f} (paper 797 / 81,746)")
+    print(f"linear cost:   x*={l.x:.0f}, N*={l.n:,.0f} (paper 140 / 20,215)")
+
+    print("\n== Fig. 4: simulator validation ==")
+    fig4 = run_fig4()
+    print(
+        f"max engine difference {100 * fig4.max_relative_difference:.2f}% "
+        f"over {len(fig4.points)} interval sweeps (paper < 4%)"
+    )
+
+    print("\n== Table II: checkpoint-cost characterization ==")
+    table2 = run_table2()
+    print("fitted (eps, alpha) per level:", table2.fitted_coefficients)
+
+    print("\n== Fig. 5 + Table III + Fig. 7 (2 cases, 5 runs each) ==")
+    fig5 = run_fig5(cases=("16-12-8-4", "4-2-1-0.5"), n_runs=5, seed=7)
+    for case in fig5.cases:
+        print(portions_table(case.ensembles, title=f"case {case.case}"))
+    fig7 = run_fig7(fig5)
+    print("efficiencies:", fig7.efficiencies)
+
+    print("\n== Convergence ==")
+    conv = run_convergence()
+    for case, report in conv.algorithm1_reports.items():
+        print(f"  {case}: {report.outer_iterations} outer iterations")
+    print(f"  single-level fixed point: {conv.single_level_iterations} iterations")
+
+    print(f"\nall experiments reproduced in {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

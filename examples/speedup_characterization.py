@@ -1,0 +1,87 @@
+"""The full paper pipeline: measure speedup -> fit -> optimize.
+
+Everything the paper's methodology requires, starting from raw
+measurements:
+
+1. measure the Heat Distribution application's speedup on the simulated
+   cluster across scales (Fig. 2(a)'s experiment);
+2. fit the paper's quadratic curve (Formula 12) by least squares;
+3. characterize per-level checkpoint costs on the same cluster (Table II's
+   experiment) and fit the Formula (19) cost models;
+4. feed both fits into Algorithm 1 and report the optimized configuration.
+
+Also runs the Nek5000 eddy_uv-style rise-then-fall curve through the
+initial-range fitting rule of Fig. 2(b).
+
+Run:  python examples/speedup_characterization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FailureRates, ModelParameters, algorithm1_optimize
+from repro.apps.eddy import measure_eddy_speedup
+from repro.apps.heat import measure_heat_speedup
+from repro.cluster.characterize import characterize_checkpoint_costs
+from repro.speedup.fitting import fit_quadratic_speedup
+from repro.util.tablefmt import format_table
+
+
+def main() -> None:
+    # -- 1. speedup measurement (Fig. 2(a)) ------------------------------
+    scales = np.geomspace(64, 60_000, 16)
+    measured_scales, measured_speedups = measure_heat_speedup(scales)
+    heat_fit = fit_quadratic_speedup(measured_scales, measured_speedups)
+    print(
+        f"Heat Distribution fit: kappa={heat_fit.kappa:.4f}, "
+        f"N^(*)={heat_fit.ideal_scale:,.0f}, "
+        f"residual RMS={heat_fit.residual_rms:.2f}"
+    )
+
+    # -- 2. the rise-then-fall case (Fig. 2(b)) --------------------------
+    eddy_scales = np.geomspace(4, 2_048, 20)
+    e_scales, e_speedups = measure_eddy_speedup(eddy_scales)
+    eddy_fit = fit_quadratic_speedup(e_scales, e_speedups)
+    peak = e_scales[int(np.argmax(e_speedups))]
+    print(
+        f"eddy_uv fit (initial range only, peak at ~{peak:.0f} cores): "
+        f"kappa={eddy_fit.kappa:.3f}, N^(*)={eddy_fit.ideal_scale:.0f}"
+    )
+
+    # -- 3. checkpoint-cost characterization (Table II) ------------------
+    characterization = characterize_checkpoint_costs()
+    rows = [
+        [f"{int(s)} cores"] + [f"{c:.2f}" for c in characterization.table[i]]
+        for i, s in enumerate(characterization.scales)
+    ]
+    print()
+    print(
+        format_table(
+            ["scale", "L1 local", "L2 partner", "L3 RS", "L4 PFS"],
+            rows,
+            title="Characterized checkpoint overheads (seconds)",
+        )
+    )
+
+    # -- 4. optimize with the fitted models -------------------------------
+    params = ModelParameters.from_core_days(
+        50_000.0,  # a 50k core-day campaign
+        speedup=heat_fit.model,
+        costs=characterization.cost_model,
+        rates=FailureRates((12.0, 6.0, 3.0, 1.0), baseline_scale=heat_fit.ideal_scale),
+        allocation_period=60.0,
+    )
+    result = algorithm1_optimize(params)
+    sol = result.solution
+    print(
+        f"\nOptimized from measurements alone: N* = {sol.scale_rounded():,} "
+        f"cores of the {heat_fit.ideal_scale:,.0f}-core sweet spot, "
+        f"x = {sol.intervals_rounded()}, "
+        f"E(T_w) = {sol.expected_wallclock / 86_400.0:.2f} days "
+        f"({result.outer_iterations} outer iterations)"
+    )
+
+
+if __name__ == "__main__":
+    main()

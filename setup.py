@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+PEP 517 editable installs need ``bdist_wheel``; this offline environment
+ships setuptools without wheel, so ``pip install -e . --no-use-pep517``
+falls back to the classic ``setup.py develop`` path through this file.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,145 @@
+"""repro — reproduction of *Optimization of a Multilevel Checkpoint Model
+with Uncertain Execution Scales* (Di, Bautista-Gomez, Cappello; SC 2014).
+
+The library co-optimizes per-level checkpoint interval counts and the
+execution scale of a parallel application protected by an FTI-style
+multilevel checkpoint toolkit, and ships the full evaluation stack: cost /
+speedup / failure models, a functional FTI reimplementation (real
+Reed-Solomon erasure coding), a simulated cluster, an exascale simulator,
+and drivers for every table and figure in the paper.
+
+Quickstart
+----------
+>>> import repro
+>>> params = repro.ModelParameters.from_core_days(
+...     3e6,
+...     speedup=repro.QuadraticSpeedup(kappa=0.46, ideal_scale=1e6),
+...     costs=repro.fusion_cost_models(),
+...     rates=repro.FailureRates.from_case_name("8-4-2-1", baseline_scale=1e6),
+...     allocation_period=60.0,
+... )
+>>> solution = repro.ml_opt_scale(params)   # this paper's strategy
+>>> ensemble = repro.simulate_solution(params, solution, n_runs=10, seed=0)
+
+See README.md for the architecture overview and DESIGN.md for the
+module-by-module inventory.
+"""
+
+from repro.analysis import pareto_sweep
+from repro.core import (
+    Algorithm1Result,
+    ModelParameters,
+    Solution,
+    algorithm1_optimize,
+    compare_all_strategies,
+    corrected_parameters,
+    corrected_wallclock,
+    daly_interval,
+    effective_cost,
+    expected_rollback_loss,
+    expected_wallclock,
+    ml_opt_scale,
+    ml_ori_scale,
+    optimize_level_selection,
+    self_consistent_wallclock,
+    sensitivity_report,
+    single_level_wallclock,
+    sl_opt_scale,
+    sl_ori_scale,
+    solve_single_level_linear,
+    solve_single_level_nonlinear,
+    time_portions,
+    young_interval,
+    young_num_intervals,
+)
+from repro.costs import CostModel, LevelCostModel, fit_cost_model
+from repro.experiments.config import (
+    fusion_cost_models,
+    make_params,
+    paper_speedup,
+    table4_cost_models,
+)
+from repro.failures import (
+    ExponentialArrivals,
+    FailureRates,
+    LognormalArrivals,
+    WeibullArrivals,
+    rates_from_node_mtbf,
+)
+from repro.sim import (
+    EnsembleResult,
+    SimResult,
+    SimulationConfig,
+    run_ensemble,
+    simulate,
+    simulate_solution,
+)
+from repro.speedup import (
+    AmdahlSpeedup,
+    GustafsonSpeedup,
+    InterpolatedSpeedup,
+    LinearSpeedup,
+    QuadraticSpeedup,
+    fit_quadratic_speedup,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core model & solvers
+    "ModelParameters",
+    "Solution",
+    "Algorithm1Result",
+    "algorithm1_optimize",
+    "expected_wallclock",
+    "expected_rollback_loss",
+    "self_consistent_wallclock",
+    "single_level_wallclock",
+    "time_portions",
+    "solve_single_level_linear",
+    "solve_single_level_nonlinear",
+    "young_interval",
+    "young_num_intervals",
+    "daly_interval",
+    # strategies
+    "ml_opt_scale",
+    "sl_opt_scale",
+    "ml_ori_scale",
+    "sl_ori_scale",
+    "compare_all_strategies",
+    # extensions
+    "optimize_level_selection",
+    "sensitivity_report",
+    "corrected_parameters",
+    "corrected_wallclock",
+    "effective_cost",
+    "pareto_sweep",
+    "rates_from_node_mtbf",
+    # models
+    "CostModel",
+    "LevelCostModel",
+    "fit_cost_model",
+    "FailureRates",
+    "ExponentialArrivals",
+    "WeibullArrivals",
+    "LognormalArrivals",
+    "LinearSpeedup",
+    "QuadraticSpeedup",
+    "AmdahlSpeedup",
+    "GustafsonSpeedup",
+    "InterpolatedSpeedup",
+    "fit_quadratic_speedup",
+    # simulator
+    "SimulationConfig",
+    "SimResult",
+    "EnsembleResult",
+    "simulate",
+    "run_ensemble",
+    "simulate_solution",
+    # evaluation configuration
+    "fusion_cost_models",
+    "table4_cost_models",
+    "make_params",
+    "paper_speedup",
+]

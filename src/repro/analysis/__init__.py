@@ -1,0 +1,26 @@
+"""Analysis helpers: efficiency, portions, sweeps, tables, convergence."""
+
+from repro.analysis.efficiency import efficiency, efficiency_from_ensemble
+from repro.analysis.export import export_fig1, export_fig3, export_fig5, write_csv
+from repro.analysis.pareto import ParetoPoint, ParetoResult, pareto_sweep
+from repro.analysis.sweep import sweep_objective_scale, sweep_objective_intervals
+from repro.analysis.tables import portions_table, solutions_table
+from repro.analysis.convergence import ConvergenceReport, convergence_report
+
+__all__ = [
+    "efficiency",
+    "efficiency_from_ensemble",
+    "export_fig1",
+    "export_fig3",
+    "export_fig5",
+    "write_csv",
+    "ParetoPoint",
+    "ParetoResult",
+    "pareto_sweep",
+    "sweep_objective_scale",
+    "sweep_objective_intervals",
+    "portions_table",
+    "solutions_table",
+    "ConvergenceReport",
+    "convergence_report",
+]

@@ -1,0 +1,29 @@
+"""Efficiency (processor utilization) — the paper's second key indicator.
+
+"The efficiency is also called processor utilization, which is defined as
+the ratio of the wall-clock-time based speedup to the number of
+processes/cores used" — i.e. ``(T_e / T_w) / N``, where the speedup counts
+*all* overheads (unlike ``g(N)``).
+"""
+
+from __future__ import annotations
+
+from repro.sim.metrics import EnsembleResult
+
+
+def efficiency(te_core_seconds: float, wallclock_seconds: float, n: float) -> float:
+    """``(T_e / T_w) / N`` for one observed wall-clock length."""
+    if te_core_seconds <= 0:
+        raise ValueError(f"te must be positive, got {te_core_seconds}")
+    if wallclock_seconds <= 0:
+        raise ValueError(f"wallclock must be positive, got {wallclock_seconds}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return (te_core_seconds / wallclock_seconds) / n
+
+
+def efficiency_from_ensemble(
+    ensemble: EnsembleResult, te_core_seconds: float, n: float
+) -> float:
+    """Mean per-run efficiency of an ensemble (Fig. 7 / Table IV metric)."""
+    return ensemble.mean_efficiency(te_core_seconds, n)

@@ -1,0 +1,96 @@
+"""CSV export of figure data.
+
+The benches print paper-style ASCII tables; for external plotting
+(matplotlib is not a dependency) every figure's underlying series can be
+exported as plain CSV.  Only the standard library is used.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterable, Sequence
+
+from repro.experiments.fig1 import Fig1Result
+from repro.experiments.fig3 import Fig3Result
+from repro.experiments.fig5 import Fig5Result
+from repro.sim.metrics import PORTION_KEYS
+
+
+def write_csv(
+    path, header: Sequence[str], rows: Iterable[Sequence]
+) -> pathlib.Path:
+    """Write ``rows`` under ``header`` to ``path``; returns the path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        count = 0
+        for row in rows:
+            if len(row) != len(header):
+                raise ValueError(
+                    f"row {count} has {len(row)} cells for {len(header)} columns"
+                )
+            writer.writerow(row)
+            count += 1
+    return target
+
+
+def export_fig1(result: Fig1Result, path) -> pathlib.Path:
+    """Fig. 1 series: scale, failure-free and checkpointed performance."""
+    rows = zip(
+        result.scales,
+        result.performance_no_checkpoint,
+        result.performance_with_checkpoint,
+    )
+    return write_csv(
+        path, ["scale", "performance_no_checkpoint", "performance_with_checkpoint"], rows
+    )
+
+
+def export_fig3(result: Fig3Result, path_prefix) -> list[pathlib.Path]:
+    """Fig. 3 sweeps: one CSV per scenario per axis (4 files)."""
+    prefix = pathlib.Path(path_prefix)
+    written = []
+    for scenario, tag in (
+        (result.constant_cost, "constant"),
+        (result.linear_cost, "linear"),
+    ):
+        written.append(
+            write_csv(
+                prefix.with_name(f"{prefix.name}_{tag}_x.csv"),
+                ["x", "expected_wallclock"],
+                zip(scenario.sweep_x, scenario.sweep_x_objective),
+            )
+        )
+        written.append(
+            write_csv(
+                prefix.with_name(f"{prefix.name}_{tag}_n.csv"),
+                ["n", "expected_wallclock"],
+                zip(scenario.sweep_n, scenario.sweep_n_objective),
+            )
+        )
+    return written
+
+
+def export_fig5(result: Fig5Result, path) -> pathlib.Path:
+    """Fig. 5 portions: one row per (case, strategy) with the four portions."""
+    rows = []
+    for case in result.cases:
+        for strategy, ensemble in case.ensembles.items():
+            portions = ensemble.mean_portions()
+            rows.append(
+                [
+                    case.case,
+                    strategy,
+                    *(portions[key] for key in PORTION_KEYS),
+                    ensemble.mean_wallclock,
+                    int(ensemble.all_completed),
+                ]
+            )
+    return write_csv(
+        path,
+        ["case", "strategy", *PORTION_KEYS, "mean_wallclock", "all_completed"],
+        rows,
+    )

@@ -1,0 +1,86 @@
+"""Wall-clock vs. efficiency Pareto analysis (the Fig. 7 discussion).
+
+The paper's Fig. 7 argument is a two-objective one: users want short
+wall-clock, operators want high processor utilization; SL(opt-scale) wins
+the second while losing the first badly, and ML(opt-scale) "can satisfy
+both users and system managers".  This module makes the tradeoff explicit:
+sweep the scale, compute both objectives per point (with per-scale
+re-optimized intervals), and extract the Pareto frontier — ML(opt-scale)'s
+configuration must land on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.algorithm1 import optimize
+from repro.core.notation import ModelParameters
+from repro.util.iteration import FixedPointDiverged
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One scale's objective pair (intervals re-optimized at that scale)."""
+
+    scale: float
+    wallclock: float
+    efficiency: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Shorter-or-equal wall-clock AND higher-or-equal efficiency,
+        strictly better in at least one."""
+        return (
+            self.wallclock <= other.wallclock
+            and self.efficiency >= other.efficiency
+            and (
+                self.wallclock < other.wallclock
+                or self.efficiency > other.efficiency
+            )
+        )
+
+
+@dataclass(frozen=True)
+class ParetoResult:
+    """Sweep outcome: all points plus the non-dominated frontier."""
+
+    points: tuple[ParetoPoint, ...]
+    frontier: tuple[ParetoPoint, ...]
+
+
+def pareto_sweep(
+    params: ModelParameters,
+    *,
+    n_points: int = 12,
+    scales=None,
+) -> ParetoResult:
+    """Sweep scales; per scale, optimize intervals and record both objectives.
+
+    Infeasible scales are skipped.  The frontier is returned sorted by
+    wall-clock ascending.
+    """
+    if scales is None:
+        upper = params.scale_upper_bound
+        scales = np.linspace(upper / n_points, upper, n_points)
+    te = params.te_core_seconds
+    points: list[ParetoPoint] = []
+    for n in scales:
+        try:
+            solution = optimize(params, fixed_scale=float(n)).solution
+        except (ValueError, FixedPointDiverged):
+            continue  # infeasible at this scale (loss rate >= 1)
+        points.append(
+            ParetoPoint(
+                scale=float(n),
+                wallclock=solution.expected_wallclock,
+                efficiency=solution.efficiency(te),
+            )
+        )
+    frontier = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    frontier.sort(key=lambda p: p.wallclock)
+    return ParetoResult(points=tuple(points), frontier=tuple(frontier))

@@ -1,0 +1,57 @@
+"""Table rendering for experiment outputs (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.notation import Solution
+from repro.sim.metrics import EnsembleResult, PORTION_KEYS
+from repro.util.tablefmt import format_table
+from repro.util.units import seconds_to_days
+
+
+def solutions_table(
+    solutions: Mapping[str, Solution], te_core_seconds: float, *, title: str | None = None
+) -> str:
+    """Render strategy solutions: scale, intervals, predicted WCT, efficiency."""
+    rows = []
+    for name, sol in solutions.items():
+        wct = (
+            "inf"
+            if not sol.feasible
+            else f"{seconds_to_days(sol.expected_wallclock):.2f}"
+        )
+        rows.append(
+            [
+                name,
+                f"{sol.scale / 1000:.1f}k",
+                " ".join(f"{round(x)}" for x in sol.intervals),
+                wct,
+                f"{sol.efficiency(te_core_seconds):.4f}",
+            ]
+        )
+    return format_table(
+        ["strategy", "N", "intervals x_i", "E(T_w) days", "efficiency"],
+        rows,
+        title=title,
+    )
+
+
+def portions_table(
+    ensembles: Mapping[str, EnsembleResult], *, title: str | None = None
+) -> str:
+    """Render simulated time portions per strategy (Fig. 5/6 rows, days)."""
+    rows = []
+    for name, ens in ensembles.items():
+        portions = ens.mean_portions()
+        row = [name]
+        for key in PORTION_KEYS:
+            row.append(f"{seconds_to_days(portions[key]):.2f}")
+        wct = f"{seconds_to_days(ens.mean_wallclock):.2f}"
+        if not ens.all_completed:
+            wct = f">{wct} (censored)"
+        row.append(wct)
+        rows.append(row)
+    return format_table(
+        ["strategy", *PORTION_KEYS, "wallclock (days)"], rows, title=title
+    )

@@ -1,0 +1,32 @@
+"""Emulated MPI applications.
+
+The paper's experiments run a real MPI Heat Distribution program under FTI
+on the Fusion cluster; the exascale results come from a simulator calibrated
+against those runs.  Here :mod:`repro.apps.simmpi` provides a lockstep
+(BSP-style) simulated-MPI layer that executes *real numerical kernels*
+in-process while charging simulated compute and communication time, and the
+two applications from the paper are built on it:
+
+* :mod:`repro.apps.heat` — the 2-D Jacobi Heat Distribution stencil with
+  ghost-row exchange (the paper's main workload, Fig. 2(a));
+* :mod:`repro.apps.eddy` — the Nek5000 ``eddy_uv``-style error monitor for
+  an analytic 2-D Navier-Stokes eddy solution (Fig. 2(b)).
+"""
+
+from repro.apps.simmpi import SimComm, SimClock
+from repro.apps.heat import HeatDistribution2D, measure_heat_speedup
+from repro.apps.eddy import EddySolver, measure_eddy_speedup
+from repro.apps.jacobi import JacobiSolver, spectral_radius
+from repro.apps.workload import Workload
+
+__all__ = [
+    "SimComm",
+    "SimClock",
+    "HeatDistribution2D",
+    "measure_heat_speedup",
+    "EddySolver",
+    "measure_eddy_speedup",
+    "JacobiSolver",
+    "spectral_radius",
+    "Workload",
+]

@@ -1,0 +1,128 @@
+"""Lockstep simulated-MPI layer.
+
+Real exascale runs are unavailable (and the paper itself resorts to
+simulation beyond 1,024 cores), so applications here execute their *actual
+numerical kernels* in one process while a :class:`SimClock` charges
+simulated wall-clock time for compute and communication:
+
+* compute time = operations / per-core throughput, taken as the maximum
+  across ranks in the superstep (BSP semantics — lockstep supersteps, which
+  matches the bulk-synchronous structure of the Heat Distribution program:
+  compute, exchange ghosts, allreduce);
+* communication time comes from :class:`repro.cluster.network.NetworkModel`
+  (latency/bandwidth p2p, log-tree collectives — the same MPI functions the
+  paper lists: Send/Recv/Isend/Irecv/Allreduce/Bcast/Barrier).
+
+The layer is what lets the speedup curves of Fig. 2 be *measured* rather
+than postulated: more ranks shrink per-rank compute but add latency-bound
+ghost exchanges and ``log P`` collectives, so measured speedup bends
+exactly like the paper's quadratic fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.network import NetworkModel
+
+
+@dataclass
+class SimClock:
+    """Simulated wall-clock accumulator (seconds)."""
+
+    elapsed: float = 0.0
+
+    def advance(self, seconds: float) -> None:
+        """Charge ``seconds`` of simulated time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self.elapsed += seconds
+
+
+@dataclass
+class SimComm:
+    """A simulated communicator of ``n_ranks`` lockstep ranks.
+
+    Parameters
+    ----------
+    n_ranks:
+        Communicator size.
+    network:
+        Interconnect model used for message costs.
+    flop_rate:
+        Per-core sustained throughput in operations/second (default 1
+        Gflop/s, a realistic sustained stencil rate on Fusion-era cores).
+    clock:
+        Shared simulated clock (created if not given).
+    """
+
+    n_ranks: int
+    network: NetworkModel = field(default_factory=NetworkModel)
+    flop_rate: float = 1e9
+    clock: SimClock = field(default_factory=SimClock)
+
+    def __post_init__(self):
+        if self.n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {self.n_ranks}")
+        if self.flop_rate <= 0:
+            raise ValueError(f"flop_rate must be positive, got {self.flop_rate}")
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds consumed so far."""
+        return self.clock.elapsed
+
+    def compute(self, operations_per_rank: float) -> None:
+        """Charge a lockstep compute phase.
+
+        ``operations_per_rank`` may be a scalar (homogeneous) or an array of
+        per-rank counts; BSP semantics charge the slowest rank.
+        """
+        ops = np.max(np.asarray(operations_per_rank, dtype=float))
+        if ops < 0:
+            raise ValueError(f"operation count must be >= 0, got {ops}")
+        self.clock.advance(ops / self.flop_rate)
+
+    def exchange_halo(self, nbytes: float, neighbors: int = 2) -> None:
+        """Charge a halo (ghost) exchange: ``neighbors`` concurrent p2p pairs.
+
+        Sends to each neighbor proceed concurrently (MPI_Isend/Irecv +
+        Waitall, as the Heat program uses), so the charge is one p2p time —
+        but each message still pays full latency + serialization.
+        """
+        if self.n_ranks == 1 or neighbors == 0:
+            return
+        if neighbors < 0:
+            raise ValueError(f"neighbors must be >= 0, got {neighbors}")
+        self.clock.advance(self.network.p2p_time(nbytes))
+
+    def allreduce(self, values: np.ndarray, op: str = "sum") -> np.ndarray:
+        """Perform a real allreduce on ``values`` and charge its time.
+
+        ``values`` has shape (n_ranks, ...); the reduction is applied over
+        the rank axis and the (replicated) result returned.
+        """
+        values = np.asarray(values)
+        if values.shape[0] != self.n_ranks:
+            raise ValueError(
+                f"values leading dim {values.shape[0]} != n_ranks {self.n_ranks}"
+            )
+        nbytes = values[0].size * values.itemsize if values.ndim > 1 else values.itemsize
+        self.clock.advance(self.network.allreduce_time(nbytes, self.n_ranks))
+        if op == "sum":
+            return values.sum(axis=0)
+        if op == "max":
+            return values.max(axis=0)
+        if op == "min":
+            return values.min(axis=0)
+        raise ValueError(f"unsupported allreduce op {op!r}")
+
+    def bcast(self, payload_nbytes: float) -> None:
+        """Charge a broadcast of ``payload_nbytes`` from rank 0."""
+        self.clock.advance(self.network.broadcast_time(payload_nbytes, self.n_ranks))
+
+    def barrier(self) -> None:
+        """Charge a barrier (an empty allreduce)."""
+        self.clock.advance(self.network.allreduce_time(8, self.n_ranks))

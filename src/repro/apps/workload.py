@@ -1,0 +1,56 @@
+"""Workload descriptors.
+
+A *workload* is the paper's unit of experiment input: a total single-core
+productive time ``T_e`` (quoted in core-days: 3 million / 10 million /
+2 million in the evaluation), plus the application's speedup model and
+checkpoint footprint.  Bundling them keeps experiment configurations
+self-describing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.speedup.base import SpeedupModel
+from repro.util.units import core_days_to_core_seconds
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One application workload for the optimizer and simulator.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    te_core_days:
+        Single-core productive time ``T_e`` in core-days.
+    speedup:
+        The application's speedup model ``g(N)``.
+    checkpoint_bytes_per_process:
+        Memory footprint checkpointed per process (drives the cluster-level
+        characterization; the analytic model uses fitted costs directly).
+    """
+
+    name: str
+    te_core_days: float
+    speedup: SpeedupModel
+    checkpoint_bytes_per_process: float = 50e6
+
+    def __post_init__(self):
+        if not self.te_core_days > 0:
+            raise ValueError(f"te_core_days must be positive, got {self.te_core_days}")
+        if self.checkpoint_bytes_per_process < 0:
+            raise ValueError(
+                "checkpoint_bytes_per_process must be >= 0, got "
+                f"{self.checkpoint_bytes_per_process}"
+            )
+
+    @property
+    def te_core_seconds(self) -> float:
+        """``T_e`` in core-seconds (the solvers' internal unit)."""
+        return core_days_to_core_seconds(self.te_core_days)
+
+    def productive_time(self, n: float) -> float:
+        """``f(T_e, N)`` — failure-free parallel time at scale ``n`` (s)."""
+        return float(self.speedup.productive_time(self.te_core_seconds, n))

@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro optimize --te-core-days 3e6 --case 8-4-2-1
+    python -m repro simulate --te-core-days 3e6 --case 8-4-2-1 --runs 20
+    python -m repro experiment fig3
+
+``optimize`` solves all four strategies for one configuration and prints
+the comparison table; ``simulate`` additionally replays the ML(opt-scale)
+solution under the randomized-failure simulator; ``experiment`` runs a
+registered paper experiment (see ``--list``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.tables import solutions_table
+from repro.core.solutions import compare_all_strategies
+from repro.experiments.config import make_params
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.sim.runner import simulate_solution
+from repro.util.units import seconds_to_days
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--te-core-days",
+        type=float,
+        default=3e6,
+        help="workload T_e in core-days (default: 3e6, the Fig. 5 setting)",
+    )
+    parser.add_argument(
+        "--case",
+        default="8-4-2-1",
+        help="failure-rate case, events/day per level at the baseline scale",
+    )
+    parser.add_argument(
+        "--ideal-scale",
+        type=float,
+        default=1e6,
+        help="N^(*): the failure-free optimal scale / baseline (default 1e6)",
+    )
+    parser.add_argument(
+        "--allocation",
+        type=float,
+        default=60.0,
+        help="resource allocation period A in seconds (default 60)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multilevel checkpoint-model optimization with uncertain "
+            "execution scales (SC 2014 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser(
+        "optimize", help="solve all four strategies for one configuration"
+    )
+    _add_model_arguments(p_opt)
+
+    p_sim = sub.add_parser(
+        "simulate", help="optimize, then replay under the failure simulator"
+    )
+    _add_model_arguments(p_sim)
+    p_sim.add_argument("--runs", type=int, default=20, help="ensemble size")
+    p_sim.add_argument("--seed", type=int, default=0, help="root RNG seed")
+
+    p_exp = sub.add_parser("experiment", help="run a registered paper experiment")
+    p_exp.add_argument(
+        "experiment_id",
+        nargs="?",
+        help=f"one of: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    p_exp.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    return parser
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    params = make_params(
+        args.te_core_days,
+        args.case,
+        ideal_scale=args.ideal_scale,
+        allocation_period=args.allocation,
+    )
+    solutions = compare_all_strategies(params)
+    print(
+        solutions_table(
+            solutions,
+            params.te_core_seconds,
+            title=(
+                f"T_e={args.te_core_days:g} core-days, case {args.case}, "
+                f"N^(*)={args.ideal_scale:g}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    params = make_params(
+        args.te_core_days,
+        args.case,
+        ideal_scale=args.ideal_scale,
+        allocation_period=args.allocation,
+    )
+    solutions = compare_all_strategies(params)
+    print(solutions_table(solutions, params.te_core_seconds))
+    best = solutions["ml-opt-scale"]
+    ensemble = simulate_solution(
+        params, best, n_runs=args.runs, seed=args.seed
+    )
+    print(
+        f"\nml-opt-scale replayed over {ensemble.n_runs} runs: "
+        f"mean {seconds_to_days(ensemble.mean_wallclock):.2f} days "
+        f"(model predicted {seconds_to_days(best.expected_wallclock):.2f})"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.list or not args.experiment_id:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    try:
+        driver = get_experiment(args.experiment_id)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    result = driver()
+    print(f"{args.experiment_id}: {result!r}"[:2000])
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

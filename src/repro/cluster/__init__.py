@@ -1,0 +1,41 @@
+"""Simulated cluster substrate.
+
+The paper characterizes FTI's per-level checkpoint overheads on the Argonne
+Fusion cluster (Table II) and feeds the fitted cost models into both the
+analytical optimizer and the exascale simulator.  This subpackage stands in
+for the physical cluster: nodes with local storage, a partner/rack topology,
+an interconnect, a parallel file system with contention, and a resource
+allocator with a constant allocation period ``A``.
+
+:mod:`repro.cluster.characterize` runs the same characterization experiment
+the paper ran — write checkpoints at each level across a range of scales —
+and regenerates a Table II-shaped cost table from first principles (device
+bandwidths), which :func:`repro.costs.fitting.fit_cost_model` then reduces
+to Formula (19) coefficients.
+"""
+
+from repro.cluster.node import Node, NodeState
+from repro.cluster.topology import ClusterTopology
+from repro.cluster.network import NetworkModel
+from repro.cluster.storage import StorageHierarchy, PFSModel, LocalStoreModel
+from repro.cluster.allocation import AllocationEvent, ResourceAllocator
+from repro.cluster.characterize import (
+    CharacterizationResult,
+    characterize_checkpoint_costs,
+    fusion_like_cluster,
+)
+
+__all__ = [
+    "Node",
+    "NodeState",
+    "ClusterTopology",
+    "NetworkModel",
+    "StorageHierarchy",
+    "PFSModel",
+    "LocalStoreModel",
+    "AllocationEvent",
+    "ResourceAllocator",
+    "CharacterizationResult",
+    "characterize_checkpoint_costs",
+    "fusion_like_cluster",
+]

@@ -1,0 +1,84 @@
+"""Resource allocation after hardware failures.
+
+"Upon any type of hardware failure, the system will reallocate a new set of
+nodes/cores to replace the crashed nodes/cores; and the resource allocation
+is a constant period, denoted by A" (Section II).  The allocator draws
+replacements from the spare pool when available, otherwise repairs the
+failed nodes in place; either way the application is charged exactly ``A``
+seconds, matching the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cluster.node import NodeState
+from repro.cluster.topology import ClusterTopology
+
+#: The paper treats A as a constant far shorter than the execution; 60 s is
+#: within the 1-2 minute correlated-window range cited in footnote 1.
+DEFAULT_ALLOCATION_PERIOD: float = 60.0
+
+
+@dataclass(frozen=True)
+class AllocationEvent:
+    """Record of one replacement action."""
+
+    time: float
+    failed_nodes: tuple[int, ...]
+    replacement_nodes: tuple[int, ...]
+    duration: float
+
+
+@dataclass
+class ResourceAllocator:
+    """Replaces failed nodes at a constant allocation period ``A``."""
+
+    topology: ClusterTopology
+    allocation_period: float = DEFAULT_ALLOCATION_PERIOD
+    history: list[AllocationEvent] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.allocation_period < 0:
+            raise ValueError(
+                f"allocation_period must be >= 0, got {self.allocation_period}"
+            )
+
+    def allocate_replacements(
+        self, time: float, failed_nodes: Iterable[int]
+    ) -> AllocationEvent:
+        """Replace ``failed_nodes``; returns the allocation record.
+
+        Marks failed nodes down, activates spares when available (spares
+        become healthy replacements) and repairs in place otherwise — the
+        model charges the same constant ``A`` in both cases.
+        """
+        failed = tuple(sorted(set(failed_nodes)))
+        for node_id in failed:
+            self.topology.nodes[node_id].fail()
+        spares = [
+            n for n in self.topology.nodes if n.state == NodeState.SPARE
+        ]
+        replacements: list[int] = []
+        for node_id in failed:
+            if spares:
+                spare = spares.pop(0)
+                spare.state = NodeState.HEALTHY
+                replacements.append(spare.node_id)
+            else:
+                self.topology.nodes[node_id].repair()
+                replacements.append(node_id)
+        event = AllocationEvent(
+            time=time,
+            failed_nodes=failed,
+            replacement_nodes=tuple(replacements),
+            duration=self.allocation_period,
+        )
+        self.history.append(event)
+        return event
+
+    @property
+    def total_allocation_time(self) -> float:
+        """Cumulative seconds spent in allocations so far."""
+        return sum(e.duration for e in self.history)

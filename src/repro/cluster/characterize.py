@@ -1,0 +1,134 @@
+"""Checkpoint-cost characterization harness (regenerates Table II).
+
+The paper measured FTI's per-level checkpoint overheads on Fusion at
+128-1,024 cores (Table II) and fitted Formula (19) by least squares.  This
+module runs the same experiment against the simulated storage hierarchy:
+sweep the scale, time a checkpoint at each level (optionally with measurement
+noise, as real runs jitter), and fit cost models from the resulting table.
+
+``fusion_like_cluster()`` returns a hierarchy calibrated so the regenerated
+table matches Table II's values; the `table2` bench prints both side by side
+and checks the fitted coefficients against the paper's quoted
+``(0.866, 0), (2.586, 0), (3.886, 0), (5.5, 0.0212)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.storage import LocalStoreModel, PFSModel, StorageHierarchy
+from repro.costs.fitting import fit_cost_model
+from repro.costs.model import LevelCostModel
+from repro.util.rng import SeedLike, as_generator
+
+#: Checkpoint bytes per process used in the Fusion-like calibration
+#: (Heat Distribution block state, ~50 MB/process).
+FUSION_BYTES_PER_PROCESS: float = 50e6
+FUSION_CORES_PER_NODE: int = 8
+
+
+def fusion_like_cluster() -> StorageHierarchy:
+    """Storage hierarchy calibrated to reproduce Table II.
+
+    Calibration targets: level 1 ~ 0.87 s, level 2 ~ 2.6 s, level 3 ~ 3.9 s
+    (all scale-independent), level 4 ~ 5.5 + 0.0212 * N seconds.
+    The PFS slope comes from sharing ~2.36 GB/s of aggregate bandwidth
+    across writers of 50 MB each: 50e6 / 2.36e9 = 0.0212 s per writer.
+    """
+    return StorageHierarchy(
+        local=LocalStoreModel(bandwidth=800e6, base_latency=0.05),
+        network=NetworkModel(latency=1e-6, bandwidth=2e9),
+        pfs=PFSModel(
+            aggregate_bandwidth=FUSION_BYTES_PER_PROCESS / 0.0212,
+            metadata_cost=0.0,
+            base_latency=5.5,
+            contention=True,
+        ),
+        rs_encode_bandwidth=400e6,
+        software_overhead=(0.32, 1.28, 1.58, 0.0),
+    )
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """Outcome of a checkpoint-cost characterization sweep.
+
+    Attributes
+    ----------
+    scales:
+        Core counts characterized.
+    table:
+        Measured checkpoint cost (seconds), shape ``(len(scales), 4)`` —
+        the Table II analogue.
+    cost_model:
+        Formula (19)/(20) models fitted to ``table`` by least squares.
+    """
+
+    scales: np.ndarray
+    table: np.ndarray
+    cost_model: LevelCostModel
+
+
+def characterize_checkpoint_costs(
+    hierarchy: StorageHierarchy | None = None,
+    *,
+    scales=(128, 256, 384, 512, 1024),
+    bytes_per_process: float = FUSION_BYTES_PER_PROCESS,
+    cores_per_node: int = FUSION_CORES_PER_NODE,
+    noise: float = 0.0,
+    repeats: int = 1,
+    seed: SeedLike = None,
+) -> CharacterizationResult:
+    """Sweep scales, timing one checkpoint per level at each scale.
+
+    Parameters
+    ----------
+    hierarchy:
+        Storage hierarchy to characterize (default: the Fusion-like one).
+    scales:
+        Core counts to test (Table II uses 128..1024).
+    bytes_per_process, cores_per_node:
+        Application checkpoint footprint and node width.
+    noise:
+        Relative std-dev of multiplicative measurement jitter (real
+        characterizations jitter; Table II's level-1 column spans
+        0.67-1.1 s).
+    repeats:
+        Measurements averaged per (scale, level) cell.
+    """
+    if hierarchy is None:
+        hierarchy = fusion_like_cluster()
+    if not 0.0 <= noise < 1.0:
+        raise ValueError(f"noise must be in [0, 1), got {noise}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    rng = as_generator(seed)
+    scales_arr = np.asarray(scales, dtype=float)
+    if np.any(scales_arr < cores_per_node):
+        raise ValueError(
+            f"every scale must be at least one node ({cores_per_node} cores)"
+        )
+    table = np.zeros((scales_arr.size, 4))
+    for i, n in enumerate(scales_arr):
+        for level in range(1, 5):
+            ideal = hierarchy.checkpoint_time(
+                level, bytes_per_process, int(n), cores_per_node
+            )
+            if noise > 0:
+                samples = ideal * (
+                    1.0 + np.clip(rng.normal(0.0, noise, size=repeats), -0.9, 0.9)
+                )
+                table[i, level - 1] = float(np.mean(samples))
+            else:
+                table[i, level - 1] = ideal
+    models = tuple(
+        fit_cost_model(scales_arr, table[:, level]) for level in range(4)
+    )
+    return CharacterizationResult(
+        scales=scales_arr,
+        table=table,
+        cost_model=LevelCostModel(checkpoint=models, recovery=models),
+    )

@@ -1,0 +1,80 @@
+"""Interconnect model.
+
+A deliberately simple latency/bandwidth (Hockney-style) model: transferring
+``b`` bytes point-to-point costs ``latency + b / bandwidth`` seconds.  The
+partner-copy and RS-encoding checkpoint levels use it for their node-to-node
+transfers; :mod:`repro.apps.simmpi` uses it for message costs so that the
+Heat Distribution emulation exhibits the communication-bound speedup
+flattening of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point latency/bandwidth interconnect.
+
+    Parameters
+    ----------
+    latency:
+        Per-message latency in seconds (default 1 microsecond, typical of
+        an InfiniBand-class fabric like Fusion's).
+    bandwidth:
+        Per-link bandwidth in bytes/second (default 2 GB/s).
+    bisection_factor:
+        Fraction of aggregate link bandwidth available under all-to-all
+        pressure; collective operations are charged against it.
+    """
+
+    latency: float = 1e-6
+    bandwidth: float = 2e9
+    bisection_factor: float = 0.5
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if not 0 < self.bisection_factor <= 1:
+            raise ValueError(
+                f"bisection_factor must be in (0, 1], got {self.bisection_factor}"
+            )
+
+    def p2p_time(self, nbytes: float) -> float:
+        """Seconds to send ``nbytes`` point-to-point."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def broadcast_time(self, nbytes: float, n_ranks: int) -> float:
+        """Binomial-tree broadcast: ``ceil(log2 P)`` p2p stages."""
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if n_ranks == 1:
+            return 0.0
+        stages = int(np.ceil(np.log2(n_ranks)))
+        return stages * self.p2p_time(nbytes)
+
+    def allreduce_time(self, nbytes: float, n_ranks: int) -> float:
+        """Recursive-doubling allreduce: ``ceil(log2 P)`` exchange stages."""
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if n_ranks == 1:
+            return 0.0
+        stages = int(np.ceil(np.log2(n_ranks)))
+        return stages * self.p2p_time(nbytes)
+
+    def alltoall_time(self, nbytes_per_pair: float, n_ranks: int) -> float:
+        """All-to-all under bisection pressure."""
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if n_ranks == 1:
+            return 0.0
+        total = nbytes_per_pair * n_ranks
+        effective_bw = self.bandwidth * self.bisection_factor
+        return self.latency * (n_ranks - 1) + total / effective_bw

@@ -1,0 +1,66 @@
+"""Compute node model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of a node in the simulated cluster."""
+
+    HEALTHY = "healthy"
+    FAILED = "failed"
+    #: Held in the spare pool, not running application processes.
+    SPARE = "spare"
+
+
+@dataclass
+class Node:
+    """One compute node.
+
+    Attributes
+    ----------
+    node_id:
+        Unique id within the cluster.
+    cores:
+        Cores per node (the paper's Fusion nodes have 8).
+    local_bandwidth:
+        Sequential write bandwidth of the node-local storage device in
+        bytes/second (SSD or NVDIMM; the paper highlights NVDRAM as the
+        technology widening the local-vs-PFS gap).
+    rack:
+        Rack (failure-domain) index; nodes sharing a rack can fail together
+        when a switch or power board dies.
+    state:
+        Current :class:`NodeState`.
+    """
+
+    node_id: int
+    cores: int = 8
+    local_bandwidth: float = 500e6
+    rack: int = 0
+    state: NodeState = field(default=NodeState.HEALTHY)
+
+    def __post_init__(self):
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {self.node_id}")
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.local_bandwidth <= 0:
+            raise ValueError(
+                f"local_bandwidth must be positive, got {self.local_bandwidth}"
+            )
+
+    @property
+    def is_healthy(self) -> bool:
+        """True while the node can run application processes."""
+        return self.state == NodeState.HEALTHY
+
+    def fail(self) -> None:
+        """Mark the node failed; idempotent."""
+        self.state = NodeState.FAILED
+
+    def repair(self) -> None:
+        """Return the node to service (post-allocation replacement)."""
+        self.state = NodeState.HEALTHY

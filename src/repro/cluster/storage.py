@@ -1,0 +1,172 @@
+"""Storage hierarchy: per-level checkpoint/recovery timing from device models.
+
+This is the physical model beneath Table II.  Each FTI level maps to a
+storage path:
+
+* **Level 1 (local)** — every process writes its checkpoint to the
+  node-local device; processes on a node share its bandwidth.
+* **Level 2 (partner copy)** — level-1 write plus a network transfer of the
+  copy to the ring partner and the partner's local write.
+* **Level 3 (RS encoding)** — level-1 write plus Reed-Solomon encoding
+  compute and the intra-group parity exchange.
+* **Level 4 (PFS)** — all processes write through the parallel file system;
+  the aggregate PFS bandwidth is shared, so the time grows linearly with
+  the number of writers (plus a per-file metadata cost), which is exactly
+  the ``alpha_4 > 0`` behaviour in Table II.  Setting
+  ``contention=False`` models a Blue-Waters-class PFS whose delivered
+  bandwidth scales with the writers (Table IV's constant-PFS scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import NetworkModel
+
+
+@dataclass(frozen=True)
+class LocalStoreModel:
+    """Node-local storage device shared by the node's processes."""
+
+    bandwidth: float = 500e6
+    base_latency: float = 0.05
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.base_latency < 0:
+            raise ValueError(f"base_latency must be >= 0, got {self.base_latency}")
+
+    def write_time(self, bytes_per_process: float, procs_per_node: int) -> float:
+        """Seconds for all of a node's processes to write locally."""
+        if bytes_per_process < 0:
+            raise ValueError(f"bytes_per_process must be >= 0, got {bytes_per_process}")
+        if procs_per_node < 1:
+            raise ValueError(f"procs_per_node must be >= 1, got {procs_per_node}")
+        return self.base_latency + bytes_per_process * procs_per_node / self.bandwidth
+
+
+@dataclass(frozen=True)
+class PFSModel:
+    """Parallel file system with shared aggregate bandwidth.
+
+    ``aggregate_bandwidth`` is the delivered write bandwidth shared by all
+    writers; ``metadata_cost`` is charged once per file create on the
+    metadata server (serialized).  With ``contention=True`` total write time
+    grows linearly in the number of writers — the Table II PFS behaviour.
+    With ``contention=False`` the PFS delivers ``per_client_bandwidth`` to
+    each writer independently (ideal scale-out), giving constant checkpoint
+    cost (Table IV scenario).
+    """
+
+    aggregate_bandwidth: float = 2.4e9
+    metadata_cost: float = 2e-6
+    base_latency: float = 5.0
+    contention: bool = True
+    per_client_bandwidth: float = 50e6
+
+    def __post_init__(self):
+        if self.aggregate_bandwidth <= 0:
+            raise ValueError(
+                f"aggregate_bandwidth must be positive, got {self.aggregate_bandwidth}"
+            )
+        if self.metadata_cost < 0:
+            raise ValueError(f"metadata_cost must be >= 0, got {self.metadata_cost}")
+        if self.base_latency < 0:
+            raise ValueError(f"base_latency must be >= 0, got {self.base_latency}")
+        if self.per_client_bandwidth <= 0:
+            raise ValueError(
+                f"per_client_bandwidth must be positive, got {self.per_client_bandwidth}"
+            )
+
+    def write_time(self, bytes_per_process: float, n_processes: int) -> float:
+        """Seconds for ``n_processes`` writers to checkpoint to the PFS."""
+        if bytes_per_process < 0:
+            raise ValueError(f"bytes_per_process must be >= 0, got {bytes_per_process}")
+        if n_processes < 1:
+            raise ValueError(f"n_processes must be >= 1, got {n_processes}")
+        meta = self.metadata_cost * n_processes
+        if self.contention:
+            return (
+                self.base_latency
+                + meta
+                + bytes_per_process * n_processes / self.aggregate_bandwidth
+            )
+        return self.base_latency + meta + bytes_per_process / self.per_client_bandwidth
+
+
+@dataclass(frozen=True)
+class StorageHierarchy:
+    """All four storage paths bound to one interconnect.
+
+    ``checkpoint_time(level, ...)`` gives the time to take a checkpoint at
+    that level at a given scale — the physical source of the Table II rows.
+    Recovery reads run the same paths in reverse and are modelled with the
+    same costs (the paper's default R_i ~ C_i).
+    """
+
+    local: LocalStoreModel = LocalStoreModel()
+    network: NetworkModel = NetworkModel()
+    pfs: PFSModel = PFSModel()
+    #: Reed-Solomon encode throughput per node, bytes/second (GF(256) math).
+    rs_encode_bandwidth: float = 300e6
+    #: Fixed software overhead per level (hashing, metadata, FTI bookkeeping).
+    software_overhead: tuple[float, float, float, float] = (0.3, 1.0, 1.0, 0.0)
+
+    def __post_init__(self):
+        if self.rs_encode_bandwidth <= 0:
+            raise ValueError(
+                f"rs_encode_bandwidth must be positive, got {self.rs_encode_bandwidth}"
+            )
+        if len(self.software_overhead) != 4:
+            raise ValueError(
+                f"software_overhead needs 4 entries, got {len(self.software_overhead)}"
+            )
+        if any(o < 0 for o in self.software_overhead):
+            raise ValueError(
+                f"software overheads must be >= 0, got {self.software_overhead}"
+            )
+
+    def checkpoint_time(
+        self,
+        level: int,
+        bytes_per_process: float,
+        n_processes: int,
+        procs_per_node: int,
+    ) -> float:
+        """Seconds to take one checkpoint at ``level`` (1-4) at this scale."""
+        if not 1 <= level <= 4:
+            raise ValueError(f"level must be in [1, 4], got {level}")
+        if n_processes < 1:
+            raise ValueError(f"n_processes must be >= 1, got {n_processes}")
+        if procs_per_node < 1:
+            raise ValueError(f"procs_per_node must be >= 1, got {procs_per_node}")
+        overhead = self.software_overhead[level - 1]
+        local_write = self.local.write_time(bytes_per_process, procs_per_node)
+        node_bytes = bytes_per_process * procs_per_node
+        if level == 1:
+            return overhead + local_write
+        if level == 2:
+            transfer = self.network.p2p_time(node_bytes)
+            partner_write = self.local.write_time(bytes_per_process, procs_per_node)
+            return overhead + local_write + transfer + partner_write
+        if level == 3:
+            encode = node_bytes / self.rs_encode_bandwidth
+            exchange = self.network.p2p_time(node_bytes)
+            parity_write = self.local.write_time(bytes_per_process, procs_per_node)
+            return overhead + local_write + encode + exchange + parity_write
+        return overhead + self.pfs.write_time(bytes_per_process, n_processes)
+
+    def recovery_time(
+        self,
+        level: int,
+        bytes_per_process: float,
+        n_processes: int,
+        procs_per_node: int,
+    ) -> float:
+        """Seconds to restore from a level-``level`` checkpoint.
+
+        Reads mirror the write paths; level 3 additionally pays the RS
+        decode, which costs the same GF(256) arithmetic as the encode.
+        """
+        return self.checkpoint_time(level, bytes_per_process, n_processes, procs_per_node)

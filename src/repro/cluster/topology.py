@@ -1,0 +1,162 @@
+"""Cluster topology: nodes, racks, and the partner-copy mapping.
+
+FTI's level-2 (partner-copy) protection stores each node's checkpoint on a
+*partner* node; recovery succeeds as long as no node and its partner fail in
+the same correlated window.  The standard mapping — used by FTI and
+reproduced here — is a ring: node ``k`` partners with node ``(k + 1) % M``.
+
+The topology also assigns nodes to racks (shared switch/power failure
+domains, paper footnote 1) and to RS-encoding groups for level 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.cluster.node import Node, NodeState
+
+
+@dataclass
+class ClusterTopology:
+    """A cluster of homogeneous nodes with ring partners and rack domains.
+
+    Parameters
+    ----------
+    num_nodes:
+        Compute nodes available to the application.
+    cores_per_node:
+        Cores per node.
+    nodes_per_rack:
+        Rack (failure domain) width.
+    rs_group_size:
+        Nodes per Reed-Solomon encoding group (level 3); each group can
+        tolerate ``rs_parity`` simultaneous node losses.
+    rs_parity:
+        Parity blocks per RS group.
+    local_bandwidth:
+        Node-local storage write bandwidth (bytes/s).
+    spare_nodes:
+        Extra nodes kept aside for failure replacement.
+    """
+
+    num_nodes: int
+    cores_per_node: int = 8
+    nodes_per_rack: int = 16
+    rs_group_size: int = 8
+    rs_parity: int = 2
+    local_bandwidth: float = 500e6
+    spare_nodes: int = 0
+    nodes: list[Node] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.nodes_per_rack < 1:
+            raise ValueError(
+                f"nodes_per_rack must be >= 1, got {self.nodes_per_rack}"
+            )
+        if self.rs_group_size < 2:
+            raise ValueError(
+                f"rs_group_size must be >= 2, got {self.rs_group_size}"
+            )
+        if not 1 <= self.rs_parity < self.rs_group_size:
+            raise ValueError(
+                f"rs_parity must be in [1, rs_group_size), got {self.rs_parity}"
+            )
+        if self.spare_nodes < 0:
+            raise ValueError(f"spare_nodes must be >= 0, got {self.spare_nodes}")
+        self.nodes = [
+            Node(
+                node_id=i,
+                cores=self.cores_per_node,
+                local_bandwidth=self.local_bandwidth,
+                rack=i // self.nodes_per_rack,
+                state=NodeState.HEALTHY if i < self.num_nodes else NodeState.SPARE,
+            )
+            for i in range(self.num_nodes + self.spare_nodes)
+        ]
+
+    @property
+    def total_cores(self) -> int:
+        """Cores across active (non-spare) nodes."""
+        return self.num_nodes * self.cores_per_node
+
+    def partner_of(self, node_id: int) -> int:
+        """Ring partner: node ``(k + 1) % num_nodes``."""
+        self._check_active(node_id)
+        return (node_id + 1) % self.num_nodes
+
+    def rs_group_of(self, node_id: int) -> int:
+        """RS-encoding group index of a node."""
+        self._check_active(node_id)
+        return node_id // self.rs_group_size
+
+    def rack_of(self, node_id: int) -> int:
+        """Rack (failure-domain) index of a node."""
+        self._check_active(node_id)
+        return self.nodes[node_id].rack
+
+    def rs_group_members(self, group: int) -> list[int]:
+        """Node ids in RS group ``group`` (last group may be short)."""
+        start = group * self.rs_group_size
+        if start >= self.num_nodes or group < 0:
+            raise ValueError(f"no such RS group: {group}")
+        return list(range(start, min(start + self.rs_group_size, self.num_nodes)))
+
+    def rack_members(self, rack: int) -> list[int]:
+        """Node ids in rack ``rack``."""
+        members = [n.node_id for n in self.nodes[: self.num_nodes] if n.rack == rack]
+        if not members:
+            raise ValueError(f"no such rack: {rack}")
+        return members
+
+    def partner_survives(self, failed: Iterable[int]) -> bool:
+        """Whether partner-copy (level 2) can recover from losing ``failed``.
+
+        Recovery fails iff some failed node's partner also failed — then
+        both copies of that node's checkpoint are gone.
+        """
+        failed_set = self._validated_set(failed)
+        return all(self.partner_of(f) not in failed_set for f in failed_set)
+
+    def rs_survives(self, failed: Iterable[int]) -> bool:
+        """Whether RS encoding (level 3) can recover from losing ``failed``.
+
+        Each RS group tolerates at most ``rs_parity`` simultaneous losses.
+        """
+        failed_set = self._validated_set(failed)
+        per_group: dict[int, int] = {}
+        for f in failed_set:
+            g = self.rs_group_of(f)
+            per_group[g] = per_group.get(g, 0) + 1
+        return all(count <= self.rs_parity for count in per_group.values())
+
+    def lowest_recovery_level(self, failed: Iterable[int]) -> int:
+        """Cheapest level that recovers a simultaneous loss of ``failed``.
+
+        Returns 1 for an empty set (software error: local restart works),
+        2 when partners survive, 3 when RS groups survive, else 4 (PFS).
+        This is the level-classification rule of FTI that maps hardware
+        failure patterns onto the paper's checkpoint levels.
+        """
+        failed_set = self._validated_set(failed)
+        if not failed_set:
+            return 1
+        if self.partner_survives(failed_set):
+            return 2
+        if self.rs_survives(failed_set):
+            return 3
+        return 4
+
+    def _validated_set(self, failed: Iterable[int]) -> set[int]:
+        failed_set = set(failed)
+        for f in failed_set:
+            self._check_active(f)
+        return failed_set
+
+    def _check_active(self, node_id: int) -> None:
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(
+                f"node_id {node_id} outside active range [0, {self.num_nodes})"
+            )

@@ -1,0 +1,122 @@
+"""The paper's core contribution: multilevel checkpoint-model optimization.
+
+Modules
+-------
+``notation``
+    Parameter and solution dataclasses mirroring Table I.
+``wallclock``
+    The expected-wall-clock model: rollback loss (Formula 18), the
+    multilevel objective (Formula 21), the self-consistent single-level
+    closed form (Formula 6).
+``convexity``
+    Numerical convexity probes behind the Section III-A difficulty analysis.
+``single_level``
+    Single-level optimizers: closed form for linear speedup (Formulas
+    10/11) and the fixed-point/bisection method for nonlinear speedup
+    (Formulas 16/17).
+``multilevel``
+    The inner convex solver for all levels + scale (Formulas 23/24 with
+    Young-formula initialization, Formula 25).
+``algorithm1``
+    The outer mu-iteration (Algorithm 1) that removes the
+    fixed-failure-count condition.
+``young`` / ``daly``
+    Classic checkpoint-interval baselines.
+``jin``
+    The Jin et al. single-level interval+scale baseline (SL(opt-scale)).
+``solutions``
+    The four named strategies of the evaluation behind one interface.
+"""
+
+from repro.core.notation import ModelParameters, Solution
+from repro.core.wallclock import (
+    expected_rollback_loss,
+    expected_wallclock,
+    self_consistent_wallclock,
+    single_level_wallclock,
+    time_portions,
+)
+from repro.core.convexity import (
+    hessian_2d,
+    is_locally_convex,
+    nonconvexity_witness,
+)
+from repro.core.single_level import (
+    SingleLevelSolution,
+    solve_single_level_linear,
+    solve_single_level_nonlinear,
+)
+from repro.core.multilevel import (
+    MultilevelInnerSolution,
+    optimize_intervals_fixed_scale,
+    solve_inner,
+)
+from repro.core.algorithm1 import Algorithm1Result, optimize as algorithm1_optimize
+from repro.core.young import (
+    young_interval,
+    young_num_intervals,
+    young_initial_intervals,
+)
+from repro.core.daly import daly_interval
+from repro.core.corrections import (
+    RetryAwareCost,
+    corrected_parameters,
+    corrected_wallclock,
+    effective_cost,
+)
+from repro.core.jin import solve_jin_single_level
+from repro.core.selection import (
+    LevelSelectionResult,
+    optimize_level_selection,
+    reduce_parameters,
+)
+from repro.core.sensitivity import SensitivityEntry, sensitivity_report
+from repro.core.solutions import (
+    STRATEGY_NAMES,
+    compare_all_strategies,
+    ml_opt_scale,
+    ml_ori_scale,
+    sl_opt_scale,
+    sl_ori_scale,
+)
+
+__all__ = [
+    "ModelParameters",
+    "Solution",
+    "expected_rollback_loss",
+    "expected_wallclock",
+    "self_consistent_wallclock",
+    "single_level_wallclock",
+    "time_portions",
+    "hessian_2d",
+    "is_locally_convex",
+    "nonconvexity_witness",
+    "SingleLevelSolution",
+    "solve_single_level_linear",
+    "solve_single_level_nonlinear",
+    "MultilevelInnerSolution",
+    "optimize_intervals_fixed_scale",
+    "solve_inner",
+    "Algorithm1Result",
+    "algorithm1_optimize",
+    "young_interval",
+    "young_num_intervals",
+    "young_initial_intervals",
+    "daly_interval",
+    "solve_jin_single_level",
+    "RetryAwareCost",
+    "corrected_parameters",
+    "corrected_wallclock",
+    "effective_cost",
+    "LevelSelectionResult",
+    "optimize_level_selection",
+    "reduce_parameters",
+    "SensitivityEntry",
+    "sensitivity_report",
+    "STRATEGY_NAMES",
+    "compare_all_strategies",
+    "ml_opt_scale",
+    "ml_ori_scale",
+    "sl_opt_scale",
+    "sl_ori_scale",
+]

@@ -1,0 +1,144 @@
+"""Retry-aware second-order correction to the checkpoint model.
+
+The first-order model (Formula 21) prices every scheduled checkpoint at its
+nominal cost ``C_i``.  In the simulator (and in reality) a failure striking
+*during* a checkpoint aborts it: the partial cost is paid and the
+checkpoint re-attempted after recovery.  With failures arriving at total
+rate ``Lambda``, the expected total time to push an operation of length
+``c`` through to completion under restart-on-interrupt is the classic
+exponential-interruption result
+
+``c_eff = (e^(Lambda c) - 1) / Lambda``    (-> ``c`` as ``Lambda -> 0``),
+
+which grows explosively once ``c`` approaches ``1 / Lambda`` — exactly the
+regime where the full-scale baselines' PFS checkpoints (hours at 10^6
+cores) become unserviceable, a behaviour the first-order model misses
+entirely (THEORY.md §8).
+
+This module substitutes ``c_eff`` for every checkpoint and recovery cost,
+yielding:
+
+* :func:`effective_cost` — the correction itself;
+* :class:`RetryAwareCost` — a cost-model wrapper evaluating
+  ``c_eff(N)`` with the scale-dependent total failure rate folded in
+  (drop-in compatible with :class:`~repro.costs.model.LevelCostModel`);
+* :func:`corrected_parameters` — a :class:`ModelParameters` clone whose
+  costs are retry-aware, so **the entire solver stack (Algorithm 1, level
+  selection, ...) runs unchanged on the corrected model**;
+* :func:`corrected_wallclock` — corrected self-consistent ``E(T_w)`` for a
+  given configuration.
+
+Bracketing property (tested in ``tests/core/test_corrections.py`` and
+quantified by ``benchmarks/test_bench_extensions.py``): the first-order
+model is a *lower* bound on the simulated mean (it ignores retries
+entirely) while the corrected model is an *upper* bound (it prices every
+attempt as restarting from scratch, whereas the simulator usually resumes
+from a nearby lower-level checkpoint), so
+
+``E_plain <= E_simulated <= E_corrected``.
+
+More importantly, **optimizing against the corrected objective produces
+configurations that simulate faster than the paper's first-order optimum**
+on failure-heavy settings — the correction steers the solver away from the
+checkpoint-thrashing regime the first-order model cannot see.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.notation import ModelParameters
+from repro.core.wallclock import self_consistent_wallclock
+from repro.costs.model import CostModel, LevelCostModel
+
+
+def effective_cost(cost: float, total_rate_per_second: float) -> float:
+    """Expected completion time of a ``cost``-second operation that restarts
+    whenever a failure (rate ``total_rate_per_second``) interrupts it."""
+    if cost < 0:
+        raise ValueError(f"cost must be >= 0, got {cost}")
+    if total_rate_per_second < 0:
+        raise ValueError(
+            f"rate must be >= 0, got {total_rate_per_second}"
+        )
+    if cost == 0.0 or total_rate_per_second == 0.0:
+        return cost
+    exponent = total_rate_per_second * cost
+    if exponent > 700.0:  # exp overflow: effectively never completes
+        return math.inf
+    return math.expm1(exponent) / total_rate_per_second
+
+
+class RetryAwareCost:
+    """Cost model wrapper: ``c_eff(N) = expm1(Lambda(N) c(N)) / Lambda(N)``.
+
+    Duck-type compatible with :class:`~repro.costs.model.CostModel`
+    (callable + ``derivative``); the derivative is computed by central
+    finite differences because ``Lambda(N)`` makes the closed form messy
+    while the solvers only need a consistent gradient.
+    """
+
+    def __init__(self, base: CostModel, params: ModelParameters):
+        self._base = base
+        self._rates = params.rates
+        #: Forwarded so LevelCostModel consumers can introspect.
+        self.constant = base.constant
+        self.coefficient = base.coefficient
+        self.baseline = base.baseline
+
+    def _total_rate(self, n: float) -> float:
+        return float(np.sum(self._rates.rates_per_second(n)))
+
+    def __call__(self, n):
+        n_arr = np.atleast_1d(np.asarray(n, dtype=float))
+        out = np.array(
+            [
+                effective_cost(float(self._base(v)), self._total_rate(v))
+                for v in n_arr
+            ]
+        )
+        if np.isscalar(n) or np.asarray(n).ndim == 0:
+            return float(out[0])
+        return out
+
+    def derivative(self, n):
+        n_arr = np.atleast_1d(np.asarray(n, dtype=float))
+        out = np.empty(n_arr.shape)
+        for i, v in enumerate(n_arr):
+            h = max(abs(v), 1.0) * 1e-5
+            lo = max(v - h, 1e-9)
+            out[i] = (self(v + h) - self(lo)) / (v + h - lo)
+        if np.isscalar(n) or np.asarray(n).ndim == 0:
+            return float(out[0])
+        return out
+
+    def is_constant(self) -> bool:
+        """Never constant: the effective cost grows with the scale through
+        the failure rate even when the base cost is flat."""
+        return False
+
+
+def corrected_parameters(params: ModelParameters) -> ModelParameters:
+    """Clone ``params`` with retry-aware checkpoint *and* recovery costs."""
+    costs = LevelCostModel(
+        checkpoint=tuple(
+            RetryAwareCost(c, params) for c in params.costs.checkpoint
+        ),
+        recovery=tuple(RetryAwareCost(r, params) for r in params.costs.recovery),
+    )
+    return replace(params, costs=costs)
+
+
+def corrected_wallclock(
+    params: ModelParameters, x, n: float
+) -> tuple[float, np.ndarray]:
+    """Retry-aware self-consistent ``E(T_w)`` for one configuration.
+
+    Raises ``ValueError`` when even the corrected model cannot complete
+    (loss per second >= 1 — e.g. full-scale PFS checkpointing at the
+    paper's harsh rates).
+    """
+    return self_consistent_wallclock(corrected_parameters(params), x, n)

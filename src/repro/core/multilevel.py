@@ -1,0 +1,202 @@
+"""Inner solver of the multilevel model (Formulas 23/24, Section III-D).
+
+Under the Algorithm-1 condition ``mu_i(N) = b_i N`` the objective
+(Formula 21) is convex in each variable, and the first-order conditions
+form the system of Formulas (23) (one per level) and (24).  Direct solution
+is impractical ("extremely complicated equation"), so the paper uses fixed-
+point iteration:
+
+* the level equations rearrange into the explicit update
+
+  ``x_i <- sqrt( mu_i (T_e/g + sum_{j<i} C_j x_j)
+  / (2 C_i (1 + 1/2 sum_{j>i} mu_j / x_j)) )``
+
+  swept Gauss-Seidel style (each level sees its predecessors' fresh
+  values — the ablation bench compares Jacobi sweeps);
+
+* the scale equation (24) is solved by bisection over
+  ``[min_scale, N^(*)]``; with no interior root the optimum sits on the
+  boundary.
+
+Initialization is per-level Young (Formula 25).  The solver also powers
+the fixed-scale variant (the paper's previous work [22], the ML(ori-scale)
+baseline) by simply skipping the scale update.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.notation import ModelParameters
+from repro.core.wallclock import (
+    expected_wallclock,
+    wallclock_gradient_n,
+)
+from repro.core.young import young_initial_intervals
+from repro.util.iteration import FixedPointDiverged, bisect_root, relative_change
+
+
+@dataclass(frozen=True)
+class MultilevelInnerSolution:
+    """Optimum of the inner (frozen-mu) multilevel problem.
+
+    Attributes
+    ----------
+    intervals:
+        Optimal ``(x_1, ..., x_L)``.
+    scale:
+        Optimal ``N`` (continuous relaxation).
+    expected_wallclock:
+        Objective (Formula 21) at the optimum with ``mu_i = b_i N``.
+    mu:
+        The failure counts at the solution scale.
+    iterations:
+        Fixed-point sweeps used.
+    boundary:
+        True when the scale landed on a bound rather than an interior root.
+    """
+
+    intervals: tuple[float, ...]
+    scale: float
+    expected_wallclock: float
+    mu: tuple[float, ...]
+    iterations: int
+    boundary: bool
+
+
+def _sweep_intervals(
+    params: ModelParameters,
+    x: np.ndarray,
+    n: float,
+    b: np.ndarray,
+    *,
+    gauss_seidel: bool = True,
+) -> np.ndarray:
+    """One sweep of the Formula (23) fixed-point updates over all levels."""
+    mu = b * n
+    f = params.productive_time(n)
+    costs = params.costs.checkpoint_costs(n)
+    levels = params.num_levels
+    current = x.copy()
+    source = current if gauss_seidel else x
+    for i in range(levels):
+        below = float(np.sum(costs[:i] * source[:i]))
+        above = float(np.sum(mu[i + 1 :] / source[i + 1 :]))
+        denom = 2.0 * costs[i] * (1.0 + 0.5 * above)
+        value = mu[i] * (f + below) / denom
+        current[i] = max(1.0, math.sqrt(max(value, 0.0)))
+    return current
+
+
+def _solve_scale(
+    params: ModelParameters, x: np.ndarray, n_prev: float, b: np.ndarray
+) -> tuple[float, bool]:
+    """Solve Formula (24) for ``N`` by bisection; returns ``(N, boundary)``."""
+    lo = params.min_scale
+    hi = params.scale_upper_bound
+    deriv = lambda nn: wallclock_gradient_n(params, x, nn, b)
+    d_hi = deriv(hi)
+    if d_hi <= 0:
+        return hi, True
+    d_lo = deriv(lo)
+    if d_lo >= 0:
+        return lo, True
+    root, _ = bisect_root(deriv, lo, hi, xtol=0.5)
+    return root, False
+
+
+def solve_inner(
+    params: ModelParameters,
+    b,
+    *,
+    x0=None,
+    n0: float | None = None,
+    fixed_scale: float | None = None,
+    tol: float = 1e-8,
+    max_iter: int = 1000,
+    gauss_seidel: bool = True,
+) -> MultilevelInnerSolution:
+    """Solve the frozen-mu multilevel problem (Algorithm 1, line 5).
+
+    Parameters
+    ----------
+    params:
+        Model parameters.
+    b:
+        Per-core expected failure counts (``mu_i = b_i N``), from
+        :meth:`ModelParameters.failure_slope`.
+    x0:
+        Initial interval counts; default per-level Young (Formula 25).
+    n0:
+        Initial scale; default the upper bound ``N^(*)``.
+    fixed_scale:
+        When given, ``N`` is pinned (the ML(ori-scale)/[22] behaviour) and
+        only the interval system (23) is iterated.
+    gauss_seidel:
+        Sweep style for the interval updates (False = Jacobi; ablation).
+    """
+    b_arr = np.asarray(b, dtype=float)
+    if b_arr.size != params.num_levels:
+        raise ValueError(f"{b_arr.size} b values for {params.num_levels} levels")
+    if np.any(b_arr < 0):
+        raise ValueError(f"b must be non-negative, got {b_arr}")
+    if fixed_scale is not None:
+        if not params.min_scale <= fixed_scale <= params.scale_upper_bound:
+            raise ValueError(
+                f"fixed_scale {fixed_scale} outside "
+                f"[{params.min_scale}, {params.scale_upper_bound}]"
+            )
+        n = float(fixed_scale)
+    else:
+        n = float(n0) if n0 is not None else params.scale_upper_bound
+    if x0 is None:
+        x = young_initial_intervals(params, n, b_arr * n)
+    else:
+        x = np.asarray(x0, dtype=float).copy()
+        if x.size != params.num_levels:
+            raise ValueError(f"x0 has {x.size} entries for {params.num_levels} levels")
+        if np.any(x <= 0):
+            raise ValueError(f"x0 must be positive, got {x}")
+
+    boundary = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        x_new = _sweep_intervals(params, x, n, b_arr, gauss_seidel=gauss_seidel)
+        if fixed_scale is None:
+            n_new, boundary = _solve_scale(params, x_new, n, b_arr)
+        else:
+            n_new = n
+        residual = max(
+            relative_change(x_new, x), abs(n_new - n) / max(abs(n), 1.0)
+        )
+        x, n = x_new, n_new
+        if residual <= tol:
+            break
+    else:
+        raise FixedPointDiverged(
+            f"inner multilevel fixed point did not converge in {max_iter} sweeps",
+            last_value=(x, n),
+        )
+    mu = b_arr * n
+    value = expected_wallclock(params, x, n, mu)
+    return MultilevelInnerSolution(
+        intervals=tuple(float(v) for v in x),
+        scale=float(n),
+        expected_wallclock=float(value),
+        mu=tuple(float(m) for m in mu),
+        iterations=iterations,
+        boundary=boundary,
+    )
+
+
+def optimize_intervals_fixed_scale(
+    params: ModelParameters,
+    b,
+    scale: float,
+    **kwargs,
+) -> MultilevelInnerSolution:
+    """Optimize intervals only, at a pinned scale (previous work [22])."""
+    return solve_inner(params, b, fixed_scale=scale, **kwargs)

@@ -1,0 +1,209 @@
+"""Parameter and solution objects mirroring the paper's Table I.
+
+:class:`ModelParameters` bundles everything the optimization consumes —
+``T_e``, ``g(N)``, ``C_i(N)``/``R_i(N)``, the per-level failure rates, and
+the allocation period ``A`` — with consistency checks (equal level counts
+everywhere).  :class:`Solution` is the common result type all solvers and
+baselines return.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.costs.model import LevelCostModel
+from repro.failures.rates import FailureRates
+from repro.speedup.base import SpeedupModel
+from repro.util.units import core_days_to_core_seconds
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Inputs to the multilevel checkpoint optimization (Table I).
+
+    Parameters
+    ----------
+    te_core_seconds:
+        Single-core productive time ``T_e`` (core-seconds).
+    speedup:
+        Speedup model ``g(N)``.
+    costs:
+        Per-level checkpoint/recovery cost models (Formulas 19/20).
+    rates:
+        Per-level failure rates scaled to the baseline ``N_b``.
+    allocation_period:
+        The constant resource-allocation period ``A`` (seconds).
+    min_scale:
+        Lower bound for the scale search (cores).
+    max_scale:
+        Upper bound; defaults to the speedup model's ideal scale
+        ``N^(*)`` (the checkpointed optimum can never exceed it).
+    """
+
+    te_core_seconds: float
+    speedup: SpeedupModel
+    costs: LevelCostModel
+    rates: FailureRates
+    allocation_period: float = 60.0
+    min_scale: float = 1.0
+    max_scale: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.te_core_seconds > 0:
+            raise ValueError(
+                f"te_core_seconds must be positive, got {self.te_core_seconds}"
+            )
+        if self.costs.num_levels != self.rates.num_levels:
+            raise ValueError(
+                f"cost model has {self.costs.num_levels} levels but failure "
+                f"rates have {self.rates.num_levels}"
+            )
+        if self.allocation_period < 0:
+            raise ValueError(
+                f"allocation_period must be >= 0, got {self.allocation_period}"
+            )
+        if not self.min_scale > 0:
+            raise ValueError(f"min_scale must be positive, got {self.min_scale}")
+        bound = self.scale_upper_bound
+        if not math.isfinite(bound):
+            raise ValueError(
+                "an explicit max_scale is required when the speedup model has "
+                "no finite ideal scale (e.g. LinearSpeedup without max_scale)"
+            )
+        if self.min_scale >= bound:
+            raise ValueError(
+                f"min_scale {self.min_scale} must be < the scale upper bound {bound}"
+            )
+
+    @property
+    def num_levels(self) -> int:
+        """``L`` — number of checkpoint levels."""
+        return self.costs.num_levels
+
+    @property
+    def scale_upper_bound(self) -> float:
+        """``N^(*)`` or the explicit cap, whichever binds."""
+        ideal = self.speedup.ideal_scale
+        if self.max_scale is None:
+            return ideal
+        return min(self.max_scale, ideal)
+
+    def productive_time(self, n: float) -> float:
+        """``f(T_e, N) = T_e / g(N)`` in seconds."""
+        return float(self.speedup.productive_time(self.te_core_seconds, n))
+
+    def failure_slope(self, wallclock_fixed: float) -> np.ndarray:
+        """Per-core expected failures ``b_i`` under the Algorithm-1 condition.
+
+        With the wall-clock length held at ``wallclock_fixed``, the level-i
+        expected failure count becomes ``mu_i(N) = b_i * N`` where
+        ``b_i = (lambda_i at one core) * wallclock_fixed``.
+        """
+        if wallclock_fixed < 0:
+            raise ValueError(
+                f"wallclock_fixed must be >= 0, got {wallclock_fixed}"
+            )
+        return self.rates.rate_derivatives_per_second(1.0) * wallclock_fixed
+
+    def single_level(self) -> "ModelParameters":
+        """Collapse to the single-level (PFS-only) variant.
+
+        Keeps only the top level's costs and routes the *total* failure rate
+        to it — in a single-level model every failure forces a rollback to
+        the PFS checkpoint.  Used by the SL baselines.
+        """
+        return replace(
+            self,
+            costs=self.costs.single_level(self.num_levels),
+            rates=self.rates.single_level(),
+        )
+
+    @classmethod
+    def from_core_days(
+        cls, te_core_days: float, **kwargs
+    ) -> "ModelParameters":
+        """Construct with ``T_e`` given in core-days (the paper's unit)."""
+        return cls(
+            te_core_seconds=core_days_to_core_seconds(te_core_days), **kwargs
+        )
+
+
+@dataclass(frozen=True)
+class Solution:
+    """A solved checkpoint configuration.
+
+    Attributes
+    ----------
+    intervals:
+        ``(x_1, ..., x_L)`` — checkpoint interval counts per level.
+    scale:
+        ``N`` — number of processes/cores.
+    expected_wallclock:
+        Predicted ``E(T_w)`` in seconds (self-consistent in mu).
+        ``math.inf`` marks an analytically infeasible configuration —
+        expected loss per wall-clock second >= 1, so the linearized model
+        predicts the run never completes (the classic-Young baseline lands
+        here under the paper's harsher settings; the simulator still
+        produces finite, astronomically long runs for it).
+    mu:
+        Per-level expected failure counts at the solution.
+    strategy:
+        Name of the producing strategy (``ml-opt-scale`` etc.).
+    outer_iterations / inner_iterations:
+        Convergence diagnostics (0 when not applicable).
+    """
+
+    intervals: tuple[float, ...]
+    scale: float
+    expected_wallclock: float
+    mu: tuple[float, ...]
+    strategy: str = ""
+    outer_iterations: int = 0
+    inner_iterations: int = 0
+
+    def __post_init__(self):
+        if len(self.intervals) == 0:
+            raise ValueError("at least one interval count is required")
+        if any(x <= 0 for x in self.intervals):
+            raise ValueError(f"interval counts must be positive, got {self.intervals}")
+        if not self.scale > 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if len(self.mu) != len(self.intervals):
+            raise ValueError(
+                f"{len(self.mu)} mu values for {len(self.intervals)} levels"
+            )
+
+    @property
+    def num_levels(self) -> int:
+        """``L`` of this solution."""
+        return len(self.intervals)
+
+    def intervals_rounded(self) -> tuple[int, ...]:
+        """Integer interval counts (at least 1 each) for the simulator."""
+        return tuple(max(1, round(x)) for x in self.intervals)
+
+    def scale_rounded(self) -> int:
+        """Integer core count for the simulator."""
+        return max(1, round(self.scale))
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the model predicts the run completes (finite E(T_w))."""
+        return math.isfinite(self.expected_wallclock)
+
+    def efficiency(self, te_core_seconds: float) -> float:
+        """Processor utilization: wall-clock speedup over cores used.
+
+        ``(T_e / E(T_w)) / N`` — the paper's efficiency indicator (the
+        speedup here counts all overheads, unlike ``g(N)``).  Returns 0 for
+        infeasible (infinite wall-clock) solutions.
+        """
+        if self.expected_wallclock <= 0:
+            raise ValueError("expected_wallclock must be positive")
+        if not self.feasible:
+            return 0.0
+        return (te_core_seconds / self.expected_wallclock) / self.scale

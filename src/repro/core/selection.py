@@ -1,0 +1,136 @@
+"""Checkpoint-level selection (the [22] lineage feature).
+
+The paper's introduction notes its predecessor optimized both "the optimal
+checkpoint intervals for different levels and ... the selection of levels
+for each HPC application".  This module adds that capability on top of
+Algorithm 1: choose the *subset* of checkpoint levels worth enabling.
+
+Semantics of disabling level ``i``: failures classified at level ``i``
+still occur — they simply roll back to the next enabled level above, so the
+disabled level's failure rate is *merged upward*.  The top level (PFS, the
+catch-all) can never be disabled.  With ``L`` levels there are ``2^(L-1)``
+admissible subsets; each is solved with Algorithm 1 and the best expected
+wall-clock wins.  For FTI's ``L = 4`` this is 8 solves — cheap, and the
+exhaustive search is exact.
+
+A level earns its place when its checkpoint cost is low relative to the
+rollback it saves; e.g. with a very cheap level 2 and a barely-cheaper
+level 3, disabling level 3 often wins — the ablation bench quantifies this.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from repro.core.algorithm1 import optimize
+from repro.core.notation import ModelParameters, Solution
+from repro.costs.model import LevelCostModel
+from repro.failures.rates import FailureRates
+from repro.util.iteration import FixedPointDiverged
+
+
+@dataclass(frozen=True)
+class LevelSelectionResult:
+    """Outcome of the exhaustive level-subset search.
+
+    Attributes
+    ----------
+    best_subset:
+        The winning enabled levels (1-based, ascending, always ends at L).
+    solution:
+        The Algorithm 1 solution on the reduced model.  Its ``intervals``
+        align with ``best_subset`` (entry ``k`` is the interval count of
+        level ``best_subset[k]``).
+    per_subset:
+        Expected wall-clock per evaluated subset (``inf`` where the solve
+        was infeasible/diverged).
+    """
+
+    best_subset: tuple[int, ...]
+    solution: Solution
+    per_subset: Mapping[tuple[int, ...], float]
+
+
+def reduce_parameters(
+    params: ModelParameters, subset: Sequence[int]
+) -> ModelParameters:
+    """Project a model onto an enabled-level subset.
+
+    ``subset`` must be ascending 1-based levels including the top level.
+    Disabled levels' failure rates merge into the next enabled level above
+    (their failures roll back there); costs of disabled levels vanish.
+    """
+    levels = list(subset)
+    top = params.num_levels
+    if not levels or levels != sorted(set(levels)):
+        raise ValueError(f"subset must be ascending unique levels, got {subset}")
+    if levels[-1] != top or any(not 1 <= l <= top for l in levels):
+        raise ValueError(
+            f"subset {subset} must be within 1..{top} and include the top "
+            f"level {top} (the catch-all)"
+        )
+    merged_rates = []
+    base = params.rates.per_day_at_baseline
+    for position, level in enumerate(levels):
+        lower_bound = levels[position - 1] if position > 0 else 0
+        merged = sum(base[i] for i in range(lower_bound, level))
+        merged_rates.append(merged)
+    costs = LevelCostModel(
+        checkpoint=tuple(params.costs.checkpoint[l - 1] for l in levels),
+        recovery=tuple(params.costs.recovery[l - 1] for l in levels),
+    )
+    rates = FailureRates(
+        per_day_at_baseline=tuple(merged_rates),
+        baseline_scale=params.rates.baseline_scale,
+    )
+    return replace(params, costs=costs, rates=rates)
+
+
+def optimize_level_selection(
+    params: ModelParameters,
+    *,
+    fixed_scale: float | None = None,
+    **optimize_kwargs,
+) -> LevelSelectionResult:
+    """Exhaustively search level subsets; Algorithm 1 solves each.
+
+    Returns the best subset and its solution.  Subsets whose solve is
+    infeasible (or fails to converge) score ``inf``.
+    """
+    top = params.num_levels
+    per_subset: dict[tuple[int, ...], float] = {}
+    best_subset: tuple[int, ...] | None = None
+    best_solution: Solution | None = None
+    optional = list(range(1, top))
+    for mask in itertools.chain.from_iterable(
+        itertools.combinations(optional, r) for r in range(len(optional) + 1)
+    ):
+        subset = tuple(sorted(mask)) + (top,)
+        reduced = reduce_parameters(params, subset)
+        try:
+            result = optimize(
+                reduced,
+                fixed_scale=fixed_scale,
+                strategy_name=f"ml-opt-scale[levels={subset}]",
+                **optimize_kwargs,
+            )
+        except (FixedPointDiverged, ValueError):
+            per_subset[subset] = float("inf")
+            continue
+        value = result.solution.expected_wallclock
+        per_subset[subset] = value
+        if best_solution is None or value < best_solution.expected_wallclock:
+            best_subset = subset
+            best_solution = result.solution
+    if best_solution is None or best_subset is None:
+        raise FixedPointDiverged(
+            "no level subset produced a feasible solution "
+            "(failure rates are beyond the model's completion regime)"
+        )
+    return LevelSelectionResult(
+        best_subset=best_subset,
+        solution=best_solution,
+        per_subset=per_subset,
+    )

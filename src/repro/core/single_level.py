@@ -1,0 +1,213 @@
+"""Single-level optimizers (Section III-C).
+
+Two solvers:
+
+* :func:`solve_single_level_linear` — the closed forms of Formulas (10)/(11)
+  for linear speedup ``g(N) = kappa N`` with constant costs:
+  ``x* = sqrt(b T_e / (2 kappa eps_0))``,
+  ``N* = sqrt(T_e / (kappa b (eta_0 + A)))``.
+
+* :func:`solve_single_level_nonlinear` — the fixed-point iteration of
+  Formulas (16)/(17) for arbitrary speedup models, with the scale equation
+  solved by bisection over ``(0, N^(*)]`` (the derivative of ``E(T_w)``
+  w.r.t. ``N`` is monotone there; when it has no root the optimum sits at
+  the boundary ``N^(*)`` — "very few failures or small checkpoint overhead"
+  per the paper).  Cost models may vary with ``N`` (the Fig. 3(b)
+  linear-increasing-cost case), generalizing Formula (15) accordingly.
+
+Both treat the expected failure count as ``mu(N) = b N`` (the Algorithm-1
+inner condition); the outer mu-iteration lives in
+:mod:`repro.core.algorithm1`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.notation import ModelParameters
+from repro.core.wallclock import single_level_wallclock
+from repro.util.iteration import bisect_root
+
+
+@dataclass(frozen=True)
+class SingleLevelSolution:
+    """Optimum of the single-level model.
+
+    Attributes
+    ----------
+    x:
+        Optimal number of checkpoint intervals.
+    n:
+        Optimal execution scale (cores; continuous relaxation).
+    expected_wallclock:
+        Objective value at the optimum (Formula 13 with ``mu = b n``).
+    iterations:
+        Fixed-point iterations used (0 for the closed form).
+    boundary:
+        True when the scale optimum landed on ``N^(*)`` (no interior root).
+    """
+
+    x: float
+    n: float
+    expected_wallclock: float
+    iterations: int = 0
+    boundary: bool = False
+
+
+def solve_single_level_linear(
+    te_core_seconds: float,
+    kappa: float,
+    checkpoint_cost: float,
+    recovery_cost: float,
+    allocation_period: float,
+    b: float,
+) -> SingleLevelSolution:
+    """Closed-form optimum for linear speedup — Formulas (10)/(11).
+
+    Parameters mirror Formula (7): ``eps_0 = checkpoint_cost``,
+    ``eta_0 = recovery_cost``, ``A = allocation_period``, and the expected
+    failure count is ``mu(N) = b N``.
+
+    Requires ``b > 0`` and ``eta_0 + A > 0`` (otherwise the scale optimum is
+    unbounded — failures are free, so use all the cores there are).
+    """
+    if te_core_seconds <= 0:
+        raise ValueError(f"te must be positive, got {te_core_seconds}")
+    if kappa <= 0:
+        raise ValueError(f"kappa must be positive, got {kappa}")
+    if checkpoint_cost <= 0:
+        raise ValueError(
+            f"checkpoint_cost must be positive, got {checkpoint_cost}"
+        )
+    if b <= 0:
+        raise ValueError(f"b must be positive, got {b}")
+    if recovery_cost + allocation_period <= 0:
+        raise ValueError(
+            "recovery_cost + allocation_period must be positive, otherwise "
+            "the optimal scale is unbounded for linear speedup"
+        )
+    x_opt = math.sqrt(b * te_core_seconds / (2.0 * kappa * checkpoint_cost))
+    n_opt = math.sqrt(
+        te_core_seconds / (kappa * b * (recovery_cost + allocation_period))
+    )
+    # Formula (7) objective at the optimum.
+    value = (
+        te_core_seconds / (kappa * n_opt)
+        + checkpoint_cost * (x_opt - 1.0)
+        + b
+        * n_opt
+        * (
+            te_core_seconds / (kappa * n_opt) / (2.0 * x_opt)
+            + recovery_cost
+            + allocation_period
+        )
+    )
+    return SingleLevelSolution(
+        x=x_opt, n=n_opt, expected_wallclock=value, iterations=0
+    )
+
+
+def _objective(params: ModelParameters, x: float, n: float, b: float) -> float:
+    """Formula (13) with ``mu = b n``."""
+    return single_level_wallclock(params, x, n, mu=b * n)
+
+
+def _scale_derivative(
+    params: ModelParameters, x: float, n: float, b: float
+) -> float:
+    """d E / dN of Formula (13) — Formula (15) generalized to C(N), R(N)."""
+    te = params.te_core_seconds
+    g = float(params.speedup.speedup(n))
+    g_prime = float(params.speedup.derivative(n))
+    recovery = float(params.costs.recovery_costs(n)[0])
+    cost_prime = float(params.costs.checkpoint_derivatives(n)[0])
+    recovery_prime = float(params.costs.recovery_derivatives(n)[0])
+    return (
+        te * b / (2.0 * x * g)
+        - te * (1.0 + b * n / (2.0 * x)) * g_prime / g**2
+        + cost_prime * (x - 1.0)
+        + b * (recovery + params.allocation_period)
+        + b * n * recovery_prime
+    )
+
+
+def solve_single_level_nonlinear(
+    params: ModelParameters,
+    b: float,
+    *,
+    x0: float = 100_000.0,
+    tol: float = 1e-6,
+    max_iter: int = 500,
+) -> SingleLevelSolution:
+    """Fixed-point solution of Formulas (16)/(17).
+
+    Alternates ``x^(k+1) = sqrt(b N^(k) T_e / (2 eps_0 g(N^(k))))``
+    (Formula 16) with a bisection solve of the scale equation (Formula 17)
+    until the relative change of ``x`` drops below ``tol``.  ``x0`` defaults
+    to the paper's initial value of 100,000.
+
+    ``params`` must be single level; ``b`` is the per-core expected failure
+    count (``mu(N) = b N``).
+    """
+    if params.num_levels != 1:
+        raise ValueError(
+            "solve_single_level_nonlinear needs a 1-level model "
+            "(use params.single_level())"
+        )
+    if b < 0:
+        raise ValueError(f"b must be >= 0, got {b}")
+    if x0 <= 0:
+        raise ValueError(f"x0 must be positive, got {x0}")
+    upper = params.scale_upper_bound
+    lo = params.min_scale
+
+    if b == 0.0:
+        # No failures: never checkpoint (x -> 1), run at the ideal scale.
+        n_opt = upper
+        return SingleLevelSolution(
+            x=1.0,
+            n=n_opt,
+            expected_wallclock=_objective(params, 1.0, n_opt, 0.0),
+            iterations=0,
+            boundary=True,
+        )
+
+    x = float(x0)
+    n = upper
+    boundary = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        te = params.te_core_seconds
+        g_n = float(params.speedup.speedup(n))
+        cost_n = float(params.costs.checkpoint_costs(n)[0])
+        # Formula (16); interval counts below 1 are meaningless (one
+        # interval = zero checkpoints), so floor there.
+        x_new = max(1.0, math.sqrt(b * n * te / (2.0 * cost_n * g_n)))
+
+        deriv = lambda nn: _scale_derivative(params, x_new, nn, b)
+        d_hi = deriv(upper)
+        d_lo = deriv(lo)
+        if d_hi <= 0:
+            n_new = upper  # no interior root: optimum at the ideal scale
+            boundary = True
+        elif d_lo >= 0:
+            n_new = lo  # derivative positive everywhere: smallest scale
+            boundary = True
+        else:
+            n_new, _ = bisect_root(deriv, lo, upper, xtol=0.5)
+            boundary = False
+
+        if abs(x_new - x) <= tol * max(abs(x), 1.0) and abs(n_new - n) <= 0.5:
+            x, n = x_new, n_new
+            break
+        x, n = x_new, n_new
+    return SingleLevelSolution(
+        x=x,
+        n=n,
+        expected_wallclock=_objective(params, x, n, b),
+        iterations=iterations,
+        boundary=boundary,
+    )

@@ -1,0 +1,96 @@
+"""The four strategies of the paper's evaluation (Section IV-A).
+
+* **ML(opt-scale)** — multilevel model, optimized intervals *and* scale
+  (this paper's contribution): Algorithm 1 over all levels.
+* **SL(opt-scale)** — single-level model, optimized intervals and scale
+  (improved Young per Jin et al. [23]).
+* **ML(ori-scale)** — multilevel model, optimized intervals at the original
+  ideal scale ``N^(*)`` (the authors' previous work [22]).
+* **SL(ori-scale)** — single-level model at ``N^(*)`` with Young's formula
+  (classic Young [3]).
+
+Each function returns a :class:`~repro.core.notation.Solution` whose
+``expected_wallclock`` is the *self-consistent* model prediction at the
+chosen configuration, so strategies are compared on an equal footing
+(the simulator provides the empirical comparison).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithm1 import optimize
+from repro.core.jin import solve_jin_single_level
+from repro.core.notation import ModelParameters, Solution
+from repro.core.wallclock import self_consistent_wallclock
+from repro.core.young import young_initial_intervals
+
+STRATEGY_NAMES: tuple[str, ...] = (
+    "ml-opt-scale",
+    "sl-opt-scale",
+    "ml-ori-scale",
+    "sl-ori-scale",
+)
+
+
+def ml_opt_scale(params: ModelParameters, **kwargs) -> Solution:
+    """This paper: multilevel, optimized intervals + optimized scale."""
+    return optimize(params, strategy_name="ml-opt-scale", **kwargs).solution
+
+
+def sl_opt_scale(params: ModelParameters, **kwargs) -> Solution:
+    """Jin et al. [23]: single level, optimized intervals + scale."""
+    return solve_jin_single_level(params, **kwargs).solution
+
+
+def ml_ori_scale(params: ModelParameters, **kwargs) -> Solution:
+    """Previous work [22]: multilevel intervals optimized, scale pinned at
+    the original ideal scale ``N^(*)``."""
+    result = optimize(
+        params,
+        fixed_scale=params.scale_upper_bound,
+        strategy_name="ml-ori-scale",
+        **kwargs,
+    )
+    return result.solution
+
+
+def sl_ori_scale(params: ModelParameters) -> Solution:
+    """Classic Young [3]: single level, scale pinned at ``N^(*)``.
+
+    The interval comes from Formula (25) with the expected failure count
+    taken over the failure-free productive time (Young's first-order
+    treatment ignores the overhead feedback), exactly the paper's
+    characterization of the classic baseline.
+    """
+    collapsed = params.single_level() if params.num_levels > 1 else params
+    n = collapsed.scale_upper_bound
+    productive = collapsed.productive_time(n)
+    mu0 = collapsed.rates.expected_failures(n, productive)
+    x = young_initial_intervals(collapsed, n, mu0)
+    try:
+        wallclock, mu = self_consistent_wallclock(collapsed, x, n)
+    except ValueError:
+        # Expected loss per second >= 1: the linearized model says the run
+        # never completes at this configuration (the paper's SL(ori-scale)
+        # catastrophes, e.g. Table IV's 890-day rows, are this regime).
+        wallclock, mu = float("inf"), mu0
+    return Solution(
+        intervals=tuple(float(v) for v in x),
+        scale=float(n),
+        expected_wallclock=float(wallclock),
+        mu=tuple(float(m) for m in mu),
+        strategy="sl-ori-scale",
+    )
+
+
+def compare_all_strategies(
+    params: ModelParameters, **kwargs
+) -> dict[str, Solution]:
+    """Solve all four strategies; returns ``{strategy_name: Solution}``."""
+    return {
+        "ml-opt-scale": ml_opt_scale(params, **kwargs),
+        "sl-opt-scale": sl_opt_scale(params),
+        "ml-ori-scale": ml_ori_scale(params, **kwargs),
+        "sl-ori-scale": sl_ori_scale(params),
+    }

@@ -1,0 +1,261 @@
+"""The expected-wall-clock model (Formulas 5-7, 13, 18, 21, 22).
+
+Conventions
+-----------
+* ``x`` is the vector of per-level interval counts ``(x_1, ..., x_L)``;
+  ``n`` the execution scale.
+* ``mu`` is the vector of expected failure counts per level.  Two
+  parameterizations appear:
+
+  - **given mu** (the inner convex problem of Algorithm 1): ``mu_i = b_i N``
+    where ``b = params.failure_slope(T_fixed)`` for a frozen wall-clock
+    estimate;
+  - **self-consistent mu**: ``mu_i = lambda_i(N) * E(T_w)`` — Formula (21)
+    is linear in ``mu`` and hence in ``E``, so the fixed point has the
+    closed form ``E = base / (1 - sum_i lambda_i * loss_i)``, the multilevel
+    generalization of Formula (6).
+
+All times are seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.notation import ModelParameters
+
+
+def _validate_xn(params: ModelParameters, x, n: float) -> np.ndarray:
+    x_arr = np.asarray(x, dtype=float)
+    if x_arr.ndim == 0:
+        x_arr = x_arr[None]
+    if x_arr.size != params.num_levels:
+        raise ValueError(
+            f"{x_arr.size} interval counts for {params.num_levels} levels"
+        )
+    if np.any(x_arr <= 0):
+        raise ValueError(f"interval counts must be positive, got {x_arr}")
+    if not n > 0:
+        raise ValueError(f"scale must be positive, got {n}")
+    return x_arr
+
+
+def expected_rollback_loss(
+    params: ModelParameters, x, n: float
+) -> np.ndarray:
+    """Per-level expected rollback loss ``E(Gamma_i)`` — Formula (18).
+
+    ``E(Gamma_i) = f(T_e,N)/(2 x_i) + sum_{k<=i} C_k(N) x_k / (2 x_i)``:
+    half an interval of lost productive work plus the lower-level checkpoint
+    overheads taken (and therefore wasted) during the rolled-back span.
+    Returns the length-``L`` vector.
+    """
+    x_arr = _validate_xn(params, x, n)
+    f = params.productive_time(n)
+    costs = params.costs.checkpoint_costs(n)
+    weighted = np.cumsum(costs * x_arr)  # sum_{k<=i} C_k x_k
+    return f / (2.0 * x_arr) + weighted / (2.0 * x_arr)
+
+
+def expected_wallclock(
+    params: ModelParameters, x, n: float, mu
+) -> float:
+    """``E(T_w)`` for given per-level failure counts ``mu`` — Formula (21).
+
+    ``E = T_e/g(N) + sum_i C_i (x_i - 1)
+    + sum_i mu_i (Gamma_i + A + R_i(N))``.
+    """
+    x_arr = _validate_xn(params, x, n)
+    mu_arr = np.asarray(mu, dtype=float)
+    if mu_arr.shape != x_arr.shape:
+        raise ValueError(
+            f"mu shape {mu_arr.shape} does not match levels {x_arr.shape}"
+        )
+    if np.any(mu_arr < 0):
+        raise ValueError(f"mu must be non-negative, got {mu_arr}")
+    f = params.productive_time(n)
+    costs = params.costs.checkpoint_costs(n)
+    recoveries = params.costs.recovery_costs(n)
+    rollback = expected_rollback_loss(params, x_arr, n)
+    per_failure = rollback + params.allocation_period + recoveries
+    return float(f + np.sum(costs * (x_arr - 1.0)) + np.sum(mu_arr * per_failure))
+
+
+def self_consistent_wallclock(
+    params: ModelParameters, x, n: float
+) -> tuple[float, np.ndarray]:
+    """``E(T_w)`` with ``mu_i = lambda_i(N) * E(T_w)`` eliminated exactly.
+
+    Formula (21) is linear in ``mu``; substituting ``mu = lambda(N) * E``
+    and solving for ``E`` gives
+
+    ``E = base / (1 - sum_i lambda_i(N) * (Gamma_i + A + R_i))``
+
+    — the multilevel analogue of Formula (6).  Returns ``(E, mu)``.
+
+    Raises
+    ------
+    ValueError
+        When the denominator is <= 0: the expected loss per unit wall-clock
+        exceeds 1, i.e. failure rates are so high the execution never
+        finishes (the regime in which the paper notes Algorithm 1 cannot
+        converge either).
+    """
+    x_arr = _validate_xn(params, x, n)
+    f = params.productive_time(n)
+    costs = params.costs.checkpoint_costs(n)
+    recoveries = params.costs.recovery_costs(n)
+    rollback = expected_rollback_loss(params, x_arr, n)
+    lam = params.rates.rates_per_second(n)
+    per_failure = rollback + params.allocation_period + recoveries
+    base = f + float(np.sum(costs * (x_arr - 1.0)))
+    denom = 1.0 - float(np.sum(lam * per_failure))
+    if denom <= 0:
+        raise ValueError(
+            "failure rates too high for this configuration: expected loss "
+            f"per wall-clock second is {1.0 - denom:.3f} >= 1, the execution "
+            "cannot complete (cf. Section III-D convergence discussion)"
+        )
+    wallclock = base / denom
+    return wallclock, lam * wallclock
+
+
+def single_level_wallclock(
+    params: ModelParameters, x: float, n: float, mu: float | None = None
+) -> float:
+    """Single-level objective — Formula (13) (and (7) for linear speedup).
+
+    ``E = T_e/g(N) + C(N)(x-1) + mu (T_e/(2 x g(N)) + R(N) + A)``.
+
+    Note Formula (13) omits the ``C/2`` self-term that the multilevel
+    Formula (18) includes for the failing level; both are implemented
+    faithfully, and the difference is one checkpoint overhead per failure.
+    With ``mu=None`` the self-consistent value ``mu = lambda(N) E`` is
+    eliminated exactly (Formula (6) generalized to arbitrary ``g``).
+    """
+    if params.num_levels != 1:
+        raise ValueError(
+            f"single_level_wallclock needs a 1-level model, got "
+            f"{params.num_levels} levels (use params.single_level())"
+        )
+    if not x > 0:
+        raise ValueError(f"x must be positive, got {x}")
+    if not n > 0:
+        raise ValueError(f"n must be positive, got {n}")
+    f = params.productive_time(n)
+    cost = float(params.costs.checkpoint_costs(n)[0])
+    recovery = float(params.costs.recovery_costs(n)[0])
+    base = f + cost * (x - 1.0)
+    per_failure = f / (2.0 * x) + recovery + params.allocation_period
+    if mu is not None:
+        if mu < 0:
+            raise ValueError(f"mu must be >= 0, got {mu}")
+        return base + mu * per_failure
+    lam = float(params.rates.rates_per_second(n)[0])
+    denom = 1.0 - lam * per_failure
+    if denom <= 0:
+        raise ValueError(
+            "failure rate too high: expected loss per wall-clock second "
+            f"is {1.0 - denom:.3f} >= 1"
+        )
+    return base / denom
+
+
+def time_portions(
+    params: ModelParameters, x, n: float, mu=None
+) -> dict[str, float]:
+    """Expected wall-clock decomposition (the Fig. 5/6 stacked portions).
+
+    Returns ``{"productive", "checkpoint", "restart", "rollback",
+    "wallclock"}`` where
+
+    * productive — failure-free parallel time ``T_e/g(N)``;
+    * checkpoint — ``sum_i C_i (x_i - 1)`` (scheduled checkpoints);
+    * restart — ``sum_i mu_i (R_i + A)`` (recovery + allocation);
+    * rollback — ``sum_i mu_i Gamma_i`` (re-executed work + wasted
+      lower-level checkpoints).
+
+    ``mu=None`` uses the self-consistent failure counts.
+    """
+    x_arr = _validate_xn(params, x, n)
+    if mu is None:
+        _, mu_arr = self_consistent_wallclock(params, x_arr, n)
+    else:
+        mu_arr = np.asarray(mu, dtype=float)
+    f = params.productive_time(n)
+    costs = params.costs.checkpoint_costs(n)
+    recoveries = params.costs.recovery_costs(n)
+    rollback = expected_rollback_loss(params, x_arr, n)
+    portions = {
+        "productive": f,
+        "checkpoint": float(np.sum(costs * (x_arr - 1.0))),
+        "restart": float(np.sum(mu_arr * (recoveries + params.allocation_period))),
+        "rollback": float(np.sum(mu_arr * rollback)),
+    }
+    portions["wallclock"] = sum(portions.values())
+    return portions
+
+
+def wallclock_gradient_x(
+    params: ModelParameters, x, n: float, b
+) -> np.ndarray:
+    """``dE/dx_i`` under ``mu_i = b_i N`` — Formula (23), all levels.
+
+    ``dE/dx_i = C_i - mu_i/(2 x_i^2) (T_e/g + sum_{j<i} C_j x_j)
+    + C_i/2 * sum_{j>i} mu_j / x_j``.
+    """
+    x_arr = _validate_xn(params, x, n)
+    b_arr = np.asarray(b, dtype=float)
+    if b_arr.shape != x_arr.shape:
+        raise ValueError(f"b shape {b_arr.shape} != levels {x_arr.shape}")
+    mu = b_arr * n
+    f = params.productive_time(n)
+    costs = params.costs.checkpoint_costs(n)
+    weighted = costs * x_arr
+    below = np.concatenate([[0.0], np.cumsum(weighted)[:-1]])  # sum_{j<i}
+    ratio = mu / x_arr
+    above = np.concatenate([np.cumsum(ratio[::-1])[::-1][1:], [0.0]])  # sum_{j>i}
+    return costs - mu / (2.0 * x_arr**2) * (f + below) + costs / 2.0 * above
+
+
+def wallclock_gradient_n(
+    params: ModelParameters, x, n: float, b
+) -> float:
+    """``dE/dN`` under ``mu_i = b_i N`` — Formula (24).
+
+    ``dE/dN = T_e/g^2 [ sum_i b_i/(2 x_i) g - (1 + sum_i mu_i/(2 x_i)) g' ]
+    + sum_i C_i' (x_i - 1)
+    + sum_i [ b_i (sum_{k<=i} C_k x_k/(2 x_i) + A + R_i)
+    + mu_i (sum_{k<=i} C_k' x_k/(2 x_i) + R_i') ]``.
+    """
+    x_arr = _validate_xn(params, x, n)
+    b_arr = np.asarray(b, dtype=float)
+    if b_arr.shape != x_arr.shape:
+        raise ValueError(f"b shape {b_arr.shape} != levels {x_arr.shape}")
+    mu = b_arr * n
+    te = params.te_core_seconds
+    g = float(params.speedup.speedup(n))
+    g_prime = float(params.speedup.derivative(n))
+    costs = params.costs.checkpoint_costs(n)
+    cost_primes = params.costs.checkpoint_derivatives(n)
+    recoveries = params.costs.recovery_costs(n)
+    recovery_primes = params.costs.recovery_derivatives(n)
+
+    speedup_term = (
+        te
+        / g**2
+        * (
+            float(np.sum(b_arr / (2.0 * x_arr))) * g
+            - (1.0 + float(np.sum(mu / (2.0 * x_arr)))) * g_prime
+        )
+    )
+    checkpoint_term = float(np.sum(cost_primes * (x_arr - 1.0)))
+    ckpt_weighted = np.cumsum(costs * x_arr) / (2.0 * x_arr)  # sum_{k<=i} C_k x_k / 2x_i
+    ckpt_prime_weighted = np.cumsum(cost_primes * x_arr) / (2.0 * x_arr)
+    failure_term = float(
+        np.sum(
+            b_arr * (ckpt_weighted + params.allocation_period + recoveries)
+            + mu * (ckpt_prime_weighted + recovery_primes)
+        )
+    )
+    return speedup_term + checkpoint_term + failure_term

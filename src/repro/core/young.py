@@ -1,0 +1,68 @@
+"""Young's first-order optimum checkpoint interval (1974) and Formula (25).
+
+Young's classic result: for checkpoint cost ``C`` and mean time between
+failures ``M``, the optimal checkpoint *interval* is ``tau = sqrt(2 C M)``.
+Re-expressed in this library's variables — productive time ``P``, expected
+failure count ``mu`` over the run (so ``M ~ P / mu``) — the optimal *number
+of intervals* is ``x = P / tau = sqrt(mu P / (2 C))``, which is exactly the
+paper's Formula (25) used to initialize the multilevel fixed point (and, at
+the top level, the SL(ori-scale) baseline).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.notation import ModelParameters
+
+
+def young_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Classic Young interval ``tau = sqrt(2 C M)`` (seconds)."""
+    if checkpoint_cost <= 0:
+        raise ValueError(f"checkpoint_cost must be positive, got {checkpoint_cost}")
+    if mtbf <= 0:
+        raise ValueError(f"mtbf must be positive, got {mtbf}")
+    return math.sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def young_num_intervals(
+    mu: float, productive_time: float, checkpoint_cost: float
+) -> float:
+    """Formula (25): ``x = sqrt(mu * P / (2 C))`` (at least 1)."""
+    if mu < 0:
+        raise ValueError(f"mu must be >= 0, got {mu}")
+    if productive_time <= 0:
+        raise ValueError(
+            f"productive_time must be positive, got {productive_time}"
+        )
+    if checkpoint_cost <= 0:
+        raise ValueError(f"checkpoint_cost must be positive, got {checkpoint_cost}")
+    return max(1.0, math.sqrt(mu * productive_time / (2.0 * checkpoint_cost)))
+
+
+def young_initial_intervals(
+    params: ModelParameters, n: float, mu
+) -> np.ndarray:
+    """Per-level Young initialization for the multilevel fixed point.
+
+    Applies Formula (25) level by level: each level is initialized as if it
+    were alone, ignoring cross-level checkpoint interactions — "it leads to
+    the suboptimal checkpoint interval result for a particular level i
+    without taking into account the impact of checkpoint overheads at other
+    levels".
+    """
+    mu_arr = np.asarray(mu, dtype=float)
+    if mu_arr.size != params.num_levels:
+        raise ValueError(
+            f"{mu_arr.size} mu values for {params.num_levels} levels"
+        )
+    p = params.productive_time(n)
+    costs = params.costs.checkpoint_costs(n)
+    return np.array(
+        [
+            young_num_intervals(float(m), p, float(c))
+            for m, c in zip(mu_arr, costs)
+        ]
+    )

@@ -1,0 +1,34 @@
+"""Checkpoint/recovery overhead models (paper Formulas 19/20, Table II)."""
+
+from repro.costs.scaling import (
+    ScalingBaseline,
+    CONSTANT,
+    LINEAR,
+    SQRT,
+    LOG,
+    named_baseline,
+)
+from repro.costs.model import CostModel, LevelCostModel
+from repro.costs.fitting import fit_cost_model
+from repro.costs.fti_fusion import (
+    FTI_FUSION_CHECKPOINT_TABLE,
+    FTI_FUSION_SCALES,
+    fti_fusion_cost_models,
+    fti_fusion_paper_coefficients,
+)
+
+__all__ = [
+    "ScalingBaseline",
+    "CONSTANT",
+    "LINEAR",
+    "SQRT",
+    "LOG",
+    "named_baseline",
+    "CostModel",
+    "LevelCostModel",
+    "fit_cost_model",
+    "FTI_FUSION_CHECKPOINT_TABLE",
+    "FTI_FUSION_SCALES",
+    "fti_fusion_cost_models",
+    "fti_fusion_paper_coefficients",
+]

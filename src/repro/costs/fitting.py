@@ -1,0 +1,85 @@
+"""Least-squares fitting of cost models to characterization data.
+
+The paper derives the Formula (19)/(20) coefficients ``(eps_i, alpha_i)`` by
+least squares on the measured per-scale checkpoint overheads (Table II) and
+then zeroes coefficients that are statistically negligible (levels 1-3 "look
+like constants", so ``alpha_1 = alpha_2 = alpha_3 = 0`` approximately holds).
+``fit_cost_model`` reproduces that procedure, including the
+negligible-coefficient snap-to-constant step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costs.model import CostModel
+from repro.costs.scaling import CONSTANT, ScalingBaseline, LINEAR
+
+
+def fit_cost_model(
+    scales,
+    costs,
+    *,
+    baseline: ScalingBaseline = LINEAR,
+    snap_threshold: float = 0.2,
+) -> CostModel:
+    """Fit ``cost(N) = eps + alpha * H(N)`` to measured points.
+
+    Parameters
+    ----------
+    scales, costs:
+        Measured core counts and overheads (seconds), equal-length 1-D
+        array-likes with at least two points.
+    baseline:
+        The ``H`` function to fit against (default linear, as in Table II's
+        PFS level).
+    snap_threshold:
+        If the fitted scaling term ``alpha * H(N)`` contributes less than
+        this fraction of the mean measured cost over the observed scales,
+        the model is snapped to a pure constant (the paper's
+        "alpha_1 = alpha_2 = alpha_3 = 0 approximately holds" step).  Set to
+        0 to disable snapping.
+
+    Returns
+    -------
+    CostModel
+        With non-negative ``constant`` and ``coefficient`` (negative fitted
+        values are clipped to zero and the companion coefficient re-fitted,
+        since Formula 19/20 coefficients are physical non-negative costs).
+    """
+    scales = np.asarray(scales, dtype=float)
+    costs = np.asarray(costs, dtype=float)
+    if scales.shape != costs.shape or scales.ndim != 1:
+        raise ValueError(
+            f"scales and costs must be equal-length 1-D arrays, got shapes "
+            f"{scales.shape} and {costs.shape}"
+        )
+    if scales.size < 2:
+        raise ValueError(f"need at least 2 characterization points, got {scales.size}")
+    if np.any(costs < 0):
+        raise ValueError("measured costs must be non-negative")
+
+    h = np.asarray(baseline(scales), dtype=float)
+    design = np.column_stack([np.ones_like(scales), h])
+    (eps, alpha), _, _, _ = np.linalg.lstsq(design, costs, rcond=None)
+
+    if alpha < 0:
+        # Decreasing cost with scale is unphysical in this model; refit as constant.
+        eps, alpha = float(np.mean(costs)), 0.0
+    elif eps < 0:
+        # All cost attributed to scaling; refit alpha with eps pinned at 0.
+        eps = 0.0
+        denom = float(h @ h)
+        alpha = float(h @ costs / denom) if denom > 0 else 0.0
+
+    eps, alpha = float(eps), float(alpha)
+    if snap_threshold > 0 and alpha > 0:
+        scaling_part = alpha * float(np.mean(h))
+        mean_cost = float(np.mean(costs))
+        if mean_cost > 0 and scaling_part / mean_cost < snap_threshold:
+            return CostModel(
+                constant=float(np.mean(costs)), coefficient=0.0, baseline=CONSTANT
+            )
+    if alpha == 0.0:
+        return CostModel(constant=eps, coefficient=0.0, baseline=CONSTANT)
+    return CostModel(constant=eps, coefficient=alpha, baseline=baseline)

@@ -1,0 +1,135 @@
+"""Per-level checkpoint/recovery cost models (Formulas 19/20).
+
+``CostModel`` captures one overhead function ``eps + alpha * H(N)``;
+``LevelCostModel`` bundles the checkpoint and recovery overheads of all
+``L`` levels, which is the object every solver and the simulator consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.costs.scaling import CONSTANT, ScalingBaseline
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """One overhead function ``cost(N) = constant + coefficient * H(N)``.
+
+    Covers both checkpoint overhead ``C_i(N) = eps_i + alpha_i H_c(N)``
+    (Formula 19) and recovery overhead ``R_i(N) = eta_i + beta_i H_r(N)``
+    (Formula 20).
+    """
+
+    constant: float
+    coefficient: float = 0.0
+    baseline: ScalingBaseline = field(default=CONSTANT)
+
+    def __post_init__(self):
+        if self.constant < 0:
+            raise ValueError(f"constant cost must be >= 0, got {self.constant}")
+        if self.coefficient < 0:
+            raise ValueError(f"coefficient must be >= 0, got {self.coefficient}")
+
+    def __call__(self, n):
+        """Overhead in seconds at scale(s) ``n``."""
+        return self.constant + self.coefficient * self.baseline(n)
+
+    def derivative(self, n):
+        """d cost / dN at scale(s) ``n`` (needed by Formula 24)."""
+        return self.coefficient * self.baseline.derivative(n)
+
+    def is_constant(self) -> bool:
+        """True when the overhead does not vary with the execution scale."""
+        return self.coefficient == 0.0 or self.baseline.name == "constant"
+
+    @classmethod
+    def constant_cost(cls, seconds: float) -> "CostModel":
+        """A scale-independent overhead of ``seconds``."""
+        return cls(constant=seconds, coefficient=0.0, baseline=CONSTANT)
+
+
+@dataclass(frozen=True)
+class LevelCostModel:
+    """Checkpoint + recovery overhead functions for all ``L`` levels.
+
+    Invariants enforced: equal level counts, at least one level.  The paper
+    notes ``C_1 <= C_2 <= ... <= C_L`` holds *in general*; that ordering is
+    not enforced (measured data can jitter, cf. Table II level-1 column) but
+    :meth:`is_monotone_at` lets callers check it at a given scale.
+    """
+
+    checkpoint: tuple[CostModel, ...]
+    recovery: tuple[CostModel, ...]
+
+    def __post_init__(self):
+        if len(self.checkpoint) == 0:
+            raise ValueError("at least one checkpoint level is required")
+        if len(self.checkpoint) != len(self.recovery):
+            raise ValueError(
+                f"checkpoint has {len(self.checkpoint)} levels but recovery "
+                f"has {len(self.recovery)}"
+            )
+
+    @property
+    def num_levels(self) -> int:
+        """``L`` — the number of checkpoint levels."""
+        return len(self.checkpoint)
+
+    def checkpoint_costs(self, n) -> np.ndarray:
+        """Vector ``[C_1(N), ..., C_L(N)]`` in seconds."""
+        return np.array([c(n) for c in self.checkpoint], dtype=float)
+
+    def recovery_costs(self, n) -> np.ndarray:
+        """Vector ``[R_1(N), ..., R_L(N)]`` in seconds."""
+        return np.array([r(n) for r in self.recovery], dtype=float)
+
+    def checkpoint_derivatives(self, n) -> np.ndarray:
+        """Vector ``[C_1'(N), ..., C_L'(N)]``."""
+        return np.array([c.derivative(n) for c in self.checkpoint], dtype=float)
+
+    def recovery_derivatives(self, n) -> np.ndarray:
+        """Vector ``[R_1'(N), ..., R_L'(N)]``."""
+        return np.array([r.derivative(n) for r in self.recovery], dtype=float)
+
+    def is_monotone_at(self, n) -> bool:
+        """Whether ``C_1(N) <= ... <= C_L(N)`` holds at scale ``n``."""
+        costs = self.checkpoint_costs(n)
+        return bool(np.all(np.diff(costs) >= 0))
+
+    def single_level(self, level: int) -> "LevelCostModel":
+        """Collapse to a one-level model using level ``level`` (1-based).
+
+        Used to build the single-level (PFS-only) baselines: the last level's
+        costs with all failures routed to it.
+        """
+        if not 1 <= level <= self.num_levels:
+            raise ValueError(
+                f"level must be in [1, {self.num_levels}], got {level}"
+            )
+        idx = level - 1
+        return LevelCostModel(
+            checkpoint=(self.checkpoint[idx],),
+            recovery=(self.recovery[idx],),
+        )
+
+    @classmethod
+    def from_constants(
+        cls,
+        checkpoint_seconds: Sequence[float],
+        recovery_seconds: Sequence[float] | None = None,
+    ) -> "LevelCostModel":
+        """Build a model from constant per-level costs.
+
+        ``recovery_seconds`` defaults to the checkpoint costs (the paper's
+        evaluation uses symmetric C/R unless stated otherwise).
+        """
+        if recovery_seconds is None:
+            recovery_seconds = checkpoint_seconds
+        return cls(
+            checkpoint=tuple(CostModel.constant_cost(c) for c in checkpoint_seconds),
+            recovery=tuple(CostModel.constant_cost(r) for r in recovery_seconds),
+        )

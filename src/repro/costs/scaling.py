@@ -1,0 +1,81 @@
+"""Scaling baselines ``H_c(N)`` / ``H_r(N)`` for the cost model.
+
+Formulas (19)/(20) express per-level overheads as
+``C_i(N) = eps_i + alpha_i * H_c(N)`` where ``H`` is a baseline function
+that passes through the origin.  ``H = 0`` models constant overheads
+(local-storage levels, Table II rows 1-3; also the Blue Waters constant-PFS
+scenario of Table IV); ``H = N`` models linearly growing overheads (the PFS
+level in Table II).  Sub-linear baselines (sqrt, log) are provided for
+storage systems with partial parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScalingBaseline:
+    """A named baseline function ``H(N)`` with derivative ``H'(N)``.
+
+    Both callables accept scalars or arrays.  The function must satisfy
+    ``H(0) = 0`` (checked on construction at a sample point).
+    """
+
+    name: str
+    func: Callable
+    deriv: Callable
+
+    def __post_init__(self):
+        at_zero = float(self.func(0.0))
+        if abs(at_zero) > 1e-12:
+            raise ValueError(
+                f"baseline {self.name!r} must pass through the origin, "
+                f"but H(0) = {at_zero}"
+            )
+
+    def __call__(self, n):
+        return self.func(np.asarray(n, dtype=float))
+
+    def derivative(self, n):
+        return self.deriv(np.asarray(n, dtype=float))
+
+
+CONSTANT = ScalingBaseline(
+    name="constant",
+    func=lambda n: np.zeros_like(np.asarray(n, dtype=float)),
+    deriv=lambda n: np.zeros_like(np.asarray(n, dtype=float)),
+)
+
+LINEAR = ScalingBaseline(
+    name="linear",
+    func=lambda n: np.asarray(n, dtype=float),
+    deriv=lambda n: np.ones_like(np.asarray(n, dtype=float)),
+)
+
+SQRT = ScalingBaseline(
+    name="sqrt",
+    func=lambda n: np.sqrt(np.asarray(n, dtype=float)),
+    deriv=lambda n: 0.5 / np.sqrt(np.maximum(np.asarray(n, dtype=float), 1e-300)),
+)
+
+LOG = ScalingBaseline(
+    name="log",
+    func=lambda n: np.log1p(np.asarray(n, dtype=float)),
+    deriv=lambda n: 1.0 / (1.0 + np.asarray(n, dtype=float)),
+)
+
+_REGISTRY = {b.name: b for b in (CONSTANT, LINEAR, SQRT, LOG)}
+
+
+def named_baseline(name: str) -> ScalingBaseline:
+    """Look up a baseline by name (``constant``/``linear``/``sqrt``/``log``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown baseline {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver exposes a ``run_*`` function returning a structured result plus
+a ``render`` helper producing the paper-style rows; the corresponding bench
+target in ``benchmarks/`` calls the driver and prints the table.  See
+DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured records.
+"""
+
+from repro.experiments.config import (
+    FIG5_CASES,
+    TABLE4_CASES,
+    fusion_cost_models,
+    make_params,
+    paper_speedup,
+    table4_cost_models,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = [
+    "FIG5_CASES",
+    "TABLE4_CASES",
+    "fusion_cost_models",
+    "make_params",
+    "paper_speedup",
+    "table4_cost_models",
+    "EXPERIMENTS",
+    "get_experiment",
+]

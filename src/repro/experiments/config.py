@@ -1,0 +1,128 @@
+"""Shared configuration of the paper's evaluation (Section IV-A).
+
+Single source of truth for the constants every experiment uses:
+
+* speedup: the Heat Distribution quadratic, ``kappa = 0.46`` with
+  ``N^(*) = 10^6`` cores for the exascale studies;
+* checkpoint costs: the Table II least-squares coefficients
+  ``(0.866, 0), (2.586, 0), (3.886, 0), (5.5, 0.0212)``;
+* recovery costs: the paper does not tabulate recovery separately; the
+  default here is the *constant* parts of the fitted costs (restart reads
+  are parallel and do not hit the PFS write-contention wall), which is the
+  only assumption under which the paper's reported fixed-scale baselines
+  remain finite — see EXPERIMENTS.md for the sensitivity discussion.
+  ``recovery="mirror"`` switches to ``R_i = C_i`` for ablations;
+* failure cases: ``16-12-8-4`` ... ``4-2-1-0.5`` events/day at the
+  baseline ``N_b = N^(*) = 10^6`` cores, scaling proportionally with ``N``;
+* allocation period ``A`` (constant, footnote-1 scale: ~1 minute).
+"""
+
+from __future__ import annotations
+
+from repro.core.notation import ModelParameters
+from repro.costs.fti_fusion import FTI_FUSION_PAPER_COEFFS
+from repro.costs.model import CostModel, LevelCostModel
+from repro.costs.scaling import CONSTANT, LINEAR
+from repro.failures.rates import FailureRates
+from repro.speedup.quadratic import QuadraticSpeedup
+
+#: The six failure-rate cases of Fig. 5/6 (events/day per level at N_b).
+FIG5_CASES: tuple[str, ...] = (
+    "16-12-8-4",
+    "8-6-4-2",
+    "4-3-2-1",
+    "16-8-4-2",
+    "8-4-2-1",
+    "4-2-1-0.5",
+)
+
+#: The three failure-rate cases of Table IV.
+TABLE4_CASES: tuple[str, ...] = ("16-12-8-4", "8-6-4-2", "4-3-2-1")
+
+#: Constant per-level checkpoint costs of the Table IV scenario (seconds).
+TABLE4_CHECKPOINT_COSTS: tuple[float, ...] = (50.0, 100.0, 200.0, 2000.0)
+
+#: The exascale ideal scale used throughout the evaluation.
+PAPER_IDEAL_SCALE: float = 1_000_000.0
+#: The Heat Distribution fitted origin slope.
+PAPER_KAPPA: float = 0.46
+#: Default allocation period (seconds).
+PAPER_ALLOCATION: float = 60.0
+
+
+def paper_speedup(ideal_scale: float = PAPER_IDEAL_SCALE) -> QuadraticSpeedup:
+    """The Heat Distribution quadratic speedup at the evaluation scale."""
+    return QuadraticSpeedup(kappa=PAPER_KAPPA, ideal_scale=ideal_scale)
+
+
+def fusion_cost_models(recovery: str = "constant") -> LevelCostModel:
+    """Table II fitted checkpoint costs with the chosen recovery assumption.
+
+    ``recovery="constant"`` (default): ``R_i = eps_i`` — parallel restart
+    reads, scale-independent.  ``recovery="mirror"``: ``R_i = C_i`` (writes
+    and reads equally contended; ablation).
+    """
+    checkpoint = []
+    for eps, alpha in FTI_FUSION_PAPER_COEFFS:
+        baseline = LINEAR if alpha > 0 else CONSTANT
+        checkpoint.append(CostModel(constant=eps, coefficient=alpha, baseline=baseline))
+    if recovery == "constant":
+        rec = tuple(CostModel.constant_cost(eps) for eps, _ in FTI_FUSION_PAPER_COEFFS)
+    elif recovery == "mirror":
+        rec = tuple(checkpoint)
+    else:
+        raise ValueError(
+            f"recovery must be 'constant' or 'mirror', got {recovery!r}"
+        )
+    return LevelCostModel(checkpoint=tuple(checkpoint), recovery=rec)
+
+
+#: Table IV recovery overheads: levels 1-3 restart from node-local /
+#: partner / RS-group data in parallel (seconds), while a PFS restart
+#: re-reads the whole dataset through the shared file system and costs as
+#: much as the PFS checkpoint write.  The paper does not tabulate recovery
+#: for this scenario; this split is the assumption under which its reported
+#: optimized scales and strategy gaps reproduce (see EXPERIMENTS.md).
+TABLE4_RECOVERY_COSTS: tuple[float, ...] = (5.0, 10.0, 20.0, 2000.0)
+
+
+def table4_cost_models() -> LevelCostModel:
+    """Constant per-level costs of the Table IV Blue-Waters-PFS scenario."""
+    return LevelCostModel.from_constants(
+        TABLE4_CHECKPOINT_COSTS,
+        recovery_seconds=TABLE4_RECOVERY_COSTS,
+    )
+
+
+def make_params(
+    te_core_days: float,
+    case: str,
+    *,
+    costs: LevelCostModel | None = None,
+    ideal_scale: float = PAPER_IDEAL_SCALE,
+    allocation_period: float = PAPER_ALLOCATION,
+) -> ModelParameters:
+    """Build the :class:`ModelParameters` for one evaluation configuration.
+
+    Parameters
+    ----------
+    te_core_days:
+        Workload: 3e6 (Fig. 5), 10e6 (Fig. 6), or 2e6 (Table IV) core-days.
+    case:
+        Failure-rate case name, e.g. ``"16-12-8-4"``.
+    costs:
+        Cost models (default: Fusion-fitted with constant recovery).
+    ideal_scale:
+        ``N^(*)`` = baseline scale ``N_b``.
+    allocation_period:
+        ``A`` in seconds.
+    """
+    if costs is None:
+        costs = fusion_cost_models()
+    return ModelParameters.from_core_days(
+        te_core_days,
+        speedup=paper_speedup(ideal_scale),
+        costs=costs,
+        rates=FailureRates.from_case_name(case, baseline_scale=ideal_scale),
+        allocation_period=allocation_period,
+    )

@@ -1,0 +1,79 @@
+"""Figure 1 — tradeoff between execution speedup and checkpoint overhead.
+
+The paper's motivating illustration: the failure-free performance curve
+keeps improving toward ``N^(*)``, but once checkpoint overheads and
+scale-proportional failure rates are charged, the performance optimum moves
+to a *smaller* scale.  This driver generates both series (inverse wall-clock
+vs scale, with and without the checkpoint model) and locates both optima;
+the bench asserts the checkpointed optimum is strictly below ``N^(*)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.notation import ModelParameters
+from repro.core.young import young_initial_intervals
+from repro.core.wallclock import self_consistent_wallclock
+from repro.experiments.config import make_params
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Series for the tradeoff illustration.
+
+    Attributes
+    ----------
+    scales:
+        Core counts probed.
+    performance_no_checkpoint:
+        ``1 / f(T_e, N)`` — failure-free performance (arbitrary units).
+    performance_with_checkpoint:
+        ``1 / E(T_w)`` with per-scale Young intervals and self-consistent
+        failure counts (``0`` where infeasible).
+    optimal_scale_no_checkpoint:
+        Argmax of the failure-free series (= ``N^(*)`` by construction).
+    optimal_scale_with_checkpoint:
+        Argmax of the checkpointed series (strictly smaller).
+    """
+
+    scales: np.ndarray
+    performance_no_checkpoint: np.ndarray
+    performance_with_checkpoint: np.ndarray
+    optimal_scale_no_checkpoint: float
+    optimal_scale_with_checkpoint: float
+
+
+def run_fig1(
+    *,
+    te_core_days: float = 3e6,
+    case: str = "16-12-8-4",
+    n_points: int = 60,
+    params: ModelParameters | None = None,
+) -> Fig1Result:
+    """Generate the Fig. 1 tradeoff series."""
+    if params is None:
+        params = make_params(te_core_days, case)
+    upper = params.scale_upper_bound
+    scales = np.linspace(upper / n_points, upper, n_points)
+    perf_free = np.empty(n_points)
+    perf_ckpt = np.empty(n_points)
+    for i, n in enumerate(scales):
+        f = params.productive_time(float(n))
+        perf_free[i] = 1.0 / f
+        mu0 = params.rates.expected_failures(float(n), f)
+        x = young_initial_intervals(params, float(n), mu0)
+        try:
+            wallclock, _ = self_consistent_wallclock(params, x, float(n))
+            perf_ckpt[i] = 1.0 / wallclock
+        except ValueError:
+            perf_ckpt[i] = 0.0
+    return Fig1Result(
+        scales=scales,
+        performance_no_checkpoint=perf_free,
+        performance_with_checkpoint=perf_ckpt,
+        optimal_scale_no_checkpoint=float(scales[np.argmax(perf_free)]),
+        optimal_scale_with_checkpoint=float(scales[np.argmax(perf_ckpt)]),
+    )

@@ -1,0 +1,75 @@
+"""Figure 2 — speedup measurements and quadratic fits.
+
+Two panels:
+
+* (a) Heat Distribution up to 1,024 cores; the quadratic fit's origin slope
+  should recover the paper's ``kappa ~ 0.46`` (the synthetic dataset is
+  regenerated from the quoted curve — see
+  :mod:`repro.speedup.datasets`), and the *measured* curve from the actual
+  simulated-MPI Heat application should fit a quadratic with small
+  residual;
+* (b) Nek5000 eddy_uv: rise-then-fall data, fitted on the initial range
+  only (:func:`repro.speedup.fitting.select_initial_range`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.eddy import measure_eddy_speedup
+from repro.apps.heat import measure_heat_speedup
+from repro.speedup.datasets import (
+    HEAT_KAPPA,
+    heat_distribution_speedup_points,
+    nek5000_eddy_speedup_points,
+)
+from repro.speedup.fitting import QuadraticFit, fit_quadratic_speedup
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Fits for both panels.
+
+    Attributes
+    ----------
+    heat_paper_fit:
+        Fit of the paper-calibrated Heat dataset (kappa should be ~0.46).
+    heat_measured_fit:
+        Fit of the speedup measured from the simulated-MPI Heat app.
+    eddy_fit:
+        Initial-range fit of the rise-then-fall eddy dataset.
+    eddy_peak_scale:
+        Scale of the maximum measured eddy speedup (~100 in the paper).
+    """
+
+    heat_paper_fit: QuadraticFit
+    heat_measured_fit: QuadraticFit
+    eddy_fit: QuadraticFit
+    eddy_peak_scale: float
+
+
+def run_fig2(*, seed: int = 20140101) -> Fig2Result:
+    """Fit both Fig. 2 panels."""
+    heat_scales, heat_speedups = heat_distribution_speedup_points(seed=seed)
+    heat_paper_fit = fit_quadratic_speedup(heat_scales, heat_speedups)
+
+    measured_scales = np.geomspace(64, 60_000, 14)
+    m_scales, m_speedups = measure_heat_speedup(measured_scales)
+    heat_measured_fit = fit_quadratic_speedup(m_scales, m_speedups)
+
+    eddy_scales, eddy_speedups = nek5000_eddy_speedup_points(seed=seed + 1)
+    eddy_fit = fit_quadratic_speedup(eddy_scales, eddy_speedups)
+    peak = float(eddy_scales[np.argmax(eddy_speedups)])
+    return Fig2Result(
+        heat_paper_fit=heat_paper_fit,
+        heat_measured_fit=heat_measured_fit,
+        eddy_fit=eddy_fit,
+        eddy_peak_scale=peak,
+    )
+
+
+def kappa_recovery_error(result: Fig2Result) -> float:
+    """Relative error of the recovered Heat kappa vs the paper's 0.46."""
+    return abs(result.heat_paper_fit.kappa - HEAT_KAPPA) / HEAT_KAPPA

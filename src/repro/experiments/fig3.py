@@ -1,0 +1,113 @@
+"""Figure 3 — numerical confirmation of the single-level optimum.
+
+Settings from Section III-C.2: workload 4,000 core-days, ``N^(*) =
+100,000`` cores, ``b = 0.005`` expected failures per core, ``kappa = 0.46``,
+``A = 0``; two cost scenarios:
+
+* constant ``C(N) = R(N) = 5`` s — the paper's optimum: ``x* = 797``,
+  ``N* = 81,746``;
+* linear ``C(N) = R(N) = 5 + 0.005 N`` — the paper's optimum: ``x* = 140``,
+  ``N* = 20,215``.
+
+The driver solves both with the Formula (16)/(17) fixed point and sweeps
+the objective around the solution (the Fig. 3 curves) so the bench can
+assert the solved point beats every swept neighbour and matches the quoted
+optima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.notation import ModelParameters
+from repro.core.single_level import SingleLevelSolution, solve_single_level_nonlinear
+from repro.core.wallclock import single_level_wallclock
+from repro.costs.model import CostModel, LevelCostModel
+from repro.costs.scaling import LINEAR
+from repro.failures.rates import FailureRates
+from repro.speedup.quadratic import QuadraticSpeedup
+from repro.util.units import core_days_to_core_seconds
+
+#: The optima quoted in the paper for the two scenarios.
+PAPER_OPTIMUM_CONSTANT: tuple[float, float] = (797.0, 81_746.0)
+PAPER_OPTIMUM_LINEAR: tuple[float, float] = (140.0, 20_215.0)
+
+FIG3_TE_CORE_DAYS: float = 4_000.0
+FIG3_IDEAL_SCALE: float = 100_000.0
+FIG3_B: float = 0.005
+FIG3_KAPPA: float = 0.46
+
+
+@dataclass(frozen=True)
+class Fig3Scenario:
+    """One cost scenario's solved optimum plus confirmation sweeps."""
+
+    label: str
+    solution: SingleLevelSolution
+    sweep_x: np.ndarray
+    sweep_x_objective: np.ndarray
+    sweep_n: np.ndarray
+    sweep_n_objective: np.ndarray
+    paper_optimum: tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Both Fig. 3 scenarios."""
+
+    constant_cost: Fig3Scenario
+    linear_cost: Fig3Scenario
+
+
+def _params(linear_cost: bool) -> ModelParameters:
+    if linear_cost:
+        cost = CostModel(constant=5.0, coefficient=0.005, baseline=LINEAR)
+    else:
+        cost = CostModel.constant_cost(5.0)
+    return ModelParameters(
+        te_core_seconds=core_days_to_core_seconds(FIG3_TE_CORE_DAYS),
+        speedup=QuadraticSpeedup(kappa=FIG3_KAPPA, ideal_scale=FIG3_IDEAL_SCALE),
+        costs=LevelCostModel(checkpoint=(cost,), recovery=(cost,)),
+        rates=FailureRates((1.0,), baseline_scale=FIG3_IDEAL_SCALE),
+        allocation_period=0.0,
+    )
+
+
+def _scenario(label: str, linear_cost: bool, paper_optimum) -> Fig3Scenario:
+    params = _params(linear_cost)
+    solution = solve_single_level_nonlinear(params, b=FIG3_B)
+    sweep_x = np.geomspace(solution.x / 8.0, solution.x * 8.0, 33)
+    sweep_x_obj = np.array(
+        [
+            single_level_wallclock(params, float(x), solution.n, mu=FIG3_B * solution.n)
+            for x in sweep_x
+        ]
+    )
+    sweep_n = np.linspace(solution.n / 8.0, min(solution.n * 4.0, FIG3_IDEAL_SCALE), 33)
+    sweep_n_obj = np.array(
+        [
+            single_level_wallclock(params, solution.x, float(n), mu=FIG3_B * float(n))
+            for n in sweep_n
+        ]
+    )
+    return Fig3Scenario(
+        label=label,
+        solution=solution,
+        sweep_x=sweep_x,
+        sweep_x_objective=sweep_x_obj,
+        sweep_n=sweep_n,
+        sweep_n_objective=sweep_n_obj,
+        paper_optimum=paper_optimum,
+    )
+
+
+def run_fig3() -> Fig3Result:
+    """Solve and confirm both Fig. 3 scenarios."""
+    return Fig3Result(
+        constant_cost=_scenario("C(N)=R(N)=5s", False, PAPER_OPTIMUM_CONSTANT),
+        linear_cost=_scenario(
+            "C(N)=R(N)=5+0.005N", True, PAPER_OPTIMUM_LINEAR
+        ),
+    )

@@ -1,0 +1,144 @@
+"""Figure 4 — simulator validation against real cluster runs.
+
+The paper validates its exascale simulator against real FTI runs of the
+Heat Distribution application on the 1,024-core Fusion cluster, sweeping
+the checkpoint interval on each of the four levels, and reports < 4 %
+wall-clock difference.
+
+Substitution (per DESIGN.md): physical Fusion runs are unavailable, so the
+"real" reference here is the **literal 1 s tick engine**
+(:mod:`repro.sim.tick`) — the paper's own stated execution granularity —
+driven by the *identical* scripted failure trace, while the system under
+test is the fast event-driven engine.  The per-level interval sweep and the
+< 4 % acceptance criterion are preserved; the comparison validates that the
+fast engine used for every exascale experiment reproduces the reference
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costs.fti_fusion import fti_fusion_paper_coefficients
+from repro.failures.rates import FailureRates
+from repro.failures.traces import generate_trace
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import simulate
+from repro.sim.failure_injection import ScriptedFailures
+from repro.sim.tick import simulate_ticks
+
+#: Fusion-scale validation setup: 1,024 cores, ~1.5 h productive run.
+FIG4_SCALE: int = 1024
+FIG4_PRODUCTIVE_SECONDS: float = 5_400.0
+#: Aggressive failure rates so several failures land within the short run.
+FIG4_RATES_PER_DAY: tuple[float, ...] = (64.0, 32.0, 16.0, 8.0)
+
+
+@dataclass(frozen=True)
+class Fig4Point:
+    """One sweep point: per-level intervals, both engines' mean wall-clocks.
+
+    Wall-clocks are averaged over several independent failure traces per
+    point: a failure landing within one tick of a checkpoint-completion
+    instant is a knife-edge on which the two engines may legitimately
+    disagree (the tick engine commits events at tick boundaries), and the
+    divergence is amplified by the rollback distance; averaging matches the
+    paper's aggregate "difference less than 4 %" framing.
+    """
+
+    intervals: tuple[int, ...]
+    wallclock_event: float
+    wallclock_tick: float
+
+    @property
+    def relative_difference(self) -> float:
+        """|event - tick| / tick — the Fig. 4 validation metric."""
+        return abs(self.wallclock_event - self.wallclock_tick) / self.wallclock_tick
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """All sweep points plus the headline max difference."""
+
+    points: tuple[Fig4Point, ...]
+
+    @property
+    def max_relative_difference(self) -> float:
+        """Worst-case per-point engine disagreement (< 4 % in the paper)."""
+        return max(p.relative_difference for p in self.points)
+
+    @property
+    def mean_relative_difference(self) -> float:
+        """Average disagreement across the sweep."""
+        return sum(p.relative_difference for p in self.points) / len(self.points)
+
+
+def _base_intervals() -> tuple[int, ...]:
+    return (36, 18, 9, 4)
+
+
+def run_fig4(
+    *,
+    seed: int = 7,
+    interval_factors=(0.5, 1.0, 2.0),
+    dt: float = 1.0,
+    traces_per_point: int = 5,
+) -> Fig4Result:
+    """Sweep per-level checkpoint intervals; compare both engines.
+
+    For each level in turn, the interval count is scaled by each factor
+    (the paper's "various checkpoint intervals on the four different
+    levels"); both engines replay identical scripted failure traces with
+    zero jitter so differences reflect engine numerics only, averaged over
+    ``traces_per_point`` independent traces.
+    """
+    if traces_per_point < 1:
+        raise ValueError(f"traces_per_point must be >= 1, got {traces_per_point}")
+    costs = fti_fusion_paper_coefficients()
+    ckpt = tuple(float(c) for c in costs.checkpoint_costs(FIG4_SCALE))
+    rates = FailureRates(FIG4_RATES_PER_DAY, baseline_scale=FIG4_SCALE)
+    base = _base_intervals()
+    points: list[Fig4Point] = []
+    trace_seed = seed
+    for level in range(4):
+        for factor in interval_factors:
+            intervals = list(base)
+            intervals[level] = max(2, int(round(base[level] * factor)))
+            config = SimulationConfig(
+                productive_seconds=FIG4_PRODUCTIVE_SECONDS,
+                intervals=tuple(intervals),
+                checkpoint_costs=ckpt,
+                recovery_costs=ckpt,
+                failure_rates=tuple(rates.rates_per_second(FIG4_SCALE)),
+                allocation_period=20.0,
+                jitter=0.0,
+            )
+            event_total = 0.0
+            tick_total = 0.0
+            for _ in range(traces_per_point):
+                trace_seed += 1
+                # Generous horizon: failures beyond the actual run are ignored.
+                trace = generate_trace(
+                    rates,
+                    FIG4_SCALE,
+                    horizon_seconds=FIG4_PRODUCTIVE_SECONDS * 20,
+                    seed=trace_seed,
+                )
+                event = simulate(
+                    config, seed=1, injector=ScriptedFailures(trace)
+                )
+                tick = simulate_ticks(
+                    config, seed=1, dt=dt, injector=ScriptedFailures(trace)
+                )
+                event_total += event.wallclock
+                tick_total += tick.wallclock
+            points.append(
+                Fig4Point(
+                    intervals=tuple(intervals),
+                    wallclock_event=event_total / traces_per_point,
+                    wallclock_tick=tick_total / traces_per_point,
+                )
+            )
+    return Fig4Result(points=tuple(points))

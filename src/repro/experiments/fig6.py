@@ -1,0 +1,43 @@
+"""Figure 6 — time portions at the larger workload (T_e = 10m core-days).
+
+Identical protocol to Fig. 5 with a 10-million-core-day workload.  The
+paper's finding: the gains of ML(opt-scale) shrink (4.3-42.3 % vs the
+fixed-scale solutions) because the productive time dominates a larger share
+of the wall-clock; the bench asserts exactly that relative-gain contraction
+against the Fig. 5 result.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.util.rng import SeedLike
+
+
+def run_fig6(
+    *,
+    cases=None,
+    n_runs: int = 100,
+    seed: SeedLike = 20140605,
+    jitter: float = 0.3,
+) -> Fig5Result:
+    """Run the Fig. 6 experiment (Fig. 5 protocol at T_e = 10m core-days)."""
+    kwargs = {}
+    if cases is not None:
+        kwargs["cases"] = cases
+    return run_fig5(
+        te_core_days=10e6, n_runs=n_runs, seed=seed, jitter=jitter, **kwargs
+    )
+
+
+def relative_gain(result: Fig5Result, over: str = "ml-ori-scale") -> dict[str, float]:
+    """ML(opt-scale)'s simulated wall-clock reduction vs ``over``, per case.
+
+    ``(T_over - T_ml_opt) / T_over`` — the quantity whose contraction from
+    Fig. 5 to Fig. 6 the paper reports.
+    """
+    gains: dict[str, float] = {}
+    for case in result.cases:
+        t_opt = case.ensembles["ml-opt-scale"].mean_wallclock
+        t_ref = case.ensembles[over].mean_wallclock
+        gains[case.case] = (t_ref - t_opt) / t_ref
+    return gains

@@ -1,0 +1,37 @@
+"""Figure 7 — efficiency (processor utilization) of the four strategies.
+
+Computed from the Fig. 5 and Fig. 6 simulation results:
+``efficiency = (T_e / T_w) / N`` per run, averaged.  Paper findings the
+bench asserts: SL(opt-scale) achieves the *highest* efficiency (tiny
+scales) despite its long wall-clock; ML(opt-scale) keeps higher efficiency
+than both ori-scale solutions while also having the shortest wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig5 import Fig5Result
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Efficiency per strategy per case: ``{case: {strategy: efficiency}}``."""
+
+    te_core_days: float
+    efficiencies: dict[str, dict[str, float]]
+
+
+def run_fig7(fig5_result: Fig5Result) -> Fig7Result:
+    """Extract the Fig. 7 efficiencies from a Fig. 5/6 run."""
+    te_core_seconds = fig5_result.te_core_days * 86_400.0
+    table: dict[str, dict[str, float]] = {}
+    for case in fig5_result.cases:
+        row: dict[str, float] = {}
+        for name, ensemble in case.ensembles.items():
+            n = case.solutions[name].scale_rounded()
+            row[name] = ensemble.mean_efficiency(te_core_seconds, n)
+        table[case.case] = row
+    return Fig7Result(
+        te_core_days=fig5_result.te_core_days, efficiencies=table
+    )

@@ -1,0 +1,51 @@
+"""Experiment registry: id -> driver callable.
+
+Mirrors the DESIGN.md per-experiment index so tools (benches, the
+``examples/reproduce_paper.py`` script) can enumerate and run everything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.convergence import run_convergence
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig4b import run_fig4b
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.table2 import run_table2
+from repro.experiments.table4 import run_table4
+from repro.experiments.weak_scaling import run_weak_scaling
+
+#: All experiment drivers keyed by the DESIGN.md experiment id.  ``fig7``
+#: takes a Fig. 5/6 result; the registry entry wires it to a small Fig. 5 run.
+EXPERIMENTS: dict[str, Callable] = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig4b": run_fig4b,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": lambda **kwargs: run_fig7(run_fig5(n_runs=kwargs.pop("n_runs", 10), **kwargs)),
+    "table2": run_table2,
+    "table4": run_table4,
+    "convergence": run_convergence,
+    "weak-scaling": run_weak_scaling,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    """Look up a driver by experiment id; raises ``KeyError`` with the
+    available ids otherwise."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,73 @@
+"""Table II — FTI checkpoint-overhead characterization.
+
+Regenerates the characterization from first principles: the Fusion-like
+storage hierarchy (:func:`repro.cluster.characterize.fusion_like_cluster`)
+is swept over the paper's scales (128-1,024 cores), producing a
+Table II-shaped cost table; least-squares fitting then recovers the
+Formula (19) coefficients, which are compared against the paper's quoted
+``(0.866, 0), (2.586, 0), (3.886, 0), (5.5, 0.0212)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.characterize import (
+    CharacterizationResult,
+    characterize_checkpoint_costs,
+)
+from repro.costs.fti_fusion import (
+    FTI_FUSION_CHECKPOINT_TABLE,
+    FTI_FUSION_PAPER_COEFFS,
+    FTI_FUSION_SCALES,
+)
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Regenerated characterization vs the paper's Table II.
+
+    Attributes
+    ----------
+    characterization:
+        The sweep over the simulated storage hierarchy.
+    paper_table:
+        The paper's measured Table II (seconds).
+    max_relative_error:
+        Worst cell-wise relative deviation of the regenerated table from
+        the paper's measurements.
+    fitted_coefficients:
+        ``(eps_i, alpha_i)`` recovered from the regenerated table.
+    """
+
+    characterization: CharacterizationResult
+    paper_table: np.ndarray
+    max_relative_error: float
+    fitted_coefficients: tuple[tuple[float, float], ...]
+
+
+def run_table2(*, noise: float = 0.0, seed: int = 11) -> Table2Result:
+    """Regenerate Table II from the simulated cluster."""
+    characterization = characterize_checkpoint_costs(
+        scales=tuple(int(s) for s in FTI_FUSION_SCALES), noise=noise, seed=seed
+    )
+    rel = np.abs(characterization.table - FTI_FUSION_CHECKPOINT_TABLE) / (
+        FTI_FUSION_CHECKPOINT_TABLE
+    )
+    fitted = tuple(
+        (float(m.constant), float(m.coefficient))
+        for m in characterization.cost_model.checkpoint
+    )
+    return Table2Result(
+        characterization=characterization,
+        paper_table=FTI_FUSION_CHECKPOINT_TABLE.copy(),
+        max_relative_error=float(rel.max()),
+        fitted_coefficients=fitted,
+    )
+
+
+def paper_coefficients() -> tuple[tuple[float, float], ...]:
+    """The paper's quoted least-squares coefficients."""
+    return FTI_FUSION_PAPER_COEFFS

@@ -1,0 +1,82 @@
+"""Table IV — constant PFS checkpoint cost (Blue-Waters-class file system).
+
+Setting: per-level checkpoint costs fixed at (50, 100, 200, 2000) seconds
+regardless of scale ("the problem size is huge", so even a scalable PFS
+pays a large constant), workload T_e = 2 million core-days, ``N^(*) = 10^6``
+cores, three failure cases.  The paper's table has two four-row blocks; it
+does not state the parameter distinguishing them, so this reproduction uses
+two allocation periods (A = 300 s upper block, A = 60 s lower block — a
+faster-reallocating system), which produces the same small uniform
+WCT/efficiency shift between blocks.  The substitution is recorded in
+DESIGN.md/EXPERIMENTS.md.
+
+Paper shape the bench asserts: ML(opt-scale) has the shortest wall-clock
+(~11-15 days) and its efficiency beats ML(ori-scale) by >= ~12 %;
+SL(ori-scale) collapses to ~890 days at efficiency ~0.002; ML(opt-scale)
+scales land in the 0.8-1.0 M range (the constant PFS cost no longer punishes
+large scales, so only the failure-rate growth pushes N below N^(*)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.notation import ModelParameters, Solution
+from repro.experiments.config import TABLE4_CASES, make_params, table4_cost_models
+from repro.experiments.fig5 import CaseResult, run_case
+from repro.sim.metrics import EnsembleResult
+from repro.util.rng import SeedLike, spawn_generators
+
+TABLE4_TE_CORE_DAYS: float = 2e6
+#: Allocation periods distinguishing the two row blocks.
+TABLE4_BLOCK_ALLOCATIONS: tuple[float, ...] = (300.0, 60.0)
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Both blocks of Table IV: ``blocks[a][case]`` is a CaseResult."""
+
+    blocks: dict[float, dict[str, CaseResult]]
+
+    def wct_days(self, allocation: float, case: str, strategy: str) -> float:
+        """Simulated mean wall-clock in days for one cell."""
+        ensemble = self.blocks[allocation][case].ensembles[strategy]
+        return ensemble.mean_wallclock / 86_400.0
+
+    def efficiency(self, allocation: float, case: str, strategy: str) -> float:
+        """Simulated mean efficiency for one cell."""
+        case_result = self.blocks[allocation][case]
+        ensemble = case_result.ensembles[strategy]
+        n = case_result.solutions[strategy].scale_rounded()
+        te = case_result.params.te_core_seconds
+        return ensemble.mean_efficiency(te, n)
+
+
+def run_table4(
+    *,
+    cases=TABLE4_CASES,
+    allocations=TABLE4_BLOCK_ALLOCATIONS,
+    n_runs: int = 100,
+    seed: SeedLike = 20140606,
+    jitter: float = 0.3,
+) -> Table4Result:
+    """Run the full Table IV experiment (both blocks)."""
+    costs = table4_cost_models()
+    rngs = spawn_generators(seed, len(allocations) * len(cases))
+    blocks: dict[float, dict[str, CaseResult]] = {}
+    rng_iter = iter(rngs)
+    for allocation in allocations:
+        block: dict[str, CaseResult] = {}
+        for case in cases:
+            params = make_params(
+                TABLE4_TE_CORE_DAYS,
+                case,
+                costs=costs,
+                allocation_period=allocation,
+            )
+            block[case] = run_case(
+                params, case, n_runs=n_runs, seed=next(rng_iter), jitter=jitter
+            )
+        blocks[allocation] = block
+    return Table4Result(blocks=blocks)

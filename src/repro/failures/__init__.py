@@ -1,0 +1,40 @@
+"""Failure models: per-level scale-proportional rates, arrival processes, traces."""
+
+from repro.failures.rates import FailureRates
+from repro.failures.distributions import (
+    ArrivalProcess,
+    ExponentialArrivals,
+    LognormalArrivals,
+    WeibullArrivals,
+)
+from repro.failures.logparse import (
+    classify_node_failures,
+    parse_failure_log,
+    parse_node_failures,
+)
+from repro.failures.mtbf import (
+    rates_from_node_mtbf,
+    system_mtbf_days,
+    system_rate_per_day,
+)
+from repro.failures.traces import FailureEventRecord, generate_trace, merge_traces
+from repro.failures.window import CorrelatedWindow, cluster_into_windows
+
+__all__ = [
+    "FailureRates",
+    "ArrivalProcess",
+    "ExponentialArrivals",
+    "WeibullArrivals",
+    "LognormalArrivals",
+    "FailureEventRecord",
+    "generate_trace",
+    "merge_traces",
+    "CorrelatedWindow",
+    "cluster_into_windows",
+    "rates_from_node_mtbf",
+    "system_mtbf_days",
+    "system_rate_per_day",
+    "classify_node_failures",
+    "parse_failure_log",
+    "parse_node_failures",
+]

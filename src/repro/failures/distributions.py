@@ -1,0 +1,121 @@
+"""Failure inter-arrival time distributions.
+
+The paper's evaluation uses exponential inter-arrival times ("the behavior
+of the system for most of its lifetime", citing Snyder & Miller).  Weibull
+and lognormal processes are provided for the robustness ablation: the
+optimizer assumes only the *expected number* of failures per level
+(Formula 22), so its solutions should degrade gracefully under
+non-exponential arrivals — the ablation bench checks exactly that.
+
+Every process yields inter-arrival times with a prescribed *mean rate*
+(events/second) so that swapping distributions holds ``mu_i`` fixed.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+
+
+class ArrivalProcess(abc.ABC):
+    """A renewal process generating failure arrival times."""
+
+    @abc.abstractmethod
+    def sample_interarrivals(
+        self, rate_per_second: float, size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``size`` inter-arrival times (seconds) with mean ``1/rate``."""
+
+    def sample_arrivals(
+        self,
+        rate_per_second: float,
+        horizon_seconds: float,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Arrival instants in ``[0, horizon)`` for the given mean rate.
+
+        Draws inter-arrival batches and accumulates until the horizon is
+        exceeded; returns a sorted 1-D array (empty when the rate is zero).
+        """
+        if rate_per_second < 0:
+            raise ValueError(f"rate must be non-negative, got {rate_per_second}")
+        if horizon_seconds < 0:
+            raise ValueError(f"horizon must be non-negative, got {horizon_seconds}")
+        if rate_per_second == 0.0 or horizon_seconds == 0.0:
+            return np.empty(0)
+        rng = as_generator(seed)
+        expected = rate_per_second * horizon_seconds
+        batch = max(16, int(expected * 1.5) + 8)
+        times: list[np.ndarray] = []
+        total = 0.0
+        while True:
+            gaps = self.sample_interarrivals(rate_per_second, batch, rng)
+            arrivals = total + np.cumsum(gaps)
+            times.append(arrivals)
+            total = float(arrivals[-1])
+            if total >= horizon_seconds:
+                break
+        all_arrivals = np.concatenate(times)
+        return all_arrivals[all_arrivals < horizon_seconds]
+
+
+class ExponentialArrivals(ArrivalProcess):
+    """Poisson process — exponential inter-arrival times (the paper's choice)."""
+
+    def sample_interarrivals(self, rate_per_second, size, rng):
+        if rate_per_second <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_second}")
+        return rng.exponential(1.0 / rate_per_second, size=size)
+
+    def __repr__(self) -> str:
+        return "ExponentialArrivals()"
+
+
+class WeibullArrivals(ArrivalProcess):
+    """Weibull renewal process with shape ``k`` and mean ``1/rate``.
+
+    ``k < 1`` models infant-mortality-dominated systems (bursty failures),
+    ``k = 1`` degenerates to exponential, ``k > 1`` to wear-out behaviour.
+    The scale parameter is chosen so the mean inter-arrival equals
+    ``1/rate``: ``scale = 1 / (rate * Gamma(1 + 1/k))``.
+    """
+
+    def __init__(self, shape: float = 0.7):
+        if not shape > 0:
+            raise ValueError(f"Weibull shape must be positive, got {shape}")
+        self.shape = float(shape)
+
+    def sample_interarrivals(self, rate_per_second, size, rng):
+        if rate_per_second <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_second}")
+        scale = 1.0 / (rate_per_second * math.gamma(1.0 + 1.0 / self.shape))
+        return scale * rng.weibull(self.shape, size=size)
+
+    def __repr__(self) -> str:
+        return f"WeibullArrivals(shape={self.shape})"
+
+
+class LognormalArrivals(ArrivalProcess):
+    """Lognormal renewal process with log-space sigma and mean ``1/rate``.
+
+    ``mu`` in log space is chosen so the arithmetic mean equals ``1/rate``:
+    ``mu = -ln(rate) - sigma^2 / 2``.
+    """
+
+    def __init__(self, sigma: float = 1.0):
+        if not sigma > 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.sigma = float(sigma)
+
+    def sample_interarrivals(self, rate_per_second, size, rng):
+        if rate_per_second <= 0:
+            raise ValueError(f"rate must be positive, got {rate_per_second}")
+        mu = -math.log(rate_per_second) - self.sigma**2 / 2.0
+        return rng.lognormal(mean=mu, sigma=self.sigma, size=size)
+
+    def __repr__(self) -> str:
+        return f"LognormalArrivals(sigma={self.sigma})"

@@ -1,0 +1,105 @@
+"""Failure-log ingestion.
+
+Production systems keep failure logs as flat records (timestamp, node,
+optional category).  This module parses the common CSV shape into the
+library's types and classifies raw node-failure streams into per-level
+events by grouping them into correlated windows and asking the cluster
+topology which checkpoint level each window requires — the pipeline the
+paper's footnote 1 describes (1-2 minute correlated windows).
+
+Expected line format (header optional, ``#`` comments ignored)::
+
+    time_seconds,node_id[,level]
+
+When the ``level`` column is present the records are taken as pre-classified
+(:func:`parse_failure_log`); otherwise
+:func:`classify_node_failures` derives levels from the topology.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+from repro.cluster.topology import ClusterTopology
+from repro.failures.traces import FailureEventRecord
+from repro.failures.window import cluster_into_windows
+from repro.fti.recovery import RecoveryPlanner
+
+
+def _rows(text: str) -> Iterable[list[str]]:
+    for line_number, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        cells = [c.strip() for c in line.split(",")]
+        if cells and cells[0].lower() in ("time", "time_seconds", "timestamp"):
+            continue  # header
+        yield line_number, cells
+
+
+def parse_failure_log(text: str) -> list[FailureEventRecord]:
+    """Parse a pre-classified log (``time,node,level``) into events.
+
+    The node column is accepted (for provenance) but only time and level
+    enter the records; lines must be chronological.
+    """
+    events: list[FailureEventRecord] = []
+    for line_number, cells in _rows(text):
+        if len(cells) != 3:
+            raise ValueError(
+                f"line {line_number}: expected 'time,node,level', got {cells}"
+            )
+        try:
+            time = float(cells[0])
+            level = int(cells[2])
+        except ValueError as exc:
+            raise ValueError(f"line {line_number}: {exc}") from None
+        events.append(FailureEventRecord(time=time, level=level))
+    for prev, nxt in zip(events, events[1:]):
+        if nxt.time < prev.time:
+            raise ValueError("failure log must be chronological")
+    return events
+
+
+def parse_node_failures(text: str) -> tuple[list[float], list[int]]:
+    """Parse a raw log (``time,node``) into parallel time/node lists."""
+    times: list[float] = []
+    nodes: list[int] = []
+    for line_number, cells in _rows(text):
+        if len(cells) < 2:
+            raise ValueError(
+                f"line {line_number}: expected 'time,node', got {cells}"
+            )
+        try:
+            times.append(float(cells[0]))
+            nodes.append(int(cells[1]))
+        except ValueError as exc:
+            raise ValueError(f"line {line_number}: {exc}") from None
+    return times, nodes
+
+
+def classify_node_failures(
+    text: str,
+    topology: ClusterTopology,
+    *,
+    window_seconds: float = 60.0,
+) -> list[FailureEventRecord]:
+    """Raw node-failure log -> per-level failure events.
+
+    Node failures are grouped into correlated windows
+    (:func:`~repro.failures.window.cluster_into_windows`) and each window
+    classified by the topology's recovery rule: the event's level is the
+    cheapest checkpoint level whose mechanism survives the window's node
+    set.  One :class:`FailureEventRecord` per window, stamped at the
+    window start.
+    """
+    times, nodes = parse_node_failures(text)
+    planner = RecoveryPlanner(topology)
+    windows = cluster_into_windows(times, nodes, window_seconds=window_seconds)
+    return [
+        FailureEventRecord(
+            time=w.start, level=int(planner.classify_failure(w.node_ids))
+        )
+        for w in windows
+    ]

@@ -1,0 +1,76 @@
+"""MTBF bridging utilities.
+
+Operators reason in node-level MTBFs ("our nodes last 5 years") and failure
+taxonomies ("60 % of our events are transient"); the model wants per-level
+rates at a baseline scale.  These helpers convert between the two, using
+the standard exponential-composition identity: ``M`` independent components
+with MTBF ``m`` fail collectively at rate ``M / m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.failures.rates import FailureRates
+from repro.util.units import SECONDS_PER_DAY
+
+
+def system_rate_per_day(component_mtbf_days: float, num_components: int) -> float:
+    """Aggregate failure rate (events/day) of ``num_components`` independent
+    components each with MTBF ``component_mtbf_days``."""
+    if component_mtbf_days <= 0:
+        raise ValueError(f"MTBF must be positive, got {component_mtbf_days}")
+    if num_components < 1:
+        raise ValueError(f"need >= 1 component, got {num_components}")
+    return num_components / component_mtbf_days
+
+
+def system_mtbf_days(component_mtbf_days: float, num_components: int) -> float:
+    """System MTBF (days): component MTBF divided by the component count."""
+    return 1.0 / system_rate_per_day(component_mtbf_days, num_components)
+
+
+def rates_from_node_mtbf(
+    node_mtbf_days: float,
+    num_nodes: int,
+    cores_per_node: int,
+    level_fractions,
+    *,
+    transient_rate_per_core_day: float = 0.0,
+) -> FailureRates:
+    """Build per-level :class:`FailureRates` from operator-level inputs.
+
+    Parameters
+    ----------
+    node_mtbf_days:
+        MTBF of a single node (hardware failures).
+    num_nodes, cores_per_node:
+        Machine shape; the baseline scale becomes the total core count.
+    level_fractions:
+        How observed *hardware* failures split across levels 2..L (must sum
+        to 1) — e.g. ``(0.7, 0.2, 0.1)``: 70 % isolated node losses
+        (partner-copy recoverable), 20 % adjacent/multi losses (RS), 10 %
+        bigger events (PFS).
+    transient_rate_per_core_day:
+        Level-1 (software/memory) event rate per core-day, added on top of
+        the hardware taxonomy.
+    """
+    fractions = np.asarray(level_fractions, dtype=float)
+    if fractions.ndim != 1 or fractions.size < 1:
+        raise ValueError("level_fractions must be a non-empty 1-D sequence")
+    if np.any(fractions < 0) or not np.isclose(fractions.sum(), 1.0):
+        raise ValueError(
+            f"level_fractions must be non-negative and sum to 1, got {fractions}"
+        )
+    if transient_rate_per_core_day < 0:
+        raise ValueError(
+            "transient_rate_per_core_day must be >= 0, got "
+            f"{transient_rate_per_core_day}"
+        )
+    baseline_cores = num_nodes * cores_per_node
+    hardware_per_day = system_rate_per_day(node_mtbf_days, num_nodes)
+    level1 = transient_rate_per_core_day * baseline_cores
+    rates = (level1, *(float(hardware_per_day * f) for f in fractions))
+    return FailureRates(
+        per_day_at_baseline=rates, baseline_scale=float(baseline_cores)
+    )

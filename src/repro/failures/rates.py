@@ -1,0 +1,114 @@
+"""Per-level, scale-proportional failure rates.
+
+The paper's evaluation names each case ``r1-r2-r3-r4``: ``r_i`` failure
+events per day at checkpoint level ``i`` when the application runs on the
+*baseline* number of cores ``N_b`` (always set to ``N^(*) = 10^6`` in the
+paper).  "The real failure rates experienced actually increase with the
+number of cores proportionally" — so at scale ``N`` the level-``i`` rate is
+
+``lambda_i(N) = (r_i / 86400) * N / N_b``   [events per second].
+
+The expected number of level-``i`` failures during a wall-clock period
+``T`` is then ``mu_i = lambda_i(N) * T`` (Formula 22 with exponential
+arrivals), which is the quantity Algorithm 1's outer loop iterates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.units import per_day_to_per_second
+
+
+@dataclass(frozen=True)
+class FailureRates:
+    """Per-level failure rates tied to a baseline scale.
+
+    Parameters
+    ----------
+    per_day_at_baseline:
+        ``(r_1, ..., r_L)`` — events/day for each level at scale ``N_b``.
+    baseline_scale:
+        ``N_b`` in cores (the paper uses 10^6 throughout).
+    """
+
+    per_day_at_baseline: tuple[float, ...]
+    baseline_scale: float
+
+    def __post_init__(self):
+        if len(self.per_day_at_baseline) == 0:
+            raise ValueError("at least one level rate is required")
+        if any(r < 0 for r in self.per_day_at_baseline):
+            raise ValueError(
+                f"rates must be non-negative, got {self.per_day_at_baseline}"
+            )
+        if not self.baseline_scale > 0:
+            raise ValueError(
+                f"baseline_scale must be positive, got {self.baseline_scale}"
+            )
+
+    @property
+    def num_levels(self) -> int:
+        """``L`` — number of checkpoint levels covered."""
+        return len(self.per_day_at_baseline)
+
+    def rates_per_second(self, n: float) -> np.ndarray:
+        """``[lambda_1(N), ..., lambda_L(N)]`` in events/second at scale ``n``."""
+        base = np.array(
+            [per_day_to_per_second(r) for r in self.per_day_at_baseline]
+        )
+        return base * (n / self.baseline_scale)
+
+    def rate_derivatives_per_second(self, n: float) -> np.ndarray:
+        """``d lambda_i / dN`` — constant since rates scale linearly with N."""
+        del n  # linear in N, derivative is scale-independent
+        base = np.array(
+            [per_day_to_per_second(r) for r in self.per_day_at_baseline]
+        )
+        return base / self.baseline_scale
+
+    def total_rate_per_second(self, n: float) -> float:
+        """Aggregate failure rate over all levels (used by single-level baselines,
+        where every failure forces a PFS-checkpoint rollback)."""
+        return float(np.sum(self.rates_per_second(n)))
+
+    def expected_failures(self, n: float, wallclock_seconds: float) -> np.ndarray:
+        """``mu_i = lambda_i(N) * T_w`` — Formula (22) expectation per level."""
+        if wallclock_seconds < 0:
+            raise ValueError(
+                f"wallclock must be non-negative, got {wallclock_seconds}"
+            )
+        return self.rates_per_second(n) * wallclock_seconds
+
+    def single_level(self) -> "FailureRates":
+        """Collapse all levels into one (for single-level baselines)."""
+        return FailureRates(
+            per_day_at_baseline=(float(sum(self.per_day_at_baseline)),),
+            baseline_scale=self.baseline_scale,
+        )
+
+    @classmethod
+    def from_case_name(
+        cls, case: str, baseline_scale: float = 1_000_000.0
+    ) -> "FailureRates":
+        """Parse the paper's ``"16-12-8-4"``-style case labels.
+
+        Each dash-separated token is events/day at one level; ``0.5``-style
+        fractional tokens are accepted (case ``4-2-1-0.5``).
+        """
+        try:
+            rates = tuple(float(tok) for tok in case.split("-"))
+        except ValueError:
+            raise ValueError(f"cannot parse failure-rate case name {case!r}") from None
+        if not rates:
+            raise ValueError(f"empty failure-rate case name {case!r}")
+        return cls(per_day_at_baseline=rates, baseline_scale=baseline_scale)
+
+    def case_name(self) -> str:
+        """Inverse of :meth:`from_case_name` (``16-12-8-4`` style)."""
+        parts = []
+        for r in self.per_day_at_baseline:
+            parts.append(f"{r:g}")
+        return "-".join(parts)

@@ -1,0 +1,105 @@
+"""Failure trace generation.
+
+A *trace* is the time-ordered list of failure events (arrival instant +
+checkpoint level) the simulator injects into a run.  Traces are generated
+per level from an :class:`~repro.failures.distributions.ArrivalProcess`
+and merged; each level's stream uses an independent child generator so
+replicated runs are reproducible from one root seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.failures.distributions import ArrivalProcess, ExponentialArrivals
+from repro.failures.rates import FailureRates
+from repro.util.rng import SeedLike, spawn_generators
+
+
+@dataclass(frozen=True, order=True)
+class FailureEventRecord:
+    """One failure occurrence: wall-clock instant (s) and level (1-based).
+
+    Ordering is by time (then level) so sorted traces are chronological.
+    """
+
+    time: float
+    level: int
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ValueError(f"failure time must be >= 0, got {self.time}")
+        if self.level < 1:
+            raise ValueError(f"level must be >= 1, got {self.level}")
+
+
+def generate_trace(
+    rates: FailureRates,
+    n: float,
+    horizon_seconds: float,
+    *,
+    process: ArrivalProcess | None = None,
+    seed: SeedLike = None,
+) -> list[FailureEventRecord]:
+    """Generate a chronological failure trace over ``[0, horizon)``.
+
+    Parameters
+    ----------
+    rates:
+        Per-level failure rates (scaled to ``n`` internally).
+    n:
+        Execution scale in cores.
+    horizon_seconds:
+        Trace length.  The simulator extends traces lazily when a run
+        overshoots; see :class:`repro.sim.failure_injection.FailureInjector`.
+    process:
+        Inter-arrival process (default exponential, as in the paper).
+    seed:
+        Root seed; each level gets an independent child stream.
+    """
+    if process is None:
+        process = ExponentialArrivals()
+    level_rates = rates.rates_per_second(n)
+    rngs = spawn_generators(seed, len(level_rates))
+    events: list[FailureEventRecord] = []
+    for level_idx, (rate, rng) in enumerate(zip(level_rates, rngs)):
+        if rate <= 0:
+            continue
+        arrivals = process.sample_arrivals(rate, horizon_seconds, seed=rng)
+        events.extend(
+            FailureEventRecord(time=float(t), level=level_idx + 1) for t in arrivals
+        )
+    events.sort()
+    return events
+
+
+def merge_traces(
+    *traces: Sequence[FailureEventRecord],
+) -> list[FailureEventRecord]:
+    """Merge chronological traces into one chronological trace."""
+    merged: list[FailureEventRecord] = []
+    for trace in traces:
+        merged.extend(trace)
+    merged.sort()
+    return merged
+
+
+def empirical_rates_per_day(
+    trace: Sequence[FailureEventRecord],
+    horizon_seconds: float,
+    num_levels: int,
+) -> np.ndarray:
+    """Observed events/day per level in a trace (for calibration tests)."""
+    if horizon_seconds <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon_seconds}")
+    counts = np.zeros(num_levels)
+    for event in trace:
+        if event.level > num_levels:
+            raise ValueError(
+                f"trace contains level {event.level} but num_levels={num_levels}"
+            )
+        counts[event.level - 1] += 1
+    return counts / (horizon_seconds / 86_400.0)

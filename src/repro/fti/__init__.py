@@ -1,0 +1,35 @@
+"""FTI-style multilevel checkpoint toolkit (functional reimplementation).
+
+The paper builds on the Fault Tolerance Interface (FTI), whose four levels
+are: (1) node-local storage, (2) partner copy, (3) Reed-Solomon encoding,
+(4) the parallel file system.  This subpackage reimplements the toolkit's
+*semantics* in Python:
+
+* real GF(256) arithmetic and systematic Reed-Solomon erasure coding
+  (:mod:`repro.fti.gf256`, :mod:`repro.fti.rs`) — encode/decode round-trips
+  are property-tested;
+* partner-copy placement and recoverability (:mod:`repro.fti.partner`);
+* per-level checkpoint storage and the recovery decision rule — given the
+  set of simultaneously failed nodes, which is the cheapest level that can
+  reconstruct every process's state (:mod:`repro.fti.levels`,
+  :mod:`repro.fti.recovery`);
+* an application-facing API mirroring FTI's protect/checkpoint/recover
+  calls (:mod:`repro.fti.api`).
+"""
+
+from repro.fti.gf256 import GF256
+from repro.fti.rs import ReedSolomonErasure
+from repro.fti.levels import CheckpointLevel, LEVEL_NAMES
+from repro.fti.partner import PartnerStore
+from repro.fti.recovery import RecoveryPlanner
+from repro.fti.api import FTIContext
+
+__all__ = [
+    "GF256",
+    "ReedSolomonErasure",
+    "CheckpointLevel",
+    "LEVEL_NAMES",
+    "PartnerStore",
+    "RecoveryPlanner",
+    "FTIContext",
+]

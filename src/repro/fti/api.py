@@ -1,0 +1,297 @@
+"""Application-facing FTI-like API.
+
+Mirrors the FTI toolkit's workflow on the simulated cluster:
+
+* ``protect(rank, name, array)`` registers application state, like
+  ``FTI_Protect``;
+* ``checkpoint(level)`` snapshots every rank's protected state into the
+  chosen level's storage, like ``FTI_Checkpoint``;
+* ``fail_nodes(...)`` crashes nodes, erasing whatever they stored;
+* ``recover()`` restores all protected state from the cheapest level that
+  survives the observed failure pattern, like ``FTI_Recover``.
+
+Storage semantics per level:
+
+* **Level 1** — blob kept only on the owner node; lost with the node.
+* **Level 2** — blob additionally on the ring partner
+  (:class:`repro.fti.partner.PartnerStore`).
+* **Level 3** — per RS group, real Reed-Solomon parity over the member
+  blobs (:class:`repro.fti.rs.ReedSolomonErasure`).  FTI interleaves the
+  parity chunks across members; here every surviving member can serve the
+  group parity (replicated), which yields the identical node-granularity
+  guarantee — the group survives up to ``m`` simultaneous member losses —
+  with simpler bookkeeping (substitution documented in DESIGN.md).
+* **Level 4** — blob on the PFS, which never fails in this model.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.fti.levels import CheckpointLevel
+from repro.fti.partner import PartnerStore
+from repro.fti.recovery import RecoveryDecision, RecoveryPlanner
+from repro.fti.rs import ReedSolomonErasure
+
+
+def _pad_blocks(blobs: list[bytes]) -> np.ndarray:
+    """Stack variable-length blobs into an equal-length uint8 matrix."""
+    width = max(len(b) for b in blobs)
+    out = np.zeros((len(blobs), width), dtype=np.uint8)
+    for i, b in enumerate(blobs):
+        out[i, : len(b)] = np.frombuffer(b, dtype=np.uint8)
+    return out
+
+
+@dataclass
+class _RSGroupCheckpoint:
+    """One RS group's encoded checkpoint: member blobs + replicated parity."""
+
+    members: list[int]
+    blob_lengths: list[int]
+    data_on_node: dict[int, bytes]
+    parity: np.ndarray  # (m, width)
+    code: ReedSolomonErasure
+
+
+@dataclass
+class FTIContext:
+    """FTI-like multilevel checkpoint context for one application run."""
+
+    topology: ClusterTopology
+    ranks_per_node: int = 1
+    _protected: dict[int, dict[str, np.ndarray]] = field(
+        default_factory=dict, repr=False
+    )
+    _level1: dict[int, bytes] = field(default_factory=dict, repr=False)
+    _partner: PartnerStore = field(init=False, repr=False)
+    _level3: list[_RSGroupCheckpoint] = field(default_factory=list, repr=False)
+    _level4: dict[int, bytes] = field(default_factory=dict, repr=False)
+    _failed: set[int] = field(default_factory=set, repr=False)
+    _planner: RecoveryPlanner = field(init=False, repr=False)
+    #: checkpoint recency: level -> sequence number of its newest checkpoint
+    _seq: dict[int, int] = field(default_factory=dict, repr=False)
+    _next_seq: int = field(default=0, repr=False)
+
+    def __post_init__(self):
+        if self.ranks_per_node < 1:
+            raise ValueError(
+                f"ranks_per_node must be >= 1, got {self.ranks_per_node}"
+            )
+        self._partner = PartnerStore(self.topology)
+        self._planner = RecoveryPlanner(self.topology)
+
+    # -- registration -----------------------------------------------------
+
+    @property
+    def num_ranks(self) -> int:
+        """Total MPI ranks in the job."""
+        return self.topology.num_nodes * self.ranks_per_node
+
+    def node_of_rank(self, rank: int) -> int:
+        """Block distribution of ranks onto nodes."""
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.num_ranks})")
+        return rank // self.ranks_per_node
+
+    def protect(self, rank: int, name: str, array: np.ndarray) -> None:
+        """Register ``array`` as rank-``rank`` state to be checkpointed.
+
+        The live array object is referenced (not copied) so in-place updates
+        between checkpoints are captured, exactly like ``FTI_Protect``.
+        """
+        self.node_of_rank(rank)  # validates
+        self._protected.setdefault(rank, {})[name] = array
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _node_blob(self, node_id: int) -> bytes:
+        """Serialize all protected state of the ranks living on a node."""
+        payload = {}
+        for rank in range(
+            node_id * self.ranks_per_node, (node_id + 1) * self.ranks_per_node
+        ):
+            if rank in self._protected:
+                payload[rank] = {
+                    name: arr.copy() for name, arr in self._protected[rank].items()
+                }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def checkpoint(self, level: CheckpointLevel | int) -> None:
+        """Take a checkpoint of every protected rank at ``level``."""
+        level = CheckpointLevel(level)
+        if not self._protected:
+            raise RuntimeError("nothing protected: call protect() first")
+        blobs = {
+            node: self._node_blob(node) for node in range(self.topology.num_nodes)
+        }
+        if level == CheckpointLevel.LOCAL:
+            self._level1 = dict(blobs)
+        elif level == CheckpointLevel.PARTNER:
+            self._level1 = dict(blobs)
+            for node, blob in blobs.items():
+                self._partner.store(node, blob)
+        elif level == CheckpointLevel.RS_ENCODING:
+            self._level1 = dict(blobs)
+            self._level3 = []
+            n_groups = -(-self.topology.num_nodes // self.topology.rs_group_size)
+            for g in range(n_groups):
+                members = self.topology.rs_group_members(g)
+                member_blobs = [blobs[m] for m in members]
+                k = len(members)
+                m = min(self.topology.rs_parity, max(1, k - 1))
+                code = ReedSolomonErasure(k=k, m=m)
+                data = _pad_blocks(member_blobs)
+                parity = code.encode(data)
+                self._level3.append(
+                    _RSGroupCheckpoint(
+                        members=members,
+                        blob_lengths=[len(b) for b in member_blobs],
+                        data_on_node={mm: blobs[mm] for mm in members},
+                        parity=parity,
+                        code=code,
+                    )
+                )
+        elif level == CheckpointLevel.PFS:
+            self._level4 = dict(blobs)
+        else:  # pragma: no cover - CheckpointLevel() already validates
+            raise ValueError(f"unknown level {level}")
+        self._seq[int(level)] = self._next_seq
+        self._next_seq += 1
+
+    def checkpoints_present(self) -> dict[int, bool]:
+        """Which levels currently hold a *servable* checkpoint.
+
+        Completeness matters, not mere existence: an earlier crash may have
+        destroyed some nodes' blobs, leaving a level unusable until its
+        next checkpoint even though the current failure pattern alone looks
+        survivable.  Level 1 needs every node's local blob; level 2 needs
+        every node recoverable through the partner store; level 3 needs
+        every RS group to retain at least ``k - m`` data blocks.
+        """
+        return {
+            1: len(self._level1) == self.topology.num_nodes
+            and not (set(self._level1) & self._failed),
+            2: bool(self._partner._local)
+            and self._partner.complete_for(self.topology.num_nodes, self._failed),
+            3: bool(self._level3) and self._rs_servable(),
+            4: bool(self._level4),
+        }
+
+    def _rs_servable(self) -> bool:
+        """Whether every RS group can still reconstruct all member blobs."""
+        for group in self._level3:
+            survivors = sum(
+                1
+                for member in group.members
+                if member in group.data_on_node and member not in self._failed
+            )
+            if survivors < len(group.members) - group.code.m:
+                return False
+        return True
+
+    # -- failure ----------------------------------------------------------
+
+    def fail_nodes(self, node_ids: Iterable[int]) -> None:
+        """Crash ``node_ids`` simultaneously, erasing everything they stored."""
+        for node in set(node_ids):
+            self.topology._check_active(node)
+            self._failed.add(node)
+            self._level1.pop(node, None)
+            self._partner.drop_node(node)
+            for group in self._level3:
+                group.data_on_node.pop(node, None)
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self) -> RecoveryDecision:
+        """Restore every protected array from the *newest* surviving level.
+
+        Among levels at or above the failure's classification that hold a
+        servable checkpoint, the most recently *taken* one wins (real FTI
+        restores the newest usable checkpoint, not the cheapest level's) —
+        recency tie-breaks to the cheaper level.  Returns the
+        :class:`RecoveryDecision`; clears the failed-node set (allocation
+        replaced the hardware).
+        """
+        failure_level = self._planner.classify_failure(self._failed)
+        present = self.checkpoints_present()
+        candidates = [
+            level
+            for level in CheckpointLevel.all_levels()
+            if level >= failure_level and present.get(int(level), False)
+        ]
+        if not candidates:
+            raise ValueError(
+                f"no checkpoint at level >= {int(failure_level)} exists; "
+                "the application state is unrecoverable"
+            )
+        chosen = max(candidates, key=lambda lvl: (self._seq.get(int(lvl), -1), -int(lvl)))
+        decision = RecoveryDecision(
+            failure_level=failure_level, recovery_level=chosen
+        )
+        blobs = self._collect_blobs(decision.recovery_level)
+        for node, blob in blobs.items():
+            payload = pickle.loads(blob)
+            for rank, arrays in payload.items():
+                for name, saved in arrays.items():
+                    live = self._protected.get(rank, {}).get(name)
+                    if live is not None and live.shape == saved.shape:
+                        live[...] = saved
+                    else:
+                        self._protected.setdefault(rank, {})[name] = saved.copy()
+        for node in self._failed:
+            self.topology.nodes[node].repair()
+        self._failed.clear()
+        return decision
+
+    def _collect_blobs(self, level: CheckpointLevel) -> dict[int, bytes]:
+        if level == CheckpointLevel.LOCAL:
+            if len(self._level1) != self.topology.num_nodes:
+                raise ValueError("level-1 checkpoint incomplete after node loss")
+            return dict(self._level1)
+        if level == CheckpointLevel.PARTNER:
+            return {
+                node: self._partner.recover(node, self._failed)
+                for node in range(self.topology.num_nodes)
+            }
+        if level == CheckpointLevel.RS_ENCODING:
+            out: dict[int, bytes] = {}
+            for group in self._level3:
+                out.update(self._recover_rs_group(group))
+            return out
+        if level == CheckpointLevel.PFS:
+            return dict(self._level4)
+        raise ValueError(f"unknown level {level}")  # pragma: no cover
+
+    def _recover_rs_group(self, group: _RSGroupCheckpoint) -> dict[int, bytes]:
+        k = len(group.members)
+        surviving: list[tuple[int, np.ndarray]] = []
+        width = group.parity.shape[1]
+        for idx, member in enumerate(group.members):
+            if member in group.data_on_node:
+                block = np.zeros(width, dtype=np.uint8)
+                raw = np.frombuffer(group.data_on_node[member], dtype=np.uint8)
+                block[: raw.size] = raw
+                surviving.append((idx, block))
+        needed_parity = k - len(surviving)
+        if needed_parity > group.code.m:
+            raise ValueError(
+                f"RS group {group.members} lost {needed_parity} data blocks, "
+                f"more than parity m={group.code.m} can restore"
+            )
+        for p in range(needed_parity):
+            surviving.append((k + p, group.parity[p]))
+        surviving = surviving[:k]
+        blocks = np.stack([b for _, b in surviving])
+        indices = [i for i, _ in surviving]
+        data = group.code.decode(blocks, indices)
+        out = {}
+        for idx, member in enumerate(group.members):
+            out[member] = data[idx, : group.blob_lengths[idx]].tobytes()
+        return out

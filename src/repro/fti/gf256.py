@@ -1,0 +1,152 @@
+"""GF(2^8) arithmetic for Reed-Solomon erasure coding.
+
+The field is built over the AES polynomial ``x^8 + x^4 + x^3 + x + 1``
+(0x11b) with generator 3.  Multiplication and division use log/antilog
+tables; array operations are vectorized through NumPy table lookups so
+encoding large checkpoints stays fast (per the hpc-parallel guides:
+vectorize the hot loop, no per-byte Python).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POLY = 0x11B
+_GENERATOR = 3
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by the generator (3) in GF(256): x*3 = x*2 ^ x
+        x2 = x << 1
+        if x2 & 0x100:
+            x2 ^= _POLY
+        x = x2 ^ x
+    exp[255:510] = exp[0:255]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+class GF256:
+    """Static helpers for GF(2^8) arithmetic (scalars and uint8 arrays)."""
+
+    #: Antilog table: ``EXP[i] = g^i`` (doubled so sums of logs index directly).
+    EXP = _EXP
+    #: Log table: ``LOG[g^i] = i``; ``LOG[0]`` is unused (log of 0 undefined).
+    LOG = _LOG
+
+    @staticmethod
+    def add(a, b):
+        """Addition = subtraction = XOR in characteristic 2."""
+        return np.bitwise_xor(a, b)
+
+    @staticmethod
+    def mul(a, b):
+        """Elementwise product of scalars or uint8 arrays."""
+        a_arr = np.asarray(a, dtype=np.uint8)
+        b_arr = np.asarray(b, dtype=np.uint8)
+        result = GF256.EXP[
+            _LOG[a_arr.astype(np.int32)] + _LOG[b_arr.astype(np.int32)]
+        ]
+        # x * 0 = 0: the log of 0 is garbage, mask it out.
+        zero = (a_arr == 0) | (b_arr == 0)
+        result = np.where(zero, np.uint8(0), result)
+        if result.ndim == 0:
+            return int(result)
+        return result.astype(np.uint8)
+
+    @staticmethod
+    def inverse(a):
+        """Multiplicative inverse; raises on 0."""
+        a_arr = np.asarray(a, dtype=np.uint8)
+        if np.any(a_arr == 0):
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        result = GF256.EXP[255 - _LOG[a_arr.astype(np.int32)]]
+        if result.ndim == 0:
+            return int(result)
+        return result.astype(np.uint8)
+
+    @staticmethod
+    def div(a, b):
+        """Elementwise quotient; raises on division by zero."""
+        b_arr = np.asarray(b, dtype=np.uint8)
+        if np.any(b_arr == 0):
+            raise ZeroDivisionError("division by zero in GF(256)")
+        a_arr = np.asarray(a, dtype=np.uint8)
+        result = GF256.EXP[
+            (_LOG[a_arr.astype(np.int32)] - _LOG[b_arr.astype(np.int32)]) % 255
+        ]
+        zero = a_arr == 0
+        result = np.where(zero, np.uint8(0), result)
+        if result.ndim == 0:
+            return int(result)
+        return result.astype(np.uint8)
+
+    @staticmethod
+    def pow(a: int, exponent: int) -> int:
+        """``a ** exponent`` for scalar ``a``."""
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise ZeroDivisionError("0 to a negative power in GF(256)")
+            return 0
+        log_a = int(_LOG[a])
+        return int(GF256.EXP[(log_a * exponent) % 255])
+
+    @staticmethod
+    def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product over GF(256).
+
+        ``a`` is (m, k) uint8, ``b`` is (k, n) uint8; result (m, n) uint8.
+        Row-at-a-time accumulation with vectorized scalar-vector products
+        keeps memory bounded for large ``n`` (checkpoint payloads).
+        """
+        a = np.asarray(a, dtype=np.uint8)
+        b = np.asarray(b, dtype=np.uint8)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise ValueError(f"incompatible shapes for matmul: {a.shape} x {b.shape}")
+        m, k = a.shape
+        _, n = b.shape
+        out = np.zeros((m, n), dtype=np.uint8)
+        for j in range(k):
+            col = a[:, j]  # (m,)
+            row = b[j]  # (n,)
+            # outer product col_i * row over GF, accumulated by XOR
+            contrib = GF256.mul(col[:, None], row[None, :])
+            np.bitwise_xor(out, contrib, out=out)
+        return out
+
+    @staticmethod
+    def mat_inverse(matrix: np.ndarray) -> np.ndarray:
+        """Invert a square matrix over GF(256) by Gauss-Jordan elimination.
+
+        Raises ``np.linalg.LinAlgError`` when singular.
+        """
+        a = np.asarray(matrix, dtype=np.uint8).copy()
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {a.shape}")
+        n = a.shape[0]
+        aug = np.concatenate([a, np.eye(n, dtype=np.uint8)], axis=1)
+        for col in range(n):
+            pivot_rows = np.nonzero(aug[col:, col])[0]
+            if pivot_rows.size == 0:
+                raise np.linalg.LinAlgError("matrix is singular over GF(256)")
+            pivot = col + int(pivot_rows[0])
+            if pivot != col:
+                aug[[col, pivot]] = aug[[pivot, col]]
+            inv_pivot = GF256.inverse(int(aug[col, col]))
+            aug[col] = GF256.mul(aug[col], np.uint8(inv_pivot))
+            # eliminate this column from every other row
+            factors = aug[:, col].copy()
+            factors[col] = 0
+            elimination = GF256.mul(factors[:, None], aug[col][None, :])
+            np.bitwise_xor(aug, elimination, out=aug)
+        return aug[:, n:]

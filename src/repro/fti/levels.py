@@ -1,0 +1,48 @@
+"""Checkpoint level definitions.
+
+FTI's four levels, in increasing order of cost and protection strength
+(paper Section I/II).  The integer values match the paper's 1-based level
+indices everywhere in this library.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CheckpointLevel(enum.IntEnum):
+    """The four FTI checkpoint levels."""
+
+    #: Node-local storage: survives software/transient errors only.
+    LOCAL = 1
+    #: Partner copy: survives non-adjacent node failures.
+    PARTNER = 2
+    #: Reed-Solomon encoding: survives up to ``m`` losses per RS group.
+    RS_ENCODING = 3
+    #: Parallel file system: survives anything the lower levels cannot.
+    PFS = 4
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name used in reports."""
+        return LEVEL_NAMES[self.value - 1]
+
+    @classmethod
+    def all_levels(cls) -> tuple["CheckpointLevel", ...]:
+        """All four levels in ascending order."""
+        return (cls.LOCAL, cls.PARTNER, cls.RS_ENCODING, cls.PFS)
+
+    def protects_against(self, failure_level: int) -> bool:
+        """Whether a checkpoint at this level recovers a level-``failure_level``
+        failure (a checkpoint recovers failures at or below its own level)."""
+        if failure_level < 1:
+            raise ValueError(f"failure level must be >= 1, got {failure_level}")
+        return self.value >= failure_level
+
+
+LEVEL_NAMES: tuple[str, ...] = (
+    "local-storage",
+    "partner-copy",
+    "rs-encoding",
+    "pfs",
+)

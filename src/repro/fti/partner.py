@@ -1,0 +1,95 @@
+"""Partner-copy checkpoint storage (FTI level 2).
+
+Each node's checkpoint blob is stored twice: on the node itself and on its
+ring partner.  A set of simultaneous node failures is recoverable iff every
+failed node's partner survived — then every lost blob still has one live
+copy.  This module implements the placement and the reconstruction lookup
+for real payloads (the simulator only needs the boolean recoverability,
+which :meth:`ClusterTopology.partner_survives` answers; this store is used
+by the functional FTI API and its tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cluster.topology import ClusterTopology
+
+
+@dataclass
+class PartnerStore:
+    """In-memory partner-copy store over a cluster topology."""
+
+    topology: ClusterTopology
+    #: primary copies: node -> blob
+    _local: dict[int, bytes] = field(default_factory=dict, repr=False)
+    #: partner copies: holder node -> {origin node -> blob}
+    _remote: dict[int, dict[int, bytes]] = field(default_factory=dict, repr=False)
+
+    def store(self, node_id: int, blob: bytes) -> int:
+        """Store ``blob`` for ``node_id`` locally and on its partner.
+
+        Returns the partner node id holding the second copy.
+        """
+        partner = self.topology.partner_of(node_id)
+        self._local[node_id] = bytes(blob)
+        self._remote.setdefault(partner, {})[node_id] = bytes(blob)
+        return partner
+
+    def drop_node(self, node_id: int) -> None:
+        """Erase everything held on ``node_id`` (it crashed)."""
+        self._local.pop(node_id, None)
+        self._remote.pop(node_id, None)
+
+    def recover(self, node_id: int, failed: Iterable[int]) -> bytes:
+        """Fetch ``node_id``'s blob given the set of failed nodes.
+
+        Prefers the local copy when the node survived, falls back to the
+        partner copy; raises ``KeyError`` when both are gone.
+        """
+        failed_set = set(failed)
+        if node_id not in failed_set and node_id in self._local:
+            return self._local[node_id]
+        partner = self.topology.partner_of(node_id)
+        if partner not in failed_set:
+            holder = self._remote.get(partner, {})
+            if node_id in holder:
+                return holder[node_id]
+        raise KeyError(
+            f"checkpoint of node {node_id} unrecoverable: node and partner "
+            f"{partner} both failed or never checkpointed"
+        )
+
+    def recoverable(self, failed: Iterable[int]) -> bool:
+        """Whether every stored blob survives losing ``failed``.
+
+        Matches :meth:`ClusterTopology.partner_survives` for nodes that have
+        checkpointed; nodes without a stored blob are ignored.
+        """
+        failed_set = set(failed)
+        for node_id in self._local:
+            if node_id in failed_set:
+                partner = self.topology.partner_of(node_id)
+                if partner in failed_set:
+                    return False
+        return True
+
+    def complete_for(self, num_nodes: int, failed: Iterable[int]) -> bool:
+        """Whether *every* node's blob is currently servable.
+
+        Stricter than :meth:`recoverable`: after an earlier crash dropped a
+        node's copies, the set stays incomplete until the next level-2
+        checkpoint — even though no pair of the *current* failures is
+        adjacent.  Recovery planning must use this completeness check.
+        """
+        failed_set = set(failed)
+        for node_id in range(num_nodes):
+            if node_id not in failed_set and node_id in self._local:
+                continue
+            partner = self.topology.partner_of(node_id)
+            if partner in failed_set:
+                return False
+            if node_id not in self._remote.get(partner, {}):
+                return False
+        return True

@@ -1,0 +1,83 @@
+"""Recovery planning: which level restores a given failure pattern.
+
+Given the set of simultaneously failed nodes (a correlated window,
+:mod:`repro.failures.window`) and which checkpoint levels currently hold a
+valid checkpoint, the planner picks the cheapest viable level:
+
+1. no hardware loss (software/transient error) -> level 1 suffices;
+2. partners intact -> level 2;
+3. at most ``m`` losses per RS group -> level 3;
+4. otherwise -> level 4 (PFS), which always works.
+
+This is the FTI decision rule that the paper's failure-level taxonomy
+(Section II) encodes; the simulator's per-level failure streams are the
+statistical abstraction of exactly this classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.cluster.topology import ClusterTopology
+from repro.fti.levels import CheckpointLevel
+
+
+@dataclass(frozen=True)
+class RecoveryDecision:
+    """Outcome of planning a recovery.
+
+    Attributes
+    ----------
+    failure_level:
+        The cheapest level whose *mechanism* survives the failure pattern
+        (what the paper calls the failure's level).
+    recovery_level:
+        The level whose checkpoint will actually be used: the cheapest
+        level >= ``failure_level`` that holds a valid checkpoint.
+    """
+
+    failure_level: CheckpointLevel
+    recovery_level: CheckpointLevel
+
+
+class RecoveryPlanner:
+    """Maps failure patterns to recovery levels over a topology."""
+
+    def __init__(self, topology: ClusterTopology):
+        self.topology = topology
+
+    def classify_failure(self, failed_nodes: Iterable[int]) -> CheckpointLevel:
+        """The cheapest level whose mechanism survives losing ``failed_nodes``."""
+        return CheckpointLevel(self.topology.lowest_recovery_level(failed_nodes))
+
+    def plan(
+        self,
+        failed_nodes: Iterable[int],
+        checkpoints_present: Mapping[int, bool],
+    ) -> RecoveryDecision:
+        """Pick the recovery level for a failure.
+
+        Parameters
+        ----------
+        failed_nodes:
+            Node ids lost in this correlated window (empty = software error).
+        checkpoints_present:
+            ``{level: has_valid_checkpoint}`` for levels 1-4.  Level 4 (PFS)
+            must be present for the plan to be guaranteed; if *no* level at
+            or above the failure level has a checkpoint, ``ValueError`` is
+            raised (the application is lost — it never checkpointed high
+            enough, so it must restart from scratch).
+        """
+        failure_level = self.classify_failure(failed_nodes)
+        for level in CheckpointLevel.all_levels():
+            if level < failure_level:
+                continue
+            if checkpoints_present.get(int(level), False):
+                return RecoveryDecision(
+                    failure_level=failure_level, recovery_level=level
+                )
+        raise ValueError(
+            f"no checkpoint at level >= {int(failure_level)} exists; "
+            "the application state is unrecoverable"
+        )

@@ -1,0 +1,144 @@
+"""Checkpoint-set management: versioning, checksums, atomic commit.
+
+Real FTI maintains *checkpoint sets*: a new checkpoint is written alongside
+the previous one, verified (checksums), and only then atomically promoted —
+a crash mid-write must leave the previous set usable.  This module adds
+that durability layer over the in-memory stores: every blob carries a
+CRC-32; a set is readable only after ``commit()``; an abort (simulated
+crash mid-write) leaves the previous committed set intact; corruption is
+detected on read.
+
+The simulator does not need this fidelity (it abstracts checkpoints to
+costs), but the functional FTI path and its tests do — a checkpoint
+library that can serve a torn write is not a checkpoint library.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class ChecksumError(RuntimeError):
+    """A stored blob failed checksum verification on read."""
+
+
+@dataclass
+class _StoredBlob:
+    payload: bytes
+    crc32: int
+
+    @classmethod
+    def wrap(cls, payload: bytes) -> "_StoredBlob":
+        return cls(payload=bytes(payload), crc32=zlib.crc32(payload))
+
+    def unwrap(self, context: str) -> bytes:
+        if zlib.crc32(self.payload) != self.crc32:
+            raise ChecksumError(f"checksum mismatch reading {context}")
+        return self.payload
+
+
+@dataclass
+class CheckpointSet:
+    """One versioned, atomically-committed set of per-node blobs."""
+
+    version: int
+    level: int
+    _blobs: dict[int, _StoredBlob] = field(default_factory=dict, repr=False)
+    committed: bool = False
+
+    def write(self, node_id: int, payload: bytes) -> None:
+        """Stage ``payload`` for ``node_id``; rejected after commit."""
+        if self.committed:
+            raise RuntimeError(
+                f"checkpoint set v{self.version} is committed and immutable"
+            )
+        self._blobs[node_id] = _StoredBlob.wrap(payload)
+
+    def read(self, node_id: int) -> bytes:
+        """Read a committed, checksum-verified blob."""
+        if not self.committed:
+            raise RuntimeError(
+                f"checkpoint set v{self.version} was never committed"
+            )
+        try:
+            blob = self._blobs[node_id]
+        except KeyError:
+            raise KeyError(
+                f"no blob for node {node_id} in set v{self.version}"
+            ) from None
+        return blob.unwrap(f"node {node_id} of set v{self.version}")
+
+    def corrupt(self, node_id: int) -> None:
+        """Flip a byte in a stored blob (failure-injection for tests)."""
+        blob = self._blobs[node_id]
+        if not blob.payload:
+            raise ValueError(f"blob for node {node_id} is empty")
+        mutated = bytearray(blob.payload)
+        mutated[0] ^= 0xFF
+        blob.payload = bytes(mutated)
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """Nodes with a staged/committed blob."""
+        return tuple(sorted(self._blobs))
+
+
+class CheckpointSetManager:
+    """Rotating two-set manager with atomic promotion.
+
+    At most ``keep`` committed sets are retained (FTI keeps the latest
+    valid one per level; we default to 2 so a verification pass can compare
+    against the predecessor).
+    """
+
+    def __init__(self, keep: int = 2):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.keep = keep
+        self._committed: list[CheckpointSet] = []
+        self._staging: Optional[CheckpointSet] = None
+        self._next_version = 1
+
+    def begin(self, level: int) -> CheckpointSet:
+        """Open a new staging set; any unfinished one is discarded."""
+        self._staging = CheckpointSet(version=self._next_version, level=level)
+        self._next_version += 1
+        return self._staging
+
+    def commit(self) -> CheckpointSet:
+        """Atomically promote the staging set.
+
+        Only after this returns is the new set the recovery source; the
+        previous committed sets are kept per the rotation policy.
+        """
+        if self._staging is None:
+            raise RuntimeError("no staging checkpoint set to commit")
+        if not self._staging._blobs:
+            raise RuntimeError("refusing to commit an empty checkpoint set")
+        self._staging.committed = True
+        self._committed.append(self._staging)
+        self._staging = None
+        if len(self._committed) > self.keep:
+            self._committed = self._committed[-self.keep :]
+        return self._committed[-1]
+
+    def abort(self) -> None:
+        """Discard the staging set (simulates a crash mid-write)."""
+        self._staging = None
+
+    @property
+    def latest(self) -> Optional[CheckpointSet]:
+        """The newest committed set, or None."""
+        return self._committed[-1] if self._committed else None
+
+    def latest_at_or_above(self, level: int) -> Optional[CheckpointSet]:
+        """Newest committed set whose level is >= ``level``."""
+        for cs in reversed(self._committed):
+            if cs.level >= level:
+                return cs
+        return None
+
+    def __iter__(self) -> Iterator[CheckpointSet]:
+        return iter(self._committed)

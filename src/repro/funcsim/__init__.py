@@ -1,0 +1,27 @@
+"""Functional end-to-end simulation (the paper's cluster-experiment analogue).
+
+The abstract simulator (:mod:`repro.sim`) replays checkpoint *costs* and
+failure *levels*; this package runs the whole stack for real, in simulated
+time:
+
+* the actual Heat Distribution kernel computes on the grid
+  (:mod:`repro.apps.heat` under :mod:`repro.apps.simmpi`);
+* checkpoints go through the functional FTI implementation — partner
+  copies, real Reed-Solomon encoding, PFS blobs — with their durations
+  charged from the storage hierarchy (:mod:`repro.cluster.storage`);
+* failures strike *nodes* (drawn to match per-level rates), erase exactly
+  the data those nodes held, trigger the allocator, and recovery restores
+  application state bit-exactly from the cheapest surviving level;
+* the run's wall-clock decomposes into the same four portions the abstract
+  simulator reports.
+
+Because both simulators can be configured from the *same* storage
+hierarchy and failure rates, the functional run is the ground truth the
+abstract one is validated against (:mod:`repro.experiments.fig4b`) — the
+role the real 1,024-core Fusion runs play for the paper's Fig. 4.
+"""
+
+from repro.funcsim.config import FunctionalConfig
+from repro.funcsim.run import FunctionalResult, run_functional
+
+__all__ = ["FunctionalConfig", "FunctionalResult", "run_functional"]

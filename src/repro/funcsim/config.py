@@ -1,0 +1,87 @@
+"""Configuration of a functional end-to-end run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.storage import StorageHierarchy
+from repro.cluster.topology import ClusterTopology
+from repro.failures.rates import FailureRates
+
+
+@dataclass(frozen=True)
+class FunctionalConfig:
+    """One functional execution of the Heat app under FTI.
+
+    Parameters
+    ----------
+    topology:
+        The simulated cluster (node count, partners, RS groups).
+    storage:
+        Storage hierarchy supplying per-level checkpoint/recovery durations.
+    rates:
+        Per-level failure rates (baseline = the topology's core count is
+        typical but not required).
+    grid_size:
+        Heat grid dimension; also sets the checkpoint payload.
+    total_sweeps:
+        Productive Jacobi sweeps the run must complete.
+    checkpoint_interval_sweeps:
+        Per-level checkpoint cadence in sweeps (level ``i`` checkpoints
+        every ``interval[i-1]`` completed first-time sweeps; 0 disables a
+        level).
+    ranks_per_node:
+        MPI ranks per node.
+    bytes_per_process:
+        Checkpoint payload per rank charged to the storage model (the
+        in-memory functional payload is the actual grid, but its Python
+        object size is not the modelled application footprint).
+    allocation_period:
+        Constant reallocation delay per hardware failure (seconds).
+    max_wallclock:
+        Censoring cap (seconds of simulated time).
+    """
+
+    topology: ClusterTopology
+    storage: StorageHierarchy
+    rates: FailureRates
+    grid_size: int = 64
+    total_sweeps: int = 400
+    checkpoint_interval_sweeps: tuple[int, int, int, int] = (10, 25, 50, 100)
+    ranks_per_node: int = 1
+    bytes_per_process: float = 50e6
+    allocation_period: float = 20.0
+    max_wallclock: float = 10e6
+
+    def __post_init__(self):
+        if self.grid_size < self.num_ranks:
+            raise ValueError(
+                f"grid_size {self.grid_size} cannot be decomposed over "
+                f"{self.num_ranks} ranks"
+            )
+        if self.total_sweeps < 1:
+            raise ValueError(f"total_sweeps must be >= 1, got {self.total_sweeps}")
+        if len(self.checkpoint_interval_sweeps) != 4:
+            raise ValueError(
+                "checkpoint_interval_sweeps needs 4 entries, got "
+                f"{len(self.checkpoint_interval_sweeps)}"
+            )
+        if any(i < 0 for i in self.checkpoint_interval_sweeps):
+            raise ValueError(
+                f"intervals must be >= 0, got {self.checkpoint_interval_sweeps}"
+            )
+        if self.rates.num_levels != 4:
+            raise ValueError("rates must cover the 4 FTI levels")
+        if self.allocation_period < 0:
+            raise ValueError(
+                f"allocation_period must be >= 0, got {self.allocation_period}"
+            )
+        if self.max_wallclock <= 0:
+            raise ValueError(
+                f"max_wallclock must be positive, got {self.max_wallclock}"
+            )
+
+    @property
+    def num_ranks(self) -> int:
+        """Total MPI ranks."""
+        return self.topology.num_nodes * self.ranks_per_node

@@ -1,0 +1,239 @@
+"""The functional end-to-end execution loop.
+
+Runs the real Heat kernel under the functional FTI stack in simulated
+time.  Structure mirrors the abstract engine (work / checkpoint / recovery
+operations, failures interrupting any of them) but every state transition
+is *performed*, not priced: checkpoints serialize the actual grid through
+partner copies / Reed-Solomon / PFS blobs, failures erase exactly what the
+crashed nodes stored, and recovery restores the application bit-exactly —
+or, when no sufficient checkpoint exists, restarts it from the initial
+condition (the real cost of under-protecting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.heat import HeatDistribution2D
+from repro.apps.simmpi import SimComm
+from repro.cluster.allocation import ResourceAllocator
+from repro.fti.api import FTIContext
+from repro.fti.levels import CheckpointLevel
+from repro.funcsim.config import FunctionalConfig
+from repro.sim.failure_injection import FailureInjector
+from repro.util.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class FunctionalResult:
+    """Outcome of one functional run.
+
+    Attributes mirror :class:`repro.sim.metrics.SimResult` (wallclock,
+    portions, counts, completion) plus the final grid for bit-exactness
+    checks and the count of from-scratch restarts.
+    """
+
+    wallclock: float
+    portions: dict[str, float]
+    failures_per_level: tuple[int, int, int, int]
+    checkpoints_per_level: tuple[int, int, int, int]
+    scratch_restarts: int
+    completed: bool
+    grid: np.ndarray
+
+
+def _pick_failed_nodes(
+    level: int, topology, rng: np.random.Generator
+) -> tuple[int, ...]:
+    """Choose a node set whose loss classifies at exactly ``level``.
+
+    Level 1 is a software error (no hardware loss); level 2 an isolated
+    node; level 3 an adjacent pair inside one RS group (defeats partner
+    copy, within RS parity); level 4 ``parity + 1`` nodes of one group.
+    """
+    m = topology.num_nodes
+    if level == 1:
+        return ()
+    if level == 2:
+        return (int(rng.integers(0, m)),)
+    if level == 3:
+        group_size = topology.rs_group_size
+        while True:
+            first = int(rng.integers(0, m - 1))
+            if first % group_size != group_size - 1:
+                return (first, first + 1)
+    group = int(rng.integers(0, max(1, m // topology.rs_group_size)))
+    members = topology.rs_group_members(group)
+    count = min(topology.rs_parity + 1, len(members))
+    return tuple(members[:count])
+
+
+def run_functional(
+    config: FunctionalConfig, seed: SeedLike = None, *, injector=None
+) -> FunctionalResult:
+    """Execute one functional run; returns the :class:`FunctionalResult`.
+
+    ``injector`` overrides the failure source (e.g. a
+    :class:`~repro.sim.failure_injection.ScriptedFailures` trace shared
+    with the abstract simulator for paired validation).
+    """
+    rng = as_generator(seed)
+    node_rng = as_generator(int(rng.integers(0, 2**63 - 1)))
+    if injector is None:
+        injector = FailureInjector(
+            config.rates.rates_per_second(config.num_ranks),
+            seed=int(rng.integers(0, 2**63 - 1)),
+        )
+    comm = SimComm(n_ranks=config.num_ranks)
+    solver = HeatDistribution2D(grid_size=config.grid_size, comm=comm)
+    ctx = FTIContext(config.topology, ranks_per_node=config.ranks_per_node)
+    allocator = ResourceAllocator(
+        config.topology, allocation_period=config.allocation_period
+    )
+
+    # Protect each rank's row block plus the sweep counter (restored on
+    # recovery along with the physics, so the run resumes at the right step).
+    blocks = np.array_split(np.arange(config.grid_size), config.num_ranks)
+    for rank, rows in enumerate(blocks):
+        ctx.protect(rank, "block", solver.grid[rows[0] + 1 : rows[-1] + 2])
+    meta = np.zeros(1)
+    ctx.protect(0, "meta", meta)
+
+    sweep_duration = float(
+        HeatDistribution2D.iteration_time(
+            config.num_ranks, grid_size=config.grid_size
+        )
+    )
+    procs_per_node = config.ranks_per_node
+
+    T = 0.0
+    sweeps = 0
+    high_water = 0
+    portions = {"productive": 0.0, "checkpoint": 0.0, "restart": 0.0, "rollback": 0.0}
+    failures = [0, 0, 0, 0]
+    checkpoints = [0, 0, 0, 0]
+    scratch_restarts = 0
+
+    def next_checkpoint_level() -> int | None:
+        """Lowest level due at the current sweep count (ascending order)."""
+        if sweeps == 0:
+            return None
+        for level, interval in enumerate(config.checkpoint_interval_sweeps, 1):
+            if interval > 0 and sweeps % interval == 0:
+                if taken_at[level - 1] != sweeps:
+                    return level
+        return None
+
+    taken_at = [-1, -1, -1, -1]  # sweep at which each level last checkpointed
+
+    def handle_failure(level: int) -> None:
+        """Fail nodes, recover (or restart from scratch), charge the time.
+
+        Iterative (not recursive): a further failure landing during the
+        recovery period aborts it and the loop re-plans at the new
+        failure's level — failure storms chain arbitrarily deep.
+        """
+        nonlocal T, sweeps, scratch_restarts
+        while True:
+            failures[level - 1] += 1
+            failed = _pick_failed_nodes(level, config.topology, node_rng)
+            if failed:
+                ctx.fail_nodes(failed)
+                allocator.allocate_replacements(T, failed)
+            recovery_level = None
+            try:
+                decision = ctx.recover()
+                recovery_level = int(decision.recovery_level)
+            except ValueError:
+                # Nothing protective enough exists: restart from scratch.
+                scratch_restarts += 1
+                solver.grid[...] = 0.0
+                solver.grid[0, :] = solver.boundary_temperature
+                meta[0] = 0.0
+                ctx._failed.clear()
+            if recovery_level is not None:
+                read_time = config.storage.recovery_time(
+                    recovery_level,
+                    config.bytes_per_process,
+                    config.num_ranks,
+                    procs_per_node,
+                )
+            else:
+                read_time = 0.0
+            duration = config.allocation_period + read_time
+            t_next, next_level = injector.peek()
+            if T + duration <= t_next:
+                portions["restart"] += duration
+                T += duration
+                break
+            # a further failure interrupts this recovery
+            portions["restart"] += max(t_next - T, 0.0)
+            T = t_next
+            injector.pop()
+            level = next_level
+        sweeps = int(meta[0])
+        for level_idx in range(4):
+            taken_at[level_idx] = min(taken_at[level_idx], sweeps)
+
+    while sweeps < config.total_sweeps:
+        if T >= config.max_wallclock:
+            return FunctionalResult(
+                wallclock=T,
+                portions=portions,
+                failures_per_level=tuple(failures),
+                checkpoints_per_level=tuple(checkpoints),
+                scratch_restarts=scratch_restarts,
+                completed=False,
+                grid=solver.grid.copy(),
+            )
+        t_next, failure_level = injector.peek()
+        due_level = next_checkpoint_level()
+        if due_level is not None:
+            duration = config.storage.checkpoint_time(
+                due_level,
+                config.bytes_per_process,
+                config.num_ranks,
+                procs_per_node,
+            )
+            if T + duration > t_next:
+                # failure aborts the checkpoint attempt
+                portions["checkpoint"] += max(t_next - T, 0.0)
+                T = t_next
+                injector.pop()
+                handle_failure(failure_level)
+                continue
+            meta[0] = float(sweeps)
+            ctx.checkpoint(CheckpointLevel(due_level))
+            checkpoints[due_level - 1] += 1
+            taken_at[due_level - 1] = sweeps
+            portions["checkpoint"] += duration
+            T += duration
+            continue
+        # one Jacobi sweep
+        if T + sweep_duration > t_next:
+            # partial sweep wasted: its progress is lost with the failure
+            portions["rollback"] += max(t_next - T, 0.0)
+            T = t_next
+            injector.pop()
+            handle_failure(failure_level)
+            continue
+        solver.jacobi_sweep()
+        if sweeps < high_water:
+            portions["rollback"] += sweep_duration
+        else:
+            portions["productive"] += sweep_duration
+        T += sweep_duration
+        sweeps += 1
+        high_water = max(high_water, sweeps)
+
+    return FunctionalResult(
+        wallclock=T,
+        portions=portions,
+        failures_per_level=tuple(failures),
+        checkpoints_per_level=tuple(checkpoints),
+        scratch_restarts=scratch_restarts,
+        completed=True,
+        grid=solver.grid.copy(),
+    )

@@ -1,0 +1,99 @@
+"""Simulation configuration: one concrete run setup.
+
+A :class:`SimulationConfig` is fully resolved — the scale has been fixed,
+so speedup and cost models have collapsed to scalars: the parallel
+productive time ``P = T_e / g(N)``, per-level checkpoint/recovery costs
+``C_i(N)``/``R_i(N)``, per-level failure rates ``lambda_i(N)``, interval
+counts ``x_i``, allocation period ``A``, and the jitter ratio.
+:func:`repro.sim.runner.config_from_solution` builds one from a
+:class:`~repro.core.notation.ModelParameters` + Solution pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Inputs for one simulated execution.
+
+    Parameters
+    ----------
+    productive_seconds:
+        ``P`` — failure-free parallel productive time.
+    intervals:
+        ``(x_1, ..., x_L)`` — interval counts per level; level ``i`` takes
+        ``x_i - 1`` checkpoints at progress marks ``k * P / x_i``.
+    checkpoint_costs / recovery_costs:
+        ``C_i(N)`` / ``R_i(N)`` in seconds at the chosen scale.
+    failure_rates:
+        ``lambda_i(N)`` in events/second of wall-clock time.
+    allocation_period:
+        ``A`` — constant reallocation delay charged per failure.
+    jitter:
+        Relative half-width of the uniform multiplicative jitter applied to
+        every checkpoint/recovery cost instance (paper: "random error ratio
+        up to 30%", i.e. 0.3).
+    max_wallclock:
+        Safety cap; runs exceeding it are reported censored (``completed =
+        False``) rather than looping forever — the classic-Young baseline
+        under harsh settings genuinely needs this.
+    """
+
+    productive_seconds: float
+    intervals: tuple[int, ...]
+    checkpoint_costs: tuple[float, ...]
+    recovery_costs: tuple[float, ...]
+    failure_rates: tuple[float, ...]
+    allocation_period: float = 60.0
+    jitter: float = 0.3
+    max_wallclock: float = 86_400.0 * 365.0 * 20.0
+
+    def __post_init__(self):
+        if not self.productive_seconds > 0:
+            raise ValueError(
+                f"productive_seconds must be positive, got {self.productive_seconds}"
+            )
+        levels = len(self.intervals)
+        if levels == 0:
+            raise ValueError("at least one checkpoint level is required")
+        for name in ("checkpoint_costs", "recovery_costs", "failure_rates"):
+            value = getattr(self, name)
+            if len(value) != levels:
+                raise ValueError(
+                    f"{name} has {len(value)} entries for {levels} levels"
+                )
+        if any(x < 1 for x in self.intervals):
+            raise ValueError(f"interval counts must be >= 1, got {self.intervals}")
+        if any(c < 0 for c in self.checkpoint_costs):
+            raise ValueError(f"checkpoint costs must be >= 0: {self.checkpoint_costs}")
+        if any(r < 0 for r in self.recovery_costs):
+            raise ValueError(f"recovery costs must be >= 0: {self.recovery_costs}")
+        if any(lam < 0 for lam in self.failure_rates):
+            raise ValueError(f"failure rates must be >= 0: {self.failure_rates}")
+        if self.allocation_period < 0:
+            raise ValueError(
+                f"allocation_period must be >= 0, got {self.allocation_period}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if not self.max_wallclock > 0:
+            raise ValueError(
+                f"max_wallclock must be positive, got {self.max_wallclock}"
+            )
+
+    @property
+    def num_levels(self) -> int:
+        """``L`` — checkpoint levels in this run."""
+        return len(self.intervals)
+
+    def checkpoint_cost_array(self) -> np.ndarray:
+        """Per-level checkpoint costs as a float array."""
+        return np.asarray(self.checkpoint_costs, dtype=float)
+
+    def recovery_cost_array(self) -> np.ndarray:
+        """Per-level recovery costs as a float array."""
+        return np.asarray(self.recovery_costs, dtype=float)

@@ -1,0 +1,44 @@
+"""Replicated-run ensembles.
+
+The paper reports "mean values based on 100 runs for each case with random
+failure events"; :func:`run_ensemble` reproduces that protocol with
+independent child seeds per run (``SeedSequence.spawn`` — reproducible from
+one root seed, statistically independent across runs).
+"""
+
+from __future__ import annotations
+
+from repro.failures.distributions import ArrivalProcess
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import simulate
+from repro.sim.metrics import EnsembleResult
+from repro.util.rng import SeedLike, spawn_generators
+
+
+def run_ensemble(
+    config: SimulationConfig,
+    *,
+    n_runs: int = 100,
+    seed: SeedLike = None,
+    process: ArrivalProcess | None = None,
+) -> EnsembleResult:
+    """Run ``n_runs`` independent simulations of ``config``.
+
+    Parameters
+    ----------
+    config:
+        The resolved simulation setup.
+    n_runs:
+        Replications (the paper uses 100).
+    seed:
+        Root seed for the whole ensemble.
+    process:
+        Failure inter-arrival process override (ablation hook).
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    rngs = spawn_generators(seed, n_runs)
+    runs = tuple(
+        simulate(config, seed=rng, process=process) for rng in rngs
+    )
+    return EnsembleResult(runs=runs)

@@ -1,0 +1,118 @@
+"""On-demand failure injection for the simulator.
+
+Failures strike in *wall-clock* time ("each failure may occur randomly at
+any time in the whole wall-clock period, including productive time and
+checkpoint/recovery period"), per level, as independent renewal processes.
+The injector keeps one pending arrival per level and draws the next gap
+lazily, so arbitrarily long (or censored) runs never need a pre-sized
+trace.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.failures.distributions import ArrivalProcess, ExponentialArrivals
+from repro.util.rng import SeedLike, spawn_generators
+
+
+class FailureInjector:
+    """Per-level renewal failure streams with lazy draws.
+
+    Parameters
+    ----------
+    rates_per_second:
+        ``lambda_i`` per level (events / wall-clock second).
+    seed:
+        Root seed; each level gets an independent child stream.
+    process:
+        Inter-arrival process (default exponential, the paper's model).
+    """
+
+    def __init__(
+        self,
+        rates_per_second,
+        seed: SeedLike = None,
+        process: ArrivalProcess | None = None,
+    ):
+        self.rates = np.asarray(rates_per_second, dtype=float)
+        if self.rates.ndim != 1 or self.rates.size == 0:
+            raise ValueError("rates_per_second must be a non-empty 1-D array")
+        if np.any(self.rates < 0):
+            raise ValueError(f"rates must be non-negative, got {self.rates}")
+        self.process = process if process is not None else ExponentialArrivals()
+        self._rngs = spawn_generators(seed, self.rates.size)
+        self._next = np.full(self.rates.size, math.inf)
+        for i in range(self.rates.size):
+            self._advance(i, 0.0)
+
+    def _advance(self, level_idx: int, from_time: float) -> None:
+        rate = self.rates[level_idx]
+        if rate <= 0:
+            self._next[level_idx] = math.inf
+            return
+        gap = float(
+            self.process.sample_interarrivals(rate, 1, self._rngs[level_idx])[0]
+        )
+        self._next[level_idx] = from_time + gap
+
+    def peek(self) -> tuple[float, int]:
+        """``(time, level)`` of the next pending failure (level 1-based).
+
+        Time is ``inf`` when all rates are zero.
+        """
+        idx = int(np.argmin(self._next))
+        return float(self._next[idx]), idx + 1
+
+    def pop(self) -> tuple[float, int]:
+        """Consume and return the next failure, scheduling its successor."""
+        time, level = self.peek()
+        if not math.isfinite(time):
+            raise RuntimeError("no pending failures: all rates are zero")
+        self._advance(level - 1, time)
+        return time, level
+
+
+class ScriptedFailures:
+    """A fixed, pre-scripted failure sequence (injector protocol).
+
+    Used by the engine-equivalence ablation: feeding the identical failure
+    trace to the event-driven and the literal-tick engines isolates the
+    engines' numerics from the randomness of arrival draws.
+    """
+
+    def __init__(self, events):
+        """``events`` is an iterable of ``(time, level)`` pairs or
+        :class:`repro.failures.traces.FailureEventRecord` objects,
+        chronological."""
+        self._events: list[tuple[float, int]] = []
+        previous = -math.inf
+        for event in events:
+            time, level = (
+                (event.time, event.level)
+                if hasattr(event, "time")
+                else (float(event[0]), int(event[1]))
+            )
+            if time < previous:
+                raise ValueError("scripted failures must be chronological")
+            if level < 1:
+                raise ValueError(f"level must be >= 1, got {level}")
+            previous = time
+            self._events.append((float(time), int(level)))
+        self._index = 0
+
+    def peek(self) -> tuple[float, int]:
+        """Next scripted failure, or ``(inf, 1)`` when exhausted."""
+        if self._index >= len(self._events):
+            return math.inf, 1
+        return self._events[self._index]
+
+    def pop(self) -> tuple[float, int]:
+        """Consume the next scripted failure."""
+        if self._index >= len(self._events):
+            raise RuntimeError("scripted failure sequence exhausted")
+        event = self._events[self._index]
+        self._index += 1
+        return event

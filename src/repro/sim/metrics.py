@@ -1,0 +1,116 @@
+"""Simulation result types and ensemble statistics.
+
+The paper reports, per configuration, the mean over 100 randomized runs of
+the wall-clock time split into four portions (productive, checkpoint,
+restart, rollback — Fig. 5/6) plus the efficiency indicator (Fig. 7,
+Table IV).  :class:`SimResult` carries one run; :class:`EnsembleResult`
+aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+PORTION_KEYS: tuple[str, ...] = ("productive", "checkpoint", "restart", "rollback")
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    wallclock:
+        Total simulated wall-clock seconds.
+    portions:
+        ``{"productive", "checkpoint", "restart", "rollback"}`` — the four
+        stacked portions of Fig. 5/6; they sum to ``wallclock`` (asserted by
+        a conservation property test).
+    failures_per_level:
+        Observed failure counts per level.
+    checkpoints_per_level:
+        Completed (valid) checkpoints per level, including re-taken ones.
+    completed:
+        False when the run hit the ``max_wallclock`` cap (censored).
+    """
+
+    wallclock: float
+    portions: dict[str, float]
+    failures_per_level: tuple[int, ...]
+    checkpoints_per_level: tuple[int, ...]
+    completed: bool = True
+
+    def __post_init__(self):
+        missing = set(PORTION_KEYS) - set(self.portions)
+        if missing:
+            raise ValueError(f"portions missing keys: {sorted(missing)}")
+
+    @property
+    def total_failures(self) -> int:
+        """Failure events across all levels."""
+        return int(sum(self.failures_per_level))
+
+    def efficiency(self, te_core_seconds: float, n: float) -> float:
+        """``(T_e / T_w) / N`` — wall-clock-based processor utilization."""
+        if self.wallclock <= 0:
+            raise ValueError("wallclock must be positive")
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        return (te_core_seconds / self.wallclock) / n
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """Statistics over replicated runs of one configuration."""
+
+    runs: tuple[SimResult, ...]
+
+    def __post_init__(self):
+        if len(self.runs) == 0:
+            raise ValueError("an ensemble needs at least one run")
+
+    @property
+    def n_runs(self) -> int:
+        """Number of replicated runs."""
+        return len(self.runs)
+
+    @property
+    def all_completed(self) -> bool:
+        """True when no run was censored by the wall-clock cap."""
+        return all(r.completed for r in self.runs)
+
+    def wallclocks(self) -> np.ndarray:
+        """Wall-clock times of every run."""
+        return np.array([r.wallclock for r in self.runs])
+
+    @property
+    def mean_wallclock(self) -> float:
+        """Mean wall-clock over runs (the paper's headline number)."""
+        return float(self.wallclocks().mean())
+
+    @property
+    def std_wallclock(self) -> float:
+        """Sample standard deviation of wall-clock over runs."""
+        if self.n_runs == 1:
+            return 0.0
+        return float(self.wallclocks().std(ddof=1))
+
+    def mean_portions(self) -> dict[str, float]:
+        """Mean of each Fig. 5/6 portion over runs."""
+        return {
+            key: float(np.mean([r.portions[key] for r in self.runs]))
+            for key in PORTION_KEYS
+        }
+
+    def mean_efficiency(self, te_core_seconds: float, n: float) -> float:
+        """Mean per-run efficiency (Fig. 7 / Table IV indicator)."""
+        return float(
+            np.mean([r.efficiency(te_core_seconds, n) for r in self.runs])
+        )
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI of the mean wall-clock."""
+        half = z * self.std_wallclock / np.sqrt(self.n_runs)
+        return (self.mean_wallclock - half, self.mean_wallclock + half)

@@ -1,0 +1,66 @@
+"""Bridge from the analytic model to the simulator.
+
+:func:`config_from_solution` resolves a
+(:class:`~repro.core.notation.ModelParameters`,
+:class:`~repro.core.notation.Solution`) pair into a concrete
+:class:`~repro.sim.config.SimulationConfig` — evaluating the speedup and
+cost models at the solution's (rounded) scale — and
+:func:`simulate_solution` runs the ensemble.  This is the exact pipeline of
+the paper's evaluation: each strategy's optimizer output is replayed under
+the randomized-failure simulator.
+"""
+
+from __future__ import annotations
+
+from repro.core.notation import ModelParameters, Solution
+from repro.failures.distributions import ArrivalProcess
+from repro.sim.config import SimulationConfig
+from repro.sim.ensemble import run_ensemble
+from repro.sim.metrics import EnsembleResult
+from repro.util.rng import SeedLike
+
+
+def config_from_solution(
+    params: ModelParameters,
+    solution: Solution,
+    *,
+    jitter: float = 0.3,
+    max_wallclock: float | None = None,
+) -> SimulationConfig:
+    """Resolve an analytic solution into a concrete simulator config."""
+    if solution.num_levels != params.num_levels:
+        raise ValueError(
+            f"solution has {solution.num_levels} levels, parameters "
+            f"{params.num_levels}"
+        )
+    n = solution.scale_rounded()
+    kwargs = {}
+    if max_wallclock is not None:
+        kwargs["max_wallclock"] = max_wallclock
+    return SimulationConfig(
+        productive_seconds=params.productive_time(n),
+        intervals=solution.intervals_rounded(),
+        checkpoint_costs=tuple(float(c) for c in params.costs.checkpoint_costs(n)),
+        recovery_costs=tuple(float(r) for r in params.costs.recovery_costs(n)),
+        failure_rates=tuple(float(r) for r in params.rates.rates_per_second(n)),
+        allocation_period=params.allocation_period,
+        jitter=jitter,
+        **kwargs,
+    )
+
+
+def simulate_solution(
+    params: ModelParameters,
+    solution: Solution,
+    *,
+    n_runs: int = 100,
+    seed: SeedLike = None,
+    jitter: float = 0.3,
+    max_wallclock: float | None = None,
+    process: ArrivalProcess | None = None,
+) -> EnsembleResult:
+    """Replay an optimizer solution under the randomized-failure simulator."""
+    config = config_from_solution(
+        params, solution, jitter=jitter, max_wallclock=max_wallclock
+    )
+    return run_ensemble(config, n_runs=n_runs, seed=seed, process=process)

@@ -1,0 +1,85 @@
+"""Checkpoint schedule: the progress marks of all levels, merged and sorted.
+
+Level ``i`` with ``x_i`` intervals checkpoints at productive-progress marks
+``k * P / x_i`` for ``k = 1 .. x_i - 1`` (equidistant, matching the
+``C_i (x_i - 1)`` scheduled-checkpoint count of Formula 21 — no checkpoint
+at completion).  When marks of several levels coincide, the lower level is
+taken first (cost order is unaffected; the ordering only matters for
+rollback bookkeeping and is fixed for determinism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CheckpointSchedule:
+    """Sorted merged checkpoint marks.
+
+    Attributes
+    ----------
+    progress:
+        (M,) float array — productive-progress position of each mark,
+        strictly increasing within a level, globally sorted.
+    level:
+        (M,) int array — 1-based checkpoint level of each mark.
+    productive_seconds:
+        ``P``, the total productive span the marks partition.
+    """
+
+    progress: np.ndarray
+    level: np.ndarray
+    productive_seconds: float
+
+    @classmethod
+    def build(
+        cls, productive_seconds: float, intervals: tuple[int, ...]
+    ) -> "CheckpointSchedule":
+        """Construct the merged schedule for the given interval counts."""
+        if not productive_seconds > 0:
+            raise ValueError(
+                f"productive_seconds must be positive, got {productive_seconds}"
+            )
+        marks: list[np.ndarray] = []
+        levels: list[np.ndarray] = []
+        for level_idx, x in enumerate(intervals, start=1):
+            if x < 1:
+                raise ValueError(f"interval count must be >= 1, got {x}")
+            if x == 1:
+                continue  # one interval = zero scheduled checkpoints
+            positions = productive_seconds * np.arange(1, x) / x
+            marks.append(positions)
+            levels.append(np.full(x - 1, level_idx, dtype=np.int64))
+        if marks:
+            progress = np.concatenate(marks)
+            level = np.concatenate(levels)
+            # stable sort by (progress, level): coincident marks keep
+            # ascending level order.
+            order = np.lexsort((level, progress))
+            progress = progress[order]
+            level = level[order]
+        else:
+            progress = np.empty(0)
+            level = np.empty(0, dtype=np.int64)
+        return cls(
+            progress=progress, level=level, productive_seconds=productive_seconds
+        )
+
+    @property
+    def num_marks(self) -> int:
+        """Total scheduled checkpoints across levels (= sum_i (x_i - 1))."""
+        return int(self.progress.size)
+
+    def marks_after(self, progress: float) -> int:
+        """Index of the first mark strictly beyond ``progress``."""
+        return int(np.searchsorted(self.progress, progress, side="right"))
+
+    def counts_per_level(self, num_levels: int) -> np.ndarray:
+        """Scheduled checkpoint counts per level (sanity checks/tests)."""
+        counts = np.zeros(num_levels, dtype=np.int64)
+        for lvl in range(1, num_levels + 1):
+            counts[lvl - 1] = int(np.sum(self.level == lvl))
+        return counts

@@ -1,0 +1,39 @@
+"""Speedup models ``g(N)`` and fitting tools (paper Section III-C.2, Fig. 2).
+
+The optimizer only ever sees the abstract interface
+:class:`~repro.speedup.base.SpeedupModel` — ``g(N)``, ``g'(N)`` and the
+ideal scale ``N^(*)`` — so any subclass (linear, the paper's quadratic,
+Amdahl, Gustafson) plugs into every solver unchanged.
+"""
+
+from repro.speedup.base import SpeedupModel
+from repro.speedup.linear import LinearSpeedup
+from repro.speedup.quadratic import QuadraticSpeedup
+from repro.speedup.amdahl import AmdahlSpeedup
+from repro.speedup.gustafson import GustafsonSpeedup
+from repro.speedup.interpolated import InterpolatedSpeedup
+from repro.speedup.karpflatt import karp_flatt_metric
+from repro.speedup.fitting import (
+    QuadraticFit,
+    fit_quadratic_speedup,
+    select_initial_range,
+)
+from repro.speedup.datasets import (
+    heat_distribution_speedup_points,
+    nek5000_eddy_speedup_points,
+)
+
+__all__ = [
+    "SpeedupModel",
+    "LinearSpeedup",
+    "QuadraticSpeedup",
+    "AmdahlSpeedup",
+    "GustafsonSpeedup",
+    "InterpolatedSpeedup",
+    "karp_flatt_metric",
+    "QuadraticFit",
+    "fit_quadratic_speedup",
+    "select_initial_range",
+    "heat_distribution_speedup_points",
+    "nek5000_eddy_speedup_points",
+]

@@ -1,0 +1,62 @@
+"""Amdahl's-law speedup model.
+
+The paper notes (Section III-C.2) that Formula (12)'s coefficients can also
+be estimated through Amdahl's law, Gustafson-Barsis's law and the Karp-Flatt
+metric.  This model is provided so users can plug an Amdahl-characterized
+application directly into the solvers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.speedup.base import ArrayLike, SpeedupModel
+
+
+class AmdahlSpeedup(SpeedupModel):
+    """``g(N) = 1 / (s + (1 - s)/N)`` with serial fraction ``s``.
+
+    Strictly increasing and bounded by ``1/s``; since it has no interior
+    maximum, the ideal scale is taken as the supplied machine cap (or
+    infinity).
+    """
+
+    def __init__(self, serial_fraction: float, *, max_scale: float = math.inf):
+        if not 0.0 <= serial_fraction < 1.0:
+            raise ValueError(
+                f"serial_fraction must be in [0, 1), got {serial_fraction}"
+            )
+        if not max_scale > 0:
+            raise ValueError(f"max_scale must be positive, got {max_scale}")
+        self.serial_fraction = float(serial_fraction)
+        self._max_scale = float(max_scale)
+
+    def speedup(self, n: ArrayLike) -> ArrayLike:
+        n_arr = np.asarray(n, dtype=float)
+        s = self.serial_fraction
+        return 1.0 / (s + (1.0 - s) / n_arr)
+
+    def derivative(self, n: ArrayLike) -> ArrayLike:
+        n_arr = np.asarray(n, dtype=float)
+        s = self.serial_fraction
+        denom = (s * n_arr + (1.0 - s)) ** 2
+        return (1.0 - s) / denom
+
+    @property
+    def ideal_scale(self) -> float:
+        return self._max_scale
+
+    @property
+    def asymptotic_speedup(self) -> float:
+        """``1/s`` — the Amdahl ceiling (``inf`` when fully parallel)."""
+        if self.serial_fraction == 0.0:
+            return math.inf
+        return 1.0 / self.serial_fraction
+
+    def __repr__(self) -> str:
+        return (
+            f"AmdahlSpeedup(serial_fraction={self.serial_fraction}, "
+            f"max_scale={self._max_scale})"
+        )

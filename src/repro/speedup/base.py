@@ -1,0 +1,65 @@
+"""Abstract speedup model interface.
+
+The paper (Table I) characterizes an application by its speedup function
+``g(N)`` — the ratio of single-core execution length to parallel execution
+time at scale ``N`` — and its parallel productive time
+``f(T_e, N) = T_e / g(N)``.  Every solver in :mod:`repro.core` consumes this
+interface and nothing else, which is what makes the model "generic enough to
+be suitable for different scenarios" (strong vs weak scaling differ only in
+the speedup / cost functions).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class SpeedupModel(abc.ABC):
+    """Speedup function ``g(N)`` with derivative and ideal-scale knowledge."""
+
+    @abc.abstractmethod
+    def speedup(self, n: ArrayLike) -> ArrayLike:
+        """Return ``g(N)`` for scale(s) ``n`` (cores)."""
+
+    @abc.abstractmethod
+    def derivative(self, n: ArrayLike) -> ArrayLike:
+        """Return ``g'(N)`` for scale(s) ``n``."""
+
+    @property
+    @abc.abstractmethod
+    def ideal_scale(self) -> float:
+        """The scale ``N^(*)`` with maximum failure-free speedup.
+
+        ``math.inf`` for models whose speedup grows without bound (linear).
+        The optimal checkpointed scale is provably no larger than this
+        (Section III-C.2), so solvers restrict their search to
+        ``(0, N^(*)]``.
+        """
+
+    def productive_time(self, te_core_seconds: float, n: ArrayLike) -> ArrayLike:
+        """``f(T_e, N) = T_e / g(N)`` — parallel productive time in seconds.
+
+        ``te_core_seconds`` is the single-core productive time (core-seconds).
+        """
+        g = self.speedup(n)
+        return te_core_seconds / g
+
+    def validate_scale(self, n: float) -> None:
+        """Raise ``ValueError`` when ``n`` is outside the usable range."""
+        if not n > 0:
+            raise ValueError(f"scale must be positive, got {n}")
+        if math.isfinite(self.ideal_scale) and n > self.ideal_scale:
+            raise ValueError(
+                f"scale {n} exceeds the ideal scale N^(*)={self.ideal_scale}; "
+                "beyond it the speedup decreases and the model is not fitted"
+            )
+
+    def efficiency(self, n: ArrayLike) -> ArrayLike:
+        """Failure-free parallel efficiency ``g(N)/N``."""
+        return self.speedup(n) / np.asarray(n, dtype=float)

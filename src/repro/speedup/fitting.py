@@ -1,0 +1,134 @@
+"""Least-squares fitting of the paper's quadratic speedup curve (Fig. 2).
+
+Formula (12) constrains the quadratic through the origin:
+
+``g(N) = a N^2 + kappa N`` with ``a = -kappa / (2 N^(*))``.
+
+Fitting therefore solves the linear least-squares problem in the two free
+coefficients ``(a, kappa)`` on the design matrix ``[N^2, N]``.
+
+For applications whose measured speedup rises and then *falls* (the Nek5000
+eddy_uv example, Fig. 2(b)), the paper fits only the initial increasing
+range through the maximum observed speedup — the checkpoint-optimal scale
+cannot exceed the failure-free optimum, so only that range matters.
+:func:`select_initial_range` implements that truncation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.speedup.quadratic import QuadraticSpeedup
+
+
+@dataclass(frozen=True)
+class QuadraticFit:
+    """Result of fitting Formula (12) to measured speedup points.
+
+    Attributes
+    ----------
+    model:
+        The fitted :class:`QuadraticSpeedup`.
+    kappa:
+        Fitted origin slope.
+    ideal_scale:
+        Fitted symmetry axis ``N^(*) = -kappa / (2 a)``.
+    residual_rms:
+        Root-mean-square residual of the fit over the points used.
+    n_points_used:
+        Number of points retained after initial-range selection.
+    """
+
+    model: QuadraticSpeedup
+    kappa: float
+    ideal_scale: float
+    residual_rms: float
+    n_points_used: int
+
+
+def select_initial_range(
+    scales: np.ndarray, speedups: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Keep points up to and including the maximum measured speedup.
+
+    Implements the Fig. 2(b) treatment: for rise-then-fall speedup data only
+    the initial increasing range (through the peak) is fitted, because the
+    checkpoint-optimal scale is provably no larger than the failure-free
+    optimum.  Points must be pre-sorted by scale; this function sorts
+    defensively.
+    """
+    scales = np.asarray(scales, dtype=float)
+    speedups = np.asarray(speedups, dtype=float)
+    if scales.shape != speedups.shape:
+        raise ValueError(
+            f"scales and speedups differ in shape: {scales.shape} vs {speedups.shape}"
+        )
+    if scales.size == 0:
+        raise ValueError("no speedup points supplied")
+    order = np.argsort(scales)
+    scales = scales[order]
+    speedups = speedups[order]
+    peak = int(np.argmax(speedups))
+    return scales[: peak + 1], speedups[: peak + 1]
+
+
+def fit_quadratic_speedup(
+    scales,
+    speedups,
+    *,
+    restrict_to_initial_range: bool = True,
+) -> QuadraticFit:
+    """Fit Formula (12) to measured ``(scale, speedup)`` points.
+
+    Parameters
+    ----------
+    scales, speedups:
+        Measured core counts and speedups (array-likes of equal length,
+        at least 2 points).
+    restrict_to_initial_range:
+        Apply :func:`select_initial_range` first (the paper's Fig. 2(b)
+        procedure).  Disable to fit all points as-is.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two points remain, or the fitted curvature is not
+        negative (no interior maximum — the data does not bend over, so a
+        linear or Amdahl model should be used instead).
+    """
+    scales = np.asarray(scales, dtype=float)
+    speedups = np.asarray(speedups, dtype=float)
+    if np.any(scales <= 0):
+        raise ValueError("all scales must be positive core counts")
+    if np.any(speedups < 0):
+        raise ValueError("speedups must be non-negative")
+    if restrict_to_initial_range:
+        scales, speedups = select_initial_range(scales, speedups)
+    if scales.size < 2:
+        raise ValueError(
+            f"need at least 2 points to fit the quadratic, got {scales.size}"
+        )
+    # Through-origin design matrix [N^2, N]; solve for (a, kappa).
+    design = np.column_stack([scales**2, scales])
+    coeffs, _, _, _ = np.linalg.lstsq(design, speedups, rcond=None)
+    a, kappa = float(coeffs[0]), float(coeffs[1])
+    if kappa <= 0:
+        raise ValueError(f"fitted origin slope kappa={kappa:.4g} is not positive")
+    if a >= 0:
+        raise ValueError(
+            f"fitted curvature a={a:.4g} is not negative; the data shows no "
+            "interior speedup maximum (use LinearSpeedup or AmdahlSpeedup)"
+        )
+    ideal_scale = -kappa / (2.0 * a)
+    model = QuadraticSpeedup(kappa=kappa, ideal_scale=ideal_scale)
+    residuals = model.speedup(scales) - speedups
+    rms = float(np.sqrt(np.mean(residuals**2)))
+    return QuadraticFit(
+        model=model,
+        kappa=kappa,
+        ideal_scale=ideal_scale,
+        residual_rms=rms,
+        n_points_used=int(scales.size),
+    )

@@ -1,0 +1,50 @@
+"""Gustafson-Barsis scaled speedup model (weak scaling).
+
+``g(N) = N - s * (N - 1)`` where ``s`` is the serial fraction measured on
+the parallel system.  Used for weak-scaling scenarios, which the paper's
+generic formulation covers through the speedup-function abstraction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.speedup.base import ArrayLike, SpeedupModel
+
+
+class GustafsonSpeedup(SpeedupModel):
+    """Gustafson-Barsis law: ``g(N) = N - s (N - 1)``."""
+
+    def __init__(self, serial_fraction: float, *, max_scale: float = math.inf):
+        if not 0.0 <= serial_fraction < 1.0:
+            raise ValueError(
+                f"serial_fraction must be in [0, 1), got {serial_fraction}"
+            )
+        if not max_scale > 0:
+            raise ValueError(f"max_scale must be positive, got {max_scale}")
+        self.serial_fraction = float(serial_fraction)
+        self._max_scale = float(max_scale)
+
+    def speedup(self, n: ArrayLike) -> ArrayLike:
+        n_arr = np.asarray(n, dtype=float)
+        s = self.serial_fraction
+        return n_arr - s * (n_arr - 1.0)
+
+    def derivative(self, n: ArrayLike) -> ArrayLike:
+        n_arr = np.asarray(n, dtype=float)
+        slope = 1.0 - self.serial_fraction
+        if n_arr.ndim:
+            return np.full(n_arr.shape, slope)
+        return slope
+
+    @property
+    def ideal_scale(self) -> float:
+        return self._max_scale
+
+    def __repr__(self) -> str:
+        return (
+            f"GustafsonSpeedup(serial_fraction={self.serial_fraction}, "
+            f"max_scale={self._max_scale})"
+        )

@@ -1,0 +1,94 @@
+"""Speedup model interpolated from measured points.
+
+The paper fits Formula (12)'s quadratic because it needs a closed-form
+``g'(N)``; with SciPy available, measured speedup curves can be used
+*directly*: a monotone PCHIP interpolant through the measured points (plus
+the origin) supplies both ``g(N)`` and ``g'(N)`` to every solver, with no
+functional-form assumption.  Useful when the measured curve has structure a
+quadratic cannot capture (plateaus, early saturation).
+
+Only the increasing range up to the measured peak is retained — the same
+argument as the paper's Fig. 2(b) treatment: the checkpointed optimum can
+never sit beyond the failure-free optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.interpolate import PchipInterpolator
+
+from repro.speedup.base import ArrayLike, SpeedupModel
+from repro.speedup.fitting import select_initial_range
+
+
+class InterpolatedSpeedup(SpeedupModel):
+    """Monotone (PCHIP) interpolation of measured ``(N, speedup)`` points.
+
+    Parameters
+    ----------
+    scales, speedups:
+        Measured points (>= 3 after initial-range selection).  The origin
+        (0, 0) is prepended automatically; the measured peak becomes the
+        ideal scale.
+
+    Notes
+    -----
+    PCHIP preserves monotonicity of the data, so ``g`` is nondecreasing on
+    ``(0, N^(*))`` and the solvers' bisection preconditions hold.
+    """
+
+    def __init__(self, scales, speedups):
+        scales = np.asarray(scales, dtype=float)
+        speedups = np.asarray(speedups, dtype=float)
+        if np.any(scales <= 0):
+            raise ValueError("all measured scales must be positive")
+        if np.any(speedups < 0):
+            raise ValueError("speedups must be non-negative")
+        scales, speedups = select_initial_range(scales, speedups)
+        # drop any non-increasing stragglers so PCHIP stays monotone
+        keep = np.concatenate([[True], np.diff(speedups) > 0])
+        scales, speedups = scales[keep], speedups[keep]
+        if scales.size < 3:
+            raise ValueError(
+                "need at least 3 strictly increasing points to interpolate, "
+                f"got {scales.size}"
+            )
+        x = np.concatenate([[0.0], scales])
+        y = np.concatenate([[0.0], speedups])
+        self._interp = PchipInterpolator(x, y, extrapolate=False)
+        self._deriv = self._interp.derivative()
+        self._ideal = float(scales[-1])
+        self._peak = float(speedups[-1])
+
+    def speedup(self, n: ArrayLike) -> ArrayLike:
+        n_arr = np.asarray(n, dtype=float)
+        clipped = np.clip(n_arr, 0.0, self._ideal)
+        out = self._interp(clipped)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def derivative(self, n: ArrayLike) -> ArrayLike:
+        n_arr = np.asarray(n, dtype=float)
+        clipped = np.clip(n_arr, 0.0, self._ideal)
+        out = self._deriv(clipped)
+        # beyond the last measurement the curve is flat (peak plateau)
+        out = np.where(n_arr >= self._ideal, 0.0, out)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    @property
+    def ideal_scale(self) -> float:
+        return self._ideal
+
+    @property
+    def peak_speedup(self) -> float:
+        """Speedup at the last measured (peak) point."""
+        return self._peak
+
+    def __repr__(self) -> str:
+        return (
+            f"InterpolatedSpeedup(ideal_scale={self._ideal}, "
+            f"peak_speedup={self._peak:.1f})"
+        )

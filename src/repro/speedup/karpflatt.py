@@ -1,0 +1,36 @@
+"""Karp-Flatt metric: experimentally determined serial fraction.
+
+Given a measured speedup ``psi`` on ``N`` cores, the Karp-Flatt metric
+
+``e = (1/psi - 1/N) / (1 - 1/N)``
+
+estimates the serial fraction including parallel overheads.  A rising ``e``
+with scale signals growing communication cost — exactly the regime where the
+paper's quadratic curve (Formula 12) bends over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def karp_flatt_metric(speedup, n):
+    """Return the Karp-Flatt experimentally-determined serial fraction.
+
+    Parameters
+    ----------
+    speedup:
+        Measured speedup(s) ``psi`` (scalar or array).
+    n:
+        Core count(s), each > 1.
+    """
+    psi = np.asarray(speedup, dtype=float)
+    n_arr = np.asarray(n, dtype=float)
+    if np.any(n_arr <= 1):
+        raise ValueError("Karp-Flatt metric requires N > 1")
+    if np.any(psi <= 0):
+        raise ValueError("speedup must be positive")
+    result = (1.0 / psi - 1.0 / n_arr) / (1.0 - 1.0 / n_arr)
+    if result.ndim == 0:
+        return float(result)
+    return result

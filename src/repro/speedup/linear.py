@@ -1,0 +1,41 @@
+"""Linear speedup ``g(N) = kappa * N`` (paper Section III-C.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.speedup.base import ArrayLike, SpeedupModel
+
+
+class LinearSpeedup(SpeedupModel):
+    """``g(N) = kappa N`` — embarrassingly parallel applications.
+
+    ``kappa`` is the per-core efficiency constant; ``kappa = 1`` is perfect
+    scaling.  The ideal scale is unbounded, so solvers must be given an
+    explicit upper bound (e.g. the machine size) when using this model.
+    """
+
+    def __init__(self, kappa: float = 1.0, *, max_scale: float = math.inf):
+        if not kappa > 0:
+            raise ValueError(f"kappa must be positive, got {kappa}")
+        if not max_scale > 0:
+            raise ValueError(f"max_scale must be positive, got {max_scale}")
+        self.kappa = float(kappa)
+        self._max_scale = float(max_scale)
+
+    def speedup(self, n: ArrayLike) -> ArrayLike:
+        return self.kappa * np.asarray(n, dtype=float)
+
+    def derivative(self, n: ArrayLike) -> ArrayLike:
+        n_arr = np.asarray(n, dtype=float)
+        return np.broadcast_to(np.float64(self.kappa), n_arr.shape).copy() if n_arr.ndim else self.kappa
+
+    @property
+    def ideal_scale(self) -> float:
+        """Machine-size cap (``inf`` unless ``max_scale`` was given)."""
+        return self._max_scale
+
+    def __repr__(self) -> str:
+        return f"LinearSpeedup(kappa={self.kappa}, max_scale={self._max_scale})"

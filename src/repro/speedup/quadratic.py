@@ -1,0 +1,79 @@
+"""The paper's quadratic speedup curve (Formula 12).
+
+``g(N) = -kappa/(2 N^(*)) * N^2 + kappa * N``
+
+where ``kappa`` is the slope at the origin and ``N^(*)`` the symmetry-axis
+location, i.e. the ideal (failure-free) optimal scale.  The curve passes
+through the origin and peaks at ``g(N^(*)) = kappa * N^(*) / 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.speedup.base import ArrayLike, SpeedupModel
+
+
+class QuadraticSpeedup(SpeedupModel):
+    """Quadratic speedup of Formula (12).
+
+    Parameters
+    ----------
+    kappa:
+        Slope of the speedup curve at ``N = 0``; estimable from a single
+        small-scale run (the paper's Heat Distribution example: speedup 77 at
+        160 cores gives ``kappa ~ 0.48``, close to the fitted 0.46).
+    ideal_scale:
+        ``N^(*)``, the scale of maximum speedup (symmetry axis).
+    """
+
+    def __init__(self, kappa: float, ideal_scale: float):
+        if not kappa > 0:
+            raise ValueError(f"kappa must be positive, got {kappa}")
+        if not ideal_scale > 0:
+            raise ValueError(f"ideal_scale must be positive, got {ideal_scale}")
+        self.kappa = float(kappa)
+        self._ideal_scale = float(ideal_scale)
+
+    @property
+    def curvature(self) -> float:
+        """The quadratic coefficient ``-kappa / (2 N^(*))``."""
+        return -self.kappa / (2.0 * self._ideal_scale)
+
+    def speedup(self, n: ArrayLike) -> ArrayLike:
+        n_arr = np.asarray(n, dtype=float)
+        return self.curvature * n_arr * n_arr + self.kappa * n_arr
+
+    def derivative(self, n: ArrayLike) -> ArrayLike:
+        n_arr = np.asarray(n, dtype=float)
+        return 2.0 * self.curvature * n_arr + self.kappa
+
+    @property
+    def ideal_scale(self) -> float:
+        return self._ideal_scale
+
+    @property
+    def peak_speedup(self) -> float:
+        """``g(N^(*)) = kappa * N^(*) / 2``."""
+        return self.kappa * self._ideal_scale / 2.0
+
+    @classmethod
+    def from_single_measurement(
+        cls, n_measured: float, speedup_measured: float, ideal_scale: float
+    ) -> "QuadraticSpeedup":
+        """Estimate ``kappa`` from one (scale, speedup) observation.
+
+        Inverts Formula (12):
+        ``kappa = s / (N - N^2 / (2 N^(*)))``.  Only valid for
+        ``n_measured < 2 * ideal_scale``.
+        """
+        denom = n_measured - n_measured**2 / (2.0 * ideal_scale)
+        if denom <= 0:
+            raise ValueError(
+                f"measurement scale {n_measured} too large relative to the "
+                f"ideal scale {ideal_scale} (denominator {denom} <= 0)"
+            )
+        return cls(kappa=speedup_measured / denom, ideal_scale=ideal_scale)
+
+    def __repr__(self) -> str:
+        return f"QuadraticSpeedup(kappa={self.kappa}, ideal_scale={self._ideal_scale})"

@@ -1,0 +1,48 @@
+"""Shared utilities: units, RNG plumbing, iteration helpers, table formatting."""
+
+from repro.util.units import (
+    SECONDS_PER_DAY,
+    core_days_to_core_seconds,
+    core_seconds_to_core_days,
+    days_to_seconds,
+    per_day_to_per_second,
+    per_second_to_per_day,
+    seconds_to_days,
+)
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.iteration import (
+    FixedPointDiverged,
+    FixedPointResult,
+    bisect_root,
+    fixed_point,
+    relative_change,
+)
+from repro.util.stats import (
+    WelchResult,
+    bootstrap_mean_interval,
+    mean_confidence_interval,
+    welch_faster_than,
+)
+from repro.util.tablefmt import format_table
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "core_days_to_core_seconds",
+    "core_seconds_to_core_days",
+    "days_to_seconds",
+    "per_day_to_per_second",
+    "per_second_to_per_day",
+    "seconds_to_days",
+    "as_generator",
+    "spawn_generators",
+    "FixedPointDiverged",
+    "FixedPointResult",
+    "bisect_root",
+    "fixed_point",
+    "relative_change",
+    "format_table",
+    "WelchResult",
+    "bootstrap_mean_interval",
+    "mean_confidence_interval",
+    "welch_faster_than",
+]

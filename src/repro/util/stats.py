@@ -1,0 +1,110 @@
+"""Statistical utilities for ensemble comparisons.
+
+The paper compares strategies on means of 100 randomized runs; with fewer
+replicas (tests, quick benches) the comparisons need statistical care.
+Provided: normal and bootstrap confidence intervals, and Welch's unequal-
+variance t-test for "strategy A is faster than B" claims.  SciPy supplies
+the t distribution; the bootstrap uses the library's seeded-RNG plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.util.rng import SeedLike, as_generator
+
+
+def mean_confidence_interval(
+    samples, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Student-t confidence interval for the mean of ``samples``."""
+    data = np.asarray(samples, dtype=float)
+    if data.ndim != 1 or data.size < 2:
+        raise ValueError("need a 1-D sample of size >= 2")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(data.mean())
+    sem = float(data.std(ddof=1) / np.sqrt(data.size))
+    t_crit = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=data.size - 1))
+    half = t_crit * sem
+    return (mean - half, mean + half)
+
+
+def bootstrap_mean_interval(
+    samples,
+    confidence: float = 0.95,
+    *,
+    n_resamples: int = 2_000,
+    seed: SeedLike = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Preferable to the t interval for the simulator's skewed/bimodal
+    wall-clock distributions (a single level-4 failure shifts a run by a
+    large constant).
+    """
+    data = np.asarray(samples, dtype=float)
+    if data.ndim != 1 or data.size < 2:
+        raise ValueError("need a 1-D sample of size >= 2")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 100:
+        raise ValueError(f"n_resamples must be >= 100, got {n_resamples}")
+    rng = as_generator(seed)
+    indices = rng.integers(0, data.size, size=(n_resamples, data.size))
+    means = data[indices].mean(axis=1)
+    lo, hi = np.percentile(
+        means, [100 * (0.5 - confidence / 2), 100 * (0.5 + confidence / 2)]
+    )
+    return (float(lo), float(hi))
+
+
+@dataclass(frozen=True)
+class WelchResult:
+    """Welch's t-test outcome for ``mean(a) < mean(b)`` (one-sided).
+
+    Attributes
+    ----------
+    statistic:
+        The t statistic (negative favours ``a`` faster).
+    p_value:
+        One-sided p-value of the alternative ``mean(a) < mean(b)``.
+    significant:
+        ``p_value < alpha``.
+    """
+
+    statistic: float
+    p_value: float
+    significant: bool
+
+
+def welch_faster_than(
+    a, b, *, alpha: float = 0.05
+) -> WelchResult:
+    """Test whether sample ``a``'s mean is significantly below ``b``'s.
+
+    Welch's unequal-variance t-test, one-sided.  Use for claims like
+    "ML(opt-scale)'s simulated wall-clock beats ML(ori-scale)" with small
+    ensembles.
+    """
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if a_arr.size < 2 or b_arr.size < 2:
+        raise ValueError("both samples need size >= 2")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    statistic, p_two_sided = scipy_stats.ttest_ind(
+        a_arr, b_arr, equal_var=False
+    )
+    if statistic < 0:
+        p_one_sided = p_two_sided / 2.0
+    else:
+        p_one_sided = 1.0 - p_two_sided / 2.0
+    return WelchResult(
+        statistic=float(statistic),
+        p_value=float(p_one_sided),
+        significant=bool(p_one_sided < alpha),
+    )

@@ -1,0 +1,42 @@
+"""Unit conversions.
+
+Internally every quantity in this library is expressed in *seconds* (time),
+*cores* (scale), and *failures per second* (rates).  The paper's evaluation
+section, however, states workloads in core-days and failure rates in events
+per day; these helpers convert at the API edges so the core never has to
+guess the unit of a number.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_DAY: float = 86_400.0
+
+
+def days_to_seconds(days: float) -> float:
+    """Convert a duration in days to seconds."""
+    return days * SECONDS_PER_DAY
+
+
+def seconds_to_days(seconds: float) -> float:
+    """Convert a duration in seconds to days."""
+    return seconds / SECONDS_PER_DAY
+
+
+def core_days_to_core_seconds(core_days: float) -> float:
+    """Convert a workload in core-days (the paper's ``T_e`` unit) to core-seconds."""
+    return core_days * SECONDS_PER_DAY
+
+
+def core_seconds_to_core_days(core_seconds: float) -> float:
+    """Convert a workload in core-seconds to core-days."""
+    return core_seconds / SECONDS_PER_DAY
+
+
+def per_day_to_per_second(rate_per_day: float) -> float:
+    """Convert a failure rate in events/day (the paper's ``r_i``) to events/second."""
+    return rate_per_day / SECONDS_PER_DAY
+
+
+def per_second_to_per_day(rate_per_second: float) -> float:
+    """Convert a failure rate in events/second to events/day."""
+    return rate_per_second * SECONDS_PER_DAY

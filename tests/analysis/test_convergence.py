@@ -1,0 +1,20 @@
+"""Tests for convergence diagnostics."""
+
+from repro.analysis.convergence import convergence_report
+from repro.core.algorithm1 import optimize
+
+
+def test_report_fields(small_params):
+    result = optimize(small_params)
+    report = convergence_report(result)
+    assert report.outer_iterations == result.outer_iterations
+    assert report.inner_iterations_total == result.inner_iterations_total
+    assert len(report.mu_residuals) == result.outer_iterations
+
+
+def test_residuals_decay(small_params):
+    """The mu fixed point is a contraction: residuals fall over the tail."""
+    result = optimize(small_params)
+    report = convergence_report(result)
+    assert report.monotone_tail
+    assert report.mu_residuals[-1] <= report.mu_residuals[0]

@@ -1,0 +1,45 @@
+"""Tests for efficiency computation."""
+
+import pytest
+
+from repro.analysis.efficiency import efficiency, efficiency_from_ensemble
+from repro.sim.metrics import EnsembleResult, SimResult
+
+
+def test_definition():
+    # (T_e / T_w) / N
+    assert efficiency(1e6, 2_000.0, 500.0) == pytest.approx(1.0)
+    assert efficiency(1e6, 4_000.0, 500.0) == pytest.approx(0.5)
+
+
+def test_failure_free_ideal_efficiency_bound():
+    """At best, efficiency equals the failure-free parallel efficiency."""
+    from repro.speedup.quadratic import QuadraticSpeedup
+
+    speedup = QuadraticSpeedup(kappa=0.46, ideal_scale=1e6)
+    n = 400_000.0
+    te = 1e9
+    wallclock = float(speedup.productive_time(te, n))
+    e = efficiency(te, wallclock, n)
+    assert e == pytest.approx(float(speedup.efficiency(n)))
+    assert e < 0.46  # never exceeds kappa
+
+
+def test_from_ensemble():
+    run = SimResult(
+        wallclock=2_000.0,
+        portions={"productive": 2_000.0, "checkpoint": 0.0, "restart": 0.0, "rollback": 0.0},
+        failures_per_level=(0,),
+        checkpoints_per_level=(0,),
+    )
+    ens = EnsembleResult(runs=(run,))
+    assert efficiency_from_ensemble(ens, 1e6, 500.0) == pytest.approx(1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        efficiency(0.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        efficiency(1.0, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        efficiency(1.0, 1.0, 0.0)

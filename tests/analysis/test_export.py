@@ -1,0 +1,69 @@
+"""Tests for CSV figure-data export."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import export_fig1, export_fig3, export_fig5, write_csv
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig5 import run_fig5
+
+
+def _read(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+    rows = _read(path)
+    assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+def test_write_csv_creates_parents(tmp_path):
+    path = write_csv(tmp_path / "deep/nested/out.csv", ["x"], [[1]])
+    assert path.exists()
+
+
+def test_write_csv_row_validation(tmp_path):
+    with pytest.raises(ValueError, match="row 0"):
+        write_csv(tmp_path / "bad.csv", ["a", "b"], [[1]])
+
+
+def test_export_fig1(tmp_path):
+    result = run_fig1(n_points=8)
+    path = export_fig1(result, tmp_path / "fig1.csv")
+    rows = _read(path)
+    assert rows[0] == [
+        "scale",
+        "performance_no_checkpoint",
+        "performance_with_checkpoint",
+    ]
+    assert len(rows) == 9
+
+
+def test_export_fig3(tmp_path):
+    result = run_fig3()
+    paths = export_fig3(result, tmp_path / "fig3")
+    assert len(paths) == 4
+    names = {p.name for p in paths}
+    assert names == {
+        "fig3_constant_x.csv",
+        "fig3_constant_n.csv",
+        "fig3_linear_x.csv",
+        "fig3_linear_n.csv",
+    }
+    rows = _read(paths[0])
+    assert rows[0] == ["x", "expected_wallclock"]
+    assert len(rows) == 34  # 33 sweep points + header
+
+
+def test_export_fig5(tmp_path):
+    result = run_fig5(cases=("4-2-1-0.5",), n_runs=2, seed=0)
+    path = export_fig5(result, tmp_path / "fig5.csv")
+    rows = _read(path)
+    assert rows[0][:2] == ["case", "strategy"]
+    assert len(rows) == 1 + 4  # header + 4 strategies
+    strategies = {r[1] for r in rows[1:]}
+    assert "ml-opt-scale" in strategies

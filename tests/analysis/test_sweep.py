@@ -1,0 +1,43 @@
+"""Tests for objective-surface sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import sweep_objective_intervals, sweep_objective_scale
+from repro.core.solutions import ml_opt_scale
+
+
+def test_scale_sweep_valley_at_optimum(small_params):
+    sol = ml_opt_scale(small_params)
+    scales = np.linspace(sol.scale * 0.5, small_params.scale_upper_bound, 21)
+    objective = sweep_objective_scale(small_params, sol.intervals, scales)
+    best_idx = int(np.argmin(objective))
+    # the swept minimum sits near the solved scale
+    assert abs(scales[best_idx] - sol.scale) <= (scales[1] - scales[0]) * 1.5
+    assert objective[best_idx] <= sol.expected_wallclock * 1.001
+
+
+def test_interval_sweep_valley_at_optimum(small_params):
+    sol = ml_opt_scale(small_params)
+    for level in range(1, 5):
+        x_star = sol.intervals[level - 1]
+        values = np.geomspace(x_star / 3.0, x_star * 3.0, 15)
+        objective = sweep_objective_intervals(
+            small_params, sol.intervals, sol.scale, level, values
+        )
+        best = float(np.min(objective))
+        assert best >= sol.expected_wallclock * 0.999, f"level {level}"
+
+
+def test_infeasible_points_reported_inf(paper_params):
+    sl = paper_params.single_level()
+    # Young-ish intervals at full scale are infeasible for this config
+    objective = sweep_objective_scale(sl, [120.0], [1_000_000.0])
+    assert np.isinf(objective[0])
+
+
+def test_interval_sweep_validation(small_params):
+    with pytest.raises(ValueError):
+        sweep_objective_intervals(small_params, [1.0] * 4, 100.0, 9, [1.0])
+    with pytest.raises(ValueError):
+        sweep_objective_intervals(small_params, [1.0, 2.0], 100.0, 1, [1.0])

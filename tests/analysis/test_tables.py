@@ -1,0 +1,57 @@
+"""Tests for table rendering."""
+
+from repro.analysis.tables import portions_table, solutions_table
+from repro.core.notation import Solution
+from repro.sim.metrics import EnsembleResult, SimResult
+
+
+def _solution(wallclock=86_400.0):
+    return Solution(
+        intervals=(10.0, 5.0),
+        scale=1_000.0,
+        expected_wallclock=wallclock,
+        mu=(1.0, 0.5),
+        strategy="ml-opt-scale",
+    )
+
+
+def _ensemble(completed=True):
+    run = SimResult(
+        wallclock=86_400.0,
+        portions={
+            "productive": 60_000.0,
+            "checkpoint": 10_000.0,
+            "restart": 6_400.0,
+            "rollback": 10_000.0,
+        },
+        failures_per_level=(1, 0),
+        checkpoints_per_level=(9, 4),
+        completed=completed,
+    )
+    return EnsembleResult(runs=(run,))
+
+
+def test_solutions_table_contains_strategies_and_values():
+    out = solutions_table({"ml-opt-scale": _solution()}, te_core_seconds=86_400.0)
+    assert "ml-opt-scale" in out
+    assert "1.0k" in out
+    assert "1.00" in out  # one day
+
+
+def test_solutions_table_marks_infeasible():
+    out = solutions_table(
+        {"sl-ori-scale": _solution(float("inf"))}, te_core_seconds=86_400.0
+    )
+    assert "inf" in out
+
+
+def test_portions_table_shows_all_portions():
+    out = portions_table({"ml-opt-scale": _ensemble()}, title="Fig 5")
+    assert "Fig 5" in out
+    assert "productive" in out and "rollback" in out
+    assert "1.00" in out  # wallclock in days
+
+
+def test_portions_table_marks_censored():
+    out = portions_table({"sl-ori-scale": _ensemble(completed=False)})
+    assert "censored" in out

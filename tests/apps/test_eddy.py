@@ -1,0 +1,77 @@
+"""Tests for the eddy_uv-style application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.eddy import EddySolver, analytic_eddy, measure_eddy_speedup
+from repro.apps.simmpi import SimComm
+
+
+class TestAnalyticSolution:
+    def test_divergence_free(self):
+        """The eddy velocity field is incompressible: du/dx + dv/dy = 0."""
+        n = 128
+        h = 2 * np.pi / n
+        coords = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        x, y = np.meshgrid(coords, coords, indexing="ij")
+        u, v = analytic_eddy(x, y, t=0.3)
+        dudx = (np.roll(u, -1, axis=0) - np.roll(u, 1, axis=0)) / (2 * h)
+        dvdy = (np.roll(v, -1, axis=1) - np.roll(v, 1, axis=1)) / (2 * h)
+        assert np.max(np.abs(dudx + dvdy)) < 1e-10
+
+    def test_exponential_decay(self):
+        x = np.array([[1.0]])
+        y = np.array([[2.0]])
+        u0, _ = analytic_eddy(x, y, 0.0, nu=0.05)
+        u1, _ = analytic_eddy(x, y, 10.0, nu=0.05)
+        assert abs(u1[0, 0]) == pytest.approx(abs(u0[0, 0]) * np.exp(-1.0))
+
+
+class TestSolver:
+    def test_error_starts_at_zero_and_grows(self):
+        solver = EddySolver(grid_size=32, dt=1e-2)
+        errors = [solver.step() for _ in range(100)]
+        assert errors[0] < errors[-1]
+        assert errors[0] < 1e-4
+
+    def test_error_shrinks_with_dt(self):
+        """First-order integrator: halving dt halves the error at fixed T."""
+        final_errors = {}
+        for dt in (2e-2, 1e-2):
+            solver = EddySolver(grid_size=16, dt=dt)
+            steps = int(round(1.0 / dt))
+            for _ in range(steps):
+                err = solver.step()
+            final_errors[dt] = err
+        ratio = final_errors[2e-2] / final_errors[1e-2]
+        assert ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_comm_charged_when_present(self):
+        comm = SimComm(n_ranks=4)
+        solver = EddySolver(grid_size=16, comm=comm)
+        solver.step()
+        assert comm.elapsed > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EddySolver(grid_size=2)
+        with pytest.raises(ValueError):
+            EddySolver(nu=0.0)
+        with pytest.raises(ValueError):
+            EddySolver(dt=-1.0)
+
+
+class TestSpeedupShape:
+    def test_rise_then_fall(self):
+        """The eddy speedup peaks at moderate scale then declines (Fig 2b)."""
+        scales = np.geomspace(1, 4096, 25)
+        _, speedups = measure_eddy_speedup(scales, grid_size=1024)
+        peak = int(np.argmax(speedups))
+        assert 0 < peak < len(scales) - 1
+        assert speedups[-1] < speedups[peak] * 0.9
+
+    def test_peak_near_hundred_cores(self):
+        scales = np.geomspace(4, 10_000, 60)
+        s, speedups = measure_eddy_speedup(scales, grid_size=1024)
+        peak_scale = s[int(np.argmax(speedups))]
+        assert 30 <= peak_scale <= 400

@@ -1,0 +1,96 @@
+"""Tests for the Heat Distribution application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import HeatDistribution2D, measure_heat_speedup
+from repro.apps.simmpi import SimComm
+
+
+@pytest.fixture
+def solver():
+    return HeatDistribution2D(grid_size=24, comm=SimComm(n_ranks=4))
+
+
+class TestPhysics:
+    def test_residual_decreases(self, solver):
+        residuals = [solver.jacobi_sweep() for _ in range(50)]
+        assert residuals[-1] < residuals[0]
+
+    def test_converges_toward_laplace_solution(self):
+        """Steady state: interior value near the hot edge approaches it."""
+        solver = HeatDistribution2D(grid_size=16, comm=SimComm(n_ranks=1))
+        solver.solve(tol=1e-6, max_iterations=20_000)
+        # adjacent to the 100-degree boundary row: hot
+        assert solver.grid[1, 8] > 40.0
+        # far corner: cold
+        assert solver.grid[-2, 8] < 15.0
+
+    def test_maximum_principle(self, solver):
+        """Temperatures stay within the boundary extremes."""
+        for _ in range(200):
+            solver.jacobi_sweep()
+        assert solver.grid.max() <= 100.0 + 1e-9
+        assert solver.grid.min() >= -1e-9
+
+    def test_solve_returns_iterations(self):
+        solver = HeatDistribution2D(grid_size=8, comm=SimComm(n_ranks=1))
+        iterations = solver.solve(tol=1e-4)
+        assert iterations == solver.iterations_done > 0
+
+    def test_solve_nonconvergence_raises(self, solver):
+        with pytest.raises(RuntimeError, match="did not converge"):
+            solver.solve(tol=1e-12, max_iterations=3)
+
+
+class TestTiming:
+    def test_simulated_time_charged_per_sweep(self, solver):
+        before = solver.comm.elapsed
+        solver.jacobi_sweep()
+        assert solver.comm.elapsed > before
+
+    def test_more_ranks_less_time_at_small_scale(self):
+        t = {}
+        for ranks in (1, 4):
+            comm = SimComm(n_ranks=ranks)
+            s = HeatDistribution2D(grid_size=256, comm=comm)
+            s.jacobi_sweep()
+            t[ranks] = comm.elapsed
+        assert t[4] < t[1]
+
+    def test_iteration_time_model_matches_charges(self):
+        comm = SimComm(n_ranks=4)
+        solver = HeatDistribution2D(grid_size=64, comm=comm)
+        solver.jacobi_sweep()
+        modeled = HeatDistribution2D.iteration_time(4, grid_size=64)
+        assert comm.elapsed == pytest.approx(float(modeled), rel=1e-9)
+
+
+class TestSpeedupCurve:
+    def test_bends_like_fig2a(self):
+        """Speedup rises, then gains flatten (sub-linear efficiency)."""
+        scales = np.array([1, 16, 256, 4096, 65_536])
+        _, speedups = measure_heat_speedup(scales, grid_size=4096)
+        assert np.all(np.diff(speedups) > 0) or speedups[-1] < speedups[-2]
+        eff = speedups / scales
+        assert np.all(np.diff(eff) < 0)
+
+    def test_has_interior_peak_at_large_scale(self):
+        scales = np.geomspace(1, 1e7, 40)
+        _, speedups = measure_heat_speedup(scales, grid_size=4096)
+        peak = np.argmax(speedups)
+        assert 0 < peak < len(scales) - 1
+
+
+class TestCheckpointIntegration:
+    def test_state_arrays_live_reference(self, solver):
+        state = solver.state_arrays()
+        assert state["grid"] is solver.grid
+
+    def test_checkpoint_bytes_positive(self, solver):
+        assert solver.checkpoint_bytes_per_rank() > 0
+
+
+def test_too_many_ranks_rejected():
+    with pytest.raises(ValueError):
+        HeatDistribution2D(grid_size=4, comm=SimComm(n_ranks=8))

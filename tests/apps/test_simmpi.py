@@ -1,0 +1,75 @@
+"""Tests for the simulated-MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.apps.simmpi import SimClock, SimComm
+from repro.cluster.network import NetworkModel
+
+
+def test_clock_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(2.5)
+    assert clock.elapsed == 4.0
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_compute_charges_slowest_rank():
+    comm = SimComm(n_ranks=4, flop_rate=1e9)
+    comm.compute([1e9, 2e9, 1e9, 1e9])
+    assert comm.elapsed == pytest.approx(2.0)
+
+
+def test_halo_exchange_free_on_one_rank():
+    comm = SimComm(n_ranks=1)
+    comm.exchange_halo(1e6)
+    assert comm.elapsed == 0.0
+
+
+def test_halo_exchange_charges_p2p():
+    net = NetworkModel(latency=1e-6, bandwidth=1e9)
+    comm = SimComm(n_ranks=8, network=net)
+    comm.exchange_halo(1e9)
+    assert comm.elapsed == pytest.approx(net.p2p_time(1e9))
+
+
+def test_allreduce_performs_real_reduction():
+    comm = SimComm(n_ranks=4)
+    values = np.arange(8.0).reshape(4, 2)
+    total = comm.allreduce(values, op="sum")
+    assert np.allclose(total, values.sum(axis=0))
+    assert comm.elapsed > 0
+
+
+def test_allreduce_ops():
+    comm = SimComm(n_ranks=2)
+    v = np.array([[1.0], [3.0]])
+    assert comm.allreduce(v, op="max")[0] == 3.0
+    assert comm.allreduce(v, op="min")[0] == 1.0
+    with pytest.raises(ValueError):
+        comm.allreduce(v, op="median")
+
+
+def test_allreduce_shape_validation():
+    comm = SimComm(n_ranks=4)
+    with pytest.raises(ValueError):
+        comm.allreduce(np.zeros((3, 1)))
+
+
+def test_bcast_and_barrier_charge_time():
+    comm = SimComm(n_ranks=16)
+    comm.bcast(1e6)
+    t1 = comm.elapsed
+    comm.barrier()
+    assert comm.elapsed > t1 > 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SimComm(n_ranks=0)
+    with pytest.raises(ValueError):
+        SimComm(n_ranks=1, flop_rate=0.0)
+    with pytest.raises(ValueError):
+        SimComm(n_ranks=2).compute(-1.0)

@@ -1,0 +1,38 @@
+"""Tests for workload descriptors."""
+
+import pytest
+
+from repro.apps.workload import Workload
+from repro.speedup.quadratic import QuadraticSpeedup
+
+
+@pytest.fixture
+def workload():
+    return Workload(
+        name="heat",
+        te_core_days=3e6,
+        speedup=QuadraticSpeedup(kappa=0.46, ideal_scale=1e6),
+    )
+
+
+def test_core_seconds_conversion(workload):
+    assert workload.te_core_seconds == pytest.approx(3e6 * 86_400.0)
+
+
+def test_productive_time_at_ideal_scale(workload):
+    # g(1e6) = 0.46 * 1e6 / 2 = 230,000 -> ~13.04 days
+    days = workload.productive_time(1e6) / 86_400.0
+    assert days == pytest.approx(3e6 / 230_000.0, rel=1e-6)
+
+
+def test_validation():
+    speedup = QuadraticSpeedup(kappa=0.5, ideal_scale=100.0)
+    with pytest.raises(ValueError):
+        Workload(name="x", te_core_days=0.0, speedup=speedup)
+    with pytest.raises(ValueError):
+        Workload(
+            name="x",
+            te_core_days=1.0,
+            speedup=speedup,
+            checkpoint_bytes_per_process=-1.0,
+        )

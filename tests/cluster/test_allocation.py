@@ -1,0 +1,58 @@
+"""Tests for the resource allocator."""
+
+import pytest
+
+from repro.cluster.allocation import ResourceAllocator
+from repro.cluster.node import NodeState
+from repro.cluster.topology import ClusterTopology
+
+
+def test_spares_consumed_first():
+    topo = ClusterTopology(num_nodes=4, spare_nodes=2)
+    alloc = ResourceAllocator(topo, allocation_period=60.0)
+    event = alloc.allocate_replacements(100.0, [1, 2])
+    assert event.duration == 60.0
+    assert event.failed_nodes == (1, 2)
+    # both spares activated
+    assert set(event.replacement_nodes) == {4, 5}
+    assert topo.nodes[4].state == NodeState.HEALTHY
+    assert topo.nodes[5].state == NodeState.HEALTHY
+
+
+def test_repair_in_place_without_spares():
+    topo = ClusterTopology(num_nodes=4)
+    alloc = ResourceAllocator(topo)
+    event = alloc.allocate_replacements(0.0, [3])
+    assert event.replacement_nodes == (3,)
+    assert topo.nodes[3].is_healthy
+
+
+def test_partial_spares():
+    topo = ClusterTopology(num_nodes=4, spare_nodes=1)
+    alloc = ResourceAllocator(topo)
+    event = alloc.allocate_replacements(0.0, [0, 1])
+    assert 4 in event.replacement_nodes  # the one spare
+    # the other failed node repaired in place
+    assert topo.nodes[0].is_healthy or topo.nodes[1].is_healthy
+
+
+def test_total_allocation_time_accumulates():
+    topo = ClusterTopology(num_nodes=4)
+    alloc = ResourceAllocator(topo, allocation_period=45.0)
+    alloc.allocate_replacements(0.0, [0])
+    alloc.allocate_replacements(100.0, [1])
+    assert alloc.total_allocation_time == 90.0
+    assert len(alloc.history) == 2
+
+
+def test_duplicate_failed_nodes_deduplicated():
+    topo = ClusterTopology(num_nodes=4)
+    alloc = ResourceAllocator(topo)
+    event = alloc.allocate_replacements(0.0, [2, 2])
+    assert event.failed_nodes == (2,)
+
+
+def test_negative_period_rejected():
+    topo = ClusterTopology(num_nodes=2)
+    with pytest.raises(ValueError):
+        ResourceAllocator(topo, allocation_period=-1.0)

@@ -1,0 +1,76 @@
+"""Tests for the Table II characterization harness."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.characterize import (
+    characterize_checkpoint_costs,
+    fusion_like_cluster,
+)
+from repro.costs.fti_fusion import (
+    FTI_FUSION_CHECKPOINT_TABLE,
+    FTI_FUSION_PAPER_COEFFS,
+)
+
+
+def test_table_shape():
+    result = characterize_checkpoint_costs()
+    assert result.table.shape == (5, 4)
+    assert result.scales.tolist() == [128, 256, 384, 512, 1024]
+
+
+def test_fusion_calibration_matches_paper_coefficients():
+    """The fitted (eps_i, alpha_i) from the simulated cluster match the
+    paper's quoted Table II coefficients."""
+    result = characterize_checkpoint_costs()
+    for level, (paper_eps, paper_alpha) in enumerate(FTI_FUSION_PAPER_COEFFS):
+        fitted = result.cost_model.checkpoint[level]
+        if paper_alpha == 0.0:
+            assert fitted.is_constant()
+            assert fitted.constant == pytest.approx(paper_eps, rel=0.15)
+        else:
+            assert fitted.coefficient == pytest.approx(paper_alpha, rel=0.05)
+            assert fitted.constant == pytest.approx(paper_eps, rel=0.15)
+
+
+def test_fusion_table_close_to_paper_row_means():
+    """Per-level mean costs within ~25% of the paper's (noisy) measurements."""
+    result = characterize_checkpoint_costs()
+    ours = result.table.mean(axis=0)
+    paper = FTI_FUSION_CHECKPOINT_TABLE.mean(axis=0)
+    assert np.all(np.abs(ours - paper) / paper < 0.25)
+
+
+def test_level_ordering_in_characterization():
+    result = characterize_checkpoint_costs()
+    assert np.all(np.diff(result.table, axis=1) > 0)
+
+
+def test_noise_and_repeats():
+    noisy = characterize_checkpoint_costs(noise=0.1, repeats=3, seed=0)
+    clean = characterize_checkpoint_costs()
+    assert not np.array_equal(noisy.table, clean.table)
+    # averaged noise keeps values in the right ballpark
+    assert np.allclose(noisy.table, clean.table, rtol=0.35)
+
+
+def test_noise_reproducible_by_seed():
+    a = characterize_checkpoint_costs(noise=0.1, seed=5)
+    b = characterize_checkpoint_costs(noise=0.1, seed=5)
+    assert np.array_equal(a.table, b.table)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        characterize_checkpoint_costs(noise=1.5)
+    with pytest.raises(ValueError):
+        characterize_checkpoint_costs(repeats=0)
+    with pytest.raises(ValueError):
+        characterize_checkpoint_costs(scales=(4,))  # below one node
+
+
+def test_fusion_like_cluster_pfs_slope():
+    h = fusion_like_cluster()
+    t_lo = h.checkpoint_time(4, 50e6, 1000, 8)
+    t_hi = h.checkpoint_time(4, 50e6, 2000, 8)
+    assert (t_hi - t_lo) / 1000 == pytest.approx(0.0212, rel=1e-6)

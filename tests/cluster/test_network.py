@@ -1,0 +1,51 @@
+"""Tests for the interconnect model."""
+
+import pytest
+
+from repro.cluster.network import NetworkModel
+
+
+@pytest.fixture
+def net():
+    return NetworkModel(latency=1e-6, bandwidth=2e9)
+
+
+def test_p2p_time(net):
+    # 2 GB at 2 GB/s is one second plus latency
+    assert net.p2p_time(2e9) == pytest.approx(1.0, rel=1e-5)
+    assert net.p2p_time(0.0) == pytest.approx(1e-6)
+
+
+def test_broadcast_log_stages(net):
+    t8 = net.broadcast_time(1e6, 8)
+    t64 = net.broadcast_time(1e6, 64)
+    assert t64 == pytest.approx(2.0 * t8)  # log2(64)=6 vs log2(8)=3
+    assert net.broadcast_time(1e6, 1) == 0.0
+
+
+def test_allreduce_log_stages(net):
+    assert net.allreduce_time(8, 1024) == pytest.approx(10 * net.p2p_time(8))
+    assert net.allreduce_time(8, 1) == 0.0
+
+
+def test_alltoall_bisection_pressure(net):
+    t = net.alltoall_time(1e6, 16)
+    # 16 MB over half the link bandwidth
+    assert t == pytest.approx(16e6 / 1e9, rel=0.01)
+
+
+def test_single_rank_alltoall_free(net):
+    assert net.alltoall_time(1e6, 1) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NetworkModel(latency=-1.0)
+    with pytest.raises(ValueError):
+        NetworkModel(bandwidth=0.0)
+    with pytest.raises(ValueError):
+        NetworkModel(bisection_factor=1.5)
+    with pytest.raises(ValueError):
+        NetworkModel().p2p_time(-5.0)
+    with pytest.raises(ValueError):
+        NetworkModel().broadcast_time(1.0, 0)

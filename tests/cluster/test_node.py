@@ -1,0 +1,35 @@
+"""Tests for the node model."""
+
+import pytest
+
+from repro.cluster.node import Node, NodeState
+
+
+def test_defaults_healthy():
+    node = Node(node_id=0)
+    assert node.is_healthy
+    assert node.state == NodeState.HEALTHY
+
+
+def test_fail_and_repair():
+    node = Node(node_id=1)
+    node.fail()
+    assert not node.is_healthy
+    node.fail()  # idempotent
+    assert node.state == NodeState.FAILED
+    node.repair()
+    assert node.is_healthy
+
+
+def test_spare_not_healthy():
+    node = Node(node_id=2, state=NodeState.SPARE)
+    assert not node.is_healthy
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Node(node_id=-1)
+    with pytest.raises(ValueError):
+        Node(node_id=0, cores=0)
+    with pytest.raises(ValueError):
+        Node(node_id=0, local_bandwidth=0.0)

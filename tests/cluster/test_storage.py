@@ -1,0 +1,83 @@
+"""Tests for the storage hierarchy."""
+
+import pytest
+
+from repro.cluster.storage import LocalStoreModel, PFSModel, StorageHierarchy
+
+
+class TestLocalStore:
+    def test_write_time_scales_with_data(self):
+        local = LocalStoreModel(bandwidth=500e6, base_latency=0.0)
+        assert local.write_time(50e6, 8) == pytest.approx(0.8)
+        assert local.write_time(50e6, 4) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalStoreModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            LocalStoreModel().write_time(-1.0, 8)
+        with pytest.raises(ValueError):
+            LocalStoreModel().write_time(1.0, 0)
+
+
+class TestPFS:
+    def test_contended_write_linear_in_writers(self):
+        pfs = PFSModel(
+            aggregate_bandwidth=2.4e9, metadata_cost=0.0, base_latency=5.5
+        )
+        t1 = pfs.write_time(50e6, 1000)
+        t2 = pfs.write_time(50e6, 2000)
+        # doubling writers doubles the bandwidth-bound part
+        assert (t2 - 5.5) == pytest.approx(2.0 * (t1 - 5.5))
+
+    def test_uncontended_write_constant(self):
+        pfs = PFSModel(contention=False, metadata_cost=0.0, base_latency=1.0,
+                       per_client_bandwidth=50e6)
+        assert pfs.write_time(50e6, 10) == pfs.write_time(50e6, 100_000)
+
+    def test_metadata_cost_charged_per_file(self):
+        pfs = PFSModel(metadata_cost=1e-3, base_latency=0.0)
+        base = pfs.write_time(0.0, 1)
+        assert pfs.write_time(0.0, 1001) - base == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PFSModel(aggregate_bandwidth=-1.0)
+        with pytest.raises(ValueError):
+            PFSModel().write_time(1.0, 0)
+
+
+class TestHierarchy:
+    def test_level_ordering_holds(self):
+        """C_1 <= C_2 <= C_3 <= C_4 at realistic scales (paper Section II)."""
+        h = StorageHierarchy()
+        times = [
+            h.checkpoint_time(level, 50e6, 1024, 8) for level in (1, 2, 3, 4)
+        ]
+        assert times == sorted(times)
+
+    def test_pfs_grows_with_scale_lower_levels_do_not(self):
+        h = StorageHierarchy()
+        for level in (1, 2, 3):
+            assert h.checkpoint_time(level, 50e6, 128, 8) == pytest.approx(
+                h.checkpoint_time(level, 50e6, 1024, 8)
+            )
+        assert h.checkpoint_time(4, 50e6, 1024, 8) > h.checkpoint_time(
+            4, 50e6, 128, 8
+        )
+
+    def test_recovery_mirrors_checkpoint(self):
+        h = StorageHierarchy()
+        assert h.recovery_time(3, 50e6, 256, 8) == h.checkpoint_time(
+            3, 50e6, 256, 8
+        )
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            StorageHierarchy().checkpoint_time(5, 1.0, 8, 8)
+
+    def test_invalid_overhead_config(self):
+        with pytest.raises(ValueError):
+            StorageHierarchy(software_overhead=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            StorageHierarchy(rs_encode_bandwidth=0.0)

@@ -1,0 +1,117 @@
+"""Tests for the cluster topology and failure-domain logic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.topology import ClusterTopology
+
+
+@pytest.fixture
+def topo():
+    return ClusterTopology(
+        num_nodes=32, cores_per_node=8, nodes_per_rack=8, rs_group_size=8, rs_parity=2
+    )
+
+
+class TestStructure:
+    def test_total_cores(self, topo):
+        assert topo.total_cores == 256
+
+    def test_ring_partner(self, topo):
+        assert topo.partner_of(0) == 1
+        assert topo.partner_of(31) == 0  # wraps
+
+    def test_rs_groups(self, topo):
+        assert topo.rs_group_of(0) == 0
+        assert topo.rs_group_of(15) == 1
+        assert topo.rs_group_members(1) == list(range(8, 16))
+
+    def test_short_last_group(self):
+        topo = ClusterTopology(num_nodes=10, rs_group_size=8)
+        assert topo.rs_group_members(1) == [8, 9]
+
+    def test_racks(self, topo):
+        assert topo.rack_of(0) == 0
+        assert topo.rack_of(9) == 1
+        assert topo.rack_members(1) == list(range(8, 16))
+
+    def test_spares_marked(self):
+        topo = ClusterTopology(num_nodes=4, spare_nodes=2)
+        assert len(topo.nodes) == 6
+        assert not topo.nodes[5].is_healthy
+
+
+class TestPartnerSurvival:
+    def test_single_failure_survives(self, topo):
+        assert topo.partner_survives([5])
+
+    def test_nonadjacent_failures_survive(self, topo):
+        assert topo.partner_survives([3, 10, 20])
+
+    def test_adjacent_failures_fatal(self, topo):
+        # node 7's partner is node 8: both gone -> unrecoverable at level 2
+        assert not topo.partner_survives([7, 8])
+
+    def test_ring_wraparound_adjacency(self, topo):
+        assert not topo.partner_survives([31, 0])
+
+    def test_empty_set_survives(self, topo):
+        assert topo.partner_survives([])
+
+
+class TestRSSurvival:
+    def test_within_parity_survives(self, topo):
+        assert topo.rs_survives([0, 1])  # 2 losses in group 0, parity 2
+
+    def test_beyond_parity_fatal(self, topo):
+        assert not topo.rs_survives([0, 1, 2])
+
+    def test_losses_spread_across_groups_survive(self, topo):
+        # 2 per group is fine even with 6 total failures
+        assert topo.rs_survives([0, 1, 8, 9, 16, 17])
+
+
+class TestRecoveryLevel:
+    def test_no_hardware_loss_level_1(self, topo):
+        assert topo.lowest_recovery_level([]) == 1
+
+    def test_nonadjacent_level_2(self, topo):
+        assert topo.lowest_recovery_level([4, 12]) == 2
+
+    def test_adjacent_within_parity_level_3(self, topo):
+        assert topo.lowest_recovery_level([7, 8]) == 3
+
+    def test_heavy_rack_loss_level_4(self, topo):
+        # 3+ failures in one RS group exceeds parity -> PFS
+        assert topo.lowest_recovery_level([8, 9, 10]) == 4
+
+    def test_invalid_node_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.lowest_recovery_level([99])
+
+
+class TestValidation:
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterTopology(num_nodes=4, rs_group_size=1)
+        with pytest.raises(ValueError):
+            ClusterTopology(num_nodes=4, rs_group_size=4, rs_parity=4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(failed=st.sets(st.integers(min_value=0, max_value=31), max_size=6))
+def test_recovery_level_consistency(failed):
+    """The chosen level's own predicate always holds, and no cheaper
+    hardware-tolerant level would also hold."""
+    topo = ClusterTopology(num_nodes=32, rs_group_size=8, rs_parity=2)
+    level = topo.lowest_recovery_level(failed)
+    if level == 1:
+        assert not failed
+    if level == 2:
+        assert topo.partner_survives(failed)
+    if level == 3:
+        assert topo.rs_survives(failed) and not topo.partner_survives(failed)
+    if level == 4:
+        assert not topo.rs_survives(failed)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.notation import ModelParameters
+from repro.costs.model import CostModel, LevelCostModel
+from repro.costs.scaling import CONSTANT, LINEAR
+from repro.failures.rates import FailureRates
+from repro.speedup.quadratic import QuadraticSpeedup
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_params() -> ModelParameters:
+    """A small, fast 4-level configuration (kilocore scale, short workload).
+
+    Chosen so every solver converges in milliseconds and the simulator runs
+    in well under a second, while exercising all four levels with distinct
+    costs and rates.
+    """
+    costs = LevelCostModel.from_constants([1.0, 2.5, 4.0, 12.0])
+    return ModelParameters.from_core_days(
+        200.0,  # core-days
+        speedup=QuadraticSpeedup(kappa=0.5, ideal_scale=2_000.0),
+        costs=costs,
+        rates=FailureRates((24.0, 12.0, 6.0, 3.0), baseline_scale=2_000.0),
+        allocation_period=30.0,
+    )
+
+
+@pytest.fixture
+def paper_params() -> ModelParameters:
+    """The paper's Fig. 5 configuration (case 8-4-2-1)."""
+    from repro.experiments.config import make_params
+
+    return make_params(3e6, "8-4-2-1")
+
+
+@pytest.fixture
+def single_level_params() -> ModelParameters:
+    """A single-level (PFS-only) configuration for the SL solvers."""
+    cost = CostModel(constant=10.0, coefficient=0.0, baseline=CONSTANT)
+    return ModelParameters.from_core_days(
+        500.0,
+        speedup=QuadraticSpeedup(kappa=0.5, ideal_scale=10_000.0),
+        costs=LevelCostModel(checkpoint=(cost,), recovery=(cost,)),
+        rates=FailureRates((12.0,), baseline_scale=10_000.0),
+        allocation_period=20.0,
+    )

@@ -1,0 +1,85 @@
+"""Tests for Algorithm 1 (outer mu-iteration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import optimize
+from repro.core.wallclock import self_consistent_wallclock
+from repro.util.iteration import FixedPointDiverged
+
+
+class TestConvergence:
+    def test_converges_on_small_config(self, small_params):
+        result = optimize(small_params)
+        assert result.outer_iterations < 60
+        assert result.solution.expected_wallclock > 0
+
+    def test_mu_self_consistent_at_solution(self, small_params):
+        """At convergence, mu_i = lambda_i(N*) * E(T_w) holds."""
+        result = optimize(small_params)
+        sol = result.solution
+        lam = small_params.rates.rates_per_second(sol.scale)
+        expected_mu = lam * sol.expected_wallclock
+        assert np.allclose(sol.mu, expected_mu, rtol=1e-6)
+
+    def test_solution_is_self_consistent_optimum(self, small_params):
+        """The converged point evaluates identically under the exact
+        self-consistent wall-clock formula."""
+        result = optimize(small_params)
+        sol = result.solution
+        e, _ = self_consistent_wallclock(
+            small_params, np.asarray(sol.intervals), sol.scale
+        )
+        assert e == pytest.approx(sol.expected_wallclock, rel=1e-6)
+
+    def test_mu_history_recorded(self, small_params):
+        result = optimize(small_params)
+        assert len(result.mu_history) == result.outer_iterations + 1
+        assert all(len(mu) == 4 for mu in result.mu_history)
+
+    def test_paper_iteration_envelope(self, paper_params):
+        """The paper reports 7-15 outer iterations at delta = 1e-12 on the
+        evaluation configs; allow a 4x envelope for our variant."""
+        result = optimize(paper_params, delta=1e-12)
+        assert 2 <= result.outer_iterations <= 60
+
+
+class TestFixedScale:
+    def test_fixed_scale_respected(self, small_params):
+        result = optimize(small_params, fixed_scale=1_800.0)
+        assert result.solution.scale == 1_800.0
+
+    def test_free_no_worse_than_fixed(self, small_params):
+        free = optimize(small_params).solution
+        fixed = optimize(
+            small_params, fixed_scale=small_params.scale_upper_bound
+        ).solution
+        assert free.expected_wallclock <= fixed.expected_wallclock * (1 + 1e-9)
+
+
+class TestDivergence:
+    def test_extreme_rates_raise(self, small_params):
+        """Unrealistically high failure rates are the paper's stated
+        non-convergence regime; we surface it as an exception."""
+        from dataclasses import replace
+        from repro.failures.rates import FailureRates
+
+        hostile = replace(
+            small_params,
+            rates=FailureRates(
+                (5e4, 4e4, 3e4, 2e4), baseline_scale=2_000.0
+            ),
+        )
+        with pytest.raises((FixedPointDiverged, ValueError)):
+            optimize(hostile, max_outer=40)
+
+    def test_bad_delta_rejected(self, small_params):
+        with pytest.raises(ValueError):
+            optimize(small_params, delta=0.0)
+
+
+class TestStrategyMetadata:
+    def test_strategy_name_propagated(self, small_params):
+        result = optimize(small_params, strategy_name="custom")
+        assert result.solution.strategy == "custom"
+        assert result.solution.outer_iterations == result.outer_iterations

@@ -1,0 +1,54 @@
+"""Tests for the Section III-A non-convexity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.convexity import hessian_2d, is_locally_convex, nonconvexity_witness
+from repro.core.wallclock import expected_wallclock
+
+
+class TestHessianProbe:
+    def test_quadratic_bowl(self):
+        h = hessian_2d(lambda x, y: x**2 + 3 * y**2, (1.0, 1.0))
+        assert h[0, 0] == pytest.approx(2.0, rel=1e-3)
+        assert h[1, 1] == pytest.approx(6.0, rel=1e-3)
+        assert abs(h[0, 1]) < 1e-3
+
+    def test_cross_term(self):
+        h = hessian_2d(lambda x, y: x * y, (2.0, 3.0))
+        assert h[0, 1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_saddle_detected(self):
+        assert not is_locally_convex(lambda x, y: x**2 - y**2, (1.0, 1.0))
+
+    def test_bowl_is_convex(self):
+        assert is_locally_convex(lambda x, y: x**2 + y**2, (0.5, 0.5))
+
+
+class TestPaperClaims:
+    def test_self_consistent_objective_has_nonconvex_point(self, paper_params):
+        """Section III-A: 'they are actually lower than 0 in some
+        situations' — a witness exists for the paper's configuration."""
+        witness = nonconvexity_witness(paper_params.single_level())
+        assert witness is not None
+        x0, n0 = witness
+        assert x0 > 0 and 0 < n0 < paper_params.scale_upper_bound
+
+    def test_frozen_mu_objective_locally_convex(self, small_params):
+        """Algorithm 1's inner problem (mu frozen at b*N) is convex at
+        representative points — the property the method exploits."""
+        b = small_params.failure_slope(5 * 86_400.0)
+
+        def objective(x, n):
+            x_vec = np.array([x, x / 2.0, x / 4.0, x / 8.0])
+            return expected_wallclock(small_params, x_vec, n, b * n)
+
+        for x0 in (16.0, 64.0, 256.0):
+            for n0 in (400.0, 1_000.0, 1_600.0):
+                assert is_locally_convex(
+                    objective, (x0, n0), rel_step=1e-3, tol=1e-8
+                ), (x0, n0)
+
+    def test_multilevel_params_rejected(self, small_params):
+        with pytest.raises(ValueError, match="single-level"):
+            nonconvexity_witness(small_params)

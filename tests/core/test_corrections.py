@@ -1,0 +1,138 @@
+"""Tests for the retry-aware correction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import optimize
+from repro.core.corrections import (
+    RetryAwareCost,
+    corrected_parameters,
+    corrected_wallclock,
+    effective_cost,
+)
+from repro.core.wallclock import self_consistent_wallclock
+from repro.sim.runner import simulate_solution
+
+
+class TestEffectiveCost:
+    def test_no_failures_identity(self):
+        assert effective_cost(10.0, 0.0) == 10.0
+        assert effective_cost(0.0, 1.0) == 0.0
+
+    def test_small_rate_first_order(self):
+        """For Lambda*c << 1: c_eff ~ c (1 + Lambda c / 2)."""
+        c, lam = 10.0, 1e-4
+        expected = c * (1 + lam * c / 2)
+        assert effective_cost(c, lam) == pytest.approx(expected, rel=1e-3)
+
+    def test_explosive_growth_near_mtbf(self):
+        """c ~ 1/Lambda multiplies the effective cost by (e-1)."""
+        lam = 1e-3
+        c = 1_000.0  # exactly the MTBF
+        assert effective_cost(c, lam) == pytest.approx(
+            (math.e - 1) * 1_000.0 / 1.0, rel=1e-6
+        )
+
+    def test_overflow_reported_as_inf(self):
+        assert math.isinf(effective_cost(1e6, 1e-2))
+
+    def test_monotone_in_both_arguments(self):
+        assert effective_cost(20.0, 1e-3) > effective_cost(10.0, 1e-3)
+        assert effective_cost(10.0, 2e-3) > effective_cost(10.0, 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_cost(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            effective_cost(1.0, -1.0)
+
+    def test_matches_simulated_retry_count(self):
+        """Monte-Carlo check of the closed form: restart-on-interrupt."""
+        rng = np.random.default_rng(0)
+        lam, c = 1e-3, 800.0
+        total = 0.0
+        trials = 4_000
+        for _ in range(trials):
+            while True:
+                gap = rng.exponential(1.0 / lam)
+                if gap >= c:
+                    total += c
+                    break
+                total += gap
+        assert total / trials == pytest.approx(
+            effective_cost(c, lam), rel=0.05
+        )
+
+
+class TestRetryAwareCost:
+    def test_wraps_base_cost(self, paper_params):
+        base = paper_params.costs.checkpoint[3]  # the PFS level
+        wrapped = RetryAwareCost(base, paper_params)
+        n = 500_000.0
+        assert wrapped(n) > float(base(n))
+        assert not wrapped.is_constant()
+
+    def test_derivative_positive(self, paper_params):
+        wrapped = RetryAwareCost(paper_params.costs.checkpoint[3], paper_params)
+        assert wrapped.derivative(400_000.0) > 0
+
+    def test_vector_evaluation(self, paper_params):
+        wrapped = RetryAwareCost(paper_params.costs.checkpoint[0], paper_params)
+        out = wrapped(np.array([1e5, 5e5]))
+        assert out.shape == (2,)
+        assert out[1] > out[0]  # rate grows with N
+
+
+class TestCorrectedModel:
+    def test_correction_increases_prediction(self, paper_params):
+        from repro.core.solutions import ml_opt_scale
+
+        sol = ml_opt_scale(paper_params)
+        plain, _ = self_consistent_wallclock(
+            paper_params, np.asarray(sol.intervals), sol.scale
+        )
+        corrected, _ = corrected_wallclock(
+            paper_params, np.asarray(sol.intervals), sol.scale
+        )
+        assert corrected > plain
+
+    def test_bracketing_property(self, paper_params):
+        """The headline property: the first-order model lower-bounds the
+        simulated mean (no retries) and the corrected model upper-bounds it
+        (every retry restarts from scratch; the simulator usually resumes
+        from a nearby lower-level checkpoint)."""
+        from repro.core.solutions import ml_opt_scale
+
+        sol = ml_opt_scale(paper_params)
+        ens = simulate_solution(paper_params, sol, n_runs=15, seed=3)
+        plain, _ = self_consistent_wallclock(
+            paper_params, np.asarray(sol.intervals), sol.scale
+        )
+        corrected, _ = corrected_wallclock(
+            paper_params, np.asarray(sol.intervals), sol.scale
+        )
+        assert plain <= ens.mean_wallclock * 1.02
+        assert ens.mean_wallclock <= corrected * 1.05
+
+    def test_corrected_optimizer_runs_unchanged(self, paper_params):
+        """The whole Algorithm 1 stack accepts corrected parameters."""
+        corrected = corrected_parameters(paper_params)
+        solution = optimize(corrected).solution
+        assert 0 < solution.scale < paper_params.scale_upper_bound
+
+    def test_corrected_optimizer_beats_plain_under_simulation(
+        self, paper_params
+    ):
+        """Optimizing against the corrected objective yields a configuration
+        that simulates at least as fast as the first-order optimum."""
+        plain_sol = optimize(paper_params).solution
+        corr_sol = optimize(corrected_parameters(paper_params)).solution
+        plain_sim = simulate_solution(
+            paper_params, plain_sol, n_runs=15, seed=9
+        ).mean_wallclock
+        corr_sim = simulate_solution(
+            paper_params, corr_sol, n_runs=15, seed=9
+        ).mean_wallclock
+        assert corr_sim <= plain_sim * 1.02

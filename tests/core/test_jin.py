@@ -1,0 +1,44 @@
+"""Tests for the Jin et al. SL(opt-scale) baseline."""
+
+import pytest
+
+from repro.core.jin import solve_jin_single_level
+from repro.core.single_level import solve_single_level_nonlinear
+
+
+def test_collapses_multilevel_input(small_params):
+    result = solve_jin_single_level(small_params)
+    sol = result.solution
+    assert sol.num_levels == 1
+    assert sol.strategy == "sl-opt-scale"
+    # all failures routed to the single level
+    assert sol.mu[0] > 0
+
+
+def test_accepts_single_level_input(single_level_params):
+    result = solve_jin_single_level(single_level_params)
+    assert result.solution.num_levels == 1
+
+
+def test_consistent_with_direct_single_level_solver(single_level_params):
+    """At the converged mu, the Algorithm-1 route and a direct Formula
+    (16)/(17) solve with that mu agree."""
+    result = solve_jin_single_level(single_level_params)
+    sol = result.solution
+    b = sol.mu[0] / sol.scale  # the converged per-core failure count
+    direct = solve_single_level_nonlinear(single_level_params, b=b)
+    assert direct.x == pytest.approx(sol.intervals[0], rel=1e-3)
+    assert direct.n == pytest.approx(sol.scale, rel=1e-3)
+
+
+def test_scale_shrinks_with_failure_rates(small_params):
+    from dataclasses import replace
+    from repro.failures.rates import FailureRates
+
+    mild = replace(
+        small_params,
+        rates=FailureRates((4.0, 2.0, 1.0, 0.5), baseline_scale=2_000.0),
+    )
+    harsh_solution = solve_jin_single_level(small_params).solution
+    mild_solution = solve_jin_single_level(mild).solution
+    assert harsh_solution.scale < mild_solution.scale

@@ -1,0 +1,124 @@
+"""Tests for the multilevel inner solver (Formulas 23/24)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multilevel import optimize_intervals_fixed_scale, solve_inner
+from repro.core.wallclock import (
+    expected_wallclock,
+    wallclock_gradient_n,
+    wallclock_gradient_x,
+)
+
+
+@pytest.fixture
+def b(small_params):
+    return small_params.failure_slope(5 * 86_400.0)
+
+
+class TestStationarity:
+    def test_gradients_vanish_at_solution(self, small_params, b):
+        sol = solve_inner(small_params, b)
+        x = np.asarray(sol.intervals)
+        grad_x = wallclock_gradient_x(small_params, x, sol.scale, b)
+        assert np.max(np.abs(grad_x)) < 1e-4
+        if not sol.boundary:
+            grad_n = wallclock_gradient_n(small_params, x, sol.scale, b)
+            # bisection stops at integer resolution; gradient near zero
+            local = abs(grad_n) * sol.scale
+            assert local < 1e-2 * sol.expected_wallclock
+
+    def test_solution_beats_neighbours(self, small_params, b):
+        sol = solve_inner(small_params, b)
+        x = np.asarray(sol.intervals)
+        n = sol.scale
+        best = sol.expected_wallclock
+        for i in range(4):
+            for factor in (0.7, 1.4):
+                x_try = x.copy()
+                x_try[i] *= factor
+                assert expected_wallclock(small_params, x_try, n, b * n) > best
+        for factor in (0.8, 1.2):
+            n_try = min(max(n * factor, 1.0), small_params.scale_upper_bound)
+            if n_try != n:
+                assert (
+                    expected_wallclock(small_params, x, n_try, b * n_try)
+                    >= best - 1e-9 * best
+                )
+
+
+class TestScaleBehaviour:
+    def test_optimal_scale_below_ideal(self, small_params, b):
+        sol = solve_inner(small_params, b)
+        assert sol.scale < small_params.scale_upper_bound
+
+    def test_zero_failures_run_at_ideal_scale(self, small_params):
+        sol = solve_inner(small_params, np.zeros(4))
+        assert sol.boundary
+        assert sol.scale == pytest.approx(small_params.scale_upper_bound)
+
+    def test_higher_failure_rates_shrink_scale(self, small_params):
+        b_low = small_params.failure_slope(86_400.0)
+        b_high = small_params.failure_slope(20 * 86_400.0)
+        n_low = solve_inner(small_params, b_low).scale
+        n_high = solve_inner(small_params, b_high).scale
+        assert n_high < n_low
+
+
+class TestFixedScale:
+    def test_fixed_scale_honoured(self, small_params, b):
+        sol = optimize_intervals_fixed_scale(small_params, b, scale=1_500.0)
+        assert sol.scale == 1_500.0
+        grad_x = wallclock_gradient_x(
+            small_params, np.asarray(sol.intervals), 1_500.0, b
+        )
+        assert np.max(np.abs(grad_x)) < 1e-4
+
+    def test_free_scale_no_worse_than_fixed(self, small_params, b):
+        free = solve_inner(small_params, b)
+        fixed = optimize_intervals_fixed_scale(
+            small_params, b, scale=small_params.scale_upper_bound
+        )
+        assert free.expected_wallclock <= fixed.expected_wallclock + 1e-9
+
+    def test_out_of_range_fixed_scale_rejected(self, small_params, b):
+        with pytest.raises(ValueError):
+            optimize_intervals_fixed_scale(small_params, b, scale=1e9)
+
+
+class TestSweepVariants:
+    def test_jacobi_and_gauss_seidel_agree(self, small_params, b):
+        gs = solve_inner(small_params, b, gauss_seidel=True)
+        jac = solve_inner(small_params, b, gauss_seidel=False)
+        assert np.allclose(gs.intervals, jac.intervals, rtol=1e-4)
+        assert gs.scale == pytest.approx(jac.scale, abs=1.0)
+
+    def test_gauss_seidel_not_slower(self, small_params, b):
+        gs = solve_inner(small_params, b, gauss_seidel=True)
+        jac = solve_inner(small_params, b, gauss_seidel=False)
+        assert gs.iterations <= jac.iterations + 1
+
+
+class TestIntervalOrdering:
+    def test_cheaper_levels_checkpoint_more_often(self, small_params, b):
+        """C_1 < C_2 < ... with comparable rates implies x_1 >= x_2 >= ..."""
+        sol = solve_inner(small_params, b)
+        assert all(
+            a >= b_ for a, b_ in zip(sol.intervals[:-1], sol.intervals[1:])
+        )
+
+
+class TestValidation:
+    def test_wrong_b_length(self, small_params):
+        with pytest.raises(ValueError):
+            solve_inner(small_params, [0.1, 0.2])
+
+    def test_negative_b(self, small_params):
+        with pytest.raises(ValueError):
+            solve_inner(small_params, [-0.1, 0.1, 0.1, 0.1])
+
+    def test_bad_x0(self, small_params, b):
+        with pytest.raises(ValueError):
+            solve_inner(small_params, b, x0=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            solve_inner(small_params, b, x0=[0.0, 1.0, 1.0, 1.0])

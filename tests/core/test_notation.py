@@ -1,0 +1,101 @@
+"""Tests for ModelParameters and Solution."""
+
+import math
+
+import pytest
+
+from repro.core.notation import ModelParameters, Solution
+from repro.costs.model import LevelCostModel
+from repro.failures.rates import FailureRates
+from repro.speedup.linear import LinearSpeedup
+from repro.speedup.quadratic import QuadraticSpeedup
+
+
+class TestModelParameters:
+    def test_level_counts_must_agree(self):
+        with pytest.raises(ValueError, match="levels"):
+            ModelParameters(
+                te_core_seconds=1e6,
+                speedup=QuadraticSpeedup(0.5, 1e4),
+                costs=LevelCostModel.from_constants([1.0, 2.0]),
+                rates=FailureRates((1.0, 2.0, 3.0), baseline_scale=1e4),
+            )
+
+    def test_linear_speedup_requires_explicit_cap(self):
+        with pytest.raises(ValueError, match="max_scale"):
+            ModelParameters(
+                te_core_seconds=1e6,
+                speedup=LinearSpeedup(0.5),
+                costs=LevelCostModel.from_constants([1.0]),
+                rates=FailureRates((1.0,), baseline_scale=1e4),
+            )
+
+    def test_scale_upper_bound_is_min_of_caps(self):
+        params = ModelParameters(
+            te_core_seconds=1e6,
+            speedup=QuadraticSpeedup(0.5, 1e4),
+            costs=LevelCostModel.from_constants([1.0]),
+            rates=FailureRates((1.0,), baseline_scale=1e4),
+            max_scale=5e3,
+        )
+        assert params.scale_upper_bound == 5e3
+
+    def test_from_core_days(self, small_params):
+        assert small_params.te_core_seconds == pytest.approx(200.0 * 86_400.0)
+
+    def test_failure_slope_is_per_core(self, small_params):
+        b = small_params.failure_slope(86_400.0)
+        # level-1 rate 24/day at 2000 cores -> per core per day = 0.012
+        assert b[0] == pytest.approx(24.0 / 2_000.0)
+
+    def test_single_level_collapse(self, small_params):
+        sl = small_params.single_level()
+        assert sl.num_levels == 1
+        # total failure rate routed to the top level
+        assert sl.rates.per_day_at_baseline[0] == pytest.approx(45.0)
+        # top-level costs kept
+        assert sl.costs.checkpoint_costs(10.0)[0] == pytest.approx(12.0)
+
+    def test_productive_time(self, small_params):
+        n = 1_000.0
+        g = float(small_params.speedup.speedup(n))
+        assert small_params.productive_time(n) == pytest.approx(
+            small_params.te_core_seconds / g
+        )
+
+
+class TestSolution:
+    def _solution(self, **kwargs):
+        defaults = dict(
+            intervals=(10.0, 5.0),
+            scale=100.0,
+            expected_wallclock=1_000.0,
+            mu=(2.0, 1.0),
+        )
+        defaults.update(kwargs)
+        return Solution(**defaults)
+
+    def test_rounding(self):
+        sol = self._solution(intervals=(10.6, 0.4), scale=99.5)
+        assert sol.intervals_rounded() == (11, 1)  # floor at 1
+        assert sol.scale_rounded() == 100
+
+    def test_efficiency(self):
+        sol = self._solution()
+        # (te / wallclock) / n
+        assert sol.efficiency(50_000.0) == pytest.approx(0.5)
+
+    def test_infeasible_solution(self):
+        sol = self._solution(expected_wallclock=math.inf)
+        assert not sol.feasible
+        assert sol.efficiency(1e6) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._solution(intervals=())
+        with pytest.raises(ValueError):
+            self._solution(intervals=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            self._solution(scale=-1.0)
+        with pytest.raises(ValueError):
+            self._solution(mu=(1.0,))

@@ -1,0 +1,83 @@
+"""Tests for checkpoint-level selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import optimize
+from repro.core.selection import (
+    optimize_level_selection,
+    reduce_parameters,
+)
+
+
+class TestReduceParameters:
+    def test_full_subset_is_identity(self, small_params):
+        reduced = reduce_parameters(small_params, (1, 2, 3, 4))
+        assert reduced.num_levels == 4
+        assert reduced.rates.per_day_at_baseline == (24.0, 12.0, 6.0, 3.0)
+
+    def test_disabled_rates_merge_upward(self, small_params):
+        # disable levels 2 and 3: their failures roll back to level 4
+        reduced = reduce_parameters(small_params, (1, 4))
+        assert reduced.num_levels == 2
+        assert reduced.rates.per_day_at_baseline == (24.0, 12.0 + 6.0 + 3.0)
+        costs = reduced.costs.checkpoint_costs(100.0)
+        assert costs.tolist() == [1.0, 12.0]
+
+    def test_disable_level_1(self, small_params):
+        reduced = reduce_parameters(small_params, (2, 3, 4))
+        # level-1 failures now recover from level 2
+        assert reduced.rates.per_day_at_baseline == (36.0, 6.0, 3.0)
+
+    def test_top_level_mandatory(self, small_params):
+        with pytest.raises(ValueError, match="catch-all"):
+            reduce_parameters(small_params, (1, 2, 3))
+
+    def test_bad_subsets_rejected(self, small_params):
+        with pytest.raises(ValueError):
+            reduce_parameters(small_params, (4, 1))
+        with pytest.raises(ValueError):
+            reduce_parameters(small_params, (0, 4))
+        with pytest.raises(ValueError):
+            reduce_parameters(small_params, ())
+
+
+class TestSelection:
+    def test_search_covers_all_subsets(self, small_params):
+        result = optimize_level_selection(small_params)
+        assert len(result.per_subset) == 8  # 2^(L-1) for L=4
+        assert all(subset[-1] == 4 for subset in result.per_subset)
+
+    def test_best_is_minimum_over_subsets(self, small_params):
+        result = optimize_level_selection(small_params)
+        finite = [v for v in result.per_subset.values() if np.isfinite(v)]
+        assert result.solution.expected_wallclock == pytest.approx(min(finite))
+        assert result.per_subset[result.best_subset] == pytest.approx(
+            result.solution.expected_wallclock
+        )
+
+    def test_no_worse_than_all_levels(self, small_params):
+        """Selection can only improve on always-enabling every level."""
+        result = optimize_level_selection(small_params)
+        all_levels = optimize(small_params).solution
+        assert (
+            result.solution.expected_wallclock
+            <= all_levels.expected_wallclock * (1 + 1e-9)
+        )
+
+    def test_redundant_level_gets_dropped(self, small_params):
+        """Make level 3 cost nearly as much as level 4 while protecting
+        less: the optimizer should disable it."""
+        from dataclasses import replace
+        from repro.costs.model import LevelCostModel
+
+        params = replace(
+            small_params,
+            costs=LevelCostModel.from_constants([1.0, 2.5, 11.9, 12.0]),
+        )
+        result = optimize_level_selection(params)
+        assert 3 not in result.best_subset
+
+    def test_fixed_scale_supported(self, small_params):
+        result = optimize_level_selection(small_params, fixed_scale=1_500.0)
+        assert result.solution.scale == 1_500.0

@@ -1,0 +1,53 @@
+"""Tests for the sensitivity/regret analysis."""
+
+import pytest
+
+from repro.core.sensitivity import PERTURBATIONS, sensitivity_report
+
+
+def test_report_covers_requested_parameters(small_params):
+    entries = sensitivity_report(small_params, relative_perturbation=0.2)
+    assert {e.parameter for e in entries} == set(PERTURBATIONS)
+
+
+def test_regret_is_nonnegative(small_params):
+    """Optimizing with a wrong input can never beat optimizing with the
+    truth (evaluated under the truth)."""
+    for perturbation in (0.25, -0.25):
+        entries = sensitivity_report(
+            small_params, relative_perturbation=perturbation
+        )
+        for entry in entries:
+            assert entry.regret >= -1e-9, entry.parameter
+
+
+def test_regret_small_for_small_errors(small_params):
+    """Near the optimum the objective is flat (envelope theorem): a 10%
+    input error costs far less than 10% wall-clock."""
+    entries = sensitivity_report(small_params, relative_perturbation=0.1)
+    for entry in entries:
+        assert entry.regret < 0.05, entry.parameter
+
+
+def test_elasticity_definition(small_params):
+    entries = sensitivity_report(small_params, relative_perturbation=0.2)
+    for entry in entries:
+        assert entry.elasticity == pytest.approx(entry.regret / 0.2)
+
+
+def test_validation(small_params):
+    with pytest.raises(ValueError):
+        sensitivity_report(small_params, relative_perturbation=0.0)
+    with pytest.raises(ValueError):
+        sensitivity_report(small_params, parameters=("bogus",))
+
+
+def test_kappa_requires_quadratic(small_params):
+    from dataclasses import replace
+    from repro.speedup.amdahl import AmdahlSpeedup
+
+    params = replace(
+        small_params, speedup=AmdahlSpeedup(0.001, max_scale=2_000.0)
+    )
+    with pytest.raises(TypeError, match="QuadraticSpeedup"):
+        sensitivity_report(params, parameters=("kappa",))

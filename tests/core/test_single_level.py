@@ -1,0 +1,111 @@
+"""Tests for the single-level optimizers (Formulas 10/11, 16/17)."""
+
+import numpy as np
+import pytest
+
+from repro.core.single_level import (
+    solve_single_level_linear,
+    solve_single_level_nonlinear,
+)
+from repro.core.wallclock import single_level_wallclock
+from repro.experiments.fig3 import (
+    FIG3_B,
+    PAPER_OPTIMUM_CONSTANT,
+    PAPER_OPTIMUM_LINEAR,
+    _params,
+)
+
+
+class TestLinearClosedForm:
+    def test_formulas_10_and_11(self):
+        te, kappa, eps, eta, a, b = 1e8, 0.5, 10.0, 8.0, 2.0, 0.001
+        sol = solve_single_level_linear(te, kappa, eps, eta, a, b)
+        assert sol.x == pytest.approx(np.sqrt(b * te / (2 * kappa * eps)))
+        assert sol.n == pytest.approx(np.sqrt(te / (kappa * b * (eta + a))))
+        assert sol.iterations == 0
+
+    def test_optimum_beats_neighbours(self):
+        te, kappa, eps, eta, a, b = 1e8, 0.5, 10.0, 8.0, 2.0, 0.001
+        sol = solve_single_level_linear(te, kappa, eps, eta, a, b)
+
+        def objective(x, n):
+            f = te / (kappa * n)
+            return f + eps * (x - 1) + b * n * (f / (2 * x) + eta + a)
+
+        best = objective(sol.x, sol.n)
+        for fx in (0.8, 1.25):
+            for fn in (0.8, 1.25):
+                assert objective(sol.x * fx, sol.n * fn) > best
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_single_level_linear(0.0, 0.5, 1.0, 1.0, 1.0, 0.01)
+        with pytest.raises(ValueError):
+            solve_single_level_linear(1e6, 0.5, 1.0, 1.0, 1.0, 0.0)
+        with pytest.raises(ValueError, match="unbounded"):
+            solve_single_level_linear(1e6, 0.5, 1.0, 0.0, 0.0, 0.01)
+
+
+class TestNonlinearFixedPoint:
+    def test_reproduces_paper_fig3_constant_cost(self):
+        """x* = 797, N* = 81,746 (paper Section III-C.2)."""
+        sol = solve_single_level_nonlinear(_params(False), b=FIG3_B)
+        assert sol.x == pytest.approx(PAPER_OPTIMUM_CONSTANT[0], abs=1.0)
+        assert sol.n == pytest.approx(PAPER_OPTIMUM_CONSTANT[1], abs=2.0)
+        assert not sol.boundary
+
+    def test_reproduces_paper_fig3_linear_cost(self):
+        """x* = 140, N* = 20,215."""
+        sol = solve_single_level_nonlinear(_params(True), b=FIG3_B)
+        assert sol.x == pytest.approx(PAPER_OPTIMUM_LINEAR[0], abs=1.0)
+        assert sol.n == pytest.approx(PAPER_OPTIMUM_LINEAR[1], abs=2.0)
+
+    def test_stationarity_formula_16(self):
+        """At the solution, Formula (16) is a fixed point."""
+        params = _params(False)
+        sol = solve_single_level_nonlinear(params, b=FIG3_B)
+        g = float(params.speedup.speedup(sol.n))
+        cost = float(params.costs.checkpoint_costs(sol.n)[0])
+        x_again = np.sqrt(FIG3_B * sol.n * params.te_core_seconds / (2 * cost * g))
+        assert x_again == pytest.approx(sol.x, rel=1e-6)
+
+    def test_optimum_beats_swept_neighbours(self):
+        params = _params(False)
+        sol = solve_single_level_nonlinear(params, b=FIG3_B)
+        best = single_level_wallclock(params, sol.x, sol.n, mu=FIG3_B * sol.n)
+        for fx in (0.7, 1.4):
+            val = single_level_wallclock(
+                params, sol.x * fx, sol.n, mu=FIG3_B * sol.n
+            )
+            assert val > best
+        for fn in (0.7, 1.2):
+            n_try = min(sol.n * fn, params.scale_upper_bound)
+            val = single_level_wallclock(
+                params, sol.x, n_try, mu=FIG3_B * n_try
+            )
+            assert val > best
+
+    def test_zero_failures_boundary_solution(self):
+        sol = solve_single_level_nonlinear(_params(False), b=0.0)
+        assert sol.boundary
+        assert sol.n == pytest.approx(100_000.0)
+        assert sol.x == 1.0  # never checkpoint without failures
+
+    def test_tiny_failure_rate_lands_near_ideal_scale(self):
+        """'This situation occurs with very few failures or small checkpoint
+        overhead on the PFS' — the optimum sits at (or within a whisker of)
+        N^(*), and the interval count floors at 1 (no checkpoints)."""
+        sol = solve_single_level_nonlinear(_params(False), b=1e-9)
+        assert sol.n == pytest.approx(100_000.0, rel=1e-3)
+        assert sol.x == 1.0
+
+    def test_multilevel_params_rejected(self, small_params):
+        with pytest.raises(ValueError, match="1-level"):
+            solve_single_level_nonlinear(small_params, b=0.01)
+
+    def test_paper_initial_value_converges_quickly(self):
+        """From x0 = 100,000 the paper reports 30-40 iterations; our
+        Gauss-Seidel-style alternation converges even faster, but must stay
+        well within that envelope."""
+        sol = solve_single_level_nonlinear(_params(False), b=FIG3_B, x0=100_000.0)
+        assert 1 <= sol.iterations <= 40

@@ -1,0 +1,99 @@
+"""Tests for the four evaluation strategies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.jin import solve_jin_single_level
+from repro.core.solutions import (
+    STRATEGY_NAMES,
+    compare_all_strategies,
+    ml_opt_scale,
+    ml_ori_scale,
+    sl_opt_scale,
+    sl_ori_scale,
+)
+
+
+class TestIndividualStrategies:
+    def test_ml_opt_scale_optimizes_both(self, small_params):
+        sol = ml_opt_scale(small_params)
+        assert sol.strategy == "ml-opt-scale"
+        assert sol.num_levels == 4
+        assert sol.scale < small_params.scale_upper_bound
+
+    def test_ml_ori_scale_pins_scale(self, small_params):
+        sol = ml_ori_scale(small_params)
+        assert sol.scale == small_params.scale_upper_bound
+        assert sol.num_levels == 4
+
+    def test_sl_opt_scale_single_level(self, small_params):
+        sol = sl_opt_scale(small_params)
+        assert sol.num_levels == 1
+        assert sol.scale < small_params.scale_upper_bound
+
+    def test_sl_ori_scale_classic_young(self, small_params):
+        sol = sl_ori_scale(small_params)
+        assert sol.num_levels == 1
+        assert sol.scale == small_params.scale_upper_bound
+
+    def test_jin_alias(self, small_params):
+        result = solve_jin_single_level(small_params)
+        assert result.solution.strategy == "sl-opt-scale"
+
+
+class TestOrdering:
+    """The paper's headline comparison (Fig. 5): ML(opt-scale) wins."""
+
+    def test_ml_opt_beats_all(self, small_params):
+        sols = compare_all_strategies(small_params)
+        best = sols["ml-opt-scale"].expected_wallclock
+        for name in ("sl-opt-scale", "ml-ori-scale", "sl-ori-scale"):
+            assert best <= sols[name].expected_wallclock * (1 + 1e-9), name
+
+    def test_multilevel_beats_single_level_at_same_scale_policy(
+        self, small_params
+    ):
+        sols = compare_all_strategies(small_params)
+        assert (
+            sols["ml-opt-scale"].expected_wallclock
+            <= sols["sl-opt-scale"].expected_wallclock
+        )
+        if sols["sl-ori-scale"].feasible:
+            assert (
+                sols["ml-ori-scale"].expected_wallclock
+                <= sols["sl-ori-scale"].expected_wallclock
+            )
+
+    def test_all_strategies_present(self, small_params):
+        sols = compare_all_strategies(small_params)
+        assert set(sols) == set(STRATEGY_NAMES)
+
+
+class TestEfficiencyShape:
+    def test_sl_opt_scale_highest_efficiency(self, small_params):
+        """Fig. 7: the tiny-scale single-level solution has the best
+        processor utilization despite its long wall-clock."""
+        sols = compare_all_strategies(small_params)
+        te = small_params.te_core_seconds
+        eff = {name: s.efficiency(te) for name, s in sols.items()}
+        assert eff["sl-opt-scale"] >= eff["ml-ori-scale"]
+        assert eff["sl-opt-scale"] >= eff["sl-ori-scale"]
+
+    def test_ml_opt_more_efficient_than_ori(self, small_params):
+        sols = compare_all_strategies(small_params)
+        te = small_params.te_core_seconds
+        assert sols["ml-opt-scale"].efficiency(te) >= sols[
+            "ml-ori-scale"
+        ].efficiency(te)
+
+
+class TestInfeasibleClassicYoung:
+    def test_harsh_config_reports_infinite_wallclock(self, paper_params):
+        """At 10^6 cores with the scale-growing PFS cost, classic Young's
+        expected loss per second exceeds 1: reported as infeasible."""
+        sol = sl_ori_scale(paper_params)
+        assert not sol.feasible
+        assert math.isinf(sol.expected_wallclock)
+        assert sol.efficiency(paper_params.te_core_seconds) == 0.0

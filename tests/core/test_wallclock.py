@@ -1,0 +1,216 @@
+"""Tests for the expected-wall-clock model (Formulas 13, 18, 21, 22, 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.notation import ModelParameters
+from repro.core.wallclock import (
+    expected_rollback_loss,
+    expected_wallclock,
+    self_consistent_wallclock,
+    single_level_wallclock,
+    time_portions,
+    wallclock_gradient_n,
+    wallclock_gradient_x,
+)
+from repro.costs.model import LevelCostModel
+from repro.failures.rates import FailureRates
+from repro.speedup.quadratic import QuadraticSpeedup
+
+
+class TestRollbackLoss:
+    def test_formula_18_by_hand(self, small_params):
+        """Check E(Gamma_i) against a hand computation."""
+        x = np.array([10.0, 5.0, 2.0, 2.0])
+        n = 1_000.0
+        f = small_params.productive_time(n)
+        c = small_params.costs.checkpoint_costs(n)  # [1, 2.5, 4, 12]
+        loss = expected_rollback_loss(small_params, x, n)
+        # level 1: f/(2 x1) + C1 x1/(2 x1)
+        assert loss[0] == pytest.approx(f / 20.0 + c[0] / 2.0)
+        # level 3: f/(2 x3) + (C1 x1 + C2 x2 + C3 x3) / (2 x3)
+        expected3 = f / 4.0 + (c[0] * 10 + c[1] * 5 + c[2] * 2) / 4.0
+        assert loss[2] == pytest.approx(expected3)
+
+    def test_higher_levels_lose_more(self, small_params):
+        """With equal intervals, higher-level rollbacks cost at least as much
+        (they waste all lower-level checkpoints too)."""
+        x = np.full(4, 8.0)
+        loss = expected_rollback_loss(small_params, x, 500.0)
+        assert np.all(np.diff(loss) >= 0)
+
+    def test_validation(self, small_params):
+        with pytest.raises(ValueError):
+            expected_rollback_loss(small_params, [1.0, 1.0], 10.0)
+        with pytest.raises(ValueError):
+            expected_rollback_loss(small_params, [0.0, 1.0, 1.0, 1.0], 10.0)
+        with pytest.raises(ValueError):
+            expected_rollback_loss(small_params, [1.0] * 4, -5.0)
+
+
+class TestExpectedWallclock:
+    def test_zero_failures_reduces_to_base(self, small_params):
+        x = np.array([10.0, 5.0, 3.0, 2.0])
+        n = 800.0
+        e = expected_wallclock(small_params, x, n, mu=np.zeros(4))
+        f = small_params.productive_time(n)
+        c = small_params.costs.checkpoint_costs(n)
+        assert e == pytest.approx(f + float(np.sum(c * (x - 1))))
+
+    def test_linear_in_mu(self, small_params):
+        x = np.array([10.0, 5.0, 3.0, 2.0])
+        n = 800.0
+        e0 = expected_wallclock(small_params, x, n, mu=np.zeros(4))
+        e1 = expected_wallclock(small_params, x, n, mu=np.ones(4))
+        e2 = expected_wallclock(small_params, x, n, mu=2 * np.ones(4))
+        assert e2 - e1 == pytest.approx(e1 - e0)
+
+    def test_negative_mu_rejected(self, small_params):
+        with pytest.raises(ValueError):
+            expected_wallclock(small_params, [1.0] * 4, 10.0, mu=[-1.0, 0, 0, 0])
+
+
+class TestSelfConsistent:
+    def test_fixed_point_property(self, small_params):
+        """E solves E = base + sum mu_i(E) * loss_i exactly."""
+        x = np.array([20.0, 10.0, 5.0, 3.0])
+        n = 1_000.0
+        e, mu = self_consistent_wallclock(small_params, x, n)
+        e_check = expected_wallclock(small_params, x, n, mu=mu)
+        assert e == pytest.approx(e_check, rel=1e-12)
+        lam = small_params.rates.rates_per_second(n)
+        assert np.allclose(mu, lam * e)
+
+    def test_infeasible_raises(self, small_params):
+        """Absurdly slow recovery makes expected loss exceed 1."""
+        from dataclasses import replace
+
+        hostile = replace(
+            small_params,
+            costs=LevelCostModel.from_constants(
+                [1.0, 2.5, 4.0, 12.0], [1e6, 1e6, 1e6, 1e6]
+            ),
+        )
+        with pytest.raises(ValueError, match="cannot complete"):
+            self_consistent_wallclock(hostile, [10.0] * 4, 1_500.0)
+
+
+class TestSingleLevel:
+    def test_formula_13_by_hand(self, single_level_params):
+        p = single_level_params
+        x, n, mu = 50.0, 4_000.0, 10.0
+        f = p.productive_time(n)
+        expected = f + 10.0 * (x - 1) + mu * (f / (2 * x) + 10.0 + 20.0)
+        assert single_level_wallclock(p, x, n, mu=mu) == pytest.approx(expected)
+
+    def test_multilevel_params_rejected(self, small_params):
+        with pytest.raises(ValueError, match="1-level"):
+            single_level_wallclock(small_params, 10.0, 100.0, mu=1.0)
+
+    def test_self_consistent_mode(self, single_level_params):
+        e = single_level_wallclock(single_level_params, 50.0, 4_000.0)
+        lam = float(single_level_params.rates.rates_per_second(4_000.0)[0])
+        mu = lam * e
+        assert single_level_wallclock(
+            single_level_params, 50.0, 4_000.0, mu=mu
+        ) == pytest.approx(e, rel=1e-12)
+
+
+class TestTimePortions:
+    def test_portions_sum_to_wallclock(self, small_params):
+        x = np.array([20.0, 10.0, 5.0, 3.0])
+        n = 1_200.0
+        portions = time_portions(small_params, x, n)
+        total = (
+            portions["productive"]
+            + portions["checkpoint"]
+            + portions["restart"]
+            + portions["rollback"]
+        )
+        assert portions["wallclock"] == pytest.approx(total)
+        e, _ = self_consistent_wallclock(small_params, x, n)
+        assert portions["wallclock"] == pytest.approx(e)
+
+    def test_explicit_mu(self, small_params):
+        portions = time_portions(
+            small_params, [10.0] * 4, 500.0, mu=np.zeros(4)
+        )
+        assert portions["restart"] == 0.0
+        assert portions["rollback"] == 0.0
+
+
+class TestGradients:
+    """Formulas (23)/(24) must match finite differences of Formula (21)."""
+
+    def _setup(self, small_params):
+        b = small_params.failure_slope(5 * 86_400.0)
+        x = np.array([30.0, 12.0, 6.0, 4.0])
+        n = 900.0
+        return x, n, b
+
+    def test_gradient_x_matches_finite_difference(self, small_params):
+        x, n, b = self._setup(small_params)
+        grad = wallclock_gradient_x(small_params, x, n, b)
+        h = 1e-4
+        for i in range(4):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += h
+            xm[i] -= h
+            fd = (
+                expected_wallclock(small_params, xp, n, b * n)
+                - expected_wallclock(small_params, xm, n, b * n)
+            ) / (2 * h)
+            assert grad[i] == pytest.approx(fd, rel=1e-5, abs=1e-8)
+
+    def test_gradient_n_matches_finite_difference(self, small_params):
+        x, n, b = self._setup(small_params)
+        grad = wallclock_gradient_n(small_params, x, n, b)
+        h = 1e-3
+        fd = (
+            expected_wallclock(small_params, x, n + h, b * (n + h))
+            - expected_wallclock(small_params, x, n - h, b * (n - h))
+        ) / (2 * h)
+        assert grad == pytest.approx(fd, rel=1e-5)
+
+    def test_gradient_n_with_scale_dependent_costs(self, paper_params):
+        """The PFS level's linear cost exercises the C'(N) terms."""
+        b = paper_params.failure_slope(40 * 86_400.0)
+        x = np.array([10_000.0, 5_000.0, 2_000.0, 100.0])
+        n = 400_000.0
+        grad = wallclock_gradient_n(paper_params, x, n, b)
+        h = 1.0
+        fd = (
+            expected_wallclock(paper_params, x, n + h, b * (n + h))
+            - expected_wallclock(paper_params, x, n - h, b * (n - h))
+        ) / (2 * h)
+        assert grad == pytest.approx(fd, rel=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    x_scale=st.floats(min_value=2.0, max_value=500.0),
+    n_frac=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_objective_convex_in_each_x_direction(x_scale, n_frac):
+    """Under frozen mu (mu = b N), E(T_w) is convex in each x_i: the
+    analytic stationary point from Formula (23) is a minimum."""
+    params = ModelParameters.from_core_days(
+        100.0,
+        speedup=QuadraticSpeedup(0.5, 2_000.0),
+        costs=LevelCostModel.from_constants([1.0, 4.0]),
+        rates=FailureRates((10.0, 5.0), baseline_scale=2_000.0),
+        allocation_period=10.0,
+    )
+    b = params.failure_slope(2 * 86_400.0)
+    n = n_frac * 2_000.0
+    x = np.array([x_scale, x_scale / 2.0])
+    e_mid = expected_wallclock(params, x, n, b * n)
+    for i in range(2):
+        xp, xm = x.copy(), x.copy()
+        xp[i] *= 1.01
+        xm[i] *= 0.99
+        e_p = expected_wallclock(params, xp, n, b * n)
+        e_m = expected_wallclock(params, xm, n, b * n)
+        # discrete convexity along coordinate i
+        assert e_p + e_m >= 2 * e_mid - 1e-9 * abs(e_mid)

@@ -1,0 +1,71 @@
+"""Tests for the Young and Daly baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.daly import daly_interval
+from repro.core.young import (
+    young_initial_intervals,
+    young_interval,
+    young_num_intervals,
+)
+
+
+class TestYoung:
+    def test_classic_formula(self):
+        assert young_interval(10.0, 7_200.0) == pytest.approx(
+            math.sqrt(2 * 10.0 * 7_200.0)
+        )
+
+    def test_interval_count_form_consistent(self):
+        """x = P / tau when mu = P / MTBF."""
+        cost, mtbf, productive = 10.0, 7_200.0, 1e6
+        mu = productive / mtbf
+        tau = young_interval(cost, mtbf)
+        x = young_num_intervals(mu, productive, cost)
+        assert x == pytest.approx(productive / tau, rel=1e-9)
+
+    def test_floor_at_one(self):
+        assert young_num_intervals(1e-9, 100.0, 50.0) == 1.0
+
+    def test_per_level_initialization(self, small_params):
+        n = 1_000.0
+        mu = np.array([20.0, 10.0, 5.0, 2.0])
+        x = young_initial_intervals(small_params, n, mu)
+        p = small_params.productive_time(n)
+        c = small_params.costs.checkpoint_costs(n)
+        for i in range(4):
+            assert x[i] == pytest.approx(math.sqrt(mu[i] * p / (2 * c[i])))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0.0, 100.0)
+        with pytest.raises(ValueError):
+            young_num_intervals(-1.0, 100.0, 1.0)
+        with pytest.raises(ValueError):
+            young_num_intervals(1.0, 0.0, 1.0)
+
+
+class TestDaly:
+    def test_close_to_young_for_small_cost(self):
+        """For C << M Daly's correction is small."""
+        c, m = 1.0, 1e6
+        assert daly_interval(c, m) == pytest.approx(
+            young_interval(c, m), rel=0.01
+        )
+
+    def test_higher_order_terms_positive_before_subtracting_c(self):
+        c, m = 100.0, 10_000.0
+        tau = daly_interval(c, m)
+        assert tau > young_interval(c, m) - c - 1e-9
+
+    def test_degenerate_regime_returns_mtbf(self):
+        assert daly_interval(500.0, 200.0) == 200.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            daly_interval(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            daly_interval(1.0, 0.0)

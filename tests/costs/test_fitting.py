@@ -1,0 +1,71 @@
+"""Tests for cost-model least-squares fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.costs.fitting import fit_cost_model
+from repro.costs.scaling import LINEAR, SQRT
+
+
+def test_exact_linear_recovery():
+    scales = np.array([128.0, 256.0, 512.0, 1024.0])
+    costs = 5.5 + 0.0212 * scales
+    m = fit_cost_model(scales, costs, snap_threshold=0.0)
+    assert m.constant == pytest.approx(5.5, abs=1e-9)
+    assert m.coefficient == pytest.approx(0.0212, rel=1e-9)
+
+
+def test_constant_data_snaps_to_constant():
+    scales = np.array([128.0, 256.0, 512.0, 1024.0])
+    costs = np.array([0.9, 0.67, 0.99, 1.1])  # Table II level-1 style jitter
+    m = fit_cost_model(scales, costs)
+    assert m.is_constant()
+    assert m.constant == pytest.approx(float(costs.mean()), rel=1e-9)
+
+
+def test_decreasing_data_refit_as_constant():
+    scales = np.array([100.0, 200.0, 400.0])
+    costs = np.array([10.0, 8.0, 6.0])
+    m = fit_cost_model(scales, costs, snap_threshold=0.0)
+    assert m.is_constant()
+    assert m.constant == pytest.approx(8.0)
+
+
+def test_negative_intercept_pinned_to_zero():
+    scales = np.array([100.0, 200.0, 400.0])
+    costs = 0.05 * scales - 2.0  # would fit eps < 0
+    costs = np.clip(costs, 0, None)
+    m = fit_cost_model(scales, costs, snap_threshold=0.0)
+    assert m.constant >= 0.0
+    assert m.coefficient > 0.0
+
+
+def test_alternative_baseline():
+    scales = np.array([100.0, 400.0, 900.0, 1600.0])
+    costs = 2.0 + 0.5 * np.sqrt(scales)
+    m = fit_cost_model(scales, costs, baseline=SQRT, snap_threshold=0.0)
+    assert m.constant == pytest.approx(2.0, abs=1e-8)
+    assert m.coefficient == pytest.approx(0.5, rel=1e-8)
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        fit_cost_model([1.0], [2.0])
+    with pytest.raises(ValueError):
+        fit_cost_model([1.0, 2.0], [2.0])  # shape mismatch
+    with pytest.raises(ValueError):
+        fit_cost_model([1.0, 2.0], [-1.0, 1.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    eps=st.floats(min_value=0.0, max_value=100.0),
+    alpha=st.floats(min_value=1e-4, max_value=1.0),
+)
+def test_clean_linear_roundtrip(eps, alpha):
+    scales = np.array([64.0, 128.0, 256.0, 512.0, 1024.0])
+    costs = eps + alpha * scales
+    m = fit_cost_model(scales, costs, snap_threshold=0.0)
+    predicted = np.array([float(m(s)) for s in scales])
+    assert np.allclose(predicted, costs, rtol=1e-6, atol=1e-6)

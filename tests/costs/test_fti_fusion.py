@@ -1,0 +1,58 @@
+"""Tests for the Table II data module."""
+
+import numpy as np
+import pytest
+
+from repro.costs.fti_fusion import (
+    FTI_FUSION_CHECKPOINT_TABLE,
+    FTI_FUSION_PAPER_COEFFS,
+    FTI_FUSION_SCALES,
+    fti_fusion_cost_models,
+    fti_fusion_paper_coefficients,
+)
+
+
+def test_table_shape_matches_paper():
+    assert FTI_FUSION_CHECKPOINT_TABLE.shape == (5, 4)
+    assert FTI_FUSION_SCALES.tolist() == [128, 256, 384, 512, 1024]
+
+
+def test_table_values_spot_check():
+    # Table II verbatim cells
+    assert FTI_FUSION_CHECKPOINT_TABLE[0, 0] == 0.9  # 128 cores, level 1
+    assert FTI_FUSION_CHECKPOINT_TABLE[4, 3] == 25.15  # 1024 cores, PFS
+
+
+def test_paper_coefficient_models():
+    m = fti_fusion_paper_coefficients()
+    assert m.num_levels == 4
+    costs = m.checkpoint_costs(1024.0)
+    assert costs[0] == pytest.approx(0.866)
+    assert costs[3] == pytest.approx(5.5 + 0.0212 * 1024)
+    # levels 1-3 scale-independent
+    assert np.array_equal(m.checkpoint_costs(128.0)[:3], costs[:3])
+
+
+def test_refit_from_raw_table_close_to_paper():
+    """Least squares on the raw Table II reproduces the quoted coefficients."""
+    refit = fti_fusion_cost_models()
+    for level, (eps, alpha) in enumerate(FTI_FUSION_PAPER_COEFFS):
+        model = refit.checkpoint[level]
+        if alpha == 0.0:
+            assert model.is_constant()
+            assert model.constant == pytest.approx(eps, rel=0.05)
+        else:
+            assert model.coefficient == pytest.approx(alpha, rel=0.05)
+            assert model.constant == pytest.approx(eps, rel=0.25)
+
+
+def test_refit_predictions_close_to_measurements():
+    refit = fti_fusion_cost_models()
+    predicted = np.column_stack(
+        [refit.checkpoint_costs(s) for s in FTI_FUSION_SCALES]
+    ).T
+    # PFS column within 20% of each measurement
+    rel = np.abs(predicted[:, 3] - FTI_FUSION_CHECKPOINT_TABLE[:, 3]) / (
+        FTI_FUSION_CHECKPOINT_TABLE[:, 3]
+    )
+    assert rel.max() < 0.35

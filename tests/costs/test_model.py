@@ -1,0 +1,80 @@
+"""Tests for CostModel and LevelCostModel (Formulas 19/20)."""
+
+import numpy as np
+import pytest
+
+from repro.costs.model import CostModel, LevelCostModel
+from repro.costs.scaling import CONSTANT, LINEAR
+
+
+class TestCostModel:
+    def test_constant_cost(self):
+        c = CostModel.constant_cost(5.0)
+        assert c(1.0) == 5.0
+        assert c(1e6) == 5.0
+        assert c.derivative(123.0) == 0.0
+        assert c.is_constant()
+
+    def test_linear_cost_matches_paper_pfs(self):
+        # The paper's level-4 fit: 5.5 + 0.0212 N
+        c = CostModel(constant=5.5, coefficient=0.0212, baseline=LINEAR)
+        assert float(c(1024.0)) == pytest.approx(27.2, abs=0.1)
+        assert float(c(1e6)) == pytest.approx(21_205.5)
+        assert float(c.derivative(500.0)) == pytest.approx(0.0212)
+        assert not c.is_constant()
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(constant=-1.0)
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(constant=1.0, coefficient=-0.1, baseline=LINEAR)
+
+
+class TestLevelCostModel:
+    def test_from_constants_default_recovery_mirrors(self):
+        m = LevelCostModel.from_constants([1.0, 2.0, 4.0, 8.0])
+        assert m.num_levels == 4
+        assert np.array_equal(m.checkpoint_costs(99.0), m.recovery_costs(99.0))
+
+    def test_cost_vectors(self):
+        m = LevelCostModel.from_constants([1.0, 2.0], [3.0, 4.0])
+        assert m.checkpoint_costs(10.0).tolist() == [1.0, 2.0]
+        assert m.recovery_costs(10.0).tolist() == [3.0, 4.0]
+
+    def test_derivative_vectors(self):
+        pfs = CostModel(5.5, 0.0212, LINEAR)
+        local = CostModel.constant_cost(1.0)
+        m = LevelCostModel(checkpoint=(local, pfs), recovery=(local, local))
+        d = m.checkpoint_derivatives(1e5)
+        assert d.tolist() == [0.0, 0.0212]
+        assert m.recovery_derivatives(1e5).tolist() == [0.0, 0.0]
+
+    def test_monotone_check(self):
+        good = LevelCostModel.from_constants([1.0, 2.0, 3.0])
+        bad = LevelCostModel.from_constants([3.0, 1.0, 2.0])
+        assert good.is_monotone_at(100.0)
+        assert not bad.is_monotone_at(100.0)
+
+    def test_single_level_keeps_top(self):
+        m = LevelCostModel.from_constants([1.0, 2.0, 4.0, 8.0])
+        sl = m.single_level(4)
+        assert sl.num_levels == 1
+        assert sl.checkpoint_costs(0.0)[0] == 8.0
+
+    def test_single_level_bad_index(self):
+        m = LevelCostModel.from_constants([1.0])
+        with pytest.raises(ValueError):
+            m.single_level(2)
+
+    def test_mismatched_levels_rejected(self):
+        with pytest.raises(ValueError):
+            LevelCostModel(
+                checkpoint=(CostModel.constant_cost(1.0),),
+                recovery=(CostModel.constant_cost(1.0), CostModel.constant_cost(2.0)),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LevelCostModel(checkpoint=(), recovery=())

@@ -1,0 +1,48 @@
+"""Tests for scaling baselines H(N)."""
+
+import numpy as np
+import pytest
+
+from repro.costs.scaling import CONSTANT, LINEAR, LOG, SQRT, ScalingBaseline, named_baseline
+
+
+def test_all_pass_through_origin():
+    for baseline in (CONSTANT, LINEAR, SQRT, LOG):
+        assert float(baseline(0.0)) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_linear_values_and_derivative():
+    assert float(LINEAR(1000.0)) == 1000.0
+    assert float(LINEAR.derivative(123.0)) == 1.0
+
+
+def test_constant_is_identically_zero():
+    n = np.array([1.0, 100.0, 1e6])
+    assert np.all(CONSTANT(n) == 0.0)
+    assert np.all(CONSTANT.derivative(n) == 0.0)
+
+
+def test_sqrt_derivative_matches_finite_difference():
+    n, h = 400.0, 1e-4
+    fd = (float(SQRT(n + h)) - float(SQRT(n - h))) / (2 * h)
+    assert float(SQRT.derivative(n)) == pytest.approx(fd, rel=1e-6)
+
+
+def test_log_derivative_matches_finite_difference():
+    n, h = 50.0, 1e-5
+    fd = (float(LOG(n + h)) - float(LOG(n - h))) / (2 * h)
+    assert float(LOG.derivative(n)) == pytest.approx(fd, rel=1e-6)
+
+
+def test_named_lookup():
+    assert named_baseline("linear") is LINEAR
+    assert named_baseline("constant") is CONSTANT
+    with pytest.raises(ValueError, match="unknown baseline"):
+        named_baseline("cubic")
+
+
+def test_custom_baseline_must_pass_origin():
+    with pytest.raises(ValueError, match="origin"):
+        ScalingBaseline(
+            name="bad", func=lambda n: np.asarray(n) + 1.0, deriv=lambda n: 1.0
+        )

@@ -1,0 +1,67 @@
+"""Tests for the shared evaluation configuration."""
+
+import pytest
+
+from repro.experiments.config import (
+    FIG5_CASES,
+    TABLE4_CASES,
+    TABLE4_CHECKPOINT_COSTS,
+    fusion_cost_models,
+    make_params,
+    paper_speedup,
+    table4_cost_models,
+)
+
+
+def test_fig5_cases_match_paper():
+    assert FIG5_CASES == (
+        "16-12-8-4",
+        "8-6-4-2",
+        "4-3-2-1",
+        "16-8-4-2",
+        "8-4-2-1",
+        "4-2-1-0.5",
+    )
+    assert TABLE4_CASES == FIG5_CASES[:3]
+
+
+def test_paper_speedup_parameters():
+    s = paper_speedup()
+    assert s.kappa == 0.46
+    assert s.ideal_scale == 1e6
+    # g(N^(*)) = kappa N^(*)/2 = 230k
+    assert s.peak_speedup == pytest.approx(230_000.0)
+
+
+def test_fusion_costs_constant_recovery():
+    m = fusion_cost_models()
+    ckpt = m.checkpoint_costs(1e6)
+    rec = m.recovery_costs(1e6)
+    assert ckpt[3] == pytest.approx(5.5 + 0.0212 * 1e6)
+    assert rec[3] == pytest.approx(5.5)  # constant recovery
+
+
+def test_fusion_costs_mirror_recovery():
+    m = fusion_cost_models(recovery="mirror")
+    assert m.recovery_costs(1e6)[3] == pytest.approx(5.5 + 0.0212 * 1e6)
+    with pytest.raises(ValueError):
+        fusion_cost_models(recovery="bogus")
+
+
+def test_table4_costs_constant():
+    m = table4_cost_models()
+    assert tuple(m.checkpoint_costs(1e6)) == TABLE4_CHECKPOINT_COSTS
+    assert tuple(m.checkpoint_costs(128.0)) == TABLE4_CHECKPOINT_COSTS
+    # parallel restart for levels 1-3, full PFS re-read for level 4
+    rec = m.recovery_costs(1e6)
+    assert rec[3] == 2000.0
+    assert all(rec[:3] < 100.0)
+
+
+def test_make_params_wiring():
+    params = make_params(3e6, "8-4-2-1")
+    assert params.num_levels == 4
+    assert params.te_core_seconds == pytest.approx(3e6 * 86_400.0)
+    assert params.rates.per_day_at_baseline == (8.0, 4.0, 2.0, 1.0)
+    assert params.rates.baseline_scale == 1e6
+    assert params.allocation_period == 60.0

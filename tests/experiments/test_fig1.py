@@ -1,0 +1,29 @@
+"""Tests for the Fig. 1 tradeoff illustration."""
+
+import numpy as np
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_checkpointed_optimum_below_ideal():
+    """Fig. 1's message: the optimum with checkpointing sits left of N^(*)."""
+    result = run_fig1(n_points=40)
+    assert result.optimal_scale_no_checkpoint == result.scales[-1]
+    assert (
+        result.optimal_scale_with_checkpoint
+        < 0.9 * result.optimal_scale_no_checkpoint
+    )
+
+
+def test_checkpointed_performance_dominated():
+    """With overheads charged, performance never exceeds failure-free."""
+    result = run_fig1(n_points=30)
+    assert np.all(
+        result.performance_with_checkpoint
+        <= result.performance_no_checkpoint + 1e-15
+    )
+
+
+def test_failure_free_series_increases_to_ideal():
+    result = run_fig1(n_points=30)
+    assert np.all(np.diff(result.performance_no_checkpoint) > 0)

@@ -1,0 +1,33 @@
+"""Tests for the Fig. 2 speedup-fitting experiment."""
+
+import pytest
+
+from repro.experiments.fig2 import kappa_recovery_error, run_fig2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig2()
+
+
+def test_heat_kappa_recovered(result):
+    """The paper's kappa = 0.46 is recovered within 10 %."""
+    assert kappa_recovery_error(result) < 0.1
+
+
+def test_measured_heat_curve_fits_quadratic(result):
+    """The speedup measured from the simulated-MPI app admits a quadratic
+    fit with an interior maximum (the Fig. 2(a) shape)."""
+    fit = result.heat_measured_fit
+    assert fit.kappa > 0
+    assert fit.ideal_scale > max(64.0, 0.0)
+    assert fit.residual_rms / fit.model.peak_speedup < 0.2
+
+
+def test_eddy_peak_near_paper_value(result):
+    """eddy_uv speedup peaks around 100 cores (Fig. 2(b))."""
+    assert 50.0 <= result.eddy_peak_scale <= 200.0
+
+
+def test_eddy_fit_on_initial_range(result):
+    assert result.eddy_fit.ideal_scale == pytest.approx(100.0, rel=0.5)

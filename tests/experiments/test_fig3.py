@@ -1,0 +1,46 @@
+"""Tests for the Fig. 3 single-level confirmation experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig3()
+
+
+class TestPaperOptima:
+    def test_constant_cost_matches_quoted(self, result):
+        sol = result.constant_cost.solution
+        assert round(sol.x) == 797
+        assert abs(sol.n - 81_746.0) <= 2.0
+
+    def test_linear_cost_matches_quoted(self, result):
+        sol = result.linear_cost.solution
+        assert round(sol.x) == 140
+        assert abs(sol.n - 20_215.0) <= 2.0
+
+
+class TestSweepConfirmation:
+    @pytest.mark.parametrize("scenario", ["constant_cost", "linear_cost"])
+    def test_solution_at_sweep_valley(self, result, scenario):
+        s = getattr(result, scenario)
+        best = s.solution.expected_wallclock
+        assert np.min(s.sweep_x_objective) >= best * 0.999
+        assert np.min(s.sweep_n_objective) >= best * 0.999
+
+    def test_objective_convex_along_sweeps(self, result):
+        """Each swept curve is unimodal (dips then rises)."""
+        for s in (result.constant_cost, result.linear_cost):
+            for obj in (s.sweep_x_objective, s.sweep_n_objective):
+                valley = int(np.argmin(obj))
+                assert np.all(np.diff(obj[: valley + 1]) <= 1e-9)
+                assert np.all(np.diff(obj[valley:]) >= -1e-9)
+
+
+def test_linear_cost_shrinks_optimal_scale(result):
+    """Scale-growing checkpoint cost pushes the optimum to fewer cores."""
+    assert result.linear_cost.solution.n < result.constant_cost.solution.n
+    assert result.linear_cost.solution.x < result.constant_cost.solution.x

@@ -1,0 +1,32 @@
+"""Tests for the Fig. 4 simulator-validation experiment."""
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig4()
+
+
+def test_sweep_covers_all_levels(result):
+    assert len(result.points) == 12  # 4 levels x 3 factors
+    varied_levels = set()
+    base = (36, 18, 9, 4)
+    for p in result.points:
+        for i in range(4):
+            if p.intervals[i] != base[i]:
+                varied_levels.add(i)
+    assert varied_levels == {0, 1, 2, 3}
+
+
+def test_paper_acceptance_criterion(result):
+    """The paper reports < 4 % simulation-vs-reference difference."""
+    assert result.max_relative_difference < 0.04
+    assert result.mean_relative_difference < 0.01
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_fig4(traces_per_point=0)

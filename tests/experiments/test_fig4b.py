@@ -1,0 +1,44 @@
+"""Tests for the abstract-vs-functional validation (Fig. 4b extension)."""
+
+import pytest
+
+from repro.experiments.fig4b import (
+    abstract_config_from_functional,
+    default_functional_config,
+    run_fig4b,
+)
+
+
+def test_abstract_config_derivation():
+    config = default_functional_config()
+    abstract = abstract_config_from_functional(config)
+    assert abstract.num_levels == 4
+    # 240 sweeps at cadence (8, 24, 48, 80) -> interval counts (30, 10, 5, 3)
+    assert abstract.intervals == (30, 10, 5, 3)
+    # costs ordered like the storage hierarchy's levels
+    assert list(abstract.checkpoint_costs) == sorted(abstract.checkpoint_costs)
+    assert abstract.allocation_period == config.allocation_period
+
+
+def test_disabled_level_maps_to_single_interval():
+    from dataclasses import replace
+
+    config = replace(
+        default_functional_config(), checkpoint_interval_sweeps=(8, 0, 0, 80)
+    )
+    abstract = abstract_config_from_functional(config)
+    assert abstract.intervals[1] == 1  # one interval = zero checkpoints
+    assert abstract.intervals[2] == 1
+
+
+def test_validation_agreement():
+    """The abstract simulator tracks the functional ground truth within the
+    paper's < 4 % criterion (paired failure traces isolate semantics from
+    arrival sampling)."""
+    result = run_fig4b(n_seeds=6, seed=11)
+    assert result.relative_difference < 0.04
+
+
+def test_seed_count_validated():
+    with pytest.raises(ValueError):
+        run_fig4b(n_seeds=0)

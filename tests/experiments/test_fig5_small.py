@@ -1,0 +1,82 @@
+"""Scaled-down Fig. 5 / Table III experiment tests.
+
+The full experiment (6 cases x 4 strategies x 100 runs) runs in the bench;
+here two cases with few replicas verify the pipeline end-to-end and the
+paper's qualitative findings.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig7 import run_fig7
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig5(cases=("16-12-8-4", "4-2-1-0.5"), n_runs=5, seed=1)
+
+
+def test_all_strategies_simulated(result):
+    for case in result.cases:
+        assert set(case.ensembles) == {
+            "ml-opt-scale",
+            "sl-opt-scale",
+            "ml-ori-scale",
+            "sl-ori-scale",
+        }
+
+
+def test_ml_opt_scale_wins_each_case(result):
+    """The paper's headline: ML(opt-scale) has the shortest wall-clock."""
+    for case in result.cases:
+        best = case.ensembles["ml-opt-scale"].mean_wallclock
+        for name, ens in case.ensembles.items():
+            if name != "ml-opt-scale":
+                assert best < ens.mean_wallclock, (case.case, name)
+
+
+def test_wallclock_decreases_with_failure_rates(result):
+    """From 16-12-8-4 to 4-2-1-0.5 the wall-clock falls (paper finding 1)."""
+    harsh = result.cases[0].ensembles["ml-opt-scale"].mean_wallclock
+    mild = result.cases[1].ensembles["ml-opt-scale"].mean_wallclock
+    assert mild < harsh
+
+
+def test_optimized_scale_grows_as_rates_shrink(result):
+    """Table III trend: milder failure cases allow larger scales."""
+    scales = result.optimized_scales()["ml-opt-scale"]
+    assert scales["4-2-1-0.5"] > scales["16-12-8-4"]
+
+
+def test_table3_scales_in_paper_band(result):
+    """ML(opt-scale) uses a large fraction of the million cores; SL(opt-scale)
+    collapses to much smaller scales (Table III shape)."""
+    for case in result.cases:
+        ml = case.solutions["ml-opt-scale"].scale
+        sl = case.solutions["sl-opt-scale"].scale
+        assert 2e5 <= ml <= 9e5
+        assert sl < ml
+
+
+def test_sl_ori_scale_censored_or_catastrophic(result):
+    """Classic Young at 10^6 cores with the scale-growing PFS cost is
+    either censored outright (harsh cases: no interval ever completes) or
+    at least several times slower than ML(opt-scale) (mild cases)."""
+    for case in result.cases:
+        ens = case.ensembles["sl-ori-scale"]
+        if ens.all_completed:
+            ratio = (
+                ens.mean_wallclock
+                / case.ensembles["ml-opt-scale"].mean_wallclock
+            )
+            assert ratio > 3.0, case.case
+        # censored runs are the expected outcome for the harsh cases
+    harsh = result.cases[0]
+    assert not harsh.ensembles["sl-ori-scale"].all_completed
+
+
+def test_fig7_efficiency_shape(result):
+    fig7 = run_fig7(result)
+    for case_name, row in fig7.efficiencies.items():
+        assert row["sl-opt-scale"] >= row["ml-ori-scale"]
+        assert row["ml-opt-scale"] >= row["ml-ori-scale"]

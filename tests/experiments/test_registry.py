@@ -1,0 +1,33 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def test_all_design_md_experiments_registered():
+    expected = {
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig4b",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table2",
+        "table4",
+        "convergence",
+        "weak-scaling",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_lookup():
+    assert get_experiment("fig3") is EXPERIMENTS["fig3"]
+    with pytest.raises(KeyError, match="available"):
+        get_experiment("fig99")
+
+
+def test_drivers_are_callable():
+    assert all(callable(fn) for fn in EXPERIMENTS.values())

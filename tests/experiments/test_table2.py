@@ -1,0 +1,48 @@
+"""Tests for the Table II regeneration experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.table2 import paper_coefficients, run_table2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table2()
+
+
+def test_table_shape(result):
+    assert result.characterization.table.shape == result.paper_table.shape == (5, 4)
+
+
+def test_fitted_coefficients_match_paper(result):
+    """The regenerated characterization fits back to the paper's quoted
+    (eps_i, alpha_i) within tight tolerances."""
+    for (ours_eps, ours_alpha), (paper_eps, paper_alpha) in zip(
+        result.fitted_coefficients, paper_coefficients()
+    ):
+        if paper_alpha == 0.0:
+            assert ours_alpha == 0.0
+            assert ours_eps == pytest.approx(paper_eps, rel=0.1)
+        else:
+            assert ours_alpha == pytest.approx(paper_alpha, rel=0.05)
+            assert ours_eps == pytest.approx(paper_eps, rel=0.15)
+
+
+def test_cellwise_agreement_loose(result):
+    """The paper's raw cells jitter (real measurements; e.g. the 256-core
+    PFS cell sits 35 % off the paper's own fitted line).  Our deterministic
+    regeneration stays within 40 % of every raw cell and within 5 % of the
+    paper's *fitted* curve, which is what the optimization consumes."""
+    assert result.max_relative_error < 0.40
+    fitted_pfs = 5.5 + 0.0212 * result.characterization.scales
+    rel_to_fit = np.abs(
+        result.characterization.table[:, 3] - fitted_pfs
+    ) / fitted_pfs
+    assert rel_to_fit.max() < 0.05
+
+
+def test_noisy_characterization_still_fits(capfd):
+    noisy = run_table2(noise=0.1, seed=3)
+    alpha_pfs = noisy.fitted_coefficients[3][1]
+    assert alpha_pfs == pytest.approx(0.0212, rel=0.2)

@@ -1,0 +1,78 @@
+"""Scaled-down Table IV experiment tests (constant PFS cost scenario)."""
+
+import pytest
+
+from repro.experiments.table4 import TABLE4_BLOCK_ALLOCATIONS, run_table4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table4(cases=("16-12-8-4", "4-3-2-1"), n_runs=10, seed=2)
+
+
+def test_both_blocks_present(result):
+    assert set(result.blocks) == set(TABLE4_BLOCK_ALLOCATIONS)
+
+
+def test_ml_opt_scale_shortest_wallclock(result):
+    """Paper: 'ML(opt-scale) always leads to the highest performance'.
+
+    The analytic ordering is strict; simulated means get a 3 % tolerance
+    for the mildest case, where the analytic gap to ML(ori-scale) is ~3 %
+    (the paper's own gap there is 5 %) and finite ensembles are noisy.
+    """
+    for allocation in TABLE4_BLOCK_ALLOCATIONS:
+        for case in ("16-12-8-4", "4-3-2-1"):
+            case_result = result.blocks[allocation][case]
+            analytic_best = case_result.solutions["ml-opt-scale"].expected_wallclock
+            best = result.wct_days(allocation, case, "ml-opt-scale")
+            for other in ("sl-opt-scale", "ml-ori-scale", "sl-ori-scale"):
+                other_solution = case_result.solutions[other]
+                if other_solution.feasible:
+                    assert analytic_best < other_solution.expected_wallclock
+                assert best < result.wct_days(allocation, case, other) * 1.03
+
+
+def test_ml_opt_wct_in_paper_band(result):
+    """Paper Table IV: ML(opt-scale) ~ 10.6-14.6 days; allow a 2x band."""
+    for allocation in TABLE4_BLOCK_ALLOCATIONS:
+        for case in ("16-12-8-4", "4-3-2-1"):
+            wct = result.wct_days(allocation, case, "ml-opt-scale")
+            assert 5.0 <= wct <= 30.0
+
+
+def test_sl_ori_scale_catastrophic(result):
+    """Paper: classic Young collapses (~890 days at efficiency ~0.002; our
+    simulator's retry semantics yield ~140 days at ~0.014 — an order of
+    magnitude worse than ML(opt-scale) either way)."""
+    for allocation in TABLE4_BLOCK_ALLOCATIONS:
+        wct = result.wct_days(allocation, "16-12-8-4", "sl-ori-scale")
+        assert wct > 4.0 * result.wct_days(allocation, "16-12-8-4", "ml-opt-scale")
+        eff = result.efficiency(allocation, "16-12-8-4", "sl-ori-scale")
+        assert eff < 0.03
+
+
+def test_efficiency_advantage_over_ori_scale(result):
+    """Paper: ML(opt-scale) efficiency beats ML(ori-scale) by 12.9+%."""
+    for allocation in TABLE4_BLOCK_ALLOCATIONS:
+        for case in ("16-12-8-4", "4-3-2-1"):
+            opt = result.efficiency(allocation, case, "ml-opt-scale")
+            ori = result.efficiency(allocation, case, "ml-ori-scale")
+            assert opt > ori
+
+
+def test_optimized_scales_large_under_constant_cost(result):
+    """Paper: constant PFS cost keeps optimized scales large (860k-940k in
+    the paper; 580k-840k under our faithful rollback accounting — see
+    EXPERIMENTS.md), far above the Fig. 5 linear-PFS-cost scales."""
+    for allocation in TABLE4_BLOCK_ALLOCATIONS:
+        for case in ("16-12-8-4", "4-3-2-1"):
+            sol = result.blocks[allocation][case].solutions["ml-opt-scale"]
+            assert 4.5e5 <= sol.scale <= 1e6
+    # milder failure case -> larger optimized scale
+    for allocation in TABLE4_BLOCK_ALLOCATIONS:
+        block = result.blocks[allocation]
+        assert (
+            block["4-3-2-1"].solutions["ml-opt-scale"].scale
+            > block["16-12-8-4"].solutions["ml-opt-scale"].scale
+        )

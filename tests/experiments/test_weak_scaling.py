@@ -1,0 +1,73 @@
+"""Tests for the weak-scaling scenario (Section II generality claim)."""
+
+import pytest
+
+from repro.experiments.weak_scaling import (
+    run_weak_scaling,
+    weak_scaling_parameters,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_result():
+    return run_weak_scaling(n_runs=4, seed=5, recovery="fast")
+
+
+def test_parameters_shape():
+    params = weak_scaling_parameters()
+    assert params.num_levels == 4
+    # linear PFS checkpoint cost, constant recovery
+    assert params.costs.checkpoint_derivatives(1e4)[3] > 0
+    assert params.costs.recovery_derivatives(1e4)[3] == 0
+    with pytest.raises(ValueError):
+        weak_scaling_parameters(recovery="bogus")
+
+
+def test_all_strategies_solve(fast_result):
+    assert set(fast_result.solutions) == {
+        "ml-opt-scale",
+        "sl-opt-scale",
+        "ml-ori-scale",
+        "sl-ori-scale",
+    }
+
+
+def test_ml_beats_sl_under_weak_scaling(fast_result):
+    """Multilevel still wins under weak scaling (the cheap levels absorb
+    the frequent transient failures)."""
+    ml = fast_result.ensembles["ml-opt-scale"].mean_wallclock
+    sl = fast_result.ensembles["sl-opt-scale"].mean_wallclock
+    assert ml < sl
+
+
+def test_fast_recovery_regime_uses_full_machine(fast_result):
+    """The two-regime finding, part 1: with near-linear (weak-scaling)
+    speedup and cheap restarts, the optimal scale is the whole machine —
+    scale optimization is a strong-scaling phenomenon, and ML(opt-scale)
+    coincides with ML(ori-scale)."""
+    opt = fast_result.solutions["ml-opt-scale"]
+    ori = fast_result.solutions["ml-ori-scale"]
+    assert opt.scale == pytest.approx(100_000.0)
+    assert opt.expected_wallclock == pytest.approx(
+        ori.expected_wallclock, rel=1e-6
+    )
+
+
+def test_slow_recovery_regime_interior_optimum():
+    """Part 2: when every failure costs scale-proportional restart time,
+    the optimum moves inside the machine even under weak scaling."""
+    result = run_weak_scaling(recovery="slow")
+    opt = result.solutions["ml-opt-scale"]
+    assert opt.scale < 90_000.0
+    assert (
+        opt.expected_wallclock
+        < result.solutions["ml-ori-scale"].expected_wallclock
+    )
+
+
+def test_gustafson_productive_time_nearly_flat():
+    """Weak scaling: near-linear speedup keeps productive time ~1/N."""
+    params = weak_scaling_parameters(serial_fraction=0.0)
+    t1 = params.productive_time(10_000.0)
+    t2 = params.productive_time(20_000.0)
+    assert t1 / t2 == pytest.approx(2.0, rel=1e-6)

@@ -1,0 +1,74 @@
+"""Tests for failure inter-arrival distributions."""
+
+import numpy as np
+import pytest
+
+from repro.failures.distributions import (
+    ExponentialArrivals,
+    LognormalArrivals,
+    WeibullArrivals,
+)
+from repro.util.rng import as_generator
+
+
+@pytest.mark.parametrize(
+    "process",
+    [ExponentialArrivals(), WeibullArrivals(0.7), LognormalArrivals(1.0)],
+    ids=["exponential", "weibull", "lognormal"],
+)
+class TestMeanRateCalibration:
+    def test_interarrival_mean_is_inverse_rate(self, process):
+        """All processes are calibrated to the same mean rate, so swapping
+        distributions preserves mu (the quantity the optimizer uses)."""
+        rng = as_generator(7)
+        rate = 1.0 / 500.0
+        gaps = process.sample_interarrivals(rate, 200_000, rng)
+        assert np.mean(gaps) == pytest.approx(500.0, rel=0.03)
+        assert np.all(gaps >= 0)
+
+    def test_arrival_count_matches_rate(self, process):
+        rate = 5.0 / 1_000.0
+        horizon = 50_000.0
+        arrivals = process.sample_arrivals(rate, horizon, seed=3)
+        assert len(arrivals) == pytest.approx(rate * horizon, rel=0.15)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals.max() < horizon
+
+    def test_zero_rate_empty(self, process):
+        assert process.sample_arrivals(0.0, 100.0, seed=1).size == 0
+
+    def test_zero_horizon_empty(self, process):
+        assert process.sample_arrivals(1.0, 0.0, seed=1).size == 0
+
+    def test_negative_rate_rejected(self, process):
+        with pytest.raises(ValueError):
+            process.sample_arrivals(-1.0, 10.0)
+
+
+def test_exponential_memoryless_cv():
+    """Exponential inter-arrivals have coefficient of variation 1."""
+    rng = as_generator(0)
+    gaps = ExponentialArrivals().sample_interarrivals(0.01, 100_000, rng)
+    cv = np.std(gaps) / np.mean(gaps)
+    assert cv == pytest.approx(1.0, rel=0.03)
+
+
+def test_weibull_shape_below_one_is_burstier():
+    """k < 1 gives CV > 1 — infant-mortality burstiness."""
+    rng = as_generator(0)
+    gaps = WeibullArrivals(0.5).sample_interarrivals(0.01, 100_000, rng)
+    cv = np.std(gaps) / np.mean(gaps)
+    assert cv > 1.5
+
+
+def test_weibull_shape_one_matches_exponential_mean():
+    rng = as_generator(0)
+    gaps = WeibullArrivals(1.0).sample_interarrivals(0.02, 100_000, rng)
+    assert np.mean(gaps) == pytest.approx(50.0, rel=0.03)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        WeibullArrivals(0.0)
+    with pytest.raises(ValueError):
+        LognormalArrivals(-1.0)

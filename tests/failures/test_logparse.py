@@ -1,0 +1,95 @@
+"""Tests for failure-log ingestion."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.failures.logparse import (
+    classify_node_failures,
+    parse_failure_log,
+    parse_node_failures,
+)
+
+
+PRECLASSIFIED = """
+# system failure log
+time,node,level
+100.5,3,1
+2000.0,7,2
+5400.0,12,4
+"""
+
+RAW = """
+time,node
+10.0,3
+500.0,8
+505.0,9
+512.0,10
+2000.0,20
+"""
+
+
+class TestPreclassified:
+    def test_parse(self):
+        events = parse_failure_log(PRECLASSIFIED)
+        assert [(e.time, e.level) for e in events] == [
+            (100.5, 1),
+            (2000.0, 2),
+            (5400.0, 4),
+        ]
+
+    def test_comments_and_header_skipped(self):
+        assert parse_failure_log("# only comments\n") == []
+
+    def test_malformed_line_reported_with_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_failure_log("\n100.0,3\n")  # missing level column
+
+    def test_non_chronological_rejected(self):
+        with pytest.raises(ValueError, match="chronological"):
+            parse_failure_log("100,1,1\n50,2,1\n")
+
+
+class TestRaw:
+    def test_parse_node_failures(self):
+        times, nodes = parse_node_failures(RAW)
+        assert times == [10.0, 500.0, 505.0, 512.0, 2000.0]
+        assert nodes == [3, 8, 9, 10, 20]
+
+    def test_bad_cells_reported(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_node_failures("abc,def\n")
+
+
+class TestClassification:
+    def test_windows_classified_by_topology(self):
+        topology = ClusterTopology(
+            num_nodes=32, nodes_per_rack=8, rs_group_size=8, rs_parity=2
+        )
+        events = classify_node_failures(RAW, topology, window_seconds=60.0)
+        # three windows: {3}, {8,9,10}, {20}
+        assert [(e.time, e.level) for e in events] == [
+            (10.0, 2),  # isolated -> partner copy
+            (500.0, 4),  # 3 losses in RS group 1 -> beyond parity -> PFS
+            (2000.0, 2),
+        ]
+
+    def test_feeds_the_simulator(self):
+        """Classified log events drive a scripted simulation directly."""
+        from repro.sim.config import SimulationConfig
+        from repro.sim.engine import simulate
+        from repro.sim.failure_injection import ScriptedFailures
+
+        topology = ClusterTopology(num_nodes=32, rs_group_size=8, rs_parity=2)
+        events = classify_node_failures(RAW, topology)
+        config = SimulationConfig(
+            productive_seconds=3_000.0,
+            intervals=(10, 5, 3, 2),
+            checkpoint_costs=(1.0, 2.5, 4.0, 9.0),
+            recovery_costs=(1.0, 2.5, 4.0, 9.0),
+            failure_rates=(0.0, 0.0, 0.0, 0.0),
+            allocation_period=10.0,
+            jitter=0.0,
+        )
+        result = simulate(config, seed=0, injector=ScriptedFailures(events))
+        assert result.completed
+        assert result.total_failures == len(events)

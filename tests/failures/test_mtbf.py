@@ -1,0 +1,73 @@
+"""Tests for MTBF bridging utilities."""
+
+import pytest
+
+from repro.failures.mtbf import (
+    rates_from_node_mtbf,
+    system_mtbf_days,
+    system_rate_per_day,
+)
+
+
+def test_system_rate_composition():
+    # 10,000 nodes with 5-year MTBF each: ~5.48 failures/day
+    rate = system_rate_per_day(5 * 365.0, 10_000)
+    assert rate == pytest.approx(10_000 / 1_825.0)
+
+
+def test_system_mtbf_inverse():
+    assert system_mtbf_days(100.0, 50) == pytest.approx(2.0)
+
+
+def test_rates_from_node_mtbf_taxonomy():
+    rates = rates_from_node_mtbf(
+        node_mtbf_days=1_000.0,
+        num_nodes=4_000,
+        cores_per_node=8,
+        level_fractions=(0.7, 0.2, 0.1),
+        transient_rate_per_core_day=1e-4,
+    )
+    assert rates.num_levels == 4
+    assert rates.baseline_scale == 32_000.0
+    hardware = 4_000 / 1_000.0  # 4 node failures/day
+    assert rates.per_day_at_baseline[1] == pytest.approx(0.7 * hardware)
+    assert rates.per_day_at_baseline[2] == pytest.approx(0.2 * hardware)
+    assert rates.per_day_at_baseline[3] == pytest.approx(0.1 * hardware)
+    assert rates.per_day_at_baseline[0] == pytest.approx(1e-4 * 32_000.0)
+
+
+def test_rates_feed_the_optimizer():
+    from repro.core.algorithm1 import optimize
+    from repro.core.notation import ModelParameters
+    from repro.costs.model import LevelCostModel
+    from repro.speedup.quadratic import QuadraticSpeedup
+
+    rates = rates_from_node_mtbf(
+        node_mtbf_days=500.0,
+        num_nodes=4_000,
+        cores_per_node=8,
+        level_fractions=(0.7, 0.2, 0.1),
+        transient_rate_per_core_day=3e-4,
+    )
+    params = ModelParameters.from_core_days(
+        2_000.0,
+        speedup=QuadraticSpeedup(kappa=0.5, ideal_scale=32_000.0),
+        costs=LevelCostModel.from_constants([1.0, 2.5, 4.0, 12.0]),
+        rates=rates,
+        allocation_period=30.0,
+    )
+    solution = optimize(params).solution
+    assert 0 < solution.scale <= 32_000.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        system_rate_per_day(0.0, 10)
+    with pytest.raises(ValueError):
+        system_rate_per_day(10.0, 0)
+    with pytest.raises(ValueError):
+        rates_from_node_mtbf(100.0, 10, 8, (0.5, 0.2))  # doesn't sum to 1
+    with pytest.raises(ValueError):
+        rates_from_node_mtbf(
+            100.0, 10, 8, (1.0,), transient_rate_per_core_day=-1.0
+        )

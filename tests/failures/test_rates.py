@@ -1,0 +1,100 @@
+"""Tests for scale-proportional failure rates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.failures.rates import FailureRates
+
+
+@pytest.fixture
+def paper_rates():
+    return FailureRates.from_case_name("16-12-8-4", baseline_scale=1e6)
+
+
+class TestCaseNames:
+    def test_parse_standard_case(self, paper_rates):
+        assert paper_rates.per_day_at_baseline == (16.0, 12.0, 8.0, 4.0)
+        assert paper_rates.num_levels == 4
+
+    def test_parse_fractional_case(self):
+        rates = FailureRates.from_case_name("4-2-1-0.5")
+        assert rates.per_day_at_baseline == (4.0, 2.0, 1.0, 0.5)
+
+    def test_roundtrip(self, paper_rates):
+        assert paper_rates.case_name() == "16-12-8-4"
+        assert FailureRates.from_case_name("4-2-1-0.5").case_name() == "4-2-1-0.5"
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError):
+            FailureRates.from_case_name("16-twelve-8")
+
+
+class TestScaling:
+    def test_rates_at_baseline(self, paper_rates):
+        lam = paper_rates.rates_per_second(1e6)
+        assert lam[0] == pytest.approx(16.0 / 86_400.0)
+        assert lam[3] == pytest.approx(4.0 / 86_400.0)
+
+    def test_rates_scale_proportionally(self, paper_rates):
+        half = paper_rates.rates_per_second(5e5)
+        full = paper_rates.rates_per_second(1e6)
+        assert np.allclose(half, full / 2.0)
+
+    def test_rate_derivative_constant(self, paper_rates):
+        d1 = paper_rates.rate_derivatives_per_second(1.0)
+        d2 = paper_rates.rate_derivatives_per_second(9e5)
+        assert np.array_equal(d1, d2)
+        assert d1[0] == pytest.approx(16.0 / 86_400.0 / 1e6)
+
+    def test_total_rate(self, paper_rates):
+        assert paper_rates.total_rate_per_second(1e6) == pytest.approx(
+            40.0 / 86_400.0
+        )
+
+
+class TestExpectedFailures:
+    def test_formula_22_expectation(self, paper_rates):
+        # one day at the baseline scale -> exactly the per-day rates
+        mu = paper_rates.expected_failures(1e6, 86_400.0)
+        assert np.allclose(mu, [16.0, 12.0, 8.0, 4.0])
+
+    def test_negative_wallclock_rejected(self, paper_rates):
+        with pytest.raises(ValueError):
+            paper_rates.expected_failures(1e6, -1.0)
+
+
+class TestSingleLevelCollapse:
+    def test_sums_rates(self, paper_rates):
+        sl = paper_rates.single_level()
+        assert sl.num_levels == 1
+        assert sl.per_day_at_baseline[0] == pytest.approx(40.0)
+        assert sl.baseline_scale == 1e6
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FailureRates((-1.0,), baseline_scale=100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FailureRates((), baseline_scale=100.0)
+
+    def test_bad_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            FailureRates((1.0,), baseline_scale=0.0)
+
+
+@given(
+    n=st.floats(min_value=1.0, max_value=2e6),
+    t=st.floats(min_value=0.0, max_value=1e8),
+)
+def test_mu_is_bilinear(n, t):
+    """mu scales linearly in both N and wall-clock (Formula 22 + scaling)."""
+    rates = FailureRates((8.0, 4.0), baseline_scale=1e6)
+    mu = rates.expected_failures(n, t)
+    mu2 = rates.expected_failures(2 * n, t)
+    mu3 = rates.expected_failures(n, 2 * t)
+    assert np.allclose(mu2, 2 * mu, rtol=1e-9)
+    assert np.allclose(mu3, 2 * mu, rtol=1e-9)

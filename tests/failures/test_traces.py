@@ -1,0 +1,71 @@
+"""Tests for failure trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.failures.rates import FailureRates
+from repro.failures.traces import (
+    FailureEventRecord,
+    empirical_rates_per_day,
+    generate_trace,
+    merge_traces,
+)
+
+
+@pytest.fixture
+def rates():
+    return FailureRates((16.0, 12.0, 8.0, 4.0), baseline_scale=1e6)
+
+
+def test_trace_chronological(rates):
+    trace = generate_trace(rates, 1e6, horizon_seconds=5 * 86_400.0, seed=0)
+    times = [e.time for e in trace]
+    assert times == sorted(times)
+    assert all(0 <= t < 5 * 86_400.0 for t in times)
+
+
+def test_trace_reproducible(rates):
+    a = generate_trace(rates, 1e6, horizon_seconds=86_400.0, seed=42)
+    b = generate_trace(rates, 1e6, horizon_seconds=86_400.0, seed=42)
+    assert a == b
+
+
+def test_empirical_rates_match_configuration(rates):
+    horizon = 200.0 * 86_400.0
+    trace = generate_trace(rates, 1e6, horizon_seconds=horizon, seed=1)
+    observed = empirical_rates_per_day(trace, horizon, 4)
+    assert np.allclose(observed, [16.0, 12.0, 8.0, 4.0], rtol=0.1)
+
+
+def test_rates_scale_with_n(rates):
+    horizon = 200.0 * 86_400.0
+    trace = generate_trace(rates, 5e5, horizon_seconds=horizon, seed=1)
+    observed = empirical_rates_per_day(trace, horizon, 4)
+    assert np.allclose(observed, [8.0, 6.0, 4.0, 2.0], rtol=0.15)
+
+
+def test_zero_rate_level_produces_no_events():
+    rates = FailureRates((10.0, 0.0), baseline_scale=100.0)
+    trace = generate_trace(rates, 100.0, horizon_seconds=100 * 86_400.0, seed=2)
+    assert all(e.level == 1 for e in trace)
+
+
+def test_merge_traces_sorted():
+    a = [FailureEventRecord(1.0, 1), FailureEventRecord(5.0, 2)]
+    b = [FailureEventRecord(3.0, 4)]
+    merged = merge_traces(a, b)
+    assert [e.time for e in merged] == [1.0, 3.0, 5.0]
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        FailureEventRecord(-1.0, 1)
+    with pytest.raises(ValueError):
+        FailureEventRecord(1.0, 0)
+
+
+def test_empirical_rates_validation():
+    with pytest.raises(ValueError):
+        empirical_rates_per_day([], 0.0, 4)
+    with pytest.raises(ValueError):
+        empirical_rates_per_day([FailureEventRecord(1.0, 5)], 100.0, 4)

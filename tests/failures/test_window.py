@@ -1,0 +1,63 @@
+"""Tests for correlated-failure windows."""
+
+import pytest
+
+from repro.failures.window import CorrelatedWindow, cluster_into_windows
+
+
+def test_isolated_failures_one_window_each():
+    windows = cluster_into_windows([0.0, 300.0, 900.0], [1, 2, 3], window_seconds=60.0)
+    assert len(windows) == 3
+    assert all(w.size == 1 for w in windows)
+
+
+def test_burst_grouped_into_one_window():
+    """A switch failure takes several nodes within the 1-minute window."""
+    times = [100.0, 110.0, 130.0, 155.0]
+    nodes = [4, 5, 6, 7]
+    windows = cluster_into_windows(times, nodes, window_seconds=60.0)
+    assert len(windows) == 1
+    assert windows[0].node_ids == (4, 5, 6, 7)
+    assert windows[0].start == 100.0
+
+
+def test_window_anchored_at_first_event():
+    # Second event at +70s exceeds the 60s window even though the gap to
+    # the previous event is 35s each: anchored windows, not sliding.
+    times = [0.0, 35.0, 70.0]
+    windows = cluster_into_windows(times, [1, 2, 3], window_seconds=60.0)
+    assert len(windows) == 2
+    assert windows[0].node_ids == (1, 2)
+    assert windows[1].node_ids == (3,)
+
+
+def test_repeat_node_in_window_deduplicated():
+    windows = cluster_into_windows([0.0, 10.0], [3, 3], window_seconds=60.0)
+    assert len(windows) == 1
+    assert windows[0].node_ids == (3,)
+
+
+def test_non_chronological_rejected():
+    with pytest.raises(ValueError):
+        cluster_into_windows([10.0, 5.0], [1, 2])
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        cluster_into_windows([1.0], [1, 2])
+
+
+def test_bad_window_length_rejected():
+    with pytest.raises(ValueError):
+        cluster_into_windows([1.0], [1], window_seconds=0.0)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        CorrelatedWindow(start=-1.0, node_ids=(1,))
+    with pytest.raises(ValueError):
+        CorrelatedWindow(start=0.0, node_ids=(1, 1))
+
+
+def test_empty_input():
+    assert cluster_into_windows([], []) == []

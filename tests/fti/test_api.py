@@ -1,0 +1,194 @@
+"""End-to-end tests of the FTI-like API on the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.fti.api import FTIContext
+from repro.fti.levels import CheckpointLevel
+
+
+@pytest.fixture
+def ctx():
+    topo = ClusterTopology(num_nodes=8, rs_group_size=4, rs_parity=2)
+    return FTIContext(topo, ranks_per_node=2)
+
+
+def _protect_all(ctx, seed=0):
+    rng = np.random.default_rng(seed)
+    originals = {}
+    for rank in range(ctx.num_ranks):
+        arr = rng.random(16)
+        originals[rank] = arr.copy()
+        ctx.protect(rank, "state", arr)
+    return originals
+
+
+def _corrupt_all(ctx):
+    for rank in range(ctx.num_ranks):
+        ctx._protected[rank]["state"][...] = -999.0
+
+
+class TestProtection:
+    def test_rank_to_node_mapping(self, ctx):
+        assert ctx.node_of_rank(0) == 0
+        assert ctx.node_of_rank(3) == 1
+        assert ctx.num_ranks == 16
+
+    def test_invalid_rank_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.protect(99, "x", np.zeros(1))
+
+    def test_checkpoint_without_protect_rejected(self, ctx):
+        with pytest.raises(RuntimeError, match="protect"):
+            ctx.checkpoint(1)
+
+
+class TestLevel1:
+    def test_software_error_recovery(self, ctx):
+        originals = _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.LOCAL)
+        _corrupt_all(ctx)
+        decision = ctx.recover()
+        assert decision.recovery_level == CheckpointLevel.LOCAL
+        for rank, original in originals.items():
+            assert np.allclose(ctx._protected[rank]["state"], original)
+
+    def test_node_failure_defeats_level_1(self, ctx):
+        _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.LOCAL)
+        ctx.fail_nodes([0])
+        with pytest.raises(ValueError, match="unrecoverable"):
+            ctx.recover()
+
+
+class TestLevel2:
+    def test_single_node_failure(self, ctx):
+        originals = _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.PARTNER)
+        _corrupt_all(ctx)
+        ctx.fail_nodes([2])
+        decision = ctx.recover()
+        assert decision.recovery_level == CheckpointLevel.PARTNER
+        for rank, original in originals.items():
+            assert np.allclose(ctx._protected[rank]["state"], original)
+
+    def test_adjacent_failure_defeats_level_2(self, ctx):
+        _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.PARTNER)
+        ctx.fail_nodes([2, 3])
+        with pytest.raises(ValueError, match="unrecoverable"):
+            ctx.recover()
+
+
+class TestLevel3:
+    def test_adjacent_pair_recovered_by_rs(self, ctx):
+        originals = _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.RS_ENCODING)
+        _corrupt_all(ctx)
+        ctx.fail_nodes([2, 3])  # same RS group, within parity 2
+        decision = ctx.recover()
+        assert decision.recovery_level == CheckpointLevel.RS_ENCODING
+        for rank, original in originals.items():
+            assert np.allclose(ctx._protected[rank]["state"], original)
+
+    def test_group_wipeout_defeats_rs(self, ctx):
+        _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.RS_ENCODING)
+        ctx.fail_nodes([0, 1, 2])  # 3 > parity in group 0
+        with pytest.raises(ValueError, match="unrecoverable"):
+            ctx.recover()
+
+
+class TestLevel4:
+    def test_pfs_survives_anything(self, ctx):
+        originals = _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.PFS)
+        _corrupt_all(ctx)
+        ctx.fail_nodes([0, 1, 2, 3, 4])
+        decision = ctx.recover()
+        assert decision.recovery_level == CheckpointLevel.PFS
+        for rank, original in originals.items():
+            assert np.allclose(ctx._protected[rank]["state"], original)
+
+
+class TestStaleStoreCompleteness:
+    """Regression tests: successive failures leave stores incomplete, and
+    recovery planning must see that — not just the current failure
+    pattern's topology (bug found by the functional simulator)."""
+
+    def test_second_failure_cannot_use_depleted_partner_store(self, ctx):
+        _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.PARTNER)
+        ctx.fail_nodes([0])
+        ctx.recover()  # fine: node 1 held node 0's copy
+        # node 0's blobs were never re-checkpointed; losing node 1 now
+        # destroys the only remaining copy of node 0's state, even though
+        # {1} alone looks partner-survivable.
+        ctx.fail_nodes([1])
+        assert not ctx.checkpoints_present()[2]
+        with pytest.raises(ValueError, match="unrecoverable"):
+            ctx.recover()
+
+    def test_depleted_partner_store_escalates_to_pfs(self, ctx):
+        originals = _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.PFS)
+        ctx.checkpoint(CheckpointLevel.PARTNER)
+        ctx.fail_nodes([0])
+        ctx.recover()
+        ctx.fail_nodes([1])
+        decision = ctx.recover()
+        assert decision.recovery_level == CheckpointLevel.PFS
+        for rank, original in originals.items():
+            assert np.allclose(ctx._protected[rank]["state"], original)
+
+    def test_depleted_rs_group_not_servable(self, ctx):
+        _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.RS_ENCODING)
+        ctx.fail_nodes([0, 1])  # group 0 at its parity limit
+        ctx.recover()
+        # one more loss in group 0 before any new checkpoint exceeds parity
+        ctx.fail_nodes([2])
+        assert not ctx.checkpoints_present()[3]
+        with pytest.raises(ValueError, match="unrecoverable"):
+            ctx.recover()
+
+
+class TestMultilevelInteraction:
+    def test_cheapest_surviving_level_chosen(self, ctx):
+        """With L2 and L4 checkpoints, a nonadjacent failure uses L2."""
+        _protect_all(ctx)
+        ctx.checkpoint(CheckpointLevel.PFS)
+        ctx.checkpoint(CheckpointLevel.PARTNER)
+        ctx.fail_nodes([1, 5])
+        decision = ctx.recover()
+        assert decision.failure_level == CheckpointLevel.PARTNER
+        assert decision.recovery_level == CheckpointLevel.PARTNER
+
+    def test_newest_checkpoint_wins_across_levels(self, ctx):
+        """FTI restores the most recent usable checkpoint, not the cheapest
+        level's: an older partner checkpoint must lose to a newer PFS one."""
+        _protect_all(ctx, seed=3)
+        ctx.checkpoint(CheckpointLevel.PARTNER)  # older
+        for rank in range(ctx.num_ranks):
+            ctx._protected[rank]["state"][...] = 42.0
+        ctx.checkpoint(CheckpointLevel.PFS)  # newer
+        _corrupt_all(ctx)
+        ctx.fail_nodes([2])  # partner-survivable, but PFS data is newer
+        decision = ctx.recover()
+        assert decision.recovery_level == CheckpointLevel.PFS
+        for rank in range(ctx.num_ranks):
+            assert np.allclose(ctx._protected[rank]["state"], 42.0)
+
+    def test_newer_state_restored_after_second_checkpoint(self, ctx):
+        _protect_all(ctx, seed=1)
+        ctx.checkpoint(CheckpointLevel.PARTNER)
+        # advance application state, checkpoint again
+        for rank in range(ctx.num_ranks):
+            ctx._protected[rank]["state"][...] = float(rank)
+        ctx.checkpoint(CheckpointLevel.PARTNER)
+        _corrupt_all(ctx)
+        ctx.fail_nodes([6])
+        ctx.recover()
+        for rank in range(ctx.num_ranks):
+            assert np.allclose(ctx._protected[rank]["state"], float(rank))

@@ -1,0 +1,114 @@
+"""Field-law tests for GF(256) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fti.gf256 import GF256
+
+byte = st.integers(min_value=0, max_value=255)
+nonzero_byte = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldLaws:
+    @given(byte, byte)
+    def test_mul_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(byte, byte, byte)
+    def test_mul_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(byte, byte, byte)
+    def test_distributive(self, a, b, c):
+        left = GF256.mul(a, GF256.add(b, c))
+        right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+        assert left == right
+
+    @given(byte)
+    def test_multiplicative_identity(self, a):
+        assert GF256.mul(a, 1) == a
+
+    @given(byte)
+    def test_zero_annihilates(self, a):
+        assert GF256.mul(a, 0) == 0
+
+    @given(nonzero_byte)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inverse(a)) == 1
+
+    @given(byte, nonzero_byte)
+    def test_division_inverts_multiplication(self, a, b):
+        assert GF256.div(GF256.mul(a, b), b) == a
+
+    @given(byte)
+    def test_addition_self_inverse(self, a):
+        assert GF256.add(a, a) == 0
+
+
+class TestScalarOps:
+    def test_inverse_of_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inverse(0)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(5, 0)
+
+    def test_pow(self):
+        assert GF256.pow(2, 0) == 1
+        assert GF256.pow(0, 0) == 1
+        assert GF256.pow(0, 5) == 0
+        # g^255 = 1 for any nonzero g
+        for g in (2, 3, 7, 255):
+            assert GF256.pow(g, 255) == 1
+
+    def test_pow_negative_of_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.pow(0, -1)
+
+    def test_exp_log_tables_consistent(self):
+        for i in range(1, 256):
+            assert GF256.EXP[GF256.LOG[i]] == i
+
+
+class TestArrayOps:
+    def test_vectorized_mul_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 100, dtype=np.uint8)
+        b = rng.integers(0, 256, 100, dtype=np.uint8)
+        vec = GF256.mul(a, b)
+        for i in range(100):
+            assert vec[i] == GF256.mul(int(a[i]), int(b[i]))
+
+    def test_matmul_identity(self):
+        rng = np.random.default_rng(1)
+        m = rng.integers(0, 256, (5, 5), dtype=np.uint8)
+        eye = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(GF256.matmul(m, eye), m)
+        assert np.array_equal(GF256.matmul(eye, m), m)
+
+    def test_mat_inverse_roundtrip(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            m = rng.integers(0, 256, (6, 6), dtype=np.uint8)
+            try:
+                inv = GF256.mat_inverse(m)
+            except np.linalg.LinAlgError:
+                continue
+            assert np.array_equal(
+                GF256.matmul(m, inv), np.eye(6, dtype=np.uint8)
+            )
+
+    def test_singular_matrix_rejected(self):
+        singular = np.zeros((3, 3), dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            GF256.mat_inverse(singular)
+
+    def test_matmul_shape_validation(self):
+        with pytest.raises(ValueError):
+            GF256.matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+    def test_mat_inverse_requires_square(self):
+        with pytest.raises(ValueError):
+            GF256.mat_inverse(np.zeros((2, 3), dtype=np.uint8))

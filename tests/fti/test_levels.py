@@ -1,0 +1,36 @@
+"""Tests for checkpoint level definitions."""
+
+import pytest
+
+from repro.fti.levels import LEVEL_NAMES, CheckpointLevel
+
+
+def test_four_levels_in_order():
+    levels = CheckpointLevel.all_levels()
+    assert [int(l) for l in levels] == [1, 2, 3, 4]
+
+
+def test_display_names():
+    assert CheckpointLevel.LOCAL.display_name == "local-storage"
+    assert CheckpointLevel.PFS.display_name == "pfs"
+    assert len(LEVEL_NAMES) == 4
+
+
+def test_protection_hierarchy():
+    """A checkpoint protects failures at or below its own level."""
+    assert CheckpointLevel.PFS.protects_against(1)
+    assert CheckpointLevel.PFS.protects_against(4)
+    assert CheckpointLevel.LOCAL.protects_against(1)
+    assert not CheckpointLevel.LOCAL.protects_against(2)
+    assert not CheckpointLevel.RS_ENCODING.protects_against(4)
+
+
+def test_protects_against_invalid_level():
+    with pytest.raises(ValueError):
+        CheckpointLevel.PFS.protects_against(0)
+
+
+def test_int_conversion():
+    assert CheckpointLevel(2) == CheckpointLevel.PARTNER
+    with pytest.raises(ValueError):
+        CheckpointLevel(5)

@@ -1,0 +1,55 @@
+"""Tests for the partner-copy store."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.fti.partner import PartnerStore
+
+
+@pytest.fixture
+def store():
+    return PartnerStore(ClusterTopology(num_nodes=8))
+
+
+def test_store_places_copy_on_ring_partner(store):
+    partner = store.store(3, b"state-3")
+    assert partner == 4
+
+
+def test_recover_prefers_local(store):
+    store.store(2, b"blob")
+    assert store.recover(2, failed=[]) == b"blob"
+
+
+def test_recover_from_partner_after_failure(store):
+    store.store(2, b"blob")
+    store.drop_node(2)
+    assert store.recover(2, failed=[2]) == b"blob"
+
+
+def test_unrecoverable_when_partner_also_failed(store):
+    store.store(2, b"blob")
+    store.drop_node(2)
+    store.drop_node(3)
+    with pytest.raises(KeyError, match="unrecoverable"):
+        store.recover(2, failed=[2, 3])
+
+
+def test_recoverable_predicate_matches_topology(store):
+    for node in range(8):
+        store.store(node, f"blob-{node}".encode())
+    assert store.recoverable([1, 5])  # non-adjacent
+    assert not store.recoverable([1, 2])  # adjacent pair
+    assert store.recoverable([])
+
+
+def test_ring_wraparound(store):
+    partner = store.store(7, b"last")
+    assert partner == 0
+    store.drop_node(7)
+    assert store.recover(7, failed=[7]) == b"last"
+
+
+def test_never_checkpointed_unrecoverable(store):
+    with pytest.raises(KeyError):
+        store.recover(5, failed=[5])

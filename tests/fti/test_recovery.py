@@ -1,0 +1,52 @@
+"""Tests for the recovery planner."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.fti.levels import CheckpointLevel
+from repro.fti.recovery import RecoveryPlanner
+
+
+@pytest.fixture
+def planner():
+    return RecoveryPlanner(
+        ClusterTopology(num_nodes=16, rs_group_size=8, rs_parity=2)
+    )
+
+
+ALL_PRESENT = {1: True, 2: True, 3: True, 4: True}
+
+
+class TestClassification:
+    def test_software_error_level_1(self, planner):
+        assert planner.classify_failure([]) == CheckpointLevel.LOCAL
+
+    def test_nonadjacent_level_2(self, planner):
+        assert planner.classify_failure([0, 5]) == CheckpointLevel.PARTNER
+
+    def test_adjacent_level_3(self, planner):
+        assert planner.classify_failure([3, 4]) == CheckpointLevel.RS_ENCODING
+
+    def test_group_wipeout_level_4(self, planner):
+        assert planner.classify_failure([0, 1, 2]) == CheckpointLevel.PFS
+
+
+class TestPlanning:
+    def test_uses_cheapest_viable_level(self, planner):
+        decision = planner.plan([0, 5], ALL_PRESENT)
+        assert decision.failure_level == CheckpointLevel.PARTNER
+        assert decision.recovery_level == CheckpointLevel.PARTNER
+
+    def test_escalates_when_cheap_level_missing(self, planner):
+        present = {1: True, 2: False, 3: False, 4: True}
+        decision = planner.plan([0, 5], present)
+        assert decision.failure_level == CheckpointLevel.PARTNER
+        assert decision.recovery_level == CheckpointLevel.PFS
+
+    def test_software_error_local_checkpoint_suffices(self, planner):
+        decision = planner.plan([], {1: True, 2: False, 3: False, 4: False})
+        assert decision.recovery_level == CheckpointLevel.LOCAL
+
+    def test_no_viable_checkpoint_raises(self, planner):
+        with pytest.raises(ValueError, match="unrecoverable"):
+            planner.plan([3, 4], {1: True, 2: True, 3: False, 4: False})

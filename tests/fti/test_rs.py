@@ -1,0 +1,106 @@
+"""Property tests for Reed-Solomon erasure coding (FTI level 3)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fti.rs import ReedSolomonErasure
+
+
+def _random_data(k: int, width: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, 256, (k, width), dtype=np.uint8)
+
+
+class TestEncodeDecode:
+    def test_systematic_no_erasure_roundtrip(self):
+        code = ReedSolomonErasure(k=4, m=2)
+        data = _random_data(4, 64, 0)
+        recovered = code.decode(data, [0, 1, 2, 3])
+        assert np.array_equal(recovered, data)
+
+    def test_all_single_erasures(self):
+        code = ReedSolomonErasure(k=5, m=2)
+        data = _random_data(5, 32, 1)
+        parity = code.encode(data)
+        stripe = np.concatenate([data, parity])
+        for lost in range(5):
+            indices = [i for i in range(7) if i != lost][:5]
+            recovered = code.decode(stripe[indices], indices)
+            assert np.array_equal(recovered, data), f"lost block {lost}"
+
+    def test_all_double_erasures(self):
+        """Exhaustive: any 2 of k+m blocks lost, the data reconstructs."""
+        code = ReedSolomonErasure(k=4, m=2)
+        data = _random_data(4, 16, 2)
+        parity = code.encode(data)
+        stripe = np.concatenate([data, parity])
+        for lost in itertools.combinations(range(6), 2):
+            indices = [i for i in range(6) if i not in lost][:4]
+            recovered = code.decode(stripe[indices], indices)
+            assert np.array_equal(recovered, data), f"lost {lost}"
+
+    def test_parity_only_reconstruction(self):
+        """k = m: all data lost, parity alone reconstructs."""
+        code = ReedSolomonErasure(k=3, m=3)
+        data = _random_data(3, 8, 3)
+        parity = code.encode(data)
+        recovered = code.decode(parity, [3, 4, 5])
+        assert np.array_equal(recovered, data)
+
+
+class TestValidation:
+    def test_too_few_blocks_rejected(self):
+        code = ReedSolomonErasure(k=4, m=2)
+        data = _random_data(4, 8, 4)
+        with pytest.raises(ValueError, match="exactly k"):
+            code.decode(data[:3], [0, 1, 2])
+
+    def test_duplicate_indices_rejected(self):
+        code = ReedSolomonErasure(k=3, m=1)
+        data = _random_data(3, 8, 5)
+        with pytest.raises(ValueError, match="duplicate"):
+            code.decode(data, [0, 1, 1])
+
+    def test_out_of_range_index_rejected(self):
+        code = ReedSolomonErasure(k=3, m=1)
+        data = _random_data(3, 8, 6)
+        with pytest.raises(ValueError):
+            code.decode(data, [0, 1, 9])
+
+    def test_wrong_data_shape_rejected(self):
+        code = ReedSolomonErasure(k=3, m=1)
+        with pytest.raises(ValueError):
+            code.encode(_random_data(4, 8, 7))
+
+    def test_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            ReedSolomonErasure(k=0, m=1)
+        with pytest.raises(ValueError):
+            ReedSolomonErasure(k=1, m=0)
+        with pytest.raises(ValueError):
+            ReedSolomonErasure(k=200, m=100)  # k+m > 255
+
+    def test_max_erasures(self):
+        assert ReedSolomonErasure(k=8, m=3).max_erasures() == 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=8),
+    m=st.integers(min_value=1, max_value=4),
+    width=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_roundtrip_random_erasure_patterns(k, m, width, seed):
+    """Any m-subset of blocks lost -> exact reconstruction (random probe)."""
+    rng = np.random.default_rng(seed)
+    code = ReedSolomonErasure(k=k, m=m)
+    data = rng.integers(0, 256, (k, width), dtype=np.uint8)
+    parity = code.encode(data)
+    stripe = np.concatenate([data, parity])
+    lost = set(rng.choice(k + m, size=m, replace=False).tolist())
+    indices = [i for i in range(k + m) if i not in lost][:k]
+    recovered = code.decode(stripe[indices], indices)
+    assert np.array_equal(recovered, data)

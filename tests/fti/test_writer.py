@@ -1,0 +1,112 @@
+"""Tests for checkpoint-set durability (versioning, checksums, atomicity)."""
+
+import pytest
+
+from repro.fti.writer import ChecksumError, CheckpointSet, CheckpointSetManager
+
+
+@pytest.fixture
+def manager():
+    return CheckpointSetManager(keep=2)
+
+
+class TestAtomicity:
+    def test_uncommitted_set_unreadable(self, manager):
+        cs = manager.begin(level=1)
+        cs.write(0, b"data")
+        with pytest.raises(RuntimeError, match="never committed"):
+            cs.read(0)
+        assert manager.latest is None
+
+    def test_commit_promotes(self, manager):
+        cs = manager.begin(level=2)
+        cs.write(0, b"data")
+        committed = manager.commit()
+        assert committed.committed
+        assert manager.latest is committed
+        assert committed.read(0) == b"data"
+
+    def test_abort_preserves_previous_set(self, manager):
+        cs1 = manager.begin(level=1)
+        cs1.write(0, b"v1")
+        manager.commit()
+        cs2 = manager.begin(level=1)
+        cs2.write(0, b"v2-partial")
+        manager.abort()  # crash mid-write
+        assert manager.latest.read(0) == b"v1"
+
+    def test_committed_set_immutable(self, manager):
+        cs = manager.begin(level=1)
+        cs.write(0, b"x")
+        manager.commit()
+        with pytest.raises(RuntimeError, match="immutable"):
+            cs.write(1, b"y")
+
+    def test_empty_commit_rejected(self, manager):
+        manager.begin(level=1)
+        with pytest.raises(RuntimeError, match="empty"):
+            manager.commit()
+
+    def test_commit_without_begin_rejected(self, manager):
+        with pytest.raises(RuntimeError, match="no staging"):
+            manager.commit()
+
+
+class TestChecksums:
+    def test_corruption_detected(self, manager):
+        cs = manager.begin(level=1)
+        cs.write(0, b"precious state")
+        manager.commit()
+        cs.corrupt(0)
+        with pytest.raises(ChecksumError, match="checksum mismatch"):
+            cs.read(0)
+
+    def test_clean_read_roundtrips(self, manager):
+        cs = manager.begin(level=3)
+        payload = bytes(range(256))
+        cs.write(5, payload)
+        manager.commit()
+        assert cs.read(5) == payload
+
+    def test_missing_node_keyerror(self, manager):
+        cs = manager.begin(level=1)
+        cs.write(0, b"x")
+        manager.commit()
+        with pytest.raises(KeyError, match="no blob for node 9"):
+            cs.read(9)
+
+
+class TestRotation:
+    def test_keep_policy(self):
+        manager = CheckpointSetManager(keep=2)
+        versions = []
+        for i in range(4):
+            cs = manager.begin(level=1)
+            cs.write(0, f"v{i}".encode())
+            versions.append(manager.commit().version)
+        kept = [cs.version for cs in manager]
+        assert kept == versions[-2:]
+
+    def test_versions_monotone(self, manager):
+        a = manager.begin(level=1)
+        a.write(0, b"a")
+        va = manager.commit().version
+        b = manager.begin(level=1)
+        b.write(0, b"b")
+        vb = manager.commit().version
+        assert vb > va
+
+    def test_latest_at_or_above(self, manager):
+        cs1 = manager.begin(level=4)
+        cs1.write(0, b"pfs")
+        manager.commit()
+        cs2 = manager.begin(level=1)
+        cs2.write(0, b"local")
+        manager.commit()
+        found = manager.latest_at_or_above(3)
+        assert found is not None and found.level == 4
+        assert manager.latest_at_or_above(1).level == 1
+
+    def test_keep_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointSetManager(keep=0)

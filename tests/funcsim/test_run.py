@@ -1,0 +1,137 @@
+"""Tests for the functional end-to-end simulation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import HeatDistribution2D
+from repro.apps.simmpi import SimComm
+from repro.cluster.storage import StorageHierarchy
+from repro.cluster.topology import ClusterTopology
+from repro.failures.rates import FailureRates
+from repro.funcsim.config import FunctionalConfig
+from repro.funcsim.run import run_functional
+
+
+def _config(**overrides):
+    # Rates are per *day* at 16 cores; the toy run lasts ~20 simulated
+    # seconds, so several failures per run need absurd-looking daily rates.
+    defaults = dict(
+        topology=ClusterTopology(num_nodes=16, rs_group_size=8, rs_parity=2),
+        storage=StorageHierarchy(),
+        rates=FailureRates((8e3, 4e3, 2e3, 1e3), baseline_scale=16.0),
+        grid_size=48,
+        total_sweeps=120,
+        checkpoint_interval_sweeps=(10, 20, 40, 60),
+        bytes_per_process=5e6,
+        allocation_period=1.0,
+    )
+    defaults.update(overrides)
+    return FunctionalConfig(**defaults)
+
+
+def _reference_grid(grid_size: int, sweeps: int) -> np.ndarray:
+    reference = HeatDistribution2D(grid_size=grid_size, comm=SimComm(n_ranks=1))
+    for _ in range(sweeps):
+        reference.jacobi_sweep()
+    return reference.grid
+
+
+class TestFailureFree:
+    def test_completes_with_exact_physics(self):
+        config = _config(rates=FailureRates((0, 0, 0, 0), baseline_scale=16.0))
+        result = run_functional(config, seed=0)
+        assert result.completed
+        assert result.failures_per_level == (0, 0, 0, 0)
+        assert np.allclose(
+            result.grid, _reference_grid(config.grid_size, config.total_sweeps)
+        )
+
+    def test_checkpoint_counts_match_cadence(self):
+        config = _config(rates=FailureRates((0, 0, 0, 0), baseline_scale=16.0))
+        result = run_functional(config, seed=0)
+        # No checkpoint at completion (the model's x_i - 1 convention):
+        # marks at interior multiples only -> 11 / 5 / 2 / 1.
+        assert result.checkpoints_per_level == (11, 5, 2, 1)
+
+    def test_portions_conservation(self):
+        config = _config(rates=FailureRates((0, 0, 0, 0), baseline_scale=16.0))
+        result = run_functional(config, seed=0)
+        assert sum(result.portions.values()) == pytest.approx(result.wallclock)
+        assert result.portions["rollback"] == 0.0
+
+
+class TestWithFailures:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_final_physics_exact_despite_failures(self, seed):
+        """The headline property: whatever failures strike, the completed
+        run's grid is bit-identical to an uninterrupted execution."""
+        config = _config()
+        result = run_functional(config, seed=seed)
+        assert result.completed
+        assert np.array_equal(
+            result.grid, _reference_grid(config.grid_size, config.total_sweeps)
+        )
+
+    def test_failures_were_actually_injected(self):
+        result = run_functional(_config(), seed=6)
+        assert sum(result.failures_per_level) > 3
+
+    def test_portions_conservation_with_failures(self):
+        result = run_functional(_config(), seed=5)
+        assert sum(result.portions.values()) == pytest.approx(result.wallclock)
+
+    def test_rollback_work_present_after_hardware_failures(self):
+        result = run_functional(_config(), seed=6)
+        if sum(result.failures_per_level[1:]) > 0:
+            # hardware failures force re-execution (or a scratch restart)
+            assert (
+                result.portions["rollback"] > 0 or result.scratch_restarts > 0
+            )
+
+    def test_reproducible_by_seed(self):
+        a = run_functional(_config(), seed=9)
+        b = run_functional(_config(), seed=9)
+        assert a.wallclock == b.wallclock
+        assert a.failures_per_level == b.failures_per_level
+
+
+class TestScratchRestart:
+    def test_underprotected_run_restarts_from_scratch(self):
+        """Only level-1 checkpoints + hardware failures: the app must lose
+        everything and restart, and still finish with exact physics."""
+        config = _config(
+            checkpoint_interval_sweeps=(10, 0, 0, 0),
+            rates=FailureRates((0.0, 4e4, 0.0, 0.0), baseline_scale=16.0),
+            total_sweeps=60,
+            allocation_period=0.5,
+        )
+        result = run_functional(config, seed=7)
+        assert result.completed
+        assert result.scratch_restarts >= 1
+        assert np.array_equal(
+            result.grid, _reference_grid(config.grid_size, config.total_sweeps)
+        )
+
+
+class TestCensoring:
+    def test_impossible_run_censored(self):
+        config = _config(
+            rates=FailureRates((0, 0, 0, 2e6), baseline_scale=16.0),
+            checkpoint_interval_sweeps=(0, 0, 0, 30),
+            allocation_period=0.5,
+            max_wallclock=1_000.0,
+        )
+        result = run_functional(config, seed=8)
+        assert not result.completed
+
+
+class TestValidation:
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ValueError):
+            _config(total_sweeps=0)
+        with pytest.raises(ValueError):
+            _config(checkpoint_interval_sweeps=(1, 2, 3))
+        with pytest.raises(ValueError):
+            _config(grid_size=8)  # fewer rows than ranks
+        with pytest.raises(ValueError):
+            _config(rates=FailureRates((1.0,), baseline_scale=16.0))

@@ -1,0 +1,77 @@
+"""End-to-end pipeline tests: public API -> optimizer -> simulator."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_quickstart_pipeline():
+    """The README quickstart, verbatim, produces sane results."""
+    params = repro.ModelParameters.from_core_days(
+        3e6,
+        speedup=repro.QuadraticSpeedup(kappa=0.46, ideal_scale=1e6),
+        costs=repro.fusion_cost_models(),
+        rates=repro.FailureRates.from_case_name("8-4-2-1", baseline_scale=1e6),
+        allocation_period=60.0,
+    )
+    solution = repro.ml_opt_scale(params)
+    assert 1e5 < solution.scale < 1e6
+    ensemble = repro.simulate_solution(params, solution, n_runs=5, seed=0)
+    assert ensemble.all_completed
+    assert ensemble.mean_wallclock > params.productive_time(solution.scale)
+
+
+def test_custom_speedup_model_plugs_in(small_params):
+    """Any SpeedupModel subclass works with the solvers (the paper's
+    'easily extended to more complicated speedup functions')."""
+    from dataclasses import replace
+
+    params = replace(
+        small_params, speedup=repro.AmdahlSpeedup(0.001, max_scale=5_000.0)
+    )
+    solution = repro.ml_opt_scale(params)
+    assert 0 < solution.scale <= 5_000.0
+
+
+def test_weak_scaling_scenario(small_params):
+    """Gustafson speedup (weak scaling) is supported end to end."""
+    from dataclasses import replace
+
+    params = replace(
+        small_params, speedup=repro.GustafsonSpeedup(0.05, max_scale=4_000.0)
+    )
+    solution = repro.ml_opt_scale(params)
+    ensemble = repro.simulate_solution(params, solution, n_runs=3, seed=1)
+    assert ensemble.all_completed
+
+
+def test_two_level_model(small_params):
+    """The model is generic in L: a 2-level (local + PFS) system works."""
+    two_level = repro.ModelParameters.from_core_days(
+        200.0,
+        speedup=repro.QuadraticSpeedup(kappa=0.5, ideal_scale=2_000.0),
+        costs=repro.LevelCostModel.from_constants([1.0, 12.0]),
+        rates=repro.FailureRates((30.0, 5.0), baseline_scale=2_000.0),
+        allocation_period=30.0,
+    )
+    solution = repro.ml_opt_scale(two_level)
+    assert solution.num_levels == 2
+    assert solution.intervals[0] > solution.intervals[1]
+
+
+def test_strategies_comparable_under_simulation(small_params):
+    """Simulated means reproduce the analytic strategy ordering."""
+    solutions = repro.compare_all_strategies(small_params)
+    means = {}
+    for name, sol in solutions.items():
+        sim_params = (
+            small_params.single_level()
+            if sol.num_levels == 1
+            else small_params
+        )
+        ens = repro.simulate_solution(
+            sim_params, sol, n_runs=20, seed=3, max_wallclock=1e8
+        )
+        means[name] = ens.mean_wallclock
+    assert means["ml-opt-scale"] == min(means.values())

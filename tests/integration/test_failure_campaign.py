@@ -1,0 +1,89 @@
+"""Randomized failure campaign against the functional FTI stack.
+
+Property-style integration test: random node-failure bursts (grouped into
+correlated windows like real switch/power events) hit an application
+checkpointed at a random level; the recovery planner's *prediction* of the
+needed level must always match what the functional stores can actually
+serve, and recovered state must be exact whenever recovery is possible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.failures.window import cluster_into_windows
+from repro.fti.api import FTIContext
+from repro.fti.levels import CheckpointLevel
+from repro.fti.recovery import RecoveryPlanner
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ckpt_level=st.sampled_from([2, 3, 4]),
+    failed=st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_recovery_matches_planner_prediction(ckpt_level, failed, seed):
+    topology = ClusterTopology(num_nodes=16, rs_group_size=8, rs_parity=2)
+    planner = RecoveryPlanner(topology)
+    ctx = FTIContext(topology, ranks_per_node=1)
+    rng = np.random.default_rng(seed)
+    originals = {}
+    for rank in range(16):
+        arr = rng.random(8)
+        originals[rank] = arr.copy()
+        ctx.protect(rank, "state", arr)
+    ctx.checkpoint(CheckpointLevel(ckpt_level))
+
+    needed = planner.classify_failure(failed)
+    ctx.fail_nodes(failed)
+    # Recoverability is the *checkpoint level's own* survival predicate:
+    # e.g. an RS(8, m=2) checkpoint cannot serve three losses in one group
+    # even when they are pairwise non-adjacent (failure classified level 2).
+    if ckpt_level == 2:
+        checkpoint_survives = topology.partner_survives(failed)
+    elif ckpt_level == 3:
+        checkpoint_survives = topology.rs_survives(failed)
+    else:
+        checkpoint_survives = True
+    if checkpoint_survives:
+        decision = ctx.recover()
+        assert decision.failure_level == needed
+        assert int(decision.recovery_level) == ckpt_level
+        for rank, original in originals.items():
+            assert np.allclose(ctx._protected[rank]["state"], original)
+    else:
+        with pytest.raises(ValueError, match="unrecoverable"):
+            ctx.recover()
+
+
+def test_correlated_window_burst_classification():
+    """A realistic campaign: failure bursts from shared racks, grouped into
+    windows, classified, and recovered at escalating levels."""
+    topology = ClusterTopology(
+        num_nodes=32, nodes_per_rack=8, rs_group_size=8, rs_parity=2
+    )
+    planner = RecoveryPlanner(topology)
+    # chronological stream: an isolated crash, then a rack-switch burst
+    times = [10.0, 500.0, 505.0, 512.0, 2_000.0]
+    nodes = [3, 8, 9, 10, 20]
+    windows = cluster_into_windows(times, nodes, window_seconds=60.0)
+    assert [w.node_ids for w in windows] == [(3,), (8, 9, 10), (20,)]
+
+    levels = [planner.classify_failure(w.node_ids) for w in windows]
+    assert levels[0] == CheckpointLevel.PARTNER  # isolated node
+    assert levels[1] == CheckpointLevel.PFS  # 3 in one RS group > parity
+    assert levels[2] == CheckpointLevel.PARTNER
+
+    # with a PFS checkpoint present, every window is recoverable
+    ctx = FTIContext(topology, ranks_per_node=1)
+    rng = np.random.default_rng(0)
+    for rank in range(32):
+        ctx.protect(rank, "state", rng.random(4))
+    ctx.checkpoint(CheckpointLevel.PFS)
+    for window, expected_level in zip(windows, levels):
+        ctx.fail_nodes(window.node_ids)
+        decision = ctx.recover()
+        assert decision.failure_level == expected_level
+        assert decision.recovery_level == CheckpointLevel.PFS

@@ -1,0 +1,68 @@
+"""Functional integration: the Heat app checkpointed through the FTI API.
+
+This exercises the full substrate stack the paper's real-cluster
+experiments used: a real numerical application, protected by the
+multilevel checkpoint toolkit, surviving injected hardware failures with
+bit-exact state recovery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat import HeatDistribution2D
+from repro.apps.simmpi import SimComm
+from repro.cluster.topology import ClusterTopology
+from repro.fti.api import FTIContext
+from repro.fti.levels import CheckpointLevel
+
+
+@pytest.fixture
+def setup():
+    topo = ClusterTopology(num_nodes=8, rs_group_size=4, rs_parity=2)
+    ctx = FTIContext(topo, ranks_per_node=1)
+    comm = SimComm(n_ranks=8)
+    solver = HeatDistribution2D(grid_size=32, comm=comm)
+    # each rank protects its row-block of the shared grid (the block rows
+    # alias the same array, so protecting rank 0's view suffices for the
+    # whole grid; per-rank protection exercises the node mapping)
+    rows = np.array_split(np.arange(32), 8)
+    for rank in range(8):
+        ctx.protect(rank, "block", solver.grid[rows[rank][0] + 1 : rows[rank][-1] + 2])
+    return topo, ctx, solver
+
+
+def test_heat_state_survives_node_crash(setup):
+    topo, ctx, solver = setup
+    for _ in range(20):
+        solver.jacobi_sweep()
+    checkpointed = solver.grid.copy()
+    ctx.checkpoint(CheckpointLevel.PARTNER)
+    # more progress, then a crash erases it
+    for _ in range(20):
+        solver.jacobi_sweep()
+    assert not np.allclose(solver.grid, checkpointed)
+    ctx.fail_nodes([3])
+    decision = ctx.recover()
+    assert decision.recovery_level == CheckpointLevel.PARTNER
+    assert np.allclose(solver.grid[1:-1], checkpointed[1:-1])
+
+
+def test_recovered_run_converges_to_same_answer(setup):
+    """Crash-recover-continue reaches the same solution as a clean run."""
+    topo, ctx, solver = setup
+    reference = HeatDistribution2D(grid_size=32, comm=SimComm(n_ranks=1))
+    for _ in range(10):
+        solver.jacobi_sweep()
+        reference.jacobi_sweep()
+    ctx.checkpoint(CheckpointLevel.RS_ENCODING)
+    # diverge: extra sweeps that will be rolled back
+    for _ in range(5):
+        solver.jacobi_sweep()
+    ctx.fail_nodes([1, 2])  # adjacent, needs RS
+    decision = ctx.recover()
+    assert decision.recovery_level == CheckpointLevel.RS_ENCODING
+    # re-execute the lost sweeps and continue in lockstep with reference
+    for _ in range(40):
+        solver.jacobi_sweep()
+        reference.jacobi_sweep()
+    assert np.allclose(solver.grid, reference.grid)

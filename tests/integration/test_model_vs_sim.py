@@ -1,0 +1,67 @@
+"""Model-vs-simulator consistency checks.
+
+The analytic E(T_w) (Formula 21, self-consistent mu) is a first-order
+model: it ignores checkpoint retries after mid-checkpoint failures and
+failure-over-recovery chains.  These tests pin down how closely the
+simulator tracks it, per regime:
+
+* with rare failures the model is near-exact;
+* with frequent failures the simulator runs *longer* than the model
+  (retries only add time) but stays within a bounded factor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.solutions import ml_opt_scale
+from repro.core.wallclock import time_portions
+from repro.sim.runner import simulate_solution
+
+
+def test_rare_failure_regime_near_exact(small_params):
+    from dataclasses import replace
+    from repro.failures.rates import FailureRates
+
+    mild = replace(
+        small_params,
+        rates=FailureRates((2.0, 1.0, 0.5, 0.2), baseline_scale=2_000.0),
+    )
+    sol = ml_opt_scale(mild)
+    ens = simulate_solution(mild, sol, n_runs=40, seed=0)
+    assert ens.mean_wallclock == pytest.approx(
+        sol.expected_wallclock, rel=0.06
+    )
+
+
+def test_model_is_lower_bound_under_frequent_failures(paper_params):
+    """Checkpoint retries make the simulated mean exceed the prediction."""
+    sol = ml_opt_scale(paper_params)
+    ens = simulate_solution(paper_params, sol, n_runs=10, seed=1)
+    assert ens.mean_wallclock >= sol.expected_wallclock * 0.95
+    assert ens.mean_wallclock <= sol.expected_wallclock * 1.6
+
+
+def test_portion_structure_matches(small_params):
+    """Productive portions agree exactly; overhead portions correlate."""
+    sol = ml_opt_scale(small_params)
+    analytic = time_portions(small_params, sol.intervals, sol.scale)
+    ens = simulate_solution(small_params, sol, n_runs=40, seed=2)
+    simulated = ens.mean_portions()
+    n = sol.scale_rounded()
+    assert simulated["productive"] == pytest.approx(
+        small_params.productive_time(n), rel=1e-6
+    )
+    # overheads within a 2x band of the first-order prediction
+    for key in ("checkpoint", "restart"):
+        assert simulated[key] == pytest.approx(analytic[key], rel=1.0), key
+
+
+def test_observed_failure_rates_match_configuration(small_params):
+    sol = ml_opt_scale(small_params)
+    ens = simulate_solution(small_params, sol, n_runs=50, seed=3)
+    n = sol.scale_rounded()
+    lam = small_params.rates.rates_per_second(n)
+    observed = np.mean(
+        [r.failures_per_level for r in ens.runs], axis=0
+    ) / np.mean([r.wallclock for r in ens.runs])
+    assert np.allclose(observed, lam, rtol=0.25)

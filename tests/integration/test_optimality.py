@@ -1,0 +1,86 @@
+"""Global-optimality evidence: Algorithm 1 vs brute-force grid search.
+
+The paper cannot prove global optimality (the self-consistent objective is
+non-convex); Algorithm 1 is argued to find the right point via the
+frozen-mu convexification.  These tests corroborate that empirically: on
+small configurations, a dense grid search over (x_1..x_L, N) of the exact
+self-consistent objective never beats Algorithm 1's solution by more than
+grid resolution.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm1 import optimize
+from repro.core.notation import ModelParameters
+from repro.core.wallclock import self_consistent_wallclock
+from repro.costs.model import LevelCostModel
+from repro.failures.rates import FailureRates
+from repro.speedup.quadratic import QuadraticSpeedup
+
+
+def _grid_best(params: ModelParameters, x_grids, n_grid) -> float:
+    best = np.inf
+    for x in itertools.product(*x_grids):
+        for n in n_grid:
+            try:
+                value, _ = self_consistent_wallclock(
+                    params, np.asarray(x, dtype=float), float(n)
+                )
+            except ValueError:
+                continue
+            best = min(best, value)
+    return best
+
+
+def test_two_level_grid_search(small_params):
+    """Dense 2-level grid around plausible ranges vs Algorithm 1."""
+    from dataclasses import replace
+
+    params = replace(
+        small_params,
+        costs=LevelCostModel.from_constants([1.0, 12.0]),
+        rates=FailureRates((24.0, 6.0), baseline_scale=2_000.0),
+    )
+    solution = optimize(params).solution
+    x_grids = [np.geomspace(4, 4_000, 28), np.geomspace(2, 1_000, 28)]
+    n_grid = np.linspace(100.0, 2_000.0, 40)
+    grid_best = _grid_best(params, x_grids, n_grid)
+    # the solver must match or beat the best grid point (up to resolution)
+    assert solution.expected_wallclock <= grid_best * 1.005
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    c2=st.floats(min_value=4.0, max_value=40.0),
+    r1=st.floats(min_value=5.0, max_value=40.0),
+    r2=st.floats(min_value=1.0, max_value=10.0),
+    te=st.floats(min_value=50.0, max_value=500.0),
+)
+def test_random_two_level_configs(c2, r1, r2, te):
+    """Random small models: Algorithm 1 is never beaten by a coarse grid."""
+    params = ModelParameters.from_core_days(
+        te,
+        speedup=QuadraticSpeedup(kappa=0.5, ideal_scale=2_000.0),
+        costs=LevelCostModel.from_constants([1.0, c2]),
+        rates=FailureRates((r1, r2), baseline_scale=2_000.0),
+        allocation_period=20.0,
+    )
+    solution = optimize(params).solution
+    x_grids = [np.geomspace(2, 3_000, 18), np.geomspace(1.5, 800, 18)]
+    n_grid = np.linspace(150.0, 2_000.0, 24)
+    grid_best = _grid_best(params, x_grids, n_grid)
+    assert solution.expected_wallclock <= grid_best * 1.01
+
+
+def test_four_level_coarse_grid(small_params):
+    """Coarse 4-level sanity grid (5^4 x 10 points)."""
+    solution = optimize(small_params).solution
+    x_star = np.asarray(solution.intervals)
+    x_grids = [np.geomspace(x / 4.0, x * 4.0, 5) for x in x_star]
+    n_grid = np.linspace(300.0, 2_000.0, 10)
+    grid_best = _grid_best(small_params, x_grids, n_grid)
+    assert solution.expected_wallclock <= grid_best * 1.005

@@ -1,0 +1,57 @@
+"""Tests for SimulationConfig validation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimulationConfig
+
+
+def _config(**overrides):
+    defaults = dict(
+        productive_seconds=1_000.0,
+        intervals=(10, 5, 2, 2),
+        checkpoint_costs=(1.0, 2.0, 4.0, 8.0),
+        recovery_costs=(1.0, 2.0, 4.0, 8.0),
+        failure_rates=(1e-4, 5e-5, 2e-5, 1e-5),
+        allocation_period=10.0,
+        jitter=0.3,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def test_valid_config():
+    cfg = _config()
+    assert cfg.num_levels == 4
+    assert np.array_equal(cfg.checkpoint_cost_array(), [1.0, 2.0, 4.0, 8.0])
+
+
+def test_single_level_config():
+    cfg = _config(
+        intervals=(5,),
+        checkpoint_costs=(10.0,),
+        recovery_costs=(10.0,),
+        failure_rates=(1e-4,),
+    )
+    assert cfg.num_levels == 1
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("productive_seconds", 0.0),
+        ("intervals", ()),
+        ("intervals", (0, 1, 1, 1)),
+        ("checkpoint_costs", (1.0,)),
+        ("checkpoint_costs", (-1.0, 1.0, 1.0, 1.0)),
+        ("recovery_costs", (-1.0, 1.0, 1.0, 1.0)),
+        ("failure_rates", (-1e-4, 0, 0, 0)),
+        ("allocation_period", -1.0),
+        ("jitter", 1.0),
+        ("jitter", -0.1),
+        ("max_wallclock", 0.0),
+    ],
+)
+def test_invalid_configs_rejected(field, value):
+    with pytest.raises(ValueError):
+        _config(**{field: value})

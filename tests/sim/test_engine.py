@@ -1,0 +1,180 @@
+"""Tests for the event-driven execution engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import simulate
+from repro.sim.failure_injection import ScriptedFailures
+
+
+def _config(**overrides):
+    defaults = dict(
+        productive_seconds=1_000.0,
+        intervals=(10, 5, 2, 2),
+        checkpoint_costs=(1.0, 2.0, 4.0, 8.0),
+        recovery_costs=(1.0, 2.0, 4.0, 8.0),
+        failure_rates=(0.0, 0.0, 0.0, 0.0),
+        allocation_period=10.0,
+        jitter=0.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestFailureFree:
+    def test_wallclock_is_work_plus_checkpoints(self):
+        cfg = _config()
+        result = simulate(cfg, seed=0)
+        # 9*1 + 4*2 + 1*4 + 1*8 = 29 seconds of checkpoints
+        assert result.wallclock == pytest.approx(1_000.0 + 29.0)
+        assert result.portions["productive"] == pytest.approx(1_000.0)
+        assert result.portions["checkpoint"] == pytest.approx(29.0)
+        assert result.portions["restart"] == 0.0
+        assert result.portions["rollback"] == 0.0
+        assert result.completed
+
+    def test_checkpoint_counts(self):
+        result = simulate(_config(), seed=0)
+        assert result.checkpoints_per_level == (9, 4, 1, 1)
+        assert result.failures_per_level == (0, 0, 0, 0)
+
+    def test_no_checkpoints_with_single_intervals(self):
+        cfg = _config(intervals=(1, 1, 1, 1))
+        result = simulate(cfg, seed=0)
+        assert result.wallclock == pytest.approx(1_000.0)
+
+
+class TestScriptedFailures:
+    def test_level1_rollback_to_latest_level1(self):
+        """A software failure at progress ~350 rolls back to the 300 mark."""
+        cfg = _config()
+        # level-1 marks every 100s; no other levels for clarity
+        cfg = _config(intervals=(10, 1, 1, 1))
+        trace = ScriptedFailures([(352.0, 1)])
+        result = simulate(cfg, seed=0, injector=trace)
+        # at t=352: 3 checkpoints done (3s), progress = 349 -> rollback to 300
+        assert result.portions["rollback"] == pytest.approx(49.0)
+        assert result.portions["restart"] == pytest.approx(10.0 + 1.0)
+        assert result.failures_per_level == (1, 0, 0, 0)
+
+    def test_level2_failure_destroys_level1_checkpoints(self):
+        """A hardware failure must not restore from level-1 data."""
+        cfg = _config(intervals=(10, 2, 1, 1))
+        # level-1 marks every 100, level-2 mark at 500
+        trace = ScriptedFailures([(650.0, 2)])
+        result = simulate(cfg, seed=0, injector=trace)
+        # at t=650: progress ~= 650 - ckpt time; rollback to the level-2
+        # mark at 500, NOT the level-1 mark at 600
+        assert result.portions["rollback"] > 100.0
+
+    def test_failure_before_any_checkpoint_restarts_from_zero(self):
+        cfg = _config(intervals=(4, 1, 1, 1))
+        trace = ScriptedFailures([(200.0, 1)])
+        result = simulate(cfg, seed=0, injector=trace)
+        assert result.portions["rollback"] == pytest.approx(200.0)
+
+    def test_failure_during_checkpoint_aborts_it(self):
+        cfg = _config(intervals=(2, 1, 1, 1), checkpoint_costs=(100.0, 1, 1, 1))
+        # level-1 mark at 500, checkpoint runs [500, 600); failure at 550
+        trace = ScriptedFailures([(550.0, 1)])
+        result = simulate(cfg, seed=0, injector=trace)
+        # aborted half checkpoint (50s) + the retaken full one (100s)
+        assert result.portions["checkpoint"] == pytest.approx(150.0)
+        # no valid level-1 checkpoint existed -> restart from zero
+        assert result.portions["rollback"] == pytest.approx(500.0)
+
+    def test_failure_during_recovery_restarts_recovery(self):
+        cfg = _config(
+            intervals=(2, 1, 1, 1),
+            recovery_costs=(100.0, 1.0, 1.0, 1.0),
+            allocation_period=0.0,
+        )
+        trace = ScriptedFailures([(100.0, 1), (150.0, 1)])
+        result = simulate(cfg, seed=0, injector=trace)
+        # first recovery interrupted at 50s, second full 100s
+        assert result.portions["restart"] == pytest.approx(150.0)
+        assert result.failures_per_level == (2, 0, 0, 0)
+
+    def test_pfs_checkpoint_survives_all_levels(self):
+        cfg = _config(intervals=(1, 1, 1, 2))
+        # PFS mark at 500; level-4 failure at 900
+        trace = ScriptedFailures([(900.0, 4)])
+        result = simulate(cfg, seed=0, injector=trace)
+        # rollback only to 500 even for the worst failure level
+        assert result.portions["rollback"] < 400.0 + 1.0
+
+
+class TestConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate_scale=st.floats(min_value=0.1, max_value=20.0),
+        jitter=st.sampled_from([0.0, 0.3]),
+    )
+    def test_portions_sum_to_wallclock(self, seed, rate_scale, jitter):
+        """Invariant: the four Fig. 5 portions partition the wall-clock."""
+        base = 1e-3
+        cfg = _config(
+            failure_rates=(
+                base * rate_scale,
+                base * rate_scale / 2,
+                base * rate_scale / 4,
+                base * rate_scale / 8,
+            ),
+            jitter=jitter,
+        )
+        result = simulate(cfg, seed=seed)
+        total = sum(result.portions.values())
+        assert total == pytest.approx(result.wallclock, rel=1e-9)
+        assert result.portions["productive"] == pytest.approx(1_000.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_first_time_work_equals_productive_span(self, seed):
+        """However many failures occur, exactly P seconds of first-time
+        productive work happen in a completed run."""
+        cfg = _config(failure_rates=(2e-3, 1e-3, 5e-4, 2e-4), jitter=0.3)
+        result = simulate(cfg, seed=seed)
+        assert result.completed
+        assert result.portions["productive"] == pytest.approx(1_000.0)
+
+
+class TestStochastic:
+    def test_reproducible_by_seed(self):
+        cfg = _config(failure_rates=(1e-3, 5e-4, 2e-4, 1e-4))
+        a = simulate(cfg, seed=42)
+        b = simulate(cfg, seed=42)
+        assert a.wallclock == b.wallclock
+        assert a.portions == b.portions
+
+    def test_failure_counts_scale_with_rates(self):
+        lo = _config(failure_rates=(1e-4, 0, 0, 0))
+        hi = _config(failure_rates=(2e-3, 0, 0, 0))
+        n_lo = np.mean([simulate(lo, seed=s).total_failures for s in range(30)])
+        n_hi = np.mean([simulate(hi, seed=s).total_failures for s in range(30)])
+        assert n_hi > 4 * n_lo
+
+    def test_jitter_changes_costs_but_not_mean_much(self):
+        cfg0 = _config()
+        cfg3 = _config(jitter=0.3)
+        base = simulate(cfg0, seed=0).wallclock
+        jittered = np.mean([simulate(cfg3, seed=s).wallclock for s in range(40)])
+        # uniform +-30% jitter is mean-preserving
+        assert jittered == pytest.approx(base, rel=0.02)
+
+
+class TestCensoring:
+    def test_hopeless_config_censored_at_cap(self):
+        """Checkpoint cost >> MTBF: no interval ever completes."""
+        cfg = _config(
+            intervals=(1, 1, 1, 4),
+            checkpoint_costs=(1, 1, 1, 5_000.0),
+            recovery_costs=(1, 1, 1, 10.0),
+            failure_rates=(0, 0, 0, 5e-3),
+            max_wallclock=50_000.0,
+        )
+        result = simulate(cfg, seed=1)
+        assert not result.completed
+        assert result.wallclock <= 50_000.0 * 1.2

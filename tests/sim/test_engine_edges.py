@@ -1,0 +1,94 @@
+"""Edge-case tests for the event engine."""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import simulate
+from repro.sim.failure_injection import ScriptedFailures
+
+
+def _config(**overrides):
+    defaults = dict(
+        productive_seconds=400.0,
+        intervals=(4, 4),
+        checkpoint_costs=(2.0, 6.0),
+        recovery_costs=(2.0, 6.0),
+        failure_rates=(0.0, 0.0),
+        allocation_period=5.0,
+        jitter=0.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestCoincidentMarks:
+    def test_both_levels_checkpoint_at_shared_marks(self):
+        """x_1 = x_2 puts marks at identical progress; both are taken,
+        lower level first."""
+        result = simulate(_config(), seed=0, injector=ScriptedFailures([]))
+        assert result.checkpoints_per_level == (3, 3)
+        assert result.portions["checkpoint"] == pytest.approx(3 * 2.0 + 3 * 6.0)
+
+    def test_failure_between_coincident_checkpoints(self):
+        """A level-2 failure during the level-2 checkpoint at a shared mark
+        rolls back to the *completed* level-2 mark before it (the level-1
+        checkpoint just taken at the same mark is destroyed)."""
+        # timeline: work to mark 100 (t=100), L1 ckpt [100,102),
+        # L2 ckpt [102,108); work to mark 200 at t=208, L1 ckpt [208,210),
+        # L2 ckpt [210,216) -- fail at 212, mid-L2-checkpoint at mark 200.
+        trace = [(212.0, 2)]
+        result = simulate(_config(), seed=0, injector=ScriptedFailures(trace))
+        # rollback to the completed L2 checkpoint at mark 100: the L1
+        # checkpoint at 200 is destroyed, the L2 one never finished.
+        assert result.portions["rollback"] == pytest.approx(100.0)
+        assert result.completed
+
+
+class TestDegenerateTimings:
+    def test_failure_at_time_zero(self):
+        trace = [(0.0, 1)]
+        result = simulate(_config(), seed=0, injector=ScriptedFailures(trace))
+        assert result.completed
+        assert result.failures_per_level == (1, 0)
+        # nothing to roll back
+        assert result.portions["rollback"] == 0.0
+
+    def test_zero_cost_checkpoints(self):
+        cfg = _config(checkpoint_costs=(0.0, 0.0), recovery_costs=(0.0, 0.0))
+        result = simulate(cfg, seed=0, injector=ScriptedFailures([]))
+        assert result.wallclock == pytest.approx(400.0)
+        assert result.checkpoints_per_level == (3, 3)
+
+    def test_zero_allocation_period(self):
+        cfg = _config(allocation_period=0.0)
+        trace = [(150.0, 1)]
+        result = simulate(cfg, seed=0, injector=ScriptedFailures(trace))
+        assert result.portions["restart"] == pytest.approx(2.0)  # recovery only
+
+    def test_simultaneous_failures(self):
+        """Two failures at the identical instant: both processed, the
+        second lands during (and restarts) the first recovery."""
+        trace = [(150.0, 1), (150.0, 2)]
+        result = simulate(_config(), seed=0, injector=ScriptedFailures(trace))
+        assert result.failures_per_level == (1, 1)
+        assert result.completed
+
+    def test_failure_exactly_at_mark_progress(self):
+        """A failure exactly when work reaches a mark (checkpoint not yet
+        started) loses the whole interval behind it."""
+        # work reaches mark 100 at t=100 exactly
+        trace = [(100.0, 1)]
+        result = simulate(_config(), seed=0, injector=ScriptedFailures(trace))
+        assert result.completed
+        assert result.portions["rollback"] == pytest.approx(100.0)
+
+
+class TestBackToBackFailures:
+    def test_rapid_failure_storm_eventually_completes(self):
+        """A burst of failures in quick succession is survived."""
+        trace = [(50.0 + i * 0.5, 1) for i in range(20)]
+        result = simulate(_config(), seed=0, injector=ScriptedFailures(trace))
+        assert result.completed
+        assert result.failures_per_level == (20, 0)
+        total = sum(result.portions.values())
+        assert total == pytest.approx(result.wallclock)

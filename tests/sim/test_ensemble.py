@@ -1,0 +1,55 @@
+"""Tests for ensemble running."""
+
+import numpy as np
+import pytest
+
+from repro.failures.distributions import WeibullArrivals
+from repro.sim.config import SimulationConfig
+from repro.sim.ensemble import run_ensemble
+
+
+@pytest.fixture
+def cfg():
+    return SimulationConfig(
+        productive_seconds=2_000.0,
+        intervals=(10, 4, 2, 2),
+        checkpoint_costs=(1.0, 2.0, 4.0, 8.0),
+        recovery_costs=(1.0, 2.0, 4.0, 8.0),
+        failure_rates=(1e-3, 5e-4, 2e-4, 1e-4),
+        allocation_period=10.0,
+        jitter=0.3,
+    )
+
+
+def test_requested_run_count(cfg):
+    ens = run_ensemble(cfg, n_runs=7, seed=0)
+    assert ens.n_runs == 7
+
+
+def test_runs_are_distinct(cfg):
+    ens = run_ensemble(cfg, n_runs=10, seed=0)
+    wallclocks = ens.wallclocks()
+    assert len(np.unique(wallclocks)) > 1
+
+
+def test_reproducible_from_root_seed(cfg):
+    a = run_ensemble(cfg, n_runs=5, seed=123)
+    b = run_ensemble(cfg, n_runs=5, seed=123)
+    assert np.array_equal(a.wallclocks(), b.wallclocks())
+
+
+def test_different_seeds_differ(cfg):
+    a = run_ensemble(cfg, n_runs=5, seed=1)
+    b = run_ensemble(cfg, n_runs=5, seed=2)
+    assert not np.array_equal(a.wallclocks(), b.wallclocks())
+
+
+def test_alternative_process_supported(cfg):
+    ens = run_ensemble(cfg, n_runs=5, seed=0, process=WeibullArrivals(0.7))
+    assert ens.n_runs == 5
+    assert ens.mean_wallclock > 2_000.0
+
+
+def test_invalid_run_count(cfg):
+    with pytest.raises(ValueError):
+        run_ensemble(cfg, n_runs=0)

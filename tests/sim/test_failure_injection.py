@@ -1,0 +1,84 @@
+"""Tests for failure injection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.failure_injection import FailureInjector, ScriptedFailures
+
+
+class TestInjector:
+    def test_chronological_pops(self):
+        injector = FailureInjector([1e-3, 5e-4], seed=0)
+        times = [injector.pop()[0] for _ in range(50)]
+        assert times == sorted(times)
+
+    def test_levels_one_based(self):
+        injector = FailureInjector([1e-3, 1e-3], seed=1)
+        levels = {injector.pop()[1] for _ in range(100)}
+        assert levels == {1, 2}
+
+    def test_zero_rate_level_never_fires(self):
+        injector = FailureInjector([1e-3, 0.0], seed=2)
+        levels = {injector.pop()[1] for _ in range(100)}
+        assert levels == {1}
+
+    def test_all_zero_rates(self):
+        injector = FailureInjector([0.0, 0.0], seed=3)
+        t, _ = injector.peek()
+        assert math.isinf(t)
+        with pytest.raises(RuntimeError):
+            injector.pop()
+
+    def test_empirical_rate(self):
+        rate = 1e-2
+        injector = FailureInjector([rate], seed=4)
+        n = 5_000
+        last = 0.0
+        for _ in range(n):
+            last, _ = injector.pop()
+        assert n / last == pytest.approx(rate, rel=0.05)
+
+    def test_reproducible(self):
+        a = FailureInjector([1e-3], seed=7)
+        b = FailureInjector([1e-3], seed=7)
+        for _ in range(10):
+            assert a.pop() == b.pop()
+
+    def test_peek_does_not_consume(self):
+        injector = FailureInjector([1e-3], seed=8)
+        assert injector.peek() == injector.peek()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureInjector([-1e-3])
+        with pytest.raises(ValueError):
+            FailureInjector([])
+
+
+class TestScripted:
+    def test_serves_fixed_sequence(self):
+        scripted = ScriptedFailures([(1.0, 2), (5.0, 1)])
+        assert scripted.pop() == (1.0, 2)
+        assert scripted.pop() == (5.0, 1)
+        assert math.isinf(scripted.peek()[0])
+
+    def test_accepts_records(self):
+        from repro.failures.traces import FailureEventRecord
+
+        scripted = ScriptedFailures([FailureEventRecord(3.0, 4)])
+        assert scripted.pop() == (3.0, 4)
+
+    def test_exhausted_pop_raises(self):
+        scripted = ScriptedFailures([])
+        with pytest.raises(RuntimeError):
+            scripted.pop()
+
+    def test_non_chronological_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedFailures([(5.0, 1), (1.0, 1)])
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedFailures([(1.0, 0)])

@@ -1,0 +1,77 @@
+"""Tests for SimResult and EnsembleResult."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import EnsembleResult, SimResult
+
+
+def _result(wallclock=1_000.0, completed=True):
+    return SimResult(
+        wallclock=wallclock,
+        portions={
+            "productive": wallclock * 0.7,
+            "checkpoint": wallclock * 0.1,
+            "restart": wallclock * 0.05,
+            "rollback": wallclock * 0.15,
+        },
+        failures_per_level=(3, 2, 1, 0),
+        checkpoints_per_level=(9, 4, 1, 1),
+        completed=completed,
+    )
+
+
+class TestSimResult:
+    def test_total_failures(self):
+        assert _result().total_failures == 6
+
+    def test_efficiency(self):
+        r = _result(wallclock=2_000.0)
+        # (1e6 core-s / 2000 s) / 1000 cores = 0.5
+        assert r.efficiency(1e6, 1_000.0) == pytest.approx(0.5)
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            _result().efficiency(1e6, 0.0)
+
+    def test_missing_portion_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            SimResult(
+                wallclock=1.0,
+                portions={"productive": 1.0},
+                failures_per_level=(0,),
+                checkpoints_per_level=(0,),
+            )
+
+
+class TestEnsemble:
+    def test_statistics(self):
+        ens = EnsembleResult(runs=tuple(_result(w) for w in (900.0, 1_100.0)))
+        assert ens.n_runs == 2
+        assert ens.mean_wallclock == pytest.approx(1_000.0)
+        assert ens.std_wallclock == pytest.approx(np.std([900, 1100], ddof=1))
+        lo, hi = ens.confidence_interval()
+        assert lo < 1_000.0 < hi
+
+    def test_mean_portions(self):
+        ens = EnsembleResult(runs=tuple(_result(w) for w in (1_000.0, 2_000.0)))
+        portions = ens.mean_portions()
+        assert portions["productive"] == pytest.approx(0.7 * 1_500.0)
+
+    def test_single_run_std_zero(self):
+        ens = EnsembleResult(runs=(_result(),))
+        assert ens.std_wallclock == 0.0
+
+    def test_all_completed_flag(self):
+        good = EnsembleResult(runs=(_result(),))
+        assert good.all_completed
+        censored = EnsembleResult(runs=(_result(completed=False),))
+        assert not censored.all_completed
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleResult(runs=())
+
+    def test_mean_efficiency(self):
+        ens = EnsembleResult(runs=(_result(1_000.0), _result(1_000.0)))
+        assert ens.mean_efficiency(1e6, 1_000.0) == pytest.approx(1.0)

@@ -1,0 +1,46 @@
+"""Tests for the model-to-simulator bridge."""
+
+import pytest
+
+from repro.core.solutions import ml_opt_scale
+from repro.sim.runner import config_from_solution, simulate_solution
+
+
+def test_config_resolved_at_solution_scale(small_params):
+    solution = ml_opt_scale(small_params)
+    config = config_from_solution(small_params, solution)
+    n = solution.scale_rounded()
+    assert config.productive_seconds == pytest.approx(
+        small_params.productive_time(n)
+    )
+    assert config.intervals == solution.intervals_rounded()
+    assert config.checkpoint_costs == tuple(
+        small_params.costs.checkpoint_costs(n)
+    )
+    assert config.failure_rates == tuple(
+        small_params.rates.rates_per_second(n)
+    )
+    assert config.allocation_period == small_params.allocation_period
+
+
+def test_simulated_wallclock_near_model_prediction(small_params):
+    """The simulator's mean stays in the neighbourhood of the analytic
+    E(T_w) (the model is first-order, so agreement is loose but real)."""
+    solution = ml_opt_scale(small_params)
+    ensemble = simulate_solution(small_params, solution, n_runs=30, seed=5)
+    assert ensemble.mean_wallclock == pytest.approx(
+        solution.expected_wallclock, rel=0.35
+    )
+    assert ensemble.all_completed
+
+
+def test_max_wallclock_propagated(small_params):
+    solution = ml_opt_scale(small_params)
+    config = config_from_solution(small_params, solution, max_wallclock=1e6)
+    assert config.max_wallclock == 1e6
+
+
+def test_level_mismatch_rejected(small_params):
+    solution = ml_opt_scale(small_params)
+    with pytest.raises(ValueError):
+        config_from_solution(small_params.single_level(), solution)

@@ -1,0 +1,75 @@
+"""Tests for the merged checkpoint schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.schedule import CheckpointSchedule
+
+
+def test_counts_match_formula_21():
+    """Level i contributes exactly x_i - 1 scheduled checkpoints."""
+    sched = CheckpointSchedule.build(1_000.0, (10, 5, 2, 1))
+    counts = sched.counts_per_level(4)
+    assert counts.tolist() == [9, 4, 1, 0]
+    assert sched.num_marks == 14
+
+
+def test_equidistant_positions():
+    sched = CheckpointSchedule.build(100.0, (4,))
+    assert np.allclose(sched.progress, [25.0, 50.0, 75.0])
+
+
+def test_no_mark_at_completion():
+    sched = CheckpointSchedule.build(100.0, (4, 2))
+    assert np.all(sched.progress < 100.0)
+
+
+def test_merged_and_sorted():
+    sched = CheckpointSchedule.build(120.0, (4, 3))
+    assert np.all(np.diff(sched.progress) >= 0)
+    # marks: level1 at 30,60,90; level2 at 40,80
+    assert sched.progress.tolist() == [30.0, 40.0, 60.0, 80.0, 90.0]
+    assert sched.level.tolist() == [1, 2, 1, 2, 1]
+
+
+def test_coincident_marks_ordered_by_level():
+    sched = CheckpointSchedule.build(100.0, (4, 4))
+    # marks coincide at 25/50/75; lower level first at each position
+    assert sched.level.tolist() == [1, 2, 1, 2, 1, 2]
+
+
+def test_marks_after():
+    sched = CheckpointSchedule.build(100.0, (4,))
+    assert sched.marks_after(0.0) == 0
+    assert sched.marks_after(25.0) == 1  # strictly beyond
+    assert sched.marks_after(99.0) == 3
+
+
+def test_single_interval_no_marks():
+    sched = CheckpointSchedule.build(100.0, (1, 1))
+    assert sched.num_marks == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CheckpointSchedule.build(0.0, (2,))
+    with pytest.raises(ValueError):
+        CheckpointSchedule.build(10.0, (0,))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    intervals=st.lists(
+        st.integers(min_value=1, max_value=50), min_size=1, max_size=4
+    ),
+    productive=st.floats(min_value=10.0, max_value=1e6),
+)
+def test_schedule_invariants(intervals, productive):
+    sched = CheckpointSchedule.build(productive, tuple(intervals))
+    assert sched.num_marks == sum(x - 1 for x in intervals)
+    assert np.all(sched.progress > 0)
+    assert np.all(sched.progress < productive)
+    assert np.all(np.diff(sched.progress) >= -1e-9)
+    counts = sched.counts_per_level(len(intervals))
+    assert counts.tolist() == [x - 1 for x in intervals]

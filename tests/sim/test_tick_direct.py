@@ -1,0 +1,71 @@
+"""Direct unit tests of the literal tick engine (beyond equivalence)."""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.failure_injection import ScriptedFailures
+from repro.sim.tick import simulate_ticks
+
+
+def _config(**overrides):
+    defaults = dict(
+        productive_seconds=300.0,
+        intervals=(3, 2),
+        checkpoint_costs=(2.0, 5.0),
+        recovery_costs=(2.0, 5.0),
+        failure_rates=(0.0, 0.0),
+        allocation_period=4.0,
+        jitter=0.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def test_failure_free_timeline_exact():
+    # marks: L1 at 100, 200; L2 at 150 -> wallclock = 300 + 2+2+5
+    result = simulate_ticks(_config(), seed=0, injector=ScriptedFailures([]))
+    assert result.wallclock == pytest.approx(309.0)
+    assert result.checkpoints_per_level == (2, 1)
+    assert result.completed
+
+
+def test_portions_partition_wallclock():
+    trace = [(120.0, 1), (250.0, 2)]
+    result = simulate_ticks(_config(), seed=0, injector=ScriptedFailures(trace))
+    assert sum(result.portions.values()) == pytest.approx(result.wallclock)
+    assert result.failures_per_level == (1, 1)
+
+
+def test_level2_failure_erases_level1_checkpoint():
+    # L1 ckpt at 100 completes at t=102; L2 failure at t=110 (work phase):
+    # no L2 checkpoint exists -> restart from 0 despite the valid-looking
+    # L1 checkpoint, which lived on the crashed hardware.
+    trace = [(110.0, 2)]
+    result = simulate_ticks(_config(), seed=0, injector=ScriptedFailures(trace))
+    assert result.portions["rollback"] >= 100.0
+    assert result.completed
+
+
+def test_fractional_costs_not_quantized():
+    cfg = _config(checkpoint_costs=(0.25, 0.75), recovery_costs=(1.0, 1.0))
+    result = simulate_ticks(cfg, seed=0, injector=ScriptedFailures([]))
+    assert result.wallclock == pytest.approx(300.0 + 2 * 0.25 + 0.75)
+
+
+def test_censoring_at_cap():
+    cfg = _config(
+        intervals=(1, 2),
+        checkpoint_costs=(1.0, 1_000.0),
+        recovery_costs=(1.0, 1.0),
+        max_wallclock=500.0,
+    )
+    # repeated failures always interrupt the 1000s L2 checkpoint
+    trace = [(float(t), 1) for t in range(160, 10_000, 80)]
+    result = simulate_ticks(cfg, seed=0, injector=ScriptedFailures(trace))
+    assert not result.completed
+    assert result.wallclock <= 501.0
+
+
+def test_dt_validation():
+    with pytest.raises(ValueError):
+        simulate_ticks(_config(), dt=-1.0)

@@ -1,0 +1,55 @@
+"""Tests for the Amdahl's-law speedup model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.speedup.amdahl import AmdahlSpeedup
+
+
+def test_single_core_speedup_is_one():
+    assert AmdahlSpeedup(0.1).speedup(1.0) == pytest.approx(1.0)
+
+
+def test_ceiling():
+    model = AmdahlSpeedup(serial_fraction=0.05)
+    assert model.asymptotic_speedup == pytest.approx(20.0)
+    assert model.speedup(1e9) < 20.0
+
+
+def test_fully_parallel_ceiling_infinite():
+    assert math.isinf(AmdahlSpeedup(0.0).asymptotic_speedup)
+
+
+def test_derivative_positive_and_decreasing():
+    model = AmdahlSpeedup(0.1)
+    d = model.derivative(np.array([1.0, 10.0, 100.0]))
+    assert np.all(d > 0)
+    assert np.all(np.diff(d) < 0)
+
+
+def test_derivative_matches_finite_difference():
+    model = AmdahlSpeedup(0.07)
+    n = 50.0
+    h = 1e-5
+    fd = (model.speedup(n + h) - model.speedup(n - h)) / (2 * h)
+    assert model.derivative(n) == pytest.approx(fd, rel=1e-5)
+
+
+def test_invalid_serial_fraction():
+    with pytest.raises(ValueError):
+        AmdahlSpeedup(1.0)
+    with pytest.raises(ValueError):
+        AmdahlSpeedup(-0.1)
+
+
+@given(
+    s=st.floats(min_value=0.001, max_value=0.9),
+    n=st.floats(min_value=1.0, max_value=1e6),
+)
+def test_bounded_by_ceiling_and_n(s, n):
+    model = AmdahlSpeedup(s)
+    g = float(model.speedup(n))
+    assert 0 < g <= min(n, 1.0 / s) + 1e-9

@@ -1,0 +1,61 @@
+"""Tests for the Fig. 2 reference datasets."""
+
+import numpy as np
+import pytest
+
+from repro.speedup.datasets import (
+    EDDY_PEAK_SCALE,
+    HEAT_KAPPA,
+    HEAT_RAW_POINT,
+    heat_distribution_speedup_points,
+    nek5000_eddy_speedup_points,
+)
+from repro.speedup.fitting import fit_quadratic_speedup
+
+
+class TestHeatDataset:
+    def test_deterministic_for_seed(self):
+        a = heat_distribution_speedup_points(seed=1)
+        b = heat_distribution_speedup_points(seed=1)
+        assert np.array_equal(a[1], b[1])
+
+    def test_includes_paper_raw_point(self):
+        scales, speedups = heat_distribution_speedup_points()
+        idx = np.where(scales == HEAT_RAW_POINT[0])[0]
+        assert idx.size == 1
+        assert speedups[idx[0]] == HEAT_RAW_POINT[1]
+
+    def test_fit_recovers_paper_kappa(self):
+        scales, speedups = heat_distribution_speedup_points()
+        fit = fit_quadratic_speedup(scales, speedups)
+        assert fit.kappa == pytest.approx(HEAT_KAPPA, rel=0.1)
+
+    def test_scales_sorted_and_in_fusion_range(self):
+        scales, _ = heat_distribution_speedup_points()
+        assert np.all(np.diff(scales) > 0)
+        assert scales.max() <= 1024
+
+    def test_noise_bounds_validated(self):
+        with pytest.raises(ValueError):
+            heat_distribution_speedup_points(noise=0.7)
+
+
+class TestEddyDataset:
+    def test_rise_then_fall_shape(self):
+        scales, speedups = nek5000_eddy_speedup_points(noise=0.0)
+        peak_idx = int(np.argmax(speedups))
+        assert scales[peak_idx] == pytest.approx(EDDY_PEAK_SCALE)
+        # strictly lower at the largest scale than at the peak
+        assert speedups[-1] < speedups[peak_idx]
+
+    def test_initial_range_fit_succeeds(self):
+        scales, speedups = nek5000_eddy_speedup_points()
+        fit = fit_quadratic_speedup(scales, speedups)
+        # fitted on the rising range only
+        assert fit.n_points_used <= np.sum(scales <= EDDY_PEAK_SCALE) + 1
+        assert 50.0 <= fit.ideal_scale <= 200.0
+
+    def test_deterministic_for_seed(self):
+        a = nek5000_eddy_speedup_points(seed=5)
+        b = nek5000_eddy_speedup_points(seed=5)
+        assert np.array_equal(a[1], b[1])

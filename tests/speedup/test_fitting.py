@@ -1,0 +1,106 @@
+"""Tests for quadratic speedup fitting (Fig. 2 procedure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.speedup.fitting import (
+    fit_quadratic_speedup,
+    select_initial_range,
+)
+from repro.speedup.quadratic import QuadraticSpeedup
+
+
+class TestSelectInitialRange:
+    def test_monotone_data_kept_whole(self):
+        scales = np.array([1.0, 2.0, 4.0, 8.0])
+        speedups = np.array([1.0, 1.9, 3.5, 6.0])
+        s, v = select_initial_range(scales, speedups)
+        assert s.size == 4
+
+    def test_rise_then_fall_truncated_at_peak(self):
+        scales = np.array([10.0, 50.0, 100.0, 150.0, 200.0])
+        speedups = np.array([9.0, 40.0, 55.0, 50.0, 30.0])
+        s, v = select_initial_range(scales, speedups)
+        assert s.tolist() == [10.0, 50.0, 100.0]
+        assert v[-1] == 55.0
+
+    def test_unsorted_input_sorted_first(self):
+        scales = np.array([100.0, 10.0, 50.0])
+        speedups = np.array([55.0, 9.0, 40.0])
+        s, _ = select_initial_range(scales, speedups)
+        assert np.all(np.diff(s) > 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_initial_range(np.array([]), np.array([]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            select_initial_range(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestFit:
+    def test_exact_recovery_from_clean_data(self):
+        true = QuadraticSpeedup(kappa=0.46, ideal_scale=100_000.0)
+        scales = np.linspace(1_000.0, 90_000.0, 20)
+        fit = fit_quadratic_speedup(scales, true.speedup(scales))
+        assert fit.kappa == pytest.approx(0.46, rel=1e-8)
+        assert fit.ideal_scale == pytest.approx(100_000.0, rel=1e-6)
+        assert fit.residual_rms < 1e-6
+
+    def test_noisy_recovery_close(self):
+        rng = np.random.default_rng(3)
+        true = QuadraticSpeedup(kappa=0.9, ideal_scale=100.0)
+        scales = np.linspace(5.0, 95.0, 15)
+        noisy = true.speedup(scales) * (1 + rng.normal(0, 0.02, 15))
+        fit = fit_quadratic_speedup(scales, noisy)
+        assert fit.kappa == pytest.approx(0.9, rel=0.15)
+
+    def test_initial_range_restriction_applied(self):
+        """Fig. 2(b): rise-then-fall data is fitted on the rising range."""
+        true = QuadraticSpeedup(kappa=0.9, ideal_scale=100.0)
+        rising = np.linspace(5.0, 100.0, 10)
+        falling = np.array([150.0, 200.0])
+        scales = np.concatenate([rising, falling])
+        speedups = np.concatenate(
+            [true.speedup(rising), [30.0, 20.0]]  # decay unlike the quadratic
+        )
+        fit = fit_quadratic_speedup(scales, speedups)
+        assert fit.n_points_used == 10
+        assert fit.kappa == pytest.approx(0.9, rel=1e-6)
+
+    def test_without_restriction_uses_all_points(self):
+        true = QuadraticSpeedup(kappa=0.9, ideal_scale=100.0)
+        scales = np.linspace(5.0, 150.0, 12)
+        fit = fit_quadratic_speedup(
+            scales, true.speedup(scales), restrict_to_initial_range=False
+        )
+        assert fit.n_points_used == 12
+
+    def test_linear_data_rejected(self):
+        scales = np.linspace(1.0, 100.0, 10)
+        with pytest.raises(ValueError, match="no interior speedup maximum"):
+            fit_quadratic_speedup(scales, 0.5 * scales)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_quadratic_speedup([10.0], [5.0])
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            fit_quadratic_speedup([-1.0, 2.0], [1.0, 2.0])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    kappa=st.floats(min_value=0.1, max_value=1.5),
+    ideal=st.floats(min_value=500.0, max_value=1e6),
+)
+def test_fit_is_left_inverse_of_generation(kappa, ideal):
+    """Fitting clean curve samples recovers the generating parameters."""
+    true = QuadraticSpeedup(kappa=kappa, ideal_scale=ideal)
+    scales = np.linspace(ideal / 50.0, 0.9 * ideal, 12)
+    fit = fit_quadratic_speedup(scales, true.speedup(scales))
+    assert fit.kappa == pytest.approx(kappa, rel=1e-5)
+    assert fit.ideal_scale == pytest.approx(ideal, rel=1e-4)

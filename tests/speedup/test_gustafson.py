@@ -1,0 +1,35 @@
+"""Tests for the Gustafson-Barsis speedup model."""
+
+import numpy as np
+import pytest
+
+from repro.speedup.gustafson import GustafsonSpeedup
+
+
+def test_single_core_is_one():
+    assert GustafsonSpeedup(0.2).speedup(1.0) == pytest.approx(1.0)
+
+
+def test_linear_growth_slope():
+    model = GustafsonSpeedup(serial_fraction=0.2)
+    assert model.derivative(10.0) == pytest.approx(0.8)
+    # g(N) = N - s(N-1)
+    assert model.speedup(100.0) == pytest.approx(100.0 - 0.2 * 99.0)
+
+
+def test_vector_derivative():
+    model = GustafsonSpeedup(0.3)
+    d = model.derivative(np.array([1.0, 5.0]))
+    assert np.allclose(d, 0.7)
+
+
+def test_zero_serial_is_perfect_scaling():
+    model = GustafsonSpeedup(0.0)
+    assert model.speedup(64.0) == pytest.approx(64.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        GustafsonSpeedup(1.0)
+    with pytest.raises(ValueError):
+        GustafsonSpeedup(0.5, max_scale=-5.0)

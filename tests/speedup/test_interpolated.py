@@ -1,0 +1,98 @@
+"""Tests for the interpolated speedup model."""
+
+import numpy as np
+import pytest
+
+from repro.speedup.interpolated import InterpolatedSpeedup
+from repro.speedup.quadratic import QuadraticSpeedup
+
+
+@pytest.fixture
+def quad_points():
+    true = QuadraticSpeedup(kappa=0.5, ideal_scale=10_000.0)
+    scales = np.linspace(500.0, 10_000.0, 12)
+    return scales, np.asarray(true.speedup(scales)), true
+
+
+class TestInterpolation:
+    def test_passes_through_measured_points(self, quad_points):
+        scales, speedups, _ = quad_points
+        model = InterpolatedSpeedup(scales, speedups)
+        for s, v in zip(scales, speedups):
+            assert float(model.speedup(s)) == pytest.approx(v, rel=1e-12)
+
+    def test_origin_anchored(self, quad_points):
+        scales, speedups, _ = quad_points
+        model = InterpolatedSpeedup(scales, speedups)
+        assert float(model.speedup(0.0)) == 0.0
+
+    def test_close_to_generator_between_points(self, quad_points):
+        scales, speedups, true = quad_points
+        model = InterpolatedSpeedup(scales, speedups)
+        probe = np.linspace(600.0, 9_500.0, 40)
+        ours = np.asarray(model.speedup(probe))
+        theirs = np.asarray(true.speedup(probe))
+        assert np.max(np.abs(ours - theirs) / theirs) < 0.02
+
+    def test_derivative_positive_below_peak(self, quad_points):
+        scales, speedups, _ = quad_points
+        model = InterpolatedSpeedup(scales, speedups)
+        probe = np.linspace(600.0, 9_000.0, 20)
+        assert np.all(np.asarray(model.derivative(probe)) > 0)
+
+    def test_flat_beyond_peak(self, quad_points):
+        scales, speedups, _ = quad_points
+        model = InterpolatedSpeedup(scales, speedups)
+        assert float(model.derivative(model.ideal_scale + 1)) == 0.0
+        assert float(model.speedup(model.ideal_scale * 2)) == pytest.approx(
+            model.peak_speedup
+        )
+
+    def test_rise_then_fall_truncated(self):
+        scales = np.array([10.0, 50.0, 100.0, 150.0, 200.0])
+        speedups = np.array([9.0, 40.0, 55.0, 50.0, 30.0])
+        model = InterpolatedSpeedup(scales, speedups)
+        assert model.ideal_scale == 100.0
+        assert model.peak_speedup == 55.0
+
+
+class TestWithSolver:
+    def test_plugs_into_algorithm1(self, small_params, quad_points):
+        from dataclasses import replace
+        from repro.core.algorithm1 import optimize
+
+        scales, speedups, _ = quad_points
+        params = replace(
+            small_params, speedup=InterpolatedSpeedup(scales, speedups)
+        )
+        solution = optimize(params).solution
+        assert 0 < solution.scale <= 10_000.0
+
+    def test_matches_quadratic_optimum(self, small_params, quad_points):
+        """On quadratic-generated data, the interpolated model's optimum
+        lands near the quadratic model's."""
+        from dataclasses import replace
+        from repro.core.algorithm1 import optimize
+
+        scales, speedups, true = quad_points
+        interp_solution = optimize(
+            replace(small_params, speedup=InterpolatedSpeedup(scales, speedups))
+        ).solution
+        quad_solution = optimize(replace(small_params, speedup=true)).solution
+        assert interp_solution.scale == pytest.approx(
+            quad_solution.scale, rel=0.1
+        )
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            InterpolatedSpeedup([1.0, 2.0], [1.0, 2.0])
+
+    def test_negative_scale(self):
+        with pytest.raises(ValueError):
+            InterpolatedSpeedup([-1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+
+    def test_negative_speedup(self):
+        with pytest.raises(ValueError):
+            InterpolatedSpeedup([1.0, 2.0, 3.0], [1.0, -2.0, 3.0])

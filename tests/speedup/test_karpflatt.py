@@ -1,0 +1,45 @@
+"""Tests for the Karp-Flatt metric."""
+
+import numpy as np
+import pytest
+
+from repro.speedup.amdahl import AmdahlSpeedup
+from repro.speedup.karpflatt import karp_flatt_metric
+
+
+def test_recovers_amdahl_serial_fraction():
+    """On exact Amdahl data the metric returns the serial fraction."""
+    s = 0.08
+    model = AmdahlSpeedup(s)
+    for n in (2.0, 16.0, 512.0):
+        e = karp_flatt_metric(float(model.speedup(n)), n)
+        assert e == pytest.approx(s, rel=1e-9)
+
+
+def test_perfect_scaling_gives_zero():
+    assert karp_flatt_metric(64.0, 64.0) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_rising_metric_signals_overhead():
+    """Quadratic-curve data shows growing experimentally-determined serial
+    fraction — the regime Formula (12) models."""
+    from repro.speedup.quadratic import QuadraticSpeedup
+
+    # For Formula (12), e(N) = N / ((2 N^(*) - N)(N - 1)), increasing for
+    # N beyond ~sqrt(2 N^(*)); probe that regime.
+    model = QuadraticSpeedup(kappa=1.0, ideal_scale=1_000.0)
+    scales = np.array([100.0, 500.0, 900.0])
+    e = karp_flatt_metric(model.speedup(scales), scales)
+    assert np.all(np.diff(e) > 0)
+
+
+def test_vectorized():
+    out = karp_flatt_metric(np.array([2.0, 4.0]), np.array([4.0, 8.0]))
+    assert out.shape == (2,)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        karp_flatt_metric(2.0, 1.0)  # N must exceed 1
+    with pytest.raises(ValueError):
+        karp_flatt_metric(-1.0, 4.0)

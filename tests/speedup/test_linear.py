@@ -1,0 +1,45 @@
+"""Tests for the linear speedup model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.speedup.linear import LinearSpeedup
+
+
+def test_speedup_and_derivative():
+    model = LinearSpeedup(kappa=0.8)
+    assert model.speedup(100.0) == pytest.approx(80.0)
+    assert model.derivative(12345.0) == pytest.approx(0.8)
+
+
+def test_unbounded_ideal_scale_by_default():
+    assert math.isinf(LinearSpeedup(1.0).ideal_scale)
+
+
+def test_max_scale_cap():
+    model = LinearSpeedup(1.0, max_scale=1e6)
+    assert model.ideal_scale == 1e6
+
+
+def test_vector_derivative_shape():
+    model = LinearSpeedup(0.5)
+    d = model.derivative(np.array([1.0, 2.0, 3.0]))
+    assert np.all(np.asarray(d) == 0.5)
+
+
+def test_efficiency_constant():
+    model = LinearSpeedup(kappa=0.7)
+    assert model.efficiency(10.0) == pytest.approx(0.7)
+    assert model.efficiency(1e6) == pytest.approx(0.7)
+
+
+def test_invalid_kappa():
+    with pytest.raises(ValueError):
+        LinearSpeedup(kappa=-1.0)
+
+
+def test_invalid_max_scale():
+    with pytest.raises(ValueError):
+        LinearSpeedup(1.0, max_scale=0.0)

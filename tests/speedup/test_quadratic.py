@@ -1,0 +1,94 @@
+"""Tests for the paper's quadratic speedup curve (Formula 12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.speedup.quadratic import QuadraticSpeedup
+
+
+@pytest.fixture
+def heat():
+    """The paper's Heat Distribution curve."""
+    return QuadraticSpeedup(kappa=0.46, ideal_scale=100_000.0)
+
+
+class TestShape:
+    def test_passes_through_origin(self, heat):
+        assert heat.speedup(0.0) == 0.0
+
+    def test_slope_at_origin_is_kappa(self, heat):
+        assert heat.derivative(0.0) == pytest.approx(0.46)
+
+    def test_peak_at_ideal_scale(self, heat):
+        assert heat.derivative(100_000.0) == pytest.approx(0.0, abs=1e-12)
+        assert heat.peak_speedup == pytest.approx(0.46 * 100_000.0 / 2.0)
+
+    def test_symmetric_about_ideal_scale(self, heat):
+        assert heat.speedup(90_000.0) == pytest.approx(heat.speedup(110_000.0))
+
+    def test_paper_quoted_measurement(self, heat):
+        # "the speedup is 77 when using 160 cores" (kappa estimate ~0.48)
+        assert heat.speedup(160.0) == pytest.approx(73.5, rel=0.01)
+
+    def test_vectorized(self, heat):
+        n = np.array([100.0, 1000.0, 10_000.0])
+        out = heat.speedup(n)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)  # increasing below the peak
+
+
+class TestProductiveTime:
+    def test_matches_te_over_g(self, heat):
+        te = 4_000.0 * 86_400.0
+        n = 81_746.0
+        assert heat.productive_time(te, n) == pytest.approx(te / heat.speedup(n))
+
+    def test_efficiency_decreasing(self, heat):
+        eff = heat.efficiency(np.array([10.0, 1_000.0, 50_000.0]))
+        assert np.all(np.diff(eff) < 0)
+
+
+class TestFromSingleMeasurement:
+    def test_recovers_kappa(self):
+        true = QuadraticSpeedup(kappa=0.46, ideal_scale=100_000.0)
+        est = QuadraticSpeedup.from_single_measurement(
+            160.0, float(true.speedup(160.0)), 100_000.0
+        )
+        assert est.kappa == pytest.approx(0.46, rel=1e-9)
+
+    def test_paper_estimate_example(self):
+        # speedup 77 at 160 cores -> kappa ~ 0.48, "close to the real 0.46"
+        est = QuadraticSpeedup.from_single_measurement(160.0, 77.0, 100_000.0)
+        assert est.kappa == pytest.approx(0.482, abs=0.002)
+
+    def test_rejects_scale_beyond_double_ideal(self):
+        with pytest.raises(ValueError):
+            QuadraticSpeedup.from_single_measurement(250_000.0, 10.0, 100_000.0)
+
+
+class TestValidation:
+    def test_bad_kappa(self):
+        with pytest.raises(ValueError):
+            QuadraticSpeedup(kappa=0.0, ideal_scale=100.0)
+
+    def test_bad_ideal_scale(self):
+        with pytest.raises(ValueError):
+            QuadraticSpeedup(kappa=0.5, ideal_scale=-1.0)
+
+    def test_validate_scale_beyond_ideal(self, heat):
+        with pytest.raises(ValueError):
+            heat.validate_scale(200_000.0)
+
+
+@given(
+    kappa=st.floats(min_value=0.05, max_value=2.0),
+    ideal=st.floats(min_value=100.0, max_value=1e7),
+    frac=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_speedup_increasing_below_peak(kappa, ideal, frac):
+    """g is strictly increasing on (0, N^(*)) for any parameters."""
+    model = QuadraticSpeedup(kappa=kappa, ideal_scale=ideal)
+    n = frac * ideal
+    assert model.derivative(n) > 0
+    assert model.speedup(n) < model.peak_speedup

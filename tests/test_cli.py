@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_optimize_prints_strategy_table(capsys):
+    code = main(
+        [
+            "optimize",
+            "--te-core-days",
+            "200",
+            "--case",
+            "24-12-6-3",
+            "--ideal-scale",
+            "2000",
+            "--allocation",
+            "30",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    for strategy in ("ml-opt-scale", "sl-opt-scale", "ml-ori-scale", "sl-ori-scale"):
+        assert strategy in out
+
+
+def test_simulate_reports_replay(capsys):
+    code = main(
+        [
+            "simulate",
+            "--te-core-days",
+            "200",
+            "--case",
+            "24-12-6-3",
+            "--ideal-scale",
+            "2000",
+            "--allocation",
+            "30",
+            "--runs",
+            "3",
+            "--seed",
+            "1",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "replayed over 3 runs" in out
+    assert "model predicted" in out
+
+
+def test_experiment_list(capsys):
+    code = main(["experiment", "--list"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fig3" in out and "table4" in out
+
+
+def test_experiment_runs_fig3(capsys):
+    code = main(["experiment", "fig3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fig3" in out
+
+
+def test_experiment_unknown_id(capsys):
+    code = main(["experiment", "fig99"])
+    assert code == 2
+    assert "available" in capsys.readouterr().err
+
+
+def test_module_entry_point():
+    import repro.__main__  # noqa: F401 - importable without running
+
+
+def test_missing_subcommand_exits():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,61 @@
+"""Public-API surface tests: exports exist, are documented, and cohere."""
+
+import inspect
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize("name", sorted(set(repro.__all__) - {"__version__"}))
+def test_every_export_exists_and_is_documented(name):
+    obj = getattr(repro, name)
+    doc = inspect.getdoc(obj)
+    assert doc, f"{name} has no docstring"
+    assert len(doc) > 20, f"{name} docstring is vestigial: {doc!r}"
+
+
+def test_all_subpackages_importable():
+    import importlib
+
+    for sub in (
+        "core",
+        "speedup",
+        "costs",
+        "failures",
+        "cluster",
+        "fti",
+        "apps",
+        "sim",
+        "funcsim",
+        "analysis",
+        "experiments",
+        "util",
+        "cli",
+    ):
+        module = importlib.import_module(f"repro.{sub}")
+        assert inspect.getdoc(module), f"repro.{sub} lacks a module docstring"
+
+
+def test_strategy_functions_share_signature_shape():
+    """All four strategies accept ModelParameters and return Solution."""
+    from repro.core.notation import Solution
+
+    for fn in (
+        repro.ml_opt_scale,
+        repro.sl_opt_scale,
+        repro.ml_ori_scale,
+        repro.sl_ori_scale,
+    ):
+        params = inspect.signature(fn).parameters
+        assert "params" in params
+        hints = inspect.signature(fn).return_annotation
+        assert hints in (Solution, "Solution")
+
+
+def test_no_private_names_in_all():
+    assert not [n for n in repro.__all__ if n.startswith("_") and n != "__version__"]

@@ -1,0 +1,95 @@
+"""Fixed-point and bisection helper tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.iteration import (
+    FixedPointDiverged,
+    bisect_root,
+    fixed_point,
+    relative_change,
+)
+
+
+class TestRelativeChange:
+    def test_scalar_small_values_absolute(self):
+        # |old| <= 1: absolute difference
+        assert relative_change(0.5, 0.2) == pytest.approx(0.3)
+
+    def test_scalar_large_values_relative(self):
+        assert relative_change(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_vector_max(self):
+        assert relative_change([1.0, 200.0], [1.0, 100.0]) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_change([1.0, 2.0], [1.0])
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_identity_is_zero(self, x):
+        assert relative_change(x, x) == 0.0
+
+
+class TestFixedPoint:
+    def test_converges_to_sqrt2(self):
+        # Babylonian iteration for sqrt(2)
+        result = fixed_point(lambda x: 0.5 * (x + 2.0 / x), 1.0, tol=1e-12)
+        assert result.value == pytest.approx(math.sqrt(2.0), abs=1e-10)
+        assert result.iterations < 20
+
+    def test_history_recorded(self):
+        result = fixed_point(
+            lambda x: 0.5 * (x + 2.0 / x), 1.0, tol=1e-12, keep_history=True
+        )
+        assert result.history[0] == 1.0
+        assert len(result.history) == result.iterations + 1
+
+    def test_divergence_raises_with_state(self):
+        with pytest.raises(FixedPointDiverged) as excinfo:
+            fixed_point(lambda x: 2.0 * x + 1.0, 1.0, tol=1e-12, max_iter=15)
+        assert excinfo.value.last_value is not None
+
+    def test_vector_iteration(self):
+        # contraction toward (1, 2)
+        target = np.array([1.0, 2.0])
+        result = fixed_point(lambda v: 0.5 * (v + target), np.zeros(2), tol=1e-10)
+        assert np.allclose(result.value, target, atol=1e-8)
+
+    def test_bad_max_iter(self):
+        with pytest.raises(ValueError):
+            fixed_point(lambda x: x, 1.0, max_iter=0)
+
+
+class TestBisect:
+    def test_simple_root(self):
+        root, iterations = bisect_root(lambda x: x - 3.25, 0.0, 10.0, xtol=1e-8)
+        assert root == pytest.approx(3.25, abs=1e-6)
+        assert iterations > 0
+
+    def test_integer_xtol_matches_paper_usage(self):
+        # The paper stops at bracket width 0.5 because scales are integers.
+        root, iterations = bisect_root(lambda x: x - 70_000.0, 0.0, 100_000.0)
+        assert abs(root - 70_000.0) <= 0.5
+        # log2(1e5 / 0.5) ~ 17-18 steps
+        assert iterations <= 20
+
+    def test_exact_endpoint_roots(self):
+        assert bisect_root(lambda x: x, 0.0, 5.0)[0] == 0.0
+        assert bisect_root(lambda x: x - 5.0, 0.0, 5.0)[0] == 5.0
+
+    def test_no_sign_change_rejected(self):
+        with pytest.raises(ValueError):
+            bisect_root(lambda x: x + 10.0, 0.0, 5.0)
+
+    def test_invalid_bracket(self):
+        with pytest.raises(ValueError):
+            bisect_root(lambda x: x, 5.0, 0.0)
+
+    @given(st.floats(min_value=0.1, max_value=99.9))
+    def test_finds_arbitrary_roots(self, target):
+        root, _ = bisect_root(lambda x: x - target, 0.0, 100.0, xtol=1e-6)
+        assert root == pytest.approx(target, abs=1e-4)

@@ -1,0 +1,49 @@
+"""RNG plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_generators
+
+
+def test_as_generator_from_int_is_deterministic():
+    a = as_generator(7).random(5)
+    b = as_generator(7).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_as_generator_passthrough():
+    gen = np.random.default_rng(0)
+    assert as_generator(gen) is gen
+
+
+def test_as_generator_from_seed_sequence():
+    seq = np.random.SeedSequence(42)
+    a = as_generator(seq)
+    assert isinstance(a, np.random.Generator)
+
+
+def test_spawn_generators_independent_and_reproducible():
+    first = [g.random(3) for g in spawn_generators(99, 4)]
+    second = [g.random(3) for g in spawn_generators(99, 4)]
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)
+    # children differ from each other
+    assert not np.array_equal(first[0], first[1])
+
+
+def test_spawn_generators_from_generator():
+    gen = np.random.default_rng(1)
+    children = spawn_generators(gen, 3)
+    assert len(children) == 3
+    draws = [c.random() for c in children]
+    assert len(set(draws)) == 3
+
+
+def test_spawn_zero():
+    assert spawn_generators(0, 0) == []
+
+
+def test_spawn_negative_rejected():
+    with pytest.raises(ValueError):
+        spawn_generators(0, -1)

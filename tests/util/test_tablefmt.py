@@ -1,0 +1,41 @@
+"""ASCII table formatter tests."""
+
+import pytest
+
+from repro.util.tablefmt import format_table
+
+
+def test_basic_layout():
+    out = format_table(["a", "bb"], [[1, 2.5], ["x", "yz"]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, separator, 2 rows
+    assert "a" in lines[0] and "bb" in lines[0]
+    assert set(lines[1]) <= {"-", "+"}
+
+
+def test_title():
+    out = format_table(["c"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_column_width_expands_to_largest_cell():
+    out = format_table(["x"], [["longvalue"]])
+    header = out.splitlines()[0]
+    assert len(header) >= len("longvalue")
+
+
+def test_float_rendering():
+    out = format_table(["v"], [[0.000123], [123456.0], [1.5], [0]])
+    assert "0.000123" in out
+    assert "1.23e+05" in out or "123456" in out or "1.23e+5" in out
+    assert "1.5" in out
+
+
+def test_row_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_ok():
+    out = format_table(["a"], [])
+    assert "a" in out

@@ -1,0 +1,38 @@
+"""Unit-conversion tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import units
+
+
+def test_seconds_per_day():
+    assert units.SECONDS_PER_DAY == 86_400.0
+
+
+def test_days_roundtrip():
+    assert units.seconds_to_days(units.days_to_seconds(3.5)) == pytest.approx(3.5)
+
+
+def test_core_days_conversion():
+    assert units.core_days_to_core_seconds(1.0) == 86_400.0
+    assert units.core_seconds_to_core_days(86_400.0) == 1.0
+
+
+def test_rate_conversion():
+    # 86,400 events/day is one event per second.
+    assert units.per_day_to_per_second(86_400.0) == pytest.approx(1.0)
+    assert units.per_second_to_per_day(1.0) == pytest.approx(86_400.0)
+
+
+def test_paper_workload_magnitude():
+    # 3 million core-days, the Fig. 5 workload, in core-seconds.
+    assert units.core_days_to_core_seconds(3e6) == pytest.approx(2.592e11)
+
+
+@given(st.floats(min_value=1e-6, max_value=1e12, allow_nan=False))
+def test_conversion_roundtrips(value):
+    assert units.days_to_seconds(units.seconds_to_days(value)) == pytest.approx(value)
+    assert units.per_day_to_per_second(
+        units.per_second_to_per_day(value)
+    ) == pytest.approx(value)
