@@ -10,6 +10,10 @@ Environment knobs:
 * ``REPRO_BENCH_RUNS`` — simulation replicas per configuration for the
   Fig. 5/6 and Table IV benches (default 30; the paper uses 100 — set
   ``REPRO_BENCH_RUNS=100`` to match at ~3x the runtime).
+* ``REPRO_JOBS`` — worker budget for the simulation ensembles (default 1
+  = serial, so existing bench artifacts stay byte-identical; results are
+  seed-stable, so any value reproduces the same numbers — only the
+  wall-clock changes).  ``0`` means all cores.
 """
 
 from __future__ import annotations
@@ -25,6 +29,21 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def bench_runs(default: int = 30) -> int:
     """Simulation replicas per configuration (env-overridable)."""
     return int(os.environ.get("REPRO_BENCH_RUNS", default))
+
+
+def bench_jobs(default: int | None = None) -> int | None:
+    """Ensemble worker budget for the simulation benches.
+
+    ``None`` defers to :func:`repro.parallel.executor.resolve_jobs`
+    (which itself reads ``REPRO_JOBS``, defaulting to serial); an
+    explicit ``default`` is used when the variable is unset.
+    """
+    value = os.environ.get("REPRO_JOBS")
+    if value is None:
+        return default
+    from repro.parallel.executor import resolve_jobs
+
+    return resolve_jobs(value)
 
 
 @pytest.fixture

@@ -12,7 +12,7 @@ Shape assertions (paper-vs-measured values live in EXPERIMENTS.md):
   and stay within 20-90 % of the million cores.
 """
 
-from benchmarks.conftest import bench_runs
+from benchmarks.conftest import bench_jobs, bench_runs
 from repro.analysis.tables import portions_table
 from repro.experiments.fig5 import run_fig5
 from repro.util.tablefmt import format_table
@@ -20,7 +20,10 @@ from repro.util.tablefmt import format_table
 
 def test_bench_fig5_and_table3(benchmark, record_result):
     result = benchmark.pedantic(
-        run_fig5, kwargs={"n_runs": bench_runs()}, rounds=1, iterations=1
+        run_fig5,
+        kwargs={"n_runs": bench_runs(), "jobs": bench_jobs()},
+        rounds=1,
+        iterations=1,
     )
 
     sections = []

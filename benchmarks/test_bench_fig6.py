@@ -6,7 +6,7 @@ solutions because the (scale-limited) productive time dominates — quoted as
 contraction against the Fig. 5 workload.
 """
 
-from benchmarks.conftest import bench_runs
+from benchmarks.conftest import bench_jobs, bench_runs
 from repro.analysis.tables import portions_table
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import relative_gain, run_fig6
@@ -16,7 +16,10 @@ def test_bench_fig6(benchmark, record_result):
     cases = ("16-12-8-4", "8-6-4-2", "4-3-2-1")
     n_runs = max(5, bench_runs() // 2)
     result10 = benchmark.pedantic(
-        run_fig6, kwargs={"cases": cases, "n_runs": n_runs}, rounds=1, iterations=1
+        run_fig6,
+        kwargs={"cases": cases, "n_runs": n_runs, "jobs": bench_jobs()},
+        rounds=1,
+        iterations=1,
     )
     result3 = run_fig5(cases=cases, n_runs=n_runs, seed=20140604)
 

@@ -6,7 +6,7 @@ solutions, which is its selling point — short wall-clock AND better
 utilization.
 """
 
-from benchmarks.conftest import bench_runs
+from benchmarks.conftest import bench_jobs, bench_runs
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig7 import run_fig7
 from repro.util.tablefmt import format_table
@@ -16,7 +16,7 @@ STRATEGIES = ("ml-opt-scale", "sl-opt-scale", "ml-ori-scale", "sl-ori-scale")
 
 def test_bench_fig7(benchmark, record_result):
     def run():
-        fig5 = run_fig5(n_runs=max(5, bench_runs() // 3))
+        fig5 = run_fig5(n_runs=max(5, bench_runs() // 3), jobs=bench_jobs())
         return run_fig7(fig5)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

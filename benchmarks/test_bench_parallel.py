@@ -1,0 +1,102 @@
+"""Perf smoke bench: the parallel execution layer.
+
+Runs a 100-replica ensemble serially and through the parallel executor,
+asserts the results are bit-identical (the seed-stability guarantee),
+and records the wall-clocks — plus the per-phase (solve / simulate /
+aggregate) breakdown of a small Fig. 5 driver run — to
+``benchmarks/results/BENCH_parallel.json`` so the perf trajectory is
+tracked from PR to PR.
+
+The >= 2x speedup assertion only applies on machines with >= 4 cores
+(process-pool overhead dominates on small hosts; on a 1-core CI box the
+parallel path is still exercised, just not asserted faster).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import RESULTS_DIR, bench_runs
+from repro.core.memo import SOLVER_CACHE
+from repro.experiments.fig5 import run_fig5
+from repro.parallel.executor import cpu_count, make_executor, resolve_jobs
+from repro.parallel.timing import PhaseTimer, write_bench_json
+from repro.sim.config import SimulationConfig
+from repro.sim.ensemble import run_ensemble
+
+#: A fast but non-trivial configuration: dozens of failures per run, so a
+#: replica costs milliseconds and 100 replicas dwarf pool start-up costs.
+SMOKE_CONFIG = SimulationConfig(
+    productive_seconds=80_000.0,
+    intervals=(160, 64, 32, 16),
+    checkpoint_costs=(1.0, 2.5, 4.0, 12.0),
+    recovery_costs=(1.0, 2.5, 4.0, 12.0),
+    failure_rates=(4e-4, 2e-4, 1e-4, 5e-5),
+    allocation_period=30.0,
+    jitter=0.3,
+)
+SMOKE_SEED = 20140604
+
+
+def test_bench_parallel_smoke(benchmark):
+    n_runs = max(100, bench_runs(100))
+    jobs = resolve_jobs(0)  # all cores (REPRO_JOBS-independent on purpose)
+
+    start = time.perf_counter()
+    serial = run_ensemble(SMOKE_CONFIG, n_runs=n_runs, seed=SMOKE_SEED)
+    serial_seconds = time.perf_counter() - start
+
+    with make_executor(jobs, workload=n_runs) as executor:
+        backend = executor.kind
+
+        def parallel_run():
+            return run_ensemble(
+                SMOKE_CONFIG, n_runs=n_runs, seed=SMOKE_SEED, executor=executor
+            )
+
+        # warmup_rounds spawns the pool workers before the measured round.
+        parallel = benchmark.pedantic(
+            parallel_run, rounds=1, iterations=1, warmup_rounds=1
+        )
+    parallel_seconds = benchmark.stats.stats.mean
+
+    # The headline guarantee: parallelism never changes the numbers.
+    assert parallel == serial
+
+    # Phase breakdown of a small end-to-end driver run (solve is memoized,
+    # so clear first to measure a cold solve).
+    SOLVER_CACHE.clear()
+    timer = PhaseTimer()
+    run_fig5(cases=("4-2-1-0.5",), n_runs=4, seed=1, timer=timer, jobs=jobs)
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    payload = {
+        "cpu_count": cpu_count(),
+        "ensemble": {
+            "n_runs": n_runs,
+            "backend": backend,
+            "jobs": jobs,
+            "serial_seconds": round(serial_seconds, 4),
+            "parallel_seconds": round(parallel_seconds, 4),
+            "speedup": round(speedup, 3),
+            "results_identical": True,
+        },
+        "fig5_small_phases_seconds": {
+            phase: round(seconds, 4)
+            for phase, seconds in timer.report().items()
+        },
+        "solver_cache": {
+            "hits": SOLVER_CACHE.stats().hits,
+            "misses": SOLVER_CACHE.stats().misses,
+        },
+    }
+    path = write_bench_json(RESULTS_DIR / "BENCH_parallel.json", payload)
+    print(f"\n[saved to {path}]\n{payload}")
+
+    # Perf acceptance: >= 2x on a >= 4-core machine for 100 replicas.
+    if cpu_count() >= 4 and backend == "process":
+        assert speedup >= 2.0, (
+            f"expected >= 2x ensemble speedup on {cpu_count()} cores, "
+            f"got {speedup:.2f}x "
+            f"({serial_seconds:.2f}s serial vs {parallel_seconds:.2f}s parallel)"
+        )

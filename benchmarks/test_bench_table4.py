@@ -6,7 +6,7 @@ ML(opt-scale) 10.6-14.6 days at efficiency 0.158-0.2; SL(ori-scale)
 beats ML(ori-scale) on efficiency, and SL(ori-scale) collapses.
 """
 
-from benchmarks.conftest import bench_runs
+from benchmarks.conftest import bench_jobs, bench_runs
 from repro.experiments.table4 import TABLE4_BLOCK_ALLOCATIONS, run_table4
 from repro.util.tablefmt import format_table
 
@@ -23,7 +23,7 @@ def test_bench_table4(benchmark, record_result):
     cases = ("16-12-8-4", "8-6-4-2", "4-3-2-1")
     result = benchmark.pedantic(
         run_table4,
-        kwargs={"n_runs": max(5, bench_runs() // 3)},
+        kwargs={"n_runs": max(5, bench_runs() // 3), "jobs": bench_jobs()},
         rounds=1,
         iterations=1,
     )

@@ -5,6 +5,11 @@ both decision variables around the computed optimum and checking the
 computed point sits at the valley.  These helpers produce those series for
 any configuration; the Fig. 3 bench asserts the optimizer beats every swept
 neighbour.
+
+Grid points are independent, so both sweeps fan out through the
+:mod:`repro.parallel` execution layer (``jobs`` / ``executor`` /
+``REPRO_JOBS``); evaluation order is preserved, so parallel sweeps return
+the identical array a serial sweep does.
 """
 
 from __future__ import annotations
@@ -13,26 +18,51 @@ import numpy as np
 
 from repro.core.notation import ModelParameters
 from repro.core.wallclock import self_consistent_wallclock
+from repro.parallel.executor import Executor, ensure_executor
+
+
+def _eval_scale_point(task) -> float:
+    """Worker: one (params, x, n) objective evaluation (picklable)."""
+    params, x, n = task
+    try:
+        wallclock, _ = self_consistent_wallclock(params, x, n)
+        return float(wallclock)
+    except ValueError:
+        return float(np.inf)
 
 
 def sweep_objective_scale(
-    params: ModelParameters, x, scales
+    params: ModelParameters,
+    x,
+    scales,
+    *,
+    jobs: int | None = None,
+    executor: Executor | None = None,
 ) -> np.ndarray:
     """``E(T_w)`` (self-consistent) over ``scales`` with intervals fixed.
 
     Infeasible points (expected loss >= 1) come back as ``inf``.
     """
-    out = np.empty(len(scales))
-    for i, n in enumerate(scales):
-        try:
-            out[i], _ = self_consistent_wallclock(params, x, float(n))
-        except ValueError:
-            out[i] = np.inf
-    return out
+    x_arr = np.asarray(x, dtype=float)
+    tasks = [(params, x_arr, float(n)) for n in scales]
+    executor, owned = ensure_executor(executor, jobs, len(tasks))
+    try:
+        out = executor.map(_eval_scale_point, tasks)
+    finally:
+        if owned:
+            executor.close()
+    return np.asarray(out, dtype=float)
 
 
 def sweep_objective_intervals(
-    params: ModelParameters, x, n: float, level: int, values
+    params: ModelParameters,
+    x,
+    n: float,
+    level: int,
+    values,
+    *,
+    jobs: int | None = None,
+    executor: Executor | None = None,
 ) -> np.ndarray:
     """``E(T_w)`` over candidate interval counts for one level (1-based),
     the other levels and the scale held fixed."""
@@ -41,12 +71,15 @@ def sweep_objective_intervals(
     x_base = np.asarray(x, dtype=float).copy()
     if x_base.size != params.num_levels:
         raise ValueError(f"x has {x_base.size} entries for {params.num_levels} levels")
-    out = np.empty(len(values))
-    for i, v in enumerate(values):
+    tasks = []
+    for v in values:
         x_try = x_base.copy()
         x_try[level - 1] = float(v)
-        try:
-            out[i], _ = self_consistent_wallclock(params, x_try, n)
-        except ValueError:
-            out[i] = np.inf
-    return out
+        tasks.append((params, x_try, float(n)))
+    executor, owned = ensure_executor(executor, jobs, len(tasks))
+    try:
+        out = executor.map(_eval_scale_point, tasks)
+    finally:
+        if owned:
+            executor.close()
+    return np.asarray(out, dtype=float)

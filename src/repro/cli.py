@@ -15,6 +15,7 @@ registered paper experiment (see ``--list``).
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Sequence
 
@@ -24,6 +25,29 @@ from repro.experiments.config import make_params
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.sim.runner import simulate_solution
 from repro.util.units import seconds_to_days
+
+
+def _jobs_type(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"job count must be >= 0 (0 = all cores), got {jobs}"
+        )
+    return jobs
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_type,
+        default=None,
+        metavar="N",
+        help=(
+            "parallel worker count for simulation ensembles (default: "
+            "REPRO_JOBS env var, else 1 = serial; 0 = all cores; results "
+            "are bit-identical for any value)"
+        ),
+    )
 
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
@@ -73,6 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(p_sim)
     p_sim.add_argument("--runs", type=int, default=20, help="ensemble size")
     p_sim.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    _add_jobs_argument(p_sim)
 
     p_exp = sub.add_parser("experiment", help="run a registered paper experiment")
     p_exp.add_argument(
@@ -83,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
+    _add_jobs_argument(p_exp)
     return parser
 
 
@@ -118,7 +144,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(solutions_table(solutions, params.te_core_seconds))
     best = solutions["ml-opt-scale"]
     ensemble = simulate_solution(
-        params, best, n_runs=args.runs, seed=args.seed
+        params, best, n_runs=args.runs, seed=args.seed, jobs=args.jobs
     )
     print(
         f"\nml-opt-scale replayed over {ensemble.n_runs} runs: "
@@ -138,7 +164,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
-    result = driver()
+    kwargs = {}
+    if args.jobs is not None:
+        # Only the simulation-heavy drivers take a worker budget; the
+        # analytic ones (fig1-fig4, table2, ...) have nothing to fan out.
+        parameters = inspect.signature(driver).parameters
+        accepts_jobs = "jobs" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in parameters.values()
+        )
+        if accepts_jobs:
+            kwargs["jobs"] = args.jobs
+        else:
+            print(
+                f"note: experiment {args.experiment_id!r} runs analytically; "
+                "--jobs ignored",
+                file=sys.stderr,
+            )
+    result = driver(**kwargs)
     print(f"{args.experiment_id}: {result!r}"[:2000])
     return 0
 

@@ -28,6 +28,13 @@ Modules
     The four named strategies of the evaluation behind one interface.
 """
 
+from repro.core.memo import (
+    SOLVER_CACHE,
+    CacheStats,
+    SolverCache,
+    canonical_key,
+    memoized_solver,
+)
 from repro.core.notation import ModelParameters, Solution
 from repro.core.wallclock import (
     expected_rollback_loss,

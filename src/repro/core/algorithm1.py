@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.memo import memoized_solver
 from repro.core.multilevel import MultilevelInnerSolution, solve_inner
 from repro.core.notation import ModelParameters, Solution
 from repro.util.iteration import FixedPointDiverged
@@ -52,6 +53,7 @@ class Algorithm1Result:
     mu_history: tuple[tuple[float, ...], ...]
 
 
+@memoized_solver
 def optimize(
     params: ModelParameters,
     *,

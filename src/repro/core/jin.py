@@ -17,9 +17,11 @@ instead, which only makes the baseline *stronger*.
 from __future__ import annotations
 
 from repro.core.algorithm1 import Algorithm1Result, optimize
+from repro.core.memo import memoized_solver
 from repro.core.notation import ModelParameters
 
 
+@memoized_solver
 def solve_jin_single_level(
     params: ModelParameters,
     *,

@@ -1,0 +1,206 @@
+"""Solver-result memoization keyed by canonical parameter hashes.
+
+The experiment drivers re-solve identical configurations constantly: the
+fig7 registry entry re-runs the fig5 solves, Table IV shares strategy
+solves across its two allocation blocks' probe/main splits, and the
+sweeps touch the same ``ModelParameters`` with different decision
+variables.  Every solver output is a frozen dataclass, so identical
+inputs can safely share one result object — this module provides the
+process-wide cache that makes that sharing automatic.
+
+Key construction (:func:`canonical_key`) walks the parameter object
+graph structurally: dataclasses and plain objects become
+``(qualified-name, sorted field tokens)`` tuples, floats are tokenized
+via ``float.hex`` (bit-exact — no repr rounding), and
+:class:`~repro.costs.scaling.ScalingBaseline` collapses to its
+registered name (its lambdas carry no state).  Two parameter objects
+hash equal iff they are field-for-field bit-identical, so *any* field
+change — rates, costs, allocation period, scale bounds — is a miss.
+
+Usage::
+
+    from repro.core.memo import SOLVER_CACHE, memoized_solver
+
+    @memoized_solver
+    def optimize(params, **kwargs): ...
+
+    SOLVER_CACHE.stats()    # CacheStats(hits=.., misses=.., size=..)
+    SOLVER_CACHE.clear()    # drop everything, reset counters
+    with SOLVER_CACHE.bypass():   # e.g. sensitivity sweeps
+        optimize(params)    # always recomputed, never stored
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Hashable, Iterator
+
+import numpy as np
+
+from repro.costs.scaling import ScalingBaseline
+
+
+def _token(obj: Any) -> Hashable:
+    """A hashable, structure-preserving token for one value."""
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return obj
+    if isinstance(obj, float):
+        # hex() is bit-exact and distinguishes -0.0/0.0; inf/nan included.
+        return ("f", float(obj).hex())
+    if isinstance(obj, (np.floating, np.integer)):
+        return _token(obj.item())
+    if isinstance(obj, (tuple, list)):
+        return ("seq", tuple(_token(v) for v in obj))
+    if isinstance(obj, dict):
+        return (
+            "map",
+            tuple(sorted((str(k), _token(v)) for k, v in obj.items())),
+        )
+    if isinstance(obj, np.ndarray):
+        return ("nd", obj.shape, str(obj.dtype), _token(obj.ravel().tolist()))
+    if isinstance(obj, ScalingBaseline):
+        return ("baseline", obj.name)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            _qualname(obj),
+            tuple(
+                (f.name, _token(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if callable(obj):
+        # Stateless strategy callables (e.g. ArrivalProcess subclasses
+        # without attributes) reduce to their identity.
+        return ("fn", getattr(obj, "__module__", ""), getattr(obj, "__qualname__", repr(obj)))
+    if hasattr(obj, "__dict__"):
+        # Plain parameter objects (QuadraticSpeedup & friends): class +
+        # sorted instance attributes.
+        return (
+            _qualname(obj),
+            tuple(sorted((k, _token(v)) for k, v in vars(obj).items())),
+        )
+    return ("repr", repr(obj))
+
+
+def _qualname(obj: Any) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def canonical_key(*parts: Any) -> Hashable:
+    """Canonical hashable key for a solver invocation.
+
+    Pass the model parameters plus anything else that selects the result
+    (strategy name, solver kwargs).  Bit-identical inputs produce equal
+    keys; any field change produces a different key.
+    """
+    return tuple(_token(p) for p in parts)
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters and current entry count."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def requests(self) -> int:
+        """Total lookups (hits + misses; bypassed calls are not counted)."""
+        return self.hits + self.misses
+
+
+class SolverCache:
+    """Thread-safe keyed memo store with hit/miss counters and a bypass.
+
+    One compute may run per key at a time per process; results are frozen
+    dataclasses, so sharing the cached object between callers is safe.
+    The cache is process-local — executor workers each hold their own —
+    which is exactly the right scope: solver results feed the *dispatch*
+    side (the parent process), while workers only replay simulator
+    configs.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[Hashable, Any] = {}
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._bypass_depth = 0
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing (and storing) on miss."""
+        if self._bypass_depth > 0:
+            return compute()
+        with self._lock:
+            if key in self._store:
+                self._hits += 1
+                return self._store[key]
+            self._misses += 1
+        # Compute outside the lock: solves can be slow and re-entrant
+        # (Algorithm 1 never calls back into the cache, but strategy
+        # wrappers may nest).  A racing duplicate compute is benign — the
+        # results are identical and frozen.
+        value = compute()
+        with self._lock:
+            self._store.setdefault(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> CacheStats:
+        """Current :class:`CacheStats` snapshot."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses, size=len(self._store)
+            )
+
+    @contextmanager
+    def bypass(self) -> Iterator[None]:
+        """Compute-always context: no lookups, no stores, no counter drift.
+
+        The sensitivity sweeps use this so that a dense grid of perturbed
+        parameters neither pollutes the cache nor reuses a stale entry
+        when a perturbation happens to cancel out.
+        """
+        with self._lock:
+            self._bypass_depth += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._bypass_depth -= 1
+
+
+#: The process-wide solver cache all strategy solves funnel through.
+SOLVER_CACHE = SolverCache()
+
+
+def memoized_solver(fn: Callable) -> Callable:
+    """Memoize ``fn(params, **kwargs)`` in :data:`SOLVER_CACHE`.
+
+    The key is ``(module.qualname, canonical(params), canonical(kwargs))``;
+    positional arguments beyond ``params`` are deliberately unsupported so
+    keys stay unambiguous.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(params, **kwargs):
+        key = canonical_key(
+            f"{fn.__module__}.{fn.__qualname__}", params, kwargs
+        )
+        return SOLVER_CACHE.get_or_compute(
+            key, lambda: fn(params, **kwargs)
+        )
+
+    wrapper.__wrapped__ = fn
+    return wrapper

@@ -23,6 +23,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.core.algorithm1 import optimize
+from repro.core.memo import SOLVER_CACHE
 from repro.core.notation import ModelParameters
 from repro.core.wallclock import self_consistent_wallclock
 from repro.costs.model import CostModel, LevelCostModel
@@ -127,7 +128,11 @@ def sensitivity_report(
     if relative_perturbation == 0.0:
         raise ValueError("relative_perturbation must be nonzero")
     optimize_kwargs = dict(optimize_kwargs or {})
-    true_solution = optimize(params, **optimize_kwargs).solution
+    # The perturbation sweep deliberately bypasses the solver memo cache:
+    # a dense grid of near-identical parameter objects would bloat it, and
+    # the measurement must reflect fresh solves, not shared entries.
+    with SOLVER_CACHE.bypass():
+        true_solution = optimize(params, **optimize_kwargs).solution
     e_true, _ = self_consistent_wallclock(
         params, np.asarray(true_solution.intervals), true_solution.scale
     )
@@ -140,7 +145,8 @@ def sensitivity_report(
                 f"unknown parameter {name!r}; choose from {sorted(PERTURBATIONS)}"
             ) from None
         wrong = perturb(params, 1.0 + relative_perturbation)
-        wrong_solution = optimize(wrong, **optimize_kwargs).solution
+        with SOLVER_CACHE.bypass():
+            wrong_solution = optimize(wrong, **optimize_kwargs).solution
         # Clamp the misoptimized scale into the true model's valid range.
         scale = min(
             max(wrong_solution.scale, params.min_scale), params.scale_upper_bound

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.algorithm1 import optimize
 from repro.core.jin import solve_jin_single_level
+from repro.core.memo import memoized_solver
 from repro.core.notation import ModelParameters, Solution
 from repro.core.wallclock import self_consistent_wallclock
 from repro.core.young import young_initial_intervals
@@ -55,6 +56,7 @@ def ml_ori_scale(params: ModelParameters, **kwargs) -> Solution:
     return result.solution
 
 
+@memoized_solver
 def sl_ori_scale(params: ModelParameters) -> Solution:
     """Classic Young [3]: single level, scale pinned at ``N^(*)``.
 

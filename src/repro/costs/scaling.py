@@ -43,6 +43,15 @@ class ScalingBaseline:
     def derivative(self, n):
         return self.deriv(np.asarray(n, dtype=float))
 
+    def __reduce__(self):
+        # The stock baselines hold lambdas, which do not pickle; registered
+        # names round-trip by reference instead so cost models (and the
+        # ModelParameters built from them) can cross process-pool
+        # boundaries.  Ad-hoc baselines keep the default behaviour.
+        if _REGISTRY.get(self.name) is self:
+            return (named_baseline, (self.name,))
+        return super().__reduce__()
+
 
 CONSTANT = ScalingBaseline(
     name="constant",

@@ -15,6 +15,13 @@ analytically and then replayed under the randomized-failure simulator
 Strategies whose analytic model predicts non-completion (classic Young at
 full scale under growing PFS cost) are simulated with fewer replicas
 against the wall-clock cap and reported censored.
+
+Execution layer: the driver separates the *solve* phase (memoized — see
+:mod:`repro.core.memo`) from the *simulate* phase, which submits every
+(case x strategy) ensemble as one task to a
+:class:`~repro.parallel.executor.Executor`.  Child seeds are spawned up
+front in the historical order, so serial and parallel runs of the same
+root seed return bit-identical results.
 """
 
 from __future__ import annotations
@@ -22,11 +29,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.core.notation import ModelParameters, Solution
 from repro.core.solutions import compare_all_strategies
 from repro.experiments.config import FIG5_CASES, make_params
+from repro.parallel.executor import Executor, ensure_executor
+from repro.parallel.timing import PhaseTimer
+from repro.sim.config import SimulationConfig
+from repro.sim.ensemble import run_ensemble
 from repro.sim.metrics import EnsembleResult
-from repro.sim.runner import simulate_solution
+from repro.sim.runner import config_from_solution
 from repro.util.rng import SeedLike, spawn_generators
 
 #: Wall-clock cap for censored (analytically infeasible) strategies: 3 years.
@@ -62,6 +75,77 @@ class Fig5Result:
         return out
 
 
+@dataclass(frozen=True)
+class EnsembleTask:
+    """One (case x strategy) simulation job, fully resolved and picklable.
+
+    The config already carries the censor cap; ``probe_rng`` / ``main_rng``
+    are the pre-spawned generators of the historical seed derivation, so
+    running tasks in any order (or process) reproduces the serial results.
+    """
+
+    config: SimulationConfig
+    feasible: bool
+    n_runs: int
+    probe_rng: np.random.Generator
+    main_rng: np.random.Generator
+
+
+def run_ensemble_task(task: EnsembleTask) -> EnsembleResult:
+    """Probe-then-replay protocol for one strategy's ensemble.
+
+    Every run is capped: some analytically-feasible configurations
+    (full-scale baselines whose PFS checkpoint cost exceeds the MTBF)
+    never complete under the simulator's retry semantics.  A 2-run probe
+    detects censoring so catastrophic strategies are exhibited with a
+    handful of runs instead of burning the full ensemble.
+    """
+    probe = run_ensemble(
+        task.config, n_runs=min(2, task.n_runs), seed=task.probe_rng
+    )
+    remaining = task.n_runs - probe.n_runs
+    if probe.all_completed and task.feasible and remaining > 0:
+        rest = run_ensemble(task.config, n_runs=remaining, seed=task.main_rng)
+        return EnsembleResult(runs=probe.runs + rest.runs)
+    return probe
+
+
+def case_tasks(
+    params: ModelParameters,
+    solutions: Mapping[str, Solution],
+    *,
+    n_runs: int,
+    seed: SeedLike,
+    jitter: float,
+) -> dict[str, EnsembleTask]:
+    """Resolve one case's strategies into ordered ``{name: EnsembleTask}``.
+
+    Seed derivation is the historical one: ``2 * len(solutions)`` children
+    spawned from ``seed`` in strategy order, probe before main.
+    """
+    rngs = spawn_generators(seed, 2 * len(solutions))
+    tasks: dict[str, EnsembleTask] = {}
+    for index, (name, solution) in enumerate(solutions.items()):
+        # The SL strategies optimize the collapsed single-level model; they
+        # are simulated under it too (single PFS level, summed failure rate).
+        sim_params = (
+            params.single_level() if solution.num_levels == 1 else params
+        )
+        tasks[name] = EnsembleTask(
+            config=config_from_solution(
+                sim_params,
+                solution,
+                jitter=jitter,
+                max_wallclock=CENSOR_CAP_SECONDS,
+            ),
+            feasible=solution.feasible,
+            n_runs=n_runs,
+            probe_rng=rngs[2 * index],
+            main_rng=rngs[2 * index + 1],
+        )
+    return tasks
+
+
 def run_case(
     params: ModelParameters,
     case: str,
@@ -69,44 +153,21 @@ def run_case(
     n_runs: int = 100,
     seed: SeedLike = None,
     jitter: float = 0.3,
+    jobs: int | None = None,
+    executor: Executor | None = None,
 ) -> CaseResult:
     """Solve and simulate all four strategies for one failure case."""
     solutions = compare_all_strategies(params)
-    rngs = spawn_generators(seed, 2 * len(solutions))
-    ensembles: dict[str, EnsembleResult] = {}
-    for index, (name, solution) in enumerate(solutions.items()):
-        probe_rng, main_rng = rngs[2 * index], rngs[2 * index + 1]
-        # The SL strategies optimize the collapsed single-level model; they
-        # are simulated under it too (single PFS level, summed failure rate).
-        sim_params = (
-            params.single_level() if solution.num_levels == 1 else params
-        )
-        # Every run is capped: some analytically-feasible configurations
-        # (full-scale baselines whose PFS checkpoint cost exceeds the MTBF)
-        # never complete under the simulator's retry semantics.  A 2-run
-        # probe detects censoring so catastrophic strategies are exhibited
-        # with a handful of runs instead of burning the full ensemble.
-        probe = simulate_solution(
-            sim_params,
-            solution,
-            n_runs=min(2, n_runs),
-            seed=probe_rng,
-            jitter=jitter,
-            max_wallclock=CENSOR_CAP_SECONDS,
-        )
-        remaining = n_runs - probe.n_runs
-        if probe.all_completed and solution.feasible and remaining > 0:
-            rest = simulate_solution(
-                sim_params,
-                solution,
-                n_runs=remaining,
-                seed=main_rng,
-                jitter=jitter,
-                max_wallclock=CENSOR_CAP_SECONDS,
-            )
-            ensembles[name] = EnsembleResult(runs=probe.runs + rest.runs)
-        else:
-            ensembles[name] = probe
+    tasks = case_tasks(
+        params, solutions, n_runs=n_runs, seed=seed, jitter=jitter
+    )
+    executor, owned = ensure_executor(executor, jobs, len(tasks))
+    try:
+        ensembles_list = executor.map(run_ensemble_task, list(tasks.values()))
+    finally:
+        if owned:
+            executor.close()
+    ensembles = dict(zip(tasks.keys(), ensembles_list))
     return CaseResult(
         case=case, params=params, solutions=solutions, ensembles=ensembles
     )
@@ -119,17 +180,58 @@ def run_fig5(
     n_runs: int = 100,
     seed: SeedLike = 20140604,
     jitter: float = 0.3,
+    jobs: int | None = None,
+    executor: Executor | None = None,
+    timer: PhaseTimer | None = None,
 ) -> Fig5Result:
-    """Run the full Fig. 5 / Table III experiment."""
+    """Run the full Fig. 5 / Table III experiment.
+
+    All ``len(cases) * 4`` strategy ensembles are submitted to the
+    executor concurrently; ``timer`` (optional) records the solve /
+    simulate / aggregate phase wall-clocks.
+    """
+    timer = timer if timer is not None else PhaseTimer()
     rngs = spawn_generators(seed, len(cases))
-    results = tuple(
-        run_case(
-            make_params(te_core_days, case),
-            case,
-            n_runs=n_runs,
-            seed=rng,
-            jitter=jitter,
+
+    with timer.phase("solve"):
+        solved = []
+        for rng, case in zip(rngs, cases):
+            params = make_params(te_core_days, case)
+            solutions = compare_all_strategies(params)
+            solved.append((case, params, solutions, rng))
+
+    with timer.phase("simulate"):
+        flat_tasks: list[EnsembleTask] = []
+        flat_names: list[tuple[str, str]] = []
+        per_case_tasks = []
+        for case, params, solutions, rng in solved:
+            tasks = case_tasks(
+                params, solutions, n_runs=n_runs, seed=rng, jitter=jitter
+            )
+            per_case_tasks.append(tasks)
+            for name, task in tasks.items():
+                flat_tasks.append(task)
+                flat_names.append((case, name))
+        executor, owned = ensure_executor(executor, jobs, len(flat_tasks))
+        try:
+            flat_results = executor.map(run_ensemble_task, flat_tasks)
+        finally:
+            if owned:
+                executor.close()
+
+    with timer.phase("aggregate"):
+        by_key = dict(zip(flat_names, flat_results))
+        results = tuple(
+            CaseResult(
+                case=case,
+                params=params,
+                solutions=solutions,
+                ensembles={
+                    name: by_key[(case, name)] for name in tasks.keys()
+                },
+            )
+            for (case, params, solutions, _), tasks in zip(
+                solved, per_case_tasks
+            )
         )
-        for rng, case in zip(rngs, cases)
-    )
     return Fig5Result(te_core_days=te_core_days, cases=results)

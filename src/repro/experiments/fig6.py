@@ -10,6 +10,8 @@ against the Fig. 5 result.
 from __future__ import annotations
 
 from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.parallel.executor import Executor
+from repro.parallel.timing import PhaseTimer
 from repro.util.rng import SeedLike
 
 
@@ -19,13 +21,17 @@ def run_fig6(
     n_runs: int = 100,
     seed: SeedLike = 20140605,
     jitter: float = 0.3,
+    jobs: int | None = None,
+    executor: Executor | None = None,
+    timer: PhaseTimer | None = None,
 ) -> Fig5Result:
     """Run the Fig. 6 experiment (Fig. 5 protocol at T_e = 10m core-days)."""
     kwargs = {}
     if cases is not None:
         kwargs["cases"] = cases
     return run_fig5(
-        te_core_days=10e6, n_runs=n_runs, seed=seed, jitter=jitter, **kwargs
+        te_core_days=10e6, n_runs=n_runs, seed=seed, jitter=jitter,
+        jobs=jobs, executor=executor, timer=timer, **kwargs
     )
 
 

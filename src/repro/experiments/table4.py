@@ -23,8 +23,11 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.notation import ModelParameters, Solution
+from repro.core.solutions import compare_all_strategies
 from repro.experiments.config import TABLE4_CASES, make_params, table4_cost_models
-from repro.experiments.fig5 import CaseResult, run_case
+from repro.experiments.fig5 import CaseResult, case_tasks, run_ensemble_task
+from repro.parallel.executor import Executor, ensure_executor
+from repro.parallel.timing import PhaseTimer
 from repro.sim.metrics import EnsembleResult
 from repro.util.rng import SeedLike, spawn_generators
 
@@ -60,23 +63,61 @@ def run_table4(
     n_runs: int = 100,
     seed: SeedLike = 20140606,
     jitter: float = 0.3,
+    jobs: int | None = None,
+    executor: Executor | None = None,
+    timer: PhaseTimer | None = None,
 ) -> Table4Result:
-    """Run the full Table IV experiment (both blocks)."""
+    """Run the full Table IV experiment (both blocks).
+
+    Every (allocation x case x strategy) ensemble is submitted to the
+    executor concurrently; seed derivation matches the historical
+    sequential loop, so results are bit-identical to a serial run.
+    """
+    timer = timer if timer is not None else PhaseTimer()
     costs = table4_cost_models()
     rngs = spawn_generators(seed, len(allocations) * len(cases))
-    blocks: dict[float, dict[str, CaseResult]] = {}
     rng_iter = iter(rngs)
-    for allocation in allocations:
-        block: dict[str, CaseResult] = {}
-        for case in cases:
-            params = make_params(
-                TABLE4_TE_CORE_DAYS,
-                case,
-                costs=costs,
-                allocation_period=allocation,
+
+    with timer.phase("solve"):
+        solved = []
+        for allocation in allocations:
+            for case in cases:
+                params = make_params(
+                    TABLE4_TE_CORE_DAYS,
+                    case,
+                    costs=costs,
+                    allocation_period=allocation,
+                )
+                solutions = compare_all_strategies(params)
+                solved.append(
+                    (allocation, case, params, solutions, next(rng_iter))
+                )
+
+    with timer.phase("simulate"):
+        flat_tasks = []
+        cells = []
+        for allocation, case, params, solutions, rng in solved:
+            tasks = case_tasks(
+                params, solutions, n_runs=n_runs, seed=rng, jitter=jitter
             )
-            block[case] = run_case(
-                params, case, n_runs=n_runs, seed=next(rng_iter), jitter=jitter
+            cells.append((allocation, case, params, solutions, tasks))
+            flat_tasks.extend(tasks.values())
+        executor, owned = ensure_executor(executor, jobs, len(flat_tasks))
+        try:
+            flat_results = executor.map(run_ensemble_task, flat_tasks)
+        finally:
+            if owned:
+                executor.close()
+
+    with timer.phase("aggregate"):
+        result_iter = iter(flat_results)
+        blocks: dict[float, dict[str, CaseResult]] = {}
+        for allocation, case, params, solutions, tasks in cells:
+            ensembles = {name: next(result_iter) for name in tasks.keys()}
+            blocks.setdefault(allocation, {})[case] = CaseResult(
+                case=case,
+                params=params,
+                solutions=solutions,
+                ensembles=ensembles,
             )
-        blocks[allocation] = block
     return Table4Result(blocks=blocks)

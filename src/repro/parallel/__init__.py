@@ -1,0 +1,42 @@
+"""Reusable parallel-execution layer.
+
+The paper's evaluation replays every optimizer solution under the
+randomized-failure simulator ("100 runs for each case") — an
+embarrassingly parallel Monte-Carlo workload.  This package provides the
+execution substrate the hot paths share:
+
+* :mod:`repro.parallel.executor` — the :class:`Executor` abstraction
+  (serial / thread-pool / process-pool backends) with backend
+  auto-selection by workload size, the ``REPRO_JOBS`` /
+  ``REPRO_EXECUTOR`` environment knobs, and order-preserving ``map``;
+* :mod:`repro.parallel.timing` — the :class:`PhaseTimer` wall-clock
+  accounting layer (solve / simulate / aggregate phases) and the
+  ``BENCH_parallel.json`` emission helper.
+
+Determinism contract: callers spawn *all* child seeds up front (one
+``SeedSequence.spawn`` per replica) before fanning out, so serial and
+parallel executions of the same root seed are bit-identical — the
+executor only changes *where* a replica runs, never *which* stream it
+consumes.
+"""
+
+from repro.parallel.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+    resolve_jobs,
+)
+from repro.parallel.timing import PhaseTimer, write_bench_json
+
+__all__ = [
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "make_executor",
+    "resolve_jobs",
+    "PhaseTimer",
+    "write_bench_json",
+]

@@ -1,0 +1,233 @@
+"""Executor abstraction: serial / thread-pool / process-pool backends.
+
+Every parallelized hot path (``run_ensemble`` replicas, the fig5/fig6/
+table4 (case x strategy) ensembles, the sweep grids) funnels through this
+one interface, so backend selection, job-count resolution, and shutdown
+semantics live in a single place.
+
+Selection rules (documented in DESIGN.md):
+
+* job count — explicit ``jobs`` argument > ``REPRO_JOBS`` environment
+  variable > 1.  ``0`` or ``"auto"`` means "all visible cores".  The
+  default of 1 keeps every existing entry point serial (and therefore
+  byte-identical to the pre-parallel pipeline) unless a caller opts in.
+* backend — explicit ``backend`` argument > ``REPRO_EXECUTOR``
+  environment variable > auto.  Auto picks the process pool (the
+  simulator is CPU-bound Python/numpy, so threads would serialize on the
+  GIL) whenever more than one job is requested *and* the workload has
+  more than one task; otherwise it degrades to serial so tiny workloads
+  never pay pool start-up costs.
+* pool width never exceeds the workload size.
+
+Workers must be module-level callables with picklable arguments for the
+process backend (the usual :mod:`concurrent.futures` contract).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable naming the default job count (see :func:`resolve_jobs`).
+JOBS_ENV_VAR = "REPRO_JOBS"
+#: Environment variable forcing a backend ("serial" / "thread" / "process").
+BACKEND_ENV_VAR = "REPRO_EXECUTOR"
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+def cpu_count() -> int:
+    """Visible cores (scheduler affinity when available, else logical count)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | str | None = None) -> int:
+    """Resolve a job count: explicit argument > ``REPRO_JOBS`` > 1 (serial).
+
+    ``0`` or ``"auto"`` (in either the argument or the environment) expand
+    to :func:`cpu_count`.  Negative values are rejected.
+    """
+    if jobs is None:
+        jobs = os.environ.get(JOBS_ENV_VAR)
+        if jobs is None:
+            return 1
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            return cpu_count()
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                f"cannot parse job count {jobs!r}; expected an integer or 'auto'"
+            ) from None
+    if jobs < 0:
+        raise ValueError(f"job count must be >= 0, got {jobs}")
+    if jobs == 0:
+        return cpu_count()
+    return int(jobs)
+
+
+class Executor(abc.ABC):
+    """Order-preserving task mapper over a fixed worker budget.
+
+    Concrete backends differ only in *where* ``fn(item)`` runs; ``map``
+    always returns results in input order, so callers that pre-spawn
+    per-item seeds get bit-identical results on every backend.
+    """
+
+    #: Short backend name ("serial" / "thread" / "process").
+    kind: str = "abstract"
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError(f"an executor needs >= 1 job, got {jobs}")
+        self.jobs = int(jobs)
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item; results in input order."""
+
+    def close(self) -> None:
+        """Release pool resources (no-op for serial)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution (the default; zero overhead)."""
+
+    kind = "serial"
+
+    def __init__(self, jobs: int = 1):
+        super().__init__(1)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class _PoolExecutor(Executor):
+    """Shared plumbing for the :mod:`concurrent.futures` backends."""
+
+    _pool_cls: type
+
+    def __init__(self, jobs: int):
+        super().__init__(jobs)
+        self._pool = self._pool_cls(max_workers=self.jobs)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        # ``Executor.map`` of concurrent.futures yields in submission
+        # order and re-raises the first worker exception — exactly the
+        # contract we promise.
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread pool: no pickling, shared memory; best for I/O-bound tasks
+    (or when the workload releases the GIL)."""
+
+    kind = "thread"
+    _pool_cls = ThreadPoolExecutor
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process pool: true CPU parallelism; workers and arguments must
+    pickle."""
+
+    kind = "process"
+    _pool_cls = ProcessPoolExecutor
+
+
+def make_executor(
+    jobs: int | str | None = None,
+    *,
+    backend: str | None = None,
+    workload: int | None = None,
+) -> Executor:
+    """Build the executor for ``workload`` tasks under the selection rules.
+
+    Parameters
+    ----------
+    jobs:
+        Worker budget; ``None`` defers to ``REPRO_JOBS`` (default 1).
+    backend:
+        Force a backend; ``None`` defers to ``REPRO_EXECUTOR``, then to
+        the auto rule (process pool when parallel, serial otherwise).
+    workload:
+        Number of tasks about to be mapped; the pool is never wider than
+        this, and workloads of <= 1 task always run serial.
+    """
+    jobs = resolve_jobs(jobs)
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR)
+    if backend is not None:
+        backend = backend.strip().lower()
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {backend!r}; choose from {_BACKENDS}"
+            )
+    if workload is not None:
+        if workload < 0:
+            raise ValueError(f"workload must be >= 0, got {workload}")
+        jobs = max(1, min(jobs, workload))
+    if jobs <= 1 and backend in (None, "serial"):
+        return SerialExecutor()
+    if backend in (None, "process"):
+        return ProcessExecutor(jobs)
+    if backend == "thread":
+        return ThreadExecutor(jobs)
+    return SerialExecutor()
+
+
+def ensure_executor(
+    executor: Executor | None,
+    jobs: int | str | None,
+    workload: int,
+) -> tuple[Executor, bool]:
+    """Reuse ``executor`` or build one; returns ``(executor, owned)``.
+
+    ``owned`` tells the caller whether it must close the executor (it
+    never closes one that was passed in).
+    """
+    if executor is not None:
+        return executor, False
+    return make_executor(jobs, workload=workload), True
+
+
+def chunk_evenly(items: Sequence[T], n_chunks: int) -> list[Sequence[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, near-equal runs.
+
+    Contiguity is what makes chunked fan-out seed-stable: chunk
+    boundaries never reorder items, so concatenating the per-chunk
+    results reproduces the serial order exactly.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    n = len(items)
+    n_chunks = min(n_chunks, n) or 1
+    base, extra = divmod(n, n_chunks)
+    chunks: list[Sequence[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks

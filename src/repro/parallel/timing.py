@@ -1,0 +1,76 @@
+"""Per-phase wall-clock accounting for the experiment pipeline.
+
+The perf trajectory of this repo is tracked phase-by-phase: the
+experiment drivers charge their time to named phases (``solve`` /
+``simulate`` / ``aggregate``), and the parallel bench serializes the
+resulting report — plus serial-vs-parallel speedups — to
+``benchmarks/results/BENCH_parallel.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    Phases may be entered repeatedly; durations accumulate.  The timer is
+    deliberately dumb — a monotonic clock and a dict — so threading it
+    through drivers costs nothing measurable.
+    """
+
+    def __init__(self) -> None:
+        self._elapsed: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Charge the enclosed block's wall-clock to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._elapsed[name] = self._elapsed.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge ``seconds`` to ``name`` directly (pre-measured blocks)."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self._elapsed[name] = self._elapsed.get(name, 0.0) + seconds
+
+    def elapsed(self, name: str) -> float:
+        """Accumulated seconds of one phase (0.0 if never entered)."""
+        return self._elapsed.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all phases."""
+        return float(sum(self._elapsed.values()))
+
+    def report(self) -> dict[str, float]:
+        """``{phase: seconds}`` snapshot (insertion-ordered)."""
+        return dict(self._elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:.3f}s" for k, v in self._elapsed.items())
+        return f"PhaseTimer({inner})"
+
+
+def write_bench_json(path: str | Path, payload: dict) -> Path:
+    """Write a timing payload as pretty JSON; returns the path written.
+
+    Used by ``benchmarks/test_bench_parallel.py`` for
+    ``BENCH_parallel.json``; the schema is free-form but should include
+    enough context (cpu count, job count, replica count) to compare runs
+    across machines.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

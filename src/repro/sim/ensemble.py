@@ -4,15 +4,37 @@ The paper reports "mean values based on 100 runs for each case with random
 failure events"; :func:`run_ensemble` reproduces that protocol with
 independent child seeds per run (``SeedSequence.spawn`` — reproducible from
 one root seed, statistically independent across runs).
+
+Replicas are embarrassingly parallel.  ``run_ensemble`` fans them out
+through the :mod:`repro.parallel` execution layer in *seed-stable chunks*:
+every child generator is spawned up front, in order, before any work is
+dispatched, and chunks are contiguous slices of that sequence — so serial,
+thread-pool, and process-pool executions of the same root seed return
+bit-identical :class:`~repro.sim.metrics.EnsembleResult`s.
 """
 
 from __future__ import annotations
 
+import copy
+from typing import Sequence
+
 from repro.failures.distributions import ArrivalProcess
+from repro.parallel.executor import Executor, chunk_evenly, ensure_executor
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import simulate
-from repro.sim.metrics import EnsembleResult
+from repro.sim.metrics import EnsembleResult, SimResult
 from repro.util.rng import SeedLike, spawn_generators
+
+
+def _simulate_chunk(task) -> list[SimResult]:
+    """Worker: one contiguous chunk of replicas (module-level: picklable)."""
+    config, seeds, process, injectors = task
+    if injectors is None:
+        injectors = [None] * len(seeds)
+    return [
+        simulate(config, seed=seed, process=process, injector=injector)
+        for seed, injector in zip(seeds, injectors)
+    ]
 
 
 def run_ensemble(
@@ -21,6 +43,9 @@ def run_ensemble(
     n_runs: int = 100,
     seed: SeedLike = None,
     process: ArrivalProcess | None = None,
+    injector=None,
+    jobs: int | None = None,
+    executor: Executor | None = None,
 ) -> EnsembleResult:
     """Run ``n_runs`` independent simulations of ``config``.
 
@@ -34,11 +59,53 @@ def run_ensemble(
         Root seed for the whole ensemble.
     process:
         Failure inter-arrival process override (ablation hook).
+    injector:
+        Failure-source override (e.g.
+        :class:`~repro.sim.failure_injection.ScriptedFailures`).  Stateful
+        injectors are deep-copied per replica — never shared across runs
+        or worker processes — so every run replays the same trace from the
+        start.  The injector must therefore be deep-copyable (and
+        picklable under the process backend).
+    jobs:
+        Worker budget for the fan-out; ``None`` defers to ``REPRO_JOBS``
+        (default 1 = serial, byte-identical to the historical loop).
+    executor:
+        An existing :class:`~repro.parallel.executor.Executor` to reuse
+        instead of building one (the caller keeps ownership).
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    # Seed stability: spawn EVERY child generator up front, in replica
+    # order, before any dispatch decision — parallelism must never change
+    # which stream a replica consumes.
     rngs = spawn_generators(seed, n_runs)
-    runs = tuple(
-        simulate(config, seed=rng, process=process) for rng in rngs
-    )
+    injectors: Sequence | None = None
+    if injector is not None:
+        try:
+            injectors = [copy.deepcopy(injector) for _ in range(n_runs)]
+        except Exception as exc:
+            raise TypeError(
+                f"injector {type(injector).__name__} cannot be deep-copied "
+                "for per-replica isolation; pass a copyable injector or "
+                "run replicas individually via repro.sim.engine.simulate"
+            ) from exc
+    executor, owned = ensure_executor(executor, jobs, n_runs)
+    try:
+        chunk_bounds = chunk_evenly(range(n_runs), max(1, executor.jobs * 4))
+        tasks = []
+        for bounds in chunk_bounds:
+            lo, hi = bounds[0], bounds[-1] + 1
+            tasks.append(
+                (
+                    config,
+                    rngs[lo:hi],
+                    process,
+                    None if injectors is None else injectors[lo:hi],
+                )
+            )
+        chunk_results = executor.map(_simulate_chunk, tasks)
+    finally:
+        if owned:
+            executor.close()
+    runs = tuple(run for chunk in chunk_results for run in chunk)
     return EnsembleResult(runs=runs)

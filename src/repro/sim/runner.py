@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.core.notation import ModelParameters, Solution
 from repro.failures.distributions import ArrivalProcess
+from repro.parallel.executor import Executor
 from repro.sim.config import SimulationConfig
 from repro.sim.ensemble import run_ensemble
 from repro.sim.metrics import EnsembleResult
@@ -58,9 +59,19 @@ def simulate_solution(
     jitter: float = 0.3,
     max_wallclock: float | None = None,
     process: ArrivalProcess | None = None,
+    jobs: int | None = None,
+    executor: Executor | None = None,
 ) -> EnsembleResult:
-    """Replay an optimizer solution under the randomized-failure simulator."""
+    """Replay an optimizer solution under the randomized-failure simulator.
+
+    ``jobs`` / ``executor`` fan the replicas out through the
+    :mod:`repro.parallel` layer (seed-stable: results are bit-identical
+    to a serial run for the same root seed).
+    """
     config = config_from_solution(
         params, solution, jitter=jitter, max_wallclock=max_wallclock
     )
-    return run_ensemble(config, n_runs=n_runs, seed=seed, process=process)
+    return run_ensemble(
+        config, n_runs=n_runs, seed=seed, process=process, jobs=jobs,
+        executor=executor,
+    )

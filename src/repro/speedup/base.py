@@ -20,8 +20,42 @@ import numpy as np
 ArrayLike = Union[float, np.ndarray]
 
 
+def _freeze(value):
+    """A comparable, hashable stand-in for one instance attribute."""
+    if isinstance(value, np.ndarray):
+        return (value.shape, str(value.dtype), value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (type(None), bool, int, float, str, bytes)):
+        return value
+    # Derived callables (interpolators, their derivatives) carry no state
+    # beyond what the constructing attributes already capture.
+    return type(value).__qualname__
+
+
 class SpeedupModel(abc.ABC):
-    """Speedup function ``g(N)`` with derivative and ideal-scale knowledge."""
+    """Speedup function ``g(N)`` with derivative and ideal-scale knowledge.
+
+    Models compare by *value*: two instances of the same class with equal
+    constructor state are equal (and hash equal), so parameter objects
+    built twice from the same inputs — e.g. by repeated ``make_params``
+    calls — compare equal, which the solver memo cache and the
+    serial-vs-parallel bit-identity tests rely on.
+    """
+
+    def _state(self) -> tuple:
+        """Comparable snapshot of the instance attributes (overridable)."""
+        return tuple(
+            (name, _freeze(value)) for name, value in sorted(vars(self).items())
+        )
+
+    def __eq__(self, other) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return self._state() == other._state()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__qualname__, self._state()))
 
     @abc.abstractmethod
     def speedup(self, n: ArrayLike) -> ArrayLike:

@@ -1,0 +1,133 @@
+"""Tests for the solver memo cache (repro.core.memo)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.algorithm1 import optimize
+from repro.core.jin import solve_jin_single_level
+from repro.core.memo import SOLVER_CACHE, SolverCache, canonical_key
+from repro.core.sensitivity import sensitivity_report
+from repro.core.solutions import compare_all_strategies
+from repro.costs.model import CostModel, LevelCostModel
+from repro.failures.rates import FailureRates
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    """Isolate every test from cross-test (and cross-module) cache state."""
+    SOLVER_CACHE.clear()
+    yield
+    SOLVER_CACHE.clear()
+
+
+class TestCanonicalKey:
+    def test_identical_params_equal_keys(self, small_params):
+        rebuilt = replace(small_params)
+        assert canonical_key(small_params) == canonical_key(rebuilt)
+
+    def test_rate_change_changes_key(self, small_params):
+        changed = replace(
+            small_params,
+            rates=FailureRates(
+                per_day_at_baseline=(24.0, 12.0, 6.0, 4.0),  # was ...3.0
+                baseline_scale=small_params.rates.baseline_scale,
+            ),
+        )
+        assert canonical_key(small_params) != canonical_key(changed)
+
+    def test_cost_change_changes_key(self, small_params):
+        changed = replace(
+            small_params,
+            costs=LevelCostModel(
+                checkpoint=small_params.costs.checkpoint[:-1]
+                + (CostModel.constant_cost(13.0),),
+                recovery=small_params.costs.recovery,
+            ),
+        )
+        assert canonical_key(small_params) != canonical_key(changed)
+
+    def test_allocation_period_changes_key(self, small_params):
+        changed = replace(small_params, allocation_period=31.0)
+        assert canonical_key(small_params) != canonical_key(changed)
+
+    def test_strategy_part_distinguishes(self, small_params):
+        assert canonical_key(small_params, "ml-opt-scale") != canonical_key(
+            small_params, "sl-opt-scale"
+        )
+
+
+class TestSolverMemoization:
+    def test_hit_on_identical_parameters(self, small_params):
+        first = optimize(small_params)
+        before = SOLVER_CACHE.stats()
+        second = optimize(replace(small_params))  # equal-valued, new object
+        after = SOLVER_CACHE.stats()
+        assert second is first  # shared frozen result, not a recompute
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_miss_on_any_field_change(self, small_params):
+        optimize(small_params)
+        misses_before = SOLVER_CACHE.stats().misses
+        optimize(replace(small_params, allocation_period=31.0))
+        assert SOLVER_CACHE.stats().misses == misses_before + 1
+
+    def test_kwargs_are_part_of_the_key(self, small_params):
+        a = optimize(small_params)
+        b = optimize(small_params, fixed_scale=small_params.scale_upper_bound)
+        assert a is not b
+        assert SOLVER_CACHE.stats().misses == 2
+
+    def test_jin_and_young_cached_too(self, small_params):
+        solve_jin_single_level(small_params)
+        stats = SOLVER_CACHE.stats()
+        solve_jin_single_level(small_params)
+        assert SOLVER_CACHE.stats().hits == stats.hits + 1
+
+    def test_compare_all_strategies_second_call_all_hits(self, small_params):
+        compare_all_strategies(small_params)
+        before = SOLVER_CACHE.stats()
+        compare_all_strategies(small_params)
+        after = SOLVER_CACHE.stats()
+        assert after.misses == before.misses
+        assert after.hits >= before.hits + 4  # one per strategy
+
+    def test_clear_resets_store_and_counters(self, small_params):
+        optimize(small_params)
+        SOLVER_CACHE.clear()
+        stats = SOLVER_CACHE.stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+        optimize(small_params)  # recomputed after clear
+        assert SOLVER_CACHE.stats().misses == 1
+
+    def test_bypass_neither_reads_nor_writes(self, small_params):
+        cached = optimize(small_params)
+        stats = SOLVER_CACHE.stats()
+        with SOLVER_CACHE.bypass():
+            fresh = optimize(small_params)
+        assert fresh is not cached  # recomputed despite the cache entry
+        assert fresh == cached  # ... to the identical result
+        after = SOLVER_CACHE.stats()
+        assert (after.hits, after.misses, after.size) == (
+            stats.hits,
+            stats.misses,
+            stats.size,
+        )
+
+    def test_sensitivity_sweep_does_not_pollute_cache(self, small_params):
+        sensitivity_report(
+            small_params,
+            relative_perturbation=0.1,
+            parameters=("failure_rates",),
+        )
+        # All solves in the sweep bypass the cache entirely.
+        assert SOLVER_CACHE.stats().size == 0
+
+    def test_stats_requests_property(self):
+        cache = SolverCache()
+        cache.get_or_compute("k", lambda: 1)
+        cache.get_or_compute("k", lambda: 2)
+        stats = cache.stats()
+        assert stats.requests == 2
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)

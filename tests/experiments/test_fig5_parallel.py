@@ -1,0 +1,53 @@
+"""Serial-vs-parallel bit-identity of the experiment drivers.
+
+The acceptance bar of the execution layer: for a fixed root seed,
+``run_fig5`` (and by extension fig6/table4, which share its machinery)
+returns the *same object graph* — solutions, ensembles, every float —
+whether the (case x strategy) ensembles run serially or on a pool.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.table4 import run_table4
+from repro.parallel.executor import ProcessExecutor, ThreadExecutor
+
+CASES = ("4-2-1-0.5",)  # the mild case: fastest simulated wall-clock
+N_RUNS = 3
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_fig5(cases=CASES, n_runs=N_RUNS, seed=SEED)
+
+
+def test_serial_rerun_is_equal(serial_result):
+    assert run_fig5(cases=CASES, n_runs=N_RUNS, seed=SEED) == serial_result
+
+
+def test_thread_pool_bit_identical(serial_result):
+    with ThreadExecutor(4) as ex:
+        parallel = run_fig5(cases=CASES, n_runs=N_RUNS, seed=SEED, executor=ex)
+    assert parallel == serial_result
+
+
+def test_process_pool_bit_identical(serial_result):
+    with ProcessExecutor(2) as ex:
+        parallel = run_fig5(cases=CASES, n_runs=N_RUNS, seed=SEED, executor=ex)
+    assert parallel == serial_result
+
+
+def test_jobs_argument_bit_identical(serial_result):
+    assert (
+        run_fig5(cases=CASES, n_runs=N_RUNS, seed=SEED, jobs=3)
+        == serial_result
+    )
+
+
+def test_table4_parallel_bit_identical():
+    kwargs = dict(cases=("4-3-2-1",), n_runs=2, seed=5)
+    serial = run_table4(**kwargs)
+    with ThreadExecutor(4) as ex:
+        parallel = run_table4(executor=ex, **kwargs)
+    assert parallel.blocks == serial.blocks

@@ -1,8 +1,16 @@
 """Tests for the experiment registry."""
 
+import inspect
+
 import pytest
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+import repro.experiments.registry as registry
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_fig7_standalone,
+)
 
 
 def test_all_design_md_experiments_registered():
@@ -31,3 +39,55 @@ def test_lookup():
 
 def test_drivers_are_callable():
     assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+
+class TestFig7Standalone:
+    """The fig7 entry is a documented named wrapper, not an opaque lambda."""
+
+    def test_registered_and_documented(self):
+        driver = get_experiment("fig7")
+        assert driver is run_fig7_standalone
+        assert driver.__name__ == "run_fig7_standalone"
+        assert "run_fig5" in inspect.getdoc(driver)
+
+    def test_forwards_all_ensemble_knobs(self, monkeypatch):
+        """Every kwarg beyond ``n_runs`` must reach ``run_fig5`` intact."""
+        seen = {}
+
+        def fake_run_fig5(**kwargs):
+            seen.update(kwargs)
+
+            class _Fake:
+                te_core_days = 3e6
+                cases = ()
+
+            return _Fake()
+
+        monkeypatch.setattr(registry, "run_fig5", fake_run_fig5)
+        result = get_experiment("fig7")(
+            n_runs=4, cases=("8-4-2-1",), seed=77, jitter=0.1, jobs=2
+        )
+        assert isinstance(result, Fig7Result)
+        assert seen == {
+            "n_runs": 4,
+            "cases": ("8-4-2-1",),
+            "seed": 77,
+            "jitter": 0.1,
+            "jobs": 2,
+        }
+
+    def test_default_run_count_is_small(self, monkeypatch):
+        seen = {}
+
+        def fake_run_fig5(**kwargs):
+            seen.update(kwargs)
+
+            class _Fake:
+                te_core_days = 3e6
+                cases = ()
+
+            return _Fake()
+
+        monkeypatch.setattr(registry, "run_fig5", fake_run_fig5)
+        get_experiment("fig7")()
+        assert seen["n_runs"] == 10

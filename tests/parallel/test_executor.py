@@ -1,0 +1,132 @@
+"""Tests for the Executor abstraction and its selection rules."""
+
+import os
+
+import pytest
+
+from repro.parallel.executor import (
+    BACKEND_ENV_VAR,
+    JOBS_ENV_VAR,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunk_evenly,
+    cpu_count,
+    ensure_executor,
+    make_executor,
+    resolve_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_var_used_when_unset(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_zero_and_auto_mean_all_cores(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(0) == cpu_count()
+        assert resolve_jobs("auto") == cpu_count()
+        monkeypatch.setenv(JOBS_ENV_VAR, "auto")
+        assert resolve_jobs(None) == cpu_count()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            resolve_jobs(-2)
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ValueError, match="cannot parse"):
+            resolve_jobs(None)
+
+
+class TestBackendSelection:
+    def test_serial_by_default(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert isinstance(make_executor(), SerialExecutor)
+
+    def test_process_pool_when_parallel(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with make_executor(2, workload=8) as ex:
+            assert isinstance(ex, ProcessExecutor)
+            assert ex.jobs == 2
+
+    def test_tiny_workload_degrades_to_serial(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert isinstance(make_executor(8, workload=1), SerialExecutor)
+
+    def test_pool_never_wider_than_workload(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with make_executor(16, workload=3) as ex:
+            assert ex.jobs == 3
+
+    def test_backend_argument_forces_threads(self):
+        with make_executor(2, backend="thread", workload=8) as ex:
+            assert isinstance(ex, ThreadExecutor)
+
+    def test_backend_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "thread")
+        with make_executor(2, workload=8) as ex:
+            assert isinstance(ex, ThreadExecutor)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            make_executor(2, backend="gpu")
+
+    def test_ensure_executor_respects_ownership(self):
+        passed = SerialExecutor()
+        ex, owned = ensure_executor(passed, None, 10)
+        assert ex is passed and not owned
+        ex2, owned2 = ensure_executor(None, 1, 10)
+        assert owned2
+
+
+class TestMapContract:
+    @pytest.mark.parametrize(
+        "factory",
+        [SerialExecutor, lambda: ThreadExecutor(3), lambda: ProcessExecutor(2)],
+        ids=["serial", "thread", "process"],
+    )
+    def test_order_preserved(self, factory):
+        with factory() as ex:
+            assert ex.map(_square, range(17)) == [i * i for i in range(17)]
+
+    def test_worker_exception_propagates(self):
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(ZeroDivisionError):
+                ex.map(lambda x: 1 // x, [2, 1, 0])
+
+    def test_executor_needs_positive_jobs(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ThreadExecutor(0)
+
+
+class TestChunking:
+    def test_chunks_are_contiguous_and_complete(self):
+        items = list(range(13))
+        chunks = chunk_evenly(items, 4)
+        assert [x for c in chunks for x in c] == items
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_evenly([1, 2], 5)
+        assert [x for c in chunks for x in c] == [1, 2]
+        assert all(len(c) >= 1 for c in chunks)
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunk_evenly([1], 0)

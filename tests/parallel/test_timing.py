@@ -1,0 +1,52 @@
+"""Tests for the PhaseTimer wall-clock accounting layer."""
+
+import json
+import time
+
+import pytest
+
+from repro.parallel.timing import PhaseTimer, write_bench_json
+
+
+def test_phases_accumulate():
+    timer = PhaseTimer()
+    with timer.phase("solve"):
+        time.sleep(0.01)
+    with timer.phase("solve"):
+        time.sleep(0.01)
+    with timer.phase("simulate"):
+        pass
+    assert timer.elapsed("solve") >= 0.02
+    assert timer.elapsed("simulate") >= 0.0
+    assert set(timer.report()) == {"solve", "simulate"}
+    assert timer.total == pytest.approx(
+        timer.elapsed("solve") + timer.elapsed("simulate")
+    )
+
+
+def test_unentered_phase_is_zero():
+    assert PhaseTimer().elapsed("nope") == 0.0
+
+
+def test_phase_charged_on_exception():
+    timer = PhaseTimer()
+    with pytest.raises(RuntimeError):
+        with timer.phase("boom"):
+            time.sleep(0.005)
+            raise RuntimeError("x")
+    assert timer.elapsed("boom") >= 0.005
+
+
+def test_add_direct_charge():
+    timer = PhaseTimer()
+    timer.add("simulate", 1.5)
+    timer.add("simulate", 0.5)
+    assert timer.elapsed("simulate") == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        timer.add("simulate", -1.0)
+
+
+def test_write_bench_json_round_trips(tmp_path):
+    payload = {"speedup": 2.5, "phases": {"solve": 0.1}}
+    path = write_bench_json(tmp_path / "sub" / "BENCH_parallel.json", payload)
+    assert json.loads(path.read_text()) == payload

@@ -1,0 +1,125 @@
+"""Determinism regression: ensembles are bit-identical on every backend.
+
+The seed-stability guarantee of the execution layer: ``run_ensemble``
+spawns every child seed up front in replica order, so the executor can
+only change *where* a replica runs — serial, thread-pool, and
+process-pool runs of one root seed must return byte-identical
+:class:`~repro.sim.metrics.EnsembleResult`s, including censored runs and
+scripted-failure injections.
+"""
+
+import pytest
+
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.ensemble import run_ensemble
+from repro.sim.failure_injection import ScriptedFailures
+
+BACKENDS = {
+    "serial": SerialExecutor,
+    "thread": lambda: ThreadExecutor(3),
+    "process": lambda: ProcessExecutor(2),
+}
+
+
+@pytest.fixture
+def cfg():
+    return SimulationConfig(
+        productive_seconds=2_000.0,
+        intervals=(10, 4, 2, 2),
+        checkpoint_costs=(1.0, 2.0, 4.0, 8.0),
+        recovery_costs=(1.0, 2.0, 4.0, 8.0),
+        failure_rates=(1e-3, 5e-4, 2e-4, 1e-4),
+        allocation_period=10.0,
+        jitter=0.3,
+    )
+
+
+@pytest.fixture
+def censored_cfg():
+    # Rates/costs harsh enough that some replicas hit the cap.
+    return SimulationConfig(
+        productive_seconds=5_000.0,
+        intervals=(4, 2),
+        checkpoint_costs=(30.0, 120.0),
+        recovery_costs=(30.0, 120.0),
+        failure_rates=(2e-3, 1e-3),
+        allocation_period=60.0,
+        jitter=0.3,
+        max_wallclock=20_000.0,
+    )
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS), ids=sorted(BACKENDS))
+def test_backend_bit_identical(cfg, backend):
+    reference = run_ensemble(cfg, n_runs=11, seed=2024)
+    with BACKENDS[backend]() as ex:
+        parallel = run_ensemble(cfg, n_runs=11, seed=2024, executor=ex)
+    assert parallel == reference
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS), ids=sorted(BACKENDS))
+def test_censored_runs_bit_identical(censored_cfg, backend):
+    reference = run_ensemble(censored_cfg, n_runs=8, seed=99)
+    assert not reference.all_completed  # the censoring path is exercised
+    with BACKENDS[backend]() as ex:
+        parallel = run_ensemble(censored_cfg, n_runs=8, seed=99, executor=ex)
+    assert parallel == reference
+
+
+def test_jobs_argument_equals_serial(cfg):
+    assert run_ensemble(cfg, n_runs=9, seed=5, jobs=3) == run_ensemble(
+        cfg, n_runs=9, seed=5
+    )
+
+
+class TestScriptedInjector:
+    EVENTS = ((150.0, 1), (400.0, 2), (900.0, 1))
+
+    def test_each_replica_replays_the_full_trace(self, cfg):
+        # Deep-copied per replica: every run sees the trace from the start,
+        # so all replicas observe the identical failure count.
+        ens = run_ensemble(
+            cfg, n_runs=4, seed=0, injector=ScriptedFailures(self.EVENTS)
+        )
+        for run in ens.runs:
+            assert run.total_failures == len(self.EVENTS)
+
+    def test_shared_injector_not_mutated(self, cfg):
+        injector = ScriptedFailures(self.EVENTS)
+        run_ensemble(cfg, n_runs=3, seed=0, injector=injector)
+        # The caller's injector is untouched: still at the first event.
+        assert injector.peek() == self.EVENTS[0]
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS), ids=sorted(BACKENDS))
+    def test_injector_bit_identical_across_backends(self, cfg, backend):
+        reference = run_ensemble(
+            cfg, n_runs=4, seed=3, injector=ScriptedFailures(self.EVENTS)
+        )
+        with BACKENDS[backend]() as ex:
+            parallel = run_ensemble(
+                cfg,
+                n_runs=4,
+                seed=3,
+                injector=ScriptedFailures(self.EVENTS),
+                executor=ex,
+            )
+        assert parallel == reference
+
+    def test_uncopyable_injector_rejected(self, cfg):
+        class Uncopyable:
+            def __deepcopy__(self, memo):
+                raise RuntimeError("lives on a socket")
+
+            def peek(self):  # pragma: no cover - never reached
+                return (float("inf"), 1)
+
+            def pop(self):  # pragma: no cover - never reached
+                raise RuntimeError
+
+        with pytest.raises(TypeError, match="cannot be deep-copied"):
+            run_ensemble(cfg, n_runs=2, seed=0, injector=Uncopyable())

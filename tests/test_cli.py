@@ -49,6 +49,82 @@ def test_simulate_reports_replay(capsys):
     assert "model predicted" in out
 
 
+def test_simulate_accepts_jobs(capsys):
+    code = main(
+        [
+            "simulate",
+            "--te-core-days",
+            "200",
+            "--case",
+            "24-12-6-3",
+            "--ideal-scale",
+            "2000",
+            "--allocation",
+            "30",
+            "--runs",
+            "3",
+            "--seed",
+            "1",
+            "--jobs",
+            "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "replayed over 3 runs" in out
+
+
+def test_simulate_jobs_does_not_change_results(capsys):
+    args = [
+        "simulate",
+        "--te-core-days",
+        "200",
+        "--case",
+        "24-12-6-3",
+        "--ideal-scale",
+        "2000",
+        "--allocation",
+        "30",
+        "--runs",
+        "3",
+        "--seed",
+        "1",
+    ]
+    assert main(args) == 0
+    serial_out = capsys.readouterr().out
+    assert main(args + ["--jobs", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert parallel_out == serial_out
+
+
+def test_simulate_rejects_negative_jobs(capsys):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "simulate",
+                "--te-core-days",
+                "200",
+                "--case",
+                "24-12-6-3",
+                "--ideal-scale",
+                "2000",
+                "--allocation",
+                "30",
+                "--jobs",
+                "-1",
+            ]
+        )
+    assert "job count must be >= 0" in capsys.readouterr().err
+
+
+def test_experiment_jobs_ignored_for_analytic_driver(capsys):
+    code = main(["experiment", "fig3", "--jobs", "2"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "fig3" in captured.out
+    assert "--jobs ignored" in captured.err
+
+
 def test_experiment_list(capsys):
     code = main(["experiment", "--list"])
     out = capsys.readouterr().out
