@@ -1,15 +1,27 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
-    python -m repro optimize --te-core-days 3e6 --case 8-4-2-1
+    python -m repro optimize --te-core-days 3e6 --case 8-4-2-1 [--trace]
     python -m repro simulate --te-core-days 3e6 --case 8-4-2-1 --runs 20
-    python -m repro experiment fig3
+    python -m repro experiment fig5 [--trace-dir out/]
+    python -m repro obs --last
 
 ``optimize`` solves all four strategies for one configuration and prints
-the comparison table; ``simulate`` additionally replays the ML(opt-scale)
-solution under the randomized-failure simulator; ``experiment`` runs a
-registered paper experiment (see ``--list``).
+the comparison table (``--trace`` additionally prints Algorithm 1's
+per-outer-iteration mu_i / E(T_w) convergence table); ``simulate``
+additionally replays the ML(opt-scale) solution under the
+randomized-failure simulator; ``experiment`` runs a registered paper
+experiment (see ``--list``), optionally exporting per-replica event
+traces with ``--trace-dir``; ``obs --last`` pretty-prints the previous
+command's observability summary.
+
+Global flags: ``-v`` / ``-vv`` raise the log level of the ``repro``
+logger tree to INFO / DEBUG (see :mod:`repro.obs.logconf`; the
+``REPRO_LOG`` environment variable layers per-logger overrides on top).
+Every command writes a last-run summary to ``$REPRO_OBS_DIR`` (default
+``.repro-obs/``) on exit; a divergent fixed-point solve exits with code 3
+after printing the partial convergence trace.
 """
 
 from __future__ import annotations
@@ -20,11 +32,28 @@ import sys
 from typing import Sequence
 
 from repro.analysis.tables import solutions_table
+from repro.core.algorithm1 import format_convergence_table
+from repro.core.algorithm1 import optimize as algorithm1_optimize
 from repro.core.solutions import compare_all_strategies
 from repro.experiments.config import make_params
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.obs.logconf import configure_logging, get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.runinfo import (
+    format_last_run,
+    last_run_path,
+    read_last_run,
+    write_last_run,
+)
+from repro.parallel.timing import PhaseTimer
 from repro.sim.runner import simulate_solution
+from repro.util.iteration import FixedPointDiverged
 from repro.util.units import seconds_to_days
+
+logger = get_logger("cli")
+
+#: Exit code for a divergent fixed-point solve (1/2 mean usage errors).
+EXIT_DIVERGED = 3
 
 
 def _jobs_type(value: str) -> int:
@@ -84,12 +113,27 @@ def _build_parser() -> argparse.ArgumentParser:
             "execution scales (SC 2014 reproduction)"
         ),
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v: INFO logs on stderr; -vv: DEBUG (see also $REPRO_LOG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_opt = sub.add_parser(
         "optimize", help="solve all four strategies for one configuration"
     )
     _add_model_arguments(p_opt)
+    p_opt.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "print Algorithm 1's per-outer-iteration convergence table "
+            "(mu_i, E(T_w), residual) for the ML strategies"
+        ),
+    )
 
     p_sim = sub.add_parser(
         "simulate", help="optimize, then replay under the failure simulator"
@@ -108,7 +152,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
+    p_exp.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "export per-replica JSONL event traces to DIR (simulation "
+            "experiments only; one file per case x strategy ensemble)"
+        ),
+    )
     _add_jobs_argument(p_exp)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect observability output of previous runs"
+    )
+    p_obs.add_argument(
+        "--last",
+        action="store_true",
+        help="pretty-print the last command's run summary",
+    )
     return parser
 
 
@@ -130,6 +192,21 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if args.trace:
+        # The solver is memoized, so these re-solves are cache hits; the
+        # cached Algorithm1Result carries the full convergence trace.
+        for strategy, fixed_scale in (
+            ("ml-opt-scale", None),
+            ("ml-ori-scale", params.scale_upper_bound),
+        ):
+            result = algorithm1_optimize(
+                params, fixed_scale=fixed_scale, strategy_name=strategy
+            )
+            print(
+                f"\n{strategy}: Algorithm 1 convergence "
+                f"({result.outer_iterations} outer iterations)"
+            )
+            print(format_convergence_table(result.trace))
     return 0
 
 
@@ -154,7 +231,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _cmd_experiment(args: argparse.Namespace, timer: PhaseTimer) -> int:
     if args.list or not args.experiment_id:
         for name in sorted(EXPERIMENTS):
             print(name)
@@ -165,15 +242,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     kwargs = {}
+    parameters = inspect.signature(driver).parameters
+    accepts_var_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    # Only the simulation-heavy drivers take a worker budget or emit event
+    # traces; the analytic ones (fig1-fig4, table2, ...) have nothing to
+    # fan out or record.
     if args.jobs is not None:
-        # Only the simulation-heavy drivers take a worker budget; the
-        # analytic ones (fig1-fig4, table2, ...) have nothing to fan out.
-        parameters = inspect.signature(driver).parameters
-        accepts_jobs = "jobs" in parameters or any(
-            p.kind is inspect.Parameter.VAR_KEYWORD
-            for p in parameters.values()
-        )
-        if accepts_jobs:
+        if "jobs" in parameters or accepts_var_kwargs:
             kwargs["jobs"] = args.jobs
         else:
             print(
@@ -181,18 +258,85 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 "--jobs ignored",
                 file=sys.stderr,
             )
+    if args.trace_dir is not None:
+        if "trace_dir" in parameters or accepts_var_kwargs:
+            kwargs["trace_dir"] = args.trace_dir
+        else:
+            print(
+                f"note: experiment {args.experiment_id!r} has no simulation "
+                "ensembles; --trace-dir ignored",
+                file=sys.stderr,
+            )
+    if "timer" in parameters or accepts_var_kwargs:
+        kwargs["timer"] = timer
     result = driver(**kwargs)
     print(f"{args.experiment_id}: {result!r}"[:2000])
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if not args.last:
+        print("nothing to show; try: repro obs --last", file=sys.stderr)
+        return 2
+    try:
+        payload = read_last_run()
+    except FileNotFoundError:
+        print(
+            f"no run summary at {last_run_path()} — run a repro command first",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_last_run(payload))
+    return 0
+
+
+def _write_summary(
+    command: str,
+    argv: Sequence[str],
+    exit_code: int,
+    timer: PhaseTimer,
+) -> None:
+    """Record the last-run summary; never let bookkeeping kill the CLI."""
+    payload = {
+        "command": command,
+        "argv": list(argv),
+        "exit_code": exit_code,
+        "phase_seconds": timer.report(),
+        "metrics": METRICS.summary(),
+    }
+    try:
+        path = write_last_run(payload)
+    except OSError as exc:  # pragma: no cover - e.g. read-only cwd
+        logger.debug("could not write run summary: %s", exc)
+    else:
+        logger.debug("run summary written to %s", path)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:  # pragma: no cover - convenience for python -m repro
+        argv = sys.argv[1:]
     args = _build_parser().parse_args(argv)
-    if args.command == "optimize":
-        return _cmd_optimize(args)
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+    configure_logging(args.verbose)
+    timer = PhaseTimer()
+    if args.command == "obs":
+        # Read-only inspection: never overwrite the summary it displays.
+        return _cmd_obs(args)
+    try:
+        if args.command == "optimize":
+            code = _cmd_optimize(args)
+        elif args.command == "simulate":
+            code = _cmd_simulate(args)
+        elif args.command == "experiment":
+            code = _cmd_experiment(args, timer)
+        else:  # pragma: no cover - argparse enforces the choices
+            raise AssertionError(f"unhandled command {args.command!r}")
+    except FixedPointDiverged as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.trace:
+            print("partial convergence trace:", file=sys.stderr)
+            print(format_convergence_table(exc.trace), file=sys.stderr)
+        _write_summary(args.command, argv, EXIT_DIVERGED, timer)
+        return EXIT_DIVERGED
+    _write_summary(args.command, argv, code, timer)
+    return code

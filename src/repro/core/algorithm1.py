@@ -27,7 +27,64 @@ import numpy as np
 from repro.core.memo import memoized_solver
 from repro.core.multilevel import MultilevelInnerSolution, solve_inner
 from repro.core.notation import ModelParameters, Solution
+from repro.obs.logconf import get_logger
 from repro.util.iteration import FixedPointDiverged
+
+logger = get_logger("core.algorithm1")
+
+
+@dataclass(frozen=True)
+class OuterIterationRecord:
+    """Telemetry for one outer mu-iteration of Algorithm 1.
+
+    Attributes
+    ----------
+    index:
+        1-based outer-iteration number.
+    mu:
+        The refreshed expected failure counts ``mu_i`` after this
+        iteration (lines 7-10).
+    expected_wallclock:
+        ``E(T_w)`` of the inner solution evaluated this iteration (line 6).
+    residual:
+        Relative change ``max_i |mu_i' - mu_i| / max(|mu_i|, 1)`` against
+        the previous iterate (the line-11 stopping metric).
+    inner_iterations:
+        Inner fixed-point sweeps the line-5 solve used this iteration.
+    scale:
+        The inner solution's execution scale ``N``.
+    """
+
+    index: int
+    mu: tuple[float, ...]
+    expected_wallclock: float
+    residual: float
+    inner_iterations: int
+    scale: float
+
+
+def format_convergence_table(
+    trace: tuple[OuterIterationRecord, ...]
+) -> str:
+    """Render a per-iteration mu_i / E(T_w) convergence table."""
+    if not trace:
+        return "(empty convergence trace)"
+    num_levels = len(trace[0].mu)
+    header = (
+        f"{'iter':>4}  "
+        + "  ".join(f"{f'mu_{i}':>12}" for i in range(1, num_levels + 1))
+        + f"  {'E(T_w) s':>14}  {'residual':>10}  {'inner':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for record in trace:
+        lines.append(
+            f"{record.index:>4}  "
+            + "  ".join(f"{m:>12.6g}" for m in record.mu)
+            + f"  {record.expected_wallclock:>14.8g}"
+            + f"  {record.residual:>10.3e}"
+            + f"  {record.inner_iterations:>5}"
+        )
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -45,12 +102,17 @@ class Algorithm1Result:
         Sum of inner fixed-point sweeps across outer iterations.
     mu_history:
         Per-outer-iteration mu vectors (for convergence plots).
+    trace:
+        Per-outer-iteration :class:`OuterIterationRecord` telemetry —
+        ``(mu_i, E(T_w), residual, inner iterations, scale)`` for every
+        line-5/6/7-10 pass, in order.  ``len(trace) == outer_iterations``.
     """
 
     solution: Solution
     outer_iterations: int
     inner_iterations_total: int
     mu_history: tuple[tuple[float, ...], ...]
+    trace: tuple[OuterIterationRecord, ...] = ()
 
 
 @memoized_solver
@@ -95,6 +157,7 @@ def optimize(
     inner_total = 0
     inner: MultilevelInnerSolution | None = None
     x_warm = None
+    trace: list[OuterIterationRecord] = []
     for outer in range(1, max_outer + 1):
         b = params.failure_slope(wallclock_estimate)
         # Line 5: inner convex solve under the frozen-mu condition.
@@ -116,6 +179,21 @@ def optimize(
         )
         mu = mu_new
         mu_history.append(tuple(float(m) for m in mu))
+        trace.append(
+            OuterIterationRecord(
+                index=outer,
+                mu=tuple(float(m) for m in mu),
+                expected_wallclock=float(wallclock_estimate),
+                residual=residual,
+                inner_iterations=inner.iterations,
+                scale=float(inner.scale),
+            )
+        )
+        logger.debug(
+            "%s outer %d: E(T_w)=%.8g residual=%.3e inner=%d scale=%.6g",
+            strategy_name, outer, wallclock_estimate, residual,
+            inner.iterations, inner.scale,
+        )
         if residual <= delta:
             break
     else:
@@ -125,6 +203,7 @@ def optimize(
             f"last residual {residual:.3e}",
             last_value=mu,
             history=mu_history,
+            trace=trace,
         )
 
     solution = Solution(
@@ -136,9 +215,16 @@ def optimize(
         outer_iterations=outer,
         inner_iterations=inner_total,
     )
+    logger.info(
+        "%s converged in %d outer iterations (%d inner total): "
+        "E(T_w)=%.8g at N=%.6g",
+        strategy_name, outer, inner_total, inner.expected_wallclock,
+        inner.scale,
+    )
     return Algorithm1Result(
         solution=solution,
         outer_iterations=outer,
         inner_iterations_total=inner_total,
         mu_history=tuple(mu_history),
+        trace=tuple(trace),
     )

@@ -33,6 +33,11 @@ def solve_jin_single_level(
     ``params`` may be multilevel; it is collapsed via
     :meth:`ModelParameters.single_level` (top-level costs, summed failure
     rates).
+
+    The returned :class:`Algorithm1Result` carries the full
+    per-outer-iteration convergence ``trace`` (the baseline inherits
+    Algorithm 1's telemetry), so SL(opt-scale) convergence is inspectable
+    with the same tooling as the paper's own strategy.
     """
     collapsed = params.single_level() if params.num_levels > 1 else params
     return optimize(

@@ -41,6 +41,7 @@ from typing import Any, Callable, Hashable, Iterator
 import numpy as np
 
 from repro.costs.scaling import ScalingBaseline
+from repro.obs.metrics import METRICS
 
 
 def _token(obj: Any) -> Hashable:
@@ -133,14 +134,22 @@ class SolverCache:
         self._bypass_depth = 0
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, computing (and storing) on miss."""
+        """Return the cached value for ``key``, computing (and storing) on miss.
+
+        Hit/miss counts are mirrored into the process-wide metrics
+        registry (``memo.hits`` / ``memo.misses``, gauge ``memo.size``) so
+        cache behaviour shows up in run summaries and ``BENCH_*`` exports.
+        """
         if self._bypass_depth > 0:
+            METRICS.counter("memo.bypassed").inc()
             return compute()
         with self._lock:
             if key in self._store:
                 self._hits += 1
+                METRICS.counter("memo.hits").inc()
                 return self._store[key]
             self._misses += 1
+            METRICS.counter("memo.misses").inc()
         # Compute outside the lock: solves can be slow and re-entrant
         # (Algorithm 1 never calls back into the cache, but strategy
         # wrappers may nest).  A racing duplicate compute is benign — the
@@ -148,6 +157,7 @@ class SolverCache:
         value = compute()
         with self._lock:
             self._store.setdefault(key, value)
+            METRICS.gauge("memo.size").set(len(self._store))
         return value
 
     def clear(self) -> None:

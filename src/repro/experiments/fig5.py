@@ -27,6 +27,7 @@ root seed return bit-identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Mapping
 
 import numpy as np
@@ -34,6 +35,9 @@ import numpy as np
 from repro.core.notation import ModelParameters, Solution
 from repro.core.solutions import compare_all_strategies
 from repro.experiments.config import FIG5_CASES, make_params
+from repro.obs.logconf import get_logger
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.trace import write_ensemble_jsonl
 from repro.parallel.executor import Executor, ensure_executor
 from repro.parallel.timing import PhaseTimer
 from repro.sim.config import SimulationConfig
@@ -41,6 +45,8 @@ from repro.sim.ensemble import run_ensemble
 from repro.sim.metrics import EnsembleResult
 from repro.sim.runner import config_from_solution
 from repro.util.rng import SeedLike, spawn_generators
+
+logger = get_logger("experiments.fig5")
 
 #: Wall-clock cap for censored (analytically infeasible) strategies: 3 years.
 CENSOR_CAP_SECONDS: float = 86_400.0 * 365.0 * 3.0
@@ -82,6 +88,7 @@ class EnsembleTask:
     The config already carries the censor cap; ``probe_rng`` / ``main_rng``
     are the pre-spawned generators of the historical seed derivation, so
     running tasks in any order (or process) reproduces the serial results.
+    ``trace`` switches on per-replica event recording (RNG-neutral).
     """
 
     config: SimulationConfig
@@ -89,9 +96,10 @@ class EnsembleTask:
     n_runs: int
     probe_rng: np.random.Generator
     main_rng: np.random.Generator
+    trace: bool = False
 
 
-def run_ensemble_task(task: EnsembleTask) -> EnsembleResult:
+def run_ensemble_task(task: EnsembleTask) -> tuple[EnsembleResult, dict]:
     """Probe-then-replay protocol for one strategy's ensemble.
 
     Every run is capped: some analytically-feasible configurations
@@ -99,15 +107,30 @@ def run_ensemble_task(task: EnsembleTask) -> EnsembleResult:
     never complete under the simulator's retry semantics.  A 2-run probe
     detects censoring so catastrophic strategies are exhibited with a
     handful of runs instead of burning the full ensemble.
+
+    Returns ``(ensemble, metrics_snapshot)``: the task's ``sim.*`` metrics
+    are collected in a task-local registry (this function runs inside
+    process-pool workers whose globals never come home) and shipped back
+    as a snapshot for the parent driver to reduce.
     """
+    registry = MetricsRegistry()
     probe = run_ensemble(
-        task.config, n_runs=min(2, task.n_runs), seed=task.probe_rng
+        task.config, n_runs=min(2, task.n_runs), seed=task.probe_rng,
+        trace=task.trace, registry=registry,
     )
     remaining = task.n_runs - probe.n_runs
     if probe.all_completed and task.feasible and remaining > 0:
-        rest = run_ensemble(task.config, n_runs=remaining, seed=task.main_rng)
-        return EnsembleResult(runs=probe.runs + rest.runs)
-    return probe
+        rest = run_ensemble(
+            task.config, n_runs=remaining, seed=task.main_rng,
+            trace=task.trace, registry=registry,
+        )
+        traces = None
+        if task.trace:
+            traces = probe.traces + rest.traces
+        ensemble = EnsembleResult(runs=probe.runs + rest.runs, traces=traces)
+    else:
+        ensemble = probe
+    return ensemble, registry.snapshot()
 
 
 def case_tasks(
@@ -117,6 +140,7 @@ def case_tasks(
     n_runs: int,
     seed: SeedLike,
     jitter: float,
+    trace: bool = False,
 ) -> dict[str, EnsembleTask]:
     """Resolve one case's strategies into ordered ``{name: EnsembleTask}``.
 
@@ -142,6 +166,7 @@ def case_tasks(
             n_runs=n_runs,
             probe_rng=rngs[2 * index],
             main_rng=rngs[2 * index + 1],
+            trace=trace,
         )
     return tasks
 
@@ -163,11 +188,13 @@ def run_case(
     )
     executor, owned = ensure_executor(executor, jobs, len(tasks))
     try:
-        ensembles_list = executor.map(run_ensemble_task, list(tasks.values()))
+        outputs = executor.map(run_ensemble_task, list(tasks.values()))
     finally:
         if owned:
             executor.close()
-    ensembles = dict(zip(tasks.keys(), ensembles_list))
+    for _, snapshot in outputs:
+        METRICS.merge_snapshot(snapshot)
+    ensembles = dict(zip(tasks.keys(), (ens for ens, _ in outputs)))
     return CaseResult(
         case=case, params=params, solutions=solutions, ensembles=ensembles
     )
@@ -183,14 +210,25 @@ def run_fig5(
     jobs: int | None = None,
     executor: Executor | None = None,
     timer: PhaseTimer | None = None,
+    trace_dir: str | Path | None = None,
+    trace_prefix: str = "fig5",
 ) -> Fig5Result:
     """Run the full Fig. 5 / Table III experiment.
 
     All ``len(cases) * 4`` strategy ensembles are submitted to the
     executor concurrently; ``timer`` (optional) records the solve /
     simulate / aggregate phase wall-clocks.
+
+    ``trace_dir`` switches on per-replica event tracing and writes one
+    JSONL file per (case x strategy) ensemble —
+    ``<trace_prefix>_<case>_<strategy>.jsonl``, each line tagged with its
+    replica index — to that directory.  Tracing never touches the RNG
+    streams, so traced and untraced runs of one seed produce identical
+    ensembles; the per-level failure/checkpoint counts in each trace match
+    the corresponding ``SimResult`` fields exactly (property-tested).
     """
     timer = timer if timer is not None else PhaseTimer()
+    trace = trace_dir is not None
     rngs = spawn_generators(seed, len(cases))
 
     with timer.phase("solve"):
@@ -199,6 +237,11 @@ def run_fig5(
             params = make_params(te_core_days, case)
             solutions = compare_all_strategies(params)
             solved.append((case, params, solutions, rng))
+    logger.info(
+        "%s: solved %d cases x %d strategies (T_e=%g core-days)",
+        trace_prefix, len(solved), len(solved[0][2]) if solved else 0,
+        te_core_days,
+    )
 
     with timer.phase("simulate"):
         flat_tasks: list[EnsembleTask] = []
@@ -206,7 +249,8 @@ def run_fig5(
         per_case_tasks = []
         for case, params, solutions, rng in solved:
             tasks = case_tasks(
-                params, solutions, n_runs=n_runs, seed=rng, jitter=jitter
+                params, solutions, n_runs=n_runs, seed=rng, jitter=jitter,
+                trace=trace,
             )
             per_case_tasks.append(tasks)
             for name, task in tasks.items():
@@ -214,10 +258,14 @@ def run_fig5(
                 flat_names.append((case, name))
         executor, owned = ensure_executor(executor, jobs, len(flat_tasks))
         try:
-            flat_results = executor.map(run_ensemble_task, flat_tasks)
+            flat_outputs = executor.map(run_ensemble_task, flat_tasks)
         finally:
             if owned:
                 executor.close()
+        # Reduce per-task worker metrics into the parent, in task order.
+        for _, snapshot in flat_outputs:
+            METRICS.merge_snapshot(snapshot)
+        flat_results = [ensemble for ensemble, _ in flat_outputs]
 
     with timer.phase("aggregate"):
         by_key = dict(zip(flat_names, flat_results))
@@ -234,4 +282,17 @@ def run_fig5(
                 solved, per_case_tasks
             )
         )
+
+    if trace:
+        with timer.phase("trace-export"):
+            for (case, name), ensemble in zip(flat_names, flat_results):
+                path = write_ensemble_jsonl(
+                    Path(trace_dir) / f"{trace_prefix}_{case}_{name}.jsonl",
+                    ensemble.traces,
+                )
+                logger.debug("wrote %s (%d runs)", path, ensemble.n_runs)
+            logger.info(
+                "%s: exported %d ensemble traces to %s",
+                trace_prefix, len(flat_results), trace_dir,
+            )
     return Fig5Result(te_core_days=te_core_days, cases=results)

@@ -24,14 +24,21 @@ def run_fig6(
     jobs: int | None = None,
     executor: Executor | None = None,
     timer: PhaseTimer | None = None,
+    trace_dir=None,
 ) -> Fig5Result:
-    """Run the Fig. 6 experiment (Fig. 5 protocol at T_e = 10m core-days)."""
+    """Run the Fig. 6 experiment (Fig. 5 protocol at T_e = 10m core-days).
+
+    ``trace_dir`` exports per-ensemble JSONL event traces
+    (``fig6_<case>_<strategy>.jsonl``), exactly like
+    :func:`~repro.experiments.fig5.run_fig5`.
+    """
     kwargs = {}
     if cases is not None:
         kwargs["cases"] = cases
     return run_fig5(
         te_core_days=10e6, n_runs=n_runs, seed=seed, jitter=jitter,
-        jobs=jobs, executor=executor, timer=timer, **kwargs
+        jobs=jobs, executor=executor, timer=timer, trace_dir=trace_dir,
+        trace_prefix="fig6", **kwargs
     )
 
 

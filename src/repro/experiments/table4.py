@@ -26,6 +26,7 @@ from repro.core.notation import ModelParameters, Solution
 from repro.core.solutions import compare_all_strategies
 from repro.experiments.config import TABLE4_CASES, make_params, table4_cost_models
 from repro.experiments.fig5 import CaseResult, case_tasks, run_ensemble_task
+from repro.obs.metrics import METRICS
 from repro.parallel.executor import Executor, ensure_executor
 from repro.parallel.timing import PhaseTimer
 from repro.sim.metrics import EnsembleResult
@@ -104,10 +105,13 @@ def run_table4(
             flat_tasks.extend(tasks.values())
         executor, owned = ensure_executor(executor, jobs, len(flat_tasks))
         try:
-            flat_results = executor.map(run_ensemble_task, flat_tasks)
+            flat_outputs = executor.map(run_ensemble_task, flat_tasks)
         finally:
             if owned:
                 executor.close()
+        for _, snapshot in flat_outputs:
+            METRICS.merge_snapshot(snapshot)
+        flat_results = [ensemble for ensemble, _ in flat_outputs]
 
     with timer.phase("aggregate"):
         result_iter = iter(flat_results)

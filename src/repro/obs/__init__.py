@@ -1,0 +1,107 @@
+"""``repro.obs`` — the unified observability layer.
+
+Three dependency-free pillars, threaded through the whole stack:
+
+* **Event tracing** (:mod:`repro.obs.events`, :mod:`repro.obs.trace`) —
+  typed events emitted by the simulation engine
+  (:class:`~repro.obs.events.CheckpointStart`/``Done``,
+  :class:`~repro.obs.events.Failure`, recovery, rollback, censoring,
+  segment completion), collected by a :class:`~repro.obs.trace.TraceRecorder`
+  (optionally ring-buffered) with JSONL export/import.  The
+  :data:`~repro.obs.trace.NULL_RECORDER` fast path keeps the hot loop at
+  ~zero cost when tracing is off (guarded by ``benchmarks/test_bench_obs.py``).
+* **Metrics registry** (:mod:`repro.obs.metrics`) — process-local
+  counters / gauges / histograms with snapshot/merge semantics, so
+  per-worker metrics from process-pool replicas reduce into the parent
+  deterministically.
+* **Solver telemetry + logging** (:mod:`repro.obs.logconf`,
+  ``Algorithm1Result.trace``) — per-outer-iteration convergence records
+  from Algorithm 1 and structured :mod:`logging` configuration
+  (``-v``/``-vv``, ``REPRO_LOG``).
+
+Everything here is stdlib-only (the rest of the repo already depends on
+numpy; ``repro.obs`` itself does not import it), so the layer can be
+threaded through workers and pickled freely.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    CheckpointDone,
+    CheckpointStart,
+    Failure,
+    RecoveryDone,
+    RecoveryStart,
+    Rollback,
+    RunCensored,
+    SegmentComplete,
+    TraceEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.logconf import LOG_ENV_VAR, configure_logging, get_logger
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.runinfo import (
+    OBS_DIR_ENV_VAR,
+    last_run_path,
+    read_last_run,
+    write_last_run,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    checkpoint_counts,
+    failure_counts,
+    portions_from_events,
+    read_ensemble_jsonl,
+    read_jsonl,
+    wallclock_from_events,
+    write_ensemble_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "CheckpointDone",
+    "CheckpointStart",
+    "Failure",
+    "RecoveryDone",
+    "RecoveryStart",
+    "Rollback",
+    "RunCensored",
+    "SegmentComplete",
+    "TraceEvent",
+    "event_from_dict",
+    "event_to_dict",
+    "LOG_ENV_VAR",
+    "configure_logging",
+    "get_logger",
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "OBS_DIR_ENV_VAR",
+    "last_run_path",
+    "read_last_run",
+    "write_last_run",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceRecorder",
+    "checkpoint_counts",
+    "failure_counts",
+    "portions_from_events",
+    "read_ensemble_jsonl",
+    "read_jsonl",
+    "wallclock_from_events",
+    "write_ensemble_jsonl",
+    "write_jsonl",
+]

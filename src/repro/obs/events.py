@@ -1,0 +1,182 @@
+"""Typed trace events of the multilevel-checkpoint execution engine.
+
+The paper reasons about per-level failure/checkpoint event *sequences*
+(Section IV, the Fig. 5/6 portions); these dataclasses make that sequence
+a first-class artifact.  One simulated execution emits, in wall-clock
+order:
+
+* :class:`CheckpointStart` / :class:`CheckpointDone` per checkpoint mark
+  (a ``Start`` without a matching ``Done`` is an aborted checkpoint — a
+  failure struck mid-write; its partial cost is still accounted in the
+  enclosing :class:`SegmentComplete`);
+* :class:`Failure` and :class:`Rollback` per failure event;
+* :class:`RecoveryStart` / :class:`RecoveryDone` per recovery attempt
+  (``interrupted=True`` when a new failure landed mid-recovery);
+* :class:`SegmentComplete` per deterministic between-failure segment,
+  carrying the segment's portion decomposition (first-time productive,
+  re-executed rollback, checkpoint overhead) so the Fig. 5 portions are
+  exactly reconstructable from the trace alone;
+* :class:`RunCensored` when the run hits ``max_wallclock``.
+
+Events are frozen dataclasses: hashable, picklable (they cross process
+pools inside ensemble results), and round-trippable through JSON
+(:func:`event_to_dict` / :func:`event_from_dict` — floats survive exactly
+via ``repr`` shortest-round-trip serialization of :mod:`json`).
+
+All times ``t`` are simulated wall-clock seconds since run start; levels
+are 1-based, matching the rest of the repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base event: anything that happens at wall-clock instant ``t``."""
+
+    t: float
+
+
+@dataclass(frozen=True)
+class CheckpointStart(TraceEvent):
+    """A level-``level`` checkpoint begins at progress mark ``progress``."""
+
+    level: int
+    progress: float
+
+
+@dataclass(frozen=True)
+class CheckpointDone(TraceEvent):
+    """A checkpoint completed; ``cost`` is its jittered write cost."""
+
+    level: int
+    progress: float
+    cost: float
+
+
+@dataclass(frozen=True)
+class Failure(TraceEvent):
+    """A level-``level`` failure strikes."""
+
+    level: int
+
+
+@dataclass(frozen=True)
+class Rollback(TraceEvent):
+    """Progress rolled back from ``progress_from`` to ``progress_to``.
+
+    Emitted immediately after the :class:`Failure` it responds to;
+    ``level`` repeats the failure level for self-contained analysis.
+    """
+
+    level: int
+    progress_from: float
+    progress_to: float
+
+
+@dataclass(frozen=True)
+class RecoveryStart(TraceEvent):
+    """Allocation + level-``level`` recovery begins."""
+
+    level: int
+
+
+@dataclass(frozen=True)
+class RecoveryDone(TraceEvent):
+    """A recovery attempt ended after ``duration`` seconds.
+
+    ``interrupted=True`` means a new failure landed mid-recovery: the time
+    spent is still restart overhead, and a fresh
+    :class:`RecoveryStart` follows at the new failure's level.
+    """
+
+    level: int
+    duration: float
+    interrupted: bool = False
+
+
+@dataclass(frozen=True)
+class SegmentComplete(TraceEvent):
+    """One deterministic between-failure segment ended at ``t``.
+
+    Attributes
+    ----------
+    duration:
+        Wall-clock seconds the segment consumed.
+    productive:
+        First-time productive work within the segment (Fig. 5 portion).
+    rework:
+        Re-executed (rollback) work within the segment.
+    checkpoint:
+        Checkpoint overhead within the segment, including the partial cost
+        of an aborted checkpoint.
+    marks_completed:
+        Checkpoint marks committed during the segment.
+    progress:
+        Productive progress at segment end.
+    run_completed:
+        True on the final segment of a successfully completed run.
+    """
+
+    duration: float
+    productive: float
+    rework: float
+    checkpoint: float
+    marks_completed: int
+    progress: float
+    run_completed: bool = False
+
+
+@dataclass(frozen=True)
+class RunCensored(TraceEvent):
+    """The run hit the ``max_wallclock`` cap at progress ``progress``."""
+
+    progress: float
+
+
+#: Registry for JSON round-trips: type tag -> event class.
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        CheckpointStart,
+        CheckpointDone,
+        Failure,
+        Rollback,
+        RecoveryStart,
+        RecoveryDone,
+        SegmentComplete,
+        RunCensored,
+    )
+}
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """JSON-serializable dict with a ``"type"`` tag first."""
+    cls = type(event)
+    if cls.__name__ not in EVENT_TYPES:
+        raise TypeError(f"unregistered event type: {cls.__name__}")
+    return {"type": cls.__name__, **asdict(event)}
+
+
+def event_from_dict(payload: dict) -> TraceEvent:
+    """Inverse of :func:`event_to_dict`; unknown tags/fields raise."""
+    data = dict(payload)
+    try:
+        tag = data.pop("type")
+    except KeyError:
+        raise ValueError(f"event dict has no 'type' tag: {payload!r}") from None
+    try:
+        cls = EVENT_TYPES[tag]
+    except KeyError:
+        raise ValueError(
+            f"unknown event type {tag!r}; known: {sorted(EVENT_TYPES)}"
+        ) from None
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"{tag} does not accept fields {sorted(unknown)}"
+        )
+    return cls(**data)

@@ -1,0 +1,257 @@
+"""Process-local metrics: counters, gauges, histograms, snapshot/merge.
+
+The registry absorbs the ad-hoc stats that used to live all over the
+repo — memo hit/miss counters (:mod:`repro.core.memo`), per-phase
+wall-clock (:class:`repro.parallel.timing.PhaseTimer`), executor task
+counts and map timings (:mod:`repro.parallel.executor`), per-replica
+simulation counts (:mod:`repro.sim.ensemble`) — under one namespace with
+uniform export.
+
+Design rules (they are what make per-worker reduction deterministic):
+
+* **Counter** — monotone float accumulator (integers stay exact).  Merge
+  adds.  Worker-side counts are integers, so serial and process-pool
+  ensembles reduce to bit-identical values.
+* **Gauge** — last-written float (e.g. cache size).  Merge overwrites
+  with the incoming value: the incoming snapshot is always the *newer*
+  observation in this repo's reduce direction (workers → parent).
+* **Histogram** — the raw observation sequence (optionally ring-buffered).
+  Merge concatenates, so as long as snapshots are merged in task order —
+  which :func:`repro.sim.ensemble.run_ensemble` guarantees via its
+  order-preserving executor map — the merged sample sequence equals the
+  serial one *exactly*, independent of chunk boundaries.  Aggregates
+  (``sum``/``mean``) are computed lazily with :func:`math.fsum`, so they
+  too are chunking-independent.
+
+A snapshot is a plain JSON-serializable dict
+``{name: {"type": ..., ...}}``; :func:`merge_snapshots` reduces two of
+them, and :meth:`MetricsRegistry.merge_snapshot` absorbs one into a live
+registry.  The process-wide default registry is :data:`METRICS`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Iterable, Mapping
+
+
+class Counter:
+    """Monotone accumulator (``inc``/``add``); integer adds stay exact."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = value
+
+    def inc(self) -> None:
+        """Add 1."""
+        self.value += 1
+
+    def add(self, amount: float) -> None:
+        """Add ``amount`` (must be >= 0: counters only go up)."""
+        if amount < 0:
+            raise ValueError(f"counters are monotone; cannot add {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """Last-written value (``set``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = value
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Raw observation sequence with lazy, order-stable aggregates.
+
+    ``maxlen`` turns the storage into a ring buffer (newest observations
+    survive) for unbounded streams; aggregation then describes the
+    retained window only.
+    """
+
+    __slots__ = ("_samples", "maxlen")
+
+    def __init__(self, maxlen: int | None = None):
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1 or None, got {maxlen}")
+        self.maxlen = maxlen
+        self._samples: deque[float] = deque(maxlen=maxlen)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._samples.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many observations, in order."""
+        for value in values:
+            self._samples.append(float(value))
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """The retained observations, oldest first."""
+        return tuple(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Number of retained observations."""
+        return len(self._samples)
+
+    @property
+    def sum(self) -> float:
+        """Exact (fsum) total of the retained observations."""
+        return math.fsum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the retained observations (0.0 when empty)."""
+        return self.sum / self.count if self._samples else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest retained observation (``nan`` when empty)."""
+        return min(self._samples) if self._samples else math.nan
+
+    @property
+    def max(self) -> float:
+        """Largest retained observation (``nan`` when empty)."""
+        return max(self._samples) if self._samples else math.nan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Thread-safe, insertion-ordered name -> metric store.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create (the prometheus
+    idiom): call sites never need registration boilerplate, and a name
+    always maps to one metric object of one type — asking for an existing
+    name with a different type raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.RLock()
+
+    def _get_or_create(self, name: str, cls, *args):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(*args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter ``name``."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge ``name``."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, maxlen: int | None = None) -> Histogram:
+        """Get-or-create the histogram ``name`` (``maxlen`` applies on create)."""
+        return self._get_or_create(name, Histogram, maxlen)
+
+    def names(self) -> tuple[str, ...]:
+        """Registered metric names, in insertion order."""
+        with self._lock:
+            return tuple(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh-run boundaries)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self, prefix: str = "") -> dict[str, dict]:
+        """JSON-serializable ``{name: {"type": ..., ...}}``, insertion-ordered.
+
+        ``prefix`` filters to names starting with it (e.g. ``"sim."``).
+        """
+        with self._lock:
+            items = [
+                (name, metric)
+                for name, metric in self._metrics.items()
+                if name.startswith(prefix)
+            ]
+        snap: dict[str, dict] = {}
+        for name, metric in items:
+            if isinstance(metric, Counter):
+                snap[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                snap[name] = {"type": "gauge", "value": metric.value}
+            else:
+                snap[name] = {
+                    "type": "histogram",
+                    "samples": list(metric.samples),
+                    "maxlen": metric.maxlen,
+                }
+        return snap
+
+    def summary(self, prefix: str = "") -> dict[str, float | dict]:
+        """Compact human-facing view: scalars, histograms as aggregate dicts."""
+        out: dict[str, float | dict] = {}
+        for name, payload in self.snapshot(prefix).items():
+            if payload["type"] == "histogram":
+                samples = payload["samples"]
+                out[name] = {
+                    "count": len(samples),
+                    "sum": math.fsum(samples),
+                    "min": min(samples) if samples else math.nan,
+                    "max": max(samples) if samples else math.nan,
+                }
+            else:
+                out[name] = payload["value"]
+        return out
+
+    def merge_snapshot(self, snap: Mapping[str, Mapping]) -> None:
+        """Absorb one :meth:`snapshot` (counters add, gauges overwrite,
+        histogram samples append in order)."""
+        for name, payload in snap.items():
+            kind = payload["type"]
+            if kind == "counter":
+                self.counter(name).add(payload["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(payload["value"])
+            elif kind == "histogram":
+                self.histogram(name, payload.get("maxlen")).extend(
+                    payload["samples"]
+                )
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
+
+def merge_snapshots(
+    *snaps: Mapping[str, Mapping],
+) -> dict[str, dict]:
+    """Reduce snapshots left to right into one (order matters for
+    histograms/gauges; counters commute)."""
+    registry = MetricsRegistry()
+    for snap in snaps:
+        registry.merge_snapshot(snap)
+    return registry.snapshot()
+
+
+#: The process-wide default registry all instrumented call sites use.
+METRICS = MetricsRegistry()

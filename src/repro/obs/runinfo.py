@@ -1,0 +1,85 @@
+"""Last-run observability summaries for ``repro obs --last``.
+
+Every CLI command (``optimize`` / ``simulate`` / ``experiment``) writes a
+small JSON summary — command, arguments, exit code, metrics snapshot,
+phase timings, trace-file index — to ``$REPRO_OBS_DIR/last_run.json``
+(default ``.repro-obs/`` in the working directory).  ``repro obs --last``
+pretty-prints the newest one, so "what did that run actually do?" has an
+answer after the process exits.
+
+The file is tiny (histograms are summarized, not dumped), overwritten on
+each run, and the directory is ignored by git.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Environment variable overriding the summary directory.
+OBS_DIR_ENV_VAR = "REPRO_OBS_DIR"
+#: Default directory (relative to the working directory).
+DEFAULT_OBS_DIR = ".repro-obs"
+_LAST_RUN_FILE = "last_run.json"
+
+
+def obs_dir(directory: str | Path | None = None) -> Path:
+    """Resolve the summary directory: argument > env var > default."""
+    if directory is not None:
+        return Path(directory)
+    return Path(os.environ.get(OBS_DIR_ENV_VAR, DEFAULT_OBS_DIR))
+
+
+def last_run_path(directory: str | Path | None = None) -> Path:
+    """Path of the last-run summary file under :func:`obs_dir`."""
+    return obs_dir(directory) / _LAST_RUN_FILE
+
+
+def write_last_run(
+    payload: dict, directory: str | Path | None = None
+) -> Path:
+    """Write the last-run summary (pretty JSON); returns the path."""
+    path = last_run_path(directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def read_last_run(directory: str | Path | None = None) -> dict:
+    """Load the last-run summary; raises ``FileNotFoundError`` if absent."""
+    return json.loads(last_run_path(directory).read_text())
+
+
+def format_last_run(payload: dict) -> str:
+    """Human-readable rendering of a last-run summary."""
+    lines = []
+    command = payload.get("command", "?")
+    argv = payload.get("argv")
+    # argv is the full post-program argument vector (it already names the
+    # subcommand), so prefer it verbatim over the bare command field.
+    invocation = " ".join(argv) if argv else command
+    lines.append(f"last run: repro {invocation}")
+    if "exit_code" in payload:
+        lines.append(f"exit code: {payload['exit_code']}")
+    timings = payload.get("phase_seconds") or {}
+    if timings:
+        lines.append("phases:")
+        for name, seconds in timings.items():
+            lines.append(f"  {name:<12} {seconds:.4f}s")
+    metrics = payload.get("metrics") or {}
+    if metrics:
+        lines.append("metrics:")
+        for name, value in metrics.items():
+            if isinstance(value, dict):
+                inner = ", ".join(f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}" for k, v in value.items())
+                lines.append(f"  {name:<28} {inner}")
+            else:
+                value_text = f"{value:.6g}" if isinstance(value, float) else str(value)
+                lines.append(f"  {name:<28} {value_text}")
+    traces = payload.get("trace_files") or []
+    if traces:
+        lines.append("trace files:")
+        for entry in traces:
+            lines.append(f"  {entry}")
+    return "\n".join(lines)

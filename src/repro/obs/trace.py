@@ -1,0 +1,233 @@
+"""Trace recording, JSONL persistence, and trace-side analysis.
+
+The engine takes a *recorder* object with two members:
+
+* ``active`` — a plain bool attribute the hot loop checks before building
+  any event object (so the disabled path costs one attribute read);
+* ``emit(event)`` — appends one :class:`~repro.obs.events.TraceEvent`.
+
+:class:`NullRecorder` (singleton :data:`NULL_RECORDER`) is the default:
+``active`` is False and ``emit`` is a no-op, so tracing off adds ~zero
+cost (benchmarked in ``benchmarks/test_bench_obs.py``).
+:class:`TraceRecorder` collects events in order, optionally in a ring
+buffer (``maxlen``) for long ensembles where only the tail matters.
+
+Persistence is JSONL — one event dict per line — via
+:func:`write_jsonl` / :func:`read_jsonl`, plus the ensemble variants that
+tag each line with its replica index.  Round-trips are exact: reloaded
+events compare equal to the in-memory originals.
+
+The analysis helpers (:func:`failure_counts`, :func:`checkpoint_counts`,
+:func:`portions_from_events`, :func:`wallclock_from_events`) reconstruct
+the headline :class:`~repro.sim.metrics.SimResult` quantities *purely*
+from the event stream — the property tests assert they match the engine's
+own accounting exactly, which is what makes the trace trustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.events import (
+    CheckpointDone,
+    Failure,
+    RecoveryDone,
+    SegmentComplete,
+    TraceEvent,
+    event_from_dict,
+    event_to_dict,
+)
+
+
+class NullRecorder:
+    """The tracing-off fast path: inactive, drops everything."""
+
+    #: Hot-loop guard — the engine checks this before building events.
+    active: bool = False
+
+    __slots__ = ()
+
+    def emit(self, event: TraceEvent) -> None:
+        """Drop the event."""
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """Always empty."""
+        return ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullRecorder()"
+
+
+#: Shared inactive recorder; safe to reuse everywhere (it holds no state).
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """Collects events in emission order.
+
+    Parameters
+    ----------
+    maxlen:
+        Ring-buffer capacity; ``None`` (default) keeps every event.  With
+        a cap, only the newest ``maxlen`` events survive — the mode meant
+        for large ensembles where full traces would dominate memory.
+    """
+
+    active: bool = True
+
+    __slots__ = ("_events", "maxlen")
+
+    def __init__(self, maxlen: int | None = None):
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1 or None, got {maxlen}")
+        self.maxlen = maxlen
+        self._events: deque[TraceEvent] = deque(maxlen=maxlen)
+
+    def emit(self, event: TraceEvent) -> None:
+        """Append one event (oldest dropped first when ring-buffered)."""
+        self._events.append(event)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        """Snapshot of the recorded events, in emission order."""
+        return tuple(self._events)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "" if self.maxlen is None else f", maxlen={self.maxlen}"
+        return f"TraceRecorder({len(self._events)} events{cap})"
+
+
+# -- JSONL persistence -------------------------------------------------------
+
+
+def write_jsonl(path: str | Path, events: Iterable[TraceEvent]) -> Path:
+    """Write one event per line; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event)) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> tuple[TraceEvent, ...]:
+    """Load a :func:`write_jsonl` file back into typed events."""
+    events = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return tuple(events)
+
+
+def write_ensemble_jsonl(
+    path: str | Path, traces: Sequence[Sequence[TraceEvent]]
+) -> Path:
+    """Write per-replica traces to one file, each line tagged ``"run": i``.
+
+    Lines keep replica order (all of run 0, then run 1, ...), so the file
+    is a deterministic function of the ensemble for a fixed seed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for run_index, events in enumerate(traces):
+            for event in events:
+                fh.write(
+                    json.dumps({"run": run_index, **event_to_dict(event)})
+                    + "\n"
+                )
+    return path
+
+
+def read_ensemble_jsonl(path: str | Path) -> tuple[tuple[TraceEvent, ...], ...]:
+    """Load a :func:`write_ensemble_jsonl` file back into per-replica traces."""
+    by_run: dict[int, list[TraceEvent]] = {}
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            run = int(payload.pop("run"))
+            by_run.setdefault(run, []).append(event_from_dict(payload))
+    if not by_run:
+        return ()
+    n_runs = max(by_run) + 1
+    return tuple(tuple(by_run.get(i, ())) for i in range(n_runs))
+
+
+# -- trace-side reconstruction ----------------------------------------------
+
+
+def failure_counts(events: Iterable[TraceEvent], num_levels: int) -> tuple[int, ...]:
+    """Per-level :class:`~repro.obs.events.Failure` counts (1-based levels)."""
+    counts = [0] * num_levels
+    for event in events:
+        if isinstance(event, Failure):
+            counts[event.level - 1] += 1
+    return tuple(counts)
+
+
+def checkpoint_counts(
+    events: Iterable[TraceEvent], num_levels: int
+) -> tuple[int, ...]:
+    """Per-level completed-checkpoint counts (``CheckpointDone`` events)."""
+    counts = [0] * num_levels
+    for event in events:
+        if isinstance(event, CheckpointDone):
+            counts[event.level - 1] += 1
+    return tuple(counts)
+
+
+def portions_from_events(events: Iterable[TraceEvent]) -> dict[str, float]:
+    """Reconstruct the Fig. 5 portion decomposition from the trace alone.
+
+    ``productive`` / ``rollback`` / ``checkpoint`` come from the
+    :class:`~repro.obs.events.SegmentComplete` decompositions; ``restart``
+    is the sum of :class:`~repro.obs.events.RecoveryDone` durations
+    (interrupted attempts included — their time is still restart
+    overhead).  For a complete (non-ring-buffered) trace this matches the
+    engine's own ``SimResult.portions`` bit for bit: both sides sum the
+    identical per-segment floats in the identical order.
+    """
+    portions = {
+        "productive": 0.0,
+        "checkpoint": 0.0,
+        "restart": 0.0,
+        "rollback": 0.0,
+    }
+    for event in events:
+        if isinstance(event, SegmentComplete):
+            portions["productive"] += event.productive
+            portions["rollback"] += event.rework
+            portions["checkpoint"] += event.checkpoint
+        elif isinstance(event, RecoveryDone):
+            portions["restart"] += event.duration
+    return portions
+
+
+def wallclock_from_events(events: Iterable[TraceEvent]) -> float:
+    """Total wall-clock reconstructed from segment + recovery durations."""
+    total = 0.0
+    for event in events:
+        if isinstance(event, (SegmentComplete,)):
+            total += event.duration
+        elif isinstance(event, RecoveryDone):
+            total += event.duration
+    return total

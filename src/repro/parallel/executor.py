@@ -27,8 +27,11 @@ from __future__ import annotations
 
 import abc
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.obs.metrics import METRICS
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -92,9 +95,29 @@ class Executor(abc.ABC):
             raise ValueError(f"an executor needs >= 1 job, got {jobs}")
         self.jobs = int(jobs)
 
-    @abc.abstractmethod
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        """Apply ``fn`` to every item; results in input order."""
+        """Apply ``fn`` to every item; results in input order.
+
+        Every map charges the process-wide metrics registry:
+        ``executor.<kind>.maps`` / ``.tasks`` counters and an
+        ``executor.<kind>.map_seconds`` histogram of per-map wall-clock —
+        the dispatch-side accounting that used to be invisible.
+        """
+        items = list(items)
+        start = time.perf_counter()
+        try:
+            return self._map(fn, items)
+        finally:
+            elapsed = time.perf_counter() - start
+            METRICS.counter(f"executor.{self.kind}.maps").inc()
+            METRICS.counter(f"executor.{self.kind}.tasks").add(len(items))
+            METRICS.histogram(f"executor.{self.kind}.map_seconds").observe(
+                elapsed
+            )
+
+    @abc.abstractmethod
+    def _map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Backend hook: apply ``fn`` to every item, results in input order."""
 
     def close(self) -> None:
         """Release pool resources (no-op for serial)."""
@@ -117,7 +140,7 @@ class SerialExecutor(Executor):
     def __init__(self, jobs: int = 1):
         super().__init__(1)
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+    def _map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         return [fn(item) for item in items]
 
 
@@ -130,7 +153,7 @@ class _PoolExecutor(Executor):
         super().__init__(jobs)
         self._pool = self._pool_cls(max_workers=self.jobs)
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+    def _map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         # ``Executor.map`` of concurrent.futures yields in submission
         # order and re-raises the first worker exception — exactly the
         # contract we promise.

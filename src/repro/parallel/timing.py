@@ -5,6 +5,14 @@ experiment drivers charge their time to named phases (``solve`` /
 ``simulate`` / ``aggregate``), and the parallel bench serializes the
 resulting report — plus serial-vs-parallel speedups — to
 ``benchmarks/results/BENCH_parallel.json``.
+
+Since the observability layer (PR 2) the timer's storage *is* a
+:class:`~repro.obs.metrics.MetricsRegistry` — one ``phase.<name>.seconds``
+counter per phase — instead of an ad-hoc dict, so phase timings export
+through the same snapshot machinery as every other metric.  The public
+API is unchanged; :meth:`PhaseTimer.report` additionally guarantees
+first-entered phase order, and :meth:`PhaseTimer.merge` composes driver
+and worker timers.
 """
 
 from __future__ import annotations
@@ -13,19 +21,36 @@ import json
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+_PHASE_PREFIX = "phase."
+_PHASE_SUFFIX = ".seconds"
+
+
+def _metric_name(phase: str) -> str:
+    return f"{_PHASE_PREFIX}{phase}{_PHASE_SUFFIX}"
 
 
 class PhaseTimer:
     """Accumulates wall-clock seconds per named phase.
 
     Phases may be entered repeatedly; durations accumulate.  The timer is
-    deliberately dumb — a monotonic clock and a dict — so threading it
-    through drivers costs nothing measurable.
+    deliberately dumb — a monotonic clock over a metrics registry — so
+    threading it through drivers costs nothing measurable.
+
+    Parameters
+    ----------
+    registry:
+        The backing :class:`~repro.obs.metrics.MetricsRegistry`; a private
+        one by default.  Pass a shared registry (e.g.
+        :data:`repro.obs.metrics.METRICS`) to surface phase counters
+        alongside the rest of a process's metrics.
     """
 
-    def __init__(self) -> None:
-        self._elapsed: dict[str, float] = {}
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._metrics = registry if registry is not None else MetricsRegistry()
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -34,7 +59,7 @@ class PhaseTimer:
         try:
             yield
         finally:
-            self._elapsed[name] = self._elapsed.get(name, 0.0) + (
+            self._metrics.counter(_metric_name(name)).add(
                 time.perf_counter() - start
             )
 
@@ -42,23 +67,54 @@ class PhaseTimer:
         """Charge ``seconds`` to ``name`` directly (pre-measured blocks)."""
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
-        self._elapsed[name] = self._elapsed.get(name, 0.0) + seconds
+        self._metrics.counter(_metric_name(name)).add(seconds)
 
     def elapsed(self, name: str) -> float:
         """Accumulated seconds of one phase (0.0 if never entered)."""
-        return self._elapsed.get(name, 0.0)
+        if _metric_name(name) not in self._metrics.names():
+            return 0.0
+        return self._metrics.counter(_metric_name(name)).value
 
     @property
     def total(self) -> float:
         """Sum over all phases."""
-        return float(sum(self._elapsed.values()))
+        return float(sum(self.report().values()))
 
     def report(self) -> dict[str, float]:
-        """``{phase: seconds}`` snapshot (insertion-ordered)."""
-        return dict(self._elapsed)
+        """``{phase: seconds}``, in first-entered (insertion) order.
+
+        The ordering is part of the contract: drivers enter phases in
+        pipeline order (solve → simulate → aggregate), and the bench
+        artifacts serialize the report as-is, so downstream diffs stay
+        stable.
+        """
+        out: dict[str, float] = {}
+        for name in self._metrics.names():
+            if name.startswith(_PHASE_PREFIX) and name.endswith(_PHASE_SUFFIX):
+                phase = name[len(_PHASE_PREFIX) : -len(_PHASE_SUFFIX)]
+                out[phase] = self._metrics.counter(name).value
+        return out
+
+    @classmethod
+    def merge(cls, timers: Iterable["PhaseTimer"]) -> "PhaseTimer":
+        """Compose timers: per-phase sums, first-seen phase order.
+
+        The driver + worker composition the execution layer needs: a
+        parent merges the timers shipped back from process-pool workers
+        with its own, and the merged report reads like one pipeline.
+        """
+        merged = cls()
+        for timer in timers:
+            for phase, seconds in timer.report().items():
+                merged.add(phase, seconds)
+        return merged
+
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Copy this timer's phase counters into ``registry`` (additive)."""
+        registry.merge_snapshot(self._metrics.snapshot(prefix=_PHASE_PREFIX))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        inner = ", ".join(f"{k}={v:.3f}s" for k, v in self._elapsed.items())
+        inner = ", ".join(f"{k}={v:.3f}s" for k, v in self.report().items())
         return f"PhaseTimer({inner})"
 
 

@@ -22,6 +22,17 @@ Between failures the schedule is deterministic, so the engine advances in
 *segments*: it vectorizes the per-mark costs of the reachable marks, takes a
 cumulative sum, and finds the interruption point with a searchsorted — no
 per-second loop (hpc-parallel guide: vectorize the hot path).
+
+Observability: pass a :class:`~repro.obs.trace.TraceRecorder` to
+:func:`simulate` and the engine emits the typed event stream of
+:mod:`repro.obs.events` — per-mark ``CheckpointStart``/``Done``,
+``Failure``/``Rollback``, ``RecoveryStart``/``Done``, one
+``SegmentComplete`` per deterministic segment (carrying that segment's
+portion decomposition, so the Fig. 5 portions reconstruct exactly from
+the trace), and ``RunCensored`` at the cap.  The default
+:data:`~repro.obs.trace.NULL_RECORDER` keeps tracing off at ~zero cost:
+the hot loop only ever pays one ``recorder.active`` attribute check per
+segment (benchmarked in ``benchmarks/test_bench_obs.py``).
 """
 
 from __future__ import annotations
@@ -31,6 +42,17 @@ import math
 import numpy as np
 
 from repro.failures.distributions import ArrivalProcess
+from repro.obs.events import (
+    CheckpointDone,
+    CheckpointStart,
+    Failure,
+    RecoveryDone,
+    RecoveryStart,
+    Rollback,
+    RunCensored,
+    SegmentComplete,
+)
+from repro.obs.trace import NULL_RECORDER
 from repro.sim.config import SimulationConfig
 from repro.sim.failure_injection import FailureInjector
 from repro.sim.metrics import SimResult
@@ -48,8 +70,12 @@ def _draw_jitter(rng: np.random.Generator, jitter: float, size: int) -> np.ndarr
 class _Run:
     """Mutable state of one simulated execution."""
 
-    def __init__(self, config: SimulationConfig, seed: SeedLike, process, injector=None):
+    def __init__(
+        self, config: SimulationConfig, seed: SeedLike, process,
+        injector=None, recorder=None,
+    ):
         self.config = config
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.schedule = CheckpointSchedule.build(
             config.productive_seconds, config.intervals
         )
@@ -80,16 +106,29 @@ class _Run:
 
     # -- portion bookkeeping ------------------------------------------------
 
-    def _account_work(self, p_from: float, p_to: float) -> None:
-        """Split work time into rollback (re-executed) vs productive."""
+    def _split_work(self, p_from: float, p_to: float) -> tuple[float, float]:
+        """``(first_time, rework)`` split of a work span; advances the
+        first-time frontier."""
         if p_to <= p_from:
-            return
+            return 0.0, 0.0
         rework_end = min(p_to, max(p_from, self.high_water))
         rework = max(0.0, rework_end - p_from)
         first_time = (p_to - p_from) - rework
-        self.portions["rollback"] += rework
-        self.portions["productive"] += first_time
         self.high_water = max(self.high_water, p_to)
+        return first_time, rework
+
+    def _charge_segment(
+        self, first_time: float, rework: float, checkpoint: float
+    ) -> None:
+        """Accumulate one segment's portion decomposition.
+
+        Charged as whole-segment values (not incremental adds) so a
+        :class:`~repro.obs.events.SegmentComplete` event carrying the same
+        floats reconstructs the portions bit-exactly.
+        """
+        self.portions["productive"] += first_time
+        self.portions["rollback"] += rework
+        self.portions["checkpoint"] += checkpoint
 
     # -- deterministic segment ------------------------------------------------
 
@@ -102,7 +141,9 @@ class _Run:
         """
         config = self.config
         sched = self.schedule
+        rec = self.recorder
         p = self.p
+        T0 = self.T
         i0 = sched.marks_after(p)
         # Only marks whose work alone fits the budget can be reached.
         if math.isinf(budget):
@@ -126,30 +167,50 @@ class _Run:
                 float(cum_costs[-1]) if cum_costs.size else 0.0
             )
             if total <= budget:
-                self._complete_marks(marks_p, marks_l, mark_costs, marks_p.size)
-                self._account_work(p, config.productive_seconds)
+                ckpt_cost = self._complete_marks(
+                    marks_p, marks_l, mark_costs, marks_p.size
+                )
+                first_time, rework = self._split_work(
+                    p, config.productive_seconds
+                )
+                self._charge_segment(first_time, rework, ckpt_cost)
                 self.p = config.productive_seconds
                 self.T += total
+                if rec.active:
+                    self._emit_segment(
+                        T0, marks_p, marks_l, mark_costs, start_t,
+                        complete_t, marks_p.size, None, total, first_time,
+                        rework, ckpt_cost, run_completed=True,
+                    )
                 return True
 
         # Interrupted: find where the budget lands.
         j = int(np.searchsorted(complete_t, budget, side="right"))
+        abort_index = None
         if j < marks_p.size and start_t[j] <= budget:
             # Failure strikes during mark j's checkpoint: it aborts, the
             # partial cost is paid, progress sits at the mark.
-            self._complete_marks(marks_p, marks_l, mark_costs, j)
-            self.portions["checkpoint"] += budget - start_t[j]
-            self._account_work(p, float(marks_p[j]))
+            abort_index = j
+            ckpt_cost = self._complete_marks(marks_p, marks_l, mark_costs, j)
+            ckpt_cost += float(budget - start_t[j])
+            first_time, rework = self._split_work(p, float(marks_p[j]))
             self.p = float(marks_p[j])
         else:
             # Failure strikes during work after j completed checkpoints.
-            self._complete_marks(marks_p, marks_l, mark_costs, j)
+            ckpt_cost = self._complete_marks(marks_p, marks_l, mark_costs, j)
             consumed_costs = float(cum_costs[j - 1]) if j > 0 else 0.0
             p_new = p + (budget - consumed_costs)
             p_new = min(p_new, config.productive_seconds)
-            self._account_work(p, p_new)
+            first_time, rework = self._split_work(p, p_new)
             self.p = p_new
+        self._charge_segment(first_time, rework, ckpt_cost)
         self.T += budget
+        if rec.active:
+            self._emit_segment(
+                T0, marks_p, marks_l, mark_costs, start_t, complete_t, j,
+                abort_index, budget, first_time, rework, ckpt_cost,
+                run_completed=False,
+            )
         return False
 
     def _complete_marks(
@@ -158,34 +219,110 @@ class _Run:
         marks_l: np.ndarray,
         mark_costs: np.ndarray,
         count: int,
-    ) -> None:
-        """Commit the first ``count`` marks of the segment as completed."""
+    ) -> float:
+        """Commit the first ``count`` marks; returns their checkpoint cost."""
         if count == 0:
-            return
+            return 0.0
         done_p = marks_p[:count]
         done_l = marks_l[:count]
-        self.portions["checkpoint"] += float(np.sum(mark_costs[:count]))
         for lvl in np.unique(done_l):
             mask = done_l == lvl
             self.checkpoints[lvl - 1] += int(np.sum(mask))
             self.latest[lvl - 1] = max(
                 self.latest[lvl - 1], float(done_p[mask].max())
             )
+        return float(np.sum(mark_costs[:count]))
+
+    def _emit_segment(
+        self,
+        T0: float,
+        marks_p: np.ndarray,
+        marks_l: np.ndarray,
+        mark_costs: np.ndarray,
+        start_t: np.ndarray,
+        complete_t: np.ndarray,
+        count: int,
+        abort_index: int | None,
+        duration: float,
+        first_time: float,
+        rework: float,
+        ckpt_cost: float,
+        *,
+        run_completed: bool,
+    ) -> None:
+        """Emit one segment's checkpoint events + ``SegmentComplete``.
+
+        Only called when the recorder is active — the disabled path never
+        builds an event object.
+        """
+        rec = self.recorder
+        for k in range(count):
+            level = int(marks_l[k])
+            progress = float(marks_p[k])
+            rec.emit(
+                CheckpointStart(
+                    t=T0 + float(start_t[k]), level=level, progress=progress
+                )
+            )
+            rec.emit(
+                CheckpointDone(
+                    t=T0 + float(complete_t[k]),
+                    level=level,
+                    progress=progress,
+                    cost=float(mark_costs[k]),
+                )
+            )
+        if abort_index is not None:
+            # An aborted checkpoint: Start without a matching Done.
+            rec.emit(
+                CheckpointStart(
+                    t=T0 + float(start_t[abort_index]),
+                    level=int(marks_l[abort_index]),
+                    progress=float(marks_p[abort_index]),
+                )
+            )
+        rec.emit(
+            SegmentComplete(
+                t=self.T,
+                duration=float(duration),
+                productive=first_time,
+                rework=rework,
+                checkpoint=ckpt_cost,
+                marks_completed=count,
+                progress=self.p,
+                run_completed=run_completed,
+            )
+        )
 
     # -- failure handling -----------------------------------------------------
 
     def apply_failure(self, level: int) -> None:
         """Roll back for a level-``level`` failure (levels are 1-based)."""
         self.failures[level - 1] += 1
+        p_before = self.p
         # Levels below the failure lose their storage.
         self.latest[: level - 1] = 0.0
         surviving = self.latest[level - 1 :]
         self.p = float(surviving.max()) if surviving.size else 0.0
+        rec = self.recorder
+        if rec.active:
+            rec.emit(Failure(t=self.T, level=level))
+            rec.emit(
+                Rollback(
+                    t=self.T,
+                    level=level,
+                    progress_from=p_before,
+                    progress_to=self.p,
+                )
+            )
 
     def run_recovery(self, level: int) -> None:
         """Pay allocation + recovery, restarting on failures mid-recovery."""
         config = self.config
+        rec = self.recorder
         while True:
+            if rec.active:
+                rec.emit(RecoveryStart(t=self.T, level=level))
             duration = config.allocation_period + self.recoveries[
                 level - 1
             ] * float(_draw_jitter(self.rng, config.jitter, 1)[0])
@@ -193,12 +330,22 @@ class _Run:
             if self.T + duration <= t_next:
                 self.portions["restart"] += duration
                 self.T += duration
+                if rec.active:
+                    rec.emit(
+                        RecoveryDone(t=self.T, level=level, duration=duration)
+                    )
                 return
             # A new failure lands during recovery: the time spent so far is
             # still restart overhead; re-plan at the new failure's level.
             spent = t_next - self.T
             self.portions["restart"] += spent
             self.T = t_next
+            if rec.active:
+                rec.emit(
+                    RecoveryDone(
+                        t=self.T, level=level, duration=spent, interrupted=True
+                    )
+                )
             self.injector.pop()
             self.apply_failure(next_level)
             level = next_level
@@ -210,6 +357,7 @@ def simulate(
     *,
     process: ArrivalProcess | None = None,
     injector=None,
+    recorder=None,
 ) -> SimResult:
     """Simulate one execution under ``config``; returns a :class:`SimResult`.
 
@@ -218,8 +366,14 @@ def simulate(
     :class:`~repro.sim.failure_injection.ScriptedFailures` trace for
     engine-equivalence tests).  Runs exceeding ``config.max_wallclock``
     return a censored result (``completed=False``) with the state at the cap.
+
+    ``recorder`` (a :class:`~repro.obs.trace.TraceRecorder`) switches on
+    event tracing; the default :data:`~repro.obs.trace.NULL_RECORDER`
+    keeps the hot loop at ~zero overhead.  Tracing never touches the RNG
+    streams, so traced and untraced runs of one seed are bit-identical.
     """
-    run = _Run(config, seed, process, injector=injector)
+    run = _Run(config, seed, process, injector=injector, recorder=recorder)
+    rec = run.recorder
     while True:
         t_next, level = run.injector.peek()
         budget = t_next - run.T
@@ -230,6 +384,8 @@ def simulate(
                 finished = run.run_segment(capped_budget)
                 if finished:
                     break
+                if rec.active:
+                    rec.emit(RunCensored(t=run.T, progress=run.p))
                 return _result(run, completed=False)
             if run.run_segment(budget):
                 break
@@ -237,6 +393,8 @@ def simulate(
         run.apply_failure(level)
         run.run_recovery(level)
         if run.T >= config.max_wallclock:
+            if rec.active:
+                rec.emit(RunCensored(t=run.T, progress=run.p))
             return _result(run, completed=False)
     return _result(run, completed=True)
 

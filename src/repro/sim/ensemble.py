@@ -11,6 +11,18 @@ every child generator is spawned up front, in order, before any work is
 dispatched, and chunks are contiguous slices of that sequence — so serial,
 thread-pool, and process-pool executions of the same root seed return
 bit-identical :class:`~repro.sim.metrics.EnsembleResult`s.
+
+Observability: each chunk worker counts its replicas into a chunk-local
+:class:`~repro.obs.metrics.MetricsRegistry` (runs / censored / per-level
+failure and checkpoint totals / wall-clock samples) and ships the snapshot
+back with its results; the parent reduces the snapshots *in chunk order*
+into the process-wide :data:`~repro.obs.metrics.METRICS` registry.
+Counters are integers and histogram merges concatenate in replica order,
+so the reduced ``sim.*`` metrics are bit-identical between serial and
+process-pool executions regardless of chunk boundaries.  With
+``trace=True`` every replica additionally records its full
+:mod:`repro.obs.events` stream (optionally ring-buffered via
+``trace_maxlen``), returned as ``EnsembleResult.traces``.
 """
 
 from __future__ import annotations
@@ -19,6 +31,8 @@ import copy
 from typing import Sequence
 
 from repro.failures.distributions import ArrivalProcess
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.parallel.executor import Executor, chunk_evenly, ensure_executor
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import simulate
@@ -26,15 +40,42 @@ from repro.sim.metrics import EnsembleResult, SimResult
 from repro.util.rng import SeedLike, spawn_generators
 
 
-def _simulate_chunk(task) -> list[SimResult]:
-    """Worker: one contiguous chunk of replicas (module-level: picklable)."""
-    config, seeds, process, injectors = task
+def _count_run(registry: MetricsRegistry, result: SimResult) -> None:
+    """Charge one replica's integer counts + wall-clock sample."""
+    registry.counter("sim.runs").inc()
+    if not result.completed:
+        registry.counter("sim.censored").inc()
+    registry.counter("sim.failures").add(result.total_failures)
+    registry.counter("sim.checkpoints").add(sum(result.checkpoints_per_level))
+    for level, count in enumerate(result.failures_per_level, start=1):
+        registry.counter(f"sim.failures.l{level}").add(count)
+    for level, count in enumerate(result.checkpoints_per_level, start=1):
+        registry.counter(f"sim.checkpoints.l{level}").add(count)
+    registry.histogram("sim.wallclock").observe(result.wallclock)
+
+
+def _simulate_chunk(task):
+    """Worker: one contiguous chunk of replicas (module-level: picklable).
+
+    Returns ``(results, traces_or_None, metrics_snapshot)``.
+    """
+    config, seeds, process, injectors, trace, trace_maxlen = task
     if injectors is None:
         injectors = [None] * len(seeds)
-    return [
-        simulate(config, seed=seed, process=process, injector=injector)
-        for seed, injector in zip(seeds, injectors)
-    ]
+    registry = MetricsRegistry()
+    results: list[SimResult] = []
+    traces: list[tuple] | None = [] if trace else None
+    for seed, injector in zip(seeds, injectors):
+        recorder = TraceRecorder(maxlen=trace_maxlen) if trace else None
+        result = simulate(
+            config, seed=seed, process=process, injector=injector,
+            recorder=recorder,
+        )
+        results.append(result)
+        if traces is not None:
+            traces.append(recorder.events)
+        _count_run(registry, result)
+    return results, traces, registry.snapshot()
 
 
 def run_ensemble(
@@ -46,6 +87,9 @@ def run_ensemble(
     injector=None,
     jobs: int | None = None,
     executor: Executor | None = None,
+    trace: bool = False,
+    trace_maxlen: int | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> EnsembleResult:
     """Run ``n_runs`` independent simulations of ``config``.
 
@@ -72,6 +116,17 @@ def run_ensemble(
     executor:
         An existing :class:`~repro.parallel.executor.Executor` to reuse
         instead of building one (the caller keeps ownership).
+    trace:
+        Record the per-replica event stream; the result's ``traces`` field
+        then holds one event tuple per run.  Tracing never touches the RNG
+        streams, so the ``runs`` are bit-identical either way.
+    trace_maxlen:
+        Ring-buffer capacity per replica trace (``None`` keeps everything).
+    registry:
+        Destination for the reduced per-replica metrics; defaults to the
+        process-wide :data:`~repro.obs.metrics.METRICS`.  Drivers that fan
+        whole ensembles out to worker processes pass a task-local registry
+        here and ship its snapshot back to *their* parent.
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
@@ -101,11 +156,24 @@ def run_ensemble(
                     rngs[lo:hi],
                     process,
                     None if injectors is None else injectors[lo:hi],
+                    trace,
+                    trace_maxlen,
                 )
             )
         chunk_results = executor.map(_simulate_chunk, tasks)
     finally:
         if owned:
             executor.close()
-    runs = tuple(run for chunk in chunk_results for run in chunk)
-    return EnsembleResult(runs=runs)
+    # Reduce worker metrics into the parent, in chunk order (deterministic).
+    destination = registry if registry is not None else METRICS
+    for _, _, snapshot in chunk_results:
+        destination.merge_snapshot(snapshot)
+    runs = tuple(run for chunk, _, _ in chunk_results for run in chunk)
+    traces = None
+    if trace:
+        traces = tuple(
+            events
+            for _, chunk_traces, _ in chunk_results
+            for events in chunk_traces
+        )
+    return EnsembleResult(runs=runs, traces=traces)

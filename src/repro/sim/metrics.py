@@ -63,13 +63,23 @@ class SimResult:
 
 @dataclass(frozen=True)
 class EnsembleResult:
-    """Statistics over replicated runs of one configuration."""
+    """Statistics over replicated runs of one configuration.
+
+    ``traces`` is ``None`` unless the ensemble ran with event tracing on
+    (see :func:`repro.sim.ensemble.run_ensemble`); when present it holds
+    one event tuple per run, aligned with ``runs``.
+    """
 
     runs: tuple[SimResult, ...]
+    traces: tuple[tuple, ...] | None = None
 
     def __post_init__(self):
         if len(self.runs) == 0:
             raise ValueError("an ensemble needs at least one run")
+        if self.traces is not None and len(self.traces) != len(self.runs):
+            raise ValueError(
+                f"{len(self.traces)} traces for {len(self.runs)} runs"
+            )
 
     @property
     def n_runs(self) -> int:

@@ -61,17 +61,21 @@ def simulate_solution(
     process: ArrivalProcess | None = None,
     jobs: int | None = None,
     executor: Executor | None = None,
+    trace: bool = False,
+    trace_maxlen: int | None = None,
 ) -> EnsembleResult:
     """Replay an optimizer solution under the randomized-failure simulator.
 
     ``jobs`` / ``executor`` fan the replicas out through the
     :mod:`repro.parallel` layer (seed-stable: results are bit-identical
-    to a serial run for the same root seed).
+    to a serial run for the same root seed).  ``trace`` switches on
+    per-replica event recording (``EnsembleResult.traces``); the runs
+    themselves are unchanged.
     """
     config = config_from_solution(
         params, solution, jitter=jitter, max_wallclock=max_wallclock
     )
     return run_ensemble(
         config, n_runs=n_runs, seed=seed, process=process, jobs=jobs,
-        executor=executor,
+        executor=executor, trace=trace, trace_maxlen=trace_maxlen,
     )

@@ -28,12 +28,18 @@ class FixedPointDiverged(RuntimeError):
     The paper notes (Section III-D) that Algorithm 1 fails to converge only
     under unrealistically high failure rates; we surface that situation as an
     exception instead of returning garbage.
+
+    ``trace`` optionally carries the structured per-iteration telemetry
+    collected up to the failure (Algorithm 1 attaches its
+    :class:`~repro.core.algorithm1.OuterIterationRecord` tuple), so the CLI
+    can print the partial convergence trajectory instead of a traceback.
     """
 
-    def __init__(self, message: str, last_value=None, history=None):
+    def __init__(self, message: str, last_value=None, history=None, trace=None):
         super().__init__(message)
         self.last_value = last_value
         self.history = history or []
+        self.trace = tuple(trace) if trace else ()
 
 
 @dataclass

@@ -1,0 +1,80 @@
+"""Algorithm 1 convergence telemetry: the per-outer-iteration trace."""
+
+import pytest
+
+from repro.core.algorithm1 import (
+    OuterIterationRecord,
+    format_convergence_table,
+    optimize,
+)
+from repro.experiments.config import make_params
+from repro.util.iteration import FixedPointDiverged
+
+
+@pytest.fixture
+def params():
+    return make_params(
+        200, "24-12-6-3", ideal_scale=2000, allocation_period=30
+    )
+
+
+def test_trace_covers_every_outer_iteration(params):
+    result = optimize(params, strategy_name="ml-opt-scale")
+    assert len(result.trace) == result.outer_iterations
+    assert [r.index for r in result.trace] == list(
+        range(1, result.outer_iterations + 1)
+    )
+    assert all(isinstance(r, OuterIterationRecord) for r in result.trace)
+
+
+def test_trace_final_row_matches_solution(params):
+    result = optimize(params, strategy_name="ml-opt-scale")
+    last = result.trace[-1]
+    assert last.mu == result.solution.mu
+    assert last.expected_wallclock == result.solution.expected_wallclock
+    assert last.scale == result.solution.scale
+    # The stopping metric really stopped the loop.
+    assert last.residual <= 1e-12
+    # The trace mirrors mu_history (which has the extra initial guess).
+    assert [r.mu for r in result.trace] == list(result.mu_history[1:])
+
+
+def test_trace_inner_iterations_sum(params):
+    result = optimize(params, strategy_name="ml-opt-scale")
+    assert (
+        sum(r.inner_iterations for r in result.trace)
+        == result.inner_iterations_total
+    )
+
+
+def test_fixed_scale_trace_pins_scale(params):
+    result = optimize(
+        params,
+        fixed_scale=params.scale_upper_bound,
+        strategy_name="ml-ori-scale",
+    )
+    assert all(r.scale == params.scale_upper_bound for r in result.trace)
+
+
+def test_divergence_carries_partial_trace(params):
+    with pytest.raises(FixedPointDiverged) as excinfo:
+        optimize(params, max_outer=1, strategy_name="ml-opt-scale")
+    exc = excinfo.value
+    assert len(exc.trace) == 1
+    assert exc.trace[0].index == 1
+    # The partial trace renders like any converged one.
+    assert "mu_1" in format_convergence_table(exc.trace)
+
+
+def test_format_convergence_table_shape(params):
+    result = optimize(params, strategy_name="ml-opt-scale")
+    table = format_convergence_table(result.trace)
+    lines = table.splitlines()
+    assert len(lines) == 2 + len(result.trace)  # header + rule + rows
+    assert "E(T_w) s" in lines[0] and "residual" in lines[0]
+    num_levels = len(result.trace[0].mu)
+    assert all(f"mu_{i}" in lines[0] for i in range(1, num_levels + 1))
+
+
+def test_format_convergence_table_empty():
+    assert "empty" in format_convergence_table(())

@@ -1,0 +1,104 @@
+"""Round-trip and validation tests for the typed trace events."""
+
+import math
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    CheckpointDone,
+    CheckpointStart,
+    Failure,
+    RecoveryDone,
+    RecoveryStart,
+    Rollback,
+    RunCensored,
+    SegmentComplete,
+    event_from_dict,
+    event_to_dict,
+)
+
+#: One instance of every registered event type, with awkward floats.
+SAMPLES = (
+    CheckpointStart(t=1.25, level=1, progress=0.1 + 0.2),
+    CheckpointDone(t=2.5, level=2, progress=0.30000000000000004, cost=1e-17),
+    Failure(t=math.pi, level=3),
+    Rollback(t=4.0, level=1, progress_from=10.0, progress_to=8.0),
+    RecoveryStart(t=5.0, level=2),
+    RecoveryDone(t=6.0, level=2, duration=1.0),
+    RecoveryDone(t=6.5, level=4, duration=0.5, interrupted=True),
+    SegmentComplete(
+        t=7.0,
+        duration=7.0,
+        productive=5.5,
+        rework=0.5,
+        checkpoint=1.0,
+        marks_completed=3,
+        progress=5.5,
+    ),
+    SegmentComplete(
+        t=8.0,
+        duration=1.0,
+        productive=1.0,
+        rework=0.0,
+        checkpoint=0.0,
+        marks_completed=0,
+        progress=6.5,
+        run_completed=True,
+    ),
+    RunCensored(t=9.0, progress=6.5),
+)
+
+
+def test_every_event_type_is_sampled():
+    assert {type(e).__name__ for e in SAMPLES} == set(EVENT_TYPES)
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: type(e).__name__)
+def test_dict_round_trip_is_identity(event):
+    payload = event_to_dict(event)
+    assert payload["type"] == type(event).__name__
+    assert event_from_dict(payload) == event
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: type(e).__name__)
+def test_json_round_trip_preserves_floats_exactly(event):
+    import json
+
+    restored = event_from_dict(json.loads(json.dumps(event_to_dict(event))))
+    assert restored == event  # repr shortest round-trip: bit-exact floats
+
+
+def test_events_are_hashable_and_frozen():
+    event = Failure(t=1.0, level=2)
+    assert hash(event) == hash(Failure(t=1.0, level=2))
+    with pytest.raises(Exception):
+        event.level = 3
+
+
+def test_unknown_type_tag_rejected():
+    with pytest.raises(ValueError, match="unknown event type"):
+        event_from_dict({"type": "Meteorite", "t": 0.0})
+
+
+def test_missing_type_tag_rejected():
+    with pytest.raises(ValueError, match="no 'type' tag"):
+        event_from_dict({"t": 0.0, "level": 1})
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ValueError, match="does not accept fields"):
+        event_from_dict({"type": "Failure", "t": 0.0, "level": 1, "ooops": 2})
+
+
+def test_unregistered_class_rejected_on_write():
+    from dataclasses import dataclass
+
+    from repro.obs.events import TraceEvent
+
+    @dataclass(frozen=True)
+    class Homemade(TraceEvent):
+        pass
+
+    with pytest.raises(TypeError, match="unregistered"):
+        event_to_dict(Homemade(t=0.0))

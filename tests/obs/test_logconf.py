@@ -1,0 +1,97 @@
+"""Logging configuration: verbosity mapping, env overrides, handler hygiene."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logconf import (
+    LOG_ENV_VAR,
+    configure_logging,
+    get_logger,
+    verbosity_to_level,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    """Leave the repro logger tree the way the session found it."""
+    root = logging.getLogger("repro")
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    yield
+    root.handlers[:] = saved_handlers
+    root.setLevel(saved_level)
+    for name in list(logging.Logger.manager.loggerDict):
+        if name.startswith("repro."):
+            logging.getLogger(name).setLevel(logging.NOTSET)
+
+
+def test_get_logger_prefixes_names():
+    assert get_logger().name == "repro"
+    assert get_logger("repro").name == "repro"
+    assert get_logger("sim.engine").name == "repro.sim.engine"
+    assert get_logger("repro.core").name == "repro.core"
+
+
+def test_verbosity_mapping():
+    assert verbosity_to_level(0) == logging.WARNING
+    assert verbosity_to_level(1) == logging.INFO
+    assert verbosity_to_level(2) == logging.DEBUG
+    assert verbosity_to_level(7) == logging.DEBUG
+
+
+def test_configure_writes_to_given_stream():
+    stream = io.StringIO()
+    configure_logging(1, stream=stream)
+    get_logger("test").info("hello %d", 42)
+    text = stream.getvalue()
+    assert "hello 42" in text
+    assert "repro.test" in text
+
+
+def test_default_level_suppresses_info():
+    stream = io.StringIO()
+    configure_logging(0, stream=stream)
+    get_logger("test").info("quiet")
+    get_logger("test").warning("loud")
+    assert "quiet" not in stream.getvalue()
+    assert "loud" in stream.getvalue()
+
+
+def test_reconfigure_replaces_handler_no_double_emission():
+    first, second = io.StringIO(), io.StringIO()
+    configure_logging(1, stream=first)
+    configure_logging(1, stream=second)
+    get_logger("test").info("once")
+    assert "once" not in first.getvalue()
+    assert second.getvalue().count("once") == 1
+
+
+def test_env_bare_level(monkeypatch):
+    monkeypatch.setenv(LOG_ENV_VAR, "DEBUG")
+    stream = io.StringIO()
+    configure_logging(0, stream=stream)
+    get_logger("test").debug("deep")
+    assert "deep" in stream.getvalue()
+
+
+def test_env_per_logger_override(monkeypatch):
+    monkeypatch.setenv(LOG_ENV_VAR, "repro.sim=DEBUG")
+    stream = io.StringIO()
+    configure_logging(0, stream=stream)
+    get_logger("sim").debug("sim detail")
+    get_logger("core").debug("core detail")
+    assert "sim detail" in stream.getvalue()
+    assert "core detail" not in stream.getvalue()
+
+
+def test_env_bad_level_raises(monkeypatch):
+    monkeypatch.setenv(LOG_ENV_VAR, "SHOUTING")
+    with pytest.raises(ValueError, match="unknown log level"):
+        configure_logging(0, stream=io.StringIO())
+
+
+def test_no_propagation_to_python_root():
+    configure_logging(0, stream=io.StringIO())
+    assert logging.getLogger("repro").propagate is False

@@ -1,0 +1,157 @@
+"""Counter/gauge/histogram semantics and snapshot/merge determinism."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestPrimitives:
+    def test_counter_inc_add(self):
+        c = Counter()
+        c.inc()
+        c.add(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="monotone"):
+            Counter().add(-1)
+
+    def test_counter_integer_adds_stay_exact(self):
+        c = Counter()
+        for _ in range(10_000):
+            c.add(3)
+        assert c.value == 30_000
+
+    def test_gauge_overwrites(self):
+        g = Gauge()
+        g.set(5.0)
+        g.set(2.0)
+        assert g.value == 2.0
+
+    def test_histogram_aggregates(self):
+        h = Histogram()
+        h.extend([1.0, 2.0, 3.0])
+        assert h.samples == (1.0, 2.0, 3.0)
+        assert h.count == 3
+        assert h.sum == 6.0
+        assert h.mean == 2.0
+        assert (h.min, h.max) == (1.0, 3.0)
+
+    def test_histogram_empty_aggregates(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert math.isnan(h.min) and math.isnan(h.max)
+
+    def test_histogram_ring_buffer(self):
+        h = Histogram(maxlen=2)
+        h.extend([1.0, 2.0, 3.0])
+        assert h.samples == (2.0, 3.0)
+
+    def test_histogram_rejects_bad_maxlen(self):
+        with pytest.raises(ValueError):
+            Histogram(maxlen=0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="is a Counter"):
+            reg.gauge("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_names_insertion_ordered(self):
+        reg = MetricsRegistry()
+        for name in ("z", "a", "m"):
+            reg.counter(name)
+        assert reg.names() == ("z", "a", "m")
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.names() == ()
+
+    def test_snapshot_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.runs").inc()
+        reg.counter("memo.hits").inc()
+        assert set(reg.snapshot(prefix="sim.")) == {"sim.runs"}
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").add(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").extend([0.25, 0.5])
+        assert json.loads(json.dumps(reg.snapshot())) == reg.snapshot()
+
+    def test_summary_compacts_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(2)
+        reg.histogram("h").extend([1.0, 3.0])
+        summary = reg.summary()
+        assert summary["c"] == 2
+        assert summary["h"] == {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}
+
+
+class TestMerge:
+    def test_merge_semantics_per_type(self):
+        a = MetricsRegistry()
+        a.counter("c").add(2)
+        a.gauge("g").set(1.0)
+        a.histogram("h").observe(1.0)
+        b = MetricsRegistry()
+        b.counter("c").add(3)
+        b.gauge("g").set(9.0)
+        b.histogram("h").observe(2.0)
+
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("c").value == 5       # counters add
+        assert a.gauge("g").value == 9.0       # gauges take the newer value
+        assert a.histogram("h").samples == (1.0, 2.0)  # histograms append
+
+    def test_merge_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            MetricsRegistry().merge_snapshot({"x": {"type": "meter"}})
+
+    def test_chunked_merge_equals_serial(self):
+        """The determinism contract: merging per-chunk snapshots in chunk
+        order reproduces the serial registry bit for bit."""
+        samples = [0.1 * i for i in range(20)]
+
+        serial = MetricsRegistry()
+        for s in samples:
+            serial.counter("n").inc()
+            serial.histogram("w").observe(s)
+
+        chunks = [samples[0:7], samples[7:13], samples[13:20]]
+        snaps = []
+        for chunk in chunks:
+            reg = MetricsRegistry()
+            for s in chunk:
+                reg.counter("n").inc()
+                reg.histogram("w").observe(s)
+            snaps.append(reg.snapshot())
+
+        assert merge_snapshots(*snaps) == serial.snapshot()
+
+    def test_merge_snapshots_empty(self):
+        assert merge_snapshots() == {}

@@ -1,0 +1,59 @@
+"""Last-run summary persistence and rendering."""
+
+import pytest
+
+from repro.obs.runinfo import (
+    OBS_DIR_ENV_VAR,
+    format_last_run,
+    last_run_path,
+    obs_dir,
+    read_last_run,
+    write_last_run,
+)
+
+PAYLOAD = {
+    "command": "experiment",
+    "argv": ["experiment", "fig5", "--trace-dir", "out"],
+    "exit_code": 0,
+    "phase_seconds": {"solve": 1.25, "simulate": 10.5},
+    "metrics": {"sim.runs": 600, "sim.wallclock": {"count": 600, "sum": 1e6}},
+    "trace_files": ["out/fig5_8-4-2-1_ml-opt-scale.jsonl"],
+}
+
+
+def test_obs_dir_resolution(monkeypatch, tmp_path):
+    assert obs_dir("explicit") == __import__("pathlib").Path("explicit")
+    monkeypatch.setenv(OBS_DIR_ENV_VAR, str(tmp_path / "env"))
+    assert obs_dir() == tmp_path / "env"
+    monkeypatch.delenv(OBS_DIR_ENV_VAR)
+    assert obs_dir() == __import__("pathlib").Path(".repro-obs")
+
+
+def test_write_read_round_trip(tmp_path):
+    path = write_last_run(PAYLOAD, tmp_path / "obs")
+    assert path == last_run_path(tmp_path / "obs")
+    assert read_last_run(tmp_path / "obs") == PAYLOAD
+
+
+def test_read_missing_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        read_last_run(tmp_path / "nothing-here")
+
+
+def test_env_var_directs_writes(monkeypatch, tmp_path):
+    monkeypatch.setenv(OBS_DIR_ENV_VAR, str(tmp_path / "via-env"))
+    write_last_run(PAYLOAD)
+    assert (tmp_path / "via-env" / "last_run.json").exists()
+
+
+def test_format_renders_every_section():
+    text = format_last_run(PAYLOAD)
+    assert "repro experiment fig5 --trace-dir out" in text
+    assert "exit code: 0" in text
+    assert "solve" in text and "1.2500s" in text
+    assert "sim.runs" in text
+    assert "fig5_8-4-2-1_ml-opt-scale.jsonl" in text
+
+
+def test_format_minimal_payload():
+    assert "repro optimize" in format_last_run({"command": "optimize"})

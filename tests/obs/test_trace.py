@@ -1,0 +1,154 @@
+"""Recorder, JSONL persistence, and trace-side reconstruction tests."""
+
+import pytest
+
+from repro.obs.events import (
+    CheckpointDone,
+    CheckpointStart,
+    Failure,
+    RecoveryDone,
+    RecoveryStart,
+    Rollback,
+    SegmentComplete,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    checkpoint_counts,
+    failure_counts,
+    portions_from_events,
+    read_ensemble_jsonl,
+    read_jsonl,
+    wallclock_from_events,
+    write_ensemble_jsonl,
+    write_jsonl,
+)
+
+EVENTS = (
+    CheckpointStart(t=10.0, level=1, progress=10.0),
+    CheckpointDone(t=11.0, level=1, progress=10.0, cost=1.0),
+    Failure(t=15.0, level=2),
+    Rollback(t=15.0, level=2, progress_from=14.0, progress_to=10.0),
+    RecoveryStart(t=15.0, level=2),
+    RecoveryDone(t=18.0, level=2, duration=3.0),
+    SegmentComplete(
+        t=15.0,
+        duration=15.0,
+        productive=14.0,
+        rework=0.0,
+        checkpoint=1.0,
+        marks_completed=1,
+        progress=14.0,
+    ),
+    SegmentComplete(
+        t=30.0,
+        duration=12.0,
+        productive=6.0,
+        rework=4.0,
+        checkpoint=2.0,
+        marks_completed=2,
+        progress=20.0,
+        run_completed=True,
+    ),
+)
+
+
+class TestRecorders:
+    def test_null_recorder_is_inactive_and_empty(self):
+        assert NULL_RECORDER.active is False
+        NULL_RECORDER.emit(Failure(t=0.0, level=1))  # silently dropped
+        assert NULL_RECORDER.events == ()
+        assert len(NULL_RECORDER) == 0
+
+    def test_null_recorder_has_no_instance_dict(self):
+        # __slots__: the fast path allocates nothing per emit.
+        assert not hasattr(NullRecorder(), "__dict__")
+
+    def test_recorder_preserves_order(self):
+        rec = TraceRecorder()
+        assert rec.active is True
+        for event in EVENTS:
+            rec.emit(event)
+        assert rec.events == EVENTS
+        assert len(rec) == len(EVENTS)
+
+    def test_ring_buffer_keeps_newest(self):
+        rec = TraceRecorder(maxlen=3)
+        for event in EVENTS:
+            rec.emit(event)
+        assert rec.events == EVENTS[-3:]
+
+    def test_clear(self):
+        rec = TraceRecorder()
+        rec.emit(EVENTS[0])
+        rec.clear()
+        assert rec.events == ()
+
+
+class TestJsonl:
+    def test_round_trip_equality(self, tmp_path):
+        path = write_jsonl(tmp_path / "run.jsonl", EVENTS)
+        assert read_jsonl(path) == EVENTS
+
+    def test_round_trip_empty(self, tmp_path):
+        path = write_jsonl(tmp_path / "empty.jsonl", ())
+        assert read_jsonl(path) == ()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_jsonl(tmp_path / "deep" / "nested" / "run.jsonl", EVENTS)
+        assert path.exists()
+
+    def test_ensemble_round_trip(self, tmp_path):
+        traces = (EVENTS[:3], (), EVENTS[3:])
+        path = write_ensemble_jsonl(tmp_path / "ens.jsonl", traces)
+        restored = read_ensemble_jsonl(path)
+        # Empty middle replica survives because run 2's lines imply 3 runs.
+        assert restored == traces
+
+    def test_ensemble_round_trip_empty(self, tmp_path):
+        path = write_ensemble_jsonl(tmp_path / "none.jsonl", ())
+        assert read_ensemble_jsonl(path) == ()
+
+    def test_ensemble_lines_are_run_tagged(self, tmp_path):
+        import json
+
+        path = write_ensemble_jsonl(tmp_path / "ens.jsonl", (EVENTS, EVENTS))
+        runs = [
+            json.loads(line)["run"]
+            for line in path.read_text().splitlines()
+        ]
+        assert runs == [0] * len(EVENTS) + [1] * len(EVENTS)
+
+
+class TestReconstruction:
+    def test_failure_counts(self):
+        assert failure_counts(EVENTS, 4) == (0, 1, 0, 0)
+
+    def test_checkpoint_counts_only_completed(self):
+        # One Start+Done pair at level 1; the Start alone would be aborted.
+        assert checkpoint_counts(EVENTS, 4) == (1, 0, 0, 0)
+
+    def test_portions(self):
+        portions = portions_from_events(EVENTS)
+        assert portions == {
+            "productive": 20.0,
+            "rollback": 4.0,
+            "checkpoint": 3.0,
+            "restart": 3.0,
+        }
+
+    def test_wallclock_sums_segments_and_recoveries(self):
+        assert wallclock_from_events(EVENTS) == 15.0 + 12.0 + 3.0
+
+    def test_interrupted_recovery_still_counts_as_restart(self):
+        events = (
+            RecoveryDone(t=5.0, level=1, duration=2.0, interrupted=True),
+            RecoveryDone(t=9.0, level=2, duration=4.0),
+        )
+        assert portions_from_events(events)["restart"] == 6.0
+
+
+def test_recorder_rejects_non_positive_maxlen():
+    with pytest.raises(ValueError):
+        TraceRecorder(maxlen=0)

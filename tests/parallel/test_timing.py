@@ -50,3 +50,51 @@ def test_write_bench_json_round_trips(tmp_path):
     payload = {"speedup": 2.5, "phases": {"solve": 0.1}}
     path = write_bench_json(tmp_path / "sub" / "BENCH_parallel.json", payload)
     assert json.loads(path.read_text()) == payload
+
+
+def test_report_preserves_first_entered_order():
+    timer = PhaseTimer()
+    for name in ("solve", "simulate", "aggregate", "solve"):
+        timer.add(name, 0.25)
+    assert list(timer.report()) == ["solve", "simulate", "aggregate"]
+    assert timer.report()["solve"] == pytest.approx(0.5)
+
+
+def test_merge_sums_per_phase_first_seen_order():
+    driver = PhaseTimer()
+    driver.add("solve", 1.0)
+    driver.add("simulate", 2.0)
+    worker = PhaseTimer()
+    worker.add("simulate", 3.0)
+    worker.add("export", 0.5)
+
+    merged = PhaseTimer.merge([driver, worker])
+    assert list(merged.report()) == ["solve", "simulate", "export"]
+    assert merged.elapsed("solve") == pytest.approx(1.0)
+    assert merged.elapsed("simulate") == pytest.approx(5.0)
+    assert merged.elapsed("export") == pytest.approx(0.5)
+
+
+def test_merge_of_nothing_is_empty():
+    assert PhaseTimer.merge([]).report() == {}
+
+
+def test_publish_copies_phase_counters_into_registry():
+    from repro.obs.metrics import MetricsRegistry
+
+    timer = PhaseTimer()
+    timer.add("solve", 1.25)
+    registry = MetricsRegistry()
+    timer.publish(registry)
+    timer.publish(registry)  # additive, like any counter merge
+    assert registry.counter("phase.solve.seconds").value == pytest.approx(2.5)
+
+
+def test_timer_over_shared_registry_surfaces_phase_metrics():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    timer = PhaseTimer(registry)
+    timer.add("simulate", 0.75)
+    assert "phase.simulate.seconds" in registry.names()
+    assert registry.summary()["phase.simulate.seconds"] == pytest.approx(0.75)

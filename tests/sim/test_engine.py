@@ -114,7 +114,14 @@ class TestConservation:
         jitter=st.sampled_from([0.0, 0.3]),
     )
     def test_portions_sum_to_wallclock(self, seed, rate_scale, jitter):
-        """Invariant: the four Fig. 5 portions partition the wall-clock."""
+        """Invariant: the four Fig. 5 portions partition the wall-clock.
+
+        The harshest draws (rate_scale near 20) are effectively hopeless —
+        a level-3/4 failure before the 500 s mark rolls back to zero, so
+        the run can grind for simulated decades.  A tight ``max_wallclock``
+        censors those quickly; the partition invariant holds either way,
+        and the full-productive-span claim only applies to completed runs.
+        """
         base = 1e-3
         cfg = _config(
             failure_rates=(
@@ -124,11 +131,17 @@ class TestConservation:
                 base * rate_scale / 8,
             ),
             jitter=jitter,
+            max_wallclock=500_000.0,
         )
         result = simulate(cfg, seed=seed)
         total = sum(result.portions.values())
         assert total == pytest.approx(result.wallclock, rel=1e-9)
-        assert result.portions["productive"] == pytest.approx(1_000.0)
+        if result.completed:
+            assert result.portions["productive"] == pytest.approx(1_000.0)
+        else:
+            # censoring may overshoot the cap by at most one recovery
+            assert result.wallclock >= 500_000.0 - 1e-3
+            assert result.portions["productive"] < 1_000.0
 
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=2**31))

@@ -123,3 +123,65 @@ class TestScriptedInjector:
 
         with pytest.raises(TypeError, match="cannot be deep-copied"):
             run_ensemble(cfg, n_runs=2, seed=0, injector=Uncopyable())
+
+
+class TestObservabilityDeterminism:
+    """Tracing and metrics obey the same bit-identity contract as results."""
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS), ids=sorted(BACKENDS))
+    def test_traced_ensembles_bit_identical(self, cfg, backend):
+        reference = run_ensemble(cfg, n_runs=7, seed=11, trace=True)
+        assert reference.traces is not None
+        assert len(reference.traces) == reference.n_runs
+        with BACKENDS[backend]() as ex:
+            parallel = run_ensemble(
+                cfg, n_runs=7, seed=11, trace=True, executor=ex
+            )
+        assert parallel.traces == reference.traces
+        assert parallel == reference
+
+    def test_tracing_does_not_change_results(self, cfg):
+        plain = run_ensemble(cfg, n_runs=7, seed=11)
+        traced = run_ensemble(cfg, n_runs=7, seed=11, trace=True)
+        assert traced.runs == plain.runs
+        assert plain.traces is None
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS), ids=sorted(BACKENDS))
+    def test_sim_metrics_bit_identical_across_backends(self, cfg, backend):
+        from repro.obs.metrics import MetricsRegistry
+
+        serial_reg = MetricsRegistry()
+        run_ensemble(cfg, n_runs=9, seed=4, registry=serial_reg)
+        backend_reg = MetricsRegistry()
+        with BACKENDS[backend]() as ex:
+            run_ensemble(
+                cfg, n_runs=9, seed=4, executor=ex, registry=backend_reg
+            )
+        # Counters are integers and histogram samples are concatenated in
+        # replica order, so the snapshots are equal bit for bit.
+        assert backend_reg.snapshot(prefix="sim.") == serial_reg.snapshot(
+            prefix="sim."
+        )
+
+    def test_metrics_counts_match_ensemble(self, cfg):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        ens = run_ensemble(cfg, n_runs=6, seed=8, registry=reg)
+        summary = reg.summary(prefix="sim.")
+        assert summary["sim.runs"] == ens.n_runs
+        assert summary["sim.failures"] == sum(
+            r.total_failures for r in ens.runs
+        )
+        assert summary["sim.wallclock"]["count"] == ens.n_runs
+        for level in range(1, 5):
+            assert summary[f"sim.failures.l{level}"] == sum(
+                r.failures_per_level[level - 1] for r in ens.runs
+            )
+            assert summary[f"sim.checkpoints.l{level}"] == sum(
+                r.checkpoints_per_level[level - 1] for r in ens.runs
+            )
+
+    def test_trace_maxlen_bounds_every_replica(self, cfg):
+        ens = run_ensemble(cfg, n_runs=5, seed=2, trace=True, trace_maxlen=4)
+        assert all(len(trace) <= 4 for trace in ens.traces)

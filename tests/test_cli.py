@@ -152,3 +152,98 @@ def test_module_entry_point():
 def test_missing_subcommand_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+@pytest.fixture(autouse=True)
+def _obs_dir_in_tmp(monkeypatch, tmp_path):
+    """Keep every CLI test's run summary out of the working tree."""
+    monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path / "obs"))
+
+
+OPTIMIZE_ARGS = [
+    "optimize",
+    "--te-core-days",
+    "200",
+    "--case",
+    "24-12-6-3",
+    "--ideal-scale",
+    "2000",
+    "--allocation",
+    "30",
+]
+
+
+def test_optimize_trace_prints_convergence_table(capsys):
+    code = main(OPTIMIZE_ARGS + ["--trace"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ml-opt-scale: Algorithm 1 convergence" in out
+    assert "ml-ori-scale: Algorithm 1 convergence" in out
+    assert "mu_1" in out and "E(T_w) s" in out and "residual" in out
+
+
+def test_obs_last_smoke(capsys):
+    assert main(OPTIMIZE_ARGS) == 0
+    capsys.readouterr()
+    code = main(["obs", "--last"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "last run: repro optimize" in out
+    assert "exit code: 0" in out
+
+
+def test_obs_last_without_prior_run(capsys):
+    code = main(["obs", "--last"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "no run summary" in captured.err
+
+
+def test_obs_without_flags_points_at_last(capsys):
+    code = main(["obs"])
+    assert code == 2
+    assert "--last" in capsys.readouterr().err
+
+
+def test_experiment_trace_dir_ignored_for_analytic_driver(capsys, tmp_path):
+    code = main(["experiment", "fig3", "--trace-dir", str(tmp_path / "t")])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "--trace-dir ignored" in captured.err
+
+
+def test_diverged_solve_exits_3_with_partial_trace(capsys, monkeypatch):
+    from repro.core.algorithm1 import OuterIterationRecord
+    from repro.util.iteration import FixedPointDiverged
+
+    record = OuterIterationRecord(
+        index=1,
+        mu=(10.0, 5.0),
+        expected_wallclock=1e5,
+        residual=0.5,
+        inner_iterations=4,
+        scale=1e6,
+    )
+
+    def explode(*args, **kwargs):
+        raise FixedPointDiverged(
+            "Algorithm 1 did not converge", trace=(record,)
+        )
+
+    monkeypatch.setattr("repro.cli.compare_all_strategies", explode)
+    code = main(OPTIMIZE_ARGS)
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "error: Algorithm 1 did not converge" in captured.err
+    assert "partial convergence trace" in captured.err
+    assert "mu_1" in captured.err
+
+
+def test_verbose_flag_emits_info_logs(capsys):
+    # Unique workload: a memo hit would skip the solver's INFO log line.
+    args = list(OPTIMIZE_ARGS)
+    args[args.index("200")] = "201"
+    code = main(["-v"] + args)
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "repro." in captured.err  # logger-formatted lines on stderr

@@ -33,6 +33,8 @@ def test_all_subpackages_importable():
         "sim",
         "funcsim",
         "analysis",
+        "parallel",
+        "obs",
         "experiments",
         "util",
         "cli",
