@@ -1,0 +1,150 @@
+"""Perf bench: the optimization service under a duplicate-heavy load.
+
+Checkpoint-planning traffic is duplicate-heavy by nature — a malleable
+application re-plans on every scale change, but the configuration space
+it cycles through is tiny.  This bench drives an in-process
+:class:`~repro.service.server.ReproService` with a synthetic load of
+``DUPLICATION``x repeated requests over a small set of unique
+configurations, from several concurrent client threads, and records
+
+* sustained requests/second over the whole run,
+* the combined coalesce+memo+persist hit rate
+  (``1 - executions / requests``), and
+* the persistent-store hit rate of a simulated cold restart (in-memory
+  cache cleared, same sqlite file).
+
+The structural assertions (exactly one execution per unique
+configuration; restart answers every unique configuration from disk) are
+deterministic; wall-clock numbers land in
+``benchmarks/results/BENCH_service.json`` for cross-run comparison and
+are not asserted.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core.memo import SOLVER_CACHE
+from repro.obs.metrics import METRICS
+from repro.parallel.timing import write_bench_json
+from repro.service.client import ServiceClient
+from repro.service.server import ReproService
+
+#: Millisecond-fast unique configurations (distinct failure cases).
+CASES = ("24-12-6-3", "12-6-3-1.5", "6-3-1.5-0.75", "48-24-12-6")
+#: Requests issued per unique configuration.
+DUPLICATION = 40
+#: Concurrent client threads.
+CLIENTS = 8
+
+
+def _body(case: str) -> dict:
+    return {
+        "te_core_days": 200.0,
+        "case": case,
+        "ideal_scale": 2000.0,
+        "allocation": 30.0,
+    }
+
+
+def _counter(name: str) -> float:
+    return METRICS.counter(name).value
+
+
+def _drive(url: str, requests: list[dict]) -> float:
+    """Fire ``requests`` from ``CLIENTS`` threads; returns elapsed seconds."""
+    client = ServiceClient(url)
+    cursor = iter(range(len(requests)))
+    lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                i = next(cursor, None)
+            if i is None:
+                return
+            status, _, _ = client.request("POST", "/v1/solve", requests[i])
+            assert status == 200, requests[i]
+
+    threads = [threading.Thread(target=worker) for _ in range(CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - start
+
+
+def test_bench_service_duplicate_heavy_load():
+    SOLVER_CACHE.clear()
+    SOLVER_CACHE.detach_store()
+    requests = [_body(case) for case in CASES] * DUPLICATION
+    # Interleave duplicates so concurrent in-flight repeats actually occur.
+    total = len(requests)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "bench-results.sqlite"
+
+        executions_before = _counter("service.executions")
+        coalesced_before = _counter("service.coalesced")
+        with ReproService(
+            port=0, store_path=store_path, queue_max=total, jobs=2
+        ) as svc:
+            warm_seconds = _drive(svc.url, requests)
+        executions = _counter("service.executions") - executions_before
+        coalesced = _counter("service.coalesced") - coalesced_before
+
+        # Exactly one solver execution per unique configuration: every
+        # duplicate was answered by coalescing or the memo cache.
+        assert executions == len(CASES)
+        hit_rate = 1.0 - executions / total
+
+        # Cold restart: fresh memory, same sqlite file -> every unique
+        # configuration must come back from the persistent store.
+        SOLVER_CACHE.clear()
+        persist_before = SOLVER_CACHE.stats().persist_hits
+        executions_before = _counter("service.executions")
+        with ReproService(port=0, store_path=store_path) as svc:
+            cold_seconds = _drive(svc.url, requests)
+        assert _counter("service.executions") - executions_before == 0
+        persist_hits = SOLVER_CACHE.stats().persist_hits - persist_before
+        assert persist_hits >= len(CASES)
+
+    payload = {
+        "config": {
+            "unique_configurations": len(CASES),
+            "duplication": DUPLICATION,
+            "total_requests": total,
+            "client_threads": CLIENTS,
+            "service_jobs": 2,
+        },
+        "warm": {
+            "seconds": round(warm_seconds, 4),
+            "requests_per_second": round(total / warm_seconds, 1),
+            "solver_executions": executions,
+            "coalesced": coalesced,
+            "hit_rate": round(hit_rate, 4),
+        },
+        "cold_restart": {
+            "seconds": round(cold_seconds, 4),
+            "requests_per_second": round(total / cold_seconds, 1),
+            "solver_executions": 0,
+            "persist_hits": persist_hits,
+        },
+    }
+    path = write_bench_json(RESULTS_DIR / "BENCH_service.json", payload)
+    print(
+        f"\n[service bench] {total} requests "
+        f"({len(CASES)} unique x {DUPLICATION}): "
+        f"{payload['warm']['requests_per_second']} req/s warm, "
+        f"hit rate {hit_rate:.1%}, "
+        f"{payload['cold_restart']['requests_per_second']} req/s after "
+        "cold restart (all from persistent store)"
+    )
+    print(f"[saved to {path}]")
+
+    SOLVER_CACHE.clear()

@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro optimize --te-core-days 3e6 --case 8-4-2-1 [--trace]
     python -m repro simulate --te-core-days 3e6 --case 8-4-2-1 --runs 20
     python -m repro experiment fig5 [--trace-dir out/]
+    python -m repro serve --port 8765 [--store PATH] [--queue-max N]
     python -m repro obs --last
 
 ``optimize`` solves all four strategies for one configuration and prints
@@ -13,8 +14,13 @@ per-outer-iteration mu_i / E(T_w) convergence table); ``simulate``
 additionally replays the ML(opt-scale) solution under the
 randomized-failure simulator; ``experiment`` runs a registered paper
 experiment (see ``--list``), optionally exporting per-replica event
-traces with ``--trace-dir``; ``obs --last`` pretty-prints the previous
-command's observability summary.
+traces with ``--trace-dir``; ``serve`` runs the long-lived JSON-over-HTTP
+optimization service (:mod:`repro.service`, see docs/service.md);
+``obs --last`` pretty-prints the previous command's observability
+summary.
+
+``KeyboardInterrupt`` is handled globally: Ctrl-C on ``serve`` (or a
+long experiment) drains cleanly and exits with code 130 — no traceback.
 
 Global flags: ``-v`` / ``-vv`` raise the log level of the ``repro``
 logger tree to INFO / DEBUG (see :mod:`repro.obs.logconf`; the
@@ -54,6 +60,8 @@ logger = get_logger("cli")
 
 #: Exit code for a divergent fixed-point solve (1/2 mean usage errors).
 EXIT_DIVERGED = 3
+#: Exit code for Ctrl-C (the shell convention: 128 + SIGINT).
+EXIT_INTERRUPTED = 130
 
 
 def _jobs_type(value: str) -> int:
@@ -162,6 +170,56 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_jobs_argument(p_exp)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the JSON-over-HTTP optimization service (repro.service)",
+    )
+    p_srv.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_srv.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (default 8765; 0 = pick a free port)",
+    )
+    p_srv.add_argument(
+        "--queue-max",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded request-queue depth; overflow answers 429 (default 64)",
+    )
+    p_srv.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max requests batched into one pool fan-out (default 8)",
+    )
+    p_srv.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent result store (sqlite; default "
+            ".repro-service/results.sqlite)"
+        ),
+    )
+    p_srv.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent result store (memory-only service)",
+    )
+    p_srv.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="LRU bound on the in-memory solver cache (default 4096)",
+    )
+    _add_jobs_argument(p_srv)
 
     p_obs = sub.add_parser(
         "obs", help="inspect observability output of previous runs"
@@ -274,6 +332,37 @@ def _cmd_experiment(args: argparse.Namespace, timer: PhaseTimer) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service stack (http.server, sqlite3) is only
+    # needed by this subcommand.
+    from repro.service.server import DEFAULT_STORE_PATH, ReproService
+
+    store_path = None if args.no_store else (args.store or DEFAULT_STORE_PATH)
+    service = ReproService(
+        host=args.host,
+        port=args.port,
+        queue_max=args.queue_max,
+        batch_max=args.batch_max,
+        jobs=args.jobs,
+        store_path=store_path,
+        cache_max_entries=args.cache_max_entries,
+    )
+    print(f"repro.service listening on {service.url}")
+    if store_path is None:
+        print("persistent store: disabled")
+    else:
+        print(f"persistent store: {store_path} (version {service.store.version})")
+    print("endpoints: POST /v1/solve, POST /v1/simulate, GET /healthz, GET /metrics")
+    try:
+        service.serve_forever()
+    finally:
+        # Reached on Ctrl-C (KeyboardInterrupt propagates to main()) or a
+        # programmatic shutdown: drain in-flight work, then release.
+        print("shutting down: draining in-flight requests...", file=sys.stderr)
+        service.close(drain=True)
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     if not args.last:
         print("nothing to show; try: repro obs --last", file=sys.stderr)
@@ -329,8 +418,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             code = _cmd_simulate(args)
         elif args.command == "experiment":
             code = _cmd_experiment(args, timer)
+        elif args.command == "serve":
+            code = _cmd_serve(args)
         else:  # pragma: no cover - argparse enforces the choices
             raise AssertionError(f"unhandled command {args.command!r}")
+    except KeyboardInterrupt:
+        # Ctrl-C is a normal way to stop `repro serve` and long
+        # experiments: exit 130 (128+SIGINT), no traceback.
+        print("interrupted", file=sys.stderr)
+        _write_summary(args.command, argv, EXIT_INTERRUPTED, timer)
+        return EXIT_INTERRUPTED
     except FixedPointDiverged as exc:
         print(f"error: {exc}", file=sys.stderr)
         if exc.trace:

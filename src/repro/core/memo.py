@@ -28,6 +28,18 @@ Usage::
     SOLVER_CACHE.clear()    # drop everything, reset counters
     with SOLVER_CACHE.bypass():   # e.g. sensitivity sweeps
         optimize(params)    # always recomputed, never stored
+
+Two service-grade extensions (both off by default, so one-shot CLI runs
+behave exactly as before):
+
+* ``SOLVER_CACHE.set_max_entries(n)`` bounds the memory store with LRU
+  eviction (counter ``memo.evictions``) — a long-lived service would
+  otherwise grow without bound;
+* ``SOLVER_CACHE.attach_store(store)`` layers a persistent store (see
+  :mod:`repro.service.store`) underneath: memory misses consult the
+  store (counter ``memo.persist_hits``) before computing, and computed
+  results are written through, so a restarted process answers repeated
+  configurations from disk without re-solving.
 """
 
 from __future__ import annotations
@@ -101,13 +113,26 @@ def canonical_key(*parts: Any) -> Hashable:
     return tuple(_token(p) for p in parts)
 
 
+#: Sentinel a persistent store returns for "no entry" (see
+#: :meth:`SolverCache.attach_store`); re-exported by
+#: :mod:`repro.service.store`.
+PERSIST_MISS = object()
+
+
 @dataclasses.dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters and current entry count."""
+    """Hit/miss counters and current entry count.
+
+    ``evictions`` counts LRU drops (only under ``set_max_entries``);
+    ``persist_hits`` counts memory misses answered by an attached
+    persistent store instead of a recompute.
+    """
 
     hits: int
     misses: int
     size: int
+    evictions: int = 0
+    persist_hits: int = 0
 
     @property
     def requests(self) -> int:
@@ -126,19 +151,79 @@ class SolverCache:
     configs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
         self._store: dict[Hashable, Any] = {}
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        self._persist_hits = 0
         self._bypass_depth = 0
+        self._max_entries = max_entries
+        self._persistent: Any = None
+
+    def set_max_entries(self, max_entries: int | None) -> None:
+        """Bound the store with LRU eviction (``None`` removes the bound).
+
+        A long-lived service accumulates one entry per distinct
+        configuration forever without this; evictions are counted on
+        ``memo.evictions`` and in :meth:`stats`.
+        """
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
+        with self._lock:
+            self._max_entries = max_entries
+            self._evict_over_bound()
+
+    def attach_store(self, store: Any) -> None:
+        """Layer a persistent store underneath the in-memory dict.
+
+        ``store`` must provide ``get(key)`` returning the value or
+        :data:`PERSIST_MISS`, and ``put(key, value)``
+        (:class:`repro.service.store.ResultStore` is the shipped
+        implementation).  Memory misses consult it before computing;
+        computed values are written through.
+        """
+        with self._lock:
+            self._persistent = store
+
+    def detach_store(self, store: Any | None = None) -> None:
+        """Remove the persistent layer (a no-op if ``store`` is not the
+        one currently attached)."""
+        with self._lock:
+            if store is None or self._persistent is store:
+                self._persistent = None
+
+    def _evict_over_bound(self) -> None:
+        # Caller holds the lock.  Plain-dict insertion order is the LRU
+        # order because hits reinsert their key (pop + assign).
+        while (
+            self._max_entries is not None
+            and len(self._store) > self._max_entries
+        ):
+            oldest = next(iter(self._store))
+            del self._store[oldest]
+            self._evictions += 1
+            METRICS.counter("memo.evictions").inc()
+        METRICS.gauge("memo.size").set(len(self._store))
+
+    def _insert(self, key: Hashable, value: Any) -> None:
+        # Caller holds the lock.
+        self._store.pop(key, None)
+        self._store[key] = value
+        self._evict_over_bound()
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing (and storing) on miss.
 
+        Lookup order: in-memory dict, then the attached persistent store
+        (if any), then ``compute()`` with write-through to both layers.
         Hit/miss counts are mirrored into the process-wide metrics
-        registry (``memo.hits`` / ``memo.misses``, gauge ``memo.size``) so
-        cache behaviour shows up in run summaries and ``BENCH_*`` exports.
+        registry (``memo.hits`` / ``memo.misses`` / ``memo.persist_hits``,
+        gauge ``memo.size``) so cache behaviour shows up in run summaries
+        and ``BENCH_*`` exports.
         """
         if self._bypass_depth > 0:
             METRICS.counter("memo.bypassed").inc()
@@ -147,31 +232,53 @@ class SolverCache:
             if key in self._store:
                 self._hits += 1
                 METRICS.counter("memo.hits").inc()
-                return self._store[key]
+                value = self._store.pop(key)
+                self._store[key] = value  # refresh LRU recency
+                return value
             self._misses += 1
             METRICS.counter("memo.misses").inc()
+            persistent = self._persistent
+        if persistent is not None:
+            stored = persistent.get(key)
+            if stored is not PERSIST_MISS:
+                with self._lock:
+                    self._persist_hits += 1
+                    METRICS.counter("memo.persist_hits").inc()
+                    self._insert(key, stored)
+                return stored
         # Compute outside the lock: solves can be slow and re-entrant
         # (Algorithm 1 never calls back into the cache, but strategy
         # wrappers may nest).  A racing duplicate compute is benign — the
         # results are identical and frozen.
         value = compute()
         with self._lock:
-            self._store.setdefault(key, value)
-            METRICS.gauge("memo.size").set(len(self._store))
+            self._insert(key, value)
+        if persistent is not None:
+            persistent.put(key, value)
         return value
 
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all in-memory entries and reset the counters.
+
+        An attached persistent store is *not* cleared (that is its whole
+        point: surviving restarts); detach or ``store.clear()`` it
+        explicitly."""
         with self._lock:
             self._store.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
+            self._persist_hits = 0
 
     def stats(self) -> CacheStats:
         """Current :class:`CacheStats` snapshot."""
         with self._lock:
             return CacheStats(
-                hits=self._hits, misses=self._misses, size=len(self._store)
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._store),
+                evictions=self._evictions,
+                persist_hits=self._persist_hits,
             )
 
     @contextmanager

@@ -119,8 +119,14 @@ class Executor(abc.ABC):
     def _map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Backend hook: apply ``fn`` to every item, results in input order."""
 
-    def close(self) -> None:
-        """Release pool resources (no-op for serial)."""
+    def close(self, *, cancel_pending: bool = False) -> None:
+        """Release pool resources (no-op for serial).
+
+        ``cancel_pending=True`` additionally cancels submitted tasks
+        that have not started (fast-abort shutdown, e.g. the service
+        scheduler's non-draining close); already-running tasks always
+        finish — workers are never killed mid-task.
+        """
 
     def __enter__(self) -> "Executor":
         return self
@@ -159,8 +165,8 @@ class _PoolExecutor(Executor):
         # contract we promise.
         return list(self._pool.map(fn, items))
 
-    def close(self) -> None:
-        self._pool.shutdown(wait=True)
+    def close(self, *, cancel_pending: bool = False) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=cancel_pending)
 
 
 class ThreadExecutor(_PoolExecutor):

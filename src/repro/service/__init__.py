@@ -1,0 +1,53 @@
+"""repro.service — batched optimization-as-a-service.
+
+Long-lived front-end over the solver and simulator stack: a bounded
+request queue with backpressure (HTTP 429 + ``Retry-After``), a
+scheduler that coalesces duplicate in-flight requests on their
+canonical parameter key and batches work through a reused
+:mod:`repro.parallel` thread pool, a disk-backed persistent result
+store layered under the in-memory ``SOLVER_CACHE``, and a stdlib
+JSON-over-HTTP server plus client.
+
+Layers (each importable and testable on its own):
+
+* :mod:`repro.service.store` — sqlite result store, schema-versioned.
+* :mod:`repro.service.scheduler` — queue / coalescing / batching / drain.
+* :mod:`repro.service.api` — request parsing, canonical keying, payloads.
+* :mod:`repro.service.server` — :class:`ReproService` facade + HTTP.
+* :mod:`repro.service.client` — :class:`ServiceClient`.
+
+Quickstart::
+
+    from repro.service import ReproService, ServiceClient
+
+    with ReproService(port=0, store_path="results.sqlite") as service:
+        client = ServiceClient(service.url)
+        client.solve(te_core_days=3e6, case="8-4-2-1")
+
+or from the command line: ``python -m repro serve --port 8765``.
+See docs/service.md for the full API and operational semantics.
+"""
+
+from repro.service.api import RequestError, canonical_json
+from repro.service.client import OverloadedError, ServiceClient, ServiceError
+from repro.service.scheduler import (
+    CoalescingScheduler,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.service.server import ReproService
+from repro.service.store import ResultStore, schema_hash
+
+__all__ = [
+    "CoalescingScheduler",
+    "OverloadedError",
+    "ReproService",
+    "RequestError",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
+    "canonical_json",
+    "schema_hash",
+]

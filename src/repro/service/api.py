@@ -1,0 +1,249 @@
+"""Request parsing, canonical keying, and payload computation.
+
+This module is the service's *semantic* layer, deliberately free of any
+HTTP machinery so the scheduler and tests can drive it directly.  Each
+endpoint resolves a JSON request body into
+
+1. a normalized :class:`~repro.core.notation.ModelParameters` (via the
+   same :func:`repro.experiments.config.make_params` path the CLI uses),
+2. a canonical key — :func:`repro.core.memo.canonical_key` over the
+   *resolved* parameter object plus the endpoint and its extra knobs, so
+   two bodies that spell the same configuration differently (int vs
+   float, reordered fields, omitted defaults) coalesce to one key — and
+3. a zero-argument compute callable returning a JSON-serializable
+   payload dict.
+
+Compute callables route through ``SOLVER_CACHE.get_or_compute`` on the
+request key, which is what layers the service onto the in-memory memo
+cache *and* (when attached) the persistent :mod:`repro.service.store`:
+live, memory-cached, and disk-restored answers are the same payload
+object graph, hence byte-identical once serialized with
+:func:`canonical_json`.
+
+The counter ``service.executions`` increments only when a compute
+actually runs (not on memo/store/coalesce hits) — the end-to-end tests
+use it to prove "N duplicate requests, one solver execution".
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Callable, Hashable, Mapping
+
+from repro.core.memo import SOLVER_CACHE, canonical_key
+from repro.core.notation import ModelParameters, Solution
+from repro.core.solutions import STRATEGY_NAMES, compare_all_strategies
+from repro.experiments.config import make_params
+from repro.obs.metrics import METRICS
+from repro.sim.runner import simulate_solution
+
+#: Strategy selector meaning "solve all four and return the comparison".
+ALL_STRATEGIES = "all"
+
+
+class RequestError(ValueError):
+    """A malformed or invalid request body (HTTP 400)."""
+
+
+def canonical_json(payload: Mapping[str, Any]) -> bytes:
+    """Deterministic JSON bytes: sorted keys, tight separators, UTF-8.
+
+    Equal payload dicts serialize to equal bytes, which is the service's
+    bit-identity contract across live / memory / disk answers.  Non-finite
+    floats (an infeasible strategy's ``E(T_w) = inf``) are encoded as the
+    strings ``"inf"`` / ``"-inf"`` / ``"nan"`` so the output stays
+    strictly RFC-8259 parseable.
+    """
+    return json.dumps(
+        _finite(payload), sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def _finite(obj: Any) -> Any:
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return "nan" if math.isnan(obj) else ("inf" if obj > 0 else "-inf")
+    if isinstance(obj, Mapping):
+        return {k: _finite(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_finite(v) for v in obj]
+    return obj
+
+
+def _field(
+    body: Mapping[str, Any],
+    name: str,
+    kind: type,
+    default: Any = ...,
+) -> Any:
+    value = body.get(name, default)
+    if value is ...:
+        raise RequestError(f"missing required field {name!r}")
+    if kind is float and isinstance(value, (int, float)) and not isinstance(
+        value, bool
+    ):
+        return float(value)
+    if kind is int and isinstance(value, int) and not isinstance(value, bool):
+        return int(value)
+    if kind is str and isinstance(value, str):
+        return value
+    raise RequestError(
+        f"field {name!r} must be a {kind.__name__}, got {value!r}"
+    )
+
+
+_KNOWN_FIELDS = {
+    "te_core_days",
+    "case",
+    "ideal_scale",
+    "allocation",
+    "strategy",
+    "runs",
+    "seed",
+    "jitter",
+}
+
+
+def _params_from_body(body: Mapping[str, Any]) -> ModelParameters:
+    if not isinstance(body, Mapping):
+        raise RequestError(f"request body must be a JSON object, got {body!r}")
+    unknown = set(body) - _KNOWN_FIELDS
+    if unknown:
+        raise RequestError(f"unknown field(s): {', '.join(sorted(unknown))}")
+    te_core_days = _field(body, "te_core_days", float)
+    case = _field(body, "case", str)
+    ideal_scale = _field(body, "ideal_scale", float, 1e6)
+    allocation = _field(body, "allocation", float, 60.0)
+    if te_core_days <= 0:
+        raise RequestError(f"te_core_days must be positive, got {te_core_days}")
+    try:
+        return make_params(
+            te_core_days,
+            case,
+            ideal_scale=ideal_scale,
+            allocation_period=allocation,
+        )
+    except (ValueError, KeyError) as exc:
+        raise RequestError(f"invalid model configuration: {exc}") from exc
+
+
+def _strategy_from_body(body: Mapping[str, Any], default: str) -> str:
+    strategy = _field(body, "strategy", str, default)
+    if strategy != ALL_STRATEGIES and strategy not in STRATEGY_NAMES:
+        choices = ", ".join((ALL_STRATEGIES,) + STRATEGY_NAMES)
+        raise RequestError(f"unknown strategy {strategy!r}; choose from {choices}")
+    return strategy
+
+
+def solution_payload(solution: Solution) -> dict[str, Any]:
+    """JSON-safe view of one :class:`Solution` (floats kept bit-exact)."""
+    return {
+        "intervals": list(solution.intervals),
+        "intervals_rounded": list(solution.intervals_rounded()),
+        "scale": solution.scale,
+        "scale_rounded": solution.scale_rounded(),
+        "expected_wallclock": solution.expected_wallclock,
+        "mu": list(solution.mu),
+        "strategy": solution.strategy,
+        "feasible": solution.feasible,
+        "outer_iterations": solution.outer_iterations,
+        "inner_iterations": solution.inner_iterations,
+    }
+
+
+def build_solve(body: Mapping[str, Any]) -> tuple[Hashable, Callable[[], dict]]:
+    """Resolve a ``POST /v1/solve`` body into ``(key, compute)``."""
+    params = _params_from_body(body)
+    strategy = _strategy_from_body(body, ALL_STRATEGIES)
+    key = canonical_key("service.solve", params, strategy)
+
+    def compute() -> dict[str, Any]:
+        def run() -> dict[str, Any]:
+            METRICS.counter("service.executions").inc()
+            if strategy == ALL_STRATEGIES:
+                solutions = compare_all_strategies(params)
+            else:
+                solutions = {strategy: _solve_one(params, strategy)}
+            return {
+                "endpoint": "solve",
+                "strategy": strategy,
+                "solutions": {
+                    name: solution_payload(sol)
+                    for name, sol in solutions.items()
+                },
+            }
+
+        return SOLVER_CACHE.get_or_compute(key, run)
+
+    return key, compute
+
+
+def _solve_one(params: ModelParameters, strategy: str) -> Solution:
+    from repro.core import solutions as strat
+
+    fn = {
+        "ml-opt-scale": strat.ml_opt_scale,
+        "sl-opt-scale": strat.sl_opt_scale,
+        "ml-ori-scale": strat.ml_ori_scale,
+        "sl-ori-scale": strat.sl_ori_scale,
+    }[strategy]
+    return fn(params)
+
+
+def build_simulate(
+    body: Mapping[str, Any],
+) -> tuple[Hashable, Callable[[], dict]]:
+    """Resolve a ``POST /v1/simulate`` body into ``(key, compute)``.
+
+    Simulation ensembles are seed-stable (see :mod:`repro.parallel`), so
+    the payload is deterministic given the request and safely cacheable/
+    persistable under its canonical key.
+    """
+    params = _params_from_body(body)
+    strategy = _strategy_from_body(body, "ml-opt-scale")
+    if strategy == ALL_STRATEGIES:
+        raise RequestError("simulate requires a single strategy, not 'all'")
+    runs = _field(body, "runs", int, 20)
+    seed = _field(body, "seed", int, 0)
+    jitter = _field(body, "jitter", float, 0.3)
+    if runs < 1:
+        raise RequestError(f"runs must be >= 1, got {runs}")
+    if not 0.0 <= jitter < 1.0:
+        raise RequestError(f"jitter must be in [0, 1), got {jitter}")
+    key = canonical_key(
+        "service.simulate", params, strategy, runs, seed, jitter
+    )
+
+    def compute() -> dict[str, Any]:
+        def run() -> dict[str, Any]:
+            METRICS.counter("service.executions").inc()
+            solution = _solve_one(params, strategy)
+            ensemble = simulate_solution(
+                params, solution, n_runs=runs, seed=seed, jitter=jitter
+            )
+            return {
+                "endpoint": "simulate",
+                "strategy": strategy,
+                "runs": runs,
+                "seed": seed,
+                "jitter": jitter,
+                "solution": solution_payload(solution),
+                "ensemble": {
+                    "n_runs": ensemble.n_runs,
+                    "mean_wallclock": ensemble.mean_wallclock,
+                    "std_wallclock": ensemble.std_wallclock,
+                    "all_completed": ensemble.all_completed,
+                    "mean_portions": ensemble.mean_portions(),
+                },
+            }
+
+        return SOLVER_CACHE.get_or_compute(key, run)
+
+    return key, compute
+
+
+#: Endpoint name -> request builder (the HTTP layer routes through this).
+BUILDERS: dict[str, Callable[[Mapping[str, Any]], tuple[Hashable, Callable]]] = {
+    "solve": build_solve,
+    "simulate": build_simulate,
+}

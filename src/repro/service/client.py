@@ -1,0 +1,146 @@
+"""Small stdlib HTTP client for :mod:`repro.service`.
+
+``urllib``-based, no dependencies::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    result = client.solve(te_core_days=3e6, case="8-4-2-1")
+    result["solutions"]["ml-opt-scale"]["expected_wallclock"]
+
+Overload (HTTP 429) raises :class:`OverloadedError` carrying the
+server's ``Retry-After``; ``solve``/``simulate`` optionally honor it
+themselves via ``retries=`` (bounded, sleep-backoff — the client-side
+half of the backpressure contract).  :meth:`ServiceClient.request`
+exposes the raw status/bytes for callers that need the exact wire
+payload (the bit-identity tests do).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response; carries the HTTP status and decoded payload."""
+
+    def __init__(self, status: int, payload: Mapping[str, Any] | None):
+        message = (payload or {}).get("error", f"HTTP {status}")
+        super().__init__(f"[{status}] {message}")
+        self.status = int(status)
+        self.payload = dict(payload or {})
+
+
+class OverloadedError(ServiceError):
+    """HTTP 429: the service queue is full; back off ``retry_after`` s."""
+
+    def __init__(
+        self,
+        status: int,
+        payload: Mapping[str, Any] | None,
+        retry_after: float,
+    ):
+        super().__init__(status, payload)
+        self.retry_after = float(retry_after)
+
+
+class ServiceClient:
+    """Thin JSON client bound to one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------ plumbing
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Mapping[str, Any] | None = None,
+    ) -> tuple[int, Mapping[str, str], bytes]:
+        """One HTTP round-trip; returns ``(status, headers, raw bytes)``.
+
+        Never raises on HTTP error statuses — only on transport failures
+        (connection refused, timeout).
+        """
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), exc.read()
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: Mapping[str, Any] | None = None,
+        *,
+        retries: int = 0,
+        max_backoff: float = 30.0,
+    ) -> dict[str, Any]:
+        attempts = max(0, int(retries)) + 1
+        for attempt in range(attempts):
+            status, headers, raw = self.request(method, path, body)
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            if status < 400:
+                return payload
+            if status == 429:
+                retry_after = float(
+                    headers.get("Retry-After", payload.get("retry_after", 1))
+                )
+                if attempt + 1 < attempts:
+                    time.sleep(min(retry_after, max_backoff))
+                    continue
+                raise OverloadedError(status, payload, retry_after)
+            raise ServiceError(status, payload)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------ endpoints
+
+    def solve(
+        self,
+        *,
+        te_core_days: float,
+        case: str,
+        retries: int = 0,
+        **fields: Any,
+    ) -> dict[str, Any]:
+        """``POST /v1/solve``; see :func:`repro.service.api.build_solve`."""
+        body = {"te_core_days": te_core_days, "case": case, **fields}
+        return self._call("POST", "/v1/solve", body, retries=retries)
+
+    def simulate(
+        self,
+        *,
+        te_core_days: float,
+        case: str,
+        retries: int = 0,
+        **fields: Any,
+    ) -> dict[str, Any]:
+        """``POST /v1/simulate``; see :func:`repro.service.api.build_simulate`."""
+        body = {"te_core_days": te_core_days, "case": case, **fields}
+        return self._call("POST", "/v1/simulate", body, retries=retries)
+
+    def healthz(self) -> dict[str, Any]:
+        """``GET /healthz``."""
+        return self._call("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        """``GET /metrics`` (the server's metrics-registry summary)."""
+        return self._call("GET", "/metrics")

@@ -1,0 +1,227 @@
+"""Bounded request queue with coalescing, batching, and backpressure.
+
+:class:`CoalescingScheduler` is the heart of the service: every request
+carries a canonical key (:func:`repro.core.memo.canonical_key` over the
+request's resolved parameters) and a zero-argument compute callable.
+
+* **Coalescing** — while a key is queued or in flight, further submits
+  for the same key *attach* to the existing entry instead of enqueueing
+  a duplicate: one execution fans its result out to every waiter
+  (counter ``service.coalesced``).  Checkpoint-planning traffic is
+  heavily duplicate (malleable applications re-plan on every scale
+  change with the same handful of configurations), so this is the
+  difference between O(unique) and O(requests) solver work.
+* **Batching** — a single dispatcher thread drains up to ``batch_max``
+  entries at a time and fans the batch out through a reused
+  :mod:`repro.parallel` thread pool (threads, not processes: workers
+  must share the in-process ``SOLVER_CACHE``).  Counters
+  ``service.batches`` and histogram ``service.batch_size``.
+* **Backpressure** — the queue is bounded; a submit that finds it full
+  raises :class:`ServiceOverloaded` (the HTTP layer maps this to
+  ``429 Retry-After``) rather than buffering unboundedly.  Gauge
+  ``service.queue_depth``, counter ``service.rejected``.
+* **Graceful drain** — ``close(drain=True)`` stops intake, finishes
+  every queued and in-flight entry, then releases the pool;
+  ``close(drain=False)`` fails queued entries immediately and cancels
+  pending pool work.
+
+Waiters block in :meth:`submit`; the scheduler itself never touches the
+HTTP layer, so it is directly testable (and reusable for non-HTTP
+front-ends).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Hashable
+
+from repro.obs.logconf import get_logger
+from repro.obs.metrics import METRICS
+from repro.parallel.executor import Executor, make_executor
+
+logger = get_logger("service.scheduler")
+
+
+class ServiceOverloaded(RuntimeError):
+    """The bounded request queue is full; retry after ``retry_after`` s."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ServiceClosed(RuntimeError):
+    """The scheduler is shutting down and no longer accepts work."""
+
+
+class _Entry:
+    """One coalesced unit of work: a key, a compute, and its waiters."""
+
+    __slots__ = ("key", "compute", "done", "result", "error", "waiters")
+
+    def __init__(self, key: Hashable, compute: Callable[[], Any]):
+        self.key = key
+        self.compute = compute
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.waiters = 1
+
+
+class CoalescingScheduler:
+    """Bounded, coalescing, batching dispatcher over a reused worker pool.
+
+    Parameters
+    ----------
+    queue_max:
+        Maximum *distinct* entries waiting to start (in-flight entries
+        do not count; attached duplicate waiters never count).
+    batch_max:
+        Maximum entries drained into one pool fan-out.
+    jobs:
+        Worker budget for the pool (``None`` defers to ``REPRO_JOBS``,
+        default 1).  The pool is built once and reused for every batch.
+    retry_after:
+        Advisory client back-off (seconds) carried by
+        :class:`ServiceOverloaded`.
+    """
+
+    def __init__(
+        self,
+        *,
+        queue_max: int = 64,
+        batch_max: int = 8,
+        jobs: int | str | None = None,
+        retry_after: float = 1.0,
+    ):
+        if queue_max < 1:
+            raise ValueError(f"queue_max must be >= 1, got {queue_max}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        self.queue_max = int(queue_max)
+        self.batch_max = int(batch_max)
+        self.retry_after = float(retry_after)
+        self._executor: Executor = make_executor(jobs, backend="thread")
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queue: deque[_Entry] = deque()
+        self._pending: dict[Hashable, _Entry] = {}
+        self._closing = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------- intake
+
+    def submit(
+        self,
+        key: Hashable,
+        compute: Callable[[], Any],
+        *,
+        timeout: float | None = None,
+    ) -> Any:
+        """Run ``compute`` (or attach to its in-flight duplicate) and
+        return the shared result.
+
+        Raises :class:`ServiceOverloaded` when the queue is full,
+        :class:`ServiceClosed` after shutdown began, ``TimeoutError``
+        when the result is not ready within ``timeout``, and re-raises
+        the compute's exception for every attached waiter.
+        """
+        with self._lock:
+            entry = self._pending.get(key)
+            if entry is not None:
+                entry.waiters += 1
+                METRICS.counter("service.coalesced").inc()
+            else:
+                if self._closing:
+                    raise ServiceClosed("scheduler is shutting down")
+                if len(self._queue) >= self.queue_max:
+                    METRICS.counter("service.rejected").inc()
+                    raise ServiceOverloaded(
+                        f"request queue full ({self.queue_max} waiting)",
+                        retry_after=self.retry_after,
+                    )
+                entry = _Entry(key, compute)
+                self._pending[key] = entry
+                self._queue.append(entry)
+                METRICS.gauge("service.queue_depth").set(len(self._queue))
+                self._wake.notify()
+        if not entry.done.wait(timeout):
+            raise TimeoutError(f"request not completed within {timeout} s")
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    def queue_depth(self) -> int:
+        """Entries waiting to start (excludes in-flight)."""
+        with self._lock:
+            return len(self._queue)
+
+    def in_flight(self) -> int:
+        """Entries queued or executing right now."""
+        with self._lock:
+            return len(self._pending)
+
+    # ----------------------------------------------------------- dispatch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closing:
+                    self._wake.wait()
+                if not self._queue:
+                    return  # closing and drained
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(self.batch_max, len(self._queue)))
+                ]
+                METRICS.gauge("service.queue_depth").set(len(self._queue))
+            METRICS.counter("service.batches").inc()
+            METRICS.histogram("service.batch_size").observe(len(batch))
+            # _run_entry never raises, so pool.map cannot abort the batch.
+            self._executor.map(self._run_entry, batch)
+
+    def _run_entry(self, entry: _Entry) -> None:
+        try:
+            entry.result = entry.compute()
+        except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+            entry.error = exc
+            logger.debug("request %r failed: %s", entry.key, exc)
+        finally:
+            with self._lock:
+                self._pending.pop(entry.key, None)
+            entry.done.set()
+
+    # ----------------------------------------------------------- shutdown
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop intake and shut the pool down (idempotent).
+
+        ``drain=True`` finishes all queued and in-flight work first;
+        ``drain=False`` fails queued entries with :class:`ServiceClosed`
+        and cancels pool tasks that have not started.
+        """
+        with self._lock:
+            if self._closing and not self._dispatcher.is_alive():
+                return
+            self._closing = True
+            if not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
+                for entry in abandoned:
+                    self._pending.pop(entry.key, None)
+                    entry.error = ServiceClosed("service shut down before run")
+                    entry.done.set()
+                METRICS.gauge("service.queue_depth").set(0)
+            self._wake.notify_all()
+        self._dispatcher.join()
+        self._executor.close(cancel_pending=not drain)
+
+    def __enter__(self) -> "CoalescingScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

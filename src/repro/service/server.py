@@ -1,0 +1,288 @@
+"""JSON-over-HTTP front-end: ``ThreadingHTTPServer`` + service facade.
+
+Stdlib only — no web framework.  :class:`ReproService` wires the three
+service layers together and owns their lifecycle:
+
+* a :class:`~repro.service.store.ResultStore` (optional) attached under
+  the process-wide ``SOLVER_CACHE`` so answers survive restarts,
+* a :class:`~repro.service.scheduler.CoalescingScheduler` providing the
+  bounded queue, duplicate coalescing, and batched execution,
+* a ``ThreadingHTTPServer`` whose handler threads block in
+  ``scheduler.submit`` (one OS thread per in-flight HTTP request —
+  plenty for a planning service whose answers are microseconds once
+  warm and coalesced when cold).
+
+Routes::
+
+    POST /v1/solve      {"te_core_days": 3e6, "case": "8-4-2-1", ...}
+    POST /v1/simulate   {... , "strategy": "ml-opt-scale", "runs": 20}
+    GET  /healthz       liveness + queue/store introspection
+    GET  /metrics       the process metrics registry (JSON summary)
+
+Status codes: 200 success, 400 malformed body, 404 unknown route,
+405 wrong method, 422 valid request whose solve diverged, 429 queue
+full (with ``Retry-After``), 503 shutting down.  Success bodies are
+:func:`~repro.service.api.canonical_json` bytes — deterministic, so
+identical requests get identical bytes no matter which layer answered.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.core.memo import SOLVER_CACHE
+from repro.obs.logconf import get_logger
+from repro.obs.metrics import METRICS
+from repro.service.api import BUILDERS, RequestError, canonical_json
+from repro.service.scheduler import (
+    CoalescingScheduler,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.service.store import ResultStore
+from repro.util.iteration import FixedPointDiverged
+
+logger = get_logger("service.http")
+
+#: Default persistent-store location (under the working directory).
+DEFAULT_STORE_PATH = ".repro-service/results.sqlite"
+#: Hard cap on accepted request bodies (requests are tiny parameter sets).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ReproService:
+    """Long-lived optimization service: store + scheduler + HTTP server.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`).
+    queue_max / batch_max / jobs / retry_after:
+        Forwarded to :class:`CoalescingScheduler`.
+    store_path:
+        Sqlite file for the persistent result store; ``None`` disables
+        persistence (memory-only service).
+    cache_max_entries:
+        LRU bound installed on ``SOLVER_CACHE`` for the service's
+        lifetime (``None`` leaves the current bound untouched).
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_max: int = 64,
+        batch_max: int = 8,
+        jobs: int | str | None = None,
+        retry_after: float = 1.0,
+        store_path: str | Path | None = DEFAULT_STORE_PATH,
+        cache_max_entries: int | None = None,
+    ):
+        self.store = (
+            ResultStore(store_path) if store_path is not None else None
+        )
+        if self.store is not None:
+            SOLVER_CACHE.attach_store(self.store)
+        if cache_max_entries is not None:
+            SOLVER_CACHE.set_max_entries(cache_max_entries)
+        self.scheduler = CoalescingScheduler(
+            queue_max=queue_max,
+            batch_max=batch_max,
+            jobs=jobs,
+            retry_after=retry_after,
+        )
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = False  # shutdown waits for handlers
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------ runtime
+
+    @property
+    def host(self) -> str:
+        """Bound host."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (resolved when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproService":
+        """Serve in a background thread; returns ``self`` for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("repro.service listening on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (or Ctrl-C)."""
+        logger.info("repro.service listening on %s", self.url)
+        self._httpd.serve_forever()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting, drain (or abandon) queued work, release all.
+
+        Safe to call more than once and from signal/finally paths.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()  # stop serve_forever; waits for handlers
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+        self.scheduler.close(drain=drain)
+        if self.store is not None:
+            SOLVER_CACHE.detach_store(self.store)
+            self.store.close()
+
+    def __enter__(self) -> "ReproService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------- introspection
+
+    def healthz(self) -> dict:
+        """Liveness payload served on ``GET /healthz``."""
+        stats = SOLVER_CACHE.stats()
+        return {
+            "status": "draining" if self._closed else "ok",
+            "queue_depth": self.scheduler.queue_depth(),
+            "queue_max": self.scheduler.queue_max,
+            "in_flight": self.scheduler.in_flight(),
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "size": stats.size,
+                "evictions": stats.evictions,
+                "persist_hits": stats.persist_hits,
+            },
+            "store": {
+                "attached": self.store is not None,
+                "entries": len(self.store) if self.store is not None else 0,
+                "version": self.store.version if self.store is not None else None,
+            },
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the owning :class:`ReproService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro.service/1.0"
+
+    @property
+    def service(self) -> ReproService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    # ---------------------------------------------------------- responses
+
+    def _respond(
+        self, status: int, body: bytes, *, headers: dict[str, str] | None = None
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        METRICS.counter(f"service.responses.{status}").inc()
+
+    def _respond_json(
+        self, status: int, payload: dict, *, headers: dict[str, str] | None = None
+    ) -> None:
+        self._respond(status, canonical_json(payload), headers=headers)
+
+    def _error(self, status: int, message: str, **extra) -> None:
+        self._respond_json(status, {"error": message, **extra})
+
+    # ------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        if self.path == "/healthz":
+            self._respond_json(200, self.service.healthz())
+        elif self.path == "/metrics":
+            self._respond_json(200, {"metrics": METRICS.summary()})
+        elif self.path in ("/v1/solve", "/v1/simulate"):
+            self._error(405, f"use POST for {self.path}")
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        if not self.path.startswith("/v1/"):
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        endpoint = self.path[len("/v1/"):]
+        builder = BUILDERS.get(endpoint)
+        if builder is None:
+            self._error(404, f"unknown endpoint {endpoint!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        if length > MAX_BODY_BYTES:
+            self._error(400, f"body too large ({length} bytes)")
+            return
+        try:
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return
+        METRICS.counter(f"service.requests.{endpoint}").inc()
+        start = time.perf_counter()
+        try:
+            key, compute = builder(body)
+        except RequestError as exc:
+            self._error(400, str(exc))
+            return
+        try:
+            payload = self.service.scheduler.submit(key, compute)
+        except ServiceOverloaded as exc:
+            retry_after = max(1, round(exc.retry_after))
+            self._respond_json(
+                429,
+                {"error": str(exc), "retry_after": retry_after},
+                headers={"Retry-After": str(retry_after)},
+            )
+            return
+        except ServiceClosed as exc:
+            self._error(503, str(exc))
+            return
+        except FixedPointDiverged as exc:
+            self._error(422, f"solver diverged: {exc}")
+            return
+        except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
+            logger.exception("unhandled service error")
+            self._error(500, f"{type(exc).__name__}: {exc}")
+            return
+        finally:
+            METRICS.histogram(f"service.request_seconds.{endpoint}").observe(
+                time.perf_counter() - start
+            )
+        self._respond(200, canonical_json(payload))

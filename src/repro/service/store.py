@@ -1,0 +1,163 @@
+"""Disk-backed persistent result store (sqlite, versioned by schema hash).
+
+The in-memory :data:`repro.core.memo.SOLVER_CACHE` is process-local: a
+service restart forgets every solve.  :class:`ResultStore` is the
+durable layer underneath it — a single-file sqlite database mapping
+canonical solver keys (see :func:`repro.core.memo.canonical_key`) to
+pickled result objects, so a cold process answers repeated requests
+without re-running Algorithm 1.
+
+Three properties the service relies on:
+
+* **Deterministic keying** — canonical keys are nested tuples of
+  primitives (strings, ints, ``float.hex`` tokens, ...), so their
+  ``repr`` is stable across processes and Python runs;
+  :func:`key_digest` hashes that text with sha256.
+* **Version isolation** — every row carries a schema/version tag
+  (:func:`schema_hash` by default: package version + the field layout of
+  the persisted result dataclasses).  A model change silently invalidates
+  old rows instead of replaying stale physics.
+* **First-writer-wins** — :meth:`ResultStore.put` uses ``INSERT OR
+  IGNORE``: once a key is persisted its bytes never change, which is
+  what makes "answered from disk" bit-identical to "answered live".
+
+The store is thread-safe (one connection guarded by a lock —
+checkpoint-solve payloads are tiny, so connection pooling would be
+noise) and usable standalone or attached to the memo cache via
+:meth:`repro.core.memo.SolverCache.attach_store`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import pickle
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Hashable
+
+from repro.core.memo import PERSIST_MISS
+from repro.obs.metrics import METRICS
+
+#: Sentinel distinguishing "no row" from a stored ``None`` (shared with
+#: the memo layer so ``SolverCache.attach_store`` needs no adapter).
+MISS = PERSIST_MISS
+
+
+def schema_hash() -> str:
+    """Version tag for persisted rows: package version + result layouts.
+
+    Mixes the ``repro`` version string with the qualified name and field
+    names of every dataclass the service persists (directly or inside a
+    payload).  Any schema drift — a renamed field, an added diagnostic —
+    changes the tag, and rows written under other tags become invisible.
+    """
+    import repro
+    from repro.core.algorithm1 import Algorithm1Result
+    from repro.core.notation import Solution
+    from repro.sim.metrics import EnsembleResult, SimResult
+
+    parts = [f"repro={repro.__version__}"]
+    for cls in (Solution, Algorithm1Result, SimResult, EnsembleResult):
+        fields = ",".join(f.name for f in dataclasses.fields(cls))
+        parts.append(f"{cls.__module__}.{cls.__qualname__}({fields})")
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
+def key_digest(key: Hashable) -> str:
+    """Stable text digest of a canonical key (sha256 of its ``repr``)."""
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+class ResultStore:
+    """Sqlite-backed ``canonical key -> pickled result`` map.
+
+    Parameters
+    ----------
+    path:
+        Database file; parent directories are created.  ``":memory:"``
+        builds a private in-memory database (tests).
+    version:
+        Row version tag; defaults to :func:`schema_hash`.  ``get`` only
+        sees rows written under the same tag.
+
+    Metrics: counters ``service.store.hits`` / ``.misses`` / ``.puts``
+    and gauge ``service.store.size`` on the process registry.
+    """
+
+    def __init__(self, path: str | Path, *, version: str | None = None):
+        self.path = Path(path) if str(path) != ":memory:" else path
+        self.version = version if version is not None else schema_hash()
+        if isinstance(self.path, Path):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        with self._lock:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                " version TEXT NOT NULL,"
+                " key TEXT NOT NULL,"
+                " payload BLOB NOT NULL,"
+                " PRIMARY KEY (version, key))"
+            )
+            self._conn.commit()
+
+    def get(self, key: Hashable) -> Any:
+        """The stored value for ``key``, or :data:`MISS` when absent."""
+        digest = key_digest(key)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE version = ? AND key = ?",
+                (self.version, digest),
+            ).fetchone()
+        if row is None:
+            METRICS.counter("service.store.misses").inc()
+            return MISS
+        METRICS.counter("service.store.hits").inc()
+        return pickle.loads(row[0])
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Persist ``value`` under ``key`` (no-op if the key exists)."""
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = key_digest(key)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO results (version, key, payload)"
+                " VALUES (?, ?, ?)",
+                (self.version, digest, blob),
+            )
+            self._conn.commit()
+        METRICS.counter("service.store.puts").inc()
+        METRICS.gauge("service.store.size").set(len(self))
+
+    def __len__(self) -> int:
+        """Rows visible under this store's version tag."""
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM results WHERE version = ?",
+                (self.version,),
+            ).fetchone()
+        return int(count)
+
+    def clear(self) -> None:
+        """Drop every row of this version (other versions untouched)."""
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM results WHERE version = ?", (self.version,)
+            )
+            self._conn.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.path)!r}, version={self.version!r})"

@@ -1,0 +1,211 @@
+"""Edge-case coverage for ``canonical_key`` (repro.core.memo).
+
+The cache key must treat *bit-identical values* as equal regardless of
+their Python spelling (numpy scalar vs builtin float, dict insertion
+order), must respect dataclass structure (nested fields, field order),
+and must register *any* single-field mutation of a real parameter object
+as a miss — these are the properties the service's coalescing and
+persistent store both lean on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.memo import canonical_key
+from repro.costs.model import CostModel, LevelCostModel
+from repro.failures.rates import FailureRates
+from repro.speedup.quadratic import QuadraticSpeedup
+
+
+class TestNumericTokens:
+    def test_numpy_float_equals_python_float(self):
+        assert canonical_key(np.float64(0.25)) == canonical_key(0.25)
+
+    def test_numpy_int_equals_python_int(self):
+        assert canonical_key(np.int64(42)) == canonical_key(42)
+
+    def test_float32_upcast_is_bit_exact(self):
+        # np.float32(0.1) != 0.1 as doubles: the key must distinguish them.
+        assert canonical_key(np.float32(0.1)) != canonical_key(0.1)
+        assert canonical_key(np.float32(0.5)) == canonical_key(0.5)
+
+    def test_negative_zero_differs_from_zero(self):
+        assert canonical_key(-0.0) != canonical_key(0.0)
+
+    def test_nan_and_inf_are_keyable_and_stable(self):
+        assert canonical_key(float("nan")) == canonical_key(float("nan"))
+        assert canonical_key(float("inf")) == canonical_key(float("inf"))
+        assert canonical_key(float("inf")) != canonical_key(float("-inf"))
+
+    def test_int_is_not_confused_with_float(self):
+        assert canonical_key(1) != canonical_key(1.0)
+
+    def test_bool_is_not_confused_with_int(self):
+        # bool is an int subclass; both tokenize via the primitive branch,
+        # and True == 1 hashes equal — guard documents this deliberately:
+        # solver kwargs never mix bool/int meanings for one field.
+        assert canonical_key(True) == canonical_key(True)
+        assert canonical_key(True) != canonical_key(False)
+
+    def test_nearby_floats_differ(self):
+        a = 0.1
+        b = np.nextafter(0.1, 1.0)
+        assert canonical_key(a) != canonical_key(b)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Inner:
+    x: float
+    y: tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class _Outer:
+    name: str
+    inner: _Inner
+    weight: float = 1.0
+
+
+class TestNestedDataclasses:
+    def test_equal_nested_instances_equal_keys(self):
+        a = _Outer("a", _Inner(0.5, (1, 2)))
+        b = _Outer("a", _Inner(0.5, (1, 2)))
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_nested_field_mutation_changes_key(self):
+        a = _Outer("a", _Inner(0.5, (1, 2)))
+        b = _Outer("a", _Inner(0.5, (1, 3)))
+        assert canonical_key(a) != canonical_key(b)
+
+    def test_field_values_do_not_swap_across_fields(self):
+        # (x=1, y=2) must not collide with (x=2, y=1): tokens carry the
+        # field *names*, not just positional values.
+        a = _Inner(1.0, (2.0,))
+        b = _Inner(2.0, (1.0,))
+        assert canonical_key(a) != canonical_key(b)
+
+    def test_class_identity_is_part_of_the_key(self):
+        @dataclasses.dataclass(frozen=True)
+        class _Impostor:
+            x: float
+            y: tuple
+
+        assert canonical_key(_Inner(0.5, ())) != canonical_key(_Impostor(0.5, ()))
+
+    def test_dict_insertion_order_is_canonicalized(self):
+        assert canonical_key({"a": 1, "b": 2}) == canonical_key({"b": 2, "a": 1})
+
+    def test_numpy_array_keys_are_bit_exact(self):
+        a = np.array([0.1, 0.2])
+        assert canonical_key(a) == canonical_key(a.copy())
+        assert canonical_key(a) != canonical_key(a.astype(np.float32))
+        assert canonical_key(a) != canonical_key(a.reshape(2, 1))
+
+
+class TestEveryFieldIsAMiss:
+    """Any single-field mutation of real model parameters misses."""
+
+    @pytest.fixture
+    def base(self, small_params):
+        return small_params
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            pytest.param(
+                lambda p: replace(p, te_core_seconds=p.te_core_seconds + 1.0),
+                id="te_core_seconds",
+            ),
+            pytest.param(
+                lambda p: replace(
+                    p,
+                    speedup=QuadraticSpeedup(
+                        kappa=0.51, ideal_scale=p.speedup.ideal_scale
+                    ),
+                ),
+                id="speedup.kappa",
+            ),
+            pytest.param(
+                lambda p: replace(
+                    p,
+                    speedup=QuadraticSpeedup(
+                        kappa=0.5, ideal_scale=p.speedup.ideal_scale + 1
+                    ),
+                ),
+                id="speedup.ideal_scale",
+            ),
+            pytest.param(
+                lambda p: replace(
+                    p,
+                    costs=LevelCostModel(
+                        checkpoint=p.costs.checkpoint[:-1]
+                        + (CostModel.constant_cost(99.0),),
+                        recovery=p.costs.recovery,
+                    ),
+                ),
+                id="costs.checkpoint",
+            ),
+            pytest.param(
+                lambda p: replace(
+                    p,
+                    costs=LevelCostModel(
+                        checkpoint=p.costs.checkpoint,
+                        recovery=p.costs.recovery[:-1]
+                        + (CostModel.constant_cost(99.0),),
+                    ),
+                ),
+                id="costs.recovery",
+            ),
+            pytest.param(
+                lambda p: replace(
+                    p,
+                    rates=FailureRates(
+                        per_day_at_baseline=(25.0, 12.0, 6.0, 3.0),
+                        baseline_scale=p.rates.baseline_scale,
+                    ),
+                ),
+                id="rates.per_day",
+            ),
+            pytest.param(
+                lambda p: replace(
+                    p,
+                    rates=FailureRates(
+                        per_day_at_baseline=p.rates.per_day_at_baseline,
+                        baseline_scale=p.rates.baseline_scale + 1.0,
+                    ),
+                ),
+                id="rates.baseline_scale",
+            ),
+            pytest.param(
+                lambda p: replace(p, allocation_period=p.allocation_period + 1),
+                id="allocation_period",
+            ),
+            pytest.param(
+                lambda p: replace(p, min_scale=p.min_scale + 1.0),
+                id="min_scale",
+            ),
+            pytest.param(
+                lambda p: replace(p, max_scale=p.scale_upper_bound - 1.0),
+                id="max_scale",
+            ),
+        ],
+    )
+    def test_single_field_mutation_is_a_cache_miss(self, base, mutate):
+        assert canonical_key(base) != canonical_key(mutate(base))
+
+    def test_epsilon_perturbation_is_a_miss(self, base):
+        bumped = replace(
+            base,
+            te_core_seconds=float(
+                np.nextafter(base.te_core_seconds, np.inf)
+            ),
+        )
+        assert canonical_key(base) != canonical_key(bumped)
+
+    def test_unmutated_copy_is_a_hit(self, base):
+        assert canonical_key(base) == canonical_key(replace(base))

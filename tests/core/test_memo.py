@@ -17,8 +17,12 @@ from repro.failures.rates import FailureRates
 def clean_cache():
     """Isolate every test from cross-test (and cross-module) cache state."""
     SOLVER_CACHE.clear()
+    SOLVER_CACHE.detach_store()
+    SOLVER_CACHE.set_max_entries(None)
     yield
     SOLVER_CACHE.clear()
+    SOLVER_CACHE.detach_store()
+    SOLVER_CACHE.set_max_entries(None)
 
 
 class TestCanonicalKey:
@@ -131,3 +135,76 @@ class TestSolverMemoization:
         stats = cache.stats()
         assert stats.requests == 2
         assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+
+
+class TestLRUBound:
+    """The optional max_entries bound (long-lived service hygiene)."""
+
+    def test_unbounded_by_default(self):
+        cache = SolverCache()
+        for i in range(100):
+            cache.get_or_compute(i, lambda i=i: i)
+        assert cache.stats().size == 100
+        assert cache.stats().evictions == 0
+
+    def test_constructor_bound_evicts_oldest(self):
+        cache = SolverCache(max_entries=3)
+        for i in range(5):
+            cache.get_or_compute(i, lambda i=i: i)
+        stats = cache.stats()
+        assert stats.size == 3
+        assert stats.evictions == 2
+        # Newest keys (2, 3, 4) are hits; oldest (0, 1) were evicted and
+        # recompute.  Probe the survivors first so the recomputes' own
+        # insertions don't cascade-evict them mid-check.
+        computed = []
+        for i in (2, 3, 4, 0, 1):
+            cache.get_or_compute(i, lambda i=i: computed.append(i))
+        assert computed == [0, 1]
+
+    def test_hit_refreshes_recency(self):
+        cache = SolverCache(max_entries=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: None)  # refresh "a"
+        cache.get_or_compute("c", lambda: 3)  # evicts "b", not "a"
+        recomputed = []
+        cache.get_or_compute("a", lambda: recomputed.append("a"))
+        cache.get_or_compute("b", lambda: recomputed.append("b"))
+        assert recomputed == ["b"]
+
+    def test_set_max_entries_applies_immediately(self):
+        cache = SolverCache()
+        for i in range(10):
+            cache.get_or_compute(i, lambda i=i: i)
+        cache.set_max_entries(4)
+        assert cache.stats().size == 4
+        assert cache.stats().evictions == 6
+        cache.set_max_entries(None)  # unbounding keeps survivors
+        assert cache.stats().size == 4
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SolverCache(max_entries=0)
+        with pytest.raises(ValueError):
+            SolverCache().set_max_entries(-1)
+
+    def test_eviction_metric_exported(self):
+        from repro.obs.metrics import METRICS
+
+        before = METRICS.counter("memo.evictions").value
+        cache = SolverCache(max_entries=1)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        assert METRICS.counter("memo.evictions").value == before + 1
+
+    def test_global_cache_bound_with_real_solves(self, small_params):
+        from dataclasses import replace
+
+        SOLVER_CACHE.set_max_entries(2)
+        optimize(small_params)
+        optimize(replace(small_params, allocation_period=31.0))
+        optimize(replace(small_params, allocation_period=32.0))
+        stats = SOLVER_CACHE.stats()
+        assert stats.size == 2
+        assert stats.evictions >= 1

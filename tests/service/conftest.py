@@ -1,0 +1,28 @@
+"""Service-test fixtures: isolate the process-global cache per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.memo import SOLVER_CACHE
+
+
+@pytest.fixture(autouse=True)
+def clean_solver_cache():
+    """Reset the global solver cache, bound, and store hook around each test."""
+    SOLVER_CACHE.clear()
+    SOLVER_CACHE.detach_store()
+    SOLVER_CACHE.set_max_entries(None)
+    yield
+    SOLVER_CACHE.clear()
+    SOLVER_CACHE.detach_store()
+    SOLVER_CACHE.set_max_entries(None)
+
+
+#: A millisecond-fast model configuration shared by the HTTP tests.
+FAST_BODY = {
+    "te_core_days": 200.0,
+    "case": "24-12-6-3",
+    "ideal_scale": 2000.0,
+    "allocation": 30.0,
+}

@@ -1,0 +1,108 @@
+"""Tests for the service client (repro.service.client)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.client import OverloadedError, ServiceClient, ServiceError
+
+
+class _FakeTransport:
+    """Scripted (status, headers, body) responses for client-side tests."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.calls = []
+
+    def __call__(self, method, path, body=None):
+        self.calls.append((method, path, body))
+        status, headers, raw = self.responses.pop(0)
+        return status, headers, raw
+
+
+def _client_with(responses) -> tuple[ServiceClient, _FakeTransport]:
+    client = ServiceClient("http://fake:1")
+    transport = _FakeTransport(responses)
+    client.request = transport  # type: ignore[method-assign]
+    return client, transport
+
+
+class TestErrorMapping:
+    def test_success_returns_parsed_payload(self):
+        client, _ = _client_with([(200, {}, b'{"solutions":{}}')])
+        assert client.solve(te_core_days=1.0, case="8-4-2-1") == {
+            "solutions": {}
+        }
+
+    def test_http_error_raises_service_error_with_status(self):
+        client, _ = _client_with([(400, {}, b'{"error":"missing field"}')])
+        with pytest.raises(ServiceError) as excinfo:
+            client.solve(te_core_days=1.0, case="8-4-2-1")
+        assert excinfo.value.status == 400
+        assert "missing field" in str(excinfo.value)
+
+    def test_non_json_error_body_is_tolerated(self):
+        client, _ = _client_with([(500, {}, b"internal fireball")])
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 500
+        assert "internal fireball" in excinfo.value.payload["error"]
+
+    def test_429_raises_overloaded_with_retry_after(self):
+        client, _ = _client_with(
+            [(429, {"Retry-After": "7"}, b'{"error":"queue full"}')]
+        )
+        with pytest.raises(OverloadedError) as excinfo:
+            client.solve(te_core_days=1.0, case="8-4-2-1")
+        assert excinfo.value.retry_after == 7.0
+
+    def test_retry_after_falls_back_to_body_field(self):
+        client, _ = _client_with(
+            [(429, {}, b'{"error":"queue full","retry_after":2}')]
+        )
+        with pytest.raises(OverloadedError) as excinfo:
+            client.simulate(te_core_days=1.0, case="8-4-2-1")
+        assert excinfo.value.retry_after == 2.0
+
+
+class TestRetries:
+    def test_retries_on_429_then_succeeds(self, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: sleeps.append(s)
+        )
+        client, transport = _client_with(
+            [
+                (429, {"Retry-After": "1"}, b'{"error":"full"}'),
+                (429, {"Retry-After": "2"}, b'{"error":"full"}'),
+                (200, {}, b'{"ok":true}'),
+            ]
+        )
+        assert client.solve(te_core_days=1.0, case="8-4-2-1", retries=2) == {
+            "ok": True
+        }
+        assert sleeps == [1.0, 2.0]
+        assert len(transport.calls) == 3
+
+    def test_retries_exhausted_raises_overloaded(self, monkeypatch):
+        monkeypatch.setattr("repro.service.client.time.sleep", lambda s: None)
+        client, transport = _client_with(
+            [(429, {"Retry-After": "1"}, b'{"error":"full"}')] * 3
+        )
+        with pytest.raises(OverloadedError):
+            client.solve(te_core_days=1.0, case="8-4-2-1", retries=2)
+        assert len(transport.calls) == 3
+
+    def test_non_429_errors_are_not_retried(self):
+        client, transport = _client_with(
+            [(500, {}, b'{"error":"boom"}'), (200, {}, b"{}")]
+        )
+        with pytest.raises(ServiceError):
+            client.solve(te_core_days=1.0, case="8-4-2-1", retries=5)
+        assert len(transport.calls) == 1
+
+
+class TestUrlHandling:
+    def test_base_url_trailing_slash_stripped(self):
+        client = ServiceClient("http://host:1/")
+        assert client.base_url == "http://host:1"

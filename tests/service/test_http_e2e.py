@@ -1,0 +1,258 @@
+"""End-to-end tests: HTTP server + scheduler + memo + persistent store.
+
+The acceptance scenario of the service PR: concurrent duplicate
+``POST /v1/solve`` requests produce exactly one solver execution and
+bit-identical response bytes; a cold restart (fresh process-equivalent:
+cleared in-memory cache, same sqlite file) answers the same request from
+the persistent store without re-solving; requests beyond the bounded
+queue receive 429 with a ``Retry-After`` header.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.service.api as api
+from repro.core.memo import SOLVER_CACHE
+from repro.obs.metrics import METRICS
+from repro.service.client import OverloadedError, ServiceClient, ServiceError
+from repro.service.server import ReproService
+
+from tests.service.conftest import FAST_BODY
+
+
+def _executions() -> float:
+    return METRICS.counter("service.executions").value
+
+
+def _wait_until(predicate, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail("condition not reached within timeout")
+        time.sleep(0.005)
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "results.sqlite"
+
+
+class TestEndToEnd:
+    def test_duplicates_coalesce_and_persist_across_restart(
+        self, store_path, monkeypatch
+    ):
+        # Gate the real solve so every duplicate is provably in flight
+        # together (coalesced, not merely memo-hit after completion).
+        gate = threading.Event()
+        real = api.compare_all_strategies
+
+        def gated(params, **kwargs):
+            gate.wait(10)
+            return real(params, **kwargs)
+
+        monkeypatch.setattr(api, "compare_all_strategies", gated)
+        coalesced_before = METRICS.counter("service.coalesced").value
+        executions_before = _executions()
+        n_clients = 8
+
+        with ReproService(port=0, store_path=store_path, queue_max=16, jobs=2) as svc:
+            client = ServiceClient(svc.url)
+            responses: list[tuple[int, bytes]] = []
+
+            def request():
+                status, _, raw = client.request("POST", "/v1/solve", FAST_BODY)
+                responses.append((status, raw))
+
+            threads = [
+                threading.Thread(target=request) for _ in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            _wait_until(
+                lambda: METRICS.counter("service.coalesced").value
+                - coalesced_before
+                >= n_clients - 1
+            )
+            gate.set()
+            for t in threads:
+                t.join()
+
+            # (a) exactly one solver execution for 8 duplicate requests
+            assert _executions() - executions_before == 1.0
+            # (b) bit-identical responses
+            assert all(status == 200 for status, _ in responses)
+            bodies = {raw for _, raw in responses}
+            assert len(bodies) == 1
+            (live_bytes,) = bodies
+            # sanity: the payload is a real strategy comparison
+            parsed = client.solve(**FAST_BODY)
+            assert set(parsed["solutions"]) == {
+                "ml-opt-scale",
+                "sl-opt-scale",
+                "ml-ori-scale",
+                "sl-ori-scale",
+            }
+
+        # (c) cold restart: fresh in-memory state, same sqlite file —
+        # answered from the persistent store, zero new solver executions.
+        SOLVER_CACHE.clear()
+        executions_before = _executions()
+        with ReproService(port=0, store_path=store_path) as svc:
+            client = ServiceClient(svc.url)
+            status, _, raw = client.request("POST", "/v1/solve", FAST_BODY)
+            assert status == 200
+            assert raw == live_bytes
+            assert _executions() - executions_before == 0.0
+            assert SOLVER_CACHE.stats().persist_hits >= 1
+
+    def test_queue_overflow_returns_429_with_retry_after(
+        self, store_path, monkeypatch
+    ):
+        gate = threading.Event()
+        real = api.compare_all_strategies
+
+        def gated(params, **kwargs):
+            gate.wait(10)
+            return real(params, **kwargs)
+
+        monkeypatch.setattr(api, "compare_all_strategies", gated)
+
+        def body(case: str) -> dict:
+            return {**FAST_BODY, "case": case}
+
+        # Distinct cases -> distinct keys -> no coalescing: the first
+        # occupies the single worker, the second fills the queue, the
+        # third must be rejected.
+        svc = ReproService(
+            port=0,
+            store_path=None,
+            queue_max=1,
+            batch_max=1,
+            jobs=1,
+            retry_after=3.0,
+        )
+        svc.start()
+        client = ServiceClient(svc.url)
+        threads = []
+        try:
+            threads.append(
+                threading.Thread(
+                    target=lambda: client.request(
+                        "POST", "/v1/solve", body("24-12-6-3")
+                    )
+                )
+            )
+            threads[-1].start()
+            _wait_until(
+                lambda: svc.scheduler.in_flight() == 1
+                and svc.scheduler.queue_depth() == 0
+            )
+            threads.append(
+                threading.Thread(
+                    target=lambda: client.request(
+                        "POST", "/v1/solve", body("12-6-3-1.5")
+                    )
+                )
+            )
+            threads[-1].start()
+            _wait_until(lambda: svc.scheduler.queue_depth() == 1)
+
+            status, headers, raw = client.request(
+                "POST", "/v1/solve", body("6-3-1.5-0.75")
+            )
+            assert status == 429
+            assert headers.get("Retry-After") == "3"
+            with pytest.raises(OverloadedError) as excinfo:
+                client.solve(**body("6-3-1.5-0.75"))
+            assert excinfo.value.retry_after == 3.0
+        finally:
+            gate.set()
+            for t in threads:
+                t.join()
+            svc.close()
+
+
+class TestHttpSurface:
+    def test_healthz_and_metrics(self, store_path):
+        with ReproService(port=0, store_path=store_path) as svc:
+            client = ServiceClient(svc.url)
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["queue_max"] == 64
+            assert health["store"]["attached"] is True
+            client.solve(**FAST_BODY)
+            metrics = client.metrics()["metrics"]
+            assert metrics["service.requests.solve"] >= 1
+            assert metrics["service.responses.200"] >= 1
+            assert metrics["service.request_seconds.solve"]["count"] >= 1
+
+    def test_simulate_is_deterministic_and_cached(self, store_path):
+        body = {**FAST_BODY, "runs": 3, "seed": 1, "strategy": "ml-opt-scale"}
+        with ReproService(port=0, store_path=store_path) as svc:
+            client = ServiceClient(svc.url)
+            _, _, raw1 = client.request("POST", "/v1/simulate", body)
+            executions = _executions()
+            _, _, raw2 = client.request("POST", "/v1/simulate", body)
+            assert raw1 == raw2
+            assert _executions() == executions  # cached, not re-simulated
+            parsed = client.simulate(**body)
+            assert parsed["ensemble"]["n_runs"] == 3
+
+    def test_bad_requests_get_400(self, store_path):
+        with ReproService(port=0, store_path=None) as svc:
+            client = ServiceClient(svc.url)
+            for body in (
+                {},  # missing required fields
+                {**FAST_BODY, "strategy": "nope"},
+                {**FAST_BODY, "te_core_days": -1.0},
+                {**FAST_BODY, "bogus_field": 1},
+                {**FAST_BODY, "te_core_days": "three"},
+            ):
+                status, _, _ = client.request("POST", "/v1/solve", body)
+                assert status == 400, body
+
+    def test_invalid_json_gets_400(self, store_path):
+        import urllib.request
+
+        with ReproService(port=0, store_path=None) as svc:
+            req = urllib.request.Request(
+                f"{svc.url}/v1/solve",
+                data=b"{not json",
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                urllib.request.urlopen(req, timeout=10)
+                pytest.fail("expected HTTP 400")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 400
+
+    def test_unknown_paths_get_404_and_wrong_method_405(self):
+        with ReproService(port=0, store_path=None) as svc:
+            client = ServiceClient(svc.url)
+            assert client.request("GET", "/nope")[0] == 404
+            assert client.request("POST", "/v1/nope", {})[0] == 404
+            assert client.request("GET", "/v1/solve")[0] == 405
+            with pytest.raises(ServiceError) as excinfo:
+                client._call("GET", "/nope")
+            assert excinfo.value.status == 404
+
+    def test_simulate_rejects_all_strategy(self):
+        with ReproService(port=0, store_path=None) as svc:
+            client = ServiceClient(svc.url)
+            status, _, _ = client.request(
+                "POST", "/v1/simulate", {**FAST_BODY, "strategy": "all"}
+            )
+            assert status == 400
+
+    def test_no_store_service_has_no_persistence(self, store_path):
+        with ReproService(port=0, store_path=None) as svc:
+            client = ServiceClient(svc.url)
+            client.solve(**FAST_BODY)
+            assert svc.store is None
+            assert client.healthz()["store"]["attached"] is False
+        assert not store_path.exists()

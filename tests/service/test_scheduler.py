@@ -1,0 +1,209 @@
+"""Tests for the coalescing scheduler (repro.service.scheduler)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.service.scheduler import (
+    CoalescingScheduler,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+
+
+def _counter(name: str) -> float:
+    return METRICS.counter(name).value
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail("condition not reached within timeout")
+        time.sleep(0.005)
+
+
+class TestBasics:
+    def test_submit_returns_compute_result(self):
+        with CoalescingScheduler(queue_max=4) as sched:
+            assert sched.submit("k", lambda: 41 + 1) == 42
+
+    def test_compute_exception_reaches_the_waiter(self):
+        with CoalescingScheduler(queue_max=4) as sched:
+            with pytest.raises(ValueError, match="boom"):
+                sched.submit("k", lambda: (_ for _ in ()).throw(ValueError("boom")))
+
+    def test_distinct_keys_all_execute(self):
+        with CoalescingScheduler(queue_max=16, jobs=2) as sched:
+            results = [sched.submit(i, lambda i=i: i * i) for i in range(8)]
+        assert results == [i * i for i in range(8)]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            CoalescingScheduler(queue_max=0)
+        with pytest.raises(ValueError):
+            CoalescingScheduler(batch_max=0)
+
+
+class TestCoalescing:
+    def test_duplicate_in_flight_requests_share_one_execution(self):
+        gate = threading.Event()
+        calls: list[int] = []
+
+        def slow():
+            gate.wait(5)
+            calls.append(1)
+            return "shared"
+
+        before = _counter("service.coalesced")
+        results: list[str] = []
+        with CoalescingScheduler(queue_max=4, jobs=2) as sched:
+            threads = [
+                threading.Thread(target=lambda: results.append(sched.submit("k", slow)))
+                for _ in range(6)
+            ]
+            for t in threads:
+                t.start()
+            _wait_until(
+                lambda: _counter("service.coalesced") - before >= 5.0
+            )
+            gate.set()
+            for t in threads:
+                t.join()
+        assert len(calls) == 1  # exactly one execution
+        assert results == ["shared"] * 6  # the shared object fans out
+        assert _counter("service.coalesced") - before == 5.0
+
+    def test_completed_key_is_not_coalesced_again(self):
+        calls: list[int] = []
+        with CoalescingScheduler(queue_max=4) as sched:
+            sched.submit("k", lambda: calls.append(1))
+            sched.submit("k", lambda: calls.append(1))
+        # After completion the key leaves the pending map: the second
+        # submit re-executes (the memo layer, not the scheduler, is the
+        # long-term dedup).
+        assert len(calls) == 2
+
+
+class TestBackpressure:
+    def test_full_queue_raises_overloaded(self):
+        gate = threading.Event()
+
+        def blocked():
+            gate.wait(5)
+            return None
+
+        sched = CoalescingScheduler(
+            queue_max=1, batch_max=1, jobs=1, retry_after=2.5
+        )
+        try:
+            t1 = threading.Thread(target=lambda: sched.submit("a", blocked))
+            t1.start()
+            _wait_until(lambda: sched.in_flight() == 1 and sched.queue_depth() == 0)
+            t2 = threading.Thread(target=lambda: sched.submit("b", blocked))
+            t2.start()
+            _wait_until(lambda: sched.queue_depth() == 1)
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                sched.submit("c", blocked)
+            assert excinfo.value.retry_after == 2.5
+            # A duplicate of a queued key still coalesces even when full.
+            t3 = threading.Thread(target=lambda: sched.submit("b", blocked))
+            t3.start()
+            gate.set()
+            for t in (t1, t2, t3):
+                t.join()
+        finally:
+            gate.set()
+            sched.close()
+
+    def test_rejection_increments_metric(self):
+        gate = threading.Event()
+        before = _counter("service.rejected")
+        sched = CoalescingScheduler(queue_max=1, batch_max=1, jobs=1)
+        try:
+            t = threading.Thread(
+                target=lambda: sched.submit("a", lambda: gate.wait(5))
+            )
+            t.start()
+            _wait_until(lambda: sched.in_flight() == 1 and sched.queue_depth() == 0)
+            threading.Thread(
+                target=lambda: sched.submit("b", lambda: gate.wait(5))
+            ).start()
+            _wait_until(lambda: sched.queue_depth() == 1)
+            with pytest.raises(ServiceOverloaded):
+                sched.submit("c", lambda: None)
+            assert _counter("service.rejected") - before == 1.0
+        finally:
+            gate.set()
+            sched.close()
+
+
+class TestShutdown:
+    def test_drain_finishes_queued_work(self):
+        gate = threading.Event()
+        done: list[int] = []
+        sched = CoalescingScheduler(queue_max=16, batch_max=2, jobs=1)
+
+        def compute(i: int) -> None:
+            gate.wait(5)
+            done.append(i)
+
+        threads = [
+            threading.Thread(
+                target=lambda i=i: sched.submit(i, lambda i=i: compute(i))
+            )
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        _wait_until(lambda: sched.in_flight() == 6)
+        closer = threading.Thread(target=lambda: sched.close(drain=True))
+        closer.start()
+        gate.set()
+        closer.join(10)
+        assert not closer.is_alive()
+        for t in threads:
+            t.join()
+        assert sorted(done) == list(range(6))
+
+    def test_submit_after_close_raises(self):
+        sched = CoalescingScheduler(queue_max=4)
+        sched.close()
+        with pytest.raises(ServiceClosed):
+            sched.submit("k", lambda: 1)
+
+    def test_non_drain_close_fails_queued_entries(self):
+        gate = threading.Event()
+        errors: list[BaseException] = []
+        results: list[object] = []
+        sched = CoalescingScheduler(queue_max=8, batch_max=1, jobs=1)
+
+        def submit(key):
+            try:
+                results.append(sched.submit(key, lambda: gate.wait(5)))
+            except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+                errors.append(exc)
+
+        t1 = threading.Thread(target=submit, args=("running",))
+        t1.start()
+        _wait_until(lambda: sched.in_flight() == 1 and sched.queue_depth() == 0)
+        t2 = threading.Thread(target=submit, args=("queued",))
+        t2.start()
+        _wait_until(lambda: sched.queue_depth() == 1)
+        gate.set()
+        sched.close(drain=False)
+        t1.join()
+        t2.join()
+        # The running entry finished; the queued one was abandoned.
+        assert len(results) == 1
+        assert len(errors) == 1
+        assert isinstance(errors[0], ServiceClosed)
+
+    def test_close_is_idempotent(self):
+        sched = CoalescingScheduler(queue_max=4)
+        sched.close()
+        sched.close()

@@ -1,0 +1,150 @@
+"""Tests for the persistent result store (repro.service.store)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.memo import SOLVER_CACHE, canonical_key
+from repro.service.store import MISS, ResultStore, key_digest, schema_hash
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "results.sqlite"
+
+
+class TestResultStore:
+    def test_roundtrip(self, store_path):
+        with ResultStore(store_path) as store:
+            key = canonical_key("solve", 1.5, "8-4-2-1")
+            assert store.get(key) is MISS
+            store.put(key, {"answer": (1.0, 2.0)})
+            assert store.get(key) == {"answer": (1.0, 2.0)}
+            assert len(store) == 1
+
+    def test_survives_reopen(self, store_path):
+        key = canonical_key("solve", 2.5)
+        with ResultStore(store_path) as store:
+            store.put(key, [1, 2, 3])
+        with ResultStore(store_path) as store:
+            assert store.get(key) == [1, 2, 3]
+
+    def test_first_writer_wins(self, store_path):
+        key = canonical_key("k")
+        with ResultStore(store_path) as store:
+            store.put(key, "first")
+            store.put(key, "second")  # ignored: persisted bytes are stable
+            assert store.get(key) == "first"
+
+    def test_version_isolation(self, store_path):
+        key = canonical_key("k")
+        with ResultStore(store_path, version="v1") as store:
+            store.put(key, "v1-value")
+        with ResultStore(store_path, version="v2") as store:
+            assert store.get(key) is MISS
+            store.put(key, "v2-value")
+        with ResultStore(store_path, version="v1") as store:
+            assert store.get(key) == "v1-value"
+            assert len(store) == 1  # only v1 rows visible
+
+    def test_clear_only_drops_own_version(self, store_path):
+        key = canonical_key("k")
+        with ResultStore(store_path, version="a") as store:
+            store.put(key, 1)
+        with ResultStore(store_path, version="b") as store:
+            store.put(key, 2)
+            store.clear()
+            assert store.get(key) is MISS
+        with ResultStore(store_path, version="a") as store:
+            assert store.get(key) == 1
+
+    def test_thread_safety_smoke(self, store_path):
+        with ResultStore(store_path) as store:
+            def work(i: int) -> None:
+                for j in range(20):
+                    store.put(canonical_key(i, j), (i, j))
+                    assert store.get(canonical_key(i, j)) == (i, j)
+
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(store) == 8 * 20
+
+    def test_in_memory_store(self):
+        with ResultStore(":memory:") as store:
+            store.put(canonical_key("k"), 42)
+            assert store.get(canonical_key("k")) == 42
+
+
+class TestKeying:
+    def test_key_digest_stable_for_equal_keys(self):
+        a = canonical_key("solve", 0.25, ("x", 1))
+        b = canonical_key("solve", 0.25, ("x", 1))
+        assert key_digest(a) == key_digest(b)
+
+    def test_key_digest_differs_for_different_keys(self):
+        assert key_digest(canonical_key("a")) != key_digest(canonical_key("b"))
+
+    def test_schema_hash_is_deterministic(self):
+        assert schema_hash() == schema_hash()
+        assert len(schema_hash()) == 16
+
+
+class TestMemoLayering:
+    """The store attached under SOLVER_CACHE (the service's cold path)."""
+
+    def test_miss_falls_through_to_store(self, store_path):
+        store = ResultStore(store_path)
+        key = canonical_key("expensive")
+        store.put(key, "disk-value")
+        SOLVER_CACHE.attach_store(store)
+        value = SOLVER_CACHE.get_or_compute(
+            key, lambda: pytest.fail("must not recompute: store has it")
+        )
+        assert value == "disk-value"
+        stats = SOLVER_CACHE.stats()
+        assert stats.persist_hits == 1
+        assert stats.size == 1  # promoted into memory
+
+    def test_memory_hit_after_promotion_skips_store(self, store_path):
+        store = ResultStore(store_path)
+        key = canonical_key("expensive")
+        store.put(key, "disk-value")
+        SOLVER_CACHE.attach_store(store)
+        SOLVER_CACHE.get_or_compute(key, lambda: None)
+        store.close()  # a memory hit must not touch the closed store
+        assert SOLVER_CACHE.get_or_compute(key, lambda: None) == "disk-value"
+
+    def test_compute_writes_through(self, store_path):
+        store = ResultStore(store_path)
+        SOLVER_CACHE.attach_store(store)
+        key = canonical_key("computed")
+        SOLVER_CACHE.get_or_compute(key, lambda: {"v": 7})
+        SOLVER_CACHE.clear()  # "restart": memory gone, disk survives
+        value = SOLVER_CACHE.get_or_compute(
+            key, lambda: pytest.fail("must come from disk")
+        )
+        assert value == {"v": 7}
+
+    def test_bypass_skips_the_store_entirely(self, store_path):
+        store = ResultStore(store_path)
+        SOLVER_CACHE.attach_store(store)
+        key = canonical_key("bypassed")
+        with SOLVER_CACHE.bypass():
+            SOLVER_CACHE.get_or_compute(key, lambda: "fresh")
+        assert store.get(key) is MISS
+        assert len(store) == 0
+
+    def test_detach_restores_memory_only_behaviour(self, store_path):
+        store = ResultStore(store_path)
+        SOLVER_CACHE.attach_store(store)
+        SOLVER_CACHE.detach_store(store)
+        key = canonical_key("after-detach")
+        SOLVER_CACHE.get_or_compute(key, lambda: 1)
+        assert store.get(key) is MISS

@@ -247,3 +247,59 @@ def test_verbose_flag_emits_info_logs(capsys):
     captured = capsys.readouterr()
     assert code == 0
     assert "repro." in captured.err  # logger-formatted lines on stderr
+
+
+def test_keyboard_interrupt_exits_130_without_traceback(capsys, monkeypatch):
+    def interrupted(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.cli.compare_all_strategies", interrupted)
+    code = main(OPTIMIZE_ARGS)
+    captured = capsys.readouterr()
+    assert code == 130
+    assert "interrupted" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_serve_command_is_registered():
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    args = parser.parse_args(
+        ["serve", "--port", "0", "--queue-max", "7", "--no-store"]
+    )
+    assert args.command == "serve"
+    assert args.port == 0
+    assert args.queue_max == 7
+    assert args.no_store is True
+    assert args.cache_max_entries == 4096
+
+
+def test_serve_starts_answers_and_drains_on_interrupt(capsys, monkeypatch):
+    """`repro serve` boots the real service; Ctrl-C drains and exits 130."""
+    import threading
+    import urllib.request
+
+    from repro.service.server import ReproService
+
+    started = threading.Event()
+    real_serve_forever = ReproService.serve_forever
+
+    def serve_then_interrupt(self):
+        # Stand-in for a human Ctrl-C: answer one health probe, then
+        # raise KeyboardInterrupt out of the serving loop.
+        self.start()
+        started.set()
+        with urllib.request.urlopen(f"{self.url}/healthz", timeout=10) as resp:
+            assert resp.status == 200
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(ReproService, "serve_forever", serve_then_interrupt)
+    code = main(["serve", "--port", "0", "--no-store", "--queue-max", "4"])
+    captured = capsys.readouterr()
+    assert code == 130
+    assert started.is_set()
+    assert "repro.service listening on" in captured.out
+    assert "persistent store: disabled" in captured.out
+    assert "draining" in captured.err
+    assert "interrupted" in captured.err

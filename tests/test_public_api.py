@@ -38,6 +38,7 @@ def test_all_subpackages_importable():
         "experiments",
         "util",
         "cli",
+        "service",
     ):
         module = importlib.import_module(f"repro.{sub}")
         assert inspect.getdoc(module), f"repro.{sub} lacks a module docstring"
