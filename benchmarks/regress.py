@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: fresh ``BENCH_*.json`` vs committed baselines.
+
+The benchmark suites under ``benchmarks/`` export machine-readable
+``BENCH_*.json`` files into ``benchmarks/results/``.  This script compares
+a curated set of *robust* metrics from those files against the committed
+baselines in ``benchmarks/baselines/`` and fails (exit 1) when any metric
+regresses beyond the threshold (default: 15% — slower seconds, or fewer
+requests per second).
+
+Only stable timing/throughput metrics are gated; noisy derived ratios
+(e.g. the obs suite's ``projected_overhead_fraction``, a quotient of two
+micro-timings) are deliberately excluded — a gate that cries wolf gets
+deleted.  Improvements never fail the gate.
+
+Usage::
+
+    python benchmarks/regress.py                  # compare, exit 1 on regression
+    python benchmarks/regress.py --threshold 0.30 # looser gate (CI cold VMs)
+    python benchmarks/regress.py --update         # bless current results
+
+CI runs the benchmarks, then this script; run ``--update`` locally (and
+commit ``benchmarks/baselines/``) whenever a deliberate performance
+change moves a gated metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_RESULTS_DIR = HERE / "results"
+DEFAULT_BASELINE_DIR = HERE / "baselines"
+DEFAULT_THRESHOLD = 0.15
+
+#: Gated metrics per results file: dotted path -> direction.
+#: "lower" = smaller is better (seconds); "higher" = bigger is better
+#: (throughput).  A >threshold move in the bad direction fails the gate.
+GATED_METRICS: dict[str, dict[str, str]] = {
+    "BENCH_obs.json": {
+        "untraced_seconds": "lower",
+        "traced_seconds": "lower",
+    },
+    "BENCH_parallel.json": {
+        "ensemble.serial_seconds": "lower",
+        "fig5_small_phases_seconds.solve": "lower",
+        "fig5_small_phases_seconds.simulate": "lower",
+    },
+    "BENCH_service.json": {
+        "warm.requests_per_second": "higher",
+        "cold_restart.requests_per_second": "higher",
+    },
+}
+
+
+def dotted_get(payload: dict, path: str):
+    """Resolve ``"a.b.c"`` into nested dicts; returns None when absent."""
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def load(path: Path) -> dict | None:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        return None
+
+
+def update_baselines(results_dir: Path, baseline_dir: Path) -> int:
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    blessed = 0
+    for name in sorted(GATED_METRICS):
+        src = results_dir / name
+        if not src.is_file():
+            print(f"skip {name}: no fresh result in {results_dir}")
+            continue
+        shutil.copyfile(src, baseline_dir / name)
+        print(f"blessed {name} -> {baseline_dir / name}")
+        blessed += 1
+    if blessed == 0:
+        print("nothing blessed: run the benchmark suites first", file=sys.stderr)
+        return 2
+    return 0
+
+
+def compare(
+    results_dir: Path, baseline_dir: Path, threshold: float
+) -> int:
+    rows: list[tuple[str, str, float, float, float, str]] = []
+    regressions = 0
+    missing_baselines = 0
+    for name, metrics in sorted(GATED_METRICS.items()):
+        current = load(results_dir / name)
+        baseline = load(baseline_dir / name)
+        if current is None:
+            print(f"skip {name}: no fresh result in {results_dir}")
+            continue
+        if baseline is None:
+            print(
+                f"missing baseline {baseline_dir / name} — "
+                "run `python benchmarks/regress.py --update` and commit it",
+                file=sys.stderr,
+            )
+            missing_baselines += 1
+            continue
+        for path, direction in sorted(metrics.items()):
+            base_value = dotted_get(baseline, path)
+            cur_value = dotted_get(current, path)
+            if base_value is None or cur_value is None:
+                print(
+                    f"skip {name}:{path}: metric absent "
+                    f"(baseline={base_value!r}, current={cur_value!r})"
+                )
+                continue
+            base_value = float(base_value)
+            cur_value = float(cur_value)
+            if base_value == 0.0:
+                print(f"skip {name}:{path}: zero baseline")
+                continue
+            # Positive change = bad direction, as a fraction of baseline.
+            if direction == "lower":
+                change = (cur_value - base_value) / base_value
+            else:
+                change = (base_value - cur_value) / base_value
+            status = "ok"
+            if change > threshold:
+                status = "REGRESSION"
+                regressions += 1
+            rows.append((name, path, base_value, cur_value, change, status))
+
+    if rows:
+        width = max(len(f"{n}:{p}") for n, p, *_ in rows)
+        print(
+            f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}"
+            f"  {'worse by':>9}  status"
+        )
+        for name, path, base_value, cur_value, change, status in rows:
+            print(
+                f"{f'{name}:{path}':<{width}}  {base_value:>12.6g}"
+                f"  {cur_value:>12.6g}  {change:>8.1%}  {status}"
+            )
+    if missing_baselines:
+        return 2
+    if regressions:
+        print(
+            f"\n{regressions} metric(s) regressed more than "
+            f"{threshold:.0%} against the committed baselines",
+            file=sys.stderr,
+        )
+        return 1
+    if rows:
+        print(f"\nall gated metrics within {threshold:.0%} of baseline")
+        return 0
+    print("no metrics compared (run the benchmark suites first)", file=sys.stderr)
+    return 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=DEFAULT_RESULTS_DIR,
+        help="directory with fresh BENCH_*.json (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=DEFAULT_BASELINE_DIR,
+        help="committed baselines (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=(
+            "max tolerated fractional regression before failing "
+            f"(default {DEFAULT_THRESHOLD})"
+        ),
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="bless the current results as the new baselines",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error(f"--threshold must be positive, got {args.threshold}")
+    if args.update:
+        return update_baselines(args.results_dir, args.baseline_dir)
+    return compare(args.results_dir, args.baseline_dir, args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ Five subcommands::
     python -m repro experiment fig5 [--trace-dir out/]
     python -m repro serve --port 8765 [--store PATH] [--queue-max N]
     python -m repro obs --last
+    python -m repro obs trace <trace-id>
 
 ``optimize`` solves all four strategies for one configuration and prints
 the comparison table (``--trace`` additionally prints Algorithm 1's
@@ -15,9 +16,13 @@ additionally replays the ML(opt-scale) solution under the
 randomized-failure simulator; ``experiment`` runs a registered paper
 experiment (see ``--list``), optionally exporting per-replica event
 traces with ``--trace-dir``; ``serve`` runs the long-lived JSON-over-HTTP
-optimization service (:mod:`repro.service`, see docs/service.md);
+optimization service (:mod:`repro.service`, see docs/service.md) and
+appends every finished request span to ``$REPRO_OBS_DIR/spans.jsonl``;
 ``obs --last`` pretty-prints the previous command's observability
-summary.
+summary, and ``obs trace <trace-id>`` renders one request's span tree —
+client → server → scheduler batch → solver iterations → sim replicas —
+with per-phase self-times (ids may be abbreviated to a unique prefix;
+``obs trace`` with no id lists the recorded traces).
 
 ``KeyboardInterrupt`` is handled globally: Ctrl-C on ``serve`` (or a
 long experiment) drains cleanly and exits with code 130 — no traceback.
@@ -43,13 +48,21 @@ from repro.core.algorithm1 import optimize as algorithm1_optimize
 from repro.core.solutions import compare_all_strategies
 from repro.experiments.config import make_params
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.core.memo import publish_cache_metrics
 from repro.obs.logconf import configure_logging, get_logger
 from repro.obs.metrics import METRICS
 from repro.obs.runinfo import (
     format_last_run,
     last_run_path,
     read_last_run,
+    spans_path,
     write_last_run,
+)
+from repro.obs.spans import (
+    SpanRecorder,
+    format_span_tree,
+    read_spans_jsonl,
+    set_span_recorder,
 )
 from repro.parallel.timing import PhaseTimer
 from repro.sim.runner import simulate_solution
@@ -219,6 +232,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="LRU bound on the in-memory solver cache (default 4096)",
     )
+    p_srv.add_argument(
+        "--no-spans",
+        action="store_true",
+        help=(
+            "disable request-span recording (spans are otherwise appended "
+            "to $REPRO_OBS_DIR/spans.jsonl for `repro obs trace`)"
+        ),
+    )
     _add_jobs_argument(p_srv)
 
     p_obs = sub.add_parser(
@@ -228,6 +249,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--last",
         action="store_true",
         help="pretty-print the last command's run summary",
+    )
+    p_obs.add_argument(
+        "topic",
+        nargs="?",
+        choices=["trace"],
+        help="'trace': render a recorded request's span tree",
+    )
+    p_obs.add_argument(
+        "trace_id",
+        nargs="?",
+        metavar="TRACE_ID",
+        help=(
+            "trace id (or unique prefix) to render; omit to list the "
+            "recorded traces"
+        ),
+    )
+    p_obs.add_argument(
+        "--spans",
+        default=None,
+        metavar="FILE",
+        help="span JSONL file (default: $REPRO_OBS_DIR/spans.jsonl)",
     )
     return parser
 
@@ -338,6 +380,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import DEFAULT_STORE_PATH, ReproService
 
     store_path = None if args.no_store else (args.store or DEFAULT_STORE_PATH)
+    previous_recorder = None
+    if not args.no_spans:
+        # Every finished span is appended to the JSONL sink immediately;
+        # the in-memory side ring-buffers so a long-lived service stays
+        # bounded.  `repro obs trace <id>` reads the sink back.
+        recorder = SpanRecorder(spans_path(), maxlen=10_000)
+        previous_recorder = set_span_recorder(recorder)
     service = ReproService(
         host=args.host,
         port=args.port,
@@ -352,7 +401,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("persistent store: disabled")
     else:
         print(f"persistent store: {store_path} (version {service.store.version})")
-    print("endpoints: POST /v1/solve, POST /v1/simulate, GET /healthz, GET /metrics")
+    if not args.no_spans:
+        print(f"request spans: {spans_path()} (repro obs trace <id>)")
+    print(
+        "endpoints: POST /v1/solve, POST /v1/simulate, GET /healthz, "
+        "GET /metrics, GET /metrics.json"
+    )
     try:
         service.serve_forever()
     finally:
@@ -360,12 +414,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # programmatic shutdown: drain in-flight work, then release.
         print("shutting down: draining in-flight requests...", file=sys.stderr)
         service.close(drain=True)
+        if previous_recorder is not None:
+            set_span_recorder(previous_recorder)
     return 0
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.topic == "trace":
+        return _cmd_obs_trace(args)
     if not args.last:
-        print("nothing to show; try: repro obs --last", file=sys.stderr)
+        print(
+            "nothing to show; try: repro obs --last  or  repro obs trace <id>",
+            file=sys.stderr,
+        )
         return 2
     try:
         payload = read_last_run()
@@ -379,6 +440,50 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    """Render one recorded trace's span tree (or list the recorded ones)."""
+    path = args.spans if args.spans is not None else spans_path()
+    try:
+        spans = read_spans_jsonl(path)
+    except FileNotFoundError:
+        print(
+            f"no span file at {path} — run `repro serve` (without "
+            "--no-spans) and send it a request first",
+            file=sys.stderr,
+        )
+        return 1
+    if not spans:
+        print(f"span file {path} is empty", file=sys.stderr)
+        return 1
+    if not args.trace_id:
+        # Newest last, one line per trace: id, span count, root names.
+        seen: dict[str, list] = {}
+        for record in spans:
+            seen.setdefault(record.trace_id, []).append(record)
+        print(f"{len(seen)} trace(s) in {path}:")
+        for trace_id, members in seen.items():
+            roots = [r.name for r in members if r.parent_id is None]
+            label = ", ".join(roots) if roots else members[0].name
+            print(f"  {trace_id}  {len(members):>3} spans  {label}")
+        return 0
+    wanted = args.trace_id.lower()
+    matches = sorted(
+        {r.trace_id for r in spans if r.trace_id.startswith(wanted)}
+    )
+    if not matches:
+        print(f"no trace starting with {wanted!r} in {path}", file=sys.stderr)
+        return 1
+    if len(matches) > 1:
+        print(
+            f"ambiguous prefix {wanted!r}: matches {', '.join(matches)}",
+            file=sys.stderr,
+        )
+        return 2
+    selected = [r for r in spans if r.trace_id == matches[0]]
+    print(format_span_tree(selected))
+    return 0
+
+
 def _write_summary(
     command: str,
     argv: Sequence[str],
@@ -386,6 +491,9 @@ def _write_summary(
     timer: PhaseTimer,
 ) -> None:
     """Record the last-run summary; never let bookkeeping kill the CLI."""
+    # Materialize the memo.* series (zero-valued included) so cache
+    # behaviour always shows in `repro obs --last`.
+    publish_cache_metrics()
     payload = {
         "command": command,
         "argv": list(argv),

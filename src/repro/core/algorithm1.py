@@ -28,6 +28,7 @@ from repro.core.memo import memoized_solver
 from repro.core.multilevel import MultilevelInnerSolution, solve_inner
 from repro.core.notation import ModelParameters, Solution
 from repro.obs.logconf import get_logger
+from repro.obs.spans import span
 from repro.util.iteration import FixedPointDiverged
 
 logger = get_logger("core.algorithm1")
@@ -158,53 +159,69 @@ def optimize(
     inner: MultilevelInnerSolution | None = None
     x_warm = None
     trace: list[OuterIterationRecord] = []
-    for outer in range(1, max_outer + 1):
-        b = params.failure_slope(wallclock_estimate)
-        # Line 5: inner convex solve under the frozen-mu condition.
-        inner = solve_inner(
-            params,
-            b,
-            fixed_scale=fixed_scale,
-            x0=x_warm,
-            **inner_kwargs,
-        )
-        inner_total += inner.iterations
-        x_warm = np.asarray(inner.intervals)
-        # Line 6: wall-clock at the solution (with the frozen mu).
-        wallclock_estimate = inner.expected_wallclock
-        # Lines 7-10: refresh mu from the new wall-clock estimate.
-        mu_new = params.rates.expected_failures(inner.scale, wallclock_estimate)
-        residual = float(
-            np.max(np.abs(mu_new - mu) / np.maximum(np.abs(mu), 1.0))
-        )
-        mu = mu_new
-        mu_history.append(tuple(float(m) for m in mu))
-        trace.append(
-            OuterIterationRecord(
-                index=outer,
-                mu=tuple(float(m) for m in mu),
-                expected_wallclock=float(wallclock_estimate),
-                residual=residual,
-                inner_iterations=inner.iterations,
-                scale=float(inner.scale),
+    with span(
+        "solver.optimize", attributes={"strategy": strategy_name}
+    ) as optimize_span:
+        for outer in range(1, max_outer + 1):
+            with span(
+                "solver.outer", attributes={"iteration": outer}
+            ) as outer_span:
+                b = params.failure_slope(wallclock_estimate)
+                # Line 5: inner convex solve under the frozen-mu condition.
+                inner = solve_inner(
+                    params,
+                    b,
+                    fixed_scale=fixed_scale,
+                    x0=x_warm,
+                    **inner_kwargs,
+                )
+                inner_total += inner.iterations
+                x_warm = np.asarray(inner.intervals)
+                # Line 6: wall-clock at the solution (with the frozen mu).
+                wallclock_estimate = inner.expected_wallclock
+                # Lines 7-10: refresh mu from the new wall-clock estimate.
+                mu_new = params.rates.expected_failures(
+                    inner.scale, wallclock_estimate
+                )
+                residual = float(
+                    np.max(np.abs(mu_new - mu) / np.maximum(np.abs(mu), 1.0))
+                )
+                mu = mu_new
+                mu_history.append(tuple(float(m) for m in mu))
+                trace.append(
+                    OuterIterationRecord(
+                        index=outer,
+                        mu=tuple(float(m) for m in mu),
+                        expected_wallclock=float(wallclock_estimate),
+                        residual=residual,
+                        inner_iterations=inner.iterations,
+                        scale=float(inner.scale),
+                    )
+                )
+                if outer_span is not None:
+                    outer_span.set_attribute("residual", residual)
+                    outer_span.set_attribute(
+                        "inner_iterations", inner.iterations
+                    )
+                logger.debug(
+                    "%s outer %d: E(T_w)=%.8g residual=%.3e inner=%d scale=%.6g",
+                    strategy_name, outer, wallclock_estimate, residual,
+                    inner.iterations, inner.scale,
+                )
+            if residual <= delta:
+                break
+        else:
+            raise FixedPointDiverged(
+                f"Algorithm 1 did not converge within {max_outer} outer "
+                f"iterations (failure rates may be unrealistically high); "
+                f"last residual {residual:.3e}",
+                last_value=mu,
+                history=mu_history,
+                trace=trace,
             )
-        )
-        logger.debug(
-            "%s outer %d: E(T_w)=%.8g residual=%.3e inner=%d scale=%.6g",
-            strategy_name, outer, wallclock_estimate, residual,
-            inner.iterations, inner.scale,
-        )
-        if residual <= delta:
-            break
-    else:
-        raise FixedPointDiverged(
-            f"Algorithm 1 did not converge within {max_outer} outer "
-            f"iterations (failure rates may be unrealistically high); "
-            f"last residual {residual:.3e}",
-            last_value=mu,
-            history=mu_history,
-            trace=trace,
-        )
+        if optimize_span is not None:
+            optimize_span.set_attribute("outer_iterations", outer)
+            optimize_span.set_attribute("inner_iterations", inner_total)
 
     solution = Solution(
         intervals=inner.intervals,

@@ -302,6 +302,31 @@ class SolverCache:
 SOLVER_CACHE = SolverCache()
 
 
+def publish_cache_metrics(cache: SolverCache | None = None) -> CacheStats:
+    """Materialize the cache's stats into the process metrics registry.
+
+    The ``memo.*`` counters are incremented live as the cache runs, but a
+    counter that never fired (``memo.evictions`` on an unbounded cache,
+    ``memo.persist_hits`` without a store) would be absent from exports.
+    This registers every ``memo.*`` series — zero-valued when idle — and
+    refreshes the ``memo.size`` gauge, so ``GET /metrics`` and
+    ``repro obs --last`` always expose the full cache picture.  Returns
+    the stats snapshot for convenience.
+    """
+    cache = cache if cache is not None else SOLVER_CACHE
+    stats = cache.stats()
+    for name in (
+        "memo.hits",
+        "memo.misses",
+        "memo.evictions",
+        "memo.persist_hits",
+        "memo.bypassed",
+    ):
+        METRICS.counter(name)  # get-or-create: present even at zero
+    METRICS.gauge("memo.size").set(stats.size)
+    return stats
+
+
 def memoized_solver(fn: Callable) -> Callable:
     """Memoize ``fn(params, **kwargs)`` in :data:`SOLVER_CACHE`.
 

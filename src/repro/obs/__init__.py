@@ -10,8 +10,15 @@ Three dependency-free pillars, threaded through the whole stack:
   (optionally ring-buffered) with JSONL export/import.  The
   :data:`~repro.obs.trace.NULL_RECORDER` fast path keeps the hot loop at
   ~zero cost when tracing is off (guarded by ``benchmarks/test_bench_obs.py``).
+* **Request spans** (:mod:`repro.obs.spans`) — trace_id/span_id/parent_id
+  span trees with deterministic derived ids, W3C ``traceparent``-style
+  propagation, JSONL persistence, and worker-side fragments that merge
+  like metrics snapshots.  ``repro obs trace <id>`` renders a request's
+  tree with per-phase self-times.
 * **Metrics registry** (:mod:`repro.obs.metrics`) — process-local
-  counters / gauges / histograms with snapshot/merge semantics, so
+  counters / gauges / histograms (optionally fixed-bucket, with
+  p50/p95/p99 summaries and Prometheus text exposition via
+  :mod:`repro.obs.promexport`) with snapshot/merge semantics, so
   per-worker metrics from process-pool replicas reduce into the parent
   deterministically.
 * **Solver telemetry + logging** (:mod:`repro.obs.logconf`,
@@ -40,6 +47,7 @@ from repro.obs.events import (
 )
 from repro.obs.logconf import LOG_ENV_VAR, configure_logging, get_logger
 from repro.obs.metrics import (
+    LATENCY_BUCKETS,
     METRICS,
     Counter,
     Gauge,
@@ -47,11 +55,42 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
 )
+from repro.obs.promexport import (
+    PROMETHEUS_CONTENT_TYPE,
+    prometheus_text,
+    sanitize_metric_name,
+)
 from repro.obs.runinfo import (
     OBS_DIR_ENV_VAR,
     last_run_path,
     read_last_run,
+    spans_path,
     write_last_run,
+)
+from repro.obs.spans import (
+    NULL_SPAN_RECORDER,
+    TRACEPARENT_HEADER,
+    ActiveSpan,
+    NullSpanRecorder,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    build_span_tree,
+    current_context,
+    current_span,
+    format_span_tree,
+    get_span_recorder,
+    new_trace_id,
+    parse_traceparent,
+    read_spans_jsonl,
+    recording,
+    self_times,
+    set_span_recorder,
+    span,
+    span_from_dict,
+    span_to_dict,
+    span_tree_signature,
+    write_spans_jsonl,
 )
 from repro.obs.trace import (
     NULL_RECORDER,
@@ -83,19 +122,47 @@ __all__ = [
     "LOG_ENV_VAR",
     "configure_logging",
     "get_logger",
+    "LATENCY_BUCKETS",
     "METRICS",
+    "PROMETHEUS_CONTENT_TYPE",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "merge_snapshots",
+    "prometheus_text",
+    "sanitize_metric_name",
     "OBS_DIR_ENV_VAR",
     "last_run_path",
     "read_last_run",
+    "spans_path",
     "write_last_run",
     "NULL_RECORDER",
+    "NULL_SPAN_RECORDER",
+    "TRACEPARENT_HEADER",
+    "ActiveSpan",
     "NullRecorder",
+    "NullSpanRecorder",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
     "TraceRecorder",
+    "build_span_tree",
+    "current_context",
+    "current_span",
+    "format_span_tree",
+    "get_span_recorder",
+    "new_trace_id",
+    "parse_traceparent",
+    "read_spans_jsonl",
+    "recording",
+    "self_times",
+    "set_span_recorder",
+    "span",
+    "span_from_dict",
+    "span_to_dict",
+    "span_tree_signature",
+    "write_spans_jsonl",
     "checkpoint_counts",
     "failure_counts",
     "portions_from_events",

@@ -13,6 +13,21 @@ Everything hangs off the ``"repro"`` logger (``propagate=False``), so
 library users who configure their own handlers are never surprised by
 double emission, and re-configuring replaces the previous handler rather
 than stacking a new one (safe to call once per CLI invocation).
+
+Worker propagation: because ``propagate=False`` with *no handler* means
+records are silently dropped, long-lived components that spawn their own
+workers must make sure the tree is configured in every execution context.
+
+* :func:`ensure_configured` installs the handler only if none of ours is
+  present (idempotent; the service/scheduler call it so ``repro serve``'s
+  worker threads log even when the embedding program never configured
+  logging);
+* :func:`worker_config` / :func:`configure_worker` capture the parent's
+  effective verbosity plus ``$REPRO_LOG`` into a picklable dict and
+  replay it inside process-pool workers (the
+  :class:`~repro.parallel.executor.ProcessExecutor` initializer), so
+  ``-v``/``-vv`` on the driver reaches worker-side log records instead of
+  stopping at the process boundary.
 """
 
 from __future__ import annotations
@@ -76,6 +91,11 @@ def verbosity_to_level(verbosity: int) -> int:
     return logging.DEBUG
 
 
+#: Verbosity of the most recent :func:`configure_logging` call — what
+#: :func:`worker_config` ships to pool workers.
+_LAST_VERBOSITY = 0
+
+
 def configure_logging(
     verbosity: int = 0, *, stream: TextIO | None = None
 ) -> logging.Logger:
@@ -85,6 +105,8 @@ def configure_logging(
     time, so capture-based test harnesses see the output).  Calling again
     replaces the previously installed handler.
     """
+    global _LAST_VERBOSITY
+    _LAST_VERBOSITY = verbosity
     root = logging.getLogger(_ROOT_NAME)
     root.propagate = False
 
@@ -107,3 +129,51 @@ def configure_logging(
             root.removeHandler(existing)
     root.addHandler(handler)
     return root
+
+
+def current_verbosity() -> int:
+    """Verbosity of the most recent :func:`configure_logging` call."""
+    return _LAST_VERBOSITY
+
+
+def is_configured() -> bool:
+    """Whether one of our handlers is currently installed on ``repro``."""
+    root = logging.getLogger(_ROOT_NAME)
+    return any(getattr(h, _HANDLER_TAG, False) for h in root.handlers)
+
+
+def ensure_configured(verbosity: int | None = None) -> logging.Logger:
+    """Configure the ``repro`` tree only if it is not configured yet.
+
+    Long-lived components (service, scheduler) call this so their worker
+    threads' records are emitted even when the embedding program never
+    called :func:`configure_logging`; an existing configuration — CLI
+    ``-v`` flags included — is left untouched.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    if is_configured():
+        return root
+    return configure_logging(
+        verbosity if verbosity is not None else _LAST_VERBOSITY
+    )
+
+
+def worker_config() -> dict:
+    """Picklable snapshot of the effective logging knobs for pool workers."""
+    return {
+        "verbosity": _LAST_VERBOSITY,
+        "env": os.environ.get(LOG_ENV_VAR, ""),
+    }
+
+
+def configure_worker(config: dict) -> logging.Logger:
+    """Replay a :func:`worker_config` snapshot inside a worker process.
+
+    Re-exports ``$REPRO_LOG`` (spawn-style workers do not inherit mutated
+    parent environments) and re-runs :func:`configure_logging`, so
+    worker-side records honor the driver's ``-v``/``-vv``/``REPRO_LOG``.
+    """
+    env_value = config.get("env", "")
+    if env_value:
+        os.environ[LOG_ENV_VAR] = env_value
+    return configure_logging(int(config.get("verbosity", 0)))

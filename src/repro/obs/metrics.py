@@ -33,8 +33,9 @@ from __future__ import annotations
 
 import math
 import threading
+from bisect import bisect_left
 from collections import deque
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 
 class Counter:
@@ -75,30 +76,72 @@ class Gauge:
         return f"Gauge({self.value})"
 
 
+#: Default fixed latency buckets (seconds) for request-duration
+#: histograms: sub-millisecond cache hits through multi-second cold
+#: solves.  Upper bounds are cumulative, Prometheus-style; the implicit
+#: final bucket is +Inf.
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
 class Histogram:
     """Raw observation sequence with lazy, order-stable aggregates.
 
     ``maxlen`` turns the storage into a ring buffer (newest observations
-    survive) for unbounded streams; aggregation then describes the
-    retained window only.
+    survive) for unbounded streams; sample-based aggregation (``sum`` /
+    ``mean`` / ``percentile``) then describes the retained window only.
+
+    ``buckets`` additionally maintains fixed-bucket cumulative counts
+    (Prometheus histogram semantics: each bucket counts observations
+    ``<= upper_bound``, plus an implicit +Inf bucket).  Bucket counts are
+    integers over *every* observation — exact and merge-order-independent
+    even when the sample window ring-buffers — which is what the SLO
+    exposition on ``GET /metrics`` is built from.
     """
 
-    __slots__ = ("_samples", "maxlen")
+    __slots__ = ("_samples", "maxlen", "buckets", "_bucket_counts")
 
-    def __init__(self, maxlen: int | None = None):
+    def __init__(
+        self,
+        maxlen: int | None = None,
+        buckets: Sequence[float] | None = None,
+    ):
         if maxlen is not None and maxlen < 1:
             raise ValueError(f"maxlen must be >= 1 or None, got {maxlen}")
         self.maxlen = maxlen
         self._samples: deque[float] = deque(maxlen=maxlen)
+        if buckets is not None:
+            bounds = tuple(float(b) for b in buckets)
+            if not bounds:
+                raise ValueError("buckets must be non-empty or None")
+            if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                raise ValueError(
+                    f"bucket bounds must be strictly increasing, got {bounds}"
+                )
+            self.buckets: tuple[float, ...] | None = bounds
+            # One slot per bound plus the implicit +Inf bucket.
+            self._bucket_counts = [0] * (len(bounds) + 1)
+        else:
+            self.buckets = None
+            self._bucket_counts = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self._samples.append(float(value))
+        value = float(value)
+        self._samples.append(value)
+        if self.buckets is not None:
+            self._count_into_bucket(value)
+
+    def _count_into_bucket(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        self._bucket_counts[index] += 1
 
     def extend(self, values: Iterable[float]) -> None:
         """Record many observations, in order."""
         for value in values:
-            self._samples.append(float(value))
+            self.observe(value)
 
     @property
     def samples(self) -> tuple[float, ...]:
@@ -129,6 +172,80 @@ class Histogram:
     def max(self) -> float:
         """Largest retained observation (``nan`` when empty)."""
         return max(self._samples) if self._samples else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Exact nearest-rank percentile of the retained window.
+
+        ``q`` in [0, 100].  Deterministic (sorted samples, nearest-rank —
+        no interpolation), ``nan`` when empty.  For ring-buffered
+        histograms this is the sliding-window quantile the SLO summaries
+        report (p50/p95/p99).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return math.nan
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def total_count(self) -> int:
+        """Observations ever recorded (bucketed histograms only fall
+        back to the retained count when no buckets are configured)."""
+        if self._bucket_counts is None:
+            return len(self._samples)
+        return sum(self._bucket_counts)
+
+    def bucket_counts(self) -> tuple[int, ...] | None:
+        """Per-bucket (non-cumulative) counts; last slot is +Inf."""
+        if self._bucket_counts is None:
+            return None
+        return tuple(self._bucket_counts)
+
+    def cumulative_buckets(self) -> tuple[tuple[float, int], ...] | None:
+        """Prometheus-style ``(upper_bound, cumulative_count)`` pairs,
+        ending with ``(inf, total_count)``."""
+        if self._bucket_counts is None:
+            return None
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self._bucket_counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, running + self._bucket_counts[-1]))
+        return tuple(out)
+
+    def to_payload(self) -> dict:
+        """The snapshot dict (see :meth:`MetricsRegistry.snapshot`)."""
+        payload = {
+            "type": "histogram",
+            "samples": list(self._samples),
+            "maxlen": self.maxlen,
+        }
+        if self.buckets is not None:
+            payload["buckets"] = list(self.buckets)
+            payload["bucket_counts"] = list(self._bucket_counts)
+        return payload
+
+    def merge_payload(self, payload: Mapping) -> None:
+        """Absorb one snapshot payload: samples append in order, bucket
+        counts add (integers — exact, chunking-independent)."""
+        counts = payload.get("bucket_counts")
+        if counts is not None and self._bucket_counts is not None:
+            if len(counts) != len(self._bucket_counts):
+                raise ValueError(
+                    f"bucket layout mismatch: {len(counts)} incoming slots "
+                    f"vs {len(self._bucket_counts)} existing"
+                )
+            for sample in payload["samples"]:
+                self._samples.append(float(sample))
+            for i, count in enumerate(counts):
+                self._bucket_counts[i] += int(count)
+        else:
+            # No incoming bucket counts: route through observe() so a
+            # bucketed destination still counts the merged samples.
+            self.extend(payload["samples"])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram(count={self.count}, mean={self.mean:.4g})"
@@ -170,9 +287,15 @@ class MetricsRegistry:
         """Get-or-create the gauge ``name``."""
         return self._get_or_create(name, Gauge)
 
-    def histogram(self, name: str, maxlen: int | None = None) -> Histogram:
-        """Get-or-create the histogram ``name`` (``maxlen`` applies on create)."""
-        return self._get_or_create(name, Histogram, maxlen)
+    def histogram(
+        self,
+        name: str,
+        maxlen: int | None = None,
+        buckets: Sequence[float] | None = None,
+    ) -> Histogram:
+        """Get-or-create the histogram ``name`` (``maxlen`` / ``buckets``
+        apply on create only)."""
+        return self._get_or_create(name, Histogram, maxlen, buckets)
 
     def names(self) -> tuple[str, ...]:
         """Registered metric names, in insertion order."""
@@ -202,25 +325,30 @@ class MetricsRegistry:
             elif isinstance(metric, Gauge):
                 snap[name] = {"type": "gauge", "value": metric.value}
             else:
-                snap[name] = {
-                    "type": "histogram",
-                    "samples": list(metric.samples),
-                    "maxlen": metric.maxlen,
-                }
+                snap[name] = metric.to_payload()
         return snap
 
     def summary(self, prefix: str = "") -> dict[str, float | dict]:
-        """Compact human-facing view: scalars, histograms as aggregate dicts."""
+        """Compact human-facing view: scalars, histograms as aggregate
+        dicts including nearest-rank p50/p95/p99 of the retained window."""
         out: dict[str, float | dict] = {}
         for name, payload in self.snapshot(prefix).items():
             if payload["type"] == "histogram":
                 samples = payload["samples"]
-                out[name] = {
+                entry = {
                     "count": len(samples),
                     "sum": math.fsum(samples),
                     "min": min(samples) if samples else math.nan,
                     "max": max(samples) if samples else math.nan,
                 }
+                ordered = sorted(samples)
+                for q in (50, 95, 99):
+                    if ordered:
+                        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+                        entry[f"p{q}"] = ordered[rank - 1]
+                    else:
+                        entry[f"p{q}"] = math.nan
+                out[name] = entry
             else:
                 out[name] = payload["value"]
         return out
@@ -235,9 +363,9 @@ class MetricsRegistry:
             elif kind == "gauge":
                 self.gauge(name).set(payload["value"])
             elif kind == "histogram":
-                self.histogram(name, payload.get("maxlen")).extend(
-                    payload["samples"]
-                )
+                self.histogram(
+                    name, payload.get("maxlen"), payload.get("buckets")
+                ).merge_payload(payload)
             else:
                 raise ValueError(f"unknown metric type {kind!r} for {name!r}")
 

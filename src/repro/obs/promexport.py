@@ -1,0 +1,132 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+Stdlib-only renderer from a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+dict to the plain-text scrape format.  The output is **canonical**:
+metric names are emitted in sorted order and every value is formatted
+with shortest-round-trip ``repr``, so two registries holding equal
+values render byte-identical documents — the property the service's
+``GET /metrics`` tests (and any scrape-diffing tooling) rely on.
+
+Mapping rules:
+
+* names are sanitized to the Prometheus grammar (``[a-zA-Z_:][a-zA-Z0-9_:]*``)
+  by replacing every other character with ``_`` and prefixing ``repro_``
+  (a leading digit after sanitization gets an extra ``_``);
+* **Counter** -> ``# TYPE ... counter`` with a single sample;
+* **Gauge** -> ``# TYPE ... gauge``;
+* **Histogram with buckets** -> ``# TYPE ... histogram`` with cumulative
+  ``_bucket{le="..."}`` samples (implicit +Inf), ``_sum`` and ``_count``
+  over the retained sample window;
+* **Histogram without buckets** -> ``# TYPE ... summary`` with
+  ``{quantile="0.5|0.95|0.99"}`` nearest-rank quantiles, ``_sum`` and
+  ``_count``.
+
+Served on ``GET /metrics`` with content type
+:data:`PROMETHEUS_CONTENT_TYPE`; the JSON summary moved to
+``GET /metrics.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+#: The content type Prometheus scrapers expect for text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+_NAME_PREFIX = "repro_"
+_ALLOWED = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus name grammar."""
+    sanitized = "".join(c if c in _ALLOWED else "_" for c in name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return _NAME_PREFIX + sanitized
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        return math.nan
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def prometheus_text(
+    snapshot: Mapping[str, Mapping] | None = None,
+    *,
+    registry: MetricsRegistry | None = None,
+) -> str:
+    """Render a snapshot (or ``registry``) as Prometheus exposition text.
+
+    Pass exactly one of ``snapshot`` / ``registry``.  Names are emitted
+    in sorted order and values in canonical form, so the document is a
+    deterministic function of the metric values.
+    """
+    if (snapshot is None) == (registry is None):
+        raise ValueError("pass exactly one of snapshot= or registry=")
+    if snapshot is None:
+        snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        kind = payload["type"]
+        prom = sanitize_metric_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_format_value(payload['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_format_value(payload['value'])}")
+        elif kind == "histogram":
+            samples = [float(s) for s in payload["samples"]]
+            bounds = payload.get("buckets")
+            if bounds is not None:
+                counts = payload["bucket_counts"]
+                lines.append(f"# TYPE {prom} histogram")
+                running = 0
+                for bound, count in zip(bounds, counts):
+                    running += int(count)
+                    lines.append(
+                        f'{prom}_bucket{{le="{_format_bound(float(bound))}"}}'
+                        f" {running}"
+                    )
+                total = running + int(counts[-1])
+                lines.append(f'{prom}_bucket{{le="+Inf"}} {total}')
+                lines.append(f"{prom}_sum {_format_value(math.fsum(samples))}")
+                lines.append(f"{prom}_count {total}")
+            else:
+                ordered = sorted(samples)
+                lines.append(f"# TYPE {prom} summary")
+                for q in (0.5, 0.95, 0.99):
+                    lines.append(
+                        f'{prom}{{quantile="{q}"}} '
+                        f"{_format_value(_quantile(ordered, q))}"
+                    )
+                lines.append(f"{prom}_sum {_format_value(math.fsum(samples))}")
+                lines.append(f"{prom}_count {len(samples)}")
+        else:
+            raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+    return "\n".join(lines) + "\n" if lines else ""

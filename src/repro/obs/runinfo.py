@@ -22,6 +22,7 @@ OBS_DIR_ENV_VAR = "REPRO_OBS_DIR"
 #: Default directory (relative to the working directory).
 DEFAULT_OBS_DIR = ".repro-obs"
 _LAST_RUN_FILE = "last_run.json"
+_SPANS_FILE = "spans.jsonl"
 
 
 def obs_dir(directory: str | Path | None = None) -> Path:
@@ -34,6 +35,16 @@ def obs_dir(directory: str | Path | None = None) -> Path:
 def last_run_path(directory: str | Path | None = None) -> Path:
     """Path of the last-run summary file under :func:`obs_dir`."""
     return obs_dir(directory) / _LAST_RUN_FILE
+
+
+def spans_path(directory: str | Path | None = None) -> Path:
+    """Path of the span JSONL sink under :func:`obs_dir`.
+
+    ``repro serve`` appends every finished span here (see
+    :class:`repro.obs.spans.SpanRecorder`); ``repro obs trace <id>``
+    reads it back to render a request's span tree.
+    """
+    return obs_dir(directory) / _SPANS_FILE
 
 
 def write_last_run(

@@ -1,0 +1,650 @@
+"""Distributed-tracing spans over the ``repro.obs`` event machinery.
+
+A *span* is one timed operation — an HTTP request, a scheduler batch
+entry, a solver outer iteration, a simulation replica — identified by a
+``(trace_id, span_id)`` pair and linked to its parent through
+``parent_id``.  The span set of one request forms a tree; the CLI
+(``repro obs trace <id>``) renders it with per-phase self-times, the
+service-side analogue of the paper's Fig. 5 portion decomposition.
+
+Design rules, mirroring the rest of :mod:`repro.obs`:
+
+* **Tracing off is ~free.**  The process-wide recorder defaults to
+  :data:`NULL_SPAN_RECORDER` (``active = False``); :func:`span` then
+  yields ``None`` immediately without building contexts, attributes, or
+  timestamps.  Instrumentation sits at operation granularity (one span
+  per request / outer iteration / replica), never inside the simulator's
+  event hot loop.
+* **Deterministic identity.**  Span ids are *derived*, not random:
+  ``span_id = blake2b(parent_id:name:index)``.  Given a pinned
+  ``trace_id``, the id of every span in the tree is a pure function of
+  its path — which is what makes span trees bit-identical across the
+  serial / thread / process executor backends (timestamps excluded; see
+  :func:`span_tree_signature`).
+* **Fragments merge like metrics snapshots.**  Process-pool workers
+  cannot append to the parent's recorder, so they record into a local
+  :class:`SpanRecorder`, export ``span_to_dict`` fragments, and the
+  parent re-emits them in task order — the exact snapshot/merge pattern
+  of :mod:`repro.obs.metrics`.
+* **Context flows two ways.**  In-process, the current span lives in a
+  :mod:`contextvars` variable (:func:`current_span`); across the wire it
+  travels as a W3C ``traceparent``-style header
+  (:meth:`SpanContext.to_traceparent` / :func:`parse_traceparent`);
+  across pools it is passed explicitly (``parent=`` + ``index=``).
+
+Persistence is JSONL, one span per line (:func:`write_spans_jsonl` /
+:func:`read_spans_jsonl`); a :class:`SpanRecorder` built with ``path=``
+additionally appends each finished span as it is emitted, so a crashed
+process still leaves a usable trace behind.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+import json
+import math
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+#: The W3C-style context-propagation header carried by service requests.
+TRACEPARENT_HEADER = "traceparent"
+_TRACEPARENT_VERSION = "00"
+_TRACE_ID_LEN = 32  # hex chars (16 bytes)
+_SPAN_ID_LEN = 16  # hex chars (8 bytes)
+
+
+def new_trace_id() -> str:
+    """A fresh random 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def derive_span_id(parent_id: str, name: str, index: int) -> str:
+    """Deterministic 64-bit span id for child ``index`` named ``name``.
+
+    Ids are a pure function of the span's path from the trace root, so
+    re-running the same logical operations (any executor backend, any
+    process) reproduces the same tree ids — the property the determinism
+    suites assert.
+    """
+    digest = hashlib.blake2b(
+        f"{parent_id}:{name}:{index}".encode(), digest_size=_SPAN_ID_LEN // 2
+    )
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of one span: ``(trace_id, span_id)``.
+
+    Frozen and picklable — it crosses thread pools, process pools, and
+    (rendered as a ``traceparent`` header) the HTTP boundary.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def child(self, name: str, index: int) -> "SpanContext":
+        """The deterministic context of child ``index`` named ``name``."""
+        return SpanContext(self.trace_id, derive_span_id(self.span_id, name, index))
+
+    def to_traceparent(self) -> str:
+        """``00-<trace_id>-<span_id>-01`` (sampled flag always set)."""
+        return f"{_TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-01"
+
+
+def root_context(trace_id: str | None = None, name: str = "root") -> SpanContext:
+    """The context a root span named ``name`` gets in trace ``trace_id``."""
+    trace_id = trace_id if trace_id is not None else new_trace_id()
+    return SpanContext(trace_id, derive_span_id(trace_id, name, 0))
+
+
+def _is_hex(text: str) -> bool:
+    return bool(text) and all(c in "0123456789abcdef" for c in text)
+
+
+def parse_traceparent(header: str | None) -> SpanContext | None:
+    """Parse a ``traceparent`` header into the remote parent's context.
+
+    Malformed headers return ``None`` (the server then starts a fresh
+    trace) — a bad client header must never fail a request.
+    """
+    if not header:
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, flags = parts
+    if len(version) != 2 or not _is_hex(version):
+        return None
+    if len(trace_id) != _TRACE_ID_LEN or not _is_hex(trace_id):
+        return None
+    if len(span_id) != _SPAN_ID_LEN or not _is_hex(span_id):
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    if trace_id == "0" * _TRACE_ID_LEN or span_id == "0" * _SPAN_ID_LEN:
+        return None
+    return SpanContext(trace_id, span_id)
+
+
+# -- the span record ---------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """One finished, timed operation in a trace tree.
+
+    ``start`` / ``end`` are wall-clock epoch seconds (``time.time``);
+    everything else — ids, name, attributes, status — is deterministic
+    for a deterministic workload (see :func:`span_tree_signature`).
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start: float
+    end: float
+    status: str = "ok"
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds the operation took."""
+        return self.end - self.start
+
+
+def span_to_dict(span: Span) -> dict:
+    """JSON-serializable dict (the JSONL line / worker-fragment format)."""
+    return {
+        "name": span.name,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": span.start,
+        "end": span.end,
+        "status": span.status,
+        "attributes": dict(span.attributes),
+    }
+
+
+def span_from_dict(payload: Mapping[str, Any]) -> Span:
+    """Inverse of :func:`span_to_dict`; unknown fields raise."""
+    data = dict(payload)
+    unknown = set(data) - {
+        "name", "trace_id", "span_id", "parent_id", "start", "end",
+        "status", "attributes",
+    }
+    if unknown:
+        raise ValueError(f"span dict has unknown fields {sorted(unknown)}")
+    try:
+        return Span(
+            name=data["name"],
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start=float(data["start"]),
+            end=float(data["end"]),
+            status=data.get("status", "ok"),
+            attributes=dict(data.get("attributes") or {}),
+        )
+    except KeyError as exc:
+        raise ValueError(f"span dict missing field {exc}") from None
+
+
+# -- recorders ---------------------------------------------------------------
+
+
+class NullSpanRecorder:
+    """The tracing-off fast path: inactive, drops everything."""
+
+    #: Hot-path guard — :func:`span` checks this before any other work.
+    active: bool = False
+
+    __slots__ = ()
+
+    def emit(self, span: Span) -> None:
+        """Drop the span."""
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Always empty."""
+        return ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullSpanRecorder()"
+
+
+#: Shared inactive recorder (stateless, safe to reuse everywhere).
+NULL_SPAN_RECORDER = NullSpanRecorder()
+
+
+class SpanRecorder:
+    """Collects finished spans in emission order; optional JSONL sink.
+
+    Parameters
+    ----------
+    path:
+        When given, every emitted span is *also* appended to this JSONL
+        file immediately (one :func:`span_to_dict` line per span), so
+        traces survive a crashed or killed process.  The in-memory store
+        is kept either way.
+    maxlen:
+        Ring-buffer the in-memory store (newest spans survive) so a
+        long-lived service does not grow without bound; the JSONL sink
+        still receives every span.
+    """
+
+    active: bool = True
+
+    __slots__ = ("_spans", "_lock", "path", "maxlen")
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        maxlen: int | None = None,
+    ):
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1 or None, got {maxlen}")
+        self.maxlen = maxlen
+        self._spans: deque[Span] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def emit(self, span: Span) -> None:
+        """Append one finished span (thread-safe)."""
+        line = None
+        if self.path is not None:
+            line = json.dumps(span_to_dict(span)) + "\n"
+        with self._lock:
+            self._spans.append(span)
+            if line is not None:
+                with self.path.open("a") as fh:
+                    fh.write(line)
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Snapshot of the recorded spans, in emission order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def clear(self) -> None:
+        """Drop all recorded spans (the JSONL sink is left untouched)."""
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sink = "" if self.path is None else f", path={str(self.path)!r}"
+        return f"SpanRecorder({len(self)} spans{sink})"
+
+
+_RECORDER: NullSpanRecorder | SpanRecorder = NULL_SPAN_RECORDER
+
+
+def get_span_recorder() -> NullSpanRecorder | SpanRecorder:
+    """The process-wide span recorder (default: :data:`NULL_SPAN_RECORDER`)."""
+    return _RECORDER
+
+
+def set_span_recorder(
+    recorder: NullSpanRecorder | SpanRecorder,
+) -> NullSpanRecorder | SpanRecorder:
+    """Install ``recorder`` process-wide; returns the previous one."""
+    global _RECORDER
+    previous = _RECORDER
+    _RECORDER = recorder
+    return previous
+
+
+@contextmanager
+def recording(recorder: SpanRecorder) -> Iterator[SpanRecorder]:
+    """Scoped :func:`set_span_recorder` (tests and service lifetimes)."""
+    previous = set_span_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_span_recorder(previous)
+
+
+# -- the live span + context propagation -------------------------------------
+
+
+class ActiveSpan:
+    """A span that has started but not yet finished.
+
+    Exposes :meth:`set_attribute` for late enrichment (HTTP status,
+    coalesce links) and :meth:`next_index` — a locked child counter that
+    gives sequentially-created children deterministic sibling indices.
+    """
+
+    __slots__ = (
+        "context", "name", "parent_id", "start", "attributes", "status",
+        "_children", "_lock",
+    )
+
+    def __init__(
+        self,
+        context: SpanContext,
+        name: str,
+        parent_id: str | None,
+        attributes: dict[str, Any] | None = None,
+    ):
+        self.context = context
+        self.name = name
+        self.parent_id = parent_id
+        self.start = time.time()
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.status = "ok"
+        self._children = 0
+        self._lock = threading.Lock()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute on the live span."""
+        self.attributes[key] = value
+
+    def next_index(self) -> int:
+        """Claim the next sibling index (0, 1, 2, ...; thread-safe)."""
+        with self._lock:
+            index = self._children
+            self._children += 1
+            return index
+
+    def finish(self, end: float | None = None) -> Span:
+        """Freeze into a :class:`Span` record."""
+        return Span(
+            name=self.name,
+            trace_id=self.context.trace_id,
+            span_id=self.context.span_id,
+            parent_id=self.parent_id,
+            start=self.start,
+            end=end if end is not None else time.time(),
+            status=self.status,
+            attributes=dict(self.attributes),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ActiveSpan({self.name!r}, {self.context.span_id})"
+
+
+_CURRENT: contextvars.ContextVar[ActiveSpan | None] = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_span() -> ActiveSpan | None:
+    """The live span of the calling context, if any."""
+    return _CURRENT.get()
+
+
+def current_context() -> SpanContext | None:
+    """The :class:`SpanContext` of the calling context's live span."""
+    live = _CURRENT.get()
+    return live.context if live is not None else None
+
+
+@contextmanager
+def span(
+    name: str,
+    *,
+    attributes: Mapping[str, Any] | None = None,
+    parent: SpanContext | None = None,
+    index: int | None = None,
+    trace_id: str | None = None,
+    context: SpanContext | None = None,
+    parent_id: str | None = None,
+    recorder: NullSpanRecorder | SpanRecorder | None = None,
+) -> Iterator[ActiveSpan | None]:
+    """Record one span around the enclosed block.
+
+    With the process recorder inactive (and no explicit ``recorder``)
+    this yields ``None`` immediately — the tracing-off fast path.
+
+    Parameters
+    ----------
+    attributes:
+        Initial attributes (more via :meth:`ActiveSpan.set_attribute`).
+    parent:
+        Explicit parent context (cross-thread / cross-process / remote
+        ``traceparent``).  Defaults to the calling context's live span,
+        else the span becomes a trace root.
+    index:
+        Sibling index for deterministic id derivation.  Defaults to the
+        live parent's :meth:`~ActiveSpan.next_index`, else 0.
+    trace_id:
+        Pin the trace id of a *root* span (determinism tests, client-side
+        trace minting).  Ignored when a parent exists.
+    context / parent_id:
+        Pin the exact span context (pre-derived elsewhere, e.g. the
+        scheduler derives an entry's executing-span id at submit time so
+        coalesced duplicates can link to it before it even starts).
+    recorder:
+        Record into this recorder instead of the process-wide one
+        (worker-side fragments).
+    status:
+        Set automatically: ``"error"`` plus an ``error.type`` attribute
+        when the block raises (the exception propagates).
+    """
+    rec = recorder if recorder is not None else _RECORDER
+    if not rec.active:
+        yield None
+        return
+    if context is not None:
+        ctx = context
+        resolved_parent_id = parent_id
+    else:
+        parent_ctx = parent
+        if parent_ctx is None:
+            live = _CURRENT.get()
+            if live is not None:
+                parent_ctx = live.context
+                if index is None:
+                    index = live.next_index()
+        if parent_ctx is None:
+            ctx = root_context(trace_id, name)
+            resolved_parent_id = None
+        else:
+            ctx = parent_ctx.child(name, index if index is not None else 0)
+            resolved_parent_id = parent_ctx.span_id
+    active = ActiveSpan(ctx, name, resolved_parent_id, dict(attributes or {}))
+    token = _CURRENT.set(active)
+    try:
+        yield active
+    except BaseException as exc:
+        active.status = "error"
+        active.attributes.setdefault("error.type", type(exc).__name__)
+        raise
+    finally:
+        _CURRENT.reset(token)
+        rec.emit(active.finish())
+
+
+# -- JSONL persistence -------------------------------------------------------
+
+
+def write_spans_jsonl(path: str | Path, spans: Iterable[Span]) -> Path:
+    """Write one span per line; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for record in spans:
+            fh.write(json.dumps(span_to_dict(record)) + "\n")
+    return path
+
+
+def read_spans_jsonl(path: str | Path) -> tuple[Span, ...]:
+    """Load a spans JSONL file back into :class:`Span` records."""
+    spans: list[Span] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(span_from_dict(json.loads(line)))
+    return tuple(spans)
+
+
+# -- analysis: trees, self-times, signatures ---------------------------------
+
+
+def _canonical_value(value: Any) -> Any:
+    if isinstance(value, float):
+        return ("f", value.hex())
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(v) for v in value)
+    if isinstance(value, Mapping):
+        return tuple(
+            sorted((str(k), _canonical_value(v)) for k, v in value.items())
+        )
+    return value
+
+
+def span_tree_signature(spans: Sequence[Span]) -> tuple:
+    """The timing-free identity of a span set, in emission order.
+
+    Covers everything deterministic — trace/span/parent ids, names,
+    status, canonicalized attributes (floats bit-exact via ``hex``) —
+    and excludes ``start`` / ``end``.  Two executions of the same
+    logical workload under different executor backends produce *equal*
+    signatures; the determinism suites assert exactly that.
+    """
+    return tuple(
+        (
+            record.trace_id,
+            record.span_id,
+            record.parent_id,
+            record.name,
+            record.status,
+            _canonical_value(record.attributes),
+        )
+        for record in spans
+    )
+
+
+def build_span_tree(
+    spans: Sequence[Span],
+) -> list[tuple[Span, list]]:
+    """Nest spans into ``(span, children)`` trees (roots returned).
+
+    Children keep emission order.  A span whose ``parent_id`` is absent
+    from the set (e.g. the remote half of a distributed trace) is
+    treated as a root, so partial traces still render.
+    """
+    by_id = {record.span_id: record for record in spans}
+    children: dict[str, list[Span]] = {}
+    roots: list[Span] = []
+    for record in spans:
+        if record.parent_id is not None and record.parent_id in by_id:
+            children.setdefault(record.parent_id, []).append(record)
+        else:
+            roots.append(record)
+
+    def node(record: Span) -> tuple[Span, list]:
+        return (record, [node(c) for c in children.get(record.span_id, [])])
+
+    return [node(record) for record in roots]
+
+
+def self_times(spans: Sequence[Span]) -> dict[str, float]:
+    """Per-span-name *self* seconds: duration minus direct children.
+
+    The service-side analogue of the Fig. 5 portion decomposition: a
+    request's wall-clock splits exactly into the self-times of the spans
+    on its tree (queueing shows up as scheduler self-time, solving as
+    solver time, and so on).  Sums over all spans sharing a name, using
+    :func:`math.fsum` for order-stable totals; negative self-times
+    (clock skew between fragment hosts) clamp to 0.
+    """
+    child_sum: dict[str, float] = {}
+    by_id = {record.span_id: record for record in spans}
+    for record in spans:
+        if record.parent_id is not None and record.parent_id in by_id:
+            child_sum[record.parent_id] = (
+                child_sum.get(record.parent_id, 0.0) + record.duration
+            )
+    totals: dict[str, list[float]] = {}
+    for record in spans:
+        self_s = max(0.0, record.duration - child_sum.get(record.span_id, 0.0))
+        totals.setdefault(record.name, []).append(self_s)
+    return {name: math.fsum(values) for name, values in totals.items()}
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def format_span_tree(spans: Sequence[Span], *, attributes: bool = True) -> str:
+    """Human-readable tree with durations, self-times, and a per-phase
+    self-time breakdown (sorted by share, the Fig.-5-style decomposition)."""
+    if not spans:
+        return "(no spans)"
+    trace_ids = {record.trace_id for record in spans}
+    lines: list[str] = []
+    if len(trace_ids) == 1:
+        lines.append(f"trace {next(iter(trace_ids))}")
+    else:
+        lines.append(f"({len(trace_ids)} traces)")
+
+    child_sum: dict[str, float] = {}
+    by_id = {record.span_id: record for record in spans}
+    for record in spans:
+        if record.parent_id is not None and record.parent_id in by_id:
+            child_sum[record.parent_id] = (
+                child_sum.get(record.parent_id, 0.0) + record.duration
+            )
+
+    def render(node: tuple[Span, list], prefix: str, is_last: bool) -> None:
+        record, children = node
+        connector = "└─ " if is_last else "├─ "
+        self_s = max(0.0, record.duration - child_sum.get(record.span_id, 0.0))
+        text = (
+            f"{prefix}{connector}{record.name}  "
+            f"{_format_seconds(record.duration)} "
+            f"(self {_format_seconds(self_s)})"
+        )
+        if record.status != "ok":
+            text += f"  [{record.status}]"
+        if attributes and record.attributes:
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(record.attributes.items())
+            )
+            text += f"  {attrs}"
+        lines.append(text)
+        extension = "   " if is_last else "│  "
+        for i, child in enumerate(children):
+            render(child, prefix + extension, i == len(children) - 1)
+
+    roots = build_span_tree(spans)
+    for i, root in enumerate(roots):
+        render(root, "", i == len(roots) - 1)
+
+    breakdown = self_times(spans)
+    total = math.fsum(breakdown.values())
+    if total > 0:
+        lines.append("")
+        lines.append("self-time by phase:")
+        ordered = sorted(breakdown.items(), key=lambda kv: (-kv[1], kv[0]))
+        width = max(len(name) for name, _ in ordered)
+        for name, seconds in ordered:
+            lines.append(
+                f"  {name:<{width}}  {_format_seconds(seconds):>10}"
+                f"  {seconds / total:6.1%}"
+            )
+    return "\n".join(lines)

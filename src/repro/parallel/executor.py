@@ -31,6 +31,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs.logconf import configure_worker, worker_config
 from repro.obs.metrics import METRICS
 
 T = TypeVar("T")
@@ -150,6 +151,16 @@ class SerialExecutor(Executor):
         return [fn(item) for item in items]
 
 
+def _init_process_worker(log_config: dict) -> None:
+    """Process-pool initializer: replay the parent's logging knobs.
+
+    Without this, worker processes have an unconfigured ``repro`` logger
+    (``propagate=False``, no handler) and silently drop every record —
+    ``-v``/``REPRO_LOG`` on the driver would stop at the pool boundary.
+    """
+    configure_worker(log_config)
+
+
 class _PoolExecutor(Executor):
     """Shared plumbing for the :mod:`concurrent.futures` backends."""
 
@@ -179,10 +190,19 @@ class ThreadExecutor(_PoolExecutor):
 
 class ProcessExecutor(_PoolExecutor):
     """Process pool: true CPU parallelism; workers and arguments must
-    pickle."""
+    pickle.  Workers inherit the parent's logging configuration (see
+    :func:`repro.obs.logconf.worker_config`)."""
 
     kind = "process"
     _pool_cls = ProcessPoolExecutor
+
+    def __init__(self, jobs: int):
+        Executor.__init__(self, jobs)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_init_process_worker,
+            initargs=(worker_config(),),
+        )
 
 
 def make_executor(

@@ -14,6 +14,13 @@ themselves via ``retries=`` (bounded, sleep-backoff — the client-side
 half of the backpressure contract).  :meth:`ServiceClient.request`
 exposes the raw status/bytes for callers that need the exact wire
 payload (the bit-identity tests do).
+
+Tracing: with span recording on (see :mod:`repro.obs.spans`), every
+round-trip opens a ``client.request`` span — the root of the request's
+trace unless the caller is already inside one — and forwards its context
+in a ``traceparent`` header, so the server's ``server.request`` span
+links to it and the whole client → server → scheduler → solver tree
+reconstructs from the span JSONL alone.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ import time
 import urllib.error
 import urllib.request
 from typing import Any, Mapping
+
+from repro.obs.spans import TRACEPARENT_HEADER, span
 
 
 class ServiceError(RuntimeError):
@@ -66,21 +75,35 @@ class ServiceClient:
         """One HTTP round-trip; returns ``(status, headers, raw bytes)``.
 
         Never raises on HTTP error statuses — only on transport failures
-        (connection refused, timeout).
+        (connection refused, timeout).  When span recording is on, the
+        round-trip is wrapped in a ``client.request`` span whose context
+        travels in the ``traceparent`` header.
         """
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        req = urllib.request.Request(
-            f"{self.base_url}{path}", data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.status, dict(resp.headers), resp.read()
-        except urllib.error.HTTPError as exc:
-            return exc.code, dict(exc.headers), exc.read()
+        with span(
+            "client.request",
+            attributes={"http.method": method, "http.path": path},
+        ) as live:
+            if live is not None:
+                headers[TRACEPARENT_HEADER] = live.context.to_traceparent()
+            req = urllib.request.Request(
+                f"{self.base_url}{path}", data=data, headers=headers,
+                method=method,
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                    status, resp_headers, raw = (
+                        resp.status, dict(resp.headers), resp.read()
+                    )
+            except urllib.error.HTTPError as exc:
+                status, resp_headers, raw = exc.code, dict(exc.headers), exc.read()
+            if live is not None:
+                live.set_attribute("http.status", int(status))
+            return status, resp_headers, raw
 
     def _call(
         self,
@@ -142,5 +165,12 @@ class ServiceClient:
         return self._call("GET", "/healthz")
 
     def metrics(self) -> dict[str, Any]:
-        """``GET /metrics`` (the server's metrics-registry summary)."""
-        return self._call("GET", "/metrics")
+        """``GET /metrics.json`` (the server's metrics-registry summary)."""
+        return self._call("GET", "/metrics.json")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition document."""
+        status, _, raw = self.request("GET", "/metrics")
+        if status >= 400:
+            raise ServiceError(status, {"error": raw.decode("utf-8", "replace")})
+        return raw.decode("utf-8")

@@ -38,6 +38,7 @@ from typing import Any, Callable, Hashable
 
 from repro.obs.logconf import get_logger
 from repro.obs.metrics import METRICS
+from repro.obs.spans import SpanContext, current_span, span
 from repro.parallel.executor import Executor, make_executor
 
 logger = get_logger("service.scheduler")
@@ -56,9 +57,19 @@ class ServiceClosed(RuntimeError):
 
 
 class _Entry:
-    """One coalesced unit of work: a key, a compute, and its waiters."""
+    """One coalesced unit of work: a key, a compute, and its waiters.
 
-    __slots__ = ("key", "compute", "done", "result", "error", "waiters")
+    ``span_context`` / ``span_parent_id`` pin the identity of the entry's
+    future ``scheduler.execute`` span.  They are derived at *submit* time
+    from the first submitter's live span, so duplicate submitters that
+    coalesce later can link to the executing span (``coalesced_to``)
+    before it has even started.
+    """
+
+    __slots__ = (
+        "key", "compute", "done", "result", "error", "waiters",
+        "span_context", "span_parent_id",
+    )
 
     def __init__(self, key: Hashable, compute: Callable[[], Any]):
         self.key = key
@@ -67,6 +78,8 @@ class _Entry:
         self.result: Any = None
         self.error: BaseException | None = None
         self.waiters = 1
+        self.span_context: SpanContext | None = None
+        self.span_parent_id: str | None = None
 
 
 class CoalescingScheduler:
@@ -130,11 +143,19 @@ class CoalescingScheduler:
         when the result is not ready within ``timeout``, and re-raises
         the compute's exception for every attached waiter.
         """
+        live = current_span()
         with self._lock:
             entry = self._pending.get(key)
             if entry is not None:
                 entry.waiters += 1
                 METRICS.counter("service.coalesced").inc()
+                # Link the duplicate's own request span to the span that
+                # will actually run the work (it may not have started yet;
+                # its identity was pinned when the entry was created).
+                if live is not None and entry.span_context is not None:
+                    live.set_attribute(
+                        "coalesced_to", entry.span_context.span_id
+                    )
             else:
                 if self._closing:
                     raise ServiceClosed("scheduler is shutting down")
@@ -145,6 +166,15 @@ class CoalescingScheduler:
                         retry_after=self.retry_after,
                     )
                 entry = _Entry(key, compute)
+                if live is not None:
+                    # Pre-derive the executing span's context under the
+                    # submitter's span: the dispatcher/pool threads that
+                    # later run the entry have no contextvar link back to
+                    # this request, so the identity rides on the entry.
+                    entry.span_context = live.context.child(
+                        "scheduler.execute", live.next_index()
+                    )
+                    entry.span_parent_id = live.context.span_id
                 self._pending[key] = entry
                 self._queue.append(entry)
                 METRICS.gauge("service.queue_depth").set(len(self._queue))
@@ -186,7 +216,19 @@ class CoalescingScheduler:
 
     def _run_entry(self, entry: _Entry) -> None:
         try:
-            entry.result = entry.compute()
+            # context=None (no live span at submit) falls back to normal
+            # parent resolution: a fresh root in this dispatcher thread.
+            with span(
+                "scheduler.execute",
+                context=entry.span_context,
+                parent_id=entry.span_parent_id,
+                attributes={"waiters": entry.waiters},
+            ) as live:
+                entry.result = entry.compute()
+                if live is not None:
+                    # Refresh: duplicates may have attached while the
+                    # compute ran (the at-start snapshot undercounts).
+                    live.set_attribute("waiters", entry.waiters)
         except BaseException as exc:  # noqa: BLE001 - delivered to waiters
             entry.error = exc
             logger.debug("request %r failed: %s", entry.key, exc)

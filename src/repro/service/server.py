@@ -17,26 +17,38 @@ Routes::
     POST /v1/solve      {"te_core_days": 3e6, "case": "8-4-2-1", ...}
     POST /v1/simulate   {... , "strategy": "ml-opt-scale", "runs": 20}
     GET  /healthz       liveness + queue/store introspection
-    GET  /metrics       the process metrics registry (JSON summary)
+    GET  /metrics       Prometheus text exposition (format 0.0.4)
+    GET  /metrics.json  the process metrics registry (JSON summary)
 
 Status codes: 200 success, 400 malformed body, 404 unknown route,
 405 wrong method, 422 valid request whose solve diverged, 429 queue
 full (with ``Retry-After``), 503 shutting down.  Success bodies are
 :func:`~repro.service.api.canonical_json` bytes — deterministic, so
 identical requests get identical bytes no matter which layer answered.
+
+Observability: every request emits one structured JSON access-log line
+(logger ``repro.service.access``, INFO) and a bucketed latency sample
+(``service.request_seconds.<endpoint>``, :data:`LATENCY_BUCKETS` —
+p50/p95/p99 on ``/metrics.json``, ``_bucket`` series on ``/metrics``).
+With span recording on, each ``POST /v1/*`` opens a ``server.request``
+span, adopting the client's ``traceparent`` when present, and the
+scheduler/solver/simulator spans nest beneath it.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
-from repro.core.memo import SOLVER_CACHE
-from repro.obs.logconf import get_logger
-from repro.obs.metrics import METRICS
+from repro.core.memo import SOLVER_CACHE, publish_cache_metrics
+from repro.obs.logconf import ensure_configured, get_logger
+from repro.obs.metrics import LATENCY_BUCKETS, METRICS
+from repro.obs.promexport import PROMETHEUS_CONTENT_TYPE, prometheus_text
+from repro.obs.spans import TRACEPARENT_HEADER, parse_traceparent, span
 from repro.service.api import BUILDERS, RequestError, canonical_json
 from repro.service.scheduler import (
     CoalescingScheduler,
@@ -47,6 +59,7 @@ from repro.service.store import ResultStore
 from repro.util.iteration import FixedPointDiverged
 
 logger = get_logger("service.http")
+access_logger = get_logger("service.access")
 
 #: Default persistent-store location (under the working directory).
 DEFAULT_STORE_PATH = ".repro-service/results.sqlite"
@@ -83,6 +96,15 @@ class ReproService:
         store_path: str | Path | None = DEFAULT_STORE_PATH,
         cache_max_entries: int | None = None,
     ):
+        # The repro logger tree drops records without a handler
+        # (propagate=False); make sure handler/scheduler threads log even
+        # when the embedding program never configured logging.
+        ensure_configured()
+        # Access logs are their own channel: one INFO record per request
+        # regardless of the global verbosity (the tree defaults to
+        # WARNING).  Silence with REPRO_LOG=repro.service.access=WARNING.
+        if access_logger.level == logging.NOTSET:
+            access_logger.setLevel(logging.INFO)
         self.store = (
             ResultStore(store_path) if store_path is not None else None
         )
@@ -191,6 +213,9 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro.service/1.0"
 
+    #: Status of the last response sent on this connection (access log).
+    _status = 0
+
     @property
     def service(self) -> ReproService:
         return self.server.service  # type: ignore[attr-defined]
@@ -201,16 +226,37 @@ class _Handler(BaseHTTPRequestHandler):
     # ---------------------------------------------------------- responses
 
     def _respond(
-        self, status: int, body: bytes, *, headers: dict[str, str] | None = None
+        self,
+        status: int,
+        body: bytes,
+        *,
+        headers: dict[str, str] | None = None,
+        content_type: str = "application/json",
     ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
         METRICS.counter(f"service.responses.{status}").inc()
+
+    def _access_log(
+        self, method: str, elapsed: float, trace_id: str | None
+    ) -> None:
+        """One structured JSON line per request (machine-parseable)."""
+        record = {
+            "method": method,
+            "path": self.path,
+            "status": self._status,
+            "duration_ms": round(elapsed * 1e3, 3),
+            "client": self.address_string(),
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        access_logger.info("%s", json.dumps(record, sort_keys=True))
 
     def _respond_json(
         self, status: int, payload: dict, *, headers: dict[str, str] | None = None
@@ -223,16 +269,46 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------- routes
 
     def do_GET(self) -> None:  # noqa: N802 - http.server contract
-        if self.path == "/healthz":
-            self._respond_json(200, self.service.healthz())
-        elif self.path == "/metrics":
-            self._respond_json(200, {"metrics": METRICS.summary()})
-        elif self.path in ("/v1/solve", "/v1/simulate"):
-            self._error(405, f"use POST for {self.path}")
-        else:
-            self._error(404, f"unknown path {self.path!r}")
+        start = time.perf_counter()
+        try:
+            if self.path == "/healthz":
+                self._respond_json(200, self.service.healthz())
+            elif self.path == "/metrics":
+                publish_cache_metrics()
+                self._respond(
+                    200,
+                    prometheus_text(registry=METRICS).encode("utf-8"),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
+            elif self.path == "/metrics.json":
+                publish_cache_metrics()
+                self._respond_json(200, {"metrics": METRICS.summary()})
+            elif self.path in ("/v1/solve", "/v1/simulate"):
+                self._error(405, f"use POST for {self.path}")
+            else:
+                self._error(404, f"unknown path {self.path!r}")
+        finally:
+            self._access_log("GET", time.perf_counter() - start, None)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        parent = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+        start = time.perf_counter()
+        with span(
+            "server.request",
+            parent=parent,
+            attributes={"http.method": "POST", "http.path": self.path},
+        ) as live:
+            try:
+                self._handle_post()
+            finally:
+                elapsed = time.perf_counter() - start
+                trace_id = None
+                if live is not None:
+                    live.set_attribute("http.status", self._status)
+                    trace_id = live.context.trace_id
+                self._access_log("POST", elapsed, trace_id)
+
+    def _handle_post(self) -> None:
         if not self.path.startswith("/v1/"):
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -282,7 +358,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(500, f"{type(exc).__name__}: {exc}")
             return
         finally:
-            METRICS.histogram(f"service.request_seconds.{endpoint}").observe(
-                time.perf_counter() - start
-            )
+            # Bucketed SLO latency: the cumulative `le` series on
+            # GET /metrics, p50/p95/p99 on /metrics.json.
+            METRICS.histogram(
+                f"service.request_seconds.{endpoint}", buckets=LATENCY_BUCKETS
+            ).observe(time.perf_counter() - start)
         self._respond(200, canonical_json(payload))

@@ -32,6 +32,13 @@ from typing import Sequence
 
 from repro.failures.distributions import ArrivalProcess
 from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.spans import (
+    SpanRecorder,
+    get_span_recorder,
+    span,
+    span_from_dict,
+    span_to_dict,
+)
 from repro.obs.trace import TraceRecorder
 from repro.parallel.executor import Executor, chunk_evenly, ensure_executor
 from repro.sim.config import SimulationConfig
@@ -57,25 +64,56 @@ def _count_run(registry: MetricsRegistry, result: SimResult) -> None:
 def _simulate_chunk(task):
     """Worker: one contiguous chunk of replicas (module-level: picklable).
 
-    Returns ``(results, traces_or_None, metrics_snapshot)``.
+    Returns ``(results, traces_or_None, metrics_snapshot, span_fragments)``.
+
+    ``span_part`` is ``None`` (span recording off) or the pinned
+    ``(ensemble_context, replica_offset)``: a worker process cannot reach
+    the parent's span recorder, so each replica records a ``sim.replica``
+    span — its id derived from the ensemble context and its *global*
+    replica index, hence chunking-independent — into a chunk-local
+    :class:`SpanRecorder`, exported as dicts for the parent to re-emit in
+    chunk order (the metrics snapshot/merge pattern, applied to spans).
     """
-    config, seeds, process, injectors, trace, trace_maxlen = task
+    config, seeds, process, injectors, trace, trace_maxlen, span_part = task
     if injectors is None:
         injectors = [None] * len(seeds)
     registry = MetricsRegistry()
     results: list[SimResult] = []
     traces: list[tuple] | None = [] if trace else None
-    for seed, injector in zip(seeds, injectors):
+    span_sink = SpanRecorder() if span_part is not None else None
+    for offset, (seed, injector) in enumerate(zip(seeds, injectors)):
         recorder = TraceRecorder(maxlen=trace_maxlen) if trace else None
-        result = simulate(
-            config, seed=seed, process=process, injector=injector,
-            recorder=recorder,
-        )
+        if span_part is not None:
+            ensemble_ctx, replica_base = span_part
+            replica = replica_base + offset
+            with span(
+                "sim.replica",
+                parent=ensemble_ctx,
+                index=replica,
+                attributes={"replica": replica},
+                recorder=span_sink,
+            ) as live:
+                result = simulate(
+                    config, seed=seed, process=process, injector=injector,
+                    recorder=recorder,
+                )
+                live.set_attribute("completed", result.completed)
+                live.set_attribute("failures", result.total_failures)
+        else:
+            result = simulate(
+                config, seed=seed, process=process, injector=injector,
+                recorder=recorder,
+            )
         results.append(result)
         if traces is not None:
             traces.append(recorder.events)
         _count_run(registry, result)
-    return results, traces, registry.snapshot()
+    fragments = (
+        [span_to_dict(s) for s in span_sink.spans]
+        if span_sink is not None
+        else None
+    )
+    return results, traces, registry.snapshot(), fragments
 
 
 def run_ensemble(
@@ -145,35 +183,52 @@ def run_ensemble(
                 "run replicas individually via repro.sim.engine.simulate"
             ) from exc
     executor, owned = ensure_executor(executor, jobs, n_runs)
-    try:
-        chunk_bounds = chunk_evenly(range(n_runs), max(1, executor.jobs * 4))
-        tasks = []
-        for bounds in chunk_bounds:
-            lo, hi = bounds[0], bounds[-1] + 1
-            tasks.append(
-                (
-                    config,
-                    rngs[lo:hi],
-                    process,
-                    None if injectors is None else injectors[lo:hi],
-                    trace,
-                    trace_maxlen,
-                )
+    span_recorder = get_span_recorder()
+    # Attributes stay backend-independent (no executor kind / job count)
+    # so span_tree_signature is equal across serial/thread/process runs.
+    with span("sim.ensemble", attributes={"runs": n_runs}) as ensemble_span:
+        # Pinned (context, global replica offset) per chunk: replica span
+        # ids derive from the ensemble context and the replica's global
+        # index, so the tree is identical however the chunks fall.
+        span_ctx = (
+            ensemble_span.context if ensemble_span is not None else None
+        )
+        try:
+            chunk_bounds = chunk_evenly(
+                range(n_runs), max(1, executor.jobs * 4)
             )
-        chunk_results = executor.map(_simulate_chunk, tasks)
-    finally:
-        if owned:
-            executor.close()
-    # Reduce worker metrics into the parent, in chunk order (deterministic).
-    destination = registry if registry is not None else METRICS
-    for _, _, snapshot in chunk_results:
-        destination.merge_snapshot(snapshot)
-    runs = tuple(run for chunk, _, _ in chunk_results for run in chunk)
+            tasks = []
+            for bounds in chunk_bounds:
+                lo, hi = bounds[0], bounds[-1] + 1
+                tasks.append(
+                    (
+                        config,
+                        rngs[lo:hi],
+                        process,
+                        None if injectors is None else injectors[lo:hi],
+                        trace,
+                        trace_maxlen,
+                        (span_ctx, lo) if span_ctx is not None else None,
+                    )
+                )
+            chunk_results = executor.map(_simulate_chunk, tasks)
+        finally:
+            if owned:
+                executor.close()
+        # Reduce worker metrics into the parent, in chunk order
+        # (deterministic); re-emit worker span fragments the same way.
+        destination = registry if registry is not None else METRICS
+        for _, _, snapshot, fragments in chunk_results:
+            destination.merge_snapshot(snapshot)
+            if fragments:
+                for fragment in fragments:
+                    span_recorder.emit(span_from_dict(fragment))
+    runs = tuple(run for chunk, _, _, _ in chunk_results for run in chunk)
     traces = None
     if trace:
         traces = tuple(
             events
-            for _, chunk_traces, _ in chunk_results
+            for _, chunk_traces, _, _ in chunk_results
             for events in chunk_traces
         )
     return EnsembleResult(runs=runs, traces=traces)

@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.obs.metrics import (
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -109,7 +110,73 @@ class TestRegistry:
         reg.histogram("h").extend([1.0, 3.0])
         summary = reg.summary()
         assert summary["c"] == 2
-        assert summary["h"] == {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}
+        assert summary["h"] == {
+            "count": 2,
+            "sum": 4.0,
+            "min": 1.0,
+            "max": 3.0,
+            "p50": 1.0,  # nearest-rank over [1.0, 3.0]
+            "p95": 3.0,
+            "p99": 3.0,
+        }
+
+
+class TestBucketedHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        """Prometheus ``le`` semantics: a bucket counts observations
+        less than OR EQUAL to its upper bound."""
+        h = Histogram(buckets=(0.1, 1.0))
+        h.observe(0.1)
+        assert h.bucket_counts() == (1, 0, 0)
+        h.observe(1.0)
+        assert h.bucket_counts() == (1, 1, 0)
+        h.observe(1.0000001)
+        assert h.bucket_counts() == (1, 1, 1)
+
+    def test_cumulative_buckets_end_with_inf_total(self):
+        h = Histogram(buckets=(0.1, 1.0))
+        h.extend([0.05, 0.5, 5.0, 50.0])
+        cumulative = h.cumulative_buckets()
+        assert cumulative == ((0.1, 1), (1.0, 2), (math.inf, 4))
+        assert h.total_count == 4
+
+    def test_observed_count_survives_the_ring_buffer(self):
+        h = Histogram(maxlen=2, buckets=(0.1, 1.0))
+        h.extend([0.05, 0.05, 0.05])
+        assert h.samples == (0.05, 0.05)  # window trimmed
+        assert h.total_count == 3      # buckets keep the full count
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="non-empty"):
+            Histogram(buckets=())
+
+    def test_latency_buckets_are_strictly_increasing(self):
+        assert list(LATENCY_BUCKETS) == sorted(set(LATENCY_BUCKETS))
+
+    def test_chunked_bucket_merge_equals_serial(self):
+        samples = [0.0005 * (2**i) for i in range(14)]
+        serial = MetricsRegistry()
+        for s in samples:
+            serial.histogram("lat", buckets=LATENCY_BUCKETS).observe(s)
+
+        merged = MetricsRegistry()
+        for chunk in (samples[:5], samples[5:9], samples[9:]):
+            reg = MetricsRegistry()
+            for s in chunk:
+                reg.histogram("lat", buckets=LATENCY_BUCKETS).observe(s)
+            merged.merge_snapshot(reg.snapshot())
+
+        assert merged.snapshot() == serial.snapshot()
+
+    def test_merge_rejects_mismatched_layouts(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(0.1, 1.0))
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(0.1, 1.0, 10.0))
+        with pytest.raises(ValueError, match="bucket layout mismatch"):
+            a.merge_snapshot(b.snapshot())
 
 
 class TestMerge:

@@ -1,0 +1,121 @@
+"""Prometheus text exposition: canonical output, type mapping, buckets."""
+
+import pytest
+
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.promexport import (
+    PROMETHEUS_CONTENT_TYPE,
+    prometheus_text,
+    sanitize_metric_name,
+)
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [
+            ("memo.hits", "repro_memo_hits"),
+            ("service.request_seconds.solve", "repro_service_request_seconds_solve"),
+            ("already_ok", "repro_already_ok"),
+            ("1weird", "repro__1weird"),
+            ("sim runs/total", "repro_sim_runs_total"),
+        ],
+    )
+    def test_sanitization(self, raw, expected):
+        assert sanitize_metric_name(raw) == expected
+
+    def test_content_type_pins_exposition_version(self):
+        assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4"
+
+
+class TestRendering:
+    def test_exactly_one_input_required(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="exactly one"):
+            prometheus_text()
+        with pytest.raises(ValueError, match="exactly one"):
+            prometheus_text(reg.snapshot(), registry=reg)
+
+    def test_empty_registry_renders_empty_document(self):
+        assert prometheus_text(registry=MetricsRegistry()) == ""
+
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("memo.hits").add(3)
+        reg.gauge("memo.size").set(2.0)
+        text = prometheus_text(registry=reg)
+        assert "# TYPE repro_memo_hits counter\nrepro_memo_hits 3\n" in text
+        assert "# TYPE repro_memo_size gauge\nrepro_memo_size 2\n" in text
+
+    def test_integral_floats_render_without_fraction(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(5.0)
+        reg.counter("c").add(0.25)
+        text = prometheus_text(registry=reg)
+        assert "repro_g 5\n" in text
+        assert "repro_c 0.25\n" in text
+
+    def test_bucketed_histogram_is_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.1, 0.5, 5.0):
+            h.observe(value)
+        text = prometheus_text(registry=reg)
+        assert "# TYPE repro_lat histogram" in text
+        # le=0.1 is cumulative and INCLUSIVE of the boundary observation
+        assert 'repro_lat_bucket{le="0.1"} 2' in text
+        assert 'repro_lat_bucket{le="1"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_sum 5.65" in text
+        assert "repro_lat_count 4" in text
+
+    def test_bucketless_histogram_renders_summary_quantiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").extend([float(i) for i in range(1, 101)])
+        text = prometheus_text(registry=reg)
+        assert "# TYPE repro_h summary" in text
+        assert 'repro_h{quantile="0.5"} 50' in text
+        assert 'repro_h{quantile="0.95"} 95' in text
+        assert 'repro_h{quantile="0.99"} 99' in text
+        assert "repro_h_count 100" in text
+
+    def test_empty_summary_quantiles_are_nan(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        text = prometheus_text(registry=reg)
+        assert 'repro_h{quantile="0.5"} NaN' in text
+        assert "repro_h_count 0" in text
+
+    def test_unknown_metric_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            prometheus_text({"x": {"type": "meter"}})
+
+
+class TestCanonicality:
+    def test_equal_registries_render_byte_identical_documents(self):
+        """Insertion order must not leak into the exposition output."""
+        a = MetricsRegistry()
+        a.counter("zeta").add(1)
+        a.gauge("alpha").set(2.0)
+        a.histogram("mid", buckets=LATENCY_BUCKETS).observe(0.02)
+
+        b = MetricsRegistry()
+        b.histogram("mid", buckets=LATENCY_BUCKETS).observe(0.02)
+        b.counter("zeta").add(1)
+        b.gauge("alpha").set(2.0)
+
+        text_a = prometheus_text(registry=a)
+        text_b = prometheus_text(registry=b)
+        assert text_a == text_b
+        assert text_a.index("repro_alpha") < text_a.index("repro_mid")
+        assert text_a.index("repro_mid") < text_a.index("repro_zeta")
+
+    def test_latency_buckets_emit_every_bound_plus_inf(self):
+        reg = MetricsRegistry()
+        reg.histogram("svc", buckets=LATENCY_BUCKETS).observe(0.003)
+        text = prometheus_text(registry=reg)
+        bucket_lines = [
+            line for line in text.splitlines() if "repro_svc_bucket" in line
+        ]
+        assert len(bucket_lines) == len(LATENCY_BUCKETS) + 1
+        assert bucket_lines[-1] == 'repro_svc_bucket{le="+Inf"} 1'

@@ -1,0 +1,287 @@
+"""Unit tests for :mod:`repro.obs.spans`: ids, context propagation,
+recorders, JSONL round-trips, and tree analysis."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    NULL_SPAN_RECORDER,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    build_span_tree,
+    current_context,
+    current_span,
+    derive_span_id,
+    format_span_tree,
+    get_span_recorder,
+    new_trace_id,
+    parse_traceparent,
+    read_spans_jsonl,
+    recording,
+    root_context,
+    self_times,
+    span,
+    span_from_dict,
+    span_to_dict,
+    span_tree_signature,
+    write_spans_jsonl,
+)
+
+
+class TestIdentity:
+    def test_trace_ids_are_32_hex_and_distinct(self):
+        a, b = new_trace_id(), new_trace_id()
+        assert len(a) == len(b) == 32
+        assert a != b
+        assert all(c in "0123456789abcdef" for c in a + b)
+
+    def test_derived_ids_are_pure_functions_of_the_path(self):
+        assert derive_span_id("p", "solve", 0) == derive_span_id("p", "solve", 0)
+        assert derive_span_id("p", "solve", 0) != derive_span_id("p", "solve", 1)
+        assert derive_span_id("p", "solve", 0) != derive_span_id("p", "sim", 0)
+        assert derive_span_id("p", "solve", 0) != derive_span_id("q", "solve", 0)
+        assert len(derive_span_id("p", "solve", 0)) == 16
+
+    def test_child_context_keeps_trace_id(self):
+        root = root_context("ab" * 16)
+        child = root.child("work", 2)
+        assert child.trace_id == root.trace_id
+        assert child.span_id == derive_span_id(root.span_id, "work", 2)
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = root_context()
+        parsed = parse_traceparent(ctx.to_traceparent())
+        assert parsed == ctx
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-abcdefabcdef1234-01",
+            "00-" + "g" * 32 + "-abcdefabcdef1234-01",  # non-hex trace
+            "00-" + "0" * 32 + "-abcdefabcdef1234-01",  # all-zero trace
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # all-zero span
+            "00-" + "ab" * 16 + "-abcdefabcdef1234",  # missing flags
+        ],
+    )
+    def test_malformed_headers_return_none(self, header):
+        assert parse_traceparent(header) is None
+
+
+class TestFastPath:
+    def test_default_recorder_is_null_and_span_yields_none(self):
+        assert get_span_recorder() is NULL_SPAN_RECORDER
+        with span("anything") as live:
+            assert live is None
+            assert current_span() is None
+        assert len(NULL_SPAN_RECORDER) == 0
+
+    def test_exceptions_propagate_through_the_fast_path(self):
+        with pytest.raises(RuntimeError):
+            with span("anything"):
+                raise RuntimeError("boom")
+
+
+class TestRecording:
+    def test_nesting_links_parent_and_child(self):
+        rec = SpanRecorder()
+        with recording(rec):
+            with span("outer", trace_id="ab" * 16) as outer:
+                assert current_context() == outer.context
+                with span("inner") as inner:
+                    assert inner.parent_id == outer.context.span_id
+                    assert inner.context.trace_id == outer.context.trace_id
+        names = [s.name for s in rec.spans]
+        assert names == ["inner", "outer"]  # emission = completion order
+        inner_span, outer_span = rec.spans
+        assert inner_span.parent_id == outer_span.span_id
+        # the auto sibling index is 0, so the id is reproducible
+        assert inner_span.span_id == derive_span_id(
+            outer_span.span_id, "inner", 0
+        )
+
+    def test_sequential_siblings_get_increasing_indices(self):
+        rec = SpanRecorder()
+        with recording(rec):
+            with span("root", trace_id="ab" * 16) as root:
+                for _ in range(3):
+                    with span("step"):
+                        pass
+        steps = [s for s in rec.spans if s.name == "step"]
+        expected = [
+            derive_span_id(root.context.span_id, "step", i) for i in range(3)
+        ]
+        assert [s.span_id for s in steps] == expected
+
+    def test_error_sets_status_and_reraises(self):
+        rec = SpanRecorder()
+        with recording(rec):
+            with pytest.raises(ValueError):
+                with span("bad", trace_id="ab" * 16):
+                    raise ValueError("nope")
+        (record,) = rec.spans
+        assert record.status == "error"
+        assert record.attributes["error.type"] == "ValueError"
+        assert record.end >= record.start
+
+    def test_pinned_context_is_used_verbatim(self):
+        rec = SpanRecorder()
+        ctx = SpanContext("ab" * 16, "cd" * 8)
+        with recording(rec):
+            with span("pinned", context=ctx, parent_id="ef" * 8) as live:
+                assert live.context is ctx
+        (record,) = rec.spans
+        assert record.span_id == ctx.span_id
+        assert record.parent_id == "ef" * 8
+
+    def test_explicit_recorder_bypasses_the_process_recorder(self):
+        sink = SpanRecorder()
+        with span("frag", recorder=sink, trace_id="ab" * 16) as live:
+            assert live is not None
+        assert len(sink) == 1
+        assert get_span_recorder() is NULL_SPAN_RECORDER
+
+    def test_recorder_is_thread_safe_and_restores_context(self):
+        rec = SpanRecorder()
+
+        def work(i: int, parent: SpanContext):
+            with span("task", parent=parent, index=i, recorder=rec):
+                pass
+
+        parent = root_context("ab" * 16)
+        threads = [
+            threading.Thread(target=work, args=(i, parent)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(rec) == 8
+        assert {s.span_id for s in rec.spans} == {
+            derive_span_id(parent.span_id, "task", i) for i in range(8)
+        }
+
+    def test_maxlen_ring_buffers_memory_but_not_the_sink(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        rec = SpanRecorder(path, maxlen=2)
+        with recording(rec):
+            for i in range(5):
+                with span(f"s{i}", trace_id="ab" * 16):
+                    pass
+        assert [s.name for s in rec.spans] == ["s3", "s4"]
+        assert [s.name for s in read_spans_jsonl(path)] == [
+            f"s{i}" for i in range(5)
+        ]
+
+
+class TestSerialization:
+    def _sample(self) -> Span:
+        return Span(
+            name="op",
+            trace_id="ab" * 16,
+            span_id="cd" * 8,
+            parent_id=None,
+            start=1.0,
+            end=2.5,
+            status="ok",
+            attributes={"k": 1, "f": 0.5},
+        )
+
+    def test_dict_round_trip(self):
+        record = self._sample()
+        assert span_from_dict(span_to_dict(record)) == record
+
+    def test_unknown_fields_raise(self):
+        payload = span_to_dict(self._sample())
+        payload["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown fields"):
+            span_from_dict(payload)
+
+    def test_missing_required_field_raises(self):
+        payload = span_to_dict(self._sample())
+        del payload["trace_id"]
+        with pytest.raises(ValueError, match="missing field"):
+            span_from_dict(payload)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = SpanRecorder()
+        with recording(rec):
+            with span("outer", trace_id="ab" * 16, attributes={"x": 1.5}):
+                with span("inner"):
+                    pass
+        path = write_spans_jsonl(tmp_path / "t.jsonl", rec.spans)
+        loaded = read_spans_jsonl(path)
+        assert loaded == rec.spans
+
+    def test_path_sink_appends_as_spans_finish(self, tmp_path):
+        path = tmp_path / "sink.jsonl"
+        rec = SpanRecorder(path)
+        with recording(rec):
+            with span("a", trace_id="ab" * 16):
+                pass
+            assert len(read_spans_jsonl(path)) == 1  # already on disk
+            with span("b", trace_id="ab" * 16):
+                pass
+        assert [s.name for s in read_spans_jsonl(path)] == ["a", "b"]
+
+
+class TestAnalysis:
+    def _tree(self) -> tuple:
+        rec = SpanRecorder()
+        with recording(rec):
+            with span("request", trace_id="ab" * 16):
+                with span("solve"):
+                    with span("iteration"):
+                        pass
+                with span("simulate"):
+                    pass
+        return rec.spans
+
+    def test_signature_ignores_timing(self):
+        spans_a = self._tree()
+        spans_b = self._tree()
+        assert span_tree_signature(spans_a) == span_tree_signature(spans_b)
+        starts = {s.start for s in spans_a} | {s.start for s in spans_b}
+        assert len(starts) > 1  # timestamps genuinely differ
+
+    def test_signature_sees_attribute_changes(self):
+        base = self._tree()
+        changed = [
+            Span(**{**span_to_dict(s), "attributes": {"extra": 1}})
+            for s in base
+        ]
+        assert span_tree_signature(base) != span_tree_signature(changed)
+
+    def test_build_span_tree_nests_and_handles_orphans(self):
+        spans = self._tree()
+        roots = build_span_tree(spans)
+        assert len(roots) == 1
+        request, children = roots[0]
+        assert request.name == "request"
+        assert [c[0].name for c in children] == ["solve", "simulate"]
+        # drop the root: both mid-level spans become orphan roots
+        partial = [s for s in spans if s.name != "request"]
+        orphan_roots = build_span_tree(partial)
+        assert {r[0].name for r in orphan_roots} == {"solve", "simulate"}
+
+    def test_self_times_decompose_the_root_duration(self):
+        spans = self._tree()
+        breakdown = self_times(spans)
+        assert set(breakdown) == {"request", "solve", "simulate", "iteration"}
+        root = next(s for s in spans if s.name == "request")
+        assert sum(breakdown.values()) == pytest.approx(root.duration, abs=1e-6)
+
+    def test_format_span_tree_renders_names_and_breakdown(self):
+        spans = self._tree()
+        text = format_span_tree(spans)
+        assert "request" in text and "iteration" in text
+        assert "self-time by phase:" in text
+        assert format_span_tree(()) == "(no spans)"

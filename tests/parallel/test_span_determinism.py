@@ -1,0 +1,92 @@
+"""Span trees must be bit-identical across executor backends.
+
+``run_ensemble`` pins each chunk's span identity to the ensemble span's
+context plus the replica's *global* index, and the parent re-emits worker
+fragments in chunk order — so the ``span_tree_signature`` of a traced
+ensemble is a pure function of (config, seed, n_runs), never of the
+serial/thread/process backend or the chunking it implies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solutions import ml_opt_scale
+from repro.obs.spans import SpanRecorder, recording, span, span_tree_signature
+from repro.parallel.executor import make_executor
+from repro.sim.runner import config_from_solution
+
+N_RUNS = 8
+SEED = 42
+TRACE_ID = "ab" * 16
+
+
+def _traced_ensemble(config, backend: str, jobs: int):
+    """One traced ensemble under an explicit backend; returns
+    (EnsembleResult, recorded spans)."""
+    from repro.sim.ensemble import run_ensemble
+
+    recorder = SpanRecorder()
+    with recording(recorder):
+        # A pinned root trace id makes the whole tree reproducible.
+        with span("test.root", trace_id=TRACE_ID):
+            with make_executor(jobs, backend=backend, workload=N_RUNS) as ex:
+                result = run_ensemble(
+                    config, n_runs=N_RUNS, seed=SEED, executor=ex
+                )
+    return result, recorder.spans
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    # Mirrors the tests/conftest.py `small_params` fixture (module-scoped
+    # fixtures cannot depend on the function-scoped one).
+    from repro.core.notation import ModelParameters
+    from repro.costs.model import LevelCostModel
+    from repro.failures.rates import FailureRates
+    from repro.speedup.quadratic import QuadraticSpeedup
+
+    params = ModelParameters.from_core_days(
+        200.0,
+        speedup=QuadraticSpeedup(kappa=0.5, ideal_scale=2_000.0),
+        costs=LevelCostModel.from_constants([1.0, 2.5, 4.0, 12.0]),
+        rates=FailureRates((24.0, 12.0, 6.0, 3.0), baseline_scale=2_000.0),
+        allocation_period=30.0,
+    )
+    return config_from_solution(params, ml_opt_scale(params))
+
+
+def test_serial_tree_shape(fast_config):
+    result, spans = _traced_ensemble(fast_config, "serial", 1)
+    assert len(result.runs) == N_RUNS
+    names = sorted(s.name for s in spans)
+    assert names == sorted(
+        ["test.root", "sim.ensemble"] + ["sim.replica"] * N_RUNS
+    )
+    assert all(s.trace_id == TRACE_ID for s in spans)
+    replicas = [s for s in spans if s.name == "sim.replica"]
+    ensemble = next(s for s in spans if s.name == "sim.ensemble")
+    assert {s.parent_id for s in replicas} == {ensemble.span_id}
+    assert sorted(s.attributes["replica"] for s in replicas) == list(
+        range(N_RUNS)
+    )
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_parallel_backends_match_serial_bit_for_bit(fast_config, backend):
+    serial_result, serial_spans = _traced_ensemble(fast_config, "serial", 1)
+    par_result, par_spans = _traced_ensemble(fast_config, backend, 3)
+    # The simulated runs themselves stay bit-identical...
+    assert par_result.runs == serial_result.runs
+    # ...and so does the timing-free span tree.
+    assert span_tree_signature(par_spans) == span_tree_signature(serial_spans)
+
+
+def test_untraced_ensembles_record_nothing(fast_config):
+    from repro.sim.ensemble import run_ensemble
+
+    recorder = SpanRecorder()
+    # No recording() scope installed: the null fast path must stay empty.
+    result = run_ensemble(fast_config, n_runs=2, seed=SEED)
+    assert len(result.runs) == 2
+    assert len(recorder) == 0

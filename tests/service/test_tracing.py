@@ -1,0 +1,214 @@
+"""End-to-end request tracing through the HTTP service stack.
+
+One ``ServiceClient.solve()`` with span recording on must yield a single
+trace whose tree — client.request -> server.request -> scheduler.execute
+-> solver spans — reconstructs from the span JSONL alone; coalesced
+duplicates link to the executing span via ``coalesced_to``; ``GET
+/metrics`` serves Prometheus text with the request-latency histogram and
+memo counters; every request leaves one structured JSON access-log line.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+
+import pytest
+
+import repro.service.api as api
+from repro.obs.logconf import get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.spans import (
+    SpanRecorder,
+    build_span_tree,
+    read_spans_jsonl,
+    recording,
+    write_spans_jsonl,
+)
+from repro.service.client import ServiceClient
+from repro.service.server import ReproService
+
+from tests.service.conftest import FAST_BODY
+
+
+@pytest.fixture
+def recorder():
+    rec = SpanRecorder()
+    with recording(rec):
+        yield rec
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    # An isolated store: the default DEFAULT_STORE_PATH would answer
+    # FAST_BODY from a previous run's sqlite file and skip the solver.
+    return tmp_path / "results.sqlite"
+
+
+def _by_name(spans, name):
+    return [s for s in spans if s.name == name]
+
+
+class TestEndToEndTrace:
+    def test_one_solve_yields_one_reconstructable_trace(
+        self, recorder, store_path, tmp_path
+    ):
+        with ReproService(port=0, store_path=store_path) as svc:
+            client = ServiceClient(svc.url)
+            result = client.solve(**FAST_BODY)
+        assert "solutions" in result
+
+        # Everything from one request belongs to one trace.
+        spans = recorder.spans
+        trace_ids = {s.trace_id for s in spans}
+        assert len(trace_ids) == 1
+
+        # The tree must reconstruct from the JSONL file ALONE.
+        path = write_spans_jsonl(tmp_path / "spans.jsonl", spans)
+        loaded = read_spans_jsonl(path)
+        assert loaded == spans
+
+        (client_span,) = _by_name(loaded, "client.request")
+        (server_span,) = _by_name(loaded, "server.request")
+        (sched_span,) = _by_name(loaded, "scheduler.execute")
+        assert client_span.parent_id is None
+        assert server_span.parent_id == client_span.span_id
+        assert sched_span.parent_id == server_span.span_id
+        assert client_span.attributes["http.status"] == 200
+        assert server_span.attributes["http.path"] == "/v1/solve"
+
+        # The solver work hangs off the scheduler span: one
+        # solver.optimize per optimizing strategy, with outer iterations.
+        optimizes = _by_name(loaded, "solver.optimize")
+        assert optimizes
+        assert {s.parent_id for s in optimizes} == {sched_span.span_id}
+        outers = _by_name(loaded, "solver.outer")
+        assert outers
+        optimize_ids = {s.span_id for s in optimizes}
+        assert {s.parent_id for s in outers} <= optimize_ids
+
+        # And the reconstructed forest has the client span as its root.
+        roots = build_span_tree(loaded)
+        assert [r[0].name for r in roots] == ["client.request"]
+
+    def test_coalesced_duplicates_link_to_the_executing_span(
+        self, recorder, store_path, monkeypatch
+    ):
+        gate = threading.Event()
+        real = api.compare_all_strategies
+
+        def gated(params, **kwargs):
+            gate.wait(10)
+            return real(params, **kwargs)
+
+        monkeypatch.setattr(api, "compare_all_strategies", gated)
+        coalesced_before = METRICS.counter("service.coalesced").value
+        n_clients = 4
+
+        with ReproService(port=0, store_path=store_path, queue_max=16) as svc:
+            client = ServiceClient(svc.url)
+
+            def request():
+                client.request("POST", "/v1/solve", FAST_BODY)
+
+            threads = [
+                threading.Thread(target=request) for _ in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            deadline = time.monotonic() + 10.0
+            while (
+                METRICS.counter("service.coalesced").value - coalesced_before
+                < n_clients - 1
+            ):
+                if time.monotonic() > deadline:
+                    gate.set()
+                    pytest.fail("duplicates never coalesced")
+                time.sleep(0.005)
+            gate.set()
+            for t in threads:
+                t.join()
+
+        spans = recorder.spans
+        (executing,) = _by_name(spans, "scheduler.execute")
+        assert executing.attributes["waiters"] == n_clients
+        server_spans = _by_name(spans, "server.request")
+        assert len(server_spans) == n_clients
+        linked = [
+            s for s in server_spans if "coalesced_to" in s.attributes
+        ]
+        # every duplicate (all but the span that created the entry) links
+        # to the span that actually ran the computation
+        assert len(linked) == n_clients - 1
+        assert {s.attributes["coalesced_to"] for s in linked} == {
+            executing.span_id
+        }
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_text_exposes_latency_and_memo_metrics(
+        self, store_path
+    ):
+        with ReproService(port=0, store_path=store_path) as svc:
+            client = ServiceClient(svc.url)
+            client.solve(**FAST_BODY)
+            status, headers, raw = client.request("GET", "/metrics")
+            assert status == 200
+            assert headers["Content-Type"] == "text/plain; version=0.0.4"
+            text = raw.decode("utf-8")
+
+        # Latency histogram with cumulative buckets for the solve route
+        # (METRICS is process-global, so assert shape, not exact counts).
+        assert "# TYPE repro_service_request_seconds_solve histogram" in text
+        assert 'repro_service_request_seconds_solve_bucket{le="+Inf"}' in text
+        assert 'repro_service_request_seconds_solve_bucket{le="0.001"}' in text
+        assert "repro_service_request_seconds_solve_sum " in text
+        assert "repro_service_request_seconds_solve_count " in text
+        # Memo cache counters are published even when they never fired.
+        for series in (
+            "repro_memo_evictions ",
+            "repro_memo_persist_hits ",
+        ):
+            assert series in text
+        assert "# TYPE repro_memo_hits counter" in text
+
+    def test_json_summary_reports_slo_percentiles(self, store_path):
+        with ReproService(port=0, store_path=store_path) as svc:
+            client = ServiceClient(svc.url)
+            client.solve(**FAST_BODY)
+            summary = client.metrics()
+        latency = summary["metrics"]["service.request_seconds.solve"]
+        assert latency["count"] >= 1
+        assert set(latency) >= {"p50", "p95", "p99", "sum", "min", "max"}
+
+
+class TestAccessLog:
+    def test_every_request_emits_one_json_line(self, recorder, store_path):
+        records: list[dict] = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(json.loads(record.getMessage()))
+
+        handler = Capture()
+        access_logger = get_logger("service.access")
+        access_logger.addHandler(handler)
+        try:
+            with ReproService(port=0, store_path=store_path) as svc:
+                client = ServiceClient(svc.url)
+                client.healthz()
+                client.solve(**FAST_BODY)
+        finally:
+            access_logger.removeHandler(handler)
+
+        by_path = {r["path"]: r for r in records}
+        assert by_path["/healthz"]["status"] == 200
+        solve = by_path["/v1/solve"]
+        assert solve["method"] == "POST"
+        assert solve["status"] == 200
+        assert solve["duration_ms"] >= 0
+        # The access log carries the request's trace id for correlation.
+        (server_span,) = _by_name(recorder.spans, "server.request")
+        assert solve["trace_id"] == server_span.trace_id

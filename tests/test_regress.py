@@ -1,0 +1,155 @@
+"""The benchmark regression gate: compare, bless, and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import regress
+
+
+def _write(directory, name, payload):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return tmp_path / "results", tmp_path / "baselines"
+
+
+def _fill(results, baselines, *, current_scale=1.0):
+    """Populate every gated file; ``current_scale`` multiplies the
+    "lower is better" metrics and divides the "higher is better" ones,
+    so >1 means uniformly worse."""
+    base = {
+        "BENCH_obs.json": {"untraced_seconds": 1.0, "traced_seconds": 1.2},
+        "BENCH_parallel.json": {
+            "ensemble": {"serial_seconds": 2.0},
+            "fig5_small_phases_seconds": {"solve": 0.5, "simulate": 0.4},
+        },
+        "BENCH_service.json": {
+            "warm": {"requests_per_second": 100.0},
+            "cold_restart": {"requests_per_second": 300.0},
+        },
+    }
+    for name, payload in base.items():
+        _write(baselines, name, payload)
+    current = json.loads(json.dumps(base))
+    current["BENCH_obs.json"] = {
+        k: v * current_scale for k, v in current["BENCH_obs.json"].items()
+    }
+    current["BENCH_parallel.json"]["ensemble"]["serial_seconds"] *= current_scale
+    for key in ("solve", "simulate"):
+        current["BENCH_parallel.json"]["fig5_small_phases_seconds"][
+            key
+        ] *= current_scale
+    for section in ("warm", "cold_restart"):
+        current["BENCH_service.json"][section]["requests_per_second"] /= (
+            current_scale
+        )
+    for name, payload in current.items():
+        _write(results, name, payload)
+
+
+class TestDottedGet:
+    def test_resolves_nested_paths(self):
+        payload = {"a": {"b": {"c": 3}}}
+        assert regress.dotted_get(payload, "a.b.c") == 3
+        assert regress.dotted_get(payload, "a.b") == {"c": 3}
+
+    def test_absent_paths_return_none(self):
+        assert regress.dotted_get({"a": 1}, "a.b") is None
+        assert regress.dotted_get({}, "missing") is None
+
+
+class TestCompare:
+    def test_identical_results_pass(self, dirs, capsys):
+        results, baselines = dirs
+        _fill(results, baselines)
+        assert regress.compare(results, baselines, 0.15) == 0
+        assert "REGRESSION" not in capsys.readouterr().out
+
+    def test_improvements_never_fail(self, dirs):
+        results, baselines = dirs
+        _fill(results, baselines, current_scale=0.5)  # uniformly faster
+        assert regress.compare(results, baselines, 0.15) == 0
+
+    def test_regression_beyond_threshold_fails(self, dirs, capsys):
+        results, baselines = dirs
+        _fill(results, baselines, current_scale=1.3)  # 30% worse everywhere
+        assert regress.compare(results, baselines, 0.15) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        # throughput metrics regress in the "higher" direction too
+        assert "warm.requests_per_second" in out
+
+    def test_threshold_is_respected(self, dirs):
+        results, baselines = dirs
+        _fill(results, baselines, current_scale=1.3)
+        assert regress.compare(results, baselines, 0.50) == 0
+
+    def test_missing_baseline_is_exit_2(self, dirs, capsys):
+        results, baselines = dirs
+        _fill(results, baselines)
+        (baselines / "BENCH_obs.json").unlink()
+        assert regress.compare(results, baselines, 0.15) == 2
+        assert "missing baseline" in capsys.readouterr().err
+
+    def test_no_fresh_results_is_exit_2(self, dirs):
+        results, baselines = dirs
+        _fill(results, baselines)
+        for path in results.glob("BENCH_*.json"):
+            path.unlink()
+        assert regress.compare(results, baselines, 0.15) == 2
+
+    def test_absent_metric_is_skipped_not_fatal(self, dirs, capsys):
+        results, baselines = dirs
+        _fill(results, baselines)
+        _write(results, "BENCH_obs.json", {"untraced_seconds": 1.0})
+        assert regress.compare(results, baselines, 0.15) == 0
+        assert "metric absent" in capsys.readouterr().out
+
+
+class TestUpdate:
+    def test_blesses_current_results(self, dirs):
+        results, baselines = dirs
+        _fill(results, baselines, current_scale=2.0)
+        assert regress.update_baselines(results, baselines) == 0
+        # after blessing, the 2x-worse numbers ARE the baseline
+        assert regress.compare(results, baselines, 0.15) == 0
+
+    def test_nothing_to_bless_is_exit_2(self, dirs):
+        results, baselines = dirs
+        assert regress.update_baselines(results, baselines) == 2
+
+
+class TestMain:
+    def test_cli_round_trip(self, dirs):
+        results, baselines = dirs
+        _fill(results, baselines, current_scale=1.3)
+        argv = [
+            "--results-dir", str(results), "--baseline-dir", str(baselines)
+        ]
+        assert regress.main(argv) == 1
+        assert regress.main(argv + ["--threshold", "0.5"]) == 0
+        assert regress.main(argv + ["--update"]) == 0
+        assert regress.main(argv) == 0
+
+    def test_nonpositive_threshold_rejected(self, dirs):
+        results, baselines = dirs
+        with pytest.raises(SystemExit):
+            regress.main(
+                [
+                    "--results-dir", str(results),
+                    "--baseline-dir", str(baselines),
+                    "--threshold", "0",
+                ]
+            )
+
+    def test_committed_baselines_cover_every_gated_file(self):
+        for name in regress.GATED_METRICS:
+            assert (regress.DEFAULT_BASELINE_DIR / name).is_file(), (
+                f"benchmarks/baselines/{name} must be committed"
+            )
