@@ -41,6 +41,10 @@ DEFAULT_THRESHOLD = 0.15
 #: "lower" = smaller is better (seconds); "higher" = bigger is better
 #: (throughput).  A >threshold move in the bad direction fails the gate.
 GATED_METRICS: dict[str, dict[str, str]] = {
+    "BENCH_batch.json": {
+        "batch.speedup": "higher",
+        "batch.per_replica_us": "lower",
+    },
     "BENCH_obs.json": {
         "untraced_seconds": "lower",
         "traced_seconds": "lower",

@@ -1,0 +1,113 @@
+"""Perf bench: the batched replica engine vs the per-replica loop.
+
+Runs the paper's headline workload (Table II rates, T_e = 3e6
+core-days, case 16-12-8-4, ML(opt-scale) solution, censor cap) as a
+100-run ensemble on one core, once with ``batch=False`` (the historical
+per-replica loop) and once with ``batch=True`` (``simulate_batch``
+struct-of-arrays), asserts bit-identical results, and records the
+single-core ensemble throughput to
+``benchmarks/results/BENCH_batch.json``.
+
+The two sides are timed interleaved over several rounds and compared
+min-to-min, so a load spike mid-bench skews neither side: each side's
+minimum approaches its unloaded cost.
+
+Acceptance: the batched engine is >= 5x faster than the per-replica
+loop for a 100-run ensemble on one core.  ``batch.speedup`` and
+``batch.per_replica_us`` are gated against the committed baseline by
+``benchmarks/regress.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import RESULTS_DIR, bench_runs
+from repro.core.solutions import compare_all_strategies
+from repro.experiments.config import make_params
+from repro.experiments.fig5 import CENSOR_CAP_SECONDS
+from repro.parallel.timing import write_bench_json
+from repro.sim.engine import simulate
+from repro.sim.ensemble import run_ensemble
+from repro.sim.runner import config_from_solution
+
+BENCH_SEED = 20140604
+#: The paper's headline setting: Table II rates, 3m core-day workload.
+TE_CORE_DAYS = 3e6
+CASE = "16-12-8-4"
+#: Interleaved timing rounds per engine (min-to-min comparison).
+ROUNDS = 3
+#: Minimum accepted single-core speedup of batch over the replica loop.
+MIN_SPEEDUP = 5.0
+
+
+def _reference_config():
+    params = make_params(TE_CORE_DAYS, CASE)
+    solution = compare_all_strategies(params)["ml-opt-scale"]
+    return config_from_solution(
+        params, solution, jitter=0.3, max_wallclock=CENSOR_CAP_SECONDS
+    )
+
+
+def test_bench_batch_engine(benchmark):
+    config = _reference_config()
+    n_runs = max(100, bench_runs(100))
+
+    # Warm the schedule/cost-array caches so neither side pays the first
+    # build (both engines share them).
+    simulate(config, seed=0)
+
+    def loop_run():
+        return run_ensemble(
+            config, n_runs=n_runs, seed=BENCH_SEED, jobs=1, batch=False
+        )
+
+    def batch_run():
+        return run_ensemble(
+            config, n_runs=n_runs, seed=BENCH_SEED, jobs=1, batch=True
+        )
+
+    serial_seconds = batch_seconds = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        serial = loop_run()
+        serial_seconds = min(serial_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        batched = batch_run()
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    # One recorded pedantic round so pytest-benchmark's own stats track
+    # the batched engine too (and contribute one more batch sample).
+    benchmark.pedantic(batch_run, rounds=1, iterations=1)
+    batch_seconds = min(batch_seconds, benchmark.stats.stats.min)
+
+    # The headline guarantee: batching never changes the numbers.
+    assert batched == serial
+
+    speedup = serial_seconds / batch_seconds if batch_seconds > 0 else 0.0
+    payload = {
+        "config": {
+            "te_core_days": TE_CORE_DAYS,
+            "case": CASE,
+            "strategy": "ml-opt-scale",
+            "intervals": list(config.intervals),
+            "productive_seconds": config.productive_seconds,
+        },
+        "n_runs": n_runs,
+        "timing_rounds": ROUNDS,
+        "serial_seconds": round(serial_seconds, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "results_identical": True,
+        "batch": {
+            "speedup": round(speedup, 2),
+            "per_replica_us": round(batch_seconds / n_runs * 1e6, 1),
+        },
+    }
+    path = write_bench_json(RESULTS_DIR / "BENCH_batch.json", payload)
+    print(f"\n[saved to {path}]\n{payload}")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x single-core batch speedup for "
+        f"{n_runs} replicas, got {speedup:.2f}x "
+        f"({serial_seconds:.2f}s serial vs {batch_seconds:.2f}s batch)"
+    )

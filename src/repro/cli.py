@@ -162,6 +162,14 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(p_sim)
     p_sim.add_argument("--runs", type=int, default=20, help="ensemble size")
     p_sim.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    p_sim.add_argument(
+        "--no-batch",
+        action="store_true",
+        help=(
+            "force the per-replica engine instead of the batched one "
+            "(results are bit-identical; diagnostic switch)"
+        ),
+    )
     _add_jobs_argument(p_sim)
 
     p_exp = sub.add_parser("experiment", help="run a registered paper experiment")
@@ -321,7 +329,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(solutions_table(solutions, params.te_core_seconds))
     best = solutions["ml-opt-scale"]
     ensemble = simulate_solution(
-        params, best, n_runs=args.runs, seed=args.seed, jobs=args.jobs
+        params, best, n_runs=args.runs, seed=args.seed, jobs=args.jobs,
+        batch=False if args.no_batch else None,
     )
     print(
         f"\nml-opt-scale replayed over {ensemble.n_runs} runs: "

@@ -88,7 +88,9 @@ class EnsembleTask:
     The config already carries the censor cap; ``probe_rng`` / ``main_rng``
     are the pre-spawned generators of the historical seed derivation, so
     running tasks in any order (or process) reproduces the serial results.
-    ``trace`` switches on per-replica event recording (RNG-neutral).
+    ``trace`` switches on per-replica event recording (RNG-neutral);
+    ``batch`` selects the batched replica engine (bit-identical results,
+    ``None`` = ``REPRO_BATCH`` default).
     """
 
     config: SimulationConfig
@@ -97,6 +99,7 @@ class EnsembleTask:
     probe_rng: np.random.Generator
     main_rng: np.random.Generator
     trace: bool = False
+    batch: bool | None = None
 
 
 def run_ensemble_task(task: EnsembleTask) -> tuple[EnsembleResult, dict]:
@@ -116,13 +119,13 @@ def run_ensemble_task(task: EnsembleTask) -> tuple[EnsembleResult, dict]:
     registry = MetricsRegistry()
     probe = run_ensemble(
         task.config, n_runs=min(2, task.n_runs), seed=task.probe_rng,
-        trace=task.trace, registry=registry,
+        trace=task.trace, registry=registry, batch=task.batch,
     )
     remaining = task.n_runs - probe.n_runs
     if probe.all_completed and task.feasible and remaining > 0:
         rest = run_ensemble(
             task.config, n_runs=remaining, seed=task.main_rng,
-            trace=task.trace, registry=registry,
+            trace=task.trace, registry=registry, batch=task.batch,
         )
         traces = None
         if task.trace:
@@ -141,6 +144,7 @@ def case_tasks(
     seed: SeedLike,
     jitter: float,
     trace: bool = False,
+    batch: bool | None = None,
 ) -> dict[str, EnsembleTask]:
     """Resolve one case's strategies into ordered ``{name: EnsembleTask}``.
 
@@ -167,6 +171,7 @@ def case_tasks(
             probe_rng=rngs[2 * index],
             main_rng=rngs[2 * index + 1],
             trace=trace,
+            batch=batch,
         )
     return tasks
 
@@ -180,11 +185,13 @@ def run_case(
     jitter: float = 0.3,
     jobs: int | None = None,
     executor: Executor | None = None,
+    batch: bool | None = None,
 ) -> CaseResult:
     """Solve and simulate all four strategies for one failure case."""
     solutions = compare_all_strategies(params)
     tasks = case_tasks(
-        params, solutions, n_runs=n_runs, seed=seed, jitter=jitter
+        params, solutions, n_runs=n_runs, seed=seed, jitter=jitter,
+        batch=batch,
     )
     executor, owned = ensure_executor(executor, jobs, len(tasks))
     try:
@@ -212,6 +219,7 @@ def run_fig5(
     timer: PhaseTimer | None = None,
     trace_dir: str | Path | None = None,
     trace_prefix: str = "fig5",
+    batch: bool | None = None,
 ) -> Fig5Result:
     """Run the full Fig. 5 / Table III experiment.
 
@@ -250,7 +258,7 @@ def run_fig5(
         for case, params, solutions, rng in solved:
             tasks = case_tasks(
                 params, solutions, n_runs=n_runs, seed=rng, jitter=jitter,
-                trace=trace,
+                trace=trace, batch=batch,
             )
             per_case_tasks.append(tasks)
             for name, task in tasks.items():

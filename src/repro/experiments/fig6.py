@@ -25,6 +25,7 @@ def run_fig6(
     executor: Executor | None = None,
     timer: PhaseTimer | None = None,
     trace_dir=None,
+    batch: bool | None = None,
 ) -> Fig5Result:
     """Run the Fig. 6 experiment (Fig. 5 protocol at T_e = 10m core-days).
 
@@ -38,7 +39,7 @@ def run_fig6(
     return run_fig5(
         te_core_days=10e6, n_runs=n_runs, seed=seed, jitter=jitter,
         jobs=jobs, executor=executor, timer=timer, trace_dir=trace_dir,
-        trace_prefix="fig6", **kwargs
+        trace_prefix="fig6", batch=batch, **kwargs
     )
 
 

@@ -67,6 +67,7 @@ def run_table4(
     jobs: int | None = None,
     executor: Executor | None = None,
     timer: PhaseTimer | None = None,
+    batch: bool | None = None,
 ) -> Table4Result:
     """Run the full Table IV experiment (both blocks).
 
@@ -99,7 +100,8 @@ def run_table4(
         cells = []
         for allocation, case, params, solutions, rng in solved:
             tasks = case_tasks(
-                params, solutions, n_runs=n_runs, seed=rng, jitter=jitter
+                params, solutions, n_runs=n_runs, seed=rng, jitter=jitter,
+                batch=batch,
             )
             cells.append((allocation, case, params, solutions, tasks))
             flat_tasks.extend(tasks.values())

@@ -101,6 +101,7 @@ _KNOWN_FIELDS = {
     "runs",
     "seed",
     "jitter",
+    "batch",
 }
 
 
@@ -206,10 +207,16 @@ def build_simulate(
     runs = _field(body, "runs", int, 20)
     seed = _field(body, "seed", int, 0)
     jitter = _field(body, "jitter", float, 0.3)
+    batch = body.get("batch")
+    if batch is not None and not isinstance(batch, bool):
+        raise RequestError(f"field 'batch' must be a boolean, got {batch!r}")
     if runs < 1:
         raise RequestError(f"runs must be >= 1, got {runs}")
     if not 0.0 <= jitter < 1.0:
         raise RequestError(f"jitter must be in [0, 1), got {jitter}")
+    # The batched engine is bit-identical to the per-replica path, so
+    # "batch" deliberately stays out of the canonical key and the payload:
+    # requests differing only in engine choice share one cache entry.
     key = canonical_key(
         "service.simulate", params, strategy, runs, seed, jitter
     )
@@ -219,7 +226,8 @@ def build_simulate(
             METRICS.counter("service.executions").inc()
             solution = _solve_one(params, strategy)
             ensemble = simulate_solution(
-                params, solution, n_runs=runs, seed=seed, jitter=jitter
+                params, solution, n_runs=runs, seed=seed, jitter=jitter,
+                batch=batch,
             )
             return {
                 "endpoint": "simulate",

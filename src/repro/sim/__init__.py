@@ -22,6 +22,7 @@ from repro.sim.failure_injection import FailureInjector
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import SimResult, EnsembleResult
 from repro.sim.engine import simulate
+from repro.sim.batch import simulate_batch
 from repro.sim.ensemble import run_ensemble
 from repro.sim.runner import config_from_solution, simulate_solution
 from repro.sim.tick import simulate_ticks
@@ -33,6 +34,7 @@ __all__ = [
     "SimResult",
     "EnsembleResult",
     "simulate",
+    "simulate_batch",
     "run_ensemble",
     "config_from_solution",
     "simulate_solution",

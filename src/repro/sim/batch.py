@@ -1,0 +1,637 @@
+"""Batched replica engine: whole ensembles as struct-of-arrays.
+
+The paper's protocol is "mean values based on 100 runs for each case", so
+ensemble throughput — not single-run latency — is the reproduction's hot
+path.  :func:`simulate_batch` advances **all replicas of one
+configuration together**: per-replica scalars (``T``, ``p``, the
+first-time frontier) and per-replica-per-level state (newest valid
+checkpoint, failure/checkpoint counts) live in ``(R,)`` / ``(R, L)``
+arrays, and every step of the failure loop — segment advancement,
+checkpoint commitment, rollback, recovery — is one set of numpy
+operations over the active-replica axis instead of ``R`` trips through
+the Python interpreter (hpc-parallel guide: vectorize the hot path).
+
+Bit-identity contract
+---------------------
+``simulate_batch`` returns exactly the :class:`~repro.sim.metrics
+.SimResult` values of :func:`repro.sim.engine.simulate` run once per
+seed.  Three invariants make that hold:
+
+* **Same streams, same order.**  Each replica keeps its own RNG streams,
+  derived exactly as the serial engine derives them (two bounded-integer
+  draws from the spawned child, a jitter generator, per-level failure
+  generators), and consumes them in the serial order.  Jitter factors
+  and failure gaps are pre-drawn in blocks — numpy's distribution fills
+  produce values element by element, so a block draw consumes the stream
+  identically to repeated scalar draws.
+* **Same arithmetic.**  Every floating-point expression mirrors the
+  serial engine's op-for-op: per-segment cost prefix sums are row-wise
+  ``np.cumsum`` (sequential, like the serial 1-D cumsum), interruption
+  points are counts of ``complete_t <= budget`` (what ``searchsorted``
+  returns on the nondecreasing serial array), and checkpoint-commit
+  updates are integer adds and pure ``max`` reductions (exact under any
+  grouping).
+* **Same control flow.**  One batch round performs one iteration of the
+  serial failure loop for every active replica — deterministic segment,
+  then failure + rollback + (possibly interrupted) recovery — retiring
+  replicas as they complete or hit ``max_wallclock``.
+
+The equivalence matrix in ``tests/sim/test_batch_equivalence.py``
+asserts the contract across jitter on/off, exponential/Weibull arrivals,
+censored runs, zero-rate levels, and ensemble sizes 1 and 100;
+``run_ensemble(batch=...)`` additionally falls back to the per-replica
+path whenever tracing or a custom injector is requested (event emission
+is inherently per-replica).  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.failures.distributions import ArrivalProcess, ExponentialArrivals
+from repro.sim.config import SimulationConfig
+from repro.sim.failure_injection import DEFAULT_GAP_BLOCK
+from repro.sim.metrics import SimResult
+from repro.sim.schedule import CheckpointSchedule
+from repro.util.rng import SeedLike, as_generator, spawn_generators
+
+#: Column indices of the portion accumulators (Fig. 5 decomposition).
+_PRODUCTIVE, _CHECKPOINT, _RESTART, _ROLLBACK = range(4)
+
+
+class _BatchState:
+    """Struct-of-arrays state of ``R`` concurrently-simulated replicas."""
+
+    #: Quantile splits of the count-sorted rows per segment round: the
+    #: bulk of the rows pad to median-ish widths, only the top decile
+    #: pays for the max (mark counts are heavily skewed).
+    _BUCKET_QUANTILES = (0.5, 0.75, 0.9)
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        seeds: Sequence[SeedLike],
+        process: ArrivalProcess | None,
+        injectors: Sequence | None,
+    ):
+        self.config = config
+        self.schedule = CheckpointSchedule.build(
+            config.productive_seconds, config.intervals
+        )
+        self.costs = config.checkpoint_cost_array()
+        self.recoveries = config.recovery_cost_array()
+        # Per-mark lookups hoisted out of the segment hot loop: the cost
+        # and 0-based level of every mark in schedule order.  The
+        # sentinel-extended copies let the padded 2-D kernel gather past
+        # the last mark without clamping indices: sentinel progress
+        # repeats the final mark (monotone) and sentinel cost is 0
+        # (keeps the padded cumsum nondecreasing).
+        self.lv0_by_mark = self.schedule.level - 1
+        self.cost_by_mark = self.costs[self.lv0_by_mark]
+        num_marks = self.schedule.num_marks
+        final_progress = self.schedule.progress[-1] if num_marks else 0.0
+        self._progress_ext = np.concatenate(
+            [self.schedule.progress, np.full(max(1, num_marks), final_progress)]
+        )
+        self._cost_ext = np.concatenate(
+            [self.cost_by_mark, np.zeros(max(1, num_marks))]
+        )
+        # Commit prefix tables over the mark schedule, one column per
+        # level: a committed window is always contiguous ``[i0, e2)``,
+        # so the level's committed count is a difference of cumulative
+        # counts and its newest committed mark is the last level-``lv``
+        # mark strictly before ``e2`` (valid iff it is >= ``i0``).
+        L = config.num_levels
+        level_matrix = self.lv0_by_mark[:, None] == np.arange(L)[None, :]
+        self._cc_by_level = np.zeros((num_marks + 1, L), dtype=np.int64)
+        self._cc_by_level[1:] = np.cumsum(level_matrix, axis=0)
+        mark_or_minus1 = np.where(
+            level_matrix, np.arange(num_marks)[:, None], -1
+        )
+        self._last_by_level = np.full((num_marks + 1, L), -1, dtype=np.int64)
+        np.maximum.accumulate(mark_or_minus1, axis=0, out=self._last_by_level[1:])
+        R = len(seeds)
+        L = config.num_levels
+        self.n = R
+        self._num_levels = L
+        self.process = process if process is not None else ExponentialArrivals()
+        self.scripted = injectors is not None
+        # Per-replica RNG derivation, exactly as repro.sim.engine._Run:
+        # two bounded integers off the child stream, a jitter generator
+        # on the first, and (unless scripted) per-level failure streams
+        # spawned from the second — the same child sequence a
+        # FailureInjector would spawn.
+        self.jitter_rngs: list[np.random.Generator] = []
+        failure_seeds: list[int] = []
+        for index in range(R):
+            rng = as_generator(seeds[index])
+            jitter_seed, failure_seed = rng.integers(0, 2**63 - 1, size=2)
+            self.jitter_rngs.append(as_generator(int(jitter_seed)))
+            failure_seeds.append(int(failure_seed))
+        if self.scripted:
+            self.injectors = list(injectors)
+            # Pending-failure mirror of each injector's peek().
+            self.pend_t = np.empty(R)
+            self.pend_l = np.empty(R, dtype=np.int64)
+            for index, injector in enumerate(self.injectors):
+                t_next, level = injector.peek()
+                self.pend_t[index] = t_next
+                self.pend_l[index] = level
+        else:
+            # Vectorized injector mirror: next pending arrival per
+            # (replica, level), fed by block-pre-drawn inter-arrival
+            # gaps (element-sequential fills == one-at-a-time draws).
+            self.rates = np.asarray(config.failure_rates, dtype=float)
+            self.gap_block = DEFAULT_GAP_BLOCK
+            self.fail_rngs = [
+                spawn_generators(failure_seed, L)
+                for failure_seed in failure_seeds
+            ]
+            self.gap_buf = np.zeros((R, L, self.gap_block))
+            self.gap_cur = np.zeros((R, L), dtype=np.int64)
+            self.next_fail = np.full((R, L), np.inf)
+            # Flat views (writes through either alias are shared).
+            self._gap_flat = self.gap_buf.reshape(-1)
+            self._cur_flat = self.gap_cur.reshape(-1)
+            self._nf_flat = self.next_fail.reshape(-1)
+            for index in range(R):
+                for level_idx in range(L):
+                    rate = self.rates[level_idx]
+                    if rate <= 0:
+                        continue
+                    gaps = np.asarray(
+                        self.process.sample_interarrivals(
+                            rate, self.gap_block, self.fail_rngs[index][level_idx]
+                        ),
+                        dtype=float,
+                    )
+                    self.gap_buf[index, level_idx] = gaps
+                    self.next_fail[index, level_idx] = 0.0 + gaps[0]
+                    self.gap_cur[index, level_idx] = 1
+        # Jitter factors are consumed from per-replica blocks; one block
+        # always covers the largest possible single request (a segment
+        # spanning every mark, or one recovery attempt).
+        self.jitter = config.jitter
+        self.jitter_block = max(16, self.schedule.num_marks + 8)
+        if self.jitter > 0.0:
+            # Contents are drawn on first use (the cursor starts at the
+            # end, so every row's first take triggers a full refill).
+            self.jitter_buf = np.empty((R, self.jitter_block))
+            # Cursor at the end = "empty": the first request refills.
+            self.jitter_cur = np.full(R, self.jitter_block, dtype=np.int64)
+            # Flat view shared with jitter_buf: refills show through.
+            self._jitter_flat = self.jitter_buf.reshape(-1)
+        # Reusable index ramps for the segment kernel (int32: all flat
+        # offsets fit comfortably, and the 2-D index math halves).
+        self._arange = np.arange(R)
+        self._cols = np.arange(self.schedule.num_marks, dtype=np.int32)
+        #: Portion columns touched by every segment, in epilogue order.
+        self._portion_cols = np.array([_PRODUCTIVE, _ROLLBACK, _CHECKPOINT])
+        # Run state (serial _Run attributes, replica-major).
+        self.T = np.zeros(R)
+        self.p = np.zeros(R)
+        self.high_water = np.zeros(R)
+        self.latest = np.zeros((R, L))
+        self.portions = np.zeros((R, 4))
+        # 1-D aliases for the hottest scatter targets (views).
+        self._restart = self.portions[:, _RESTART]
+        self.failures = np.zeros((R, L), dtype=np.int64)
+        self._failures_flat = self.failures.reshape(-1)
+        self.checkpoints = np.zeros((R, L), dtype=np.int64)
+        self.alive = np.ones(R, dtype=bool)
+        self.completed = np.zeros(R, dtype=bool)
+        self._level_cols = np.arange(L)
+
+    # -- RNG plumbing -------------------------------------------------------
+
+    def _take_jitter(
+        self, rows: np.ndarray, need: np.ndarray | int, pad: int
+    ) -> np.ndarray:
+        """Per-row start cursors for ``need`` buffered jitter factors.
+
+        Rows whose block cannot satisfy ``pad`` factors (an upper bound
+        on ``need``, so padded gathers past a row's own need stay in
+        bounds) compact the unconsumed tail to the front and refill the
+        rest from their own generator — draws happen in stream order, so
+        consumption stays bit-identical to the serial engine's on-demand
+        draws no matter when a refill triggers.
+        """
+        buf, cur, block = self.jitter_buf, self.jitter_cur, self.jitter_block
+        start = cur.take(rows)
+        needy = start > block - pad
+        if needy.any():
+            jitter = self.jitter
+            for row in rows[needy]:
+                consumed = int(cur[row])
+                remaining = block - consumed
+                if remaining:
+                    buf[row, :remaining] = buf[row, consumed:]
+                buf[row, remaining:] = 1.0 + self.jitter_rngs[row].uniform(
+                    -jitter, jitter, size=consumed
+                )
+                cur[row] = 0
+            start = cur.take(rows)
+        cur[rows] = start + need
+        return start
+
+    def _peek_failures(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, levels)`` of each row's next pending failure."""
+        if self.scripted:
+            return self.pend_t[rows], self.pend_l[rows]
+        pending = self.next_fail[rows]
+        level0 = np.argmin(pending, axis=1)
+        # min(axis=1) is the value at the argmin — one reduction instead
+        # of a ranged fancy gather.
+        return pending.min(axis=1), level0 + 1
+
+    # -- failure handling ---------------------------------------------------
+
+    def consume_failures(
+        self, rows: np.ndarray, times: np.ndarray, levels: np.ndarray
+    ) -> None:
+        """Pop each row's pending failure, count it, and roll back.
+
+        ``times``/``levels`` are the rows' current peek — the failure
+        being consumed.  Pop (schedule the successor arrival) and apply
+        (rollback to the newest surviving checkpoint) always travel
+        together, so one call shares the level index math.
+        """
+        level0 = levels - 1
+        if self.scripted:
+            pend_t, pend_l = self.pend_t, self.pend_l
+            for row in rows:
+                injector = self.injectors[row]
+                injector.pop()
+                t_next, level = injector.peek()
+                pend_t[row] = t_next
+                pend_l[row] = level
+        else:
+            # Flat (replica, level) addressing: one index vector drives
+            # the cursor read, the gap gather, and both write-backs.
+            rl = rows * self._num_levels + level0
+            cursors = self._cur_flat.take(rl)
+            exhausted = cursors >= self.gap_block
+            if exhausted.any():
+                for row, level_idx in zip(rows[exhausted], level0[exhausted]):
+                    self.gap_buf[row, level_idx] = np.asarray(
+                        self.process.sample_interarrivals(
+                            self.rates[level_idx],
+                            self.gap_block,
+                            self.fail_rngs[row][level_idx],
+                        ),
+                        dtype=float,
+                    )
+                cursors[exhausted] = 0
+            gaps = self._gap_flat.take(rl * self.gap_block + cursors)
+            self._cur_flat[rl] = cursors + 1
+            self._nf_flat[rl] = times + gaps
+            self._failures_flat[rl] += 1
+        if self.scripted:
+            self.failures[rows, level0] += 1
+        destroyed = self._level_cols[None, :] < level0[:, None]
+        latest = self.latest[rows]
+        self.latest[rows] = np.where(destroyed, 0.0, latest)
+        self.p[rows] = np.where(destroyed, -np.inf, latest).max(axis=1)
+
+    def run_recoveries(self, rows: np.ndarray, levels: np.ndarray) -> None:
+        """Allocation + recovery for ``rows``, restarting on interruption."""
+        config = self.config
+        while rows.size:
+            if self.jitter > 0.0:
+                start = self._take_jitter(rows, 1, 1)
+                factors = self.jitter_buf[rows, start]
+            else:
+                factors = 1.0
+            durations = config.allocation_period + (
+                self.recoveries[levels - 1] * factors
+            )
+            t_next, next_levels = self._peek_failures(rows)
+            fits = (self.T.take(rows) + durations) <= t_next
+            done = rows[fits]
+            self._restart[done] += durations[fits]
+            self.T[done] += durations[fits]
+            interrupted = ~fits
+            rows = rows[interrupted]
+            if not rows.size:
+                return
+            # A new failure lands mid-recovery: the spent time is still
+            # restart overhead; re-plan at the new failure's level.
+            levels = next_levels[interrupted]
+            t_next = t_next[interrupted]
+            spent = t_next - self.T.take(rows)
+            self._restart[rows] += spent
+            self.T[rows] = t_next
+            self.consume_failures(rows, t_next, levels)
+
+    # -- deterministic segments ---------------------------------------------
+
+    def advance_segments(
+        self, rows: np.ndarray, budgets: np.ndarray
+    ) -> np.ndarray:
+        """One deterministic segment per row, for at most ``budgets`` s.
+
+        Returns the per-row completion mask; ``T``/``p``/portions/commit
+        state advance exactly as ``_Run.run_segment`` does per replica.
+
+        Rows are grouped by reachable-mark count before the padded 2-D
+        math so each group's width tracks its own maximum — mark counts
+        are heavily skewed (one long-budget row can be 5x the mean), and
+        padding every row to the global max wastes most of the cells.
+        Every operation below is row-independent, so the grouping cannot
+        change any replica's arithmetic.
+        """
+        n = rows.size
+        finished = np.zeros(n, dtype=bool)
+        if n == 0:
+            return finished
+        config = self.config
+        sched = self.schedule
+        p_rows = self.p.take(rows)
+        progress = sched.progress
+        i0 = np.searchsorted(progress, p_rows, side="right")
+        i_hi = np.searchsorted(progress, p_rows + budgets, side="right")
+        counts = i_hi - i0
+        max_count = int(counts.max())
+        # One jitter take for the whole round (cursor bookkeeping is the
+        # same whether rows are grouped or not — per-row streams); fold
+        # the row offset in so kernels index the flat buffer directly.
+        if self.jitter > 0.0 and max_count:
+            jit_base = self._take_jitter(rows, counts, max_count)
+            jit_base += rows * self.jitter_block
+            jit_base = jit_base.astype(np.int32)
+        else:
+            jit_base = None
+        i0_32 = i0.astype(np.int32)
+        if n < 32 or max_count == 0:
+            order = None
+            j, last_cum, cum_jm1, abort_p, start_j = self._segment_kernel(
+                budgets, p_rows, i0_32, counts, jit_base
+            )
+            rows_s, budgets_s, p_s = rows, budgets, p_rows
+            i0_s, counts_s, i_hi_s = i0, counts, i_hi
+        else:
+            order = np.argsort(counts, kind="stable")
+            # Quantile splits on the sorted counts (_BUCKET_QUANTILES).
+            # The whole epilogue then runs once on the permuted round —
+            # per-row values are order-independent.
+            bounds = sorted(
+                {0, *((n * q).__trunc__() for q in self._BUCKET_QUANTILES), n}
+            )
+            parts = [
+                self._segment_kernel(
+                    budgets[sel],
+                    p_rows[sel],
+                    i0_32[sel],
+                    counts[sel],
+                    None if jit_base is None else jit_base[sel],
+                )
+                for sel in (
+                    order[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:])
+                )
+            ]
+            j, last_cum, cum_jm1, abort_p, start_j = (
+                np.concatenate(piece) for piece in zip(*parts)
+            )
+            rows_s, budgets_s, p_s = rows[order], budgets[order], p_rows[order]
+            i0_s, counts_s, i_hi_s = i0[order], counts[order], i_hi[order]
+
+        # -- round epilogue: per-row outcome classification (1-D) --------
+        last_cum = np.where(counts_s > 0, last_cum, 0.0)
+        # A row can only finish when its window reaches the last mark —
+        # rare in mid-run rounds, so skip the finished-branch arithmetic
+        # entirely when no row qualifies (the values are unchanged:
+        # every np.where below degenerates to its else-branch).
+        at_end = i_hi_s == sched.num_marks
+        any_at_end = bool(at_end.any())
+        if any_at_end:
+            totals = (config.productive_seconds - p_s) + last_cum
+            finished_s = at_end & (totals <= budgets_s)
+        else:
+            totals = budgets_s
+            finished_s = at_end
+        # Serial committed_cost == cum[commit_n - 1]: the full window for
+        # finished rows, the j interrupted-prefix otherwise.
+        committed_cost = np.where(j > 0, cum_jm1, 0.0)
+        if any_at_end:
+            committed_cost = np.where(finished_s, last_cum, committed_cost)
+        aborted = (j < counts_s) & (start_j <= budgets_s)
+        if any_at_end:
+            aborted &= ~finished_s
+        worked = np.minimum(
+            p_s + (budgets_s - committed_cost), config.productive_seconds
+        )
+        p_to = np.where(aborted, abort_p, worked)
+        ckpt_cost = np.where(
+            aborted, committed_cost + (budgets_s - start_j), committed_cost
+        )
+        if any_at_end:
+            p_to = np.where(finished_s, config.productive_seconds, p_to)
+            ckpt_cost = np.where(finished_s, last_cum, ckpt_cost)
+
+        # Portion split (serial _split_work / _charge_segment, rowwise).
+        high_water = self.high_water[rows_s]
+        rework_end = np.minimum(p_to, np.maximum(p_s, high_water))
+        rework = np.maximum(0.0, rework_end - p_s)
+        first_time = (p_to - p_s) - rework
+        self.high_water[rows_s] = np.maximum(high_water, p_to)
+        # One fused scatter for the three touched portion columns (each
+        # (row, column) pair is unique — rows appear once per round).
+        deltas = np.empty((rows_s.size, 3))
+        deltas[:, 0] = first_time
+        deltas[:, 1] = rework
+        deltas[:, 2] = ckpt_cost
+        self.portions[rows_s[:, None], self._portion_cols] += deltas
+        self.p[rows_s] = p_to
+        self.T[rows_s] += (
+            np.where(finished_s, totals, budgets_s) if any_at_end else budgets_s
+        )
+
+        # Commit the reached marks.  Each row commits its first commit_n
+        # reachable marks — the contiguous window [i0, e2) — so the
+        # per-level tallies and newest-checkpoint updates come straight
+        # from the prefix tables: committed count = cumulative-count
+        # difference (integer, exact), newest mark = last level-lv mark
+        # before e2 (the same progress float the serial engine stores;
+        # it is the window's final level-lv commit, hence the maximum).
+        commit_n = np.where(finished_s, counts_s, j) if any_at_end else j
+        e2 = i0_s + commit_n
+        last_idx = self._last_by_level[e2]
+        # A level's candidate is committed only if it lies in the window;
+        # last_idx <= e2 - 1 < i0 whenever commit_n == 0, so empty
+        # windows mask themselves out.
+        committed = last_idx >= i0_s[:, None]
+        np.maximum(last_idx, 0, out=last_idx)
+        self.latest[rows_s] = np.where(
+            committed, progress.take(last_idx), self.latest[rows_s]
+        )
+        self.checkpoints[rows_s] += (
+            self._cc_by_level[e2] - self._cc_by_level[i0_s]
+        )
+        if order is None:
+            return finished_s
+        finished[order] = finished_s
+        return finished
+
+    def _segment_kernel(
+        self,
+        budgets: np.ndarray,
+        p_rows: np.ndarray,
+        i0: np.ndarray,
+        counts: np.ndarray,
+        jit_base: np.ndarray | None,
+    ) -> tuple[np.ndarray, ...]:
+        """Padded 2-D segment math for one width-bucket of rows.
+
+        Returns per-row ``(j, last_cum, cum_jm1, abort_p, start_j)``:
+        the interrupted-prefix length, the cumulative cost over the whole
+        window and over the first ``j - 1`` marks, and the progress/start
+        time of the interrupting mark.  Values at degenerate indices
+        (``counts == 0``, ``j == 0``) are finite garbage the round
+        epilogue masks out.
+        """
+        sched = self.schedule
+        n = p_rows.size
+        max_count = int(counts.max()) if n else 0
+        if max_count == 0:
+            zero = np.zeros(n)
+            return np.zeros(n, dtype=np.int64), zero, zero, zero, zero
+        arange_n = self._arange[:n]
+        cols = self._cols[:max_count]
+        # Padding cells past a row's own count gather neighbouring marks
+        # (or the sentinel tail) from the extended lookups: finite values
+        # with nondecreasing progress and nonnegative cost.  The row
+        # cumsum's *valid prefix* is therefore exactly the serial
+        # per-segment sequence — a cumsum cell only ever depends on the
+        # cells before it — and every read below lands in that prefix or
+        # is masked/clamped by the epilogue.
+        idx = i0[:, None] + cols
+        marks_p = self._progress_ext.take(idx)
+        mark_costs = self._cost_ext.take(idx)
+        if jit_base is not None:
+            jdx = jit_base[:, None] + cols
+            mark_costs *= self._jitter_flat.take(jdx)
+        # Row-wise cumsum accumulates sequentially per row — the exact
+        # serial np.cumsum of each replica's own mark costs.  In-place
+        # accumulate (same left-to-right sums) spares the second
+        # (n, max_count) buffer; the one later read of a *pre-sum* cost
+        # re-gathers it from source below.
+        cum_costs = np.add.accumulate(mark_costs, axis=1, out=mark_costs)
+        # Interruption point: first mark whose checkpoint completion
+        # overruns the budget (searchsorted-right on a nondecreasing
+        # complete_t == count of entries <= budget).  Padding cells have
+        # complete_t >= the row's last real value (progress monotone,
+        # costs >= 0, jitter factors > 0 for jitter < 1), so they
+        # over-count only when every real mark fits — min(j, counts)
+        # is exact.
+        np.subtract(marks_p, p_rows[:, None], out=marks_p)
+        np.add(marks_p, cum_costs, out=marks_p)  # marks_p is complete_t now
+        fits = marks_p <= budgets[:, None]
+        j = fits.sum(axis=1)
+        np.minimum(j, counts, out=j)
+        j_idx = np.minimum(j, max_count - 1)
+        # The serial arrays are only ever read at three columns per row —
+        # flat-gather the columns, skip materializing the arrays.
+        base = arange_n * max_count
+        flat_cum = cum_costs.reshape(-1)
+        last_cum = flat_cum.take(base + np.maximum(counts - 1, 0))
+        cum_jm1 = flat_cum.take(base + np.maximum(j - 1, 0))
+        cum_j = flat_cum.take(base + j_idx)
+        # The interrupting mark's own cost, re-gathered from source (the
+        # cumsum overwrote the cell): the identical two floats give the
+        # identical product.
+        abort_idx = i0 + j_idx
+        cost_j = self._cost_ext.take(abort_idx)
+        if jit_base is not None:
+            cost_j = cost_j * self._jitter_flat.take(jit_base + j_idx)
+        abort_p = self._progress_ext.take(abort_idx)
+        start_j = (abort_p - p_rows) + (cum_j - cost_j)
+        return j, last_cum, cum_jm1, abort_p, start_j
+
+    # -- result assembly ----------------------------------------------------
+
+    def result(self, index: int) -> SimResult:
+        portions = self.portions[index]
+        return SimResult(
+            wallclock=float(self.T[index]),
+            portions={
+                "productive": float(portions[_PRODUCTIVE]),
+                "checkpoint": float(portions[_CHECKPOINT]),
+                "restart": float(portions[_RESTART]),
+                "rollback": float(portions[_ROLLBACK]),
+            },
+            failures_per_level=tuple(
+                int(count) for count in self.failures[index]
+            ),
+            checkpoints_per_level=tuple(
+                int(count) for count in self.checkpoints[index]
+            ),
+            completed=bool(self.completed[index]),
+        )
+
+
+def simulate_batch(
+    config: SimulationConfig,
+    seeds: Sequence[SeedLike],
+    *,
+    process: ArrivalProcess | None = None,
+    injectors: Sequence | None = None,
+) -> list[SimResult]:
+    """Simulate one run per seed, all replicas advanced together.
+
+    Drop-in batched equivalent of calling
+    :func:`repro.sim.engine.simulate` once per element of ``seeds`` —
+    the returned :class:`SimResult` values are bit-identical to the
+    serial engine's (the contract :mod:`repro.sim.ensemble` relies on to
+    make ``batch=True`` transparent).
+
+    ``injectors`` (optional, one per seed) replaces the per-replica
+    failure source — e.g. :class:`~repro.sim.failure_injection
+    .ScriptedFailures` traces for the engine-equivalence ablation.  Each
+    injector is consumed; pass fresh copies.
+    """
+    if injectors is not None and len(injectors) != len(seeds):
+        raise ValueError(
+            f"{len(injectors)} injectors for {len(seeds)} seeds"
+        )
+    if not len(seeds):
+        return []
+    state = _BatchState(config, seeds, process, injectors)
+    max_wallclock = config.max_wallclock
+    while True:
+        active = np.flatnonzero(state.alive)
+        if not active.size:
+            break
+        pend_t, levels = state._peek_failures(active)
+        wallclocks = state.T.take(active)
+        budgets = pend_t - wallclocks
+        capped = np.minimum(budgets, max_wallclock - wallclocks)
+        cap_hit = capped < budgets
+        has_budget = budgets > 0.0
+        if has_budget.all():
+            finished = state.advance_segments(active, capped)
+        else:
+            finished = np.zeros(active.size, dtype=bool)
+            if has_budget.any():
+                finished[has_budget] = state.advance_segments(
+                    active[has_budget], capped[has_budget]
+                )
+        censored = has_budget & cap_hit & ~finished
+        retired = finished | censored
+        # Retirements are rare per round; guard the scatters.
+        if retired.any():
+            state.completed[active[finished]] = True
+            state.alive[active[retired]] = False
+            rows = active[~retired]
+            pend_t, levels = pend_t[~retired], levels[~retired]
+        else:
+            rows = active
+        # Everyone else consumes the pending failure and recovers.
+        if rows.size:
+            state.consume_failures(rows, pend_t, levels)
+            state.run_recoveries(rows, levels)
+            over_cap = state.T.take(rows) >= max_wallclock
+            if over_cap.any():
+                state.alive[rows[over_cap]] = False
+    return [state.result(index) for index in range(state.n)]

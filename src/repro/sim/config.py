@@ -15,6 +15,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import METRICS
+
+#: Per-level cost tuples resolved to read-only float arrays, shared across
+#: the ~100 replicas of an ensemble (every replica of one config asks for
+#: the identical array).  Hits land in ``sim.costarray.cache_hits``.
+_COST_ARRAY_CACHE: dict[tuple[float, ...], np.ndarray] = {}
+_COST_ARRAY_CACHE_MAX = 1024
+
+
+def _cost_array(values: tuple[float, ...]) -> np.ndarray:
+    cached = _COST_ARRAY_CACHE.get(values)
+    if cached is not None:
+        METRICS.counter("sim.costarray.cache_hits").inc()
+        return cached
+    array = np.asarray(values, dtype=float)
+    array.setflags(write=False)
+    if len(_COST_ARRAY_CACHE) >= _COST_ARRAY_CACHE_MAX:
+        _COST_ARRAY_CACHE.clear()
+    _COST_ARRAY_CACHE[values] = array
+    return array
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -91,9 +112,9 @@ class SimulationConfig:
         return len(self.intervals)
 
     def checkpoint_cost_array(self) -> np.ndarray:
-        """Per-level checkpoint costs as a float array."""
-        return np.asarray(self.checkpoint_costs, dtype=float)
+        """Per-level checkpoint costs as a (cached, read-only) float array."""
+        return _cost_array(tuple(float(c) for c in self.checkpoint_costs))
 
     def recovery_cost_array(self) -> np.ndarray:
-        """Per-level recovery costs as a float array."""
-        return np.asarray(self.recovery_costs, dtype=float)
+        """Per-level recovery costs as a (cached, read-only) float array."""
+        return _cost_array(tuple(float(r) for r in self.recovery_costs))

@@ -67,6 +67,18 @@ def _draw_jitter(rng: np.random.Generator, jitter: float, size: int) -> np.ndarr
     return 1.0 + rng.uniform(-jitter, jitter, size=size)
 
 
+def _draw_jitter_scalar(rng: np.random.Generator, jitter: float) -> float:
+    """One jitter factor without the size-1 array round-trip.
+
+    A scalar ``Generator.uniform`` consumes exactly the same stream value
+    as ``uniform(size=1)[0]``, so the fast path is bit-identical to the
+    historical array draw (asserted by the seed-stability tests).
+    """
+    if jitter == 0.0:
+        return 1.0
+    return 1.0 + rng.uniform(-jitter, jitter)
+
+
 class _Run:
     """Mutable state of one simulated execution."""
 
@@ -167,9 +179,8 @@ class _Run:
                 float(cum_costs[-1]) if cum_costs.size else 0.0
             )
             if total <= budget:
-                ckpt_cost = self._complete_marks(
-                    marks_p, marks_l, mark_costs, marks_p.size
-                )
+                self._commit_marks(marks_p, marks_l, marks_p.size)
+                ckpt_cost = float(cum_costs[-1]) if cum_costs.size else 0.0
                 first_time, rework = self._split_work(
                     p, config.productive_seconds
                 )
@@ -187,18 +198,18 @@ class _Run:
         # Interrupted: find where the budget lands.
         j = int(np.searchsorted(complete_t, budget, side="right"))
         abort_index = None
+        self._commit_marks(marks_p, marks_l, j)
+        consumed_costs = float(cum_costs[j - 1]) if j > 0 else 0.0
         if j < marks_p.size and start_t[j] <= budget:
             # Failure strikes during mark j's checkpoint: it aborts, the
             # partial cost is paid, progress sits at the mark.
             abort_index = j
-            ckpt_cost = self._complete_marks(marks_p, marks_l, mark_costs, j)
-            ckpt_cost += float(budget - start_t[j])
+            ckpt_cost = consumed_costs + float(budget - start_t[j])
             first_time, rework = self._split_work(p, float(marks_p[j]))
             self.p = float(marks_p[j])
         else:
             # Failure strikes during work after j completed checkpoints.
-            ckpt_cost = self._complete_marks(marks_p, marks_l, mark_costs, j)
-            consumed_costs = float(cum_costs[j - 1]) if j > 0 else 0.0
+            ckpt_cost = consumed_costs
             p_new = p + (budget - consumed_costs)
             p_new = min(p_new, config.productive_seconds)
             first_time, rework = self._split_work(p, p_new)
@@ -213,25 +224,26 @@ class _Run:
             )
         return False
 
-    def _complete_marks(
+    def _commit_marks(
         self,
         marks_p: np.ndarray,
         marks_l: np.ndarray,
-        mark_costs: np.ndarray,
         count: int,
-    ) -> float:
-        """Commit the first ``count`` marks; returns their checkpoint cost."""
+    ) -> None:
+        """Commit the first ``count`` marks (counts + newest-checkpoint map).
+
+        Both updates are exact whatever the grouping: the per-level counts
+        are integer ``bincount`` adds and the newest-valid-checkpoint
+        update is a pure ``max`` — so one fused pass over the committed
+        marks replaces the old per-level ``np.unique`` loop bit-for-bit.
+        """
         if count == 0:
-            return 0.0
-        done_p = marks_p[:count]
+            return
         done_l = marks_l[:count]
-        for lvl in np.unique(done_l):
-            mask = done_l == lvl
-            self.checkpoints[lvl - 1] += int(np.sum(mask))
-            self.latest[lvl - 1] = max(
-                self.latest[lvl - 1], float(done_p[mask].max())
-            )
-        return float(np.sum(mark_costs[:count]))
+        self.checkpoints += np.bincount(
+            done_l, minlength=self.checkpoints.size + 1
+        )[1:]
+        np.maximum.at(self.latest, done_l - 1, marks_p[:count])
 
     def _emit_segment(
         self,
@@ -323,9 +335,10 @@ class _Run:
         while True:
             if rec.active:
                 rec.emit(RecoveryStart(t=self.T, level=level))
-            duration = config.allocation_period + self.recoveries[
-                level - 1
-            ] * float(_draw_jitter(self.rng, config.jitter, 1)[0])
+            duration = config.allocation_period + float(
+                self.recoveries[level - 1]
+                * _draw_jitter_scalar(self.rng, config.jitter)
+            )
             t_next, next_level = self.injector.peek()
             if self.T + duration <= t_next:
                 self.portions["restart"] += duration

@@ -28,6 +28,7 @@ process-pool executions regardless of chunk boundaries.  With
 from __future__ import annotations
 
 import copy
+import os
 from typing import Sequence
 
 from repro.failures.distributions import ArrivalProcess
@@ -41,10 +42,31 @@ from repro.obs.spans import (
 )
 from repro.obs.trace import TraceRecorder
 from repro.parallel.executor import Executor, chunk_evenly, ensure_executor
+from repro.sim.batch import simulate_batch
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import simulate
 from repro.sim.metrics import EnsembleResult, SimResult
 from repro.util.rng import SeedLike, spawn_generators
+
+#: Environment variable toggling the batched replica engine ("0"/"false"/
+#: "off" disable it; anything else, or unset, keeps the default of on).
+BATCH_ENV_VAR = "REPRO_BATCH"
+
+
+def resolve_batch(batch: bool | None = None) -> bool:
+    """Resolve the batch-engine preference: argument > ``REPRO_BATCH`` > on.
+
+    The batched engine is bit-identical to the per-replica path (see
+    :mod:`repro.sim.batch`), so it defaults to on; the switch exists for
+    benchmarking and as an escape hatch.  Requests the engine cannot
+    honour (tracing, custom injectors) still fall back per call.
+    """
+    if batch is not None:
+        return bool(batch)
+    text = os.environ.get(BATCH_ENV_VAR)
+    if text is None:
+        return True
+    return text.strip().lower() not in ("0", "false", "off", "no")
 
 
 def _count_run(registry: MetricsRegistry, result: SimResult) -> None:
@@ -73,11 +95,44 @@ def _simulate_chunk(task):
     replica index, hence chunking-independent — into a chunk-local
     :class:`SpanRecorder`, exported as dicts for the parent to re-emit in
     chunk order (the metrics snapshot/merge pattern, applied to spans).
+
+    With ``batch`` set, the chunk runs through
+    :func:`~repro.sim.batch.simulate_batch` — all replicas of the chunk
+    advanced together, bit-identical results — and the per-replica
+    bookkeeping (metrics counts, ``sim.replica`` spans with the same
+    chunking-independent ids and attributes) is replayed afterwards in
+    replica order, so observability output is indistinguishable from the
+    per-replica path's.
     """
-    config, seeds, process, injectors, trace, trace_maxlen, span_part = task
+    config, seeds, process, injectors, trace, trace_maxlen, span_part, batch = (
+        task
+    )
+    registry = MetricsRegistry()
+    if batch:
+        results = simulate_batch(config, seeds, process=process)
+        span_sink = SpanRecorder() if span_part is not None else None
+        for offset, result in enumerate(results):
+            if span_part is not None:
+                ensemble_ctx, replica_base = span_part
+                replica = replica_base + offset
+                with span(
+                    "sim.replica",
+                    parent=ensemble_ctx,
+                    index=replica,
+                    attributes={"replica": replica},
+                    recorder=span_sink,
+                ) as live:
+                    live.set_attribute("completed", result.completed)
+                    live.set_attribute("failures", result.total_failures)
+            _count_run(registry, result)
+        fragments = (
+            [span_to_dict(s) for s in span_sink.spans]
+            if span_sink is not None
+            else None
+        )
+        return results, None, registry.snapshot(), fragments
     if injectors is None:
         injectors = [None] * len(seeds)
-    registry = MetricsRegistry()
     results: list[SimResult] = []
     traces: list[tuple] | None = [] if trace else None
     span_sink = SpanRecorder() if span_part is not None else None
@@ -128,6 +183,7 @@ def run_ensemble(
     trace: bool = False,
     trace_maxlen: int | None = None,
     registry: MetricsRegistry | None = None,
+    batch: bool | None = None,
 ) -> EnsembleResult:
     """Run ``n_runs`` independent simulations of ``config``.
 
@@ -165,9 +221,18 @@ def run_ensemble(
         process-wide :data:`~repro.obs.metrics.METRICS`.  Drivers that fan
         whole ensembles out to worker processes pass a task-local registry
         here and ship its snapshot back to *their* parent.
+    batch:
+        Run each chunk through the batched replica engine
+        (:func:`~repro.sim.batch.simulate_batch` — struct-of-arrays over
+        the chunk's replicas, bit-identical results).  ``None`` defers to
+        ``REPRO_BATCH`` (default on).  Requests the batched engine cannot
+        honour — event tracing or a custom ``injector`` — transparently
+        fall back to the per-replica path; the returned
+        :class:`EnsembleResult` is identical either way.
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    use_batch = resolve_batch(batch) and not trace and injector is None
     # Seed stability: spawn EVERY child generator up front, in replica
     # order, before any dispatch decision — parallelism must never change
     # which stream a replica consumes.
@@ -194,9 +259,13 @@ def run_ensemble(
             ensemble_span.context if ensemble_span is not None else None
         )
         try:
-            chunk_bounds = chunk_evenly(
-                range(n_runs), max(1, executor.jobs * 4)
-            )
+            # Per-replica chunks oversubscribe 4x for load balancing; the
+            # batched engine amortizes per-round overhead over the whole
+            # chunk, so give it one maximal chunk per worker instead.
+            # Results are chunking-independent either way (seed-stable
+            # chunks, globally-indexed spans).
+            n_chunks = executor.jobs if use_batch else executor.jobs * 4
+            chunk_bounds = chunk_evenly(range(n_runs), max(1, n_chunks))
             tasks = []
             for bounds in chunk_bounds:
                 lo, hi = bounds[0], bounds[-1] + 1
@@ -209,6 +278,7 @@ def run_ensemble(
                         trace,
                         trace_maxlen,
                         (span_ctx, lo) if span_ctx is not None else None,
+                        use_batch,
                     )
                 )
             chunk_results = executor.map(_simulate_chunk, tasks)

@@ -18,8 +18,12 @@ from repro.failures.distributions import ArrivalProcess, ExponentialArrivals
 from repro.util.rng import SeedLike, spawn_generators
 
 
+#: Default per-level pre-draw chunk (see :class:`FailureInjector`).
+DEFAULT_GAP_BLOCK = 64
+
+
 class FailureInjector:
-    """Per-level renewal failure streams with lazy draws.
+    """Per-level renewal failure streams with block-buffered draws.
 
     Parameters
     ----------
@@ -29,6 +33,15 @@ class FailureInjector:
         Root seed; each level gets an independent child stream.
     process:
         Inter-arrival process (default exponential, the paper's model).
+    block:
+        Inter-arrival gaps are pre-drawn per level in chunks of this size
+        and consumed one at a time, replacing the historical
+        ``sample_interarrivals(rate, 1, ...)`` call per event.  Every
+        bundled :class:`~repro.failures.distributions.ArrivalProcess`
+        fills its output element by element from the level's generator,
+        so the consumed gap sequence is bit-identical for any block size
+        (regression-tested in ``tests/sim/test_failure_injection.py``);
+        a custom process must preserve that property.
     """
 
     def __init__(
@@ -36,14 +49,22 @@ class FailureInjector:
         rates_per_second,
         seed: SeedLike = None,
         process: ArrivalProcess | None = None,
+        block: int = DEFAULT_GAP_BLOCK,
     ):
         self.rates = np.asarray(rates_per_second, dtype=float)
         if self.rates.ndim != 1 or self.rates.size == 0:
             raise ValueError("rates_per_second must be a non-empty 1-D array")
         if np.any(self.rates < 0):
             raise ValueError(f"rates must be non-negative, got {self.rates}")
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
         self.process = process if process is not None else ExponentialArrivals()
+        self._block = int(block)
         self._rngs = spawn_generators(seed, self.rates.size)
+        self._gaps: list[np.ndarray] = [
+            np.empty(0) for _ in range(self.rates.size)
+        ]
+        self._cursors = [0] * self.rates.size
         self._next = np.full(self.rates.size, math.inf)
         for i in range(self.rates.size):
             self._advance(i, 0.0)
@@ -53,10 +74,19 @@ class FailureInjector:
         if rate <= 0:
             self._next[level_idx] = math.inf
             return
-        gap = float(
-            self.process.sample_interarrivals(rate, 1, self._rngs[level_idx])[0]
-        )
-        self._next[level_idx] = from_time + gap
+        cursor = self._cursors[level_idx]
+        gaps = self._gaps[level_idx]
+        if cursor >= gaps.size:
+            gaps = np.asarray(
+                self.process.sample_interarrivals(
+                    rate, self._block, self._rngs[level_idx]
+                ),
+                dtype=float,
+            )
+            self._gaps[level_idx] = gaps
+            cursor = 0
+        self._cursors[level_idx] = cursor + 1
+        self._next[level_idx] = from_time + float(gaps[cursor])
 
     def peek(self) -> tuple[float, int]:
         """``(time, level)`` of the next pending failure (level 1-based).

@@ -63,6 +63,7 @@ def simulate_solution(
     executor: Executor | None = None,
     trace: bool = False,
     trace_maxlen: int | None = None,
+    batch: bool | None = None,
 ) -> EnsembleResult:
     """Replay an optimizer solution under the randomized-failure simulator.
 
@@ -70,7 +71,9 @@ def simulate_solution(
     :mod:`repro.parallel` layer (seed-stable: results are bit-identical
     to a serial run for the same root seed).  ``trace`` switches on
     per-replica event recording (``EnsembleResult.traces``); the runs
-    themselves are unchanged.
+    themselves are unchanged.  ``batch`` selects the batched replica
+    engine (default: ``REPRO_BATCH``, on) — results are bit-identical
+    either way.
     """
     config = config_from_solution(
         params, solution, jitter=jitter, max_wallclock=max_wallclock
@@ -78,4 +81,5 @@ def simulate_solution(
     return run_ensemble(
         config, n_runs=n_runs, seed=seed, process=process, jobs=jobs,
         executor=executor, trace=trace, trace_maxlen=trace_maxlen,
+        batch=batch,
     )

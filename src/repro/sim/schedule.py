@@ -14,6 +14,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import METRICS
+
+#: Built schedules by ``(productive_seconds, intervals)``.  One ensemble
+#: replays one config across ~100 replicas, so every replica after the
+#: first reuses the same immutable instance instead of re-sorting the
+#: merged marks.  Hits are counted in the process-wide metrics registry
+#: under ``sim.schedule.cache_hits``.
+_BUILD_CACHE: dict[tuple[float, tuple[int, ...]], "CheckpointSchedule"] = {}
+_BUILD_CACHE_MAX = 512
+
 
 @dataclass(frozen=True)
 class CheckpointSchedule:
@@ -38,7 +48,27 @@ class CheckpointSchedule:
     def build(
         cls, productive_seconds: float, intervals: tuple[int, ...]
     ) -> "CheckpointSchedule":
-        """Construct the merged schedule for the given interval counts."""
+        """Construct (or fetch the cached) merged schedule.
+
+        Instances are shared across replicas of one configuration — their
+        arrays are marked read-only, so accidental in-place edits raise
+        instead of corrupting sibling runs.
+        """
+        key = (float(productive_seconds), tuple(int(x) for x in intervals))
+        cached = _BUILD_CACHE.get(key)
+        if cached is not None:
+            METRICS.counter("sim.schedule.cache_hits").inc()
+            return cached
+        schedule = cls._build(productive_seconds, key[1])
+        if len(_BUILD_CACHE) >= _BUILD_CACHE_MAX:
+            _BUILD_CACHE.clear()
+        _BUILD_CACHE[key] = schedule
+        return schedule
+
+    @classmethod
+    def _build(
+        cls, productive_seconds: float, intervals: tuple[int, ...]
+    ) -> "CheckpointSchedule":
         if not productive_seconds > 0:
             raise ValueError(
                 f"productive_seconds must be positive, got {productive_seconds}"
@@ -64,6 +94,8 @@ class CheckpointSchedule:
         else:
             progress = np.empty(0)
             level = np.empty(0, dtype=np.int64)
+        progress.setflags(write=False)
+        level.setflags(write=False)
         return cls(
             progress=progress, level=level, productive_seconds=productive_seconds
         )

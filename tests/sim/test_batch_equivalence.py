@@ -1,0 +1,233 @@
+"""Batch-vs-serial equivalence: the bit-identity contract of repro.sim.batch.
+
+The batched replica engine must return *exactly* the serial engine's
+results — same floats, same counts, same censoring — across the full
+behaviour matrix: jitter on/off, exponential and Weibull arrivals,
+censored runs, zero-rate levels, and ensemble sizes 1 and 100.  Every
+assertion here is strict equality (`SimResult.__eq__` compares the
+portion floats and count tuples directly), not approx.
+"""
+
+import numpy as np
+import pytest
+
+from repro.failures.distributions import LognormalArrivals, WeibullArrivals
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.batch import simulate_batch
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import simulate
+from repro.sim.ensemble import BATCH_ENV_VAR, resolve_batch, run_ensemble
+from repro.sim.failure_injection import ScriptedFailures
+from repro.util.rng import spawn_generators
+
+BASE = dict(
+    productive_seconds=80_000.0,
+    intervals=(160, 64, 32, 16),
+    checkpoint_costs=(1.0, 2.5, 4.0, 12.0),
+    recovery_costs=(2.0, 5.0, 8.0, 30.0),
+    failure_rates=(4e-4, 2e-4, 1e-4, 5e-5),
+    allocation_period=30.0,
+)
+
+#: (name, config, process) covering the behaviour matrix.
+MATRIX = [
+    (
+        "jitter-exp",
+        SimulationConfig(**BASE, jitter=0.3),
+        None,
+    ),
+    (
+        "nojitter-exp",
+        SimulationConfig(**BASE, jitter=0.0),
+        None,
+    ),
+    (
+        "jitter-weibull",
+        SimulationConfig(**BASE, jitter=0.3),
+        WeibullArrivals(shape=0.7),
+    ),
+    (
+        "jitter-lognormal",
+        SimulationConfig(**BASE, jitter=0.3),
+        LognormalArrivals(sigma=1.0),
+    ),
+    (
+        "censored",
+        SimulationConfig(**BASE, jitter=0.3, max_wallclock=140_000.0),
+        None,
+    ),
+    (
+        "zero-rate-levels",
+        SimulationConfig(
+            **{**BASE, "failure_rates": (0.0, 2e-4, 0.0, 5e-5)}, jitter=0.3
+        ),
+        None,
+    ),
+    (
+        "no-failures",
+        SimulationConfig(
+            **{**BASE, "failure_rates": (0.0, 0.0, 0.0, 0.0)}, jitter=0.3
+        ),
+        None,
+    ),
+    (
+        "single-level",
+        SimulationConfig(
+            productive_seconds=10_000.0,
+            intervals=(25,),
+            checkpoint_costs=(3.0,),
+            recovery_costs=(10.0,),
+            failure_rates=(1e-3,),
+            allocation_period=15.0,
+            jitter=0.3,
+        ),
+        None,
+    ),
+    (
+        "harsh-censored",
+        SimulationConfig(
+            **{**BASE, "failure_rates": (5e-3, 2e-3, 1e-3, 5e-4)},
+            jitter=0.3,
+            max_wallclock=200_000.0,
+        ),
+        None,
+    ),
+]
+MATRIX_IDS = [name for name, _, _ in MATRIX]
+
+
+class TestSimulateBatch:
+    @pytest.mark.parametrize("name,config,process", MATRIX, ids=MATRIX_IDS)
+    @pytest.mark.parametrize("n_runs", [1, 100])
+    def test_bit_identical_to_serial_loop(self, name, config, process, n_runs):
+        serial = [
+            simulate(config, seed=seed, process=process)
+            for seed in spawn_generators(20140604, n_runs)
+        ]
+        batch = simulate_batch(
+            config, spawn_generators(20140604, n_runs), process=process
+        )
+        assert batch == serial
+
+    def test_censoring_states_match(self):
+        config = SimulationConfig(**BASE, jitter=0.3, max_wallclock=140_000.0)
+        batch = simulate_batch(config, spawn_generators(11, 50))
+        completed = [run.completed for run in batch]
+        # The cap genuinely bites for this configuration — both outcomes
+        # must occur, or the equivalence above proves nothing.
+        assert any(completed) and not all(completed)
+
+    def test_empty_seed_list(self):
+        assert simulate_batch(SimulationConfig(**BASE), []) == []
+
+    def test_scripted_injectors(self):
+        """The ablation hook: identical scripted traces, identical runs."""
+        config = SimulationConfig(**BASE, jitter=0.3)
+        events = [(9_000.0, 1), (9_500.0, 2), (40_000.0, 4), (41_000.0, 1)]
+        seeds = spawn_generators(5, 8)
+        serial = [
+            simulate(config, seed=seed, injector=ScriptedFailures(events))
+            for seed in seeds
+        ]
+        batch = simulate_batch(
+            config,
+            spawn_generators(5, 8),
+            injectors=[ScriptedFailures(events) for _ in range(8)],
+        )
+        assert batch == serial
+
+    def test_injector_count_mismatch_rejected(self):
+        config = SimulationConfig(**BASE)
+        with pytest.raises(ValueError, match="injectors"):
+            simulate_batch(
+                config,
+                spawn_generators(0, 3),
+                injectors=[ScriptedFailures([])],
+            )
+
+
+class TestRunEnsembleBatch:
+    @pytest.mark.parametrize("name,config,process", MATRIX, ids=MATRIX_IDS)
+    def test_batch_flag_is_transparent(self, name, config, process):
+        off = run_ensemble(
+            config, n_runs=20, seed=7, process=process, batch=False
+        )
+        on = run_ensemble(
+            config, n_runs=20, seed=7, process=process, batch=True
+        )
+        assert on == off
+
+    def test_metrics_identical(self):
+        config = SimulationConfig(**BASE, jitter=0.3)
+        reg_off = MetricsRegistry()
+        reg_on = MetricsRegistry()
+        run_ensemble(config, n_runs=20, seed=3, batch=False, registry=reg_off)
+        run_ensemble(config, n_runs=20, seed=3, batch=True, registry=reg_on)
+        assert reg_on.snapshot() == reg_off.snapshot()
+
+    def test_batch_across_backends(self):
+        """Chunked batch execution (batch within a chunk, workers across
+        chunks) equals the single-chunk serial-backend run."""
+        config = SimulationConfig(**BASE, jitter=0.3)
+        reference = run_ensemble(config, n_runs=30, seed=9, batch=True)
+        threaded = run_ensemble(
+            config, n_runs=30, seed=9, batch=True, jobs=4
+        )
+        assert threaded == reference
+
+    def test_trace_falls_back_to_per_replica(self):
+        """Tracing is per-replica only; batch=True must transparently
+        fall back and still return identical runs plus full traces."""
+        config = SimulationConfig(**BASE, jitter=0.3)
+        plain = run_ensemble(config, n_runs=10, seed=4, batch=True)
+        traced = run_ensemble(
+            config, n_runs=10, seed=4, batch=True, trace=True
+        )
+        assert traced.runs == plain.runs
+        assert traced.traces is not None
+        assert len(traced.traces) == 10
+        assert all(len(events) > 0 for events in traced.traces)
+
+    def test_custom_injector_falls_back(self):
+        config = SimulationConfig(**BASE, jitter=0.3)
+        events = [(9_000.0, 2)]
+        with_injector = run_ensemble(
+            config,
+            n_runs=4,
+            seed=6,
+            injector=ScriptedFailures(events),
+            batch=True,
+        )
+        reference = run_ensemble(
+            config,
+            n_runs=4,
+            seed=6,
+            injector=ScriptedFailures(events),
+            batch=False,
+        )
+        assert with_injector == reference
+
+    def test_env_default_resolution(self, monkeypatch):
+        monkeypatch.delenv(BATCH_ENV_VAR, raising=False)
+        assert resolve_batch() is True
+        assert resolve_batch(False) is False
+        assert resolve_batch(True) is True
+        for text in ("0", "false", "off", "no", " OFF "):
+            monkeypatch.setenv(BATCH_ENV_VAR, text)
+            assert resolve_batch() is False
+        monkeypatch.setenv(BATCH_ENV_VAR, "1")
+        assert resolve_batch() is True
+        # Explicit argument beats the environment.
+        monkeypatch.setenv(BATCH_ENV_VAR, "0")
+        assert resolve_batch(True) is True
+
+
+class TestJitterStreams:
+    def test_batch_consumes_jitter_like_serial(self):
+        """Directly pin the stream contract the buffers rely on: a block
+        uniform fill equals repeated scalar draws, element for element."""
+        a = np.random.default_rng(123)
+        b = np.random.default_rng(123)
+        block = 1.0 + a.uniform(-0.3, 0.3, size=64)
+        singles = np.array([1.0 + b.uniform(-0.3, 0.3) for _ in range(64)])
+        assert block.tolist() == singles.tolist()

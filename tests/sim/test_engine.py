@@ -162,6 +162,18 @@ class TestStochastic:
         assert a.wallclock == b.wallclock
         assert a.portions == b.portions
 
+    def test_scalar_jitter_draw_bit_identical_to_array_draw(self):
+        """The recovery fast path (_draw_jitter_scalar) must consume the
+        exact stream value the historical size-1 array draw consumed."""
+        from repro.sim.engine import _draw_jitter, _draw_jitter_scalar
+
+        array_rng = np.random.default_rng(314)
+        scalar_rng = np.random.default_rng(314)
+        for _ in range(100):
+            expected = float(_draw_jitter(array_rng, 0.3, 1)[0])
+            assert _draw_jitter_scalar(scalar_rng, 0.3) == expected
+        assert _draw_jitter_scalar(scalar_rng, 0.0) == 1.0
+
     def test_failure_counts_scale_with_rates(self):
         lo = _config(failure_rates=(1e-4, 0, 0, 0))
         hi = _config(failure_rates=(2e-3, 0, 0, 0))

@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.failures.distributions import LognormalArrivals, WeibullArrivals
 from repro.sim.failure_injection import FailureInjector, ScriptedFailures
 
 
@@ -55,6 +56,36 @@ class TestInjector:
             FailureInjector([-1e-3])
         with pytest.raises(ValueError):
             FailureInjector([])
+        with pytest.raises(ValueError):
+            FailureInjector([1e-3], block=0)
+
+    @pytest.mark.parametrize(
+        "process",
+        [
+            None,  # exponential default
+            WeibullArrivals(shape=0.7),
+            LognormalArrivals(sigma=1.0),
+        ],
+        ids=["exponential", "weibull", "lognormal"],
+    )
+    def test_block_size_does_not_change_streams(self, process):
+        """Block pre-draws are bit-identical to one-at-a-time draws.
+
+        Every bundled ArrivalProcess fills its output element by element
+        from the level's generator, so pre-drawing gaps in chunks of any
+        size must consume each per-level stream identically to the
+        historical ``size=1`` draw per event.
+        """
+        rates = [1e-3, 5e-4, 2e-4]
+        one_at_a_time = FailureInjector(
+            rates, seed=42, process=process, block=1
+        )
+        blocked = FailureInjector(rates, seed=42, process=process, block=64)
+        default = FailureInjector(rates, seed=42, process=process)
+        for _ in range(300):
+            expected = one_at_a_time.pop()
+            assert blocked.pop() == expected
+            assert default.pop() == expected
 
 
 class TestScripted:

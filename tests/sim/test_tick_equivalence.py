@@ -1,9 +1,12 @@
-"""Engine-equivalence ablation: event-driven vs literal 1 s ticks.
+"""Engine-equivalence ablation: event-driven vs batched vs literal 1 s ticks.
 
 The event engine powers every exascale experiment; the tick engine is the
 paper's stated mechanism.  On identical scripted failure traces with zero
 jitter, their wall-clocks must agree to within tick-quantization error —
-the property that justifies using the fast engine throughout.
+the property that justifies using the fast engine throughout.  The batched
+engine rides the same ablation: fed the identical scripted traces it must
+match the event engine *exactly* (bit-identity contract) and therefore the
+tick engine within the same error bound.
 """
 
 import numpy as np
@@ -12,10 +15,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.failures.rates import FailureRates
 from repro.failures.traces import generate_trace
+from repro.sim.batch import simulate_batch
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import simulate
 from repro.sim.failure_injection import ScriptedFailures
 from repro.sim.tick import simulate_ticks
+from repro.util.rng import spawn_generators
 
 
 def _config(**overrides):
@@ -77,3 +82,38 @@ def test_random_traces_agree_closely(seed):
 def test_tick_dt_validation():
     with pytest.raises(ValueError):
         simulate_ticks(_config(), dt=0.0)
+
+
+def test_batch_engine_joins_the_ablation():
+    """Same scripted trace through all three engines: the batch engine is
+    bit-identical to the event engine and tick-close to the tick engine."""
+    cfg = _config()
+    trace = [(500.0, 1), (1_500.0, 2), (2_500.0, 4), (3_500.0, 3)]
+    (event_seed,) = spawn_generators(0, 1)
+    event = simulate(cfg, seed=event_seed, injector=ScriptedFailures(trace))
+    tick = simulate_ticks(cfg, seed=0, injector=ScriptedFailures(trace))
+    (batch,) = simulate_batch(
+        cfg, spawn_generators(0, 1), injectors=[ScriptedFailures(trace)]
+    )
+    assert batch == event
+    assert abs(batch.wallclock - tick.wallclock) <= len(trace) * 1.0 + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_batch_matches_event_engine_on_random_traces(seed):
+    """Random Poisson traces, replicated: batch == event, run for run."""
+    cfg = _config()
+    rates = FailureRates((40.0, 20.0, 10.0, 5.0), baseline_scale=1_000.0)
+    trace = generate_trace(rates, 1_000.0, horizon_seconds=80_000.0, seed=seed)
+    n = 4
+    event = [
+        simulate(cfg, seed=s, injector=ScriptedFailures(trace))
+        for s in spawn_generators(seed, n)
+    ]
+    batch = simulate_batch(
+        cfg,
+        spawn_generators(seed, n),
+        injectors=[ScriptedFailures(trace) for _ in range(n)],
+    )
+    assert batch == event
