@@ -58,6 +58,10 @@ GATED_METRICS: dict[str, dict[str, str]] = {
         "warm.requests_per_second": "higher",
         "cold_restart.requests_per_second": "higher",
     },
+    "BENCH_solve.json": {
+        "solve.speedup": "higher",
+        "solve.per_config_us": "lower",
+    },
 }
 
 

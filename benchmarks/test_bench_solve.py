@@ -1,0 +1,110 @@
+"""Perf bench: the vectorized sweep solver vs per-config Algorithm 1.
+
+Solves a Fig. 5-shaped parameter sweep — all six failure-rate cases
+crossed with a 12-point ``max_scale`` grid (geomspace 1e4..1e6), all
+four strategies each — once as ``len(grid)`` scalar
+``compare_all_strategies`` calls and once as a single
+``batch_compare_all_strategies`` kernel pass, asserts bit-identical
+solutions, and records the sweep throughput to
+``benchmarks/results/BENCH_solve.json``.
+
+The two sides are timed interleaved over several rounds and compared
+min-to-min, so a load spike mid-bench skews neither side; the memo
+cache is cleared before every timed run so both sides pay full price.
+
+Acceptance: the batched solver is >= 4x faster than the scalar loop on
+this sweep.  ``solve.speedup`` and ``solve.per_config_us`` are gated
+against the committed baseline by ``benchmarks/regress.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core.batch_solve import batch_compare_all_strategies
+from repro.core.memo import SOLVER_CACHE
+from repro.core.solutions import compare_all_strategies
+from repro.experiments.config import FIG5_CASES, make_params
+from repro.parallel.timing import write_bench_json
+
+#: The Fig. 5 workload; the grid sweeps the admissible scale bound.
+TE_CORE_DAYS = 3e6
+#: max_scale grid points per case (cases x points configs total).
+GRID_POINTS = 12
+#: Interleaved timing rounds per solver (min-to-min comparison).
+ROUNDS = 3
+#: Minimum accepted speedup of the batched sweep over the scalar loop.
+MIN_SPEEDUP = 4.0
+
+
+def _sweep_grid():
+    scales = np.geomspace(1e4, 1e6, num=GRID_POINTS)
+    return [
+        replace(make_params(TE_CORE_DAYS, case), max_scale=float(scale))
+        for case in FIG5_CASES
+        for scale in scales
+    ]
+
+
+def test_bench_batch_solve(benchmark):
+    grid = _sweep_grid()
+
+    def scalar_sweep():
+        SOLVER_CACHE.clear()
+        return [compare_all_strategies(params) for params in grid]
+
+    def batch_sweep():
+        SOLVER_CACHE.clear()
+        return batch_compare_all_strategies(grid)
+
+    # Warm numpy/ufunc dispatch and the import path outside the clock.
+    batch_compare_all_strategies(grid[:1])
+
+    scalar_seconds = batch_seconds = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        scalar = scalar_sweep()
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        batched = batch_sweep()
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    # One recorded pedantic round so pytest-benchmark's own stats track
+    # the batched solver too (and contribute one more batch sample).
+    benchmark.pedantic(batch_sweep, rounds=1, iterations=1)
+    batch_seconds = min(batch_seconds, benchmark.stats.stats.min)
+
+    # The headline guarantee: batching never changes the numbers.
+    assert batched == scalar
+
+    n_configs = len(grid)
+    speedup = scalar_seconds / batch_seconds if batch_seconds > 0 else 0.0
+    payload = {
+        "config": {
+            "te_core_days": TE_CORE_DAYS,
+            "cases": list(FIG5_CASES),
+            "grid_points": GRID_POINTS,
+            "n_configs": n_configs,
+            "strategies": 4,
+        },
+        "timing_rounds": ROUNDS,
+        "scalar_seconds": round(scalar_seconds, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "results_identical": True,
+        "solve": {
+            "speedup": round(speedup, 2),
+            "per_config_us": round(batch_seconds / n_configs * 1e6, 1),
+        },
+    }
+    path = write_bench_json(RESULTS_DIR / "BENCH_solve.json", payload)
+    print(f"\n[saved to {path}]\n{payload}")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x batched sweep speedup for "
+        f"{n_configs} configs, got {speedup:.2f}x "
+        f"({scalar_seconds:.2f}s scalar vs {batch_seconds:.2f}s batch)"
+    )

@@ -241,6 +241,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="LRU bound on the in-memory solver cache (default 4096)",
     )
     p_srv.add_argument(
+        "--no-batch-solve",
+        action="store_true",
+        help=(
+            "drain solve bursts one scalar solve per worker instead of one "
+            "vectorized kernel pass per scheduler batch (bit-identical "
+            "responses; diagnostic switch, see also $REPRO_BATCH_SOLVE)"
+        ),
+    )
+    p_srv.add_argument(
         "--no-spans",
         action="store_true",
         help=(
@@ -404,6 +413,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         store_path=store_path,
         cache_max_entries=args.cache_max_entries,
+        batch_solve=False if args.no_batch_solve else None,
     )
     print(f"repro.service listening on {service.url}")
     if store_path is None:

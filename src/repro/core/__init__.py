@@ -26,6 +26,10 @@ Modules
     The Jin et al. single-level interval+scale baseline (SL(opt-scale)).
 ``solutions``
     The four named strategies of the evaluation behind one interface.
+``batch_solve``
+    The vectorized sweep solver: Algorithm 1 for a whole (N-grid x
+    strategy) sweep as one struct-of-arrays kernel pass, bit-identical
+    per configuration to ``algorithm1.optimize``.
 """
 
 from repro.core.memo import (
@@ -86,6 +90,13 @@ from repro.core.solutions import (
     sl_opt_scale,
     sl_ori_scale,
 )
+from repro.core.batch_solve import (
+    BatchSolver,
+    batch_compare_all_strategies,
+    batch_optimize,
+    resolve_batch_solve,
+    sweep_scales,
+)
 
 __all__ = [
     "ModelParameters",
@@ -126,4 +137,9 @@ __all__ = [
     "ml_ori_scale",
     "sl_opt_scale",
     "sl_ori_scale",
+    "BatchSolver",
+    "batch_compare_all_strategies",
+    "batch_optimize",
+    "resolve_batch_solve",
+    "sweep_scales",
 ]

@@ -125,6 +125,7 @@ def optimize(
     max_outer: int = 200,
     inner_kwargs: dict | None = None,
     strategy_name: str = "ml-opt-scale",
+    warm_wallclock: float | None = None,
 ) -> Algorithm1Result:
     """Run Algorithm 1 to co-optimize intervals and (optionally) scale.
 
@@ -144,14 +145,29 @@ def optimize(
         Outer-iteration budget before declaring divergence.
     inner_kwargs:
         Extra arguments for :func:`repro.core.multilevel.solve_inner`.
+    warm_wallclock:
+        Seed the line-1 wall-clock estimate with a previous solution's
+        ``E(T_w)`` instead of the failure-free productive time.  Used by
+        monotone scale sweeps (:func:`repro.core.batch_solve.sweep_scales`):
+        the neighbouring grid point's wall-clock is a far better initial
+        guess, so the outer loop converges in fewer iterations.  The
+        converged fixed point is the same; only the trajectory shortens.
     """
     if delta <= 0:
         raise ValueError(f"delta must be positive, got {delta}")
+    if warm_wallclock is not None and not warm_wallclock > 0:
+        raise ValueError(
+            f"warm_wallclock must be positive, got {warm_wallclock}"
+        )
     inner_kwargs = dict(inner_kwargs or {})
 
-    # Lines 1-3: initialize mu from the failure-free productive time.
+    # Lines 1-3: initialize mu from the failure-free productive time (or
+    # from a neighbouring grid point's converged wall-clock when warm).
     n_init = fixed_scale if fixed_scale is not None else params.scale_upper_bound
-    wallclock_estimate = params.productive_time(n_init)
+    if warm_wallclock is not None:
+        wallclock_estimate = float(warm_wallclock)
+    else:
+        wallclock_estimate = params.productive_time(n_init)
     mu = params.rates.expected_failures(n_init, wallclock_estimate)
     mu_history: list[tuple[float, ...]] = [tuple(float(m) for m in mu)]
 

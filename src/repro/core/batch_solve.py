@@ -1,0 +1,1172 @@
+"""Vectorized sweep solver: Algorithm 1 batched across a parameter grid.
+
+The experiment drivers and the service run Algorithm 1 once per
+``(N-grid x strategy)`` point — an embarrassingly batchable shape.  This
+module advances the Formula-23 sweep, the Formula-24 bisection, and the
+outer mu-loop for *all* configurations at once as numpy struct-of-arrays,
+with per-lane convergence masks (the discipline of :mod:`repro.sim.batch`):
+finished lanes freeze and hold their values, active lanes advance, and
+divergent lanes are recorded per-configuration instead of aborting the
+batch.
+
+Contract
+--------
+Results are **bit-identical** to the scalar :func:`repro.core.algorithm1.
+optimize` path per configuration: the same :class:`Algorithm1Result`
+fields, the same convergence traces and ``FixedPointDiverged`` payloads,
+the same ``solver.optimize``/``solver.outer`` span trees and log lines
+(replayed per-lane after the kernel finishes, in call order), and the
+same ``SolverCache`` protocol — per-config canonical keys, ``memo.*``
+counters incremented per lane, write-through to the persistent store.
+``tests/core/test_batch_solve.py`` enforces all of it with an
+equivalence matrix like the simulator's.
+
+Fallback rules
+--------------
+The kernel covers the stock model family — exact ``ModelParameters`` /
+``QuadraticSpeedup`` / ``LevelCostModel`` / ``FailureRates`` types with
+registered scaling baselines.  Anything else (custom speedup or cost
+objects, unknown kwargs, out-of-range arguments that the scalar path
+would reject with its own exceptions) transparently falls back to the
+scalar solver, lane by lane, so ``batch_*`` entry points accept exactly
+what their scalar counterparts accept.  The ``REPRO_BATCH_SOLVE``
+environment variable (and the ``batch=`` kwarg, which wins) turns the
+kernel off globally; both paths then share one code route.
+
+One documented edge: distinct-key cache lookups happen at batch setup,
+before other lanes' inserts, so LRU *recency ordering* under a tiny
+``set_max_entries`` bound can differ from the strict call-order scalar
+path in exotic mixed hit/miss batches.  Counters, stored values, and
+canonical keys are exact either way.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.algorithm1 import (
+    Algorithm1Result,
+    OuterIterationRecord,
+    optimize,
+)
+from repro.core.jin import solve_jin_single_level
+from repro.core.memo import SOLVER_CACHE, SolverCache, canonical_key
+from repro.core.notation import ModelParameters, Solution
+from repro.core.solutions import sl_ori_scale
+from repro.costs.model import CostModel, LevelCostModel
+from repro.costs.scaling import named_baseline
+from repro.failures.rates import FailureRates
+from repro.obs.logconf import get_logger
+from repro.obs.spans import span
+from repro.speedup.quadratic import QuadraticSpeedup
+from repro.util.iteration import FixedPointDiverged
+from repro.util.units import per_day_to_per_second
+
+#: Environment escape hatch: set to 0/false/off/no to disable the kernel.
+BATCH_SOLVE_ENV_VAR = "REPRO_BATCH_SOLVE"
+
+#: The scalar solvers being mirrored (memoized wrappers + raw functions).
+_OPT_FN = optimize.__wrapped__
+_JIN_FN = solve_jin_single_level.__wrapped__
+_OPT_NAME = f"{_OPT_FN.__module__}.{_OPT_FN.__qualname__}"
+_JIN_NAME = f"{_JIN_FN.__module__}.{_JIN_FN.__qualname__}"
+
+_BASELINE_CODES = {"constant": 0, "linear": 1, "sqrt": 2, "log": 3}
+_OPT_KEYS = frozenset(
+    (
+        "fixed_scale",
+        "delta",
+        "max_outer",
+        "inner_kwargs",
+        "strategy_name",
+        "warm_wallclock",
+    )
+)
+_INNER_KEYS = frozenset(("n0", "tol", "max_iter", "gauss_seidel"))
+_JIN_KEYS = frozenset(("delta", "max_outer"))
+
+#: Replayed telemetry goes through the scalar solver's logger so batch
+#: and scalar runs emit byte-identical log records.
+logger = get_logger("core.algorithm1")
+
+
+def resolve_batch_solve(batch: bool | None = None) -> bool:
+    """Resolve the batch-kernel flag: argument > environment > on.
+
+    Mirrors :func:`repro.sim.ensemble.resolve_batch` exactly, with
+    :data:`BATCH_SOLVE_ENV_VAR` as the variable.
+    """
+    if batch is not None:
+        return bool(batch)
+    text = os.environ.get(BATCH_SOLVE_ENV_VAR)
+    if text is None:
+        return True
+    return text.strip().lower() not in ("0", "false", "off", "no")
+
+
+@dataclass
+class _Lane:
+    """One kernel-eligible configuration, parsed to plain scalars."""
+
+    te: float
+    alloc: float
+    min_s: float
+    upper: float
+    kappa: float
+    curv: float
+    base: tuple[float, ...]  # per-second rates at the baseline scale
+    bscale: float
+    ck: tuple[tuple[float, float, int], ...]  # (const, coef, kind) per level
+    rc: tuple[tuple[float, float, int], ...]
+    fixed: float | None
+    n0: float | None
+    warm: float | None
+    delta: float
+    tol: float
+    gs: bool
+    max_outer: int
+    max_iter: int
+    strategy: str
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.ck)
+
+    @property
+    def n_start_inner(self) -> float:
+        """The scale every inner solve restarts from (fixed / n0 / upper)."""
+        if self.fixed is not None:
+            return self.fixed
+        if self.n0 is not None:
+            return self.n0
+        return self.upper
+
+    @property
+    def n_init_outer(self) -> float:
+        """The scale the line-1 mu initialization uses (fixed / upper)."""
+        return self.fixed if self.fixed is not None else self.upper
+
+
+def _parse_cost(model: object) -> tuple[float, float, int]:
+    """``(const, coef, kind)`` for one stock CostModel, or raise."""
+    if type(model) is not CostModel:
+        raise TypeError("custom cost model")
+    name = model.baseline.name
+    if named_baseline(name) is not model.baseline:
+        raise TypeError("ad-hoc scaling baseline")
+    return (float(model.constant), float(model.coefficient), _BASELINE_CODES[name])
+
+
+def _parse_lane(params: ModelParameters, kwargs: dict) -> _Lane:
+    """Parse one ``optimize(params, **kwargs)`` call into a kernel lane.
+
+    Raises (any exception) when the configuration is outside the kernel's
+    coverage; the caller falls back to the scalar path, which reproduces
+    the scalar solver's own error behaviour exactly.
+    """
+    if type(params) is not ModelParameters:
+        raise TypeError("subclassed ModelParameters")
+    if type(params.speedup) is not QuadraticSpeedup:
+        raise TypeError("non-quadratic speedup model")
+    if type(params.costs) is not LevelCostModel:
+        raise TypeError("custom level cost model")
+    if type(params.rates) is not FailureRates:
+        raise TypeError("custom failure rates")
+    unknown = set(kwargs) - _OPT_KEYS
+    if unknown:
+        raise TypeError(f"unknown optimize kwargs {sorted(unknown)}")
+
+    upper = float(params.scale_upper_bound)
+    min_s = float(params.min_scale)
+    kappa = float(params.speedup.kappa)
+    ideal = float(params.speedup.ideal_scale)
+    curv = -kappa / (2.0 * ideal)  # QuadraticSpeedup.curvature, verbatim
+
+    delta = float(kwargs.get("delta", 1e-12))
+    if not delta > 0:
+        raise ValueError("delta must be positive (scalar raises)")
+    max_outer = operator.index(kwargs.get("max_outer", 200))
+    if max_outer < 1:
+        raise ValueError("max_outer < 1 (scalar behaviour is undefined)")
+
+    fixed = kwargs.get("fixed_scale")
+    if fixed is not None:
+        fixed = float(fixed)
+        if not min_s <= fixed <= upper:
+            raise ValueError("fixed_scale out of bounds (scalar raises)")
+    warm = kwargs.get("warm_wallclock")
+    if warm is not None:
+        if not warm > 0:
+            raise ValueError("warm_wallclock must be positive (scalar raises)")
+        warm = float(warm)
+
+    inner = dict(kwargs.get("inner_kwargs") or {})
+    unknown = set(inner) - _INNER_KEYS
+    if unknown:
+        raise TypeError(f"unknown inner kwargs {sorted(unknown)}")
+    n0 = inner.get("n0")
+    if n0 is not None:
+        n0 = float(n0)
+        if not min_s <= n0 <= upper:
+            raise ValueError("n0 outside the kernel's covered range")
+    tol = float(inner.get("tol", 1e-8))
+    max_iter = operator.index(inner.get("max_iter", 1000))
+    gs = bool(inner.get("gauss_seidel", True))
+
+    strategy = kwargs.get("strategy_name", "ml-opt-scale")
+    if not isinstance(strategy, str):
+        raise TypeError("strategy_name must be a string")
+
+    lane = _Lane(
+        te=float(params.te_core_seconds),
+        alloc=float(params.allocation_period),
+        min_s=min_s,
+        upper=upper,
+        kappa=kappa,
+        curv=curv,
+        base=tuple(
+            per_day_to_per_second(r) for r in params.rates.per_day_at_baseline
+        ),
+        bscale=float(params.rates.baseline_scale),
+        ck=tuple(_parse_cost(c) for c in params.costs.checkpoint),
+        rc=tuple(_parse_cost(r) for r in params.costs.recovery),
+        fixed=fixed,
+        n0=n0,
+        warm=warm,
+        delta=delta,
+        tol=tol,
+        gs=gs,
+        max_outer=max_outer,
+        max_iter=max_iter,
+        strategy=strategy,
+    )
+    # Young's initialization (Formula 25) divides by the checkpoint costs
+    # at the inner start scale; the scalar path raises ValueError for
+    # non-positive costs, so such configs go through the scalar route.
+    n_start = lane.n_start_inner
+    if np.any(params.costs.checkpoint_costs(n_start) <= 0):
+        raise ValueError("non-positive checkpoint cost at the start scale")
+    return lane
+
+
+# -- the struct-of-arrays kernel ---------------------------------------------
+#
+# One `_Group` holds every lane with the same level count L as (K,) and
+# (K, L) arrays.  Every arithmetic expression below reproduces the scalar
+# path's operation order exactly (same elementwise IEEE ops, same np.sum /
+# np.cumsum reduction trees), which is what makes the outputs bit-identical
+# per lane.  The only deliberate deviations are the documented NaN clamps:
+# Python's ``max(1.0, nan)`` returns 1.0 where ``np.maximum`` would
+# propagate NaN, so those two spots carry explicit ``np.where`` overrides.
+
+
+class _Group:
+    """Struct-of-arrays state for all lanes sharing one level count."""
+
+    def __init__(self, lanes: list[_Lane]):
+        self.lanes = lanes
+        K = len(lanes)
+        L = lanes[0].num_levels
+        as_f = lambda get: np.array([get(l) for l in lanes], dtype=float)
+        self.te = as_f(lambda l: l.te)
+        self.alloc = as_f(lambda l: l.alloc)
+        self.min_s = as_f(lambda l: l.min_s)
+        self.upper = as_f(lambda l: l.upper)
+        self.kappa = as_f(lambda l: l.kappa)
+        self.curv = as_f(lambda l: l.curv)
+        self.base = np.array([l.base for l in lanes], dtype=float)  # (K, L)
+        self.bscale = as_f(lambda l: l.bscale)
+        # failure_slope: rate_derivatives_per_second(1.0) = base / N_b.
+        self.rate_deriv = self.base / self.bscale[:, None]
+        self.ck_const = np.array([[c[0] for c in l.ck] for l in lanes])
+        self.ck_coef = np.array([[c[1] for c in l.ck] for l in lanes])
+        self.ck_kind = np.array(
+            [[c[2] for c in l.ck] for l in lanes], dtype=np.intp
+        )
+        self.rc_const = np.array([[r[0] for r in l.rc] for l in lanes])
+        self.rc_coef = np.array([[r[1] for r in l.rc] for l in lanes])
+        self.rc_kind = np.array(
+            [[r[2] for r in l.rc] for l in lanes], dtype=np.intp
+        )
+        self.has_fixed = np.array(
+            [l.fixed is not None for l in lanes], dtype=bool
+        )
+        self.n_start = as_f(lambda l: l.n_start_inner)
+        self.n_init = as_f(lambda l: l.n_init_outer)
+        self.delta = as_f(lambda l: l.delta)
+        self.tol = as_f(lambda l: l.tol)
+        self.gs = np.array([l.gs for l in lanes], dtype=bool)
+        self.max_outer = np.array([l.max_outer for l in lanes], dtype=np.intp)
+        self.max_iter = np.array([l.max_iter for l in lanes], dtype=np.intp)
+        self.K, self.L = K, L
+
+    # -- model pieces, vectorized lane-wise -----------------------------------
+
+    def _g(self, idx, n):
+        """``g(N)`` — QuadraticSpeedup.speedup, verbatim op order."""
+        return self.curv[idx] * n * n + self.kappa[idx] * n
+
+    def _g_prime(self, idx, n):
+        return 2.0 * self.curv[idx] * n + self.kappa[idx]
+
+    def _baseline(self, kind, n):
+        """Stock-baseline values H(N) per (lane, level) — (k, L)."""
+        z = np.zeros_like(n)
+        return np.choose(
+            kind, [z[:, None], n[:, None], np.sqrt(n)[:, None], np.log1p(n)[:, None]]
+        )
+
+    def _baseline_prime(self, kind, n):
+        z = np.zeros_like(n)
+        one = np.ones_like(n)
+        sq = 0.5 / np.sqrt(np.maximum(n, 1e-300))
+        lg = 1.0 / (1.0 + n)
+        return np.choose(
+            kind, [z[:, None], one[:, None], sq[:, None], lg[:, None]]
+        )
+
+    def _ck(self, idx, n):
+        """Checkpoint costs C_i(N) — CostModel.__call__ op order."""
+        return self.ck_const[idx] + self.ck_coef[idx] * self._baseline(
+            self.ck_kind[idx], n
+        )
+
+    def _ck_prime(self, idx, n):
+        return self.ck_coef[idx] * self._baseline_prime(self.ck_kind[idx], n)
+
+    def _rc(self, idx, n):
+        return self.rc_const[idx] + self.rc_coef[idx] * self._baseline(
+            self.rc_kind[idx], n
+        )
+
+    def _rc_prime(self, idx, n):
+        return self.rc_coef[idx] * self._baseline_prime(self.rc_kind[idx], n)
+
+    def _f(self, idx, n):
+        """Productive time ``f(T_e, N) = T_e / g(N)``."""
+        return self.te[idx] / self._g(idx, n)
+
+    def _mu_at(self, idx, n, w):
+        """``expected_failures(n, w)`` — base * (n / N_b), then * w."""
+        return (self.base[idx] * (n / self.bscale[idx])[:, None]) * w[:, None]
+
+    # -- Formula 23: one interval sweep ---------------------------------------
+
+    def _sweep(self, idx, x, n, b):
+        mu = b * n[:, None]
+        f = self._f(idx, n)
+        costs = self._ck(idx, n)
+        gsm = self.gs[idx]
+        current = x.copy()
+        for i in range(self.L):
+            src = np.where(gsm[:, None], current, x)
+            below = np.sum(costs[:, :i] * src[:, :i], axis=1)
+            above = np.sum(mu[:, i + 1 :] / src[:, i + 1 :], axis=1)
+            denom = 2.0 * costs[:, i] * (1.0 + 0.5 * above)
+            value = mu[:, i] * (f + below) / denom
+            sq = np.sqrt(np.maximum(value, 0.0))
+            # Python's max(1.0, nan) is 1.0; np.maximum would keep the NaN.
+            current[:, i] = np.where(np.isnan(sq), 1.0, np.maximum(1.0, sq))
+        return current
+
+    # -- Formula 25: per-level Young initialization ---------------------------
+
+    def _young(self, idx, n, mu):
+        p = self._f(idx, n)
+        costs = self._ck(idx, n)
+        sq = np.sqrt((mu * p[:, None]) / (2.0 * costs))
+        return np.where(np.isnan(sq), 1.0, np.maximum(1.0, sq))
+
+    # -- Formula 24: dE/dN and the bisection scale solve ----------------------
+
+    def _grad_n(self, idx, x, n, b):
+        """``wallclock_gradient_n``, term for term."""
+        mu = b * n[:, None]
+        te = self.te[idx]
+        g = self._g(idx, n)
+        g_prime = self._g_prime(idx, n)
+        costs = self._ck(idx, n)
+        cost_primes = self._ck_prime(idx, n)
+        recov = self._rc(idx, n)
+        recov_primes = self._rc_prime(idx, n)
+        speedup_term = (
+            te
+            / np.power(g, 2.0)
+            * (
+                np.sum(b / (2.0 * x), axis=1) * g
+                - (1.0 + np.sum(mu / (2.0 * x), axis=1)) * g_prime
+            )
+        )
+        checkpoint_term = np.sum(cost_primes * (x - 1.0), axis=1)
+        ckpt_weighted = np.cumsum(costs * x, axis=1) / (2.0 * x)
+        ckpt_prime_weighted = np.cumsum(cost_primes * x, axis=1) / (2.0 * x)
+        failure_term = np.sum(
+            b * (ckpt_weighted + self.alloc[idx][:, None] + recov)
+            + mu * (ckpt_prime_weighted + recov_primes),
+            axis=1,
+        )
+        return speedup_term + checkpoint_term + failure_term
+
+    def _solve_scale(self, idx, x, b):
+        """Vectorized `_solve_scale`: returns ``(n, boundary)`` per lane.
+
+        The scalar bisection's zero/sign-equality preconditions are
+        provably unreachable for lanes routed here (``f(lo) == 0`` and
+        ``f(hi) == 0`` are caught by the boundary checks; the bracket
+        endpoints then have strictly opposite — or NaN — signs), so only
+        the masked bisection loop itself is reproduced.
+        """
+        n_out = np.empty(len(idx))
+        boundary = np.zeros(len(idx), dtype=bool)
+        hi0 = self.upper[idx]
+        lo0 = self.min_s[idx]
+        d_hi = self._grad_n(idx, x, hi0, b)
+        at_hi = d_hi <= 0
+        n_out[at_hi] = hi0[at_hi]
+        boundary[at_hi] = True
+        rest = ~at_hi
+        if np.any(rest):
+            r = np.flatnonzero(rest)
+            d_lo = self._grad_n(idx[r], x[r], lo0[r], b[r])
+            at_lo = d_lo >= 0
+            n_out[r[at_lo]] = lo0[r[at_lo]]
+            boundary[r[at_lo]] = True
+            bi = r[~at_lo]
+            if bi.size:
+                lo = lo0[bi].copy()
+                hi = hi0[bi].copy()
+                f_lo = d_lo[~at_lo].copy()
+                sub = idx[bi]
+                xs = x[bi]
+                bs = b[bi]
+                pos = np.arange(bi.size)
+                root = np.empty(bi.size)
+                for _ in range(200):
+                    mid = 0.5 * (lo + hi)
+                    f_mid = self._grad_n(sub, xs, mid, bs)
+                    stop = (f_mid == 0.0) | ((hi - lo) <= 0.5)
+                    if np.any(stop):
+                        root[pos[stop]] = mid[stop]
+                        keep = ~stop
+                        lo, hi, f_lo = lo[keep], hi[keep], f_lo[keep]
+                        mid, f_mid = mid[keep], f_mid[keep]
+                        sub, xs, bs = sub[keep], xs[keep], bs[keep]
+                        pos = pos[keep]
+                        if not pos.size:
+                            break
+                    move = np.sign(f_mid) == np.sign(f_lo)
+                    lo = np.where(move, mid, lo)
+                    f_lo = np.where(move, f_mid, f_lo)
+                    hi = np.where(move, hi, mid)
+                if pos.size:
+                    root[pos] = 0.5 * (lo + hi)
+                n_out[bi] = root
+        return n_out, boundary
+
+    # -- Formula 21: E(T_w) ---------------------------------------------------
+
+    def _wallclock(self, idx, x, n, mu):
+        f = self._f(idx, n)
+        costs = self._ck(idx, n)
+        recov = self._rc(idx, n)
+        rollback = f[:, None] / (2.0 * x) + np.cumsum(costs * x, axis=1) / (
+            2.0 * x
+        )
+        per_failure = rollback + self.alloc[idx][:, None] + recov
+        return (
+            f
+            + np.sum(costs * (x - 1.0), axis=1)
+            + np.sum(mu * per_failure, axis=1)
+        )
+
+
+def _solve_group(group: _Group) -> list[tuple]:
+    """Run Algorithm 1 for every lane of one level-count group.
+
+    Returns one outcome tuple per lane, in lane order:
+
+    * ``("ok", Algorithm1Result)`` — converged;
+    * ``("outer-diverged", payload)`` — the line-11 loop exhausted
+      ``max_outer`` (the scalar path's for-else raise);
+    * ``("inner-diverged", payload)`` — a line-5 inner solve exhausted
+      ``max_iter``;
+    * ``("rerun", reason)`` — the lane left the kernel's covered regime
+      mid-flight (e.g. a negative wall-clock estimate, which the scalar
+      path rejects with ``ValueError``); the caller re-runs it scalar.
+
+    Overflow/invalid warnings are silenced for the whole pass: lanes
+    heading for divergence legitimately push through inf/nan (the
+    scalar path's Python-float arithmetic does the same silently), and
+    the NaN-clamp rules below reproduce the scalar results bit-exactly.
+    """
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        return _solve_group_inner(group)
+
+
+def _solve_group_inner(group: _Group) -> list[tuple]:
+    K = group.K
+    lanes = group.lanes
+    outcomes: list[tuple | None] = [None] * K
+    alive = np.ones(K, dtype=bool)
+    all_idx = np.arange(K)
+
+    # Lines 1-3: mu from the failure-free productive time (or warm E(T_w)).
+    warm = np.array(
+        [l.warm if l.warm is not None else np.nan for l in lanes]
+    )
+    has_warm = np.array([l.warm is not None for l in lanes], dtype=bool)
+    w = np.where(has_warm, warm, group._f(all_idx, group.n_init))
+    mu = group._mu_at(all_idx, group.n_init, w)
+    histories: list[list] = [
+        [tuple(float(m) for m in mu[k])] for k in range(K)
+    ]
+    traces: list[list] = [[] for _ in range(K)]
+    inner_totals = np.zeros(K, dtype=np.intp)
+    x_warm = np.zeros((K, group.L))
+    resid_last = np.zeros(K)
+
+    for t in range(1, int(group.max_outer.max()) + 1):
+        act = np.flatnonzero(alive)
+        if act.size == 0:
+            break
+        # Line 4: freeze the wall-clock estimate into the slope b.
+        b = group.rate_deriv[act] * w[act][:, None]
+
+        # Line 5: the inner convex solve (Formulas 23/24), masked.
+        if t == 1:
+            xs = group._young(
+                act, group.n_start[act], b * group.n_start[act][:, None]
+            )
+        else:
+            xs = x_warm[act]
+        ns = group.n_start[act].copy()
+        k = act.size
+        iters = np.zeros(k, dtype=np.intp)
+        inner_fail = np.zeros(k, dtype=bool)
+        max_it = group.max_iter[act]
+        inner_fail[max_it < 1] = True  # scalar: empty range -> immediate raise
+        live = np.flatnonzero(max_it >= 1)
+        it = 0
+        while live.size:
+            it += 1
+            sub = act[live]
+            x_old = xs[live]
+            n_old = ns[live]
+            x_new = group._sweep(sub, x_old, n_old, b[live])
+            n_new = n_old.copy()
+            nf = np.flatnonzero(~group.has_fixed[sub])
+            if nf.size:
+                n_sol, _ = group._solve_scale(sub[nf], x_new[nf], b[live][nf])
+                n_new[nf] = n_sol
+            rc = np.max(
+                np.abs(x_new - x_old) / np.maximum(np.abs(x_old), 1.0), axis=1
+            )
+            nterm = np.abs(n_new - n_old) / np.maximum(np.abs(n_old), 1.0)
+            res = np.maximum(rc, nterm)
+            xs[live] = x_new
+            ns[live] = n_new
+            iters[live] = it
+            done = res <= group.tol[sub]
+            exhausted = ~done & (it >= max_it[live])
+            inner_fail[live[exhausted]] = True
+            live = live[~(done | exhausted)]
+
+        fail_pos = np.flatnonzero(inner_fail)
+        for p in fail_pos:
+            lane_k = int(act[p])
+            outcomes[lane_k] = (
+                "inner-diverged",
+                {
+                    "strategy": lanes[lane_k].strategy,
+                    "trace": list(traces[lane_k]),
+                    "iteration": t,
+                    "max_iter": lanes[lane_k].max_iter,
+                    "x": xs[p].copy(),
+                    "n": float(ns[p]),
+                },
+            )
+            alive[lane_k] = False
+        ok_pos = np.flatnonzero(~inner_fail)
+        if ok_pos.size == 0:
+            continue
+        sub = act[ok_pos]
+        x_fin = xs[ok_pos]
+        n_fin = ns[ok_pos]
+        it_fin = iters[ok_pos]
+
+        # Line 6: E(T_w) at the inner solution with the frozen mu.
+        ew = group._wallclock(sub, x_fin, n_fin, b[ok_pos] * n_fin[:, None])
+        inner_totals[sub] += it_fin
+        x_warm[sub] = x_fin
+        w[sub] = ew
+
+        # A negative wall-clock estimate leaves the kernel's regime: the
+        # scalar path raises ValueError inside expected_failures.  NaN
+        # stays in-kernel (the scalar comparison is False for NaN too).
+        neg = ew < 0.0
+        for p in np.flatnonzero(neg):
+            lane_k = int(sub[p])
+            outcomes[lane_k] = ("rerun", "negative wallclock estimate")
+            alive[lane_k] = False
+        keep = ~neg
+        if not np.any(keep):
+            continue
+        sub = sub[keep]
+        x_fin, n_fin, it_fin, ew = (
+            x_fin[keep], n_fin[keep], it_fin[keep], ew[keep],
+        )
+
+        # Lines 7-11: refresh mu, measure the stopping residual.
+        mu_new = group._mu_at(sub, n_fin, ew)
+        res_out = np.max(
+            np.abs(mu_new - mu[sub]) / np.maximum(np.abs(mu[sub]), 1.0),
+            axis=1,
+        )
+        mu[sub] = mu_new
+        resid_last[sub] = res_out
+        for j in range(sub.size):
+            lane_k = int(sub[j])
+            lane = lanes[lane_k]
+            mu_t = tuple(float(m) for m in mu_new[j])
+            histories[lane_k].append(mu_t)
+            traces[lane_k].append(
+                OuterIterationRecord(
+                    index=t,
+                    mu=mu_t,
+                    expected_wallclock=float(ew[j]),
+                    residual=float(res_out[j]),
+                    inner_iterations=int(it_fin[j]),
+                    scale=float(n_fin[j]),
+                )
+            )
+            if res_out[j] <= group.delta[lane_k]:
+                solution = Solution(
+                    intervals=tuple(float(v) for v in x_fin[j]),
+                    scale=float(n_fin[j]),
+                    expected_wallclock=float(ew[j]),
+                    mu=mu_t,
+                    strategy=lane.strategy,
+                    outer_iterations=t,
+                    inner_iterations=int(inner_totals[lane_k]),
+                )
+                outcomes[lane_k] = (
+                    "ok",
+                    Algorithm1Result(
+                        solution=solution,
+                        outer_iterations=t,
+                        inner_iterations_total=int(inner_totals[lane_k]),
+                        mu_history=tuple(histories[lane_k]),
+                        trace=tuple(traces[lane_k]),
+                    ),
+                )
+                alive[lane_k] = False
+            elif t == lane.max_outer:
+                outcomes[lane_k] = (
+                    "outer-diverged",
+                    {
+                        "strategy": lane.strategy,
+                        "max_outer": lane.max_outer,
+                        "residual": float(res_out[j]),
+                        "mu": mu_new[j].copy(),
+                        "history": histories[lane_k],
+                        "trace": traces[lane_k],
+                    },
+                )
+                alive[lane_k] = False
+
+    for k in range(K):  # pragma: no cover - safety net, unreachable
+        if outcomes[k] is None:
+            outcomes[k] = ("rerun", "kernel did not resolve the lane")
+    return outcomes
+
+
+# -- telemetry replay ---------------------------------------------------------
+#
+# The kernel computes silently; span trees and log lines are replayed per
+# lane at finish time, in call order, producing the identical
+# solver.optimize / solver.outer structure (and identical logger records)
+# the scalar path emits while iterating.
+
+
+def _replay_trace_records(strategy: str, trace) -> None:
+    for rec in trace:
+        with span(
+            "solver.outer", attributes={"iteration": rec.index}
+        ) as outer_span:
+            if outer_span is not None:
+                outer_span.set_attribute("residual", rec.residual)
+                outer_span.set_attribute(
+                    "inner_iterations", rec.inner_iterations
+                )
+            logger.debug(
+                "%s outer %d: E(T_w)=%.8g residual=%.3e inner=%d scale=%.6g",
+                strategy, rec.index, rec.expected_wallclock, rec.residual,
+                rec.inner_iterations, rec.scale,
+            )
+
+
+def _replay_success(result: Algorithm1Result, strategy: str) -> Algorithm1Result:
+    with span(
+        "solver.optimize", attributes={"strategy": strategy}
+    ) as optimize_span:
+        _replay_trace_records(strategy, result.trace)
+        if optimize_span is not None:
+            optimize_span.set_attribute(
+                "outer_iterations", result.outer_iterations
+            )
+            optimize_span.set_attribute(
+                "inner_iterations", result.inner_iterations_total
+            )
+    solution = result.solution
+    logger.info(
+        "%s converged in %d outer iterations (%d inner total): "
+        "E(T_w)=%.8g at N=%.6g",
+        strategy, result.outer_iterations, result.inner_iterations_total,
+        solution.expected_wallclock, solution.scale,
+    )
+    return result
+
+
+def _replay_outer_divergence(payload: dict) -> None:
+    strategy = payload["strategy"]
+    with span("solver.optimize", attributes={"strategy": strategy}):
+        _replay_trace_records(strategy, payload["trace"])
+        raise FixedPointDiverged(
+            f"Algorithm 1 did not converge within {payload['max_outer']} "
+            f"outer iterations (failure rates may be unrealistically high); "
+            f"last residual {payload['residual']:.3e}",
+            last_value=payload["mu"],
+            history=payload["history"],
+            trace=payload["trace"],
+        )
+
+
+def _replay_inner_divergence(payload: dict) -> None:
+    strategy = payload["strategy"]
+    with span("solver.optimize", attributes={"strategy": strategy}):
+        _replay_trace_records(strategy, payload["trace"])
+        with span(
+            "solver.outer", attributes={"iteration": payload["iteration"]}
+        ):
+            raise FixedPointDiverged(
+                f"inner multilevel fixed point did not converge in "
+                f"{payload['max_iter']} sweeps",
+                last_value=(payload["x"], payload["n"]),
+            )
+
+
+# -- the request ledger and cache protocol -----------------------------------
+
+
+@dataclass
+class _Request:
+    """One queued solve and its cache-protocol mode.
+
+    Modes: ``scalar`` (kernel off or config not covered — finish calls the
+    public memoized wrapper), ``resolved`` (setup-time cache hit),
+    ``owner`` (owns a kernel lane; the setup miss was counted),
+    ``opt-alias`` (duplicate optimize key in this batch; lookup deferred
+    to finish so the owner's insert lands first), and the jin-level
+    variants mirroring the nested memoized optimize call:
+    ``jin-owner`` / ``jin-insert`` / ``jin-opt-alias`` / ``jin-alias``.
+    """
+
+    kind: str  # "opt" | "jin"
+    params: ModelParameters
+    kwargs: dict
+    mode: str = "scalar"
+    lane: _Lane | None = None
+    key: object = None
+    opt_key: object = None
+    collapsed: ModelParameters | None = None
+    nested_kwargs: dict | None = None
+    primary: "_Request | None" = None
+    store: bool = True
+    outcome: tuple | None = None
+    value: object = None
+    error: BaseException | None = None
+    finished: bool = False
+
+
+class BatchSolver:
+    """Queue scalar-equivalent solves, run them as one vector kernel.
+
+    Usage::
+
+        solver = BatchSolver()
+        handles = [solver.add_optimize(p, **kw) for p, kw in work]
+        solver.solve()                    # one struct-of-arrays kernel pass
+        results = [solver.finish(h) for h in handles]   # in add order
+
+    ``finish`` returns exactly what the scalar call would have returned
+    (or raises exactly what it would have raised), replays the scalar
+    span/log telemetry, and performs the scalar cache protocol for its
+    lane.  Call ``finish`` in add order — that is the order the scalar
+    loop would have executed, and the order the alias bookkeeping
+    assumes.
+    """
+
+    def __init__(
+        self, *, batch: bool | None = None, cache: SolverCache | None = None
+    ):
+        self._enabled = resolve_batch_solve(batch)
+        self._cache = cache if cache is not None else SOLVER_CACHE
+        self._requests: list[_Request] = []
+        self._opt_primary: dict = {}
+        self._jin_primary: dict = {}
+        self._solved = False
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    @property
+    def kernel_lanes(self) -> int:
+        """Number of queued requests the vector kernel will solve."""
+        return sum(1 for r in self._requests if r.lane is not None)
+
+    def add_optimize(self, params: ModelParameters, **kwargs) -> int:
+        """Queue one ``optimize(params, **kwargs)``; returns a handle."""
+        req = _Request(kind="opt", params=params, kwargs=kwargs)
+        self._requests.append(req)
+        handle = len(self._requests) - 1
+        if not self._enabled:
+            return handle
+        try:
+            lane = _parse_lane(params, kwargs)
+            key = canonical_key(_OPT_NAME, params, kwargs)
+        except Exception:
+            return handle  # scalar fallback
+        req.key = key
+        req.store = not self._cache.bypassing
+        if key in self._opt_primary:
+            req.mode = "opt-alias"
+            req.primary = self._opt_primary[key]
+            return handle
+        found, value = self._cache.lookup(key)
+        if found:
+            req.mode = "resolved"
+            req.value = value
+            return handle
+        req.mode = "owner"
+        req.lane = lane
+        self._opt_primary[key] = req
+        return handle
+
+    def add_jin(self, params: ModelParameters, **kwargs) -> int:
+        """Queue one ``solve_jin_single_level(params, **kwargs)`` call."""
+        req = _Request(kind="jin", params=params, kwargs=kwargs)
+        self._requests.append(req)
+        handle = len(self._requests) - 1
+        if not self._enabled:
+            return handle
+        try:
+            if set(kwargs) - _JIN_KEYS:
+                raise TypeError("unknown jin kwargs")
+            collapsed = (
+                params.single_level() if params.num_levels > 1 else params
+            )
+            # The nested memoized optimize call, kwargs verbatim.
+            nested = {
+                "delta": kwargs.get("delta", 1e-12),
+                "max_outer": kwargs.get("max_outer", 200),
+                "strategy_name": "sl-opt-scale",
+            }
+            lane = _parse_lane(collapsed, nested)
+            jin_key = canonical_key(_JIN_NAME, params, kwargs)
+            opt_key = canonical_key(_OPT_NAME, collapsed, nested)
+        except Exception:
+            return handle  # scalar fallback
+        req.key = jin_key
+        req.opt_key = opt_key
+        req.collapsed = collapsed
+        req.nested_kwargs = nested
+        req.store = not self._cache.bypassing
+        if jin_key in self._jin_primary:
+            req.mode = "jin-alias"
+            req.primary = self._jin_primary[jin_key]
+            return handle
+        found, value = self._cache.lookup(jin_key)
+        if found:
+            req.mode = "resolved"
+            req.value = value
+            return handle
+        self._jin_primary[jin_key] = req
+        if opt_key in self._opt_primary:
+            req.mode = "jin-opt-alias"
+            req.primary = self._opt_primary[opt_key]
+            return handle
+        found, value = self._cache.lookup(opt_key)
+        if found:
+            req.mode = "jin-insert"
+            req.value = value
+            return handle
+        req.mode = "jin-owner"
+        req.lane = lane
+        self._opt_primary[opt_key] = req
+        return handle
+
+    def solve(self) -> "BatchSolver":
+        """Run the vector kernel over all owned lanes (idempotent)."""
+        if self._solved:
+            return self
+        self._solved = True
+        groups: dict[int, list[_Request]] = {}
+        for req in self._requests:
+            if req.lane is not None:
+                groups.setdefault(req.lane.num_levels, []).append(req)
+        for reqs in groups.values():
+            try:
+                outcomes = _solve_group(_Group([r.lane for r in reqs]))
+            except Exception as exc:  # pragma: no cover - safety net
+                for r in reqs:
+                    r.outcome = ("rerun", f"kernel error: {exc!r}")
+                continue
+            for r, out in zip(reqs, outcomes):
+                r.outcome = out
+        return self
+
+    def finish(self, handle: int):
+        """Resolve one queued solve: scalar-identical value or exception."""
+        req = self._requests[handle]
+        if req.finished:
+            if req.error is not None:
+                raise req.error
+            return req.value
+        if not self._solved:
+            self.solve()
+        try:
+            value = self._finish(req)
+        except BaseException as exc:
+            req.finished = True
+            req.error = exc
+            raise
+        req.finished = True
+        req.value = value
+        return value
+
+    def _finish(self, req: _Request):
+        mode = req.mode
+        if mode == "scalar":
+            if req.kind == "jin":
+                return solve_jin_single_level(req.params, **req.kwargs)
+            return optimize(req.params, **req.kwargs)
+        if mode == "resolved":
+            return req.value
+        if mode == "owner":
+            value = self._execute(req)
+            if req.store:
+                self._cache.insert(req.key, value)
+            return value
+        if mode == "opt-alias":
+            found, value = self._cache.lookup(req.key)
+            if found:
+                return value
+            value = self._execute(req.primary)
+            if req.store:
+                self._cache.insert(req.key, value)
+            return value
+        if mode == "jin-owner":
+            value = self._execute(req)
+            if req.store:
+                self._cache.insert(req.opt_key, value)
+                self._cache.insert(req.key, value)
+            return value
+        if mode == "jin-insert":
+            if req.store:
+                self._cache.insert(req.key, req.value)
+            return req.value
+        if mode == "jin-opt-alias":
+            found, value = self._cache.lookup(req.opt_key)
+            if not found:
+                value = self._execute(req.primary)
+                if req.store:
+                    self._cache.insert(req.opt_key, value)
+            if req.store:
+                self._cache.insert(req.key, value)
+            return value
+        if mode == "jin-alias":
+            found, value = self._cache.lookup(req.key)
+            if found:
+                return value
+            value = self._jin_nested(req)
+            if req.store:
+                self._cache.insert(req.key, value)
+            return value
+        raise RuntimeError(f"unknown request mode {mode!r}")  # pragma: no cover
+
+    def _execute(self, req: _Request):
+        """Turn a kernel outcome into the scalar call's value/exception."""
+        kind_, payload = req.outcome
+        if kind_ == "ok":
+            return _replay_success(payload, req.lane.strategy)
+        if kind_ == "outer-diverged":
+            _replay_outer_divergence(payload)
+        if kind_ == "inner-diverged":
+            _replay_inner_divergence(payload)
+        # Rerun: the raw scalar function.  The cache miss was already
+        # counted at setup and errors are never stored, so the unwrapped
+        # call reproduces the scalar path's counters, spans, and raise.
+        if req.kind == "jin":
+            return _OPT_FN(req.collapsed, **req.nested_kwargs)
+        return _OPT_FN(req.params, **req.kwargs)
+
+    def _jin_nested(self, req: _Request):
+        """Mirror the jin solver's nested memoized optimize call."""
+        found, value = self._cache.lookup(req.opt_key)
+        if found:
+            return value
+        target = req.primary
+        while target is not None and target.lane is None:
+            target = target.primary
+        if target is None or target.outcome is None:
+            value = _OPT_FN(req.collapsed, **req.nested_kwargs)
+        else:
+            value = self._execute(target)
+        if req.store:
+            self._cache.insert(req.opt_key, value)
+        return value
+
+
+# -- public sweep entry points ------------------------------------------------
+
+
+def batch_optimize(
+    params_list,
+    kwargs_list=None,
+    *,
+    batch: bool | None = None,
+    cache: SolverCache | None = None,
+    return_exceptions: bool = False,
+):
+    """Run ``optimize`` for every configuration, batched.
+
+    Returns one :class:`Algorithm1Result` per configuration, in order —
+    bit-identical to looping the scalar :func:`repro.core.algorithm1.
+    optimize`.  With ``return_exceptions=True``, per-config
+    :class:`FixedPointDiverged` exceptions are returned in place instead
+    of raised, so one divergent configuration does not poison the
+    converged lanes (other exception types still raise).
+    """
+    params_list = list(params_list)
+    if kwargs_list is None:
+        kwargs_list = [{} for _ in params_list]
+    else:
+        kwargs_list = [dict(kw or {}) for kw in kwargs_list]
+        if len(kwargs_list) != len(params_list):
+            raise ValueError(
+                f"{len(kwargs_list)} kwargs for {len(params_list)} configs"
+            )
+    solver = BatchSolver(batch=batch, cache=cache)
+    handles = [
+        solver.add_optimize(p, **kw)
+        for p, kw in zip(params_list, kwargs_list)
+    ]
+    solver.solve()
+    results = []
+    for handle in handles:
+        if return_exceptions:
+            try:
+                results.append(solver.finish(handle))
+            except FixedPointDiverged as exc:
+                results.append(exc)
+        else:
+            results.append(solver.finish(handle))
+    return results
+
+
+def batch_compare_all_strategies(
+    params_list,
+    *,
+    batch: bool | None = None,
+    cache: SolverCache | None = None,
+    **kwargs,
+) -> list[dict[str, Solution]]:
+    """Batched :func:`repro.core.solutions.compare_all_strategies`.
+
+    Solves every iterative strategy of every configuration through one
+    kernel pass; per-config results (dict order, cache protocol, span
+    replay order, closed-form SL(ori-scale)) match the scalar loop
+    exactly.
+    """
+    params_list = list(params_list)
+    solver = BatchSolver(batch=batch, cache=cache)
+    queued = []
+    for params in params_list:
+        h_ml = solver.add_optimize(params, strategy_name="ml-opt-scale", **kwargs)
+        h_sl = solver.add_jin(params)
+        h_ori = solver.add_optimize(
+            params,
+            fixed_scale=params.scale_upper_bound,
+            strategy_name="ml-ori-scale",
+            **kwargs,
+        )
+        queued.append((params, h_ml, h_sl, h_ori))
+    solver.solve()
+    results = []
+    for params, h_ml, h_sl, h_ori in queued:
+        results.append(
+            {
+                "ml-opt-scale": solver.finish(h_ml).solution,
+                "sl-opt-scale": solver.finish(h_sl).solution,
+                "ml-ori-scale": solver.finish(h_ori).solution,
+                "sl-ori-scale": sl_ori_scale(params),
+            }
+        )
+    return results
+
+
+def sweep_scales(
+    params_list,
+    scales,
+    *,
+    warm_start: bool = True,
+    batch: bool | None = None,
+    cache: SolverCache | None = None,
+    return_exceptions: bool = False,
+    **kwargs,
+):
+    """Sweep ``max_scale`` over an N-grid, one batched solve per grid point.
+
+    For every scale ``N`` in ``scales`` each base configuration is
+    re-solved with ``max_scale=N``.  With ``warm_start=True`` (default)
+    each grid point seeds Algorithm 1's line-1 wall-clock estimate from
+    the *previous* grid point's converged ``E(T_w)`` (the
+    ``warm_wallclock`` kwarg), which cuts outer-iteration counts on
+    monotone grids; configurations that diverged at the previous point
+    fall back to the cold initialization.  Returns a list (per scale) of
+    lists (per configuration) of results, following ``batch_optimize``'s
+    ``return_exceptions`` convention.
+    """
+    params_list = list(params_list)
+    results = []
+    previous: list[Algorithm1Result | None] = [None] * len(params_list)
+    for scale in scales:
+        step_params = [
+            replace(p, max_scale=float(scale)) for p in params_list
+        ]
+        kwargs_list = []
+        for prev in previous:
+            kw = dict(kwargs)
+            if warm_start and prev is not None:
+                kw["warm_wallclock"] = prev.solution.expected_wallclock
+            kwargs_list.append(kw)
+        step = batch_optimize(
+            step_params,
+            kwargs_list,
+            batch=batch,
+            cache=cache,
+            return_exceptions=True,
+        )
+        previous = [
+            r if isinstance(r, Algorithm1Result) else None for r in step
+        ]
+        if not return_exceptions:
+            for r in step:
+                if isinstance(r, BaseException):
+                    raise r
+        results.append(step)
+    return results

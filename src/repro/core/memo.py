@@ -257,6 +257,59 @@ class SolverCache:
             persistent.put(key, value)
         return value
 
+    @property
+    def bypassing(self) -> bool:
+        """Whether a :meth:`bypass` context is currently active."""
+        return self._bypass_depth > 0
+
+    def lookup(self, key: Hashable) -> tuple[bool, Any]:
+        """One counted lookup without a compute: ``(found, value)``.
+
+        Behaves exactly like the lookup half of :meth:`get_or_compute` —
+        memory hit (LRU refresh + ``memo.hits``), then the attached
+        persistent store (``memo.persist_hits`` + promotion into memory),
+        else a counted miss.  Under :meth:`bypass` it counts
+        ``memo.bypassed`` and reports a miss, mirroring the compute-always
+        semantics.  The batch solver uses this with :meth:`insert` to
+        reproduce the scalar path's cache protocol lane by lane.
+        """
+        if self._bypass_depth > 0:
+            METRICS.counter("memo.bypassed").inc()
+            return False, None
+        with self._lock:
+            if key in self._store:
+                self._hits += 1
+                METRICS.counter("memo.hits").inc()
+                value = self._store.pop(key)
+                self._store[key] = value  # refresh LRU recency
+                return True, value
+            self._misses += 1
+            METRICS.counter("memo.misses").inc()
+            persistent = self._persistent
+        if persistent is not None:
+            stored = persistent.get(key)
+            if stored is not PERSIST_MISS:
+                with self._lock:
+                    self._persist_hits += 1
+                    METRICS.counter("memo.persist_hits").inc()
+                    self._insert(key, stored)
+                return True, stored
+        return False, None
+
+    def insert(self, key: Hashable, value: Any) -> None:
+        """Store a computed value exactly like :meth:`get_or_compute` does.
+
+        Write-through to the attached persistent store included; a no-op
+        under :meth:`bypass` (bypassed computes are never stored).
+        """
+        if self._bypass_depth > 0:
+            return
+        with self._lock:
+            self._insert(key, value)
+            persistent = self._persistent
+        if persistent is not None:
+            persistent.put(key, value)
+
     def clear(self) -> None:
         """Drop all in-memory entries and reset the counters.
 

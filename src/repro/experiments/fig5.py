@@ -32,6 +32,10 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.core.batch_solve import (
+    batch_compare_all_strategies,
+    resolve_batch_solve,
+)
 from repro.core.notation import ModelParameters, Solution
 from repro.core.solutions import compare_all_strategies
 from repro.experiments.config import FIG5_CASES, make_params
@@ -186,9 +190,13 @@ def run_case(
     jobs: int | None = None,
     executor: Executor | None = None,
     batch: bool | None = None,
+    batch_solve: bool | None = None,
 ) -> CaseResult:
     """Solve and simulate all four strategies for one failure case."""
-    solutions = compare_all_strategies(params)
+    if resolve_batch_solve(batch_solve):
+        [solutions] = batch_compare_all_strategies([params])
+    else:
+        solutions = compare_all_strategies(params)
     tasks = case_tasks(
         params, solutions, n_runs=n_runs, seed=seed, jitter=jitter,
         batch=batch,
@@ -220,12 +228,18 @@ def run_fig5(
     trace_dir: str | Path | None = None,
     trace_prefix: str = "fig5",
     batch: bool | None = None,
+    batch_solve: bool | None = None,
 ) -> Fig5Result:
     """Run the full Fig. 5 / Table III experiment.
 
     All ``len(cases) * 4`` strategy ensembles are submitted to the
     executor concurrently; ``timer`` (optional) records the solve /
-    simulate / aggregate phase wall-clocks.
+    simulate / aggregate phase wall-clocks.  ``batch_solve`` selects the
+    vectorized sweep solver (one :mod:`repro.core.batch_solve` kernel
+    pass across every case x strategy; ``None`` defers to
+    ``REPRO_BATCH_SOLVE``) — results are bit-identical either way, and
+    the solve phase is sub-timed as ``solve.batch`` / ``solve.scalar``
+    so benches attribute the win to the right path.
 
     ``trace_dir`` switches on per-replica event tracing and writes one
     JSONL file per (case x strategy) ensemble —
@@ -240,11 +254,23 @@ def run_fig5(
     rngs = spawn_generators(seed, len(cases))
 
     with timer.phase("solve"):
-        solved = []
-        for rng, case in zip(rngs, cases):
-            params = make_params(te_core_days, case)
-            solutions = compare_all_strategies(params)
-            solved.append((case, params, solutions, rng))
+        pairs = [(case, make_params(te_core_days, case)) for case in cases]
+        if resolve_batch_solve(batch_solve):
+            with timer.phase("solve.batch"):
+                all_solutions = batch_compare_all_strategies(
+                    [params for _, params in pairs]
+                )
+        else:
+            with timer.phase("solve.scalar"):
+                all_solutions = [
+                    compare_all_strategies(params) for _, params in pairs
+                ]
+        solved = [
+            (case, params, solutions, rng)
+            for (case, params), solutions, rng in zip(
+                pairs, all_solutions, rngs
+            )
+        ]
     logger.info(
         "%s: solved %d cases x %d strategies (T_e=%g core-days)",
         trace_prefix, len(solved), len(solved[0][2]) if solved else 0,

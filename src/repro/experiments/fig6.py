@@ -26,6 +26,7 @@ def run_fig6(
     timer: PhaseTimer | None = None,
     trace_dir=None,
     batch: bool | None = None,
+    batch_solve: bool | None = None,
 ) -> Fig5Result:
     """Run the Fig. 6 experiment (Fig. 5 protocol at T_e = 10m core-days).
 
@@ -39,7 +40,7 @@ def run_fig6(
     return run_fig5(
         te_core_days=10e6, n_runs=n_runs, seed=seed, jitter=jitter,
         jobs=jobs, executor=executor, timer=timer, trace_dir=trace_dir,
-        trace_prefix="fig6", batch=batch, **kwargs
+        trace_prefix="fig6", batch=batch, batch_solve=batch_solve, **kwargs
     )
 
 

@@ -22,6 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.core.batch_solve import (
+    batch_compare_all_strategies,
+    resolve_batch_solve,
+)
 from repro.core.notation import ModelParameters, Solution
 from repro.core.solutions import compare_all_strategies
 from repro.experiments.config import TABLE4_CASES, make_params, table4_cost_models
@@ -68,6 +72,7 @@ def run_table4(
     executor: Executor | None = None,
     timer: PhaseTimer | None = None,
     batch: bool | None = None,
+    batch_solve: bool | None = None,
 ) -> Table4Result:
     """Run the full Table IV experiment (both blocks).
 
@@ -81,19 +86,36 @@ def run_table4(
     rng_iter = iter(rngs)
 
     with timer.phase("solve"):
-        solved = []
-        for allocation in allocations:
-            for case in cases:
-                params = make_params(
+        grid = [
+            (
+                allocation,
+                case,
+                make_params(
                     TABLE4_TE_CORE_DAYS,
                     case,
                     costs=costs,
                     allocation_period=allocation,
+                ),
+            )
+            for allocation in allocations
+            for case in cases
+        ]
+        if resolve_batch_solve(batch_solve):
+            with timer.phase("solve.batch"):
+                all_solutions = batch_compare_all_strategies(
+                    [params for _, _, params in grid]
                 )
-                solutions = compare_all_strategies(params)
-                solved.append(
-                    (allocation, case, params, solutions, next(rng_iter))
-                )
+        else:
+            with timer.phase("solve.scalar"):
+                all_solutions = [
+                    compare_all_strategies(params) for _, _, params in grid
+                ]
+        solved = [
+            (allocation, case, params, solutions, next(rng_iter))
+            for (allocation, case, params), solutions in zip(
+                grid, all_solutions
+            )
+        ]
 
     with timer.phase("simulate"):
         flat_tasks = []

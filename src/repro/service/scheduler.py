@@ -44,6 +44,10 @@ from repro.parallel.executor import Executor, make_executor
 logger = get_logger("service.scheduler")
 
 
+def _invoke(task: Callable[[], None]) -> None:
+    task()
+
+
 class ServiceOverloaded(RuntimeError):
     """The bounded request queue is full; retry after ``retry_after`` s."""
 
@@ -54,6 +58,35 @@ class ServiceOverloaded(RuntimeError):
 
 class ServiceClosed(RuntimeError):
     """The scheduler is shutting down and no longer accepts work."""
+
+
+def execute_entry(entry: "_Entry", fn: Callable[[], Any]) -> None:
+    """Run ``fn`` as ``entry``'s compute under the entry's pinned span.
+
+    This is the single execution discipline of the service: open the
+    ``scheduler.execute`` span whose identity was derived at submit time,
+    store the result or the error on the entry, and never raise.  The
+    scheduler uses it for singleton entries (``fn`` is the entry's own
+    compute); batch runners use it per entry with a closure that reads
+    the already-solved batch result, so waiters and telemetry cannot
+    tell the two apart.  Marking the entry done (and unlinking it from
+    the pending map) stays with the scheduler.
+    """
+    try:
+        with span(
+            "scheduler.execute",
+            context=entry.span_context,
+            parent_id=entry.span_parent_id,
+            attributes={"waiters": entry.waiters},
+        ) as live:
+            entry.result = fn()
+            if live is not None:
+                # Refresh: duplicates may have attached while the
+                # compute ran (the at-start snapshot undercounts).
+                live.set_attribute("waiters", entry.waiters)
+    except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+        entry.error = exc
+        logger.debug("request %r failed: %s", entry.key, exc)
 
 
 class _Entry:
@@ -98,6 +131,16 @@ class CoalescingScheduler:
     retry_after:
         Advisory client back-off (seconds) carried by
         :class:`ServiceOverloaded`.
+    batch_runners:
+        Optional ``{group: runner}`` map for *vectorized* dispatch.  A
+        compute callable carrying a ``batch_group`` attribute naming a
+        registered group is not fanned out one-entry-per-worker;
+        instead every same-group entry drained in one batch is handed
+        to ``runner(entries)`` as a single unit (one pool task), which
+        must call :func:`execute_entry` once per entry.  This is how
+        coalesced-distinct ``/v1/solve`` keys drain through one
+        ``batch_solve`` kernel pass.  Entries without a recognized
+        group keep the per-entry path.
     """
 
     def __init__(
@@ -107,6 +150,7 @@ class CoalescingScheduler:
         batch_max: int = 8,
         jobs: int | str | None = None,
         retry_after: float = 1.0,
+        batch_runners: dict[str, Callable[[list], None]] | None = None,
     ):
         if queue_max < 1:
             raise ValueError(f"queue_max must be >= 1, got {queue_max}")
@@ -115,6 +159,7 @@ class CoalescingScheduler:
         self.queue_max = int(queue_max)
         self.batch_max = int(batch_max)
         self.retry_after = float(retry_after)
+        self._batch_runners = dict(batch_runners or {})
         self._executor: Executor = make_executor(jobs, backend="thread")
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -211,31 +256,58 @@ class CoalescingScheduler:
                 METRICS.gauge("service.queue_depth").set(len(self._queue))
             METRICS.counter("service.batches").inc()
             METRICS.histogram("service.batch_size").observe(len(batch))
-            # _run_entry never raises, so pool.map cannot abort the batch.
-            self._executor.map(self._run_entry, batch)
+            # Same-group entries become one pool task so the runner can
+            # solve them in a single vectorized pass; everything else
+            # keeps the one-entry-per-worker fan-out.  No task ever
+            # raises, so pool.map cannot abort the batch.
+            groups: dict[str, list[_Entry]] = {}
+            tasks: list[Callable[[], None]] = []
+            for entry in batch:
+                group = getattr(entry.compute, "batch_group", None)
+                if group is not None and group in self._batch_runners:
+                    groups.setdefault(group, []).append(entry)
+                else:
+                    tasks.append(
+                        lambda entry=entry: self._run_entry(entry)
+                    )
+            for group, entries in groups.items():
+                METRICS.counter("service.vector_batches").inc()
+                METRICS.histogram("service.vector_batch_size").observe(
+                    len(entries)
+                )
+                tasks.append(
+                    lambda runner=self._batch_runners[group],
+                    entries=entries: self._run_group(runner, entries)
+                )
+            self._executor.map(_invoke, tasks)
 
     def _run_entry(self, entry: _Entry) -> None:
         try:
             # context=None (no live span at submit) falls back to normal
             # parent resolution: a fresh root in this dispatcher thread.
-            with span(
-                "scheduler.execute",
-                context=entry.span_context,
-                parent_id=entry.span_parent_id,
-                attributes={"waiters": entry.waiters},
-            ) as live:
-                entry.result = entry.compute()
-                if live is not None:
-                    # Refresh: duplicates may have attached while the
-                    # compute ran (the at-start snapshot undercounts).
-                    live.set_attribute("waiters", entry.waiters)
-        except BaseException as exc:  # noqa: BLE001 - delivered to waiters
-            entry.error = exc
-            logger.debug("request %r failed: %s", entry.key, exc)
+            execute_entry(entry, entry.compute)
         finally:
-            with self._lock:
-                self._pending.pop(entry.key, None)
-            entry.done.set()
+            self._finish_entry(entry)
+
+    def _run_group(self, runner: Callable[[list], None], entries: list[_Entry]) -> None:
+        try:
+            runner(entries)
+        except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+            # A runner fault outside execute_entry (which never raises)
+            # fails the entries it had not resolved yet; finished ones
+            # keep their results.
+            for entry in entries:
+                if entry.result is None and entry.error is None:
+                    entry.error = exc
+            logger.debug("batch runner failed: %s", exc)
+        finally:
+            for entry in entries:
+                self._finish_entry(entry)
+
+    def _finish_entry(self, entry: _Entry) -> None:
+        with self._lock:
+            self._pending.pop(entry.key, None)
+        entry.done.set()
 
     # ----------------------------------------------------------- shutdown
 

@@ -49,7 +49,13 @@ from repro.obs.logconf import ensure_configured, get_logger
 from repro.obs.metrics import LATENCY_BUCKETS, METRICS
 from repro.obs.promexport import PROMETHEUS_CONTENT_TYPE, prometheus_text
 from repro.obs.spans import TRACEPARENT_HEADER, parse_traceparent, span
-from repro.service.api import BUILDERS, RequestError, canonical_json
+from repro.core.batch_solve import resolve_batch_solve
+from repro.service.api import (
+    BUILDERS,
+    RequestError,
+    canonical_json,
+    run_solve_batch,
+)
 from repro.service.scheduler import (
     CoalescingScheduler,
     ServiceClosed,
@@ -82,6 +88,12 @@ class ReproService:
     cache_max_entries:
         LRU bound installed on ``SOLVER_CACHE`` for the service's
         lifetime (``None`` leaves the current bound untouched).
+    batch_solve:
+        Drain same-batch ``/v1/solve`` entries through one vectorized
+        ``batch_solve`` kernel pass instead of one scalar solve per
+        worker.  ``None`` (default) defers to ``REPRO_BATCH_SOLVE``
+        (on unless explicitly disabled).  Responses are bit-identical
+        either way; this only changes how fast a burst drains.
     """
 
     def __init__(
@@ -95,6 +107,7 @@ class ReproService:
         retry_after: float = 1.0,
         store_path: str | Path | None = DEFAULT_STORE_PATH,
         cache_max_entries: int | None = None,
+        batch_solve: bool | None = None,
     ):
         # The repro logger tree drops records without a handler
         # (propagate=False); make sure handler/scheduler threads log even
@@ -117,6 +130,11 @@ class ReproService:
             batch_max=batch_max,
             jobs=jobs,
             retry_after=retry_after,
+            batch_runners=(
+                {"solve": run_solve_batch}
+                if resolve_batch_solve(batch_solve)
+                else None
+            ),
         )
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = False  # shutdown waits for handlers

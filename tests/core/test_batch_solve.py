@@ -1,0 +1,402 @@
+"""Batch-vs-scalar equivalence: the bit-identity contract of batch_solve.
+
+The vectorized sweep solver must return *exactly* what looping the scalar
+:func:`repro.core.algorithm1.optimize` returns — same ``Algorithm1Result``
+fields, same convergence traces, same `FixedPointDiverged` payloads, same
+``SolverCache`` counters, same replayed span trees — across the behaviour
+matrix: every iterative strategy, N-grid edges, warm starts, max-iteration
+cutoffs, and scripted divergence.  Every assertion on results is strict
+equality (dataclass ``__eq__`` compares the floats directly), not approx.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import batch_solve
+from repro.core.algorithm1 import Algorithm1Result, optimize
+from repro.core.batch_solve import (
+    BATCH_SOLVE_ENV_VAR,
+    BatchSolver,
+    batch_compare_all_strategies,
+    batch_optimize,
+    resolve_batch_solve,
+    sweep_scales,
+)
+from repro.core.jin import solve_jin_single_level
+from repro.core.memo import SOLVER_CACHE
+from repro.core.solutions import compare_all_strategies
+from repro.costs.model import CostModel, LevelCostModel
+from repro.costs.scaling import ScalingBaseline
+from repro.experiments.config import make_params
+from repro.obs.spans import (
+    SpanRecorder,
+    recording,
+    span,
+    span_tree_signature,
+)
+from repro.util.iteration import FixedPointDiverged
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    SOLVER_CACHE.clear()
+    yield
+    SOLVER_CACHE.clear()
+
+
+def fast_params(case="24-12-6-3", **kwargs):
+    kwargs.setdefault("ideal_scale", 2000)
+    kwargs.setdefault("allocation_period", 30)
+    return make_params(200, case, **kwargs)
+
+
+#: (name, params, optimize kwargs) covering the behaviour matrix.  The
+#: N-grid edges pin ``max_scale`` at / below / far above the ideal scale;
+#: ``fixed_scale`` rows exercise the ML(ori-scale) pinned path; the
+#: ``inner_kwargs`` rows drive the Jacobi sweep and a tight sweep budget.
+def _matrix():
+    base = fast_params()
+    harsh = fast_params("96-48-24-12")
+    rows = [
+        ("ml-opt", base, {}),
+        ("ml-ori", base, dict(fixed_scale=base.scale_upper_bound,
+                              strategy_name="ml-ori-scale")),
+        ("harsh-rates", harsh, {}),
+        ("grid-low", replace(base, max_scale=300.0), {}),
+        ("grid-ideal", replace(base, max_scale=2000.0), {}),
+        ("grid-above-ideal", replace(base, max_scale=50_000.0), {}),
+        ("jacobi", base, dict(inner_kwargs=dict(gauss_seidel=False))),
+        ("inner-n0", base, dict(inner_kwargs=dict(n0=700.0))),
+        ("loose-delta", base, dict(delta=1e-6)),
+        ("single-level", base.single_level(), {}),
+        ("paper-scale", make_params(3e6, "8-4-2-1"), {}),
+    ]
+    return rows
+
+
+MATRIX = _matrix()
+MATRIX_IDS = [name for name, _, _ in MATRIX]
+
+
+class TestBatchOptimize:
+    @pytest.mark.parametrize("name,params,kwargs", MATRIX, ids=MATRIX_IDS)
+    def test_bit_identical_to_scalar(self, name, params, kwargs):
+        scalar = optimize(params, **kwargs)
+        SOLVER_CACHE.clear()
+        [batch] = batch_optimize([params], [kwargs])
+        assert batch == scalar
+
+    def test_whole_matrix_in_one_kernel_pass(self):
+        plist = [p for _, p, _ in MATRIX]
+        kwlist = [kw for _, _, kw in MATRIX]
+        scalar = [optimize(p, **kw) for p, kw in zip(plist, kwlist)]
+        stats_scalar = SOLVER_CACHE.stats()
+        SOLVER_CACHE.clear()
+        solver = BatchSolver()
+        handles = [solver.add_optimize(p, **kw)
+                   for p, kw in zip(plist, kwlist)]
+        # Every matrix row is kernel-eligible: none may fall back.
+        assert solver.kernel_lanes == len(MATRIX)
+        solver.solve()
+        batch = [solver.finish(h) for h in handles]
+        assert batch == scalar
+        assert SOLVER_CACHE.stats() == stats_scalar
+
+    def test_duplicate_keys_coalesce_like_scalar(self):
+        p = fast_params()
+        scalar = [optimize(p), optimize(p), optimize(p)]
+        stats_scalar = SOLVER_CACHE.stats()
+        SOLVER_CACHE.clear()
+        batch = batch_optimize([p, p, p])
+        assert batch == scalar
+        assert SOLVER_CACHE.stats() == stats_scalar
+        assert SOLVER_CACHE.stats().misses == 1
+
+    def test_kwargs_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="kwargs"):
+            batch_optimize([fast_params()], [{}, {}])
+
+    def test_batch_false_uses_scalar_path(self):
+        p = fast_params()
+        solver = BatchSolver(batch=False)
+        h = solver.add_optimize(p)
+        assert solver.kernel_lanes == 0
+        solver.solve()
+        assert solver.finish(h) == optimize(p)
+
+
+class TestDivergence:
+    def test_outer_cutoff_matches_scalar(self, small_params):
+        with pytest.raises(FixedPointDiverged) as scalar_exc:
+            optimize(small_params, max_outer=2)
+        SOLVER_CACHE.clear()
+        with pytest.raises(FixedPointDiverged) as batch_exc:
+            batch_optimize([small_params], [dict(max_outer=2)])
+        assert str(batch_exc.value) == str(scalar_exc.value)
+        assert batch_exc.value.trace == scalar_exc.value.trace
+        assert batch_exc.value.history == scalar_exc.value.history
+        assert np.array_equal(
+            batch_exc.value.last_value, scalar_exc.value.last_value
+        )
+
+    def test_inner_cutoff_matches_scalar(self, small_params):
+        kw = dict(inner_kwargs=dict(max_iter=1))
+        with pytest.raises(FixedPointDiverged) as scalar_exc:
+            optimize(small_params, **kw)
+        SOLVER_CACHE.clear()
+        with pytest.raises(FixedPointDiverged) as batch_exc:
+            batch_optimize([small_params], [kw])
+        assert str(batch_exc.value) == str(scalar_exc.value)
+        x_s, n_s = scalar_exc.value.last_value
+        x_b, n_b = batch_exc.value.last_value
+        assert np.array_equal(x_s, x_b, equal_nan=True)
+        assert n_s == n_b
+
+    def test_divergent_lane_does_not_poison_converged_lanes(self):
+        p = fast_params()
+        good = optimize(p)
+        SOLVER_CACHE.clear()
+        results = batch_optimize(
+            [p, p, p],
+            [{}, dict(max_outer=1), dict(inner_kwargs=dict(max_iter=1))],
+            return_exceptions=True,
+        )
+        assert results[0] == good
+        assert isinstance(results[1], FixedPointDiverged)
+        assert isinstance(results[2], FixedPointDiverged)
+
+    def test_errors_are_never_cached(self):
+        p = fast_params()
+        with pytest.raises(FixedPointDiverged):
+            batch_optimize([p], [dict(max_outer=1)])
+        assert SOLVER_CACHE.stats().size == 0
+
+
+class TestStrategies:
+    def test_compare_all_matches_scalar(self):
+        plist = [fast_params(), fast_params("16-12-8-4")]
+        scalar = [compare_all_strategies(p) for p in plist]
+        stats_scalar = SOLVER_CACHE.stats()
+        SOLVER_CACHE.clear()
+        batch = batch_compare_all_strategies(plist)
+        assert batch == scalar
+        assert SOLVER_CACHE.stats() == stats_scalar
+
+    def test_jin_matches_scalar(self):
+        p = fast_params()
+        scalar = solve_jin_single_level(p)
+        stats_scalar = SOLVER_CACHE.stats()
+        SOLVER_CACHE.clear()
+        solver = BatchSolver()
+        h = solver.add_jin(p)
+        solver.solve()
+        assert solver.finish(h) == scalar
+        assert SOLVER_CACHE.stats() == stats_scalar
+
+    def test_jin_reuses_cached_nested_optimize(self):
+        """A jin solve whose collapsed optimize is already cached must hit
+        it exactly like the scalar nested call would."""
+        p = fast_params()
+        scalar = solve_jin_single_level(p)
+        stats_warm = SOLVER_CACHE.stats()
+        solver = BatchSolver()
+        h = solver.add_jin(p)
+        assert solver.kernel_lanes == 0  # both keys resolved at setup
+        solver.solve()
+        assert solver.finish(h) == scalar
+        after = SOLVER_CACHE.stats()
+        assert after.hits == stats_warm.hits + 1
+        assert after.misses == stats_warm.misses
+
+
+class TestWarmStart:
+    GRID = tuple(np.linspace(400.0, 2000.0, 9))
+
+    def test_scalar_warm_start_drops_iterations(self):
+        base = fast_params("96-48-24-12")
+        cold_total, warm_total = 0, 0
+        warm_wallclock = None
+        for n in self.GRID:
+            p = replace(base, max_scale=float(n))
+            cold = optimize(p)
+            kw = {}
+            if warm_wallclock is not None:
+                kw["warm_wallclock"] = warm_wallclock
+            warm = optimize(p, **kw)
+            cold_total += cold.outer_iterations
+            warm_total += warm.outer_iterations
+            warm_wallclock = warm.solution.expected_wallclock
+            # Same fixed point, shorter trajectory.
+            assert warm.solution.scale == pytest.approx(
+                cold.solution.scale, rel=1e-9
+            )
+            assert warm.solution.expected_wallclock == pytest.approx(
+                cold.solution.expected_wallclock, rel=1e-9
+            )
+        assert warm_total < cold_total
+
+    def test_sweep_scales_batch_matches_scalar_warm_chain(self):
+        base = fast_params("96-48-24-12")
+        scalar, prev = [], None
+        for n in self.GRID:
+            p = replace(base, max_scale=float(n))
+            kw = {}
+            if prev is not None:
+                kw["warm_wallclock"] = prev.solution.expected_wallclock
+            prev = optimize(p, **kw)
+            scalar.append(prev)
+        SOLVER_CACHE.clear()
+        batch = sweep_scales([base], self.GRID, warm_start=True)
+        assert [step[0] for step in batch] == scalar
+
+    def test_sweep_scales_warm_start_drops_iterations(self):
+        base = fast_params("96-48-24-12")
+        cold = sweep_scales([base], self.GRID, warm_start=False)
+        SOLVER_CACHE.clear()
+        warm = sweep_scales([base], self.GRID, warm_start=True)
+        assert (
+            sum(s[0].outer_iterations for s in warm)
+            < sum(s[0].outer_iterations for s in cold)
+        )
+
+    def test_sweep_scales_divergent_config_restarts_cold(self):
+        """A lane that diverged at the previous grid point re-seeds cold
+        (no warm_wallclock) instead of poisoning the next solve."""
+        base = fast_params()
+        results = sweep_scales(
+            [base], [800.0, 1600.0], warm_start=True,
+            return_exceptions=True, max_outer=1,
+        )
+        assert all(
+            isinstance(r, FixedPointDiverged)
+            for step in results for r in step
+        )
+        # Step 2 ran cold: its divergence payload is exactly the scalar
+        # cold solve's, not a warm-seeded variant.
+        SOLVER_CACHE.clear()
+        with pytest.raises(FixedPointDiverged) as cold_exc:
+            optimize(replace(base, max_scale=1600.0), max_outer=1)
+        assert str(results[1][0]) == str(cold_exc.value)
+        assert results[1][0].trace == cold_exc.value.trace
+
+    def test_invalid_warm_wallclock_rejected(self):
+        with pytest.raises(ValueError, match="warm_wallclock"):
+            optimize(fast_params(), warm_wallclock=0.0)
+
+
+class TestTelemetryReplay:
+    TRACE_ID = "ab" * 16
+
+    def _capture(self, fn):
+        recorder = SpanRecorder()
+        with recording(recorder):
+            with span("test.root", trace_id=self.TRACE_ID):
+                try:
+                    fn()
+                except FixedPointDiverged:
+                    pass
+        return recorder.spans
+
+    def test_success_span_tree_bit_identical(self):
+        p = fast_params()
+        scalar = self._capture(lambda: optimize(p))
+        SOLVER_CACHE.clear()
+        batch = self._capture(lambda: batch_optimize([p]))
+        assert span_tree_signature(batch) == span_tree_signature(scalar)
+
+    def test_outer_divergence_span_tree_bit_identical(self):
+        p = fast_params()
+        scalar = self._capture(lambda: optimize(p, max_outer=1))
+        SOLVER_CACHE.clear()
+        batch = self._capture(
+            lambda: batch_optimize([p], [dict(max_outer=1)])
+        )
+        assert span_tree_signature(batch) == span_tree_signature(scalar)
+
+    def test_inner_divergence_span_tree_bit_identical(self):
+        p = fast_params()
+        kw = dict(inner_kwargs=dict(max_iter=1))
+        scalar = self._capture(lambda: optimize(p, **kw))
+        SOLVER_CACHE.clear()
+        batch = self._capture(lambda: batch_optimize([p], [kw]))
+        assert span_tree_signature(batch) == span_tree_signature(scalar)
+
+    def test_cache_hits_replay_nothing(self):
+        """A batch resolved entirely from cache emits no solver spans,
+        exactly like the scalar memoized hit."""
+        p = fast_params()
+        optimize(p)
+        spans = self._capture(lambda: batch_optimize([p]))
+        assert [s.name for s in spans] == ["test.root"]
+
+
+class TestFallback:
+    def test_adhoc_baseline_falls_back_transparently(self):
+        """A custom scaling baseline the kernel doesn't cover must route
+        through the scalar path and return its exact result."""
+        cube = ScalingBaseline(
+            name="cube",
+            func=lambda n: np.asarray(n, dtype=float) ** 3 / 1e6,
+            deriv=lambda n: 3.0 * np.asarray(n, dtype=float) ** 2 / 1e6,
+        )
+        base = fast_params()
+        checkpoint = list(base.costs.checkpoint)
+        checkpoint[-1] = CostModel(
+            constant=checkpoint[-1].constant, coefficient=1e-4, baseline=cube
+        )
+        costs = LevelCostModel(
+            checkpoint=tuple(checkpoint), recovery=base.costs.recovery
+        )
+        p = replace(base, costs=costs)
+        scalar = optimize(p)
+        SOLVER_CACHE.clear()
+        solver = BatchSolver()
+        h = solver.add_optimize(p)
+        assert solver.kernel_lanes == 0
+        solver.solve()
+        assert solver.finish(h) == scalar
+
+    def test_unknown_kwargs_fall_back(self):
+        p = fast_params()
+        solver = BatchSolver()
+        # inner tolerance overrides are kernel-supported; a bogus kwarg
+        # must not be silently dropped — it routes to scalar and raises
+        # exactly what the scalar wrapper raises.
+        with pytest.raises(TypeError):
+            solver.add_optimize(p, bogus_option=1)
+            solver.solve()
+            solver.finish(0)
+
+    def test_subclassed_speedup_falls_back(self):
+        from repro.speedup.quadratic import QuadraticSpeedup
+
+        class Tweaked(QuadraticSpeedup):
+            pass
+
+        p = fast_params()
+        tweaked = replace(
+            p, speedup=Tweaked(kappa=0.5, ideal_scale=2_000.0)
+        )
+        scalar = optimize(tweaked)
+        SOLVER_CACHE.clear()
+        solver = BatchSolver()
+        h = solver.add_optimize(tweaked)
+        assert solver.kernel_lanes == 0
+        solver.solve()
+        assert solver.finish(h) == scalar
+
+    def test_env_default_resolution(self, monkeypatch):
+        monkeypatch.delenv(BATCH_SOLVE_ENV_VAR, raising=False)
+        assert resolve_batch_solve() is True
+        assert resolve_batch_solve(False) is False
+        assert resolve_batch_solve(True) is True
+        for text in ("0", "false", "off", "no", " OFF "):
+            monkeypatch.setenv(BATCH_SOLVE_ENV_VAR, text)
+            assert resolve_batch_solve() is False
+        monkeypatch.setenv(BATCH_SOLVE_ENV_VAR, "1")
+        assert resolve_batch_solve() is True
+        # Explicit argument beats the environment.
+        monkeypatch.setenv(BATCH_SOLVE_ENV_VAR, "0")
+        assert resolve_batch_solve(True) is True

@@ -1,0 +1,189 @@
+"""Vectorized scheduler dispatch: one kernel pass per drained solve batch.
+
+The batched dispatch path must be invisible to clients: identical
+canonical-JSON bytes, identical cache counters and stored rows, identical
+divergence mapping — only the draining speed changes.  These tests drive
+``run_solve_batch`` both directly through a scheduler with the runner
+registered and end-to-end through :class:`ReproService`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.core.memo import SOLVER_CACHE
+from repro.obs.metrics import METRICS
+from repro.service.api import build_solve, canonical_json, run_solve_batch
+from repro.service.scheduler import CoalescingScheduler
+from repro.service.server import ReproService
+from tests.service.conftest import FAST_BODY
+
+
+def _body(case: str = "24-12-6-3", **extra) -> dict:
+    return {**FAST_BODY, "case": case, **extra}
+
+
+def _scalar_payload(body: dict) -> dict:
+    key, compute = build_solve(body)
+    return compute()
+
+
+def _post(url: str, body: dict) -> tuple[int, bytes]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+BODIES = [
+    _body("24-12-6-3"),
+    _body("16-12-8-4"),
+    _body("24-12-6-3", strategy="ml-opt-scale"),
+    _body("16-12-8-4", strategy="sl-opt-scale"),
+    _body("24-12-6-3", strategy="ml-ori-scale"),
+    _body("16-12-8-4", strategy="sl-ori-scale"),
+]
+
+
+class TestRunSolveBatch:
+    def test_bytes_identical_to_scalar_computes(self):
+        scalar = [canonical_json(_scalar_payload(b)) for b in BODIES]
+        scalar_stats = SOLVER_CACHE.stats()
+        SOLVER_CACHE.clear()
+        with CoalescingScheduler(
+            queue_max=16,
+            batch_max=len(BODIES),
+            batch_runners={"solve": run_solve_batch},
+        ) as sched:
+            results = []
+            threads = []
+            lock = threading.Lock()
+
+            def submit(i, body):
+                key, compute = build_solve(body)
+                payload = sched.submit(key, compute)
+                with lock:
+                    results.append((i, canonical_json(payload)))
+
+            for i, body in enumerate(BODIES):
+                t = threading.Thread(target=submit, args=(i, body))
+                t.start()
+                threads.append(t)
+            for t in threads:
+                t.join()
+        batched = [data for _, data in sorted(results)]
+        assert batched == scalar
+        assert SOLVER_CACHE.stats() == scalar_stats
+
+    def test_one_kernel_pass_counts_vector_batch(self):
+        before = METRICS.counter("service.vector_batches").value
+        with CoalescingScheduler(
+            queue_max=16,
+            batch_max=8,
+            batch_runners={"solve": run_solve_batch},
+        ) as sched:
+            key, compute = build_solve(_body())
+            sched.submit(key, compute)
+        assert METRICS.counter("service.vector_batches").value > before
+
+    def test_unrecognized_group_uses_per_entry_path(self):
+        """A scheduler without the runner ignores batch_group entirely."""
+        with CoalescingScheduler(queue_max=4) as sched:
+            key, compute = build_solve(_body())
+            payload = sched.submit(key, compute)
+        assert payload["endpoint"] == "solve"
+
+    def test_cache_hit_skips_kernel_and_execution_counter(self):
+        key, compute = build_solve(_body())
+        warm = compute()
+        executions = METRICS.counter("service.executions").value
+        with CoalescingScheduler(
+            queue_max=4, batch_runners={"solve": run_solve_batch}
+        ) as sched:
+            key2, compute2 = build_solve(_body())
+            payload = sched.submit(key2, compute2)
+        assert canonical_json(payload) == canonical_json(warm)
+        assert METRICS.counter("service.executions").value == executions
+
+
+class TestServiceEndToEnd:
+    @pytest.fixture
+    def service(self):
+        with ReproService(
+            port=0, store_path=None, queue_max=32, batch_max=8, jobs=2
+        ) as svc:
+            yield svc
+
+    def test_burst_of_distinct_solves_bit_identical(self, service):
+        scalar = {
+            i: canonical_json(_scalar_payload(body))
+            for i, body in enumerate(BODIES)
+        }
+        SOLVER_CACHE.clear()
+        results: dict[int, tuple[int, bytes]] = {}
+        lock = threading.Lock()
+
+        def hit(i, body):
+            status, data = _post(service.url + "/v1/solve", body)
+            with lock:
+                results[i] = (status, data)
+
+        threads = [
+            threading.Thread(target=hit, args=(i, body))
+            for i, body in enumerate(BODIES)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(status == 200 for status, _ in results.values())
+        assert {i: data for i, (_, data) in results.items()} == scalar
+
+    def test_batch_solve_off_is_identical(self):
+        with ReproService(
+            port=0, store_path=None, batch_solve=False
+        ) as svc:
+            status_off, data_off = _post(svc.url + "/v1/solve", _body())
+        SOLVER_CACHE.clear()
+        with ReproService(
+            port=0, store_path=None, batch_solve=True
+        ) as svc:
+            status_on, data_on = _post(svc.url + "/v1/solve", _body())
+        assert (status_off, data_off) == (status_on, data_on)
+        assert status_on == 200
+
+    def test_divergent_solve_maps_to_422_per_request(self, service):
+        """A diverging configuration answers 422 while a healthy one in
+        the same burst answers 200."""
+        bad = _body("9999-9999-9999-9999")
+        good = _body()
+        results: dict[str, tuple[int, bytes]] = {}
+        lock = threading.Lock()
+
+        def hit(name, body):
+            status, data = _post(service.url + "/v1/solve", body)
+            with lock:
+                results[name] = (status, data)
+
+        threads = [
+            threading.Thread(target=hit, args=(name, body))
+            for name, body in (("bad", bad), ("good", good))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results["good"][0] == 200
+        assert results["bad"][0] == 422
+        assert b"diverged" in results["bad"][1]
