@@ -1,0 +1,527 @@
+"""Open-loop load generator for :mod:`repro.service`.
+
+Closed-loop drivers (issue, wait, issue again) hide queueing delay:
+when the service slows down, the driver slows down with it, so measured
+latency stays flat exactly when real clients would be piling up.  This
+generator is **open-loop**: arrival times are fixed by a deterministic
+seeded schedule *before* the run, and each request fires at its
+scheduled instant whether or not earlier ones have returned — queueing
+delay, shed behavior, and coalescing effectiveness are measured
+honestly.
+
+Three pieces, each usable on its own:
+
+* :func:`make_schedule` — deterministic arrival schedule for a seed:
+  steady (Poisson arrivals at a fixed rate), ``burst`` (steady baseline
+  plus periodic synchronized bursts), or ``ramp`` (linearly increasing
+  rate).  Requests mix ``/v1/solve`` and ``/v1/simulate`` traffic and
+  draw their parameter configuration from a canonical pool under a
+  Zipfian rank distribution — real planning traffic re-plans the same
+  hot configurations over and over, which is precisely what the
+  service's coalescing and memo layers exist for, so the generator must
+  reproduce that skew to measure them.
+* :func:`run_schedule` — the open-loop driver: a worker pool large
+  enough that arrivals never wait for a free thread at the offered
+  rates, issuing each request at its scheduled offset and recording
+  per-request status + latency.
+* :func:`summarize_phase` / :func:`build_report` — fold the raw samples
+  and the server's own metric deltas (``GET /metrics.json`` before vs.
+  after) into the ``repro.loadgen.report`` JSON consumed by
+  ``python -m repro obs load <report>`` and gated as ``BENCH_load.json``.
+
+Run standalone against a live service, or self-served::
+
+    python benchmarks/loadgen.py --self-serve --profile steady \
+        --rate 200 --duration 5 --out report.json
+    python -m repro obs load report.json
+
+Everything is stdlib; schedules are bit-reproducible per seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+#: Canonical parameter pool, ordered by Zipf rank (rank 0 = hottest).
+#: Millisecond-fast configurations (the same family the service bench
+#: uses) so offered rates in the hundreds of RPS are reachable in CI.
+CONFIG_POOL: tuple[dict[str, Any], ...] = tuple(
+    {
+        "te_core_days": 200.0,
+        "case": case,
+        "ideal_scale": 2000.0,
+        "allocation": 30.0,
+    }
+    for case in (
+        "24-12-6-3",
+        "12-6-3-1.5",
+        "6-3-1.5-0.75",
+        "48-24-12-6",
+        "36-18-9-4.5",
+        "18-9-4.5-2.25",
+        "60-30-15-7.5",
+        "30-15-7.5-3.75",
+    )
+)
+
+#: Extra fields a ``/v1/simulate`` request carries on top of the model
+#: configuration.  Fixed (not drawn per request) so simulate traffic
+#: coalesces per configuration exactly like solve traffic.
+SIMULATE_FIELDS: dict[str, Any] = {
+    "strategy": "ml-opt-scale",
+    "runs": 10,
+    "seed": 0,
+    "jitter": 0.3,
+}
+
+PROFILES = ("steady", "burst", "ramp")
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One planned arrival: fire ``body`` at ``POST /v1/<endpoint>``
+    exactly ``at`` seconds after the phase starts."""
+
+    at: float
+    endpoint: str
+    body: dict[str, Any]
+    rank: int  # Zipf rank of the drawn configuration (0 = hottest)
+
+
+@dataclass
+class RequestResult:
+    """One observed completion (or transport failure: status 0)."""
+
+    at: float
+    endpoint: str
+    status: int
+    latency: float
+    rank: int
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    """Normalized Zipf(s) probabilities for ranks ``0..n-1``.
+
+    ``s = 0`` degenerates to uniform; larger ``s`` concentrates mass on
+    the low ranks (``s ~ 1`` is the classic web-traffic shape).
+    """
+    if n < 1:
+        raise ValueError(f"need at least one rank, got {n}")
+    raw = [1.0 / (rank + 1) ** s for rank in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def _zipf_cdf(n: int, s: float) -> list[float]:
+    cdf: list[float] = []
+    acc = 0.0
+    for w in zipf_weights(n, s):
+        acc += w
+        cdf.append(acc)
+    cdf[-1] = 1.0  # guard float drift so u=1.0 cannot fall off the end
+    return cdf
+
+
+def _arrival_times(
+    profile: str,
+    rate: float,
+    duration: float,
+    rng: random.Random,
+    *,
+    burst_period: float,
+    burst_size: int,
+    ramp_to: float | None,
+) -> list[float]:
+    """Arrival offsets in ``[0, duration)`` for the chosen profile."""
+    times: list[float] = []
+    if profile == "steady":
+        t = rng.expovariate(rate)
+        while t < duration:
+            times.append(t)
+            t += rng.expovariate(rate)
+    elif profile == "burst":
+        # Steady baseline plus a synchronized clump every burst_period:
+        # the clump arrives within one millisecond, which is what makes
+        # queue depth (and coalescing) spike.
+        t = rng.expovariate(rate)
+        while t < duration:
+            times.append(t)
+            t += rng.expovariate(rate)
+        edge = burst_period
+        while edge < duration:
+            times.extend(
+                edge + rng.uniform(0.0, 1e-3) for _ in range(burst_size)
+            )
+            edge += burst_period
+        times.sort()
+    elif profile == "ramp":
+        # Linear rate ramp rate -> ramp_to via thinning: draw at the
+        # peak rate, keep each arrival with probability rate(t)/peak.
+        end_rate = rate if ramp_to is None else ramp_to
+        peak = max(rate, end_rate)
+        t = rng.expovariate(peak)
+        while t < duration:
+            current = rate + (end_rate - rate) * (t / duration)
+            if rng.random() < current / peak:
+                times.append(t)
+            t += rng.expovariate(peak)
+    else:
+        raise ValueError(f"unknown profile {profile!r}; choose from {PROFILES}")
+    return times
+
+
+def make_schedule(
+    *,
+    profile: str = "steady",
+    rate: float = 100.0,
+    duration: float = 5.0,
+    seed: int = 0,
+    skew: float = 1.1,
+    simulate_fraction: float = 0.25,
+    pool: Sequence[Mapping[str, Any]] = CONFIG_POOL,
+    burst_period: float = 1.0,
+    burst_size: int = 50,
+    ramp_to: float | None = None,
+) -> list[ScheduledRequest]:
+    """Deterministic arrival schedule: same arguments -> same schedule.
+
+    Parameters
+    ----------
+    profile:
+        ``steady`` (Poisson at ``rate``), ``burst`` (steady plus
+        ``burst_size`` synchronized arrivals every ``burst_period`` s),
+        or ``ramp`` (rate climbing linearly from ``rate`` to
+        ``ramp_to`` over ``duration``).
+    rate / duration:
+        Offered arrivals per second and phase length in seconds.
+    seed:
+        Everything random (arrival jitter, endpoint mix, configuration
+        ranks) flows from one ``random.Random(seed)``.
+    skew:
+        Zipf exponent over ``pool`` ranks; 0 = uniform.
+    simulate_fraction:
+        Fraction of arrivals hitting ``/v1/simulate`` (rest solve).
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if not 0.0 <= simulate_fraction <= 1.0:
+        raise ValueError(
+            f"simulate_fraction must be in [0, 1], got {simulate_fraction}"
+        )
+    rng = random.Random(seed)
+    times = _arrival_times(
+        profile,
+        rate,
+        duration,
+        rng,
+        burst_period=burst_period,
+        burst_size=burst_size,
+        ramp_to=ramp_to,
+    )
+    cdf = _zipf_cdf(len(pool), skew)
+    schedule: list[ScheduledRequest] = []
+    for at in times:
+        rank = bisect.bisect_left(cdf, rng.random())
+        config = dict(pool[rank])
+        if rng.random() < simulate_fraction:
+            endpoint = "simulate"
+            config.update(SIMULATE_FIELDS)
+        else:
+            endpoint = "solve"
+        schedule.append(ScheduledRequest(at, endpoint, config, rank))
+    return schedule
+
+
+# --------------------------------------------------------------- driver
+
+
+def run_schedule(
+    url: str,
+    schedule: Sequence[ScheduledRequest],
+    *,
+    workers: int = 64,
+    timeout: float = 30.0,
+) -> list[RequestResult]:
+    """Fire ``schedule`` open-loop against ``url``; return all results.
+
+    Arrivals are dispatched at their scheduled offsets from a shared
+    clock regardless of outstanding responses.  ``workers`` bounds the
+    thread pool; size it above the worst expected concurrent in-flight
+    count or late arrivals queue behind slow ones (the run records
+    actual send times, so any such distortion is visible as send lag).
+    """
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(url, timeout=timeout)
+    results: list[RequestResult] = []
+    results_lock = threading.Lock()
+    cursor = 0
+    cursor_lock = threading.Lock()
+    epoch = time.perf_counter()
+
+    def worker() -> None:
+        nonlocal cursor
+        while True:
+            with cursor_lock:
+                i = cursor
+                if i >= len(schedule):
+                    return
+                cursor = i + 1
+            req = schedule[i]
+            delay = req.at - (time.perf_counter() - epoch)
+            if delay > 0:
+                time.sleep(delay)
+            sent = time.perf_counter()
+            try:
+                status, _, _ = client.request(
+                    "POST", f"/v1/{req.endpoint}", req.body
+                )
+            except OSError:
+                status = 0  # transport failure: counted, not raised
+            latency = time.perf_counter() - sent
+            with results_lock:
+                results.append(
+                    RequestResult(
+                        sent - epoch, req.endpoint, status, latency, req.rank
+                    )
+                )
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(min(workers, len(schedule)))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    results.sort(key=lambda r: r.at)
+    return results
+
+
+# ------------------------------------------------------------- summary
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (the repo's histogram convention)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, round(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _latency_ms(samples: Sequence[float]) -> dict[str, float]:
+    return {
+        "p50": round(percentile(samples, 50) * 1e3, 3),
+        "p95": round(percentile(samples, 95) * 1e3, 3),
+        "p99": round(percentile(samples, 99) * 1e3, 3),
+        "max": round(max(samples, default=0.0) * 1e3, 3),
+    }
+
+
+def _metric(snapshot: Mapping[str, Any] | None, name: str) -> float:
+    if not snapshot:
+        return 0.0
+    value = snapshot.get("metrics", snapshot).get(name, 0.0)
+    if isinstance(value, Mapping):  # histogram summary -> count
+        value = value.get("count", 0.0)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+#: Server-side series folded into every phase summary as before/after
+#: deltas (lifetime counters, so deltas isolate this phase's traffic).
+DELTA_METRICS = (
+    "service.executions",
+    "service.coalesced",
+    "service.rejected",
+    "memo.hits",
+    "memo.misses",
+)
+
+
+def summarize_phase(
+    label: str,
+    schedule: Sequence[ScheduledRequest],
+    results: Sequence[RequestResult],
+    *,
+    metrics_before: Mapping[str, Any] | None = None,
+    metrics_after: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Fold one phase's samples + server metric deltas into a report row."""
+    span_s = max((r.at + r.latency for r in results), default=0.0)
+    ok = [r for r in results if r.status == 200]
+    shed = [r for r in results if r.status == 429]
+    errors = [r for r in results if r.status not in (200, 429)]
+    deltas = {
+        name: _metric(metrics_after, name) - _metric(metrics_before, name)
+        for name in DELTA_METRICS
+    }
+    requests = len(results)
+    unique_keys = len({(r.endpoint, r.rank) for r in results})
+    coalesce_ratio = deltas["service.coalesced"] / requests if requests else 0.0
+    summary = {
+        "label": label,
+        "requests": requests,
+        "unique_keys": unique_keys,
+        "offered_rps": round(len(schedule) / max(
+            (schedule[-1].at if schedule else 0.0), 1e-9
+        ), 1),
+        "duration_s": round(span_s, 3),
+        "ok": len(ok),
+        "shed": len(shed),
+        "errors": len(errors),
+        "ok_rps": round(len(ok) / span_s, 1) if span_s > 0 else 0.0,
+        "shed_rate": round(len(shed) / requests, 4) if requests else 0.0,
+        "latency_ms": _latency_ms([r.latency for r in ok]),
+        "server": {
+            name.replace("service.", "").replace("memo.", "memo_"): round(d, 1)
+            for name, d in deltas.items()
+        },
+        "coalesce_ratio": round(coalesce_ratio, 4),
+    }
+    if shed:
+        summary["shed_latency_ms"] = _latency_ms([r.latency for r in shed])
+    return summary
+
+
+def build_report(
+    config: Mapping[str, Any], phases: Sequence[Mapping[str, Any]]
+) -> dict[str, Any]:
+    """Assemble the ``repro.loadgen.report`` document.
+
+    ``slo`` pulls the headline numbers the regression gate (and a human
+    skimming the file) cares about: sustained throughput and tail
+    latency from the first phase, worst shed rate anywhere.
+    """
+    phase_map = {p["label"]: dict(p) for p in phases}
+    first = phases[0] if phases else {}
+    return {
+        "kind": "repro.loadgen.report",
+        "config": dict(config),
+        "phases": phase_map,
+        "slo": {
+            "sustained_ok_rps": first.get("ok_rps", 0.0),
+            "sustained_p99_ms": first.get("latency_ms", {}).get("p99", 0.0),
+            "worst_shed_rate": max(
+                (p.get("shed_rate", 0.0) for p in phases), default=0.0
+            ),
+            "best_coalesce_ratio": max(
+                (p.get("coalesce_ratio", 0.0) for p in phases), default=0.0
+            ),
+        },
+    }
+
+
+# ----------------------------------------------------------------- CLI
+
+
+def _fetch_metrics(url: str) -> dict[str, Any] | None:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        return ServiceClient(url).metrics()
+    except (ServiceError, OSError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Open-loop load generator for repro.service"
+    )
+    parser.add_argument("--url", help="base URL of a running service")
+    parser.add_argument(
+        "--self-serve",
+        action="store_true",
+        help="start an in-process service (memory-only) and load it",
+    )
+    parser.add_argument("--profile", choices=PROFILES, default="steady")
+    parser.add_argument("--rate", type=float, default=100.0)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--skew", type=float, default=1.1)
+    parser.add_argument("--simulate-fraction", type=float, default=0.25)
+    parser.add_argument("--burst-period", type=float, default=1.0)
+    parser.add_argument("--burst-size", type=int, default=50)
+    parser.add_argument("--ramp-to", type=float, default=None)
+    parser.add_argument("--workers", type=int, default=64)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker threads for --self-serve")
+    parser.add_argument("--queue-max", type=int, default=64,
+                        help="queue bound for --self-serve")
+    parser.add_argument("--out", type=lambda p: p, default=None,
+                        help="write the report JSON here (default: stdout)")
+    args = parser.parse_args(argv)
+    if bool(args.url) == bool(args.self_serve):
+        parser.error("exactly one of --url / --self-serve is required")
+
+    schedule = make_schedule(
+        profile=args.profile,
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        skew=args.skew,
+        simulate_fraction=args.simulate_fraction,
+        burst_period=args.burst_period,
+        burst_size=args.burst_size,
+        ramp_to=args.ramp_to,
+    )
+    config = {
+        "profile": args.profile,
+        "rate": args.rate,
+        "duration": args.duration,
+        "seed": args.seed,
+        "skew": args.skew,
+        "simulate_fraction": args.simulate_fraction,
+        "scheduled_requests": len(schedule),
+    }
+
+    service = None
+    url = args.url
+    if args.self_serve:
+        from repro.service.server import ReproService
+
+        service = ReproService(
+            port=0,
+            store_path=None,
+            jobs=args.jobs,
+            queue_max=args.queue_max,
+        ).start()
+        url = service.url
+    try:
+        before = _fetch_metrics(url)
+        results = run_schedule(url, schedule, workers=args.workers)
+        after = _fetch_metrics(url)
+    finally:
+        if service is not None:
+            service.close()
+
+    phase = summarize_phase(
+        args.profile, schedule, results,
+        metrics_before=before, metrics_after=after,
+    )
+    report = build_report(config, [phase])
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

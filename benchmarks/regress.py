@@ -45,6 +45,10 @@ GATED_METRICS: dict[str, dict[str, str]] = {
         "batch.speedup": "higher",
         "batch.per_replica_us": "lower",
     },
+    "BENCH_load.json": {
+        "phases.sustained.ok_rps": "higher",
+        "phases.sustained.latency_ms.p99": "lower",
+    },
     "BENCH_obs.json": {
         "untraced_seconds": "lower",
         "traced_seconds": "lower",

@@ -1,0 +1,191 @@
+"""Sustained-load bench: the service under open-loop seeded traffic.
+
+Three phases against one in-process service, each summarized with the
+server's own metric deltas and folded into
+``benchmarks/results/BENCH_load.json``:
+
+* **sustained** — steady Poisson arrivals over a warmed cache: the
+  service's sustainable throughput and tail latency when traffic looks
+  like healthy production (the regression-gated numbers).
+* **overload** — unique cold requests at ~2x the measured closed-loop
+  capacity into a tiny queue: proves the bounded queue sheds (429) under
+  genuine overload instead of building unbounded backlog, and records
+  the shed rate and shed-response latency (rejections must be cheap).
+* **skew** — Zipfian hot-key traffic into a cold cache: proves request
+  coalescing + memoization collapse duplicate-heavy load to one
+  execution per unique key, and records the coalesce ratio.
+
+The structural assertions (no sheds when provisioned, sheds under 2x
+overload, exactly one execution per unique key) are deterministic;
+wall-clock numbers are recorded, not asserted — ``regress.py`` compares
+them across runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import RESULTS_DIR
+from benchmarks.loadgen import (
+    ScheduledRequest,
+    build_report,
+    make_schedule,
+    run_schedule,
+    summarize_phase,
+)
+from repro.core.memo import SOLVER_CACHE
+from repro.obs.metrics import METRICS
+from repro.parallel.timing import write_bench_json
+from repro.service.client import ServiceClient
+from repro.service.server import ReproService
+
+SEED = 42
+
+
+def _unique_body(i: int) -> dict:
+    # Distinct te_core_days -> distinct canonical key -> cold every time.
+    return {
+        "te_core_days": 150.0 + 0.001 * i,
+        "case": "24-12-6-3",
+        "ideal_scale": 2000.0,
+        "allocation": 30.0,
+        "strategy": "ml-opt-scale",
+        "runs": 5,
+        "seed": 0,
+    }
+
+
+def _warm(client: ServiceClient, schedule) -> None:
+    """Pre-answer every unique key so the phase measures warm traffic."""
+    for body in {
+        (req.endpoint, req.rank): req.body for req in schedule
+    }.values():
+        status, _, _ = client.request(
+            "POST",
+            "/v1/simulate" if "runs" in body else "/v1/solve",
+            body,
+        )
+        assert status == 200, body
+
+
+def _probe_capacity(client: ServiceClient, n: int = 12) -> float:
+    """Closed-loop cold requests/second with jobs=1 (drain ceiling)."""
+    start = time.perf_counter()
+    for i in range(n):
+        status, _, _ = client.request(
+            "POST", "/v1/simulate", _unique_body(1_000_000 + i)
+        )
+        assert status == 200
+    return n / (time.perf_counter() - start)
+
+
+def test_bench_load_sustained_overload_skew():
+    SOLVER_CACHE.clear()
+    SOLVER_CACHE.detach_store()
+    phases = []
+
+    # ------------------------------------------------ sustained (warm)
+    sustained_schedule = make_schedule(
+        profile="steady",
+        rate=200.0,
+        duration=3.0,
+        seed=SEED,
+        skew=1.1,
+        simulate_fraction=0.25,
+    )
+    with ReproService(port=0, store_path=None, jobs=2) as svc:
+        client = ServiceClient(svc.url)
+        _warm(client, sustained_schedule)
+        before = client.metrics()
+        results = run_schedule(svc.url, sustained_schedule)
+        after = client.metrics()
+    sustained = summarize_phase(
+        "sustained", sustained_schedule, results,
+        metrics_before=before, metrics_after=after,
+    )
+    # Warm cache + provisioned queue: nothing may shed or fail.
+    assert sustained["shed"] == 0
+    assert sustained["errors"] == 0
+    assert sustained["ok"] == len(sustained_schedule)
+    phases.append(sustained)
+
+    # ------------------------------------------------ overload (2x cold)
+    SOLVER_CACHE.clear()
+    with ReproService(
+        port=0, store_path=None, jobs=1, queue_max=4, retry_after=0.2
+    ) as svc:
+        client = ServiceClient(svc.url)
+        capacity = _probe_capacity(client)
+        offered = 2.0 * capacity
+        n_requests = max(60, int(offered * 1.5))
+        overload_schedule = [
+            ScheduledRequest(i / offered, "simulate", _unique_body(i), i)
+            for i in range(n_requests)
+        ]
+        before = client.metrics()
+        results = run_schedule(svc.url, overload_schedule, workers=32)
+        after = client.metrics()
+    overload = summarize_phase(
+        "overload", overload_schedule, results,
+        metrics_before=before, metrics_after=after,
+    )
+    overload["offered_over_capacity"] = round(offered / capacity, 2)
+    overload["probed_capacity_rps"] = round(capacity, 1)
+    # Open-loop at 2x the drain ceiling into a 4-slot queue MUST shed —
+    # and everything not shed must still succeed.
+    assert overload["shed"] > 0
+    assert overload["errors"] == 0
+    assert overload["ok"] + overload["shed"] == n_requests
+    phases.append(overload)
+
+    # ------------------------------------------------ skew (cold, Zipf)
+    SOLVER_CACHE.clear()
+    skew_schedule = make_schedule(
+        profile="steady",
+        rate=150.0,
+        duration=2.0,
+        seed=SEED + 1,
+        skew=1.5,
+        simulate_fraction=0.25,
+    )
+    unique_keys = len({(r.endpoint, r.rank) for r in skew_schedule})
+    executions_before = METRICS.counter("service.executions").value
+    with ReproService(
+        port=0, store_path=None, jobs=2, queue_max=len(skew_schedule)
+    ) as svc:
+        client = ServiceClient(svc.url)
+        before = client.metrics()
+        results = run_schedule(svc.url, skew_schedule)
+        after = client.metrics()
+    executions = METRICS.counter("service.executions").value - executions_before
+    skew = summarize_phase(
+        "skew", skew_schedule, results,
+        metrics_before=before, metrics_after=after,
+    )
+    # Coalescing + memo collapse Zipf-skewed duplicates to exactly one
+    # execution per unique (endpoint, configuration) key.
+    assert skew["errors"] == 0
+    assert skew["shed"] == 0
+    assert executions == unique_keys
+    phases.append(skew)
+
+    report = build_report(
+        {
+            "seed": SEED,
+            "profiles": ["steady", "open-loop-2x", "steady-zipf-1.5"],
+            "pool_size": 8,
+        },
+        phases,
+    )
+    path = write_bench_json(RESULTS_DIR / "BENCH_load.json", report)
+    print(
+        f"\n[load bench] sustained {sustained['ok_rps']} ok/s "
+        f"(p99 {sustained['latency_ms']['p99']} ms), "
+        f"overload shed rate {overload['shed_rate']:.1%} at "
+        f"{overload['offered_over_capacity']}x capacity, "
+        f"skew: {skew['requests']} requests -> {executions} executions "
+        f"(coalesce ratio {skew['coalesce_ratio']:.1%})"
+    )
+    print(f"[saved to {path}]")
+
+    SOLVER_CACHE.clear()

@@ -8,6 +8,7 @@ Five subcommands::
     python -m repro serve --port 8765 [--store PATH] [--queue-max N]
     python -m repro obs --last
     python -m repro obs trace <trace-id>
+    python -m repro obs load <report.json>
 
 ``optimize`` solves all four strategies for one configuration and prints
 the comparison table (``--trace`` additionally prints Algorithm 1's
@@ -19,7 +20,9 @@ traces with ``--trace-dir``; ``serve`` runs the long-lived JSON-over-HTTP
 optimization service (:mod:`repro.service`, see docs/service.md) and
 appends every finished request span to ``$REPRO_OBS_DIR/spans.jsonl``;
 ``obs --last`` pretty-prints the previous command's observability
-summary, and ``obs trace <trace-id>`` renders one request's span tree —
+summary, ``obs load <report>`` renders a load-generator report
+(``benchmarks/loadgen.py``) as a per-phase table with the SLO headline,
+and ``obs trace <trace-id>`` renders one request's span tree —
 client → server → scheduler batch → solver iterations → sim replicas —
 with per-phase self-times (ids may be abbreviated to a unique prefix;
 ``obs trace`` with no id lists the recorded traces).
@@ -270,16 +273,19 @@ def _build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument(
         "topic",
         nargs="?",
-        choices=["trace"],
-        help="'trace': render a recorded request's span tree",
+        choices=["trace", "load"],
+        help=(
+            "'trace': render a recorded request's span tree; "
+            "'load': render a loadgen report (benchmarks/loadgen.py)"
+        ),
     )
     p_obs.add_argument(
         "trace_id",
         nargs="?",
-        metavar="TRACE_ID",
+        metavar="TRACE_ID|REPORT",
         help=(
-            "trace id (or unique prefix) to render; omit to list the "
-            "recorded traces"
+            "for 'trace': trace id (or unique prefix) to render, omit to "
+            "list the recorded traces; for 'load': path to the report JSON"
         ),
     )
     p_obs.add_argument(
@@ -441,6 +447,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     if args.topic == "trace":
         return _cmd_obs_trace(args)
+    if args.topic == "load":
+        return _cmd_obs_load(args)
     if not args.last:
         print(
             "nothing to show; try: repro obs --last  or  repro obs trace <id>",
@@ -500,6 +508,31 @@ def _cmd_obs_trace(args: argparse.Namespace) -> int:
         return 2
     selected = [r for r in spans if r.trace_id == matches[0]]
     print(format_span_tree(selected))
+    return 0
+
+
+def _cmd_obs_load(args: argparse.Namespace) -> int:
+    """Render a loadgen report (see benchmarks/loadgen.py) as a table."""
+    import json
+
+    from repro.obs.loadreport import ReportError, format_load_report
+
+    if not args.trace_id:
+        print("usage: repro obs load <report.json>", file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(open(args.trace_id, encoding="utf-8").read())
+    except FileNotFoundError:
+        print(f"no report file at {args.trace_id}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{args.trace_id} is not JSON: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(format_load_report(payload))
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

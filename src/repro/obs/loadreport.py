@@ -1,0 +1,96 @@
+"""Render ``repro.loadgen.report`` documents for humans.
+
+The load generator (``benchmarks/loadgen.py``) writes machine-first
+JSON: per-phase sample statistics plus the server's own metric deltas.
+:func:`format_load_report` turns one of those documents into the table
+``python -m repro obs load <report>`` prints — phases as rows, the SLO
+headline underneath — without the caller needing to know the schema.
+
+This lives in :mod:`repro.obs` (not ``benchmarks/``) because rendering
+is a service-observability concern: the installed package must be able
+to display a report produced anywhere, while ``benchmarks/`` is not an
+installed import path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+#: The ``kind`` tag loadgen stamps on its reports.
+REPORT_KIND = "repro.loadgen.report"
+
+
+class ReportError(ValueError):
+    """The document is not a readable loadgen report."""
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _phase_row(phase: Mapping[str, Any]) -> dict[str, str]:
+    latency = phase.get("latency_ms", {})
+    return {
+        "phase": str(phase.get("label", "?")),
+        "requests": _fmt(phase.get("requests", 0)),
+        "ok/s": _fmt(phase.get("ok_rps", 0.0)),
+        "p50 ms": _fmt(latency.get("p50", 0.0)),
+        "p99 ms": _fmt(latency.get("p99", 0.0)),
+        "shed": f"{phase.get('shed_rate', 0.0):.1%}",
+        "coalesced": f"{phase.get('coalesce_ratio', 0.0):.1%}",
+        "errors": _fmt(phase.get("errors", 0)),
+    }
+
+
+def format_load_report(payload: Mapping[str, Any]) -> str:
+    """One report document -> the aligned text block the CLI prints.
+
+    Raises :class:`ReportError` when ``payload`` is not a loadgen
+    report (wrong/missing ``kind`` or no phases) so the CLI can fail
+    with a message instead of a KeyError traceback.
+    """
+    if not isinstance(payload, Mapping):
+        raise ReportError(f"report must be a JSON object, got {payload!r}")
+    kind = payload.get("kind")
+    if kind != REPORT_KIND:
+        raise ReportError(
+            f"not a loadgen report (kind={kind!r}, expected {REPORT_KIND!r})"
+        )
+    phases = payload.get("phases") or {}
+    if not isinstance(phases, Mapping) or not phases:
+        raise ReportError("report has no phases")
+
+    lines: list[str] = []
+    config = payload.get("config", {})
+    if config:
+        knobs = ", ".join(
+            f"{k}={_fmt(v)}" for k, v in sorted(config.items())
+        )
+        lines.append(f"load report · {knobs}")
+        lines.append("")
+
+    rows = [_phase_row(p) for p in phases.values()]
+    headers = list(rows[0])
+    widths = {
+        h: max(len(h), *(len(r[h]) for r in rows)) for h in headers
+    }
+    lines.append("  ".join(h.ljust(widths[h]) for h in headers).rstrip())
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for row in rows:
+        lines.append(
+            "  ".join(row[h].ljust(widths[h]) for h in headers).rstrip()
+        )
+
+    slo = payload.get("slo", {})
+    if slo:
+        lines.append("")
+        lines.append(
+            "SLO: "
+            f"sustained {_fmt(slo.get('sustained_ok_rps', 0.0))} ok/s "
+            f"at p99 {_fmt(slo.get('sustained_p99_ms', 0.0))} ms; "
+            f"worst shed rate {slo.get('worst_shed_rate', 0.0):.1%}; "
+            f"best coalesce ratio {slo.get('best_coalesce_ratio', 0.0):.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Sliding-window rate tracking for live SLO gauges.
+
+Histograms and counters accumulate for the process lifetime, which is
+the right contract for Prometheus scrapes but useless for "what is the
+service doing *right now*" questions — a load test wants instantaneous
+RPS and shed rate, not lifetime averages diluted by the warm-up phase.
+
+:class:`SlidingWindowRate` answers those questions with a bounded deque
+of event timestamps: ``rate()`` is events-per-second over the trailing
+window.  The service keeps one window per outcome family (requests,
+sheds) and mirrors them into ``service.window_rps`` /
+``service.window_shed_rate`` gauges on every request, so ``GET
+/metrics.json`` exposes the live view next to the lifetime series.
+
+Thread-safe; all operations are O(expired events) amortized.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+#: Default trailing window (seconds) for the live RPS / shed gauges.
+DEFAULT_WINDOW_SECONDS = 10.0
+
+
+class SlidingWindowRate:
+    """Events-per-second over a trailing wall-clock window.
+
+    Parameters
+    ----------
+    window:
+        Trailing horizon in seconds.  Events older than this are
+        dropped lazily on the next :meth:`record` / :meth:`rate` call.
+    max_events:
+        Hard bound on retained timestamps.  Under overload the event
+        rate can exceed anything the window bound alone would keep;
+        the deque cap keeps memory O(1) at the cost of *underestimating*
+        the rate once saturated — acceptable for a gauge whose job is
+        "roughly how hot is the service".
+    """
+
+    def __init__(
+        self,
+        window: float = DEFAULT_WINDOW_SECONDS,
+        *,
+        max_events: int = 4096,
+    ):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self._events: deque[float] = deque(maxlen=int(max_events))
+        self._lock = threading.Lock()
+
+    def record(self, now: float | None = None) -> None:
+        """Record one event at ``now`` (``time.monotonic()`` default)."""
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            self._events.append(stamp)
+            self._expire(stamp)
+
+    def count(self, now: float | None = None) -> int:
+        """Events inside the trailing window."""
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            self._expire(stamp)
+            return len(self._events)
+
+    def rate(self, now: float | None = None) -> float:
+        """Events per second over the trailing window.
+
+        The denominator is the full window length (not the observed
+        span), so a burst of N events reads ``N / window`` immediately
+        and decays as events expire — the behavior a dashboard expects.
+        """
+        return self.count(now) / self.window
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        events = self._events
+        while events and events[0] < cutoff:
+            events.popleft()

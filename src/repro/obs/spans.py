@@ -501,6 +501,13 @@ def read_spans_jsonl(path: str | Path) -> tuple[Span, ...]:
 
 # -- analysis: trees, self-times, signatures ---------------------------------
 
+#: Attribute keys that carry wall-clock-derived measurements (the
+#: scheduler's queue-wait / execution-time split).  They are excluded
+#: from :func:`span_tree_signature` for exactly the reason ``start`` /
+#: ``end`` are: their *presence* is deterministic but their values are
+#: timings, and the signature is the timing-free identity of a tree.
+TIMING_ATTRIBUTES = frozenset({"queue_wait_s", "exec_s"})
+
 
 def _canonical_value(value: Any) -> Any:
     if isinstance(value, float):
@@ -519,9 +526,10 @@ def span_tree_signature(spans: Sequence[Span]) -> tuple:
 
     Covers everything deterministic — trace/span/parent ids, names,
     status, canonicalized attributes (floats bit-exact via ``hex``) —
-    and excludes ``start`` / ``end``.  Two executions of the same
-    logical workload under different executor backends produce *equal*
-    signatures; the determinism suites assert exactly that.
+    and excludes ``start`` / ``end`` plus the wall-clock-valued
+    attribute keys in :data:`TIMING_ATTRIBUTES`.  Two executions of the
+    same logical workload under different executor backends produce
+    *equal* signatures; the determinism suites assert exactly that.
     """
     return tuple(
         (
@@ -530,7 +538,13 @@ def span_tree_signature(spans: Sequence[Span]) -> tuple:
             record.parent_id,
             record.name,
             record.status,
-            _canonical_value(record.attributes),
+            _canonical_value(
+                {
+                    k: v
+                    for k, v in record.attributes.items()
+                    if k not in TIMING_ATTRIBUTES
+                }
+            ),
         )
         for record in spans
     )

@@ -161,6 +161,7 @@ def build_solve(body: Mapping[str, Any]) -> tuple[Hashable, Callable[[], dict]]:
     def compute() -> dict[str, Any]:
         def run() -> dict[str, Any]:
             METRICS.counter("service.executions").inc()
+            compute.executed = True
             if strategy == ALL_STRATEGIES:
                 solutions = compare_all_strategies(params)
             else:
@@ -176,6 +177,10 @@ def build_solve(body: Mapping[str, Any]) -> tuple[Hashable, Callable[[], dict]]:
 
         return SOLVER_CACHE.get_or_compute(key, run)
 
+    # Outcome telemetry: the HTTP layer reads `executed` after submit to
+    # distinguish a fresh execution from a memo/store hit.  False until
+    # the inner `run` actually fires.
+    compute.executed = False
     # Vectorized dispatch metadata: a scheduler constructed with the
     # "solve" batch runner drains same-batch solve entries through one
     # batch_solve kernel pass (see run_solve_batch) instead of calling
@@ -276,6 +281,7 @@ def _batched_payload_fn(
 
     def fn() -> dict[str, Any]:
         METRICS.counter("service.executions").inc()
+        compute.executed = True
         solutions: dict[str, Solution] = {}
         for name in STRATEGY_NAMES:
             if name in handles:
@@ -329,6 +335,7 @@ def build_simulate(
     def compute() -> dict[str, Any]:
         def run() -> dict[str, Any]:
             METRICS.counter("service.executions").inc()
+            compute.executed = True
             solution = _solve_one(params, strategy)
             ensemble = simulate_solution(
                 params, solution, n_runs=runs, seed=seed, jitter=jitter,
@@ -352,6 +359,7 @@ def build_simulate(
 
         return SOLVER_CACHE.get_or_compute(key, run)
 
+    compute.executed = False
     return key, compute
 
 

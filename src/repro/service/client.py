@@ -124,9 +124,13 @@ class ServiceClient:
             if status < 400:
                 return payload
             if status == 429:
-                retry_after = float(
-                    headers.get("Retry-After", payload.get("retry_after", 1))
-                )
+                # Prefer the body's float estimate: the Retry-After
+                # header is HTTP delta-seconds (integer, rounded up), so
+                # the body is the tighter honest hint when both exist.
+                raw_hint = payload.get("retry_after")
+                if raw_hint is None:
+                    raw_hint = headers.get("Retry-After", 1)
+                retry_after = float(raw_hint)
                 if attempt + 1 < attempts:
                     time.sleep(min(retry_after, max_backoff))
                     continue

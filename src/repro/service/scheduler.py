@@ -19,7 +19,21 @@ request's resolved parameters) and a zero-argument compute callable.
 * **Backpressure** — the queue is bounded; a submit that finds it full
   raises :class:`ServiceOverloaded` (the HTTP layer maps this to
   ``429 Retry-After``) rather than buffering unboundedly.  Gauge
-  ``service.queue_depth``, counter ``service.rejected``.
+  ``service.queue_depth``, counter ``service.rejected`` (plus a
+  ``service.rejected.<endpoint>`` counter when the submitter passes its
+  endpoint label).  The advertised ``retry_after`` is *honest*: it is
+  derived from the observed drain rate — the time one dispatch batch
+  needs to clear at the pace recent entries actually completed — and
+  only falls back to the configured constant before any completions
+  have been observed (see :meth:`CoalescingScheduler._retry_after_estimate`).
+* **Queue-wait vs. execution split** — every entry records its
+  admission and dispatch timestamps, so the ``scheduler.execute`` span
+  carries ``queue_wait_s`` (admission → drained from the queue) and
+  ``exec_s`` (drained → finished) attributes, and the same split lands
+  in the ``service.queue_wait_seconds[.<endpoint>]`` /
+  ``service.exec_seconds[.<endpoint>]`` histograms.  One observation
+  per *execution*, never per waiter — coalesced duplicates are not
+  double-counted.
 * **Graceful drain** — ``close(drain=True)`` stops intake, finishes
   every queued and in-flight entry, then releases the pool;
   ``close(drain=False)`` fails queued entries immediately and cancels
@@ -33,15 +47,24 @@ front-ends).
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Hashable
 
 from repro.obs.logconf import get_logger
-from repro.obs.metrics import METRICS
+from repro.obs.metrics import LATENCY_BUCKETS, METRICS
 from repro.obs.spans import SpanContext, current_span, span
 from repro.parallel.executor import Executor, make_executor
 
 logger = get_logger("service.scheduler")
+
+#: Retry-After estimation: completions older than this are ignored.
+DRAIN_WINDOW_SECONDS = 30.0
+#: Honest Retry-After bounds (seconds).  The floor keeps a hot drain
+#: from advertising a zero back-off; the ceiling keeps a stalled drain
+#: from telling clients to go away for minutes.
+RETRY_AFTER_MIN = 0.05
+RETRY_AFTER_MAX = 30.0
 
 
 def _invoke(task: Callable[[], None]) -> None:
@@ -71,22 +94,64 @@ def execute_entry(entry: "_Entry", fn: Callable[[], Any]) -> None:
     the already-solved batch result, so waiters and telemetry cannot
     tell the two apart.  Marking the entry done (and unlinking it from
     the pending map) stays with the scheduler.
+
+    Timing split: ``queue_wait_s`` is admission → dispatch (how long the
+    entry sat in the bounded queue), ``exec_s`` is dispatch → finished.
+    Both ride the span as attributes (excluded from
+    :func:`~repro.obs.spans.span_tree_signature`, like ``start``/``end``)
+    and land in the ``service.queue_wait_seconds`` /
+    ``service.exec_seconds`` histograms — one observation per execution,
+    so coalesced waiters are never double-counted.
     """
+    started = entry.started_at
+    if started is None:  # direct callers (tests) that skipped dispatch
+        started = time.perf_counter()
+    queue_wait = max(0.0, started - entry.admitted_at)
+    exec_start = time.perf_counter()
     try:
         with span(
             "scheduler.execute",
             context=entry.span_context,
             parent_id=entry.span_parent_id,
-            attributes={"waiters": entry.waiters},
+            attributes={"waiters": entry.waiters, "queue_wait_s": queue_wait},
         ) as live:
-            entry.result = fn()
-            if live is not None:
-                # Refresh: duplicates may have attached while the
-                # compute ran (the at-start snapshot undercounts).
-                live.set_attribute("waiters", entry.waiters)
+            try:
+                entry.result = fn()
+            finally:
+                if live is not None:
+                    # Refresh: duplicates may have attached while the
+                    # compute ran (the at-start snapshot undercounts).
+                    live.set_attribute("waiters", entry.waiters)
+                    live.set_attribute(
+                        "exec_s", time.perf_counter() - exec_start
+                    )
     except BaseException as exc:  # noqa: BLE001 - delivered to waiters
         entry.error = exc
         logger.debug("request %r failed: %s", entry.key, exc)
+    finally:
+        _observe_entry_split(
+            entry, queue_wait, time.perf_counter() - exec_start
+        )
+
+
+def _observe_entry_split(
+    entry: "_Entry", queue_wait: float, exec_seconds: float
+) -> None:
+    """Record one execution's queue-wait/execution split in the registry.
+
+    Always feeds the aggregate series; additionally feeds the
+    per-endpoint series when the submitter labeled the entry.
+    """
+    suffixes = [""]
+    if entry.endpoint:
+        suffixes.append(f".{entry.endpoint}")
+    for suffix in suffixes:
+        METRICS.histogram(
+            f"service.queue_wait_seconds{suffix}", buckets=LATENCY_BUCKETS
+        ).observe(queue_wait)
+        METRICS.histogram(
+            f"service.exec_seconds{suffix}", buckets=LATENCY_BUCKETS
+        ).observe(exec_seconds)
 
 
 class _Entry:
@@ -102,9 +167,15 @@ class _Entry:
     __slots__ = (
         "key", "compute", "done", "result", "error", "waiters",
         "span_context", "span_parent_id",
+        "admitted_at", "started_at", "endpoint",
     )
 
-    def __init__(self, key: Hashable, compute: Callable[[], Any]):
+    def __init__(
+        self,
+        key: Hashable,
+        compute: Callable[[], Any],
+        endpoint: str | None = None,
+    ):
         self.key = key
         self.compute = compute
         self.done = threading.Event()
@@ -113,6 +184,12 @@ class _Entry:
         self.waiters = 1
         self.span_context: SpanContext | None = None
         self.span_parent_id: str | None = None
+        #: Queue-admission timestamp (``time.perf_counter``), stamped at
+        #: construction; ``started_at`` is stamped when the dispatcher
+        #: drains the entry.  Their difference is the honest queue wait.
+        self.admitted_at = time.perf_counter()
+        self.started_at: float | None = None
+        self.endpoint = endpoint
 
 
 class CoalescingScheduler:
@@ -165,6 +242,10 @@ class CoalescingScheduler:
         self._wake = threading.Condition(self._lock)
         self._queue: deque[_Entry] = deque()
         self._pending: dict[Hashable, _Entry] = {}
+        #: Monotonic completion timestamps for the drain-rate estimate
+        #: behind honest Retry-After hints.  Bounded: only the recent
+        #: past matters and rejection-path reads must stay O(small).
+        self._finished: deque[float] = deque(maxlen=128)
         self._closing = False
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
@@ -179,9 +260,18 @@ class CoalescingScheduler:
         compute: Callable[[], Any],
         *,
         timeout: float | None = None,
+        endpoint: str | None = None,
+        info: dict[str, Any] | None = None,
     ) -> Any:
         """Run ``compute`` (or attach to its in-flight duplicate) and
         return the shared result.
+
+        ``endpoint`` labels the per-endpoint counters and the
+        queue-wait/execution histograms (``service.rejected.<endpoint>``
+        etc.); omitting it keeps the global series only.  ``info``, when
+        given, is an out-param: ``info["coalesced"] = True`` is set when
+        this submit attached to an in-flight duplicate instead of
+        enqueueing its own entry.
 
         Raises :class:`ServiceOverloaded` when the queue is full,
         :class:`ServiceClosed` after shutdown began, ``TimeoutError``
@@ -194,6 +284,10 @@ class CoalescingScheduler:
             if entry is not None:
                 entry.waiters += 1
                 METRICS.counter("service.coalesced").inc()
+                if endpoint:
+                    METRICS.counter(f"service.coalesced.{endpoint}").inc()
+                if info is not None:
+                    info["coalesced"] = True
                 # Link the duplicate's own request span to the span that
                 # will actually run the work (it may not have started yet;
                 # its identity was pinned when the entry was created).
@@ -206,11 +300,13 @@ class CoalescingScheduler:
                     raise ServiceClosed("scheduler is shutting down")
                 if len(self._queue) >= self.queue_max:
                     METRICS.counter("service.rejected").inc()
+                    if endpoint:
+                        METRICS.counter(f"service.rejected.{endpoint}").inc()
                     raise ServiceOverloaded(
                         f"request queue full ({self.queue_max} waiting)",
-                        retry_after=self.retry_after,
+                        retry_after=self._retry_after_estimate(),
                     )
-                entry = _Entry(key, compute)
+                entry = _Entry(key, compute, endpoint)
                 if live is not None:
                     # Pre-derive the executing span's context under the
                     # submitter's span: the dispatcher/pool threads that
@@ -253,6 +349,9 @@ class CoalescingScheduler:
                     self._queue.popleft()
                     for _ in range(min(self.batch_max, len(self._queue)))
                 ]
+                now = time.perf_counter()
+                for entry in batch:
+                    entry.started_at = now
                 METRICS.gauge("service.queue_depth").set(len(self._queue))
             METRICS.counter("service.batches").inc()
             METRICS.histogram("service.batch_size").observe(len(batch))
@@ -307,7 +406,33 @@ class CoalescingScheduler:
     def _finish_entry(self, entry: _Entry) -> None:
         with self._lock:
             self._pending.pop(entry.key, None)
+            self._finished.append(time.monotonic())
         entry.done.set()
+
+    def _retry_after_estimate(self) -> float:
+        """Honest back-off hint from the observed drain rate.
+
+        Estimates how long one dispatch batch needs to clear at the pace
+        recent entries completed: with ``n`` completions over the last
+        ``DRAIN_WINDOW_SECONDS``, the drain rate is ``n / elapsed`` and a
+        full batch clears in ``batch_max / rate`` seconds, clamped to
+        ``[RETRY_AFTER_MIN, RETRY_AFTER_MAX]``.  Before two completions
+        have been observed there is no rate to measure, so the configured
+        ``retry_after`` constant is advertised instead.
+
+        Caller must hold ``self._lock`` (the rejection path in
+        :meth:`submit` does).
+        """
+        now = time.monotonic()
+        cutoff = now - DRAIN_WINDOW_SECONDS
+        window = [stamp for stamp in self._finished if stamp >= cutoff]
+        if len(window) < 2:
+            return self.retry_after
+        elapsed = now - window[0]
+        if elapsed <= 0.0:
+            return RETRY_AFTER_MIN
+        rate = len(window) / elapsed
+        return min(RETRY_AFTER_MAX, max(RETRY_AFTER_MIN, self.batch_max / rate))
 
     # ----------------------------------------------------------- shutdown
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -48,6 +49,7 @@ from repro.core.memo import SOLVER_CACHE, publish_cache_metrics
 from repro.obs.logconf import ensure_configured, get_logger
 from repro.obs.metrics import LATENCY_BUCKETS, METRICS
 from repro.obs.promexport import PROMETHEUS_CONTENT_TYPE, prometheus_text
+from repro.obs.slo import SlidingWindowRate
 from repro.obs.spans import TRACEPARENT_HEADER, parse_traceparent, span
 from repro.core.batch_solve import resolve_batch_solve
 from repro.service.api import (
@@ -71,6 +73,19 @@ access_logger = get_logger("service.access")
 DEFAULT_STORE_PATH = ".repro-service/results.sqlite"
 #: Hard cap on accepted request bodies (requests are tiny parameter sets).
 MAX_BODY_BYTES = 1 << 20
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    """`ThreadingHTTPServer` with a listen backlog sized for real load.
+
+    socketserver's default accept backlog is 5: under open-loop bursts
+    (every request a fresh TCP connection) the kernel drops SYNs beyond
+    that, and clients see ~1s retransmit stalls or resets *before the
+    service's own backpressure can answer 429*.  Admission control
+    belongs to the bounded queue, not the accept backlog.
+    """
+
+    request_queue_size = 128
 
 
 class ReproService:
@@ -136,11 +151,16 @@ class ReproService:
                 else None
             ),
         )
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = False  # shutdown waits for handlers
         self._httpd.service = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         self._closed = False
+        # Live SLO view: trailing-window request / shed rates mirrored
+        # into gauges on every POST (lifetime counters answer "how much",
+        # these answer "how hot right now").
+        self._requests_window = SlidingWindowRate()
+        self._sheds_window = SlidingWindowRate()
 
     # ------------------------------------------------------------ runtime
 
@@ -201,6 +221,25 @@ class ReproService:
         self.close()
 
     # -------------------------------------------------------- introspection
+
+    def observe_window(self, *, shed: bool) -> None:
+        """Record one finished POST in the sliding SLO windows.
+
+        Updates ``service.window_rps`` (requests/s over the trailing
+        window) and ``service.window_shed_rate`` (shed fraction of the
+        same window's requests) so ``GET /metrics.json`` carries a live
+        load view alongside the lifetime series.
+        """
+        self._requests_window.record()
+        if shed:
+            self._sheds_window.record()
+        total = self._requests_window.count()
+        METRICS.gauge("service.window_rps").set(
+            round(self._requests_window.rate(), 3)
+        )
+        METRICS.gauge("service.window_shed_rate").set(
+            round(self._sheds_window.count() / total, 4) if total else 0.0
+        )
 
     def healthz(self) -> dict:
         """Liveness payload served on ``GET /healthz``."""
@@ -355,30 +394,59 @@ class _Handler(BaseHTTPRequestHandler):
         except RequestError as exc:
             self._error(400, str(exc))
             return
+        # Outcome classification for the per-endpoint × per-outcome
+        # telemetry: shed (429) / coalesced (attached to an in-flight
+        # duplicate) / ok (a fresh execution) / cache_hit (answered from
+        # memo or store without executing) / error.
+        info: dict = {}
+        outcome = "error"
         try:
-            payload = self.service.scheduler.submit(key, compute)
-        except ServiceOverloaded as exc:
-            retry_after = max(1, round(exc.retry_after))
-            self._respond_json(
-                429,
-                {"error": str(exc), "retry_after": retry_after},
-                headers={"Retry-After": str(retry_after)},
-            )
-            return
-        except ServiceClosed as exc:
-            self._error(503, str(exc))
-            return
-        except FixedPointDiverged as exc:
-            self._error(422, f"solver diverged: {exc}")
-            return
-        except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
-            logger.exception("unhandled service error")
-            self._error(500, f"{type(exc).__name__}: {exc}")
-            return
+            try:
+                payload = self.service.scheduler.submit(
+                    key, compute, endpoint=endpoint, info=info
+                )
+            except ServiceOverloaded as exc:
+                outcome = "shed"
+                # Body carries the honest float estimate; the header is
+                # HTTP delta-seconds (an integer), rounded up so clients
+                # honoring the header never retry *early*.
+                retry_after = round(exc.retry_after, 3)
+                self._respond_json(
+                    429,
+                    {"error": str(exc), "retry_after": retry_after},
+                    headers={"Retry-After": str(max(1, math.ceil(retry_after)))},
+                )
+                return
+            except ServiceClosed as exc:
+                self._error(503, str(exc))
+                return
+            except FixedPointDiverged as exc:
+                self._error(422, f"solver diverged: {exc}")
+                return
+            except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
+                logger.exception("unhandled service error")
+                self._error(500, f"{type(exc).__name__}: {exc}")
+                return
+            if info.get("coalesced"):
+                outcome = "coalesced"
+            elif getattr(compute, "executed", True):
+                outcome = "ok"
+            else:
+                outcome = "cache_hit"
         finally:
+            elapsed = time.perf_counter() - start
             # Bucketed SLO latency: the cumulative `le` series on
-            # GET /metrics, p50/p95/p99 on /metrics.json.
+            # GET /metrics, p50/p95/p99 on /metrics.json.  The aggregate
+            # per-endpoint series is what dashboards alert on; the
+            # per-outcome split shows *why* the latency is what it is
+            # (cache hits are µs, fresh executions are ms–s).
             METRICS.histogram(
                 f"service.request_seconds.{endpoint}", buckets=LATENCY_BUCKETS
-            ).observe(time.perf_counter() - start)
+            ).observe(elapsed)
+            METRICS.histogram(
+                f"service.request_seconds.{endpoint}.{outcome}",
+                buckets=LATENCY_BUCKETS,
+            ).observe(elapsed)
+            METRICS.counter(f"service.outcomes.{endpoint}.{outcome}").inc()
+            self.service.observe_window(shed=outcome == "shed")
         self._respond(200, canonical_json(payload))

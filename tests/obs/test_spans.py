@@ -252,6 +252,38 @@ class TestAnalysis:
         starts = {s.start for s in spans_a} | {s.start for s in spans_b}
         assert len(starts) > 1  # timestamps genuinely differ
 
+    def test_signature_ignores_timing_attributes(self):
+        # queue_wait_s / exec_s carry wall-clock measurements, so like
+        # start/end they must not perturb the tree's identity ...
+        def tree(wait: float, exec_s: float):
+            rec = SpanRecorder()
+            with recording(rec):
+                with span("request", trace_id="ab" * 16):
+                    with span(
+                        "scheduler.execute",
+                        attributes={
+                            "waiters": 3,
+                            "queue_wait_s": wait,
+                            "exec_s": exec_s,
+                        },
+                    ):
+                        pass
+            return rec.spans
+
+        assert span_tree_signature(tree(0.1, 0.5)) == span_tree_signature(
+            tree(99.0, 0.001)
+        )
+        # ... while genuinely structural attributes still do.
+        structural = [
+            Span(**{**span_to_dict(s), "attributes": {**s.attributes, "waiters": 4}})
+            if s.name == "scheduler.execute"
+            else s
+            for s in tree(0.1, 0.5)
+        ]
+        assert span_tree_signature(structural) != span_tree_signature(
+            tree(0.1, 0.5)
+        )
+
     def test_signature_sees_attribute_changes(self):
         base = self._tree()
         changed = [

@@ -1,0 +1,280 @@
+"""429 / ``ServiceOverloaded`` behavior under sustained overload.
+
+Covers the backpressure contract end to end: the bounded queue really
+is bounded while overloaded, shed responses advertise an *honest*
+drain-rate-derived ``Retry-After`` (float in the body, integer
+delta-seconds in the header), the bundled client honors the tighter
+body hint, and coalesced waiters never double-count in the
+queue-wait / execution histograms.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import LATENCY_BUCKETS, METRICS
+from repro.service.client import ServiceClient
+from repro.service.scheduler import (
+    RETRY_AFTER_MAX,
+    RETRY_AFTER_MIN,
+    CoalescingScheduler,
+    ServiceOverloaded,
+)
+from repro.service.server import ReproService
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail("condition not reached within timeout")
+        time.sleep(0.005)
+
+
+def _fill(sched: CoalescingScheduler, gate: threading.Event, n: int):
+    """Occupy the scheduler with ``n`` gate-blocked distinct entries.
+
+    Staggered (entry 0 must be *executing* before entry 1 enqueues, and
+    so on) so none of the fill entries race each other into a rejection.
+    Assumes ``batch_max=1, jobs=1``: one executes, the rest queue.
+    """
+    threads = []
+    for i in range(n):
+        t = threading.Thread(
+            target=lambda i=i: sched.submit(
+                ("blocked", i), lambda: gate.wait(10)
+            )
+        )
+        t.start()
+        threads.append(t)
+        _wait_until(
+            lambda i=i: sched.in_flight() == i + 1
+            and sched.queue_depth() == i
+        )
+    return threads
+
+
+class TestHonestRetryAfter:
+    def test_cold_scheduler_advertises_configured_constant(self):
+        gate = threading.Event()
+        sched = CoalescingScheduler(
+            queue_max=1, batch_max=1, jobs=1, retry_after=3.5
+        )
+        try:
+            threads = _fill(sched, gate, 2)
+            _wait_until(lambda: sched.queue_depth() == 1)
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                sched.submit("c", lambda: None)
+            # No completions observed yet: no drain rate to derive an
+            # estimate from, so the configured constant is advertised.
+            assert excinfo.value.retry_after == 3.5
+        finally:
+            gate.set()
+            for t in threads:
+                t.join()
+            sched.close()
+
+    def test_warm_scheduler_derives_estimate_from_drain_rate(self):
+        gate = threading.Event()
+        sched = CoalescingScheduler(
+            queue_max=1, batch_max=1, jobs=1, retry_after=25.0
+        )
+        try:
+            for i in range(10):  # fast completions: a hot drain
+                sched.submit(("warm", i), lambda: None)
+            threads = _fill(sched, gate, 2)
+            _wait_until(lambda: sched.queue_depth() == 1)
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                sched.submit("c", lambda: None)
+            # Ten near-instant completions -> the honest estimate is far
+            # below the (deliberately pessimistic) configured constant.
+            assert excinfo.value.retry_after < 25.0
+            assert (
+                RETRY_AFTER_MIN
+                <= excinfo.value.retry_after
+                <= RETRY_AFTER_MAX
+            )
+        finally:
+            gate.set()
+            for t in threads:
+                t.join()
+            sched.close()
+
+    def test_stale_completions_fall_back_to_configured_constant(self):
+        sched = CoalescingScheduler(queue_max=1, retry_after=4.0)
+        try:
+            # Completions far outside DRAIN_WINDOW_SECONDS carry no
+            # information about the current drain rate.
+            sched._finished.extend([time.monotonic() - 3600.0] * 50)
+            assert sched._retry_after_estimate() == 4.0
+        finally:
+            sched.close()
+
+    def test_http_429_body_float_header_integer(self):
+        gate = threading.Event()
+        with ReproService(
+            port=0, store_path=None, jobs=1, queue_max=1, retry_after=2.5
+        ) as svc:
+            threads = _fill(svc.scheduler, gate, 2)
+            try:
+                _wait_until(lambda: svc.scheduler.queue_depth() == 1)
+                client = ServiceClient(svc.url)
+                status, headers, raw = client.request(
+                    "POST",
+                    "/v1/solve",
+                    {"te_core_days": 200.0, "case": "24-12-6-3"},
+                )
+                assert status == 429
+                import json
+
+                payload = json.loads(raw)
+                # The body carries the honest float; the header is HTTP
+                # delta-seconds: an integer, rounded *up*, never below 1.
+                assert isinstance(payload["retry_after"], (int, float))
+                header = int(headers["Retry-After"])
+                assert header >= 1
+                assert header >= payload["retry_after"]
+            finally:
+                gate.set()
+                for t in threads:
+                    t.join()
+
+    def test_client_prefers_body_float_over_header(self, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: sleeps.append(s)
+        )
+        client = ServiceClient("http://fake:1")
+        responses = [
+            (429, {"Retry-After": "1"}, b'{"error":"full","retry_after":0.25}'),
+            (200, {}, b'{"ok":true}'),
+        ]
+        client.request = (  # type: ignore[method-assign]
+            lambda method, path, body=None: responses.pop(0)
+        )
+        assert client.solve(
+            te_core_days=1.0, case="8-4-2-1", retries=1
+        ) == {"ok": True}
+        # Slept the body's tight float, not the rounded-up header second.
+        assert sleeps == [0.25]
+
+
+class TestQueueBound:
+    def test_queue_never_exceeds_queue_max_under_sustained_overload(self):
+        gate = threading.Event()
+        queue_max = 4
+        sched = CoalescingScheduler(
+            queue_max=queue_max, batch_max=1, jobs=1
+        )
+        outcomes: list[str] = []
+        outcomes_lock = threading.Lock()
+
+        def submit(i: int) -> None:
+            try:
+                sched.submit(("load", i), lambda: gate.wait(10))
+            except ServiceOverloaded:
+                with outcomes_lock:
+                    outcomes.append("shed")
+            else:
+                with outcomes_lock:
+                    outcomes.append("ok")
+
+        max_depth = 0
+        try:
+            threads = [
+                threading.Thread(target=submit, args=(i,)) for i in range(40)
+            ]
+            for t in threads:
+                t.start()
+                max_depth = max(max_depth, sched.queue_depth())
+            # Keep sampling while the flood settles.
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                max_depth = max(max_depth, sched.queue_depth())
+                time.sleep(0.002)
+            assert max_depth <= queue_max
+            gate.set()
+            for t in threads:
+                t.join()
+        finally:
+            gate.set()
+            sched.close()
+        assert len(outcomes) == 40
+        assert outcomes.count("shed") > 0
+        assert outcomes.count("ok") + outcomes.count("shed") == 40
+
+    def test_per_endpoint_rejected_counter(self):
+        gate = threading.Event()
+        before_global = METRICS.counter("service.rejected").value
+        before_solve = METRICS.counter("service.rejected.solve").value
+        sched = CoalescingScheduler(queue_max=1, batch_max=1, jobs=1)
+        try:
+            threads = _fill(sched, gate, 2)
+            _wait_until(lambda: sched.queue_depth() == 1)
+            with pytest.raises(ServiceOverloaded):
+                sched.submit("c", lambda: None, endpoint="solve")
+            assert METRICS.counter("service.rejected").value - before_global == 1.0
+            assert (
+                METRICS.counter("service.rejected.solve").value - before_solve
+                == 1.0
+            )
+        finally:
+            gate.set()
+            for t in threads:
+                t.join()
+            sched.close()
+
+
+class TestNoDoubleCounting:
+    def test_coalesced_waiters_observe_histograms_once(self):
+        gate = threading.Event()
+        hist_wait = METRICS.histogram(
+            "service.queue_wait_seconds", buckets=LATENCY_BUCKETS
+        )
+        hist_exec = METRICS.histogram(
+            "service.exec_seconds", buckets=LATENCY_BUCKETS
+        )
+        hist_wait_ep = METRICS.histogram(
+            "service.queue_wait_seconds.solve", buckets=LATENCY_BUCKETS
+        )
+        hist_exec_ep = METRICS.histogram(
+            "service.exec_seconds.solve", buckets=LATENCY_BUCKETS
+        )
+        before = (
+            hist_wait.count, hist_exec.count,
+            hist_wait_ep.count, hist_exec_ep.count,
+        )
+        coalesced_before = METRICS.counter("service.coalesced.solve").value
+        with CoalescingScheduler(queue_max=8, jobs=2) as sched:
+            infos = [dict() for _ in range(6)]
+            threads = [
+                threading.Thread(
+                    target=lambda info=info: sched.submit(
+                        "hot",
+                        lambda: gate.wait(5),
+                        endpoint="solve",
+                        info=info,
+                    )
+                )
+                for info in infos
+            ]
+            for t in threads:
+                t.start()
+            _wait_until(
+                lambda: METRICS.counter("service.coalesced.solve").value
+                - coalesced_before
+                >= 5.0
+            )
+            gate.set()
+            for t in threads:
+                t.join()
+        # Six waiters, one execution: each histogram advanced exactly once.
+        assert hist_wait.count - before[0] == 1
+        assert hist_exec.count - before[1] == 1
+        assert hist_wait_ep.count - before[2] == 1
+        assert hist_exec_ep.count - before[3] == 1
+        # The info out-param marked exactly the five attached duplicates.
+        assert sum(1 for info in infos if info.get("coalesced")) == 5

@@ -93,6 +93,21 @@ class TestEndToEndTrace:
         roots = build_span_tree(loaded)
         assert [r[0].name for r in roots] == ["client.request"]
 
+    def test_scheduler_span_carries_queue_wait_exec_split(
+        self, recorder, store_path
+    ):
+        with ReproService(port=0, store_path=store_path) as svc:
+            ServiceClient(svc.url).solve(**FAST_BODY)
+        (sched_span,) = _by_name(recorder.spans, "scheduler.execute")
+        # Distinct timing fields: how long the entry queued vs. how long
+        # the compute ran.  Both non-negative floats; exec dominates the
+        # span's own duration for a real (non-hit) solve.
+        queue_wait = sched_span.attributes["queue_wait_s"]
+        exec_s = sched_span.attributes["exec_s"]
+        assert isinstance(queue_wait, float) and queue_wait >= 0.0
+        assert isinstance(exec_s, float) and exec_s > 0.0
+        assert exec_s <= (sched_span.end - sched_span.start) + 0.05
+
     def test_coalesced_duplicates_link_to_the_executing_span(
         self, recorder, store_path, monkeypatch
     ):

@@ -1,0 +1,210 @@
+"""Tests for the load generator (benchmarks/loadgen.py) and its report
+renderer (repro.obs.loadreport / `repro obs load`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.loadgen import (
+    CONFIG_POOL,
+    ScheduledRequest,
+    RequestResult,
+    build_report,
+    make_schedule,
+    percentile,
+    summarize_phase,
+    zipf_weights,
+)
+from repro.cli import main as cli_main
+from repro.obs.loadreport import ReportError, format_load_report
+
+
+class TestZipf:
+    def test_weights_normalize_and_decrease(self):
+        weights = zipf_weights(8, 1.1)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zero_exponent_is_uniform(self):
+        assert zipf_weights(4, 0.0) == pytest.approx([0.25] * 4)
+
+    def test_skew_concentrates_on_hot_ranks(self):
+        flat = zipf_weights(8, 0.5)
+        hot = zipf_weights(8, 2.0)
+        assert hot[0] > flat[0]
+        assert hot[-1] < flat[-1]
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestSchedules:
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(profile="steady", rate=100.0, duration=2.0, skew=1.1)
+        a = make_schedule(seed=7, **kwargs)
+        b = make_schedule(seed=7, **kwargs)
+        assert a == b  # frozen dataclasses: full structural equality
+
+    def test_different_seeds_differ(self):
+        a = make_schedule(seed=1, rate=100.0, duration=2.0)
+        b = make_schedule(seed=2, rate=100.0, duration=2.0)
+        assert a != b
+
+    def test_arrivals_sorted_within_duration(self):
+        schedule = make_schedule(
+            profile="burst", rate=50.0, duration=2.0, seed=3,
+            burst_period=0.5, burst_size=10,
+        )
+        times = [r.at for r in schedule]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 2.0 for t in times)
+
+    def test_rate_roughly_honored(self):
+        schedule = make_schedule(rate=200.0, duration=5.0, seed=0)
+        assert len(schedule) == pytest.approx(1000, rel=0.2)
+
+    def test_burst_adds_arrivals_over_steady(self):
+        steady = make_schedule(profile="steady", rate=50.0, duration=2.0, seed=5)
+        burst = make_schedule(
+            profile="burst", rate=50.0, duration=2.0, seed=5,
+            burst_period=0.5, burst_size=25,
+        )
+        assert len(burst) >= len(steady) + 3 * 25
+
+    def test_ramp_back_loaded(self):
+        schedule = make_schedule(
+            profile="ramp", rate=10.0, duration=4.0, seed=9, ramp_to=200.0
+        )
+        first_half = sum(1 for r in schedule if r.at < 2.0)
+        second_half = len(schedule) - first_half
+        assert second_half > first_half
+
+    def test_mix_and_skew_applied(self):
+        schedule = make_schedule(
+            rate=300.0, duration=3.0, seed=11, skew=1.5,
+            simulate_fraction=0.25,
+        )
+        endpoints = {r.endpoint for r in schedule}
+        assert endpoints == {"solve", "simulate"}
+        sim_frac = sum(
+            1 for r in schedule if r.endpoint == "simulate"
+        ) / len(schedule)
+        assert sim_frac == pytest.approx(0.25, abs=0.07)
+        # Zipf: rank 0 strictly most common, bodies drawn from the pool.
+        counts = [0] * len(CONFIG_POOL)
+        for r in schedule:
+            counts[r.rank] += 1
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[-1]
+
+    def test_simulate_bodies_carry_fixed_sim_fields(self):
+        schedule = make_schedule(rate=200.0, duration=2.0, seed=1)
+        for req in schedule:
+            if req.endpoint == "simulate":
+                assert req.body["strategy"] == "ml-opt-scale"
+                assert req.body["runs"] == 10
+            else:
+                assert "runs" not in req.body
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            make_schedule(rate=0.0)
+        with pytest.raises(ValueError):
+            make_schedule(duration=-1.0)
+        with pytest.raises(ValueError):
+            make_schedule(simulate_fraction=1.5)
+        with pytest.raises(ValueError):
+            make_schedule(profile="sawtooth")
+
+
+class TestSummary:
+    def test_percentile_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 50) == 50.0
+        assert percentile(samples, 99) == 99.0
+        assert percentile([], 99) == 0.0
+
+    def _results(self):
+        return [
+            RequestResult(0.0, "solve", 200, 0.010, 0),
+            RequestResult(0.1, "solve", 200, 0.020, 0),
+            RequestResult(0.2, "simulate", 200, 0.030, 1),
+            RequestResult(0.3, "solve", 429, 0.001, 0),
+        ]
+
+    def test_summarize_phase_counts_and_rates(self):
+        schedule = [
+            ScheduledRequest(0.1 * i, "solve", {}, 0) for i in range(4)
+        ]
+        before = {"metrics": {"service.executions": 2, "service.coalesced": 0}}
+        after = {"metrics": {"service.executions": 4, "service.coalesced": 2}}
+        phase = summarize_phase(
+            "steady", schedule, self._results(),
+            metrics_before=before, metrics_after=after,
+        )
+        assert phase["requests"] == 4
+        assert phase["ok"] == 3
+        assert phase["shed"] == 1
+        assert phase["errors"] == 0
+        assert phase["shed_rate"] == 0.25
+        assert phase["server"]["executions"] == 2
+        assert phase["coalesce_ratio"] == 0.5
+        assert phase["latency_ms"]["p50"] == 20.0
+
+    def test_build_report_headline(self):
+        phase = summarize_phase("sustained", [], self._results())
+        report = build_report({"seed": 0}, [phase])
+        assert report["kind"] == "repro.loadgen.report"
+        assert report["phases"]["sustained"]["ok"] == 3
+        assert report["slo"]["worst_shed_rate"] == 0.25
+        assert report["slo"]["sustained_p99_ms"] == phase["latency_ms"]["p99"]
+
+
+class TestRenderer:
+    def _report(self):
+        phase = summarize_phase(
+            "sustained",
+            [ScheduledRequest(0.0, "solve", {}, 0)],
+            [RequestResult(0.0, "solve", 200, 0.0125, 0)],
+        )
+        return build_report({"seed": 3, "rate": 100.0}, [phase])
+
+    def test_format_contains_phases_and_slo(self):
+        text = format_load_report(self._report())
+        assert "sustained" in text
+        assert "SLO:" in text
+        assert "seed=3" in text
+        assert "12.5" in text  # p50 in ms
+
+    def test_rejects_non_reports(self):
+        with pytest.raises(ReportError):
+            format_load_report({"kind": "something.else"})
+        with pytest.raises(ReportError):
+            format_load_report(
+                {"kind": "repro.loadgen.report", "phases": {}}
+            )
+
+    def test_cli_obs_load_renders_file(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(self._report()))
+        assert cli_main(["obs", "load", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO:" in out
+        assert "sustained" in out
+
+    def test_cli_obs_load_missing_file(self, capsys):
+        assert cli_main(["obs", "load", "/no/such/report.json"]) == 1
+        assert "no report file" in capsys.readouterr().err
+
+    def test_cli_obs_load_requires_path(self, capsys):
+        assert cli_main(["obs", "load"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_cli_obs_load_rejects_non_report_json(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "not.a.report"}')
+        assert cli_main(["obs", "load", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
