@@ -35,6 +35,12 @@ Run standalone against a live service, or self-served::
         --rate 200 --duration 5 --out report.json
     python -m repro obs load report.json
 
+``--batch N`` clumps consecutive solve arrivals into ``/v1/solve_batch``
+requests (see :func:`batch_schedule`); ``--self-serve-workers N``
+self-serves a sharded cluster (:mod:`repro.service.cluster`) instead of
+the single process, and phase summaries then grow a per-worker-shard
+breakdown from the coordinator's ``cluster.*`` metric deltas.
+
 Everything is stdlib; schedules are bit-reproducible per seed.
 """
 
@@ -104,6 +110,8 @@ class RequestResult:
     status: int
     latency: float
     rank: int
+    #: Solve items carried by this HTTP request (> 1 for solve_batch).
+    items: int = 1
 
 
 def zipf_weights(n: int, s: float) -> list[float]:
@@ -241,6 +249,50 @@ def make_schedule(
     return schedule
 
 
+def batch_schedule(
+    schedule: Sequence[ScheduledRequest], batch_n: int
+) -> list[ScheduledRequest]:
+    """Clump runs of solve arrivals into ``/v1/solve_batch`` requests.
+
+    Walks the schedule in arrival order, folding up to ``batch_n``
+    consecutive ``solve`` arrivals into one ``solve_batch`` request
+    fired at the *first* member's offset (the batch body is
+    ``{"requests": [...]}``, the member order preserved); ``simulate``
+    arrivals pass through untouched and terminate the current run.  The
+    result exercises the scatter/gather path with the same offered item
+    rate and rank mix as the unbatched schedule.
+    """
+    if batch_n < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch_n}")
+    out: list[ScheduledRequest] = []
+    pending: list[ScheduledRequest] = []
+
+    def flush() -> None:
+        if not pending:
+            return
+        first = pending[0]
+        out.append(
+            ScheduledRequest(
+                first.at,
+                "solve_batch",
+                {"requests": [r.body for r in pending]},
+                first.rank,
+            )
+        )
+        pending.clear()
+
+    for req in schedule:
+        if req.endpoint != "solve":
+            flush()
+            out.append(req)
+            continue
+        pending.append(req)
+        if len(pending) >= batch_n:
+            flush()
+    flush()
+    return out
+
+
 # --------------------------------------------------------------- driver
 
 
@@ -288,10 +340,16 @@ def run_schedule(
             except OSError:
                 status = 0  # transport failure: counted, not raised
             latency = time.perf_counter() - sent
+            items = (
+                len(req.body["requests"])
+                if req.endpoint == "solve_batch"
+                else 1
+            )
             with results_lock:
                 results.append(
                     RequestResult(
-                        sent - epoch, req.endpoint, status, latency, req.rank
+                        sent - epoch, req.endpoint, status, latency,
+                        req.rank, items,
                     )
                 )
 
@@ -351,6 +409,36 @@ DELTA_METRICS = (
 )
 
 
+def _shard_breakdown(
+    metrics_before: Mapping[str, Any] | None,
+    metrics_after: Mapping[str, Any] | None,
+) -> dict[str, dict[str, float]]:
+    """Per-worker-shard metric deltas, keyed by shard id.
+
+    Reads the coordinator's ``cluster.shard.<i>.<metric>`` routing
+    counters and ``cluster.restarts.<i>`` series from the before/after
+    snapshots; empty when the target is a single-process service (no
+    shard labels exposed).
+    """
+    source = (metrics_after or {})
+    names = source.get("metrics", source) or {}
+    shards: dict[str, dict[str, float]] = {}
+    for name in names:
+        if name.startswith("cluster.shard."):
+            rest = name[len("cluster.shard."):]
+            shard, _, metric = rest.partition(".")
+        elif name.startswith("cluster.restarts."):
+            shard = name[len("cluster.restarts."):]
+            metric = "restarts"
+        else:
+            continue
+        if not shard.isdigit() or not metric:
+            continue
+        delta = _metric(metrics_after, name) - _metric(metrics_before, name)
+        shards.setdefault(shard, {})[metric] = round(delta, 1)
+    return {shard: shards[shard] for shard in sorted(shards, key=int)}
+
+
 def summarize_phase(
     label: str,
     schedule: Sequence[ScheduledRequest],
@@ -359,7 +447,14 @@ def summarize_phase(
     metrics_before: Mapping[str, Any] | None = None,
     metrics_after: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Fold one phase's samples + server metric deltas into a report row."""
+    """Fold one phase's samples + server metric deltas into a report row.
+
+    Against a cluster coordinator the row additionally carries a
+    ``shards`` breakdown (per-worker request/retry/error/restart deltas,
+    see :func:`_shard_breakdown`); batch-mode runs (any result carrying
+    more than one solve item) additionally report ``ok_items`` /
+    ``items_rps`` so throughput stays comparable with unbatched runs.
+    """
     span_s = max((r.at + r.latency for r in results), default=0.0)
     ok = [r for r in results if r.status == 200]
     shed = [r for r in results if r.status == 429]
@@ -393,6 +488,15 @@ def summarize_phase(
     }
     if shed:
         summary["shed_latency_ms"] = _latency_ms([r.latency for r in shed])
+    if any(r.items != 1 for r in results):
+        ok_items = sum(r.items for r in ok)
+        summary["ok_items"] = ok_items
+        summary["items_rps"] = (
+            round(ok_items / span_s, 1) if span_s > 0 else 0.0
+        )
+    shards = _shard_breakdown(metrics_before, metrics_after)
+    if shards:
+        summary["shards"] = shards
     return summary
 
 
@@ -446,6 +550,31 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="start an in-process service (memory-only) and load it",
     )
+    parser.add_argument(
+        "--self-serve-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --self-serve: run a sharded cluster with N worker "
+            "subprocesses instead of the single-process service"
+        ),
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "clump up to N consecutive solve arrivals into one "
+            "/v1/solve_batch request (0 = unbatched)"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on-errors",
+        action="store_true",
+        help="exit 1 if any request errored (CI smoke gates on this)",
+    )
     parser.add_argument("--profile", choices=PROFILES, default="steady")
     parser.add_argument("--rate", type=float, default=100.0)
     parser.add_argument("--duration", type=float, default=5.0)
@@ -477,6 +606,8 @@ def main(argv: list[str] | None = None) -> int:
         burst_size=args.burst_size,
         ramp_to=args.ramp_to,
     )
+    if args.batch:
+        schedule = batch_schedule(schedule, args.batch)
     config = {
         "profile": args.profile,
         "rate": args.rate,
@@ -486,10 +617,25 @@ def main(argv: list[str] | None = None) -> int:
         "simulate_fraction": args.simulate_fraction,
         "scheduled_requests": len(schedule),
     }
+    if args.batch:
+        config["batch"] = args.batch
+    if args.self_serve_workers:
+        config["cluster_workers"] = args.self_serve_workers
 
     service = None
     url = args.url
-    if args.self_serve:
+    if args.self_serve and args.self_serve_workers:
+        from repro.service.cluster import ClusterService
+
+        service = ClusterService(
+            port=0,
+            workers=args.self_serve_workers,
+            store_dir=None,
+            jobs=args.jobs,
+            queue_max=args.queue_max,
+        ).start()
+        url = service.url
+    elif args.self_serve:
         from repro.service.server import ReproService
 
         service = ReproService(
@@ -520,6 +666,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"report written to {args.out}")
     else:
         print(text)
+    if args.fail_on_errors and phase.get("errors", 0):
+        print(f"FAIL: {phase['errors']} request(s) errored")
+        return 1
     return 0
 
 

@@ -45,6 +45,10 @@ GATED_METRICS: dict[str, dict[str, str]] = {
         "batch.speedup": "higher",
         "batch.per_replica_us": "lower",
     },
+    "BENCH_cluster.json": {
+        "single.items_per_second": "higher",
+        "cluster.items_per_second": "higher",
+    },
     "BENCH_load.json": {
         "phases.sustained.ok_rps": "higher",
         "phases.sustained.latency_ms.p99": "lower",

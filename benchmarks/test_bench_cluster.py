@@ -1,0 +1,111 @@
+"""Cluster scale-out bench: scatter/gather vs the single-process service.
+
+One cold ``POST /v1/solve_batch`` of unique configurations, answered
+twice: by a single-process :class:`ReproService` (one core, however the
+kernel vectorizes) and by a :class:`ClusterService` with four worker
+subprocesses (the coordinator scatters per-shard slices that solve
+concurrently).  Both answers must be byte-identical — the cluster's
+safety invariant — and the run records items/second for each topology
+into ``benchmarks/results/BENCH_cluster.json`` for ``regress.py``.
+
+The ≥2x speedup floor is asserted only where it can physically hold
+(``os.cpu_count() >= 4``): the whole point of the cluster is escaping
+the GIL, so on a single-core box the subprocesses time-slice one core
+and the floor is meaningless.  CI runners are multi-core, so the floor
+is enforced there.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core.memo import SOLVER_CACHE
+from repro.parallel.timing import write_bench_json
+from repro.service.client import ServiceClient
+from repro.service.cluster import ClusterService
+from repro.service.server import ReproService
+
+N_ITEMS = 256
+N_WORKERS = 4
+SPEEDUP_FLOOR = 2.0
+
+
+def _bodies(n: int) -> list[dict]:
+    # Distinct te_core_days -> distinct canonical keys -> all cold.
+    return [
+        {
+            "te_core_days": 150.0 + 0.01 * i,
+            "case": "24-12-6-3",
+            "ideal_scale": 2000.0,
+            "allocation": 30.0,
+        }
+        for i in range(n)
+    ]
+
+
+def _timed_batch(url: str, bodies: list[dict]) -> tuple[float, bytes]:
+    client = ServiceClient(url, timeout=600.0)
+    start = time.perf_counter()
+    status, _, raw = client.request(
+        "POST", "/v1/solve_batch", {"requests": bodies}
+    )
+    elapsed = time.perf_counter() - start
+    assert status == 200
+    return elapsed, raw
+
+
+def test_bench_cluster_scatter_gather_speedup():
+    bodies = _bodies(N_ITEMS)
+
+    SOLVER_CACHE.clear()
+    SOLVER_CACHE.detach_store()
+    with ReproService(
+        port=0, store_path=None, queue_max=2 * N_ITEMS
+    ) as svc:
+        single_seconds, single_raw = _timed_batch(svc.url, bodies)
+    SOLVER_CACHE.clear()
+
+    with ClusterService(
+        workers=N_WORKERS, store_dir=None, queue_max=2 * N_ITEMS
+    ) as svc:
+        cluster_seconds, cluster_raw = _timed_batch(svc.url, bodies)
+
+    # Safety invariant: shard count never changes a byte of the answer.
+    assert cluster_raw == single_raw
+
+    speedup = single_seconds / cluster_seconds
+    report = {
+        "kind": "repro.bench.cluster",
+        "items": N_ITEMS,
+        "cpu_count": os.cpu_count(),
+        "single": {
+            "seconds": round(single_seconds, 4),
+            "items_per_second": round(N_ITEMS / single_seconds, 1),
+        },
+        "cluster": {
+            "workers": N_WORKERS,
+            "seconds": round(cluster_seconds, 4),
+            "items_per_second": round(N_ITEMS / cluster_seconds, 1),
+        },
+        "speedup": round(speedup, 2),
+        "byte_identical": True,
+    }
+    path = write_bench_json(RESULTS_DIR / "BENCH_cluster.json", report)
+    print(
+        f"\n[cluster bench] {N_ITEMS} cold solves: "
+        f"single {report['single']['items_per_second']} items/s, "
+        f"{N_WORKERS} workers {report['cluster']['items_per_second']} "
+        f"items/s ({speedup:.2f}x)"
+    )
+    print(f"[saved to {path}]")
+
+    if (os.cpu_count() or 1) >= N_WORKERS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{N_WORKERS}-worker cluster only {speedup:.2f}x faster than "
+            f"single-process on a {os.cpu_count()}-core machine "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )
+
+    SOLVER_CACHE.clear()

@@ -5,7 +5,7 @@ Five subcommands::
     python -m repro optimize --te-core-days 3e6 --case 8-4-2-1 [--trace]
     python -m repro simulate --te-core-days 3e6 --case 8-4-2-1 --runs 20
     python -m repro experiment fig5 [--trace-dir out/]
-    python -m repro serve --port 8765 [--store PATH] [--queue-max N]
+    python -m repro serve --port 8765 [--store PATH] [--workers N]
     python -m repro obs --last
     python -m repro obs trace <trace-id>
     python -m repro obs load <report.json>
@@ -18,7 +18,10 @@ randomized-failure simulator; ``experiment`` runs a registered paper
 experiment (see ``--list``), optionally exporting per-replica event
 traces with ``--trace-dir``; ``serve`` runs the long-lived JSON-over-HTTP
 optimization service (:mod:`repro.service`, see docs/service.md) and
-appends every finished request span to ``$REPRO_OBS_DIR/spans.jsonl``;
+appends every finished request span to ``$REPRO_OBS_DIR/spans.jsonl``
+(``--workers N`` scales it out to a sharded coordinator/worker cluster,
+:mod:`repro.service.cluster`; the hidden ``serve-worker`` subcommand is
+how the supervisor launches each shard);
 ``obs --last`` pretty-prints the previous command's observability
 summary, ``obs load <report>`` renders a load-generator report
 (``benchmarks/loadgen.py``) as a per-phase table with the SLO headline,
@@ -209,6 +212,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bind port (default 8765; 0 = pick a free port)",
     )
     p_srv.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run a sharded coordinator with N worker subprocesses "
+            "(consistent-hash routing, scatter/gather /v1/solve_batch, "
+            "health-checked restart; see docs/service.md).  0 (default) "
+            "keeps the single-process service"
+        ),
+    )
+    p_srv.add_argument(
         "--queue-max",
         type=int,
         default=64,
@@ -228,7 +243,8 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "persistent result store (sqlite; default "
-            ".repro-service/results.sqlite)"
+            ".repro-service/results.sqlite).  With --workers N, a "
+            "directory holding one shard-<i>.sqlite per worker"
         ),
     )
     p_srv.add_argument(
@@ -261,6 +277,43 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_jobs_argument(p_srv)
+
+    p_wrk = sub.add_parser(
+        "serve-worker",
+        help=(
+            "internal: run one cluster worker shard (launched by "
+            "`repro serve --workers N`; see repro.service.supervisor)"
+        ),
+    )
+    p_wrk.add_argument("--shard", type=int, required=True, metavar="I")
+    p_wrk.add_argument("--port", type=int, default=0)
+    p_wrk.add_argument("--queue-max", type=int, default=64, metavar="N")
+    p_wrk.add_argument("--batch-max", type=int, default=8, metavar="N")
+    p_wrk.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for this shard's sqlite store (shard-<i>.sqlite)",
+    )
+    p_wrk.add_argument("--no-store", action="store_true")
+    p_wrk.add_argument(
+        "--cache-max-entries", type=int, default=4096, metavar="N"
+    )
+    p_wrk.add_argument("--no-batch-solve", action="store_true")
+    p_wrk.add_argument(
+        "--spans-dir",
+        default=None,
+        metavar="DIR",
+        help="record spans to DIR/spans-shard<i>.jsonl",
+    )
+    p_wrk.add_argument(
+        "--request-delay",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="fault-injection: sleep S seconds before each POST dispatch",
+    )
+    _add_jobs_argument(p_wrk)
 
     p_obs = sub.add_parser(
         "obs", help="inspect observability output of previous runs"
@@ -399,6 +452,8 @@ def _cmd_experiment(args: argparse.Namespace, timer: PhaseTimer) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers:
+        return _cmd_serve_cluster(args)
     # Imported lazily: the service stack (http.server, sqlite3) is only
     # needed by this subcommand.
     from repro.service.server import DEFAULT_STORE_PATH, ReproService
@@ -429,8 +484,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not args.no_spans:
         print(f"request spans: {spans_path()} (repro obs trace <id>)")
     print(
-        "endpoints: POST /v1/solve, POST /v1/simulate, GET /healthz, "
-        "GET /metrics, GET /metrics.json"
+        "endpoints: POST /v1/solve, POST /v1/simulate, "
+        "POST /v1/solve_batch, GET /healthz, GET /metrics, "
+        "GET /metrics.json"
     )
     try:
         service.serve_forever()
@@ -438,6 +494,112 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Reached on Ctrl-C (KeyboardInterrupt propagates to main()) or a
         # programmatic shutdown: drain in-flight work, then release.
         print("shutting down: draining in-flight requests...", file=sys.stderr)
+        service.close(drain=True)
+        if previous_recorder is not None:
+            set_span_recorder(previous_recorder)
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    """``repro serve --workers N``: coordinator + N worker subprocesses."""
+    from repro.service.cluster import DEFAULT_STORE_DIR, ClusterService
+
+    previous_recorder = None
+    spans_dir = None
+    if not args.no_spans:
+        # Coordinator spans go to the usual sink; each worker records
+        # its own spans-shard<i>.jsonl next to it (same trace ids, so
+        # `repro obs trace` can merge the files when asked).
+        recorder = SpanRecorder(spans_path(), maxlen=10_000)
+        previous_recorder = set_span_recorder(recorder)
+        spans_dir = spans_path().parent
+    store_dir = None if args.no_store else (args.store or DEFAULT_STORE_DIR)
+    service = ClusterService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_max=args.queue_max,
+        batch_max=args.batch_max,
+        jobs=args.jobs,
+        store_dir=store_dir,
+        cache_max_entries=args.cache_max_entries,
+        batch_solve=False if args.no_batch_solve else None,
+        spans_dir=spans_dir,
+    )
+    print(
+        f"repro.service cluster coordinator on {service.url} "
+        f"({args.workers} workers, consistent-hash routing)"
+    )
+    if store_dir is None:
+        print("persistent store: disabled")
+    else:
+        print(f"persistent store: {store_dir}/shard-<i>.sqlite")
+    print(
+        "endpoints: POST /v1/solve, POST /v1/simulate, "
+        "POST /v1/solve_batch, GET /healthz, GET /metrics, "
+        "GET /metrics.json"
+    )
+    try:
+        service.serve_forever()
+    finally:
+        print(
+            "shutting down: draining coordinator and workers...",
+            file=sys.stderr,
+        )
+        service.close()
+        if previous_recorder is not None:
+            set_span_recorder(previous_recorder)
+    return 0
+
+
+def _cmd_serve_worker(args: argparse.Namespace) -> int:
+    """``repro serve-worker``: one cluster shard (supervisor-launched).
+
+    Announces readiness as one JSON line on stdout —
+    ``{"event": "ready", "shard": I, "port": P}`` — then serves until
+    SIGTERM/SIGINT, which it maps onto the normal draining-shutdown
+    path (finish in-flight requests, flush the store, exit 130).
+    """
+    import json as _json
+    import signal
+    from pathlib import Path
+
+    from repro.service.server import ReproService
+
+    def _terminate(signum, frame):  # SIGTERM == Ctrl-C: drain and exit
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    previous_recorder = None
+    if args.spans_dir is not None:
+        sink = Path(args.spans_dir) / f"spans-shard{args.shard}.jsonl"
+        sink.parent.mkdir(parents=True, exist_ok=True)
+        recorder = SpanRecorder(sink, maxlen=10_000)
+        previous_recorder = set_span_recorder(recorder)
+    store_path = None
+    if not args.no_store and args.store_dir is not None:
+        store_path = Path(args.store_dir) / f"shard-{args.shard}.sqlite"
+    service = ReproService(
+        host="127.0.0.1",
+        port=args.port,
+        queue_max=args.queue_max,
+        batch_max=args.batch_max,
+        jobs=args.jobs,
+        store_path=store_path,
+        cache_max_entries=args.cache_max_entries,
+        batch_solve=False if args.no_batch_solve else None,
+        shard_id=args.shard,
+        request_delay_s=args.request_delay,
+    )
+    print(
+        _json.dumps(
+            {"event": "ready", "shard": args.shard, "port": service.port}
+        ),
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    finally:
         service.close(drain=True)
         if previous_recorder is not None:
             set_span_recorder(previous_recorder)
@@ -580,6 +742,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             code = _cmd_experiment(args, timer)
         elif args.command == "serve":
             code = _cmd_serve(args)
+        elif args.command == "serve-worker":
+            code = _cmd_serve_worker(args)
         else:  # pragma: no cover - argparse enforces the choices
             raise AssertionError(f"unhandled command {args.command!r}")
     except KeyboardInterrupt:

@@ -83,6 +83,18 @@ def format_load_report(payload: Mapping[str, Any]) -> str:
             "  ".join(row[h].ljust(widths[h]) for h in headers).rstrip()
         )
 
+    for label, phase in phases.items():
+        shards = phase.get("shards")
+        if not isinstance(shards, Mapping) or not shards:
+            continue
+        lines.append("")
+        lines.append(f"{label}: per-worker-shard breakdown")
+        for shard, deltas in shards.items():
+            knobs = ", ".join(
+                f"{k}={_fmt(v)}" for k, v in sorted(deltas.items())
+            )
+            lines.append(f"  shard {shard}: {knobs}")
+
     slo = payload.get("slo", {})
     if slo:
         lines.append("")

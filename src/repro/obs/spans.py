@@ -508,6 +508,20 @@ def read_spans_jsonl(path: str | Path) -> tuple[Span, ...]:
 #: timings, and the signature is the timing-free identity of a tree.
 TIMING_ATTRIBUTES = frozenset({"queue_wait_s", "exec_s"})
 
+#: Attribute keys that say *where in a cluster topology* a span ran —
+#: shard ids, worker counts, per-worker slice sizes (see
+#: :mod:`repro.service.cluster`).  Excluded from
+#: :func:`span_tree_signature` for the same reason timings are: the
+#: signature is the topology-free identity of the work, and the
+#: equivalence suite asserts one request produces equal signatures
+#: whether it ran single-process or through N workers.
+TOPOLOGY_ATTRIBUTES = frozenset(
+    {"cluster.shard", "cluster.workers", "cluster.slice_items"}
+)
+
+#: Everything :func:`span_tree_signature` ignores.
+SIGNATURE_EXCLUDED_ATTRIBUTES = TIMING_ATTRIBUTES | TOPOLOGY_ATTRIBUTES
+
 
 def _canonical_value(value: Any) -> Any:
     if isinstance(value, float):
@@ -527,9 +541,11 @@ def span_tree_signature(spans: Sequence[Span]) -> tuple:
     Covers everything deterministic — trace/span/parent ids, names,
     status, canonicalized attributes (floats bit-exact via ``hex``) —
     and excludes ``start`` / ``end`` plus the wall-clock-valued
-    attribute keys in :data:`TIMING_ATTRIBUTES`.  Two executions of the
-    same logical workload under different executor backends produce
-    *equal* signatures; the determinism suites assert exactly that.
+    attribute keys in :data:`TIMING_ATTRIBUTES` and the placement keys
+    in :data:`TOPOLOGY_ATTRIBUTES`.  Two executions of the same logical
+    workload under different executor backends — or different cluster
+    shard counts — produce *equal* signatures; the determinism suites
+    assert exactly that.
     """
     return tuple(
         (
@@ -542,7 +558,7 @@ def span_tree_signature(spans: Sequence[Span]) -> tuple:
                 {
                     k: v
                     for k, v in record.attributes.items()
-                    if k not in TIMING_ATTRIBUTES
+                    if k not in SIGNATURE_EXCLUDED_ATTRIBUTES
                 }
             ),
         )

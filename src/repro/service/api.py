@@ -302,6 +302,64 @@ def _batched_payload_fn(
     return fn
 
 
+#: Hard cap on ``/v1/solve_batch`` items; sweeps beyond this should be
+#: split client-side (the bound keeps one request from monopolizing the
+#: queue budget of an entire worker).
+MAX_BATCH_ITEMS = 1024
+
+
+class BatchItemError(RequestError):
+    """One ``solve_batch`` item failed validation; carries its position."""
+
+    def __init__(self, index: int, message: str):
+        super().__init__(message)
+        self.index = int(index)
+
+
+def build_solve_batch(
+    body: Mapping[str, Any],
+) -> list[tuple[Hashable, Callable[[], dict]]]:
+    """Resolve a ``POST /v1/solve_batch`` body into ordered ``(key, compute)``s.
+
+    The body is ``{"requests": [<solve body>, ...]}`` — each item exactly
+    a ``/v1/solve`` body, validated with the same rules.  Item ``i``
+    failing validation raises :class:`BatchItemError` with ``index=i``
+    so the 400 response can say which item was bad.  The returned pairs
+    are what :meth:`CoalescingScheduler.submit_many` executes; item
+    payloads are identical to what the corresponding individual
+    ``/v1/solve`` requests would return, which is the cluster's
+    scatter/gather byte-identity anchor.
+    """
+    if not isinstance(body, Mapping):
+        raise RequestError(f"request body must be a JSON object, got {body!r}")
+    unknown = set(body) - {"requests"}
+    if unknown:
+        raise RequestError(f"unknown field(s): {', '.join(sorted(unknown))}")
+    items = body.get("requests")
+    if not isinstance(items, list) or not items:
+        raise RequestError("field 'requests' must be a non-empty array")
+    if len(items) > MAX_BATCH_ITEMS:
+        raise RequestError(
+            f"batch too large ({len(items)} items, max {MAX_BATCH_ITEMS})"
+        )
+    pairs: list[tuple[Hashable, Callable[[], dict]]] = []
+    for i, item in enumerate(items):
+        try:
+            pairs.append(build_solve(item))
+        except RequestError as exc:
+            raise BatchItemError(i, str(exc)) from exc
+    return pairs
+
+
+def solve_batch_payload(results: list[dict]) -> dict[str, Any]:
+    """Assemble the ``solve_batch`` response payload (request order)."""
+    return {
+        "endpoint": "solve_batch",
+        "count": len(results),
+        "results": results,
+    }
+
+
 def build_simulate(
     body: Mapping[str, Any],
 ) -> tuple[Hashable, Callable[[], dict]]:

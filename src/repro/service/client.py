@@ -9,11 +9,15 @@
     result["solutions"]["ml-opt-scale"]["expected_wallclock"]
 
 Overload (HTTP 429) raises :class:`OverloadedError` carrying the
-server's ``Retry-After``; ``solve``/``simulate`` optionally honor it
-themselves via ``retries=`` (bounded, sleep-backoff — the client-side
-half of the backpressure contract).  :meth:`ServiceClient.request`
-exposes the raw status/bytes for callers that need the exact wire
-payload (the bit-identity tests do).
+server's ``Retry-After``; ``solve``/``simulate``/``solve_batch``
+optionally honor it themselves via ``retries=`` (bounded, sleep-backoff
+— the client-side half of the backpressure contract).  The same
+``retries`` budget also covers *transport* failures — connection
+refused / reset / server hung up mid-response — with bounded
+exponential backoff: a cluster worker restarting between two attempts
+(solves are idempotent by canonical key) is then invisible to the
+caller.  :meth:`ServiceClient.request` exposes the raw status/bytes for
+callers that need the exact wire payload (the bit-identity tests do).
 
 Tracing: with span recording on (see :mod:`repro.obs.spans`), every
 round-trip opens a ``client.request`` span — the root of the request's
@@ -25,13 +29,41 @@ reconstructs from the span JSONL alone.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.obs.spans import TRACEPARENT_HEADER, span
+
+#: Transport failures worth retrying: the far end was not reachable or
+#: died mid-exchange.  A restarting cluster worker produces exactly
+#: these; HTTP-level errors (4xx/5xx bodies) are never in this set.
+RETRYABLE_TRANSPORT_ERRORS = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+)
+
+#: Exponential transport backoff: ``BACKOFF_BASE * 2**attempt`` seconds,
+#: clamped to ``max_backoff`` — deliberately the same bounded-backoff
+#: shape the 429 path uses, just self-clocked because a dead socket
+#: carries no Retry-After hint.
+TRANSPORT_BACKOFF_BASE = 0.05
+
+
+def _retryable_transport_error(exc: BaseException) -> bool:
+    """Connection refused/reset (possibly urllib-wrapped)?"""
+    if isinstance(exc, RETRYABLE_TRANSPORT_ERRORS):
+        return True
+    if isinstance(exc, urllib.error.URLError):
+        return isinstance(exc.reason, RETRYABLE_TRANSPORT_ERRORS)
+    return False
 
 
 class ServiceError(RuntimeError):
@@ -116,7 +148,14 @@ class ServiceClient:
     ) -> dict[str, Any]:
         attempts = max(0, int(retries)) + 1
         for attempt in range(attempts):
-            status, headers, raw = self.request(method, path, body)
+            try:
+                status, headers, raw = self.request(method, path, body)
+            except Exception as exc:
+                if _retryable_transport_error(exc) and attempt + 1 < attempts:
+                    backoff = TRANSPORT_BACKOFF_BASE * (2 ** attempt)
+                    time.sleep(min(backoff, max_backoff))
+                    continue
+                raise
             try:
                 payload = json.loads(raw) if raw else {}
             except json.JSONDecodeError:
@@ -163,6 +202,24 @@ class ServiceClient:
         """``POST /v1/simulate``; see :func:`repro.service.api.build_simulate`."""
         body = {"te_core_days": te_core_days, "case": case, **fields}
         return self._call("POST", "/v1/simulate", body, retries=retries)
+
+    def solve_batch(
+        self,
+        bodies: Sequence[Mapping[str, Any]],
+        *,
+        retries: int = 0,
+    ) -> dict[str, Any]:
+        """``POST /v1/solve_batch`` — one request, many solves.
+
+        ``bodies`` is a sequence of per-item solve bodies (same schema as
+        :meth:`solve`); the response carries ``results`` in request order.
+        """
+        return self._call(
+            "POST",
+            "/v1/solve_batch",
+            {"requests": [dict(item) for item in bodies]},
+            retries=retries,
+        )
 
     def healthz(self) -> dict[str, Any]:
         """``GET /healthz``."""

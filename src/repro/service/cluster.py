@@ -1,0 +1,698 @@
+"""Sharded multi-process service: coordinator + worker topology.
+
+The single-process :class:`~repro.service.server.ReproService` is
+GIL-bound: Algorithm 1 solves are pure-python fixed-point iterations, so
+one process saturates one core no matter how many handler threads the
+scheduler feeds.  :class:`ClusterService` turns the service into a
+multi-core system without changing its contract:
+
+* **N workers**, each a full ``ReproService`` subprocess (own
+  SolverCache, own sqlite shard, own scheduler) managed by a
+  :class:`~repro.service.supervisor.WorkerSupervisor` — spawn, health
+  probes, restart-on-crash with bounded backoff, draining SIGTERM.
+* **A coordinator HTTP front-end** (this class) that owns no solver at
+  all.  It validates request bodies with the same
+  :mod:`repro.service.api` builders the workers use (so malformed
+  requests get byte-identical 400s without a network hop), derives the
+  canonical key, and routes by consistent hash
+  (:class:`~repro.service.hashring.HashRing`) so every key always lands
+  on the worker that owns — and has cached — it.
+* **Scatter/gather ``POST /v1/solve_batch``**: the coordinator
+  partitions the batch by owning shard, fans the slices out
+  concurrently (each worker drains its slice through the vectorized
+  ``batch_solve`` kernel), and reassembles results in request order.
+
+Byte-identity invariant (ROADMAP): responses are identical canonical
+JSON regardless of shard count.  ``solve``/``simulate`` responses are
+proxied as raw bytes; ``solve_batch`` responses are reassembled from
+worker JSON, which is safe because ``json`` round-trips floats exactly
+and :func:`~repro.service.api.canonical_json` is deterministic.  The
+equivalence-matrix test asserts the bytes (and the worker-side span-tree
+signatures) match across 1/2/4 workers, cold and warm cache.
+
+Tracing: the coordinator forwards the *client's* ``traceparent``
+unchanged to workers, so a worker's ``server.request`` span derives the
+same deterministic ids it would in a single-process topology; the
+coordinator's own ``coordinator.request`` / ``cluster.scatter`` spans
+join the same trace but live in the coordinator's recorder, and their
+placement attributes (``cluster.shard`` etc.) are excluded from
+signatures via :data:`repro.obs.spans.TOPOLOGY_ATTRIBUTES`.
+
+Failure handling: a request that hits a dead worker (connection
+refused/reset) triggers a synchronous
+:meth:`~repro.service.supervisor.WorkerSupervisor.restart_now` and is
+replayed against the replacement — safe because solves are idempotent
+by canonical key — up to ``retry_attempts`` times before the
+coordinator answers 503.  Worker 429s/errors pass through verbatim
+(batch slices: with the item index remapped from slice-local to global).
+
+Metrics: the coordinator's own registry uses disjoint ``cluster.*``
+names (per-shard request/retry/error counters, restart counts); its
+``GET /metrics.json`` *merges* the workers' ``service.*``/``memo.*``
+series — scalars summed, histogram summaries combined (count/sum summed,
+min/max widened, percentiles upper-bounded by the worst shard) — so
+existing consumers (the load generator's delta metrics) work against a
+cluster unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.logconf import ensure_configured, get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.promexport import PROMETHEUS_CONTENT_TYPE, prometheus_text
+from repro.obs.spans import TRACEPARENT_HEADER, parse_traceparent, span
+from repro.service.api import (
+    BUILDERS,
+    BatchItemError,
+    RequestError,
+    build_solve_batch,
+    canonical_json,
+    solve_batch_payload,
+)
+from repro.service.client import ServiceClient, _retryable_transport_error
+from repro.service.hashring import DEFAULT_REPLICAS, HashRing
+from repro.service.server import MAX_BODY_BYTES, _HTTPServer
+from repro.service.supervisor import WorkerSupervisor
+
+logger = get_logger("service.cluster")
+access_logger = get_logger("service.access")
+
+#: Default directory for per-shard sqlite stores (``shard-<i>.sqlite``).
+DEFAULT_STORE_DIR = ".repro-service"
+#: Per-forward HTTP timeout — generous, cold sweeps solve for seconds.
+FORWARD_TIMEOUT_S = 120.0
+
+
+class WorkerUnavailable(RuntimeError):
+    """A shard stayed unreachable through every restart-and-retry."""
+
+    def __init__(self, shard: int, attempts: int):
+        super().__init__(
+            f"worker shard={shard} unavailable after {attempts} attempts"
+        )
+        self.shard = int(shard)
+
+
+class _SliceFailure(RuntimeError):
+    """One scatter slice answered non-200; carries the verbatim reply."""
+
+    def __init__(
+        self,
+        shard: int,
+        status: int,
+        headers: Mapping[str, str],
+        body: bytes,
+        indices: list[int],
+    ):
+        super().__init__(f"slice on shard {shard} answered {status}")
+        self.shard = shard
+        self.status = int(status)
+        self.headers = dict(headers)
+        self.body = body
+        self.indices = indices
+
+
+class ClusterService:
+    """Coordinator front-end over ``workers`` ReproService subprocesses.
+
+    Parameters mirror :class:`~repro.service.server.ReproService` where
+    they configure the workers (``queue_max``, ``batch_max``, ``jobs``,
+    ``cache_max_entries``, ``batch_solve``, ``request_delay_s``), plus:
+
+    store_dir:
+        Directory for the per-shard sqlite stores
+        (``shard-<i>.sqlite``); ``None`` runs the workers memory-only.
+    spans_dir:
+        Directory for per-worker span JSONL sinks
+        (``spans-shard<i>.jsonl``); ``None`` disables worker-side span
+        recording.
+    retry_attempts:
+        Total tries per forward (first attempt included) before a shard
+        is declared unavailable (HTTP 503).
+    probe_interval_s:
+        Supervisor health-check cadence.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        replicas: int = DEFAULT_REPLICAS,
+        queue_max: int = 64,
+        batch_max: int = 8,
+        jobs: int | None = None,
+        store_dir: str | Path | None = DEFAULT_STORE_DIR,
+        cache_max_entries: int | None = None,
+        batch_solve: bool | None = None,
+        spans_dir: str | Path | None = None,
+        request_delay_s: float = 0.0,
+        retry_attempts: int = 3,
+        probe_interval_s: float = 1.0,
+        forward_timeout_s: float = FORWARD_TIMEOUT_S,
+    ):
+        ensure_configured()
+        import logging
+
+        if access_logger.level == logging.NOTSET:
+            access_logger.setLevel(logging.INFO)
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.n_workers = int(workers)
+        self.retry_attempts = max(1, int(retry_attempts))
+        self.forward_timeout_s = float(forward_timeout_s)
+        self.ring = HashRing(self.n_workers, replicas=replicas)
+        self.supervisor = WorkerSupervisor(
+            self.n_workers,
+            worker_args=self._worker_args(
+                queue_max=queue_max,
+                batch_max=batch_max,
+                jobs=jobs,
+                store_dir=store_dir,
+                cache_max_entries=cache_max_entries,
+                batch_solve=batch_solve,
+                spans_dir=spans_dir,
+                request_delay_s=request_delay_s,
+            ),
+            probe_interval_s=probe_interval_s,
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * self.n_workers),
+            thread_name_prefix="repro-cluster-scatter",
+        )
+        self._httpd = _HTTPServer((host, port), _CoordinatorHandler)
+        self._httpd.daemon_threads = False
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._started_at = time.monotonic()
+
+    @staticmethod
+    def _worker_args(
+        *,
+        queue_max: int,
+        batch_max: int,
+        jobs: int | None,
+        store_dir: str | Path | None,
+        cache_max_entries: int | None,
+        batch_solve: bool | None,
+        spans_dir: str | Path | None,
+        request_delay_s: float,
+    ) -> list[str]:
+        args = ["--queue-max", str(queue_max), "--batch-max", str(batch_max)]
+        if jobs is not None:
+            args += ["--jobs", str(jobs)]
+        if store_dir is None:
+            args += ["--no-store"]
+        else:
+            args += ["--store-dir", str(store_dir)]
+        if cache_max_entries is not None:
+            args += ["--cache-max-entries", str(cache_max_entries)]
+        if batch_solve is False:
+            args += ["--no-batch-solve"]
+        if spans_dir is not None:
+            args += ["--spans-dir", str(spans_dir)]
+        if request_delay_s > 0.0:
+            args += ["--request-delay", str(request_delay_s)]
+        return args
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ClusterService":
+        """Spawn the workers, then serve in a background thread."""
+        self.supervisor.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-cluster-http",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info(
+            "cluster coordinator on %s (%d workers)", self.url, self.n_workers
+        )
+        return self
+
+    def serve_forever(self) -> None:
+        """Spawn the workers and serve on the calling thread."""
+        self.supervisor.start()
+        logger.info(
+            "cluster coordinator on %s (%d workers)", self.url, self.n_workers
+        )
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Draining shutdown: stop accepting, finish in-flight, stop workers.
+
+        ``ThreadingHTTPServer.shutdown`` waits for the handler threads
+        (``daemon_threads = False``), so every accepted request finishes
+        its scatter/gather before the workers receive SIGTERM — the
+        workers then drain their own queues before exiting.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._pool.shutdown(wait=True)
+        self.supervisor.stop()
+
+    def __enter__(self) -> "ClusterService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ forwarding
+
+    def shard_for_key(self, key) -> int:
+        return self.ring.shard_for_key(key)
+
+    def forward(
+        self,
+        shard: int,
+        path: str,
+        body: bytes,
+        *,
+        traceparent: str | None = None,
+    ) -> tuple[int, Mapping[str, str], bytes]:
+        """POST raw ``body`` bytes to ``shard``, restart-and-retry on crash.
+
+        Returns the worker's verbatim ``(status, headers, bytes)``.  A
+        connection-level failure (the worker died, or is mid-restart)
+        synchronously replaces the process and replays the request —
+        solves are idempotent by canonical key, so a replay can at worst
+        recompute a result the dead worker never persisted.
+        """
+        handle = self.supervisor.workers[shard]
+        METRICS.counter(f"cluster.shard.{shard}.requests").inc()
+        headers = {"Content-Type": "application/json"}
+        if traceparent is not None:
+            headers[TRACEPARENT_HEADER] = traceparent
+        last_error: Exception | None = None
+        for attempt in range(self.retry_attempts):
+            port_before = handle.port
+            try:
+                request = urllib.request.Request(
+                    f"{handle.url}{path}", data=body, headers=headers,
+                    method="POST",
+                )
+                try:
+                    with urllib.request.urlopen(
+                        request, timeout=self.forward_timeout_s
+                    ) as resp:
+                        return resp.status, dict(resp.headers), resp.read()
+                except urllib.error.HTTPError as exc:
+                    return exc.code, dict(exc.headers), exc.read()
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if not _retryable_transport_error(exc):
+                    raise
+                last_error = exc
+                METRICS.counter(f"cluster.shard.{shard}.retries").inc()
+                logger.warning(
+                    "shard %d transport failure (%s); restart-and-retry "
+                    "%d/%d", shard, type(exc).__name__, attempt + 1,
+                    self.retry_attempts,
+                )
+                if attempt + 1 < self.retry_attempts:
+                    self.supervisor.restart_now(
+                        shard, failed_port=port_before
+                    )
+        METRICS.counter(f"cluster.shard.{shard}.errors").inc()
+        raise WorkerUnavailable(shard, self.retry_attempts) from last_error
+
+    # --------------------------------------------------------- introspection
+
+    def healthz(self) -> dict:
+        """Coordinator liveness: topology, shard map, per-worker health.
+
+        The same probe the supervisor uses against each worker is folded
+        in (bounded by a short timeout), so operators see queue pressure
+        across the fleet from one endpoint.
+        """
+        workers = []
+        total_depth = 0
+        for entry in self.supervisor.liveness():
+            if entry["alive"]:
+                try:
+                    probe = ServiceClient(entry["url"], timeout=2.0).healthz()
+                    entry["status"] = probe.get("status")
+                    entry["queue_depth"] = probe.get("queue_depth", 0)
+                    entry["uptime_s"] = probe.get("uptime_s")
+                    total_depth += int(entry["queue_depth"] or 0)
+                except Exception:  # noqa: BLE001 - probe is best-effort
+                    entry["status"] = "unreachable"
+            else:
+                entry["status"] = "restarting"
+            workers.append(entry)
+        return {
+            "status": "draining" if self._closed else "ok",
+            "role": "coordinator",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "queue_depth": total_depth,
+            "shard_map": {
+                "shards": self.ring.n_shards,
+                "replicas": self.ring.replicas,
+                "algorithm": "consistent-hash/sha256",
+            },
+            "workers": workers,
+        }
+
+    def merged_metrics(self) -> dict[str, Any]:
+        """Fleet-wide metrics view for ``GET /metrics.json``.
+
+        Worker series are combined under their original names — scalars
+        summed; histogram summaries merged with count/sum summed,
+        min/max widened, and percentiles taken as the max across shards
+        (an upper bound: the fleet's p99 is never better than its worst
+        shard's) — then the coordinator's own ``cluster.*`` series are
+        overlaid.  Consumers written against a single process (the load
+        generator's before/after deltas) therefore read a cluster the
+        same way.
+        """
+        merged: dict[str, Any] = {}
+        for handle in self.supervisor.workers:
+            if not handle.alive:
+                continue
+            try:
+                summary = ServiceClient(handle.url, timeout=5.0).metrics()
+            except Exception:  # noqa: BLE001 - a mid-restart shard is fine
+                continue
+            for name, value in summary.get("metrics", {}).items():
+                if isinstance(value, Mapping):
+                    merged[name] = _merge_histogram(merged.get(name), value)
+                elif isinstance(value, (int, float)):
+                    base = merged.get(name, 0.0)
+                    if not isinstance(base, (int, float)):
+                        base = 0.0
+                    merged[name] = float(base) + float(value)
+        # Overlay only the coordinator's own series: anything else in
+        # this process's registry (e.g. service.* counters from an
+        # in-process ReproService in the same interpreter) would clobber
+        # the workers' summed values.
+        merged.update(
+            {
+                name: value
+                for name, value in METRICS.summary().items()
+                if name.startswith("cluster.")
+            }
+        )
+        return merged
+
+
+def _merge_histogram(
+    base: Mapping[str, Any] | None, update: Mapping[str, Any]
+) -> dict[str, Any]:
+    if base is None:
+        return dict(update)
+    out = dict(base)
+    out["count"] = base.get("count", 0) + update.get("count", 0)
+    out["sum"] = base.get("sum", 0.0) + update.get("sum", 0.0)
+    for field, pick in (("min", min), ("max", max)):
+        a, b = base.get(field, math.nan), update.get(field, math.nan)
+        finite = [v for v in (a, b) if isinstance(v, (int, float)) and not math.isnan(v)]
+        out[field] = pick(finite) if finite else math.nan
+    for field in ("p50", "p95", "p99"):
+        a, b = base.get(field, math.nan), update.get(field, math.nan)
+        finite = [v for v in (a, b) if isinstance(v, (int, float)) and not math.isnan(v)]
+        out[field] = max(finite) if finite else math.nan
+    return out
+
+
+class _CoordinatorHandler(BaseHTTPRequestHandler):
+    """Routes coordinator requests; mirrors the worker handler's shape."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro.cluster/1.0"
+
+    _status = 0
+
+    @property
+    def service(self) -> ClusterService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    # ---------------------------------------------------------- responses
+
+    def _respond(
+        self,
+        status: int,
+        body: bytes,
+        *,
+        headers: dict[str, str] | None = None,
+        content_type: str = "application/json",
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
+        METRICS.counter(f"cluster.responses.{status}").inc()
+
+    def _respond_json(
+        self, status: int, payload: dict, *, headers: dict[str, str] | None = None
+    ) -> None:
+        self._respond(status, canonical_json(payload), headers=headers)
+
+    def _error(self, status: int, message: str, **extra) -> None:
+        self._respond_json(status, {"error": message, **extra})
+
+    def _access_log(self, method: str, elapsed: float) -> None:
+        record = {
+            "method": method,
+            "path": self.path,
+            "status": self._status,
+            "duration_ms": round(elapsed * 1e3, 3),
+            "client": self.address_string(),
+            "role": "coordinator",
+        }
+        access_logger.info("%s", json.dumps(record, sort_keys=True))
+
+    # ------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        start = time.perf_counter()
+        try:
+            if self.path == "/healthz":
+                self._respond_json(200, self.service.healthz())
+            elif self.path == "/metrics.json":
+                self._respond_json(
+                    200, {"metrics": self.service.merged_metrics()}
+                )
+            elif self.path == "/metrics":
+                # Coordinator-local series only (cluster.*): per-shard
+                # routing counters and restart counts.  The fleet view
+                # lives on /metrics.json.
+                self._respond(
+                    200,
+                    prometheus_text(registry=METRICS).encode("utf-8"),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
+            elif self.path in ("/v1/solve", "/v1/simulate", "/v1/solve_batch"):
+                self._error(405, f"use POST for {self.path}")
+            else:
+                self._error(404, f"unknown path {self.path!r}")
+        finally:
+            self._access_log("GET", time.perf_counter() - start)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        start = time.perf_counter()
+        traceparent = self.headers.get(TRACEPARENT_HEADER)
+        with span(
+            "coordinator.request",
+            parent=parse_traceparent(traceparent),
+            attributes={
+                "http.method": "POST",
+                "http.path": self.path,
+                "cluster.workers": self.service.n_workers,
+            },
+        ) as live:
+            try:
+                self._handle_post(traceparent)
+            finally:
+                if live is not None:
+                    live.set_attribute("http.status", self._status)
+                self._access_log("POST", time.perf_counter() - start)
+
+    def _read_body(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            raise RequestError("bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise RequestError(f"body too large ({length} bytes)")
+        raw = self.rfile.read(length) or b"{}"
+        try:
+            return raw, json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"invalid JSON body: {exc}") from None
+
+    def _handle_post(self, traceparent: str | None) -> None:
+        if not self.path.startswith("/v1/"):
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        endpoint = self.path[len("/v1/"):]
+        if endpoint not in ("solve", "simulate", "solve_batch"):
+            self._error(404, f"unknown endpoint {endpoint!r}")
+            return
+        METRICS.counter(f"cluster.requests.{endpoint}").inc()
+        try:
+            raw, body = self._read_body()
+        except RequestError as exc:
+            self._error(400, str(exc))
+            return
+        try:
+            if endpoint == "solve_batch":
+                self._scatter_gather(raw, body, traceparent)
+            else:
+                self._proxy_single(endpoint, raw, body, traceparent)
+        except WorkerUnavailable as exc:
+            self._error(503, str(exc))
+
+    def _proxy_single(
+        self,
+        endpoint: str,
+        raw: bytes,
+        body: Any,
+        traceparent: str | None,
+    ) -> None:
+        """Route one ``solve``/``simulate`` to its owning shard, verbatim.
+
+        The request is validated locally first — a malformed body gets
+        the same 400 bytes the worker would produce, with no network hop
+        — and the resulting canonical key picks the shard.  The worker's
+        response (success or error, ``Retry-After`` included) passes
+        through untouched, which is what makes the single-request paths
+        byte-identical across topologies by construction.
+        """
+        try:
+            key, _compute = BUILDERS[endpoint](body)
+        except RequestError as exc:
+            self._error(400, str(exc))
+            return
+        shard = self.service.shard_for_key(key)
+        with span(
+            "cluster.forward", attributes={"cluster.shard": shard}
+        ):
+            status, headers, reply = self.service.forward(
+                shard, f"/v1/{endpoint}", raw, traceparent=traceparent
+            )
+        passthrough = {}
+        if "Retry-After" in headers:
+            passthrough["Retry-After"] = headers["Retry-After"]
+        self._respond(status, reply, headers=passthrough)
+
+    def _scatter_gather(
+        self, raw: bytes, body: Any, traceparent: str | None
+    ) -> None:
+        """``POST /v1/solve_batch``: partition, fan out, reassemble.
+
+        Validation runs locally with the worker's own rules (identical
+        400 bytes, correct global item indices).  Each shard's slice is
+        a smaller ``solve_batch`` POST executed concurrently; slice
+        results are written back into their original positions, so the
+        reassembled payload — serialized with the same
+        :func:`canonical_json` — is byte-identical to the single-process
+        answer.  A slice that fails (429/422/...) fails the whole batch
+        with the worker's own error body, item index remapped from
+        slice-local to global.
+        """
+        try:
+            pairs = build_solve_batch(body)
+        except BatchItemError as exc:
+            self._respond_json(400, {"error": str(exc), "index": exc.index})
+            return
+        except RequestError as exc:
+            self._error(400, str(exc))
+            return
+        items = body["requests"]
+        slices: dict[int, list[int]] = {}
+        for index, (key, _compute) in enumerate(pairs):
+            slices.setdefault(self.service.shard_for_key(key), []).append(index)
+
+        def run_slice(shard: int, indices: list[int]):
+            slice_body = json.dumps(
+                {"requests": [items[i] for i in indices]}
+            ).encode("utf-8")
+            with span(
+                "cluster.scatter",
+                attributes={
+                    "cluster.shard": shard,
+                    "cluster.slice_items": len(indices),
+                },
+            ):
+                status, headers, reply = self.service.forward(
+                    shard, "/v1/solve_batch", slice_body,
+                    traceparent=traceparent,
+                )
+            if status != 200:
+                raise _SliceFailure(shard, status, headers, reply, indices)
+            return json.loads(reply)["results"]
+
+        results: list[dict | None] = [None] * len(pairs)
+        futures = {
+            shard: self.service._pool.submit(run_slice, shard, indices)
+            for shard, indices in slices.items()
+        }
+        failures: list[_SliceFailure] = []
+        unavailable: WorkerUnavailable | None = None
+        for shard in sorted(futures):
+            try:
+                slice_results = futures[shard].result()
+            except _SliceFailure as exc:
+                failures.append(exc)
+                continue
+            except WorkerUnavailable as exc:
+                unavailable = exc
+                continue
+            for local, index in enumerate(slices[shard]):
+                results[index] = slice_results[local]
+        if failures:
+            # Deterministic pick: the failing slice owning the lowest
+            # shard id answers for the batch, index remapped to global.
+            failure = failures[0]
+            try:
+                payload = json.loads(failure.body)
+            except json.JSONDecodeError:
+                payload = {"error": failure.body.decode("utf-8", "replace")}
+            if isinstance(payload.get("index"), int):
+                payload["index"] = failure.indices[payload["index"]]
+            passthrough = {}
+            if "Retry-After" in failure.headers:
+                passthrough["Retry-After"] = failure.headers["Retry-After"]
+            self._respond_json(failure.status, payload, headers=passthrough)
+            return
+        if unavailable is not None:
+            raise unavailable
+        self._respond(200, canonical_json(solve_batch_payload(results)))

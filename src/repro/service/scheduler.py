@@ -326,6 +326,90 @@ class CoalescingScheduler:
             raise entry.error
         return entry.result
 
+    def submit_many(
+        self,
+        requests: "list[tuple[Hashable, Callable[[], Any]]]",
+        *,
+        timeout: float | None = None,
+        endpoint: str | None = None,
+    ) -> list[Any]:
+        """Run a whole batch of ``(key, compute)`` pairs; results in order.
+
+        Admission is atomic: every *distinct new* key in the batch must
+        fit in the bounded queue together, or the whole batch is
+        rejected with :class:`ServiceOverloaded` (a half-admitted sweep
+        would return a half-computed response).  Duplicate keys — of an
+        already in-flight entry or of an earlier item in the same batch
+        — attach as coalesced waiters exactly like :meth:`submit`
+        duplicates, so a sweep containing repeats still costs one
+        execution per unique key.
+
+        Entries enter the same dispatcher queue as singleton submits:
+        same-group computes (``batch_group``) drain through the
+        vectorized batch runners, spans pin their identity at submit
+        time, and close/drain semantics are unchanged.  The first
+        failing entry's exception (in request order) is re-raised after
+        all entries settle.
+        """
+        live = current_span()
+        entries: list[_Entry] = []
+        with self._lock:
+            if self._closing:
+                raise ServiceClosed("scheduler is shutting down")
+            batch_local: dict[Hashable, _Entry] = {}
+            new_entries: list[_Entry] = []
+            for key, compute in requests:
+                entry = self._pending.get(key) or batch_local.get(key)
+                if entry is not None:
+                    entry.waiters += 1
+                    METRICS.counter("service.coalesced").inc()
+                    if endpoint:
+                        METRICS.counter(f"service.coalesced.{endpoint}").inc()
+                    if live is not None and entry.span_context is not None:
+                        live.set_attribute(
+                            "coalesced_to", entry.span_context.span_id
+                        )
+                else:
+                    entry = _Entry(key, compute, endpoint)
+                    if live is not None:
+                        entry.span_context = live.context.child(
+                            "scheduler.execute", live.next_index()
+                        )
+                        entry.span_parent_id = live.context.span_id
+                    batch_local[key] = entry
+                    new_entries.append(entry)
+                entries.append(entry)
+            if len(self._queue) + len(new_entries) > self.queue_max:
+                METRICS.counter("service.rejected").inc()
+                if endpoint:
+                    METRICS.counter(f"service.rejected.{endpoint}").inc()
+                raise ServiceOverloaded(
+                    f"batch of {len(new_entries)} distinct request(s) does "
+                    f"not fit the queue ({len(self._queue)} waiting, "
+                    f"bound {self.queue_max})",
+                    retry_after=self._retry_after_estimate(),
+                )
+            for entry in new_entries:
+                self._pending[entry.key] = entry
+                self._queue.append(entry)
+            METRICS.gauge("service.queue_depth").set(len(self._queue))
+            self._wake.notify()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for entry in entries:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            if not entry.done.wait(remaining):
+                raise TimeoutError(f"batch not completed within {timeout} s")
+        for index, entry in enumerate(entries):
+            if entry.error is not None:
+                # Annotate with the failing request-order position so the
+                # HTTP layer can report *which* batch item failed without
+                # the scheduler knowing anything about payload formats.
+                entry.error.batch_index = index  # type: ignore[attr-defined]
+                raise entry.error
+        return [entry.result for entry in entries]
+
     def queue_depth(self) -> int:
         """Entries waiting to start (excludes in-flight)."""
         with self._lock:

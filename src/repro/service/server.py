@@ -14,11 +14,12 @@ service layers together and owns their lifecycle:
 
 Routes::
 
-    POST /v1/solve      {"te_core_days": 3e6, "case": "8-4-2-1", ...}
-    POST /v1/simulate   {... , "strategy": "ml-opt-scale", "runs": 20}
-    GET  /healthz       liveness + queue/store introspection
-    GET  /metrics       Prometheus text exposition (format 0.0.4)
-    GET  /metrics.json  the process metrics registry (JSON summary)
+    POST /v1/solve       {"te_core_days": 3e6, "case": "8-4-2-1", ...}
+    POST /v1/simulate    {... , "strategy": "ml-opt-scale", "runs": 20}
+    POST /v1/solve_batch {"requests": [<solve body>, ...]}  (order kept)
+    GET  /healthz        liveness + queue/store/uptime introspection
+    GET  /metrics        Prometheus text exposition (format 0.0.4)
+    GET  /metrics.json   the process metrics registry (JSON summary)
 
 Status codes: 200 success, 400 malformed body, 404 unknown route,
 405 wrong method, 422 valid request whose solve diverged, 429 queue
@@ -54,9 +55,12 @@ from repro.obs.spans import TRACEPARENT_HEADER, parse_traceparent, span
 from repro.core.batch_solve import resolve_batch_solve
 from repro.service.api import (
     BUILDERS,
+    BatchItemError,
     RequestError,
+    build_solve_batch,
     canonical_json,
     run_solve_batch,
+    solve_batch_payload,
 )
 from repro.service.scheduler import (
     CoalescingScheduler,
@@ -109,6 +113,16 @@ class ReproService:
         worker.  ``None`` (default) defers to ``REPRO_BATCH_SOLVE``
         (on unless explicitly disabled).  Responses are bit-identical
         either way; this only changes how fast a burst drains.
+    shard_id:
+        Identity of this process inside a cluster topology (see
+        :mod:`repro.service.cluster`); reported on ``/healthz`` so
+        probes and operators can tell workers apart.  ``None`` means a
+        standalone single-process service.
+    request_delay_s:
+        Fault-injection hook: sleep this long before dispatching each
+        ``POST /v1/*`` request.  Only the crash-recovery tests (which
+        need a worker provably *mid-request* when killed) and drain
+        experiments set it; production paths leave it 0.
     """
 
     def __init__(
@@ -123,6 +137,8 @@ class ReproService:
         store_path: str | Path | None = DEFAULT_STORE_PATH,
         cache_max_entries: int | None = None,
         batch_solve: bool | None = None,
+        shard_id: int | None = None,
+        request_delay_s: float = 0.0,
     ):
         # The repro logger tree drops records without a handler
         # (propagate=False); make sure handler/scheduler threads log even
@@ -156,6 +172,9 @@ class ReproService:
         self._httpd.service = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         self._closed = False
+        self.shard_id = shard_id
+        self.request_delay_s = float(request_delay_s)
+        self._started_at = time.monotonic()
         # Live SLO view: trailing-window request / shed rates mirrored
         # into gauges on every POST (lifetime counters answer "how much",
         # these answer "how hot right now").
@@ -242,10 +261,18 @@ class ReproService:
         )
 
     def healthz(self) -> dict:
-        """Liveness payload served on ``GET /healthz``."""
+        """Liveness payload served on ``GET /healthz``.
+
+        One probe for everyone: the cluster supervisor's health checks,
+        external load balancers, and operators all read the same body —
+        liveness, queue pressure, uptime, and (for a cluster worker)
+        which shard this process is.
+        """
         stats = SOLVER_CACHE.stats()
-        return {
+        payload: dict = {
             "status": "draining" if self._closed else "ok",
+            "role": "single" if self.shard_id is None else "worker",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
             "queue_depth": self.scheduler.queue_depth(),
             "queue_max": self.scheduler.queue_max,
             "in_flight": self.scheduler.in_flight(),
@@ -262,6 +289,9 @@ class ReproService:
                 "version": self.store.version if self.store is not None else None,
             },
         }
+        if self.shard_id is not None:
+            payload["shard"] = self.shard_id
+        return payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -340,7 +370,7 @@ class _Handler(BaseHTTPRequestHandler):
             elif self.path == "/metrics.json":
                 publish_cache_metrics()
                 self._respond_json(200, {"metrics": METRICS.summary()})
-            elif self.path in ("/v1/solve", "/v1/simulate"):
+            elif self.path in ("/v1/solve", "/v1/simulate", "/v1/solve_batch"):
                 self._error(405, f"use POST for {self.path}")
             else:
                 self._error(404, f"unknown path {self.path!r}")
@@ -371,7 +401,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         endpoint = self.path[len("/v1/"):]
         builder = BUILDERS.get(endpoint)
-        if builder is None:
+        if builder is None and endpoint != "solve_batch":
             self._error(404, f"unknown endpoint {endpoint!r}")
             return
         try:
@@ -386,6 +416,11 @@ class _Handler(BaseHTTPRequestHandler):
             body = json.loads(self.rfile.read(length) or b"{}")
         except json.JSONDecodeError as exc:
             self._error(400, f"invalid JSON body: {exc}")
+            return
+        if self.service.request_delay_s > 0.0:
+            time.sleep(self.service.request_delay_s)
+        if endpoint == "solve_batch":
+            self._handle_solve_batch(body)
             return
         METRICS.counter(f"service.requests.{endpoint}").inc()
         start = time.perf_counter()
@@ -450,3 +485,74 @@ class _Handler(BaseHTTPRequestHandler):
             METRICS.counter(f"service.outcomes.{endpoint}.{outcome}").inc()
             self.service.observe_window(shed=outcome == "shed")
         self._respond(200, canonical_json(payload))
+
+    def _handle_solve_batch(self, body) -> None:
+        """``POST /v1/solve_batch``: a whole sweep in one request.
+
+        Items are validated with the ``/v1/solve`` rules, admitted to the
+        scheduler atomically (all distinct keys fit the queue or the
+        batch is shed as one 429), executed with duplicate coalescing
+        and vectorized drain, and answered in request order.  Item
+        payloads are byte-for-byte the payloads the same bodies would
+        get from individual ``/v1/solve`` requests — the invariant the
+        cluster's scatter/gather path relies on.
+        """
+        endpoint = "solve_batch"
+        METRICS.counter(f"service.requests.{endpoint}").inc()
+        start = time.perf_counter()
+        try:
+            pairs = build_solve_batch(body)
+        except BatchItemError as exc:
+            self._respond_json(400, {"error": str(exc), "index": exc.index})
+            return
+        except RequestError as exc:
+            self._error(400, str(exc))
+            return
+        outcome = "error"
+        try:
+            try:
+                results = self.service.scheduler.submit_many(
+                    pairs, endpoint=endpoint
+                )
+            except ServiceOverloaded as exc:
+                outcome = "shed"
+                retry_after = round(exc.retry_after, 3)
+                self._respond_json(
+                    429,
+                    {"error": str(exc), "retry_after": retry_after},
+                    headers={"Retry-After": str(max(1, math.ceil(retry_after)))},
+                )
+                return
+            except ServiceClosed as exc:
+                self._error(503, str(exc))
+                return
+            except FixedPointDiverged as exc:
+                index = getattr(exc, "batch_index", None)
+                extra = {} if index is None else {"index": index}
+                self._respond_json(
+                    422, {"error": f"solver diverged: {exc}", **extra}
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
+                logger.exception("unhandled service error")
+                self._error(500, f"{type(exc).__name__}: {exc}")
+                return
+            if any(getattr(compute, "executed", True) for _, compute in pairs):
+                outcome = "ok"
+            else:
+                outcome = "cache_hit"
+        finally:
+            elapsed = time.perf_counter() - start
+            METRICS.histogram(
+                f"service.request_seconds.{endpoint}", buckets=LATENCY_BUCKETS
+            ).observe(elapsed)
+            METRICS.histogram(
+                f"service.request_seconds.{endpoint}.{outcome}",
+                buckets=LATENCY_BUCKETS,
+            ).observe(elapsed)
+            METRICS.counter(f"service.outcomes.{endpoint}.{outcome}").inc()
+            METRICS.histogram("service.solve_batch_items").observe(
+                len(body.get("requests", [])) if isinstance(body, dict) else 0
+            )
+            self.service.observe_window(shed=outcome == "shed")
+        self._respond(200, canonical_json(solve_batch_payload(results)))

@@ -1,0 +1,369 @@
+"""Worker-subprocess lifecycle for the sharded service cluster.
+
+The coordinator (:mod:`repro.service.cluster`) delegates process
+management here: :class:`WorkerSupervisor` spawns one ``repro
+serve-worker`` subprocess per shard, waits for each worker's ready
+announcement, probes ``GET /healthz`` on a fixed cadence, and restarts
+crashed or unresponsive workers with bounded exponential backoff.
+
+Protocol with the worker (see ``_cmd_serve_worker`` in
+:mod:`repro.cli`):
+
+* The worker binds ``port=0`` (the OS picks a free port) and prints one
+  JSON line to stdout — ``{"event": "ready", "shard": i, "port": p}`` —
+  before serving.  The supervisor reads that line with a timeout, so a
+  worker that dies during import/bind surfaces as a spawn failure, not
+  a hang.
+* ``PYTHONPATH`` is injected explicitly (derived from the running
+  ``repro`` package) because the workers are fresh interpreters and the
+  package may be running from a source tree rather than an install.
+* Shutdown is SIGTERM; the worker maps it to its normal drain path, so
+  in-flight requests finish before the process exits.
+
+Restart policy: a worker that exits (or fails its health probe
+``unhealthy_threshold`` times in a row) is replaced immediately the
+first time; each replacement arms a per-shard holdoff of
+``min(backoff_base * 2**restarts, backoff_cap)`` seconds that the
+*next* restart must wait out — bounded exponential backoff, so a
+single crash recovers at once while a crash-looping shard throttles to
+the cap instead of burning CPU on respawns.  The coordinator keeps
+routing to the shard's *slot* the whole time — requests that race a
+restart window get connection-refused and are retried by the
+coordinator (solves are idempotent by canonical key, so replays are
+safe).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.obs.logconf import get_logger
+from repro.obs.metrics import METRICS
+from repro.service.client import ServiceClient
+
+logger = get_logger("service.supervisor")
+
+#: Seconds allowed for a fresh worker to import + bind + announce.
+SPAWN_TIMEOUT_S = 30.0
+#: First-restart delay; doubles per consecutive restart of one shard.
+BACKOFF_BASE_S = 0.2
+#: Ceiling on the per-shard restart delay.
+BACKOFF_CAP_S = 5.0
+
+
+class WorkerSpawnError(RuntimeError):
+    """A worker subprocess failed to start and announce readiness."""
+
+
+def _repro_pythonpath() -> str:
+    """``PYTHONPATH`` entry that makes ``import repro`` work in a child.
+
+    The package directory's parent is the import root whether repro runs
+    from a source tree (``src/``) or a site-packages install.
+    """
+    import repro
+
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+@dataclass
+class WorkerHandle:
+    """One live (or restarting) worker slot."""
+
+    shard: int
+    process: subprocess.Popen | None = None
+    port: int = 0
+    restarts: int = 0
+    #: Consecutive failed health probes (reset on any success).
+    probe_failures: int = 0
+    #: Monotonic deadline before which a restart must not be attempted.
+    backoff_until: float = 0.0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+
+class WorkerSupervisor:
+    """Spawns, probes, and restarts the cluster's worker subprocesses.
+
+    Parameters
+    ----------
+    n_workers:
+        Shard count; worker ``i`` serves shard ``i``.
+    worker_args:
+        Extra ``repro serve-worker`` CLI arguments shared by every
+        worker (queue sizes, store directory, spans directory, ...).
+        The supervisor itself appends ``--shard I`` and ``--port 0``.
+    probe_interval_s / probe_timeout_s / unhealthy_threshold:
+        Health-check cadence, per-probe HTTP timeout, and how many
+        consecutive probe failures demote a live process to "restart
+        it" (a dead process restarts immediately).
+    on_restart:
+        Optional callback ``(shard, handle)`` invoked after a
+        replacement worker announces ready — the coordinator uses it to
+        re-point routing at the new port.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        worker_args: Sequence[str] = (),
+        probe_interval_s: float = 1.0,
+        probe_timeout_s: float = 2.0,
+        unhealthy_threshold: int = 3,
+        backoff_base_s: float = BACKOFF_BASE_S,
+        backoff_cap_s: float = BACKOFF_CAP_S,
+        on_restart: Callable[[int, WorkerHandle], None] | None = None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self.worker_args = list(worker_args)
+        self.probe_interval_s = float(probe_interval_s)
+        self.probe_timeout_s = float(probe_timeout_s)
+        self.unhealthy_threshold = int(unhealthy_threshold)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.on_restart = on_restart
+        self.workers = [WorkerHandle(shard=i) for i in range(self.n_workers)]
+        self._stop = threading.Event()
+        self._probe_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "WorkerSupervisor":
+        """Spawn every worker, then start the health-probe loop."""
+        try:
+            for handle in self.workers:
+                self._spawn(handle)
+        except Exception:
+            self.stop()
+            raise
+        self._probe_thread = threading.Thread(
+            target=self._probe_loop, name="repro-cluster-probe", daemon=True
+        )
+        self._probe_thread.start()
+        return self
+
+    def stop(self, *, timeout_s: float = 10.0) -> None:
+        """SIGTERM every worker (drain path), escalating to SIGKILL."""
+        self._stop.set()
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=self.probe_interval_s + 1.0)
+            self._probe_thread = None
+        for handle in self.workers:
+            process = handle.process
+            if process is None or process.poll() is not None:
+                continue
+            process.terminate()
+        deadline = time.monotonic() + timeout_s
+        for handle in self.workers:
+            process = handle.process
+            if process is None:
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                logger.warning(
+                    "worker shard=%d did not drain in %.1fs; killing",
+                    handle.shard, timeout_s,
+                )
+                process.kill()
+                process.wait()
+
+    # ------------------------------------------------------------- spawning
+
+    def _command(self, shard: int) -> list[str]:
+        return [
+            sys.executable, "-m", "repro", "serve-worker",
+            "--shard", str(shard), "--port", "0", *self.worker_args,
+        ]
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        env = dict(os.environ)
+        pythonpath = _repro_pythonpath()
+        if env.get("PYTHONPATH"):
+            pythonpath = pythonpath + os.pathsep + env["PYTHONPATH"]
+        env["PYTHONPATH"] = pythonpath
+        process = subprocess.Popen(
+            self._command(handle.shard),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        try:
+            ready = self._read_ready_line(process, handle.shard)
+        except Exception:
+            process.kill()
+            process.wait()
+            raise
+        handle.process = process
+        handle.port = int(ready["port"])
+        handle.probe_failures = 0
+        # Keep the pipe drained so the worker never blocks on a full
+        # stdout buffer; anything after the ready line is diagnostics.
+        threading.Thread(
+            target=self._drain_stdout,
+            args=(process,),
+            name=f"repro-worker-{handle.shard}-stdout",
+            daemon=True,
+        ).start()
+        logger.info(
+            "worker shard=%d ready on %s (pid %d)",
+            handle.shard, handle.url, process.pid,
+        )
+
+    @staticmethod
+    def _read_ready_line(process: subprocess.Popen, shard: int) -> dict:
+        """Block (bounded) until the worker prints its ready JSON line."""
+        result: dict = {}
+        error: list[BaseException] = []
+
+        def read() -> None:
+            try:
+                line = process.stdout.readline()  # type: ignore[union-attr]
+                result.update(json.loads(line))
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                error.append(exc)
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(timeout=SPAWN_TIMEOUT_S)
+        if reader.is_alive() or error or result.get("event") != "ready":
+            code = process.poll()
+            raise WorkerSpawnError(
+                f"worker shard={shard} failed to announce ready "
+                f"(exit code {code}, got {result or error or 'timeout'!r})"
+            )
+        return result
+
+    @staticmethod
+    def _drain_stdout(process: subprocess.Popen) -> None:
+        for line in process.stdout or ():  # pragma: no branch
+            logger.debug("worker stdout: %s", line.rstrip())
+
+    # ------------------------------------------------------------- probing
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self.probe_interval_s):
+            for handle in self.workers:
+                if self._stop.is_set():
+                    return
+                try:
+                    self._probe(handle)
+                except Exception:  # noqa: BLE001 - keep the loop alive
+                    logger.exception(
+                        "probe error for shard=%d", handle.shard
+                    )
+
+    def _probe(self, handle: WorkerHandle) -> None:
+        if not handle.alive:
+            self._maybe_restart(handle, reason="exited")
+            return
+        client = ServiceClient(handle.url, timeout=self.probe_timeout_s)
+        try:
+            payload = client.healthz()
+            healthy = payload.get("status") in ("ok", "draining")
+        except Exception:  # noqa: BLE001 - any probe failure counts
+            healthy = False
+        if healthy:
+            handle.probe_failures = 0
+            return
+        handle.probe_failures += 1
+        if handle.probe_failures >= self.unhealthy_threshold:
+            self._maybe_restart(handle, reason="unresponsive")
+
+    def restart_now(self, shard: int, *, failed_port: int | None = None) -> WorkerHandle:
+        """Synchronously replace one worker (used by the scatter path).
+
+        The coordinator calls this when a request to a worker fails with
+        a connection error before the probe loop has noticed the crash —
+        waiting a probe interval would stall the in-flight request.
+        ``failed_port`` is the port the request failed against: if the
+        handle already points elsewhere, another thread replaced the
+        worker and this is a no-op.  The port is the discriminator (not
+        ``poll()``) because a just-killed child can stay unreaped — and
+        so "alive" — for a few milliseconds after it stopped answering.
+        """
+        handle = self.workers[shard]
+        self._maybe_restart(
+            handle, reason="request failure", wait=True,
+            failed_port=failed_port,
+        )
+        return handle
+
+    def _maybe_restart(
+        self,
+        handle: WorkerHandle,
+        *,
+        reason: str,
+        wait: bool = False,
+        failed_port: int | None = None,
+    ) -> None:
+        with handle.lock:
+            if self._stop.is_set():
+                return
+            if failed_port is not None:
+                if handle.port != failed_port:
+                    return  # already replaced by a concurrent caller
+            elif handle.alive and handle.probe_failures < self.unhealthy_threshold:
+                return  # already replaced by a concurrent caller
+            now = time.monotonic()
+            if now < handle.backoff_until:
+                if not wait:
+                    return
+                time.sleep(handle.backoff_until - now)
+            if self._stop.is_set():
+                return
+            process = handle.process
+            if process is not None and process.poll() is None:
+                process.kill()  # unresponsive but alive: replace it
+            if process is not None:
+                process.wait()
+            delay = min(
+                self.backoff_base_s * (2 ** handle.restarts),
+                self.backoff_cap_s,
+            )
+            handle.restarts += 1
+            handle.backoff_until = time.monotonic() + delay
+            METRICS.counter(f"cluster.restarts.{handle.shard}").inc()
+            logger.warning(
+                "restarting worker shard=%d (%s; restart #%d, next backoff "
+                "%.2fs)", handle.shard, reason, handle.restarts, delay,
+            )
+            self._spawn(handle)
+            handle.probe_failures = 0
+        if self.on_restart is not None:
+            self.on_restart(handle.shard, handle)
+
+    # -------------------------------------------------------- introspection
+
+    def liveness(self) -> list[dict]:
+        """Per-worker liveness summary for the coordinator's healthz."""
+        return [
+            {
+                "shard": handle.shard,
+                "url": handle.url,
+                "alive": handle.alive,
+                "pid": handle.process.pid if handle.process else None,
+                "restarts": handle.restarts,
+            }
+            for handle in self.workers
+        ]

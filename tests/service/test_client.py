@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
+import socket
+import threading
+import urllib.error
+
 import pytest
 
 from repro.service.client import OverloadedError, ServiceClient, ServiceError
 
 
 class _FakeTransport:
-    """Scripted (status, headers, body) responses for client-side tests."""
+    """Scripted responses for client-side tests.
+
+    Each entry is either a ``(status, headers, body)`` tuple or an
+    exception instance to raise — the latter scripts transport-level
+    failures (connection refused/reset) without any real socket.
+    """
 
     def __init__(self, responses):
         self.responses = list(responses)
@@ -16,7 +25,10 @@ class _FakeTransport:
 
     def __call__(self, method, path, body=None):
         self.calls.append((method, path, body))
-        status, headers, raw = self.responses.pop(0)
+        entry = self.responses.pop(0)
+        if isinstance(entry, BaseException):
+            raise entry
+        status, headers, raw = entry
         return status, headers, raw
 
 
@@ -100,6 +112,129 @@ class TestRetries:
         with pytest.raises(ServiceError):
             client.solve(te_core_days=1.0, case="8-4-2-1", retries=5)
         assert len(transport.calls) == 1
+
+
+class TestTransportRetries:
+    """Connection-level failures share the bounded retry budget."""
+
+    def test_connection_refused_then_success(self, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: sleeps.append(s)
+        )
+        client, transport = _client_with(
+            [
+                ConnectionRefusedError("refused"),
+                ConnectionResetError("reset"),
+                (200, {}, b'{"ok":true}'),
+            ]
+        )
+        assert client.solve(te_core_days=1.0, case="8-4-2-1", retries=2) == {
+            "ok": True
+        }
+        assert len(transport.calls) == 3
+        # Bounded exponential backoff: base, then double.
+        assert sleeps == [0.05, 0.1]
+
+    def test_urllib_wrapped_refusal_is_retryable(self, monkeypatch):
+        monkeypatch.setattr("repro.service.client.time.sleep", lambda s: None)
+        wrapped = urllib.error.URLError(ConnectionRefusedError("refused"))
+        client, transport = _client_with([wrapped, (200, {}, b"{}")])
+        assert client.solve(te_core_days=1.0, case="8-4-2-1", retries=1) == {}
+        assert len(transport.calls) == 2
+
+    def test_exhausted_transport_retries_reraise(self, monkeypatch):
+        monkeypatch.setattr("repro.service.client.time.sleep", lambda s: None)
+        client, transport = _client_with(
+            [ConnectionRefusedError("refused")] * 3
+        )
+        with pytest.raises(ConnectionRefusedError):
+            client.solve(te_core_days=1.0, case="8-4-2-1", retries=2)
+        assert len(transport.calls) == 3
+
+    def test_non_transport_errors_are_not_retried(self, monkeypatch):
+        monkeypatch.setattr("repro.service.client.time.sleep", lambda s: None)
+        client, transport = _client_with(
+            [ValueError("not a socket problem"), (200, {}, b"{}")]
+        )
+        with pytest.raises(ValueError):
+            client.solve(te_core_days=1.0, case="8-4-2-1", retries=3)
+        assert len(transport.calls) == 1
+
+    def test_dying_server_restart_window_is_invisible(self):
+        """A real socket server that dies mid-exchange, then recovers.
+
+        Models a cluster worker restart: the first connection is
+        slammed shut without a response (RemoteDisconnected at the
+        client), the second is answered normally.  With a retry budget
+        the caller sees only the success.
+        """
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        port = listener.getsockname()[1]
+        body = b'{"endpoint":"solve","solutions":{}}'
+        response = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n" + body
+        )
+
+        def serve() -> None:
+            # Request 1: read, then hang up with no response bytes.
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            conn.close()
+            # Request 2: the "restarted worker" answers properly.
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            conn.sendall(response)
+            conn.close()
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}", timeout=10.0)
+            result = client.solve(
+                te_core_days=1.0, case="8-4-2-1", retries=2
+            )
+            assert result == {"endpoint": "solve", "solutions": {}}
+        finally:
+            server.join(timeout=10.0)
+            listener.close()
+
+    def test_no_retry_budget_propagates_immediately(self):
+        client, transport = _client_with([ConnectionRefusedError("refused")])
+        with pytest.raises(ConnectionRefusedError):
+            client.solve(te_core_days=1.0, case="8-4-2-1")
+        assert len(transport.calls) == 1
+
+
+class TestSolveBatch:
+    def test_solve_batch_posts_requests_envelope(self):
+        client, transport = _client_with(
+            [(200, {}, b'{"count":2,"results":[{},{}]}')]
+        )
+        payload = client.solve_batch(
+            [
+                {"te_core_days": 1.0, "case": "8-4-2-1"},
+                {"te_core_days": 2.0, "case": "8-4-2-1"},
+            ]
+        )
+        assert payload["count"] == 2
+        method, path, body = transport.calls[0]
+        assert (method, path) == ("POST", "/v1/solve_batch")
+        assert [item["te_core_days"] for item in body["requests"]] == [1.0, 2.0]
+
+    def test_solve_batch_propagates_http_errors(self):
+        client, _ = _client_with(
+            [(400, {}, b'{"error":"bad item","index":1}')]
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.solve_batch([{"te_core_days": 1.0, "case": "x"}])
+        assert excinfo.value.status == 400
+        assert excinfo.value.payload["index"] == 1
 
 
 class TestUrlHandling:

@@ -1,0 +1,341 @@
+"""Tests for the sharded coordinator/worker cluster (repro.service.cluster).
+
+The acceptance scenarios of the cluster PR:
+
+* **Equivalence matrix** — identical canonical-JSON response bytes for
+  ``solve`` / ``simulate`` / ``solve_batch`` across 1 / 2 / 4 workers,
+  cold cache and warm cache, all byte-equal to a single-process
+  :class:`ReproService`; worker-side span-tree signatures equal across
+  topologies for the single-request endpoints (batch slices necessarily
+  differ in fan-out shape, so batch asserts within-topology signature
+  determinism instead).
+* **Crash recovery** — a worker killed provably mid-batch is restarted
+  by the coordinator and the lost slice replayed; the aggregate
+  response is still byte-identical to the single-process answer.
+* **Topology introspection** — the coordinator's ``/healthz`` carries
+  per-worker liveness and the shard map; workers self-identify.
+
+These spawn real subprocesses (via ``repro serve-worker``), so they are
+the slowest tests in the service suite — a few seconds each.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import defaultdict
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.obs.spans import read_spans_jsonl, span_tree_signature
+from repro.service.client import ServiceClient
+from repro.service.cluster import ClusterService
+from repro.service.server import ReproService
+
+from tests.service.conftest import FAST_BODY
+
+#: Fixed client-side span context: same traceparent across topologies
+#: makes every worker-side span id a pure function of the request.
+CLIENT_SPAN_ID = "ab" * 8
+
+# Disjoint parameter families per endpoint: solve/simulate/batch must
+# not share memoized sub-computations, or "which nested solver spans a
+# cold request emits" would depend on whether an *earlier* request for
+# the same params landed on the same shard — true at --workers 1,
+# topology-dependent beyond.  Response bytes never depend on this; the
+# span-tree comparison does.
+SOLVE_BODY = dict(FAST_BODY)
+SIMULATE_BODY = dict(
+    FAST_BODY, te_core_days=210.0, strategy="ml-opt-scale",
+    runs=5, seed=0, jitter=0.3,
+)
+BATCH_BODIES = [
+    dict(FAST_BODY, te_core_days=220.0 + i) for i in range(6)
+]
+
+
+def _post(url: str, path: str, body: dict, trace: str) -> tuple[int, bytes]:
+    """POST with a pinned traceparent; returns (status, raw bytes)."""
+    request = urllib.request.Request(
+        f"{url}{path}",
+        data=json.dumps(body).encode("utf-8"),
+        headers={
+            "Content-Type": "application/json",
+            "traceparent": f"00-{trace}-{CLIENT_SPAN_ID}-01",
+        },
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120.0) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _trace(n: int) -> str:
+    return f"{n:032x}"
+
+
+def _single_process_reference() -> dict[str, bytes]:
+    """Expected bytes from a plain single-process service (cold+warm)."""
+    from repro.core.memo import SOLVER_CACHE
+
+    SOLVER_CACHE.clear()
+    out: dict[str, bytes] = {}
+    with ReproService(port=0, store_path=None) as svc:
+        for phase in ("cold", "warm"):
+            out[f"solve.{phase}"] = _post(
+                svc.url, "/v1/solve", SOLVE_BODY, _trace(1)
+            )[1]
+            out[f"simulate.{phase}"] = _post(
+                svc.url, "/v1/simulate", SIMULATE_BODY, _trace(2)
+            )[1]
+            out[f"solve_batch.{phase}"] = _post(
+                svc.url, "/v1/solve_batch", {"requests": BATCH_BODIES},
+                _trace(3),
+            )[1]
+    SOLVER_CACHE.clear()
+    return out
+
+
+def _run_topology(workers: int, spans_dir) -> tuple[dict, dict]:
+    """One cluster run: response bytes + per-trace span signatures."""
+    responses: dict[str, bytes] = {}
+    with ClusterService(
+        workers=workers, store_dir=None, spans_dir=spans_dir
+    ) as svc:
+        statuses = []
+        for phase, trace_base in (("cold", 10), ("warm", 20)):
+            for offset, (name, path, body) in enumerate(
+                (
+                    ("solve", "/v1/solve", SOLVE_BODY),
+                    ("simulate", "/v1/simulate", SIMULATE_BODY),
+                    (
+                        "solve_batch",
+                        "/v1/solve_batch",
+                        {"requests": BATCH_BODIES},
+                    ),
+                )
+            ):
+                status, raw = _post(
+                    svc.url, path, body, _trace(trace_base + offset)
+                )
+                statuses.append(status)
+                responses[f"{name}.{phase}"] = raw
+        assert statuses == [200] * 6
+    # Workers have drained and exited: their span files are complete.
+    spans = []
+    for sink in sorted(spans_dir.glob("spans-shard*.jsonl")):
+        spans.extend(read_spans_jsonl(sink))
+    by_trace: dict[str, list] = defaultdict(list)
+    for record in spans:
+        by_trace[record.trace_id].append(record)
+    signatures = {
+        trace: span_tree_signature(members)
+        for trace, members in by_trace.items()
+    }
+    return responses, signatures
+
+
+class TestEquivalenceMatrix:
+    def test_bytes_and_span_signatures_across_worker_counts(self, tmp_path):
+        reference = _single_process_reference()
+        results = {}
+        for workers in (1, 2, 4):
+            spans_dir = tmp_path / f"w{workers}"
+            spans_dir.mkdir()
+            results[workers] = _run_topology(workers, spans_dir)
+
+        # Response bytes: every topology, every endpoint, cold and warm,
+        # byte-identical to the single-process answer.
+        for workers, (responses, _) in results.items():
+            for name, expected in reference.items():
+                assert responses[name] == expected, (
+                    f"{name} differs at --workers {workers}"
+                )
+
+        # Worker-side span trees: identical signatures across topologies
+        # for the single-request endpoints (the coordinator forwards the
+        # client's traceparent unchanged, so ids derive identically).
+        _, sig1 = results[1]
+        for workers in (2, 4):
+            _, sigs = results[workers]
+            for trace_base in (10, 20):  # cold and warm
+                for offset in (0, 1):  # solve, simulate
+                    trace = _trace(trace_base + offset)
+                    assert sigs[trace] == sig1[trace], (
+                        f"span signature for trace {trace} differs at "
+                        f"--workers {workers}"
+                    )
+
+        # solve_batch scatter shape legitimately varies with the worker
+        # count, so batch traces assert *within-topology* determinism:
+        # cold(1 worker) == cold(1 worker rerun) is covered by the byte
+        # assert; here: every batch trace produced a non-empty tree.
+        for workers, (_, sigs) in results.items():
+            for trace_base in (10, 20):
+                assert sigs[_trace(trace_base + 2)], (
+                    f"no batch spans recorded at --workers {workers}"
+                )
+
+    def test_batch_span_signature_is_deterministic_per_topology(
+        self, tmp_path
+    ):
+        """Same topology, same warm batch twice -> same signature.
+
+        Trace ids differ per request, so compare signatures with the
+        trace-id column dropped (span ids derive from the pinned client
+        span id, not the trace id).
+        """
+        spans_dir = tmp_path / "spans"
+        spans_dir.mkdir()
+        with ClusterService(
+            workers=2, store_dir=None, spans_dir=spans_dir
+        ) as svc:
+            body = {"requests": BATCH_BODIES}
+            _post(svc.url, "/v1/solve_batch", body, _trace(40))  # cold
+            _post(svc.url, "/v1/solve_batch", body, _trace(41))  # warm A
+            _post(svc.url, "/v1/solve_batch", body, _trace(42))  # warm B
+        spans = []
+        for sink in sorted(spans_dir.glob("spans-shard*.jsonl")):
+            spans.extend(read_spans_jsonl(sink))
+        per_trace = defaultdict(list)
+        for record in spans:
+            per_trace[record.trace_id].append(record)
+
+        def anonymous(trace: str) -> tuple:
+            sig = span_tree_signature(per_trace[trace])
+            return tuple(entry[1:] for entry in sig)  # drop trace_id
+
+        assert anonymous(_trace(41)) == anonymous(_trace(42))
+
+
+class TestCrashRecovery:
+    def test_worker_killed_mid_batch_is_restarted_and_replayed(self):
+        bodies = [
+            dict(FAST_BODY, te_core_days=300.0 + i) for i in range(6)
+        ]
+        # Reference bytes from a single process (fresh cache via the
+        # autouse fixture; cleared again afterwards by the same).
+        from repro.core.memo import SOLVER_CACHE
+
+        with ReproService(port=0, store_path=None) as single:
+            expected = _post(
+                single.url, "/v1/solve_batch", {"requests": bodies},
+                _trace(50),
+            )[1]
+        SOLVER_CACHE.clear()
+
+        restarts_before = METRICS.counter("cluster.restarts.0").value
+        with ClusterService(
+            workers=2, store_dir=None, request_delay_s=0.4
+        ) as svc:
+            result: dict = {}
+
+            def go() -> None:
+                result["reply"] = _post(
+                    svc.url, "/v1/solve_batch", {"requests": bodies},
+                    _trace(51),
+                )
+
+            sender = threading.Thread(target=go)
+            sender.start()
+            # Every worker sleeps 0.4 s before dispatching, so at 0.15 s
+            # the victim is provably holding its slice mid-request.
+            time.sleep(0.15)
+            victim = svc.supervisor.workers[0]
+            pid_before = victim.process.pid
+            victim.process.kill()
+            sender.join(timeout=120.0)
+            assert not sender.is_alive()
+            status, raw = result["reply"]
+            assert status == 200
+            assert raw == expected
+            assert victim.process.pid != pid_before
+            assert victim.restarts >= 1
+        assert METRICS.counter("cluster.restarts.0").value > restarts_before
+
+    def test_single_solve_survives_worker_restart_window(self):
+        with ClusterService(workers=2, store_dir=None) as svc:
+            client = ServiceClient(svc.url, timeout=120.0)
+            warm = client.solve(**FAST_BODY)
+            # Kill both workers: whichever owns the key must come back.
+            for handle in svc.supervisor.workers:
+                handle.process.kill()
+            again = client.solve(**FAST_BODY)
+            assert again == warm
+
+
+class TestTopologyIntrospection:
+    def test_coordinator_healthz_reports_workers_and_shard_map(self):
+        with ClusterService(workers=2, store_dir=None) as svc:
+            payload = ServiceClient(svc.url).healthz()
+        assert payload["role"] == "coordinator"
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0.0
+        assert payload["shard_map"]["shards"] == 2
+        workers = payload["workers"]
+        assert [w["shard"] for w in workers] == [0, 1]
+        for entry in workers:
+            assert entry["alive"] is True
+            assert entry["status"] == "ok"
+            assert entry["queue_depth"] == 0
+            assert entry["restarts"] == 0
+
+    def test_worker_healthz_self_identifies(self):
+        with ClusterService(workers=2, store_dir=None) as svc:
+            handle = svc.supervisor.workers[1]
+            payload = ServiceClient(handle.url).healthz()
+        assert payload["role"] == "worker"
+        assert payload["shard"] == 1
+        assert "uptime_s" in payload and "queue_depth" in payload
+
+    def test_same_key_always_routes_to_one_shard(self):
+        shard_counters = [
+            METRICS.counter("cluster.shard.0.requests"),
+            METRICS.counter("cluster.shard.1.requests"),
+        ]
+        before = [c.value for c in shard_counters]
+        with ClusterService(workers=2, store_dir=None) as svc:
+            client = ServiceClient(svc.url, timeout=120.0)
+            for _ in range(3):
+                client.solve(**FAST_BODY)
+        deltas = [c.value - b for c, b in zip(shard_counters, before)]
+        assert sorted(deltas) == [0.0, 3.0]
+
+    def test_merged_metrics_carry_service_series(self):
+        with ClusterService(workers=2, store_dir=None) as svc:
+            client = ServiceClient(svc.url, timeout=120.0)
+            client.solve_batch(BATCH_BODIES)
+            merged = client.metrics()["metrics"]
+        assert merged.get("service.executions") == len(BATCH_BODIES)
+        assert merged.get("cluster.requests.solve_batch", 0) >= 1.0
+
+
+class TestValidationAtCoordinator:
+    def test_malformed_solve_is_rejected_without_forwarding(self):
+        before = METRICS.counter("cluster.shard.0.requests").value
+        before1 = METRICS.counter("cluster.shard.1.requests").value
+        with ClusterService(workers=2, store_dir=None) as svc:
+            status, raw = _post(
+                svc.url, "/v1/solve", {"case": "24-12-6-3"}, _trace(60)
+            )
+        assert status == 400
+        assert b"te_core_days" in raw
+        assert METRICS.counter("cluster.shard.0.requests").value == before
+        assert METRICS.counter("cluster.shard.1.requests").value == before1
+
+    def test_bad_batch_item_index_is_global(self):
+        with ClusterService(workers=2, store_dir=None) as svc:
+            status, raw = _post(
+                svc.url,
+                "/v1/solve_batch",
+                {"requests": [dict(FAST_BODY), {"case": "nope"}]},
+                _trace(61),
+            )
+        assert status == 400
+        assert json.loads(raw)["index"] == 1

@@ -1,0 +1,74 @@
+"""Tests for consistent-hash shard routing (repro.service.hashring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.memo import canonical_key
+from repro.experiments.config import make_params
+from repro.service.hashring import HashRing
+from repro.service.store import key_digest
+
+
+def _keys(n: int) -> list:
+    """Realistic canonical keys: the service's own solve keys."""
+    return [
+        canonical_key(
+            "service.solve",
+            make_params(200.0 + i, "24-12-6-3", ideal_scale=2000.0),
+            "all",
+        )
+        for i in range(n)
+    ]
+
+
+class TestDeterminism:
+    def test_same_ring_same_routing(self):
+        keys = _keys(32)
+        a, b = HashRing(4), HashRing(4)
+        assert [a.shard_for_key(k) for k in keys] == [
+            b.shard_for_key(k) for k in keys
+        ]
+
+    def test_digest_and_key_routing_agree(self):
+        ring = HashRing(3)
+        for key in _keys(8):
+            assert ring.shard_for_key(key) == ring.shard_for_digest(
+                key_digest(key)
+            )
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.shard_for_key(k) for k in _keys(16)} == {0}
+
+
+class TestBalance:
+    def test_keyspace_splits_roughly_evenly(self):
+        # Synthetic keys are fine here: balance is a property of the
+        # ring geometry, not the key content.
+        keys = [("bench", i) for i in range(4000)]
+        for shards in (2, 4, 8):
+            counts = HashRing(shards).distribution(keys)
+            assert len(counts) == shards
+            assert sum(counts) == len(keys)
+            expected = len(keys) / shards
+            assert min(counts) > expected * 0.5
+            assert max(counts) < expected * 1.6
+
+    def test_growth_moves_a_bounded_fraction(self):
+        keys = [("bench", i) for i in range(4000)]
+        small, large = HashRing(4), HashRing(5)
+        moved = sum(
+            small.shard_for_key(k) != large.shard_for_key(k) for k in keys
+        )
+        # Consistent hashing: adding one shard to four moves ~1/5 of the
+        # keyspace, not ~4/5 as modulo hashing would.
+        assert moved / len(keys) < 0.40
+
+
+class TestValidation:
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replicas=0)

@@ -1,0 +1,172 @@
+"""Tests for ``POST /v1/solve_batch`` and ``submit_many`` (single process).
+
+The batch endpoint's contract: item payloads are byte-for-byte the
+payloads the same bodies would get from individual ``/v1/solve``
+requests, in request order — the invariant the cluster's scatter/gather
+path is built on — with atomic queue admission (a sweep fits as a whole
+or is shed as a whole) and per-item validation errors that name the
+offending index.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.service.api import (
+    BatchItemError,
+    MAX_BATCH_ITEMS,
+    build_solve_batch,
+)
+from repro.service.client import ServiceClient
+from repro.service.scheduler import CoalescingScheduler, ServiceOverloaded
+from repro.service.server import ReproService
+
+from tests.service.conftest import FAST_BODY
+
+
+def _bodies(n: int) -> list[dict]:
+    return [dict(FAST_BODY, te_core_days=200.0 + i) for i in range(n)]
+
+
+@pytest.fixture
+def service():
+    with ReproService(port=0, store_path=None, queue_max=64, jobs=2) as svc:
+        yield svc
+
+
+class TestSubmitMany:
+    def test_results_in_request_order(self):
+        with CoalescingScheduler(queue_max=16, jobs=2) as sched:
+            results = sched.submit_many(
+                [(i, lambda i=i: i * i) for i in range(8)]
+            )
+        assert results == [i * i for i in range(8)]
+
+    def test_in_batch_duplicates_coalesce(self):
+        calls: list[int] = []
+        before = METRICS.counter("service.coalesced").value
+        with CoalescingScheduler(queue_max=16, jobs=2) as sched:
+            results = sched.submit_many(
+                [("k", lambda: calls.append(1) or "v")] * 4
+            )
+        assert results == ["v"] * 4
+        assert len(calls) == 1
+        assert METRICS.counter("service.coalesced").value - before == 3.0
+
+    def test_admission_is_atomic(self):
+        gate = threading.Event()
+        sched = CoalescingScheduler(queue_max=2, batch_max=1, jobs=1)
+        try:
+            blocker = threading.Thread(
+                target=lambda: sched.submit("block", lambda: gate.wait(5))
+            )
+            blocker.start()
+            while not (sched.in_flight() == 1 and sched.queue_depth() == 0):
+                pass
+            # Three distinct new keys cannot fit a 2-slot queue: the
+            # whole batch is shed, nothing half-admitted.
+            with pytest.raises(ServiceOverloaded):
+                sched.submit_many([(i, lambda: None) for i in range(3)])
+            assert sched.queue_depth() == 0
+            # Two fit fine once offered as a whole.
+            assert sched.submit_many(
+                [(i, lambda i=i: i) for i in range(2)]
+            ) == [0, 1]
+        finally:
+            gate.set()
+            sched.close()
+
+    def test_first_failing_entry_reports_its_index(self):
+        def boom():
+            raise ValueError("boom")
+
+        with CoalescingScheduler(queue_max=16) as sched:
+            with pytest.raises(ValueError) as excinfo:
+                sched.submit_many(
+                    [("a", lambda: 1), ("b", boom), ("c", lambda: 3)]
+                )
+        assert excinfo.value.batch_index == 1
+
+
+class TestValidation:
+    def test_bad_item_raises_with_index(self):
+        body = {"requests": [dict(FAST_BODY), {"te_core_days": -1, "case": "x"}]}
+        with pytest.raises(BatchItemError) as excinfo:
+            build_solve_batch(body)
+        assert excinfo.value.index == 1
+
+    def test_envelope_shape_enforced(self):
+        from repro.service.api import RequestError
+
+        for bad in (
+            {"requests": []},
+            {"requests": "nope"},
+            {"items": [FAST_BODY]},
+            {"requests": [FAST_BODY], "extra": 1},
+        ):
+            with pytest.raises(RequestError):
+                build_solve_batch(bad)
+
+    def test_oversized_batch_rejected(self):
+        from repro.service.api import RequestError
+
+        body = {"requests": [dict(FAST_BODY)] * (MAX_BATCH_ITEMS + 1)}
+        with pytest.raises(RequestError, match="batch too large"):
+            build_solve_batch(body)
+
+
+class TestEndpoint:
+    def test_batch_items_byte_identical_to_single_solves(self, service):
+        client = ServiceClient(service.url)
+        bodies = _bodies(5)
+        status, _, raw = client.request(
+            "POST", "/v1/solve_batch", {"requests": bodies}
+        )
+        assert status == 200
+        payload = json.loads(raw)
+        assert payload["endpoint"] == "solve_batch"
+        assert payload["count"] == len(bodies)
+        singles = [
+            json.loads(client.request("POST", "/v1/solve", b)[2])
+            for b in bodies
+        ]
+        assert payload["results"] == singles
+
+    def test_warm_repeat_is_byte_identical(self, service):
+        client = ServiceClient(service.url)
+        body = {"requests": _bodies(4)}
+        first = client.request("POST", "/v1/solve_batch", body)
+        second = client.request("POST", "/v1/solve_batch", body)
+        assert first[0] == second[0] == 200
+        assert first[2] == second[2]
+
+    def test_bad_item_answers_400_with_index(self, service):
+        client = ServiceClient(service.url)
+        status, _, raw = client.request(
+            "POST",
+            "/v1/solve_batch",
+            {"requests": [dict(FAST_BODY), {"case": "24-12-6-3"}]},
+        )
+        assert status == 400
+        payload = json.loads(raw)
+        assert payload["index"] == 1
+        assert "te_core_days" in payload["error"]
+
+    def test_batch_counts_one_execution_per_unique_key(self, service):
+        client = ServiceClient(service.url)
+        before = METRICS.counter("service.executions").value
+        bodies = _bodies(3) + _bodies(3)  # 3 unique keys, twice each
+        status, _, _ = client.request(
+            "POST", "/v1/solve_batch", {"requests": bodies}
+        )
+        assert status == 200
+        assert METRICS.counter("service.executions").value - before == 3.0
+
+    def test_get_answers_405(self, service):
+        client = ServiceClient(service.url)
+        status, _, _ = client.request("GET", "/v1/solve_batch")
+        assert status == 405

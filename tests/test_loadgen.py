@@ -11,6 +11,8 @@ from benchmarks.loadgen import (
     CONFIG_POOL,
     ScheduledRequest,
     RequestResult,
+    _shard_breakdown,
+    batch_schedule,
     build_report,
     make_schedule,
     percentile,
@@ -118,6 +120,106 @@ class TestSchedules:
             make_schedule(simulate_fraction=1.5)
         with pytest.raises(ValueError):
             make_schedule(profile="sawtooth")
+
+
+class TestBatchSchedule:
+    def _solves(self, n, start=0.0):
+        return [
+            ScheduledRequest(start + 0.1 * i, "solve", {"rank": i}, i)
+            for i in range(n)
+        ]
+
+    def test_clumps_consecutive_solves_preserving_order(self):
+        batched = batch_schedule(self._solves(5), batch_n=2)
+        assert [r.endpoint for r in batched] == [
+            "solve_batch", "solve_batch", "solve_batch"
+        ]
+        sizes = [len(r.body["requests"]) for r in batched]
+        assert sizes == [2, 2, 1]
+        # Fired at the first member's offset, bodies in arrival order.
+        assert batched[0].at == 0.0
+        assert batched[1].at == pytest.approx(0.2)
+        flattened = [
+            item["rank"] for r in batched for item in r.body["requests"]
+        ]
+        assert flattened == [0, 1, 2, 3, 4]
+
+    def test_simulate_passes_through_and_breaks_the_run(self):
+        schedule = self._solves(3)
+        schedule.insert(2, ScheduledRequest(0.15, "simulate", {"s": 1}, 9))
+        batched = batch_schedule(schedule, batch_n=4)
+        assert [r.endpoint for r in batched] == [
+            "solve_batch", "simulate", "solve_batch"
+        ]
+        assert len(batched[0].body["requests"]) == 2
+        assert len(batched[2].body["requests"]) == 1
+
+    def test_batch_of_one_keeps_item_rate(self):
+        schedule = self._solves(4)
+        batched = batch_schedule(schedule, batch_n=1)
+        assert len(batched) == 4
+        assert all(len(r.body["requests"]) == 1 for r in batched)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            batch_schedule([], 0)
+
+
+class TestShardBreakdown:
+    def test_deltas_grouped_and_sorted_by_shard(self):
+        before = {
+            "metrics": {
+                "cluster.shard.0.requests": 10.0,
+                "cluster.shard.1.requests": 4.0,
+                "cluster.restarts.1": 0.0,
+            }
+        }
+        after = {
+            "metrics": {
+                "cluster.shard.0.requests": 25.0,
+                "cluster.shard.0.retries": 2.0,
+                "cluster.shard.1.requests": 9.0,
+                "cluster.restarts.1": 1.0,
+                "service.executions": 99.0,  # not a shard series
+                "cluster.shard.x.requests": 7.0,  # non-numeric shard id
+            }
+        }
+        breakdown = _shard_breakdown(before, after)
+        assert list(breakdown) == ["0", "1"]
+        assert breakdown["0"] == {"requests": 15.0, "retries": 2.0}
+        assert breakdown["1"] == {"requests": 5.0, "restarts": 1.0}
+
+    def test_single_process_metrics_yield_empty_breakdown(self):
+        snap = {"metrics": {"service.executions": 3.0}}
+        assert _shard_breakdown(snap, snap) == {}
+        assert _shard_breakdown(None, None) == {}
+
+    def test_summarize_phase_attaches_shards_and_items(self):
+        before = {"metrics": {"cluster.shard.0.requests": 0.0}}
+        after = {"metrics": {"cluster.shard.0.requests": 2.0}}
+        results = [
+            RequestResult(0.0, "solve_batch", 200, 0.010, 0, items=3),
+            RequestResult(0.1, "solve_batch", 200, 0.020, 0, items=2),
+        ]
+        phase = summarize_phase(
+            "batched", [], results,
+            metrics_before=before, metrics_after=after,
+        )
+        assert phase["shards"] == {"0": {"requests": 2.0}}
+        assert phase["ok_items"] == 5
+        assert phase["items_rps"] > 0.0
+
+    def test_renderer_shows_shard_breakdown(self):
+        phase = summarize_phase(
+            "sustained",
+            [ScheduledRequest(0.0, "solve", {}, 0)],
+            [RequestResult(0.0, "solve", 200, 0.0125, 0)],
+            metrics_before={"metrics": {"cluster.shard.0.requests": 0.0}},
+            metrics_after={"metrics": {"cluster.shard.0.requests": 1.0}},
+        )
+        text = format_load_report(build_report({"seed": 0}, [phase]))
+        assert "per-worker-shard breakdown" in text
+        assert "shard 0: requests=1" in text
 
 
 class TestSummary:
