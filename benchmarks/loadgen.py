@@ -500,18 +500,66 @@ def summarize_phase(
     return summary
 
 
+def error_budget_section(
+    metrics_after: Mapping[str, Any] | None,
+    healthz: Mapping[str, Any] | None = None,
+) -> dict[str, Any] | None:
+    """Fold the server's ``service.slo.*`` gauges into a report section.
+
+    ``None`` when the target ran without an SLO engine (no gauges
+    exposed).  The section mirrors the server's own view verbatim —
+    the numbers come from ``GET /metrics.json`` after the run, plus the
+    final ``/healthz`` state — so the report and the live endpoints can
+    be cross-checked.
+    """
+    from repro.obs.sloengine import STATES
+
+    source = metrics_after or {}
+    gauges = source.get("metrics", source) or {}
+    if "service.slo.state" not in gauges:
+        return None
+
+    def g(name: str) -> float:
+        try:
+            return float(gauges.get(name, 0.0))
+        except (TypeError, ValueError):
+            return 0.0
+
+    severity = int(g("service.slo.state"))
+    section: dict[str, Any] = {
+        "state": STATES[min(severity, len(STATES) - 1)],
+        "error_budget": g("service.slo.error_budget"),
+        "fast_burn_rate": g("service.slo.fast_burn_rate"),
+        "slow_burn_rate": g("service.slo.slow_burn_rate"),
+        "good": g("service.slo.good_total"),
+        "bad": g("service.slo.bad_total"),
+        "budget_consumed": g("service.slo.budget_consumed"),
+    }
+    if healthz:
+        section["healthz_status"] = healthz.get("status")
+        slo_view = healthz.get("slo") or {}
+        if slo_view.get("state") is not None:
+            section["healthz_state"] = slo_view["state"]
+    return section
+
+
 def build_report(
-    config: Mapping[str, Any], phases: Sequence[Mapping[str, Any]]
+    config: Mapping[str, Any],
+    phases: Sequence[Mapping[str, Any]],
+    *,
+    error_budget: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the ``repro.loadgen.report`` document.
 
     ``slo`` pulls the headline numbers the regression gate (and a human
     skimming the file) cares about: sustained throughput and tail
     latency from the first phase, worst shed rate anywhere.
+    ``error_budget`` (see :func:`error_budget_section`) rides along when
+    the target service ran with an SLO engine.
     """
     phase_map = {p["label"]: dict(p) for p in phases}
     first = phases[0] if phases else {}
-    return {
+    report = {
         "kind": "repro.loadgen.report",
         "config": dict(config),
         "phases": phase_map,
@@ -526,6 +574,9 @@ def build_report(
             ),
         },
     }
+    if error_budget is not None:
+        report["error_budget"] = dict(error_budget)
+    return report
 
 
 # ----------------------------------------------------------------- CLI
@@ -536,6 +587,15 @@ def _fetch_metrics(url: str) -> dict[str, Any] | None:
 
     try:
         return ServiceClient(url).metrics()
+    except (ServiceError, OSError):
+        return None
+
+
+def _fetch_healthz(url: str) -> dict[str, Any] | None:
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        return ServiceClient(url).healthz()
     except (ServiceError, OSError):
         return None
 
@@ -589,6 +649,29 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker threads for --self-serve")
     parser.add_argument("--queue-max", type=int, default=64,
                         help="queue bound for --self-serve")
+    parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="TARGET:THRESHOLD",
+        help=(
+            "with --self-serve: run the service with an SLO spec (e.g. "
+            "99.9:0.25s); the report then grows an error_budget section "
+            "from the server's service.slo.* gauges"
+        ),
+    )
+    parser.add_argument("--slo-fast-window", type=float, default=None,
+                        metavar="S", help="fast burn-rate window seconds")
+    parser.add_argument("--slo-slow-window", type=float, default=None,
+                        metavar="S", help="slow burn-rate window seconds")
+    parser.add_argument(
+        "--spans-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "with --self-serve: record request spans under DIR "
+            "(spans.jsonl, or spans-shard<i>.jsonl per cluster worker)"
+        ),
+    )
     parser.add_argument("--out", type=lambda p: p, default=None,
                         help="write the report JSON here (default: stdout)")
     args = parser.parse_args(argv)
@@ -621,8 +704,11 @@ def main(argv: list[str] | None = None) -> int:
         config["batch"] = args.batch
     if args.self_serve_workers:
         config["cluster_workers"] = args.self_serve_workers
+    if args.slo:
+        config["slo"] = args.slo
 
     service = None
+    previous_recorder = None
     url = args.url
     if args.self_serve and args.self_serve_workers:
         from repro.service.cluster import ClusterService
@@ -633,31 +719,58 @@ def main(argv: list[str] | None = None) -> int:
             store_dir=None,
             jobs=args.jobs,
             queue_max=args.queue_max,
+            spans_dir=args.spans_dir,
+            slo=args.slo,
+            slo_fast_window_s=args.slo_fast_window,
+            slo_slow_window_s=args.slo_slow_window,
         ).start()
         url = service.url
     elif args.self_serve:
         from repro.service.server import ReproService
 
+        if args.spans_dir is not None:
+            from pathlib import Path
+
+            from repro.obs.spans import SpanRecorder, set_span_recorder
+
+            sink = Path(args.spans_dir) / "spans.jsonl"
+            sink.parent.mkdir(parents=True, exist_ok=True)
+            previous_recorder = set_span_recorder(
+                SpanRecorder(sink, maxlen=10_000)
+            )
         service = ReproService(
             port=0,
             store_path=None,
             jobs=args.jobs,
             queue_max=args.queue_max,
+            slo=args.slo,
+            slo_fast_window_s=args.slo_fast_window,
+            slo_slow_window_s=args.slo_slow_window,
         ).start()
         url = service.url
     try:
         before = _fetch_metrics(url)
         results = run_schedule(url, schedule, workers=args.workers)
         after = _fetch_metrics(url)
+        # Health (and its SLO view) must be read while the service is
+        # still up — close() drains and the endpoints go away.
+        health = _fetch_healthz(url)
     finally:
         if service is not None:
             service.close()
+        if previous_recorder is not None:
+            from repro.obs.spans import set_span_recorder
+
+            set_span_recorder(previous_recorder)
 
     phase = summarize_phase(
         args.profile, schedule, results,
         metrics_before=before, metrics_after=after,
     )
-    report = build_report(config, [phase])
+    report = build_report(
+        config, [phase],
+        error_budget=error_budget_section(after, health),
+    )
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
         from pathlib import Path

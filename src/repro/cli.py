@@ -28,7 +28,10 @@ summary, ``obs load <report>`` renders a load-generator report
 and ``obs trace <trace-id>`` renders one request's span tree —
 client → server → scheduler batch → solver iterations → sim replicas —
 with per-phase self-times (ids may be abbreviated to a unique prefix;
-``obs trace`` with no id lists the recorded traces).
+``obs trace`` with no id lists the recorded traces; with no ``--spans``
+it merges the main sink with every ``spans-shard<i>.jsonl`` beside it,
+and ``--url`` queries a live service's flight recorder instead —
+see docs/observability.md).
 
 ``KeyboardInterrupt`` is handled globally: Ctrl-C on ``serve`` (or a
 long experiment) drains cleanly and exits with code 130 — no traceback.
@@ -60,6 +63,7 @@ from repro.obs.metrics import METRICS
 from repro.obs.runinfo import (
     format_last_run,
     last_run_path,
+    obs_dir,
     read_last_run,
     spans_path,
     write_last_run,
@@ -69,6 +73,7 @@ from repro.obs.spans import (
     format_span_tree,
     read_spans_jsonl,
     set_span_recorder,
+    span_from_dict,
 )
 from repro.parallel.timing import PhaseTimer
 from repro.sim.runner import simulate_solution
@@ -103,6 +108,34 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
             "REPRO_JOBS env var, else 1 = serial; 0 = all cores; results "
             "are bit-identical for any value)"
         ),
+    )
+
+
+def _add_slo_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="TARGET:THRESHOLD",
+        help=(
+            "enable the SLO health engine, e.g. 99.9:0.25s — requests "
+            "slower than THRESHOLD (or shed/failed) burn the error "
+            "budget; /healthz degrades on multi-window burn rate "
+            "(see docs/observability.md)"
+        ),
+    )
+    parser.add_argument(
+        "--slo-fast-window",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fast burn-rate window in seconds (default 300)",
+    )
+    parser.add_argument(
+        "--slo-slow-window",
+        type=float,
+        default=None,
+        metavar="S",
+        help="slow burn-rate window in seconds (default 3600)",
     )
 
 
@@ -276,6 +309,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "to $REPRO_OBS_DIR/spans.jsonl for `repro obs trace`)"
         ),
     )
+    _add_slo_arguments(p_srv)
     _add_jobs_argument(p_srv)
 
     p_wrk = sub.add_parser(
@@ -313,6 +347,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="fault-injection: sleep S seconds before each POST dispatch",
     )
+    _add_slo_arguments(p_wrk)
     _add_jobs_argument(p_wrk)
 
     p_obs = sub.add_parser(
@@ -345,7 +380,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--spans",
         default=None,
         metavar="FILE",
-        help="span JSONL file (default: $REPRO_OBS_DIR/spans.jsonl)",
+        help=(
+            "span JSONL file (default: $REPRO_OBS_DIR/spans.jsonl merged "
+            "with any spans-shard<i>.jsonl files beside it)"
+        ),
+    )
+    p_obs.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help=(
+            "for 'trace': query a live service's flight recorder instead "
+            "of span files (GET /v1/trace/<id>; a coordinator URL "
+            "stitches fragments from every shard).  Omit the trace id to "
+            "list the recently completed traces (GET /v1/debug/recent)"
+        ),
     )
     return parser
 
@@ -475,6 +524,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_path=store_path,
         cache_max_entries=args.cache_max_entries,
         batch_solve=False if args.no_batch_solve else None,
+        slo=args.slo,
+        slo_fast_window_s=args.slo_fast_window,
+        slo_slow_window_s=args.slo_slow_window,
     )
     print(f"repro.service listening on {service.url}")
     if store_path is None:
@@ -486,7 +538,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         "endpoints: POST /v1/solve, POST /v1/simulate, "
         "POST /v1/solve_batch, GET /healthz, GET /metrics, "
-        "GET /metrics.json"
+        "GET /metrics.json, GET /v1/trace/<id>, GET /v1/debug/recent"
     )
     try:
         service.serve_forever()
@@ -525,6 +577,9 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         cache_max_entries=args.cache_max_entries,
         batch_solve=False if args.no_batch_solve else None,
         spans_dir=spans_dir,
+        slo=args.slo,
+        slo_fast_window_s=args.slo_fast_window,
+        slo_slow_window_s=args.slo_slow_window,
     )
     print(
         f"repro.service cluster coordinator on {service.url} "
@@ -537,7 +592,7 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
     print(
         "endpoints: POST /v1/solve, POST /v1/simulate, "
         "POST /v1/solve_batch, GET /healthz, GET /metrics, "
-        "GET /metrics.json"
+        "GET /metrics.json, GET /v1/trace/<id>, GET /v1/debug/recent"
     )
     try:
         service.serve_forever()
@@ -590,6 +645,9 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
         batch_solve=False if args.no_batch_solve else None,
         shard_id=args.shard,
         request_delay_s=args.request_delay,
+        slo=args.slo,
+        slo_fast_window_s=args.slo_fast_window,
+        slo_slow_window_s=args.slo_slow_window,
     )
     print(
         _json.dumps(
@@ -631,16 +689,33 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 def _cmd_obs_trace(args: argparse.Namespace) -> int:
     """Render one recorded trace's span tree (or list the recorded ones)."""
-    path = args.spans if args.spans is not None else spans_path()
-    try:
-        spans = read_spans_jsonl(path)
-    except FileNotFoundError:
+    if args.url is not None:
+        return _cmd_obs_trace_live(args)
+    if args.spans is not None:
+        sources = [args.spans]
+    else:
+        # Default discovery: the single-process sink plus every cluster
+        # shard file beside it, merged — one view of the whole fleet.
+        sources = [spans_path()]
+        sources.extend(sorted(obs_dir().glob("spans-shard*.jsonl")))
+    spans = []
+    found = []
+    for source in sources:
+        try:
+            spans.extend(read_spans_jsonl(source))
+        except FileNotFoundError:
+            continue
+        found.append(source)
+    path = found[0] if len(found) == 1 else sources[0]
+    if not found:
         print(
-            f"no span file at {path} — run `repro serve` (without "
+            f"no span file at {sources[0]} — run `repro serve` (without "
             "--no-spans) and send it a request first",
             file=sys.stderr,
         )
         return 1
+    if len(found) > 1:
+        path = f"{len(found)} files under {obs_dir()}"
     if not spans:
         print(f"span file {path} is empty", file=sys.stderr)
         return 1
@@ -670,6 +745,55 @@ def _cmd_obs_trace(args: argparse.Namespace) -> int:
         return 2
     selected = [r for r in spans if r.trace_id == matches[0]]
     print(format_span_tree(selected))
+    return 0
+
+
+def _cmd_obs_trace_live(args: argparse.Namespace) -> int:
+    """``repro obs trace --url``: query a live service's flight recorder."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if not args.trace_id:
+            payload = client.debug_recent()
+            recording = payload.get("recording", False)
+            print(
+                f"{args.url}: span recording "
+                f"{'on' if recording else 'off'}"
+            )
+            for section in ("recent", "slowest"):
+                entries = payload.get(section) or []
+                label = "newest first" if section == "recent" else "by duration"
+                print(f"{section} ({label}):")
+                if not entries:
+                    print("  (none)")
+                    continue
+                for entry in entries:
+                    shard = entry.get("shard")
+                    where = f"  shard {shard}" if shard is not None else ""
+                    roots = ", ".join(entry.get("roots") or [])
+                    print(
+                        f"  {entry['trace_id']}  {entry['spans']:>3} spans  "
+                        f"{entry['duration_s'] * 1e3:8.1f} ms  "
+                        f"{entry['status']}  {roots}{where}"
+                    )
+            return 0
+        payload = client.trace(args.trace_id)
+    except ServiceError as exc:
+        print(f"error from {args.url}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    spans = [span_from_dict(record) for record in payload["spans"]]
+    shards = payload.get("shards")
+    if shards:
+        noun = "shard" if len(shards) == 1 else "shards"
+        print(
+            f"trace {payload['trace_id']}: {payload['span_count']} spans "
+            f"from {noun} {', '.join(str(s) for s in shards)}"
+        )
+    print(format_span_tree(spans))
     return 0
 
 

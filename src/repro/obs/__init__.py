@@ -45,6 +45,11 @@ from repro.obs.events import (
     event_from_dict,
     event_to_dict,
 )
+from repro.obs.flightrec import (
+    FlightRecorder,
+    TraceEntry,
+    stitch_spans,
+)
 from repro.obs.logconf import LOG_ENV_VAR, configure_logging, get_logger
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
@@ -54,6 +59,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     merge_snapshots,
+)
+from repro.obs.sloengine import (
+    GOOD_OUTCOMES,
+    SLOEngine,
+    SLOSpec,
+    merge_slo,
+    merge_slo_gauges,
 )
 from repro.obs.promexport import (
     PROMETHEUS_CONTENT_TYPE,
@@ -126,10 +138,18 @@ __all__ = [
     "METRICS",
     "PROMETHEUS_CONTENT_TYPE",
     "Counter",
+    "FlightRecorder",
+    "GOOD_OUTCOMES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SLOEngine",
+    "SLOSpec",
+    "TraceEntry",
+    "merge_slo",
+    "merge_slo_gauges",
     "merge_snapshots",
+    "stitch_spans",
     "prometheus_text",
     "sanitize_metric_name",
     "OBS_DIR_ENV_VAR",

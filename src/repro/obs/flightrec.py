@@ -1,0 +1,284 @@
+"""Flight recorder: bounded in-memory retention of completed traces.
+
+The JSONL span sinks (``spans-shard<i>.jsonl``) are the durable record,
+but answering "show me the trace behind that p99 spike" from a *running*
+service by re-reading ever-growing files is the wrong tool.  The
+:class:`FlightRecorder` keeps the spans of recently completed requests
+in memory, grouped by trace id, so ``GET /v1/trace/<id>`` can answer
+immediately and ``GET /v1/debug/recent`` can list what just happened.
+
+It layers over the existing recorder protocol rather than replacing it:
+a ``FlightRecorder`` wraps the installed :class:`~repro.obs.spans.SpanRecorder`
+(or the null recorder), forwards every emission to it unchanged (the
+JSONL sink keeps receiving every span), and additionally files the span
+under its trace.  ``active`` mirrors the inner recorder, so with span
+recording off the :func:`~repro.obs.spans.span` fast path still
+short-circuits before ever reaching :meth:`emit` — the <5% tracing-off
+overhead budget is untouched.
+
+Retention is two-tier, sized for incident debugging rather than
+archival:
+
+* a **ring** of the most recently completed traces (``capacity``), and
+* a **slowest-N** set (``keep_slowest``) that survives ring wraparound —
+  the pathological requests an operator actually wants are exactly the
+  ones a plain FIFO would have evicted first.
+
+Spans arrive bottom-up (children finish before their parent), so a
+trace is *completed* when a span whose name is in ``root_names`` (the
+server's request root) is emitted; fragments of traces whose root never
+arrives (e.g. client-side probe spans recorded in the same process) sit
+in a bounded pending map and fall out oldest-first.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.obs.spans import (
+    NULL_SPAN_RECORDER,
+    NullSpanRecorder,
+    Span,
+    SpanRecorder,
+)
+
+#: Span names that mark "this trace's request finished" when emitted.
+REQUEST_ROOT_NAMES = frozenset({"server.request"})
+
+DEFAULT_CAPACITY = 256
+DEFAULT_KEEP_SLOWEST = 32
+DEFAULT_MAX_PENDING = 512
+
+
+def stitch_spans(spans: Iterable[Span]) -> list[Span]:
+    """Canonical ordering for spans gathered from multiple sources.
+
+    Online trace queries (coordinator fanning out to N workers) and
+    offline file stitching (``sorted(glob("spans-shard*.jsonl"))``) see
+    the same span *set* in different arrival orders; sorting by
+    ``(end, start, span_id)`` makes both produce the identical sequence
+    — and therefore identical
+    :func:`~repro.obs.spans.span_tree_signature` values, the property
+    the equivalence matrix asserts.  Within one process the sort also
+    reproduces emission order (children finish before parents).
+    """
+    return sorted(spans, key=lambda s: (s.end, s.start, s.span_id))
+
+
+class TraceEntry:
+    """The retained spans and headline stats of one completed trace."""
+
+    __slots__ = (
+        "trace_id", "spans", "duration", "status", "roots", "end",
+        "completions",
+    )
+
+    def __init__(self, trace_id: str, spans: list[Span], root: Span):
+        self.trace_id = trace_id
+        self.spans = spans
+        self.duration = root.duration
+        self.status = root.status
+        self.roots = [root.name]
+        self.end = root.end
+        self.completions = 1
+
+    def absorb(self, spans: list[Span], root: Span) -> None:
+        """Fold a later completion of the same trace into this entry."""
+        self.spans.extend(spans)
+        self.duration = max(self.duration, root.duration)
+        if root.status != "ok":
+            self.status = root.status
+        self.roots.append(root.name)
+        self.end = max(self.end, root.end)
+        self.completions += 1
+
+    def summary(self) -> dict:
+        """The ``/v1/debug/recent`` listing row."""
+        return {
+            "trace_id": self.trace_id,
+            "duration_s": round(self.duration, 6),
+            "status": self.status,
+            "roots": list(self.roots),
+            "spans": len(self.spans),
+            "end_unix": self.end,
+            "completions": self.completions,
+        }
+
+
+class FlightRecorder:
+    """Recorder-protocol wrapper retaining recently completed traces.
+
+    Parameters
+    ----------
+    inner:
+        The recorder every span is forwarded to (normally the process
+        :class:`~repro.obs.spans.SpanRecorder` with its JSONL sink).
+        ``active`` mirrors this recorder's flag.
+    capacity:
+        Completed traces retained in total (ring + protected slowest).
+    keep_slowest:
+        Of those, how many slots are reserved for the slowest traces
+        seen — these survive ring wraparound.  Must be < ``capacity``
+        so eviction always has a victim.
+    max_pending:
+        Bound on traces with fragments but no completed root yet;
+        beyond it the oldest pending trace is dropped.
+    root_names:
+        Span names whose emission completes their trace.
+    """
+
+    def __init__(
+        self,
+        inner: NullSpanRecorder | SpanRecorder | None = None,
+        *,
+        capacity: int = DEFAULT_CAPACITY,
+        keep_slowest: int = DEFAULT_KEEP_SLOWEST,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        root_names: Sequence[str] | frozenset[str] = REQUEST_ROOT_NAMES,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0 <= keep_slowest < capacity:
+            raise ValueError(
+                f"keep_slowest must be in [0, capacity), got {keep_slowest} "
+                f"with capacity {capacity}"
+            )
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.inner = inner if inner is not None else NULL_SPAN_RECORDER
+        #: Mirrors the wrapped recorder's flag.  Snapshotted as a plain
+        #: attribute (recorders never toggle ``active`` in place — they
+        #: are swapped wholesale) so the ``span()`` hot-loop guard stays
+        #: a single attribute read; a property here costs a Python call
+        #: per check and blows the <5% tracing-off budget.
+        self.active = self.inner.active
+        self.capacity = int(capacity)
+        self.keep_slowest = int(keep_slowest)
+        self.max_pending = int(max_pending)
+        self.root_names = frozenset(root_names)
+        self._lock = threading.Lock()
+        #: trace_id -> completed entry (ring members + slowest survivors).
+        self._entries: dict[str, TraceEntry] = {}
+        #: Completion ring: trace ids oldest-first.
+        self._recent: deque[str] = deque()
+        self._recent_ids: set[str] = set()
+        #: Trace ids currently protected by the slowest-N policy.
+        self._slow_ids: set[str] = set()
+        #: trace_id -> spans awaiting their root (insertion-ordered).
+        self._pending: dict[str, list[Span]] = {}
+
+    # ---------------------------------------------------- recorder protocol
+
+    def emit(self, span: Span) -> None:
+        """Forward to the inner recorder, then file under the trace."""
+        self.inner.emit(span)
+        with self._lock:
+            if span.name in self.root_names:
+                self._complete(span)
+            else:
+                fragments = self._pending.get(span.trace_id)
+                if fragments is None:
+                    while len(self._pending) >= self.max_pending:
+                        oldest = next(iter(self._pending))
+                        del self._pending[oldest]
+                    self._pending[span.trace_id] = [span]
+                else:
+                    fragments.append(span)
+
+    # --------------------------------------------------------- bookkeeping
+
+    def _complete(self, root: Span) -> None:
+        trace_id = root.trace_id
+        spans = self._pending.pop(trace_id, [])
+        spans.append(root)
+        entry = self._entries.get(trace_id)
+        if entry is None:
+            entry = TraceEntry(trace_id, spans, root)
+            self._entries[trace_id] = entry
+            self._recent.append(trace_id)
+            self._recent_ids.add(trace_id)
+        else:
+            entry.absorb(spans, root)
+            if trace_id not in self._recent_ids:
+                # It lived on only as a slowest survivor; a fresh
+                # completion puts it back in the ring.
+                self._recent.append(trace_id)
+                self._recent_ids.add(trace_id)
+        self._protect_if_slow(entry)
+        self._evict()
+
+    def _protect_if_slow(self, entry: TraceEntry) -> None:
+        if self.keep_slowest == 0 or entry.trace_id in self._slow_ids:
+            return
+        if len(self._slow_ids) < self.keep_slowest:
+            self._slow_ids.add(entry.trace_id)
+            return
+        floor_id = min(
+            self._slow_ids, key=lambda tid: self._entries[tid].duration
+        )
+        if entry.duration <= self._entries[floor_id].duration:
+            return
+        self._slow_ids.discard(floor_id)
+        self._slow_ids.add(entry.trace_id)
+        if floor_id not in self._recent_ids:
+            # The displaced trace only survived through its protection;
+            # without it (and outside the ring) it is unreachable.
+            del self._entries[floor_id]
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.capacity and self._recent:
+            trace_id = self._recent.popleft()
+            self._recent_ids.discard(trace_id)
+            if trace_id in self._slow_ids:
+                continue  # protected: outlives its ring slot
+            del self._entries[trace_id]
+
+    # -------------------------------------------------------------- queries
+
+    def get(self, trace_id: str) -> list[Span] | None:
+        """Every retained span of ``trace_id`` (completed + pending),
+        or ``None`` when the recorder holds nothing for it."""
+        with self._lock:
+            spans: list[Span] = []
+            entry = self._entries.get(trace_id)
+            if entry is not None:
+                spans.extend(entry.spans)
+            spans.extend(self._pending.get(trace_id, ()))
+            return spans or None
+
+    def recent(self, limit: int = 20) -> list[dict]:
+        """Most recently completed traces, newest first."""
+        with self._lock:
+            ids = list(self._recent)[-limit:][::-1]
+            return [self._entries[tid].summary() for tid in ids]
+
+    def slowest(self, limit: int = 20) -> list[dict]:
+        """The protected slowest traces, slowest first."""
+        with self._lock:
+            entries = sorted(
+                (self._entries[tid] for tid in self._slow_ids),
+                key=lambda e: -e.duration,
+            )
+            return [entry.summary() for entry in entries[:limit]]
+
+    def stats(self) -> dict:
+        """Occupancy counters for ``/v1/debug/recent``."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "keep_slowest": self.keep_slowest,
+                "completed": len(self._entries),
+                "pending": len(self._pending),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlightRecorder({len(self)}/{self.capacity} traces, "
+            f"inner={self.inner!r})"
+        )

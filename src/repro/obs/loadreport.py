@@ -105,4 +105,22 @@ def format_load_report(payload: Mapping[str, Any]) -> str:
             f"worst shed rate {slo.get('worst_shed_rate', 0.0):.1%}; "
             f"best coalesce ratio {slo.get('best_coalesce_ratio', 0.0):.1%}"
         )
+
+    budget = payload.get("error_budget")
+    if isinstance(budget, Mapping) and budget:
+        state = str(budget.get("state", "?"))
+        health = budget.get("healthz_status")
+        suffix = f" (healthz: {health})" if health else ""
+        lines.append("")
+        lines.append(f"error budget: state {state}{suffix}")
+        lines.append(
+            f"  budget {budget.get('error_budget', 0.0):.3%} · "
+            f"consumed {budget.get('budget_consumed', 0.0):.1%} · "
+            f"good {_fmt(budget.get('good', 0.0))} / "
+            f"bad {_fmt(budget.get('bad', 0.0))}"
+        )
+        lines.append(
+            f"  burn rate {_fmt(budget.get('fast_burn_rate', 0.0))}x fast / "
+            f"{_fmt(budget.get('slow_burn_rate', 0.0))}x slow"
+        )
     return "\n".join(lines)

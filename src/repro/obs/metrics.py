@@ -85,6 +85,11 @@ LATENCY_BUCKETS = (
     1.0, 2.5, 5.0, 10.0,
 )
 
+#: After this many further observations land in a bucket, its stored
+#: exemplar counts as stale and the next exemplar-bearing observation
+#: replaces it even if faster — "worst *recent*", not "worst ever".
+EXEMPLAR_TTL_OBSERVATIONS = 512
+
 
 class Histogram:
     """Raw observation sequence with lazy, order-stable aggregates.
@@ -99,9 +104,17 @@ class Histogram:
     integers over *every* observation — exact and merge-order-independent
     even when the sample window ring-buffers — which is what the SLO
     exposition on ``GET /metrics`` is built from.
+
+    Bucketed histograms can additionally carry **exemplars**: an
+    observation may name the trace behind it (``observe(v, exemplar=
+    trace_id)``), and each bucket remembers the worst recent such
+    observation.  Exemplars ride only in the JSON payloads (snapshot /
+    ``/metrics.json``) — the Prometheus text renderer never sees them —
+    and the ``exemplars`` payload key is omitted entirely when none were
+    recorded, so exemplar-free snapshots are byte-identical to before.
     """
 
-    __slots__ = ("_samples", "maxlen", "buckets", "_bucket_counts")
+    __slots__ = ("_samples", "maxlen", "buckets", "_bucket_counts", "_exemplars")
 
     def __init__(
         self,
@@ -126,17 +139,36 @@ class Histogram:
         else:
             self.buckets = None
             self._bucket_counts = None
+        #: bucket index -> (value, trace_id, bucket_count_when_stored).
+        self._exemplars: dict[int, tuple[float, str, int]] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation, optionally naming its trace id."""
         value = float(value)
         self._samples.append(value)
         if self.buckets is not None:
-            self._count_into_bucket(value)
+            index = self._count_into_bucket(value)
+            if exemplar is not None:
+                self._note_exemplar(index, value, exemplar)
 
-    def _count_into_bucket(self, value: float) -> None:
+    def _count_into_bucket(self, value: float) -> int:
         index = bisect_left(self.buckets, value)
         self._bucket_counts[index] += 1
+        return index
+
+    def _note_exemplar(self, index: int, value: float, trace_id: str) -> None:
+        current = self._exemplars.get(index)
+        seen = self._bucket_counts[index]
+        if (
+            current is None
+            or value >= current[0]
+            or seen - current[2] >= EXEMPLAR_TTL_OBSERVATIONS
+        ):
+            self._exemplars[index] = (value, trace_id, seen)
+
+    def exemplars(self) -> dict[int, tuple[float, str]]:
+        """Per-bucket ``{index: (value, trace_id)}`` worst-recent map."""
+        return {i: (v, tid) for i, (v, tid, _) in self._exemplars.items()}
 
     def extend(self, values: Iterable[float]) -> None:
         """Record many observations, in order."""
@@ -226,11 +258,20 @@ class Histogram:
         if self.buckets is not None:
             payload["buckets"] = list(self.buckets)
             payload["bucket_counts"] = list(self._bucket_counts)
+            if self._exemplars:
+                # Emitted only when present: exemplar-free payloads stay
+                # byte-identical to the pre-exemplar format.  Keys are
+                # strings (bucket index) to survive JSON round-trips.
+                payload["exemplars"] = {
+                    str(i): {"value": v, "trace_id": tid}
+                    for i, (v, tid, _) in sorted(self._exemplars.items())
+                }
         return payload
 
     def merge_payload(self, payload: Mapping) -> None:
         """Absorb one snapshot payload: samples append in order, bucket
-        counts add (integers — exact, chunking-independent)."""
+        counts add (integers — exact, chunking-independent), exemplars
+        keep the worse (higher-valued) observation per bucket."""
         counts = payload.get("bucket_counts")
         if counts is not None and self._bucket_counts is not None:
             if len(counts) != len(self._bucket_counts):
@@ -242,6 +283,14 @@ class Histogram:
                 self._samples.append(float(sample))
             for i, count in enumerate(counts):
                 self._bucket_counts[i] += int(count)
+            for key, incoming in (payload.get("exemplars") or {}).items():
+                index = int(key)
+                value = float(incoming["value"])
+                current = self._exemplars.get(index)
+                if current is None or value >= current[0]:
+                    self._exemplars[index] = (
+                        value, incoming["trace_id"], self._bucket_counts[index]
+                    )
         else:
             # No incoming bucket counts: route through observe() so a
             # bucketed destination still counts the merged samples.
@@ -348,6 +397,17 @@ class MetricsRegistry:
                         entry[f"p{q}"] = ordered[rank - 1]
                     else:
                         entry[f"p{q}"] = math.nan
+                exemplars = payload.get("exemplars")
+                if exemplars:
+                    bounds = payload.get("buckets") or ()
+                    entry["exemplars"] = {
+                        (
+                            f"{bounds[int(i)]:g}"
+                            if int(i) < len(bounds)
+                            else "+Inf"
+                        ): dict(cell)
+                        for i, cell in exemplars.items()
+                    }
                 out[name] = entry
             else:
                 out[name] = payload["value"]

@@ -17,6 +17,7 @@ Thread-safe; all operations are O(expired events) amortized.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -38,7 +39,10 @@ class SlidingWindowRate:
         rate can exceed anything the window bound alone would keep;
         the deque cap keeps memory O(1) at the cost of *underestimating*
         the rate once saturated — acceptable for a gauge whose job is
-        "roughly how hot is the service".
+        "roughly how hot is the service", as long as the saturation is
+        *visible*: :meth:`saturated` reports whether any still-in-window
+        event has been evicted by the cap recently, so dashboards can
+        flag the reading as a floor rather than a measurement.
     """
 
     def __init__(
@@ -49,16 +53,43 @@ class SlidingWindowRate:
     ):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.window = float(window)
-        self._events: deque[float] = deque(maxlen=int(max_events))
+        self.max_events = int(max_events)
+        self._events: deque[float] = deque(maxlen=self.max_events)
+        #: Monotonic deadline until which the window counts as saturated
+        #: (set whenever an event that was still inside the window gets
+        #: evicted by the ``max_events`` cap).
+        self._saturated_until = -math.inf
         self._lock = threading.Lock()
 
     def record(self, now: float | None = None) -> None:
         """Record one event at ``now`` (``time.monotonic()`` default)."""
         stamp = time.monotonic() if now is None else now
         with self._lock:
-            self._events.append(stamp)
+            events = self._events
+            if (
+                len(events) == self.max_events
+                and events[0] >= stamp - self.window
+            ):
+                # The append below evicts an event that is still inside
+                # the window: every count until that event would have
+                # aged out naturally is an underestimate.
+                self._saturated_until = events[0] + self.window
+            events.append(stamp)
             self._expire(stamp)
+
+    def saturated(self, now: float | None = None) -> bool:
+        """True while counts may undercount due to the ``max_events`` cap.
+
+        Stays set until the most recently evicted in-window event would
+        have expired on its own, then clears — mirroring how long the
+        underestimate can persist.
+        """
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            return stamp < self._saturated_until
 
     def count(self, now: float | None = None) -> int:
         """Events inside the trailing window."""

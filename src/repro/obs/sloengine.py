@@ -1,0 +1,407 @@
+"""Declarative SLOs: burn-rate health states and error-budget accounting.
+
+The service's ``/healthz`` historically answered "alive?"; this module
+makes it answer "healthy?".  An operator declares a service-level
+objective as *availability target + latency threshold* — ``99.9:0.25s``
+reads "99.9% of requests succeed within 250 ms" — and :class:`SLOEngine`
+classifies every request as good or bad against it, then evaluates the
+resulting bad-fraction through the SRE multi-window burn-rate method:
+
+* **burn rate** = observed bad fraction / error budget, where the error
+  budget is ``1 - target`` (0.1% for a 99.9 objective).  Burn 1.0 means
+  "consuming budget exactly as fast as the SLO permits"; burn 14.4 over
+  an hour is the canonical "page someone" threshold (it exhausts a
+  30-day budget in ~2 days).
+* **two windows** must agree before the state degrades: the slow window
+  (1 h default) resists flapping on brief blips, the fast window (5 m
+  default) makes *recovery* prompt — once the incident ends the fast
+  window drains first and the state returns to ``ok`` without waiting an
+  hour.  Both windows ride on
+  :class:`repro.obs.slo.SlidingWindowRate`, including its honest
+  ``saturated`` flag.
+* **states**: ``ok`` → ``degraded`` (both windows at/above burn 1.0:
+  budget is being consumed faster than sustainable) → ``critical``
+  (both at/above 14.4: budget will be gone within days).  A minimum
+  event count on the fast window keeps a single failed request on an
+  idle service from paging anyone.
+
+Alongside the windowed state the engine keeps lifetime totals — good,
+bad, and the fraction of error budget consumed — which the loadgen
+report surfaces as its error-budget section and the coordinator merges
+fleet-wide (counts are summable; ratios are recomputed from the sums).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.obs.slo import SlidingWindowRate
+
+#: Default burn-rate windows (seconds): SRE-style fast 5 m / slow 1 h.
+DEFAULT_FAST_WINDOW_S = 300.0
+DEFAULT_SLOW_WINDOW_S = 3600.0
+#: Burn thresholds: 1.0 = budget consumed at exactly the sustainable
+#: rate; 14.4 = a 30-day budget gone in ~2 days (classic paging burn).
+DEFAULT_DEGRADED_BURN = 1.0
+DEFAULT_CRITICAL_BURN = 14.4
+#: Fast-window observations required before leaving ``ok`` — a lone
+#: failure on an idle service is not an incident.
+DEFAULT_MIN_EVENTS = 10
+
+#: Health states in severity order; gauge encoding is the list index.
+STATES = ("ok", "degraded", "critical")
+STATE_SEVERITY = {state: index for index, state in enumerate(STATES)}
+
+#: Request outcomes that count as *good* for availability (latency is
+#: judged separately against the spec's threshold).
+GOOD_OUTCOMES = frozenset({"ok", "cache_hit", "coalesced"})
+
+#: Gauge names published by :meth:`SLOEngine.publish` whose values are
+#: event *counts* — summable across workers.  The remaining
+#: ``service.slo.*`` gauges are ratios/encodings and must be recomputed
+#: from the summed counts (see :func:`merge_slo_gauges`).
+COUNT_GAUGES = (
+    "service.slo.fast_total",
+    "service.slo.fast_bad",
+    "service.slo.slow_total",
+    "service.slo.slow_bad",
+    "service.slo.good_total",
+    "service.slo.bad_total",
+)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective: availability target + latency bound.
+
+    ``target`` is the good-request fraction in (0, 1); ``threshold_s``
+    is the latency bound a request must meet to count as good.
+    """
+
+    target: float
+    threshold_s: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"SLO target must be a fraction in (0, 1), got {self.target}"
+            )
+        if self.threshold_s <= 0:
+            raise ValueError(
+                f"SLO latency threshold must be positive, got {self.threshold_s}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        """Tolerated bad fraction: ``1 - target``."""
+        return 1.0 - self.target
+
+    @classmethod
+    def parse(cls, text: str) -> "SLOSpec":
+        """Parse ``"99.9:0.25s"`` (percent availability : latency).
+
+        The latency part accepts an ``s`` or ``ms`` suffix (bare numbers
+        mean seconds): ``99.9:250ms`` == ``99.9:0.25s`` == ``99.9:0.25``.
+        """
+        head, sep, tail = text.strip().partition(":")
+        if not sep or not head or not tail:
+            raise ValueError(
+                f"SLO spec must look like '99.9:0.25s', got {text!r}"
+            )
+        try:
+            percent = float(head)
+        except ValueError:
+            raise ValueError(f"bad availability percent in SLO spec {text!r}")
+        tail = tail.strip()
+        scale = 1.0
+        if tail.endswith("ms"):
+            tail, scale = tail[:-2], 1e-3
+        elif tail.endswith("s"):
+            tail = tail[:-1]
+        try:
+            threshold = float(tail) * scale
+        except ValueError:
+            raise ValueError(f"bad latency threshold in SLO spec {text!r}")
+        if not 0.0 < percent < 100.0:
+            raise ValueError(
+                f"availability percent must be in (0, 100), got {percent}"
+            )
+        return cls(target=percent / 100.0, threshold_s=threshold)
+
+    def describe(self) -> str:
+        """Canonical round-trippable rendering, e.g. ``'99.9:0.25s'``."""
+        return f"{self.target * 100.0:g}:{self.threshold_s:g}s"
+
+
+class _BurnWindow:
+    """Total/bad event counts over one trailing window."""
+
+    def __init__(self, seconds: float, *, max_events: int):
+        self.seconds = float(seconds)
+        self.total = SlidingWindowRate(seconds, max_events=max_events)
+        self.bad = SlidingWindowRate(seconds, max_events=max_events)
+
+    def record(self, *, good: bool, now: float) -> None:
+        self.total.record(now)
+        if not good:
+            self.bad.record(now)
+
+    def snapshot(self, now: float) -> dict:
+        total = self.total.count(now)
+        bad = self.bad.count(now)
+        return {
+            "seconds": self.seconds,
+            "total": total,
+            "bad": bad,
+            "bad_fraction": (bad / total) if total else 0.0,
+            "saturated": self.total.saturated(now) or self.bad.saturated(now),
+        }
+
+
+class SLOEngine:
+    """Classifies requests against an :class:`SLOSpec` and evaluates
+    multi-window burn rates into an ``ok``/``degraded``/``critical``
+    health state plus lifetime error-budget totals.
+
+    Thread-safe.  ``fast_window_s`` must be shorter than
+    ``slow_window_s`` (the asymmetry is what makes recovery faster than
+    escalation).
+    """
+
+    def __init__(
+        self,
+        spec: SLOSpec,
+        *,
+        fast_window_s: float = DEFAULT_FAST_WINDOW_S,
+        slow_window_s: float = DEFAULT_SLOW_WINDOW_S,
+        degraded_burn: float = DEFAULT_DEGRADED_BURN,
+        critical_burn: float = DEFAULT_CRITICAL_BURN,
+        min_events: int = DEFAULT_MIN_EVENTS,
+        max_events: int = 4096,
+    ):
+        if fast_window_s >= slow_window_s:
+            raise ValueError(
+                f"fast window ({fast_window_s}s) must be shorter than the "
+                f"slow window ({slow_window_s}s)"
+            )
+        if degraded_burn > critical_burn:
+            raise ValueError(
+                f"degraded burn ({degraded_burn}) must not exceed critical "
+                f"burn ({critical_burn})"
+            )
+        self.spec = spec
+        self.degraded_burn = float(degraded_burn)
+        self.critical_burn = float(critical_burn)
+        self.min_events = int(min_events)
+        self.fast = _BurnWindow(fast_window_s, max_events=max_events)
+        self.slow = _BurnWindow(slow_window_s, max_events=max_events)
+        self._good_total = 0
+        self._bad_total = 0
+        self._lock = threading.Lock()
+
+    # -------------------------------------------------------------- recording
+
+    def classify(self, *, outcome: str, elapsed_s: float) -> bool:
+        """Whether one request is *good* under the spec."""
+        return outcome in GOOD_OUTCOMES and elapsed_s <= self.spec.threshold_s
+
+    def record(self, *, good: bool, now: float | None = None) -> None:
+        """Account one classified request."""
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            if good:
+                self._good_total += 1
+            else:
+                self._bad_total += 1
+        self.fast.record(good=good, now=stamp)
+        self.slow.record(good=good, now=stamp)
+
+    # ------------------------------------------------------------- evaluation
+
+    def evaluate(self, now: float | None = None) -> dict:
+        """The full SLO view: spec, per-window burns, state, budget.
+
+        This is the ``slo`` section of the worker's ``/healthz`` payload;
+        :func:`merge_slo` reduces a list of them into the fleet view.
+        """
+        stamp = time.monotonic() if now is None else now
+        fast = self.fast.snapshot(stamp)
+        slow = self.slow.snapshot(stamp)
+        budget = self.spec.error_budget
+        for window in (fast, slow):
+            window["burn_rate"] = round(window.pop("bad_fraction") / budget, 4)
+        state = _classify_state(
+            fast_burn=fast["burn_rate"],
+            slow_burn=slow["burn_rate"],
+            fast_total=fast["total"],
+            degraded_burn=self.degraded_burn,
+            critical_burn=self.critical_burn,
+            min_events=self.min_events,
+        )
+        with self._lock:
+            good_total, bad_total = self._good_total, self._bad_total
+        lifetime = good_total + bad_total
+        bad_fraction = (bad_total / lifetime) if lifetime else 0.0
+        return {
+            "spec": self.spec.describe(),
+            "target": self.spec.target,
+            "threshold_s": self.spec.threshold_s,
+            "error_budget": budget,
+            "state": state,
+            "thresholds": {
+                "degraded_burn": self.degraded_burn,
+                "critical_burn": self.critical_burn,
+                "min_events": self.min_events,
+            },
+            "windows": {"fast": fast, "slow": slow},
+            "budget": {
+                "good": good_total,
+                "bad": bad_total,
+                "total": lifetime,
+                "bad_fraction": round(bad_fraction, 6),
+                "consumed": round(bad_fraction / budget, 6),
+            },
+        }
+
+    def state(self, now: float | None = None) -> str:
+        """Just the health state string."""
+        return self.evaluate(now)["state"]
+
+    def publish(self, registry, now: float | None = None) -> dict:
+        """Mirror the evaluation into ``service.slo.*`` gauges.
+
+        Counts and ratios are published separately so the coordinator
+        can sum the former and recompute the latter (summing burn rates
+        across shards would be meaningless).  Returns the evaluation.
+        """
+        view = self.evaluate(now)
+        fast, slow = view["windows"]["fast"], view["windows"]["slow"]
+        gauge = registry.gauge
+        gauge("service.slo.state").set(float(STATE_SEVERITY[view["state"]]))
+        gauge("service.slo.error_budget").set(view["error_budget"])
+        gauge("service.slo.fast_burn_rate").set(fast["burn_rate"])
+        gauge("service.slo.slow_burn_rate").set(slow["burn_rate"])
+        gauge("service.slo.fast_total").set(float(fast["total"]))
+        gauge("service.slo.fast_bad").set(float(fast["bad"]))
+        gauge("service.slo.slow_total").set(float(slow["total"]))
+        gauge("service.slo.slow_bad").set(float(slow["bad"]))
+        gauge("service.slo.good_total").set(float(view["budget"]["good"]))
+        gauge("service.slo.bad_total").set(float(view["budget"]["bad"]))
+        gauge("service.slo.budget_consumed").set(view["budget"]["consumed"])
+        return view
+
+
+def _classify_state(
+    *,
+    fast_burn: float,
+    slow_burn: float,
+    fast_total: int,
+    degraded_burn: float,
+    critical_burn: float,
+    min_events: int,
+) -> str:
+    if fast_total < min_events:
+        return "ok"
+    if fast_burn >= critical_burn and slow_burn >= critical_burn:
+        return "critical"
+    if fast_burn >= degraded_burn and slow_burn >= degraded_burn:
+        return "degraded"
+    return "ok"
+
+
+def merge_slo(sections: list[dict]) -> dict | None:
+    """Reduce per-worker ``/healthz`` ``slo`` sections into the fleet view.
+
+    Window and lifetime counts sum; burn rates and budget consumption are
+    recomputed from the sums (every worker shares the spec, so the first
+    section's spec/thresholds carry over).  Saturation is fleet-wide OR.
+    """
+    sections = [s for s in sections if s]
+    if not sections:
+        return None
+    first = sections[0]
+    budget = float(first["error_budget"])
+    thresholds = dict(first["thresholds"])
+    windows: dict[str, dict] = {}
+    for key in ("fast", "slow"):
+        total = sum(int(s["windows"][key]["total"]) for s in sections)
+        bad = sum(int(s["windows"][key]["bad"]) for s in sections)
+        windows[key] = {
+            "seconds": first["windows"][key]["seconds"],
+            "total": total,
+            "bad": bad,
+            "burn_rate": round((bad / total / budget) if total else 0.0, 4),
+            "saturated": any(s["windows"][key]["saturated"] for s in sections),
+        }
+    good = sum(int(s["budget"]["good"]) for s in sections)
+    bad = sum(int(s["budget"]["bad"]) for s in sections)
+    lifetime = good + bad
+    bad_fraction = (bad / lifetime) if lifetime else 0.0
+    state = _classify_state(
+        fast_burn=windows["fast"]["burn_rate"],
+        slow_burn=windows["slow"]["burn_rate"],
+        fast_total=windows["fast"]["total"],
+        degraded_burn=float(thresholds["degraded_burn"]),
+        critical_burn=float(thresholds["critical_burn"]),
+        min_events=int(thresholds["min_events"]),
+    )
+    return {
+        "spec": first["spec"],
+        "target": first["target"],
+        "threshold_s": first["threshold_s"],
+        "error_budget": budget,
+        "state": state,
+        "thresholds": thresholds,
+        "windows": windows,
+        "budget": {
+            "good": good,
+            "bad": bad,
+            "total": lifetime,
+            "bad_fraction": round(bad_fraction, 6),
+            "consumed": round(bad_fraction / budget, 6),
+        },
+        "workers": len(sections),
+    }
+
+
+def merge_slo_gauges(worker_gauges: list[dict]) -> dict[str, float]:
+    """Fleet reduction of per-worker ``service.slo.*`` gauge values.
+
+    Used by the coordinator's merged ``/metrics.json``: plain summing is
+    correct only for the count gauges; ratios and the state encoding are
+    recomputed (burns from summed counts, state as the max severity any
+    worker reports — the full threshold evaluation lives in ``/healthz``).
+    """
+    present = [g for g in worker_gauges if g]
+    if not present:
+        return {}
+    out: dict[str, float] = {}
+    for name in COUNT_GAUGES:
+        values = [g[name] for g in present if name in g]
+        if values:
+            out[name] = float(sum(values))
+    budgets = [g["service.slo.error_budget"] for g in present
+               if "service.slo.error_budget" in g]
+    if budgets:
+        budget = float(budgets[0])
+        out["service.slo.error_budget"] = budget
+        for scope in ("fast", "slow"):
+            total = out.get(f"service.slo.{scope}_total", 0.0)
+            bad = out.get(f"service.slo.{scope}_bad", 0.0)
+            out[f"service.slo.{scope}_burn_rate"] = round(
+                (bad / total / budget) if total else 0.0, 4
+            )
+        lifetime = out.get("service.slo.good_total", 0.0) + out.get(
+            "service.slo.bad_total", 0.0
+        )
+        bad_fraction = (
+            out.get("service.slo.bad_total", 0.0) / lifetime if lifetime else 0.0
+        )
+        out["service.slo.budget_consumed"] = round(bad_fraction / budget, 6)
+    states = [g["service.slo.state"] for g in present
+              if "service.slo.state" in g]
+    if states:
+        out["service.slo.state"] = float(max(states))
+    return out

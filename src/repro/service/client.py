@@ -225,6 +225,17 @@ class ServiceClient:
         """``GET /healthz``."""
         return self._call("GET", "/healthz")
 
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """``GET /v1/trace/<id>`` — the flight-recorded span set of one
+        trace (stitched fleet-wide when pointed at a coordinator).
+        Raises :class:`ServiceError` with status 404 when no longer (or
+        never) retained."""
+        return self._call("GET", f"/v1/trace/{trace_id}")
+
+    def debug_recent(self) -> dict[str, Any]:
+        """``GET /v1/debug/recent`` — recent/slowest completed traces."""
+        return self._call("GET", "/v1/debug/recent")
+
     def metrics(self) -> dict[str, Any]:
         """``GET /metrics.json`` (the server's metrics-registry summary)."""
         return self._call("GET", "/metrics.json")

@@ -68,10 +68,18 @@ from http.server import BaseHTTPRequestHandler
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.obs.flightrec import stitch_spans
 from repro.obs.logconf import ensure_configured, get_logger
 from repro.obs.metrics import METRICS
 from repro.obs.promexport import PROMETHEUS_CONTENT_TYPE, prometheus_text
-from repro.obs.spans import TRACEPARENT_HEADER, parse_traceparent, span
+from repro.obs.sloengine import merge_slo, merge_slo_gauges
+from repro.obs.spans import (
+    TRACEPARENT_HEADER,
+    parse_traceparent,
+    span,
+    span_from_dict,
+    span_to_dict,
+)
 from repro.service.api import (
     BUILDERS,
     BatchItemError,
@@ -159,6 +167,9 @@ class ClusterService:
         batch_solve: bool | None = None,
         spans_dir: str | Path | None = None,
         request_delay_s: float = 0.0,
+        slo: str | None = None,
+        slo_fast_window_s: float | None = None,
+        slo_slow_window_s: float | None = None,
         retry_attempts: int = 3,
         probe_interval_s: float = 1.0,
         forward_timeout_s: float = FORWARD_TIMEOUT_S,
@@ -185,6 +196,9 @@ class ClusterService:
                 batch_solve=batch_solve,
                 spans_dir=spans_dir,
                 request_delay_s=request_delay_s,
+                slo=slo,
+                slo_fast_window_s=slo_fast_window_s,
+                slo_slow_window_s=slo_slow_window_s,
             ),
             probe_interval_s=probe_interval_s,
         )
@@ -210,6 +224,9 @@ class ClusterService:
         batch_solve: bool | None,
         spans_dir: str | Path | None,
         request_delay_s: float,
+        slo: str | None,
+        slo_fast_window_s: float | None,
+        slo_slow_window_s: float | None,
     ) -> list[str]:
         args = ["--queue-max", str(queue_max), "--batch-max", str(batch_max)]
         if jobs is not None:
@@ -226,6 +243,12 @@ class ClusterService:
             args += ["--spans-dir", str(spans_dir)]
         if request_delay_s > 0.0:
             args += ["--request-delay", str(request_delay_s)]
+        if slo is not None:
+            args += ["--slo", str(slo)]
+            if slo_fast_window_s is not None:
+                args += ["--slo-fast-window", str(slo_fast_window_s)]
+            if slo_slow_window_s is not None:
+                args += ["--slo-slow-window", str(slo_slow_window_s)]
         return args
 
     # ------------------------------------------------------------ lifecycle
@@ -349,15 +372,96 @@ class ClusterService:
 
     # --------------------------------------------------------- introspection
 
+    def _fan_out_get(self, path: str) -> list[tuple[int, Any]]:
+        """Concurrent GET to every live worker; best-effort per shard.
+
+        Returns ``(shard, parsed_json | None)`` pairs in shard order —
+        a dead, mid-restart, or non-200 shard contributes ``None``.
+        Plain urllib (not :class:`ServiceClient`) so fleet introspection
+        never emits ``client.request`` spans of its own.
+        """
+
+        def fetch(handle) -> Any:
+            if not handle.alive:
+                return None
+            try:
+                with urllib.request.urlopen(
+                    f"{handle.url}{path}", timeout=5.0
+                ) as resp:
+                    return json.loads(resp.read())
+            except Exception:  # noqa: BLE001 - introspection is best-effort
+                return None
+
+        futures = [
+            (handle.shard, self._pool.submit(fetch, handle))
+            for handle in self.supervisor.workers
+        ]
+        return [(shard, future.result()) for shard, future in futures]
+
+    def trace_payload(self, trace_id: str) -> dict | None:
+        """``GET /v1/trace/<id>``: gather fragments fleet-wide, stitch.
+
+        Every worker that retains spans of ``trace_id`` contributes its
+        fragment; :func:`~repro.obs.flightrec.stitch_spans` imposes the
+        canonical order, making the stitched result bit-identical to an
+        offline merge of the per-shard JSONL files (the equivalence
+        matrix asserts exactly that, via ``span_tree_signature``).
+        """
+        fragments = []
+        shards = []
+        for shard, payload in self._fan_out_get(f"/v1/trace/{trace_id}"):
+            if not payload:
+                continue
+            spans = [span_from_dict(d) for d in payload.get("spans", ())]
+            if spans:
+                shards.append(shard)
+                fragments.extend(spans)
+        if not fragments:
+            return None
+        ordered = stitch_spans(fragments)
+        return {
+            "trace_id": trace_id,
+            "span_count": len(ordered),
+            "shards": shards,
+            "spans": [span_to_dict(record) for record in ordered],
+        }
+
+    def recent_payload(self, *, limit: int = 20) -> dict:
+        """``GET /v1/debug/recent``: the fleet's recent/slowest traces."""
+        recent: list[dict] = []
+        slowest: list[dict] = []
+        recording = False
+        for shard, payload in self._fan_out_get("/v1/debug/recent"):
+            if not payload:
+                continue
+            recording = recording or bool(payload.get("recording"))
+            for target, key in ((recent, "recent"), (slowest, "slowest")):
+                for item in payload.get(key, ()):
+                    item = dict(item)
+                    item["shard"] = shard
+                    target.append(item)
+        recent.sort(key=lambda i: i.get("end_unix", 0.0), reverse=True)
+        slowest.sort(key=lambda i: i.get("duration_s", 0.0), reverse=True)
+        return {
+            "role": "coordinator",
+            "recording": recording,
+            "recent": recent[:limit],
+            "slowest": slowest[:limit],
+        }
+
     def healthz(self) -> dict:
         """Coordinator liveness: topology, shard map, per-worker health.
 
         The same probe the supervisor uses against each worker is folded
         in (bounded by a short timeout), so operators see queue pressure
-        across the fleet from one endpoint.
+        across the fleet from one endpoint.  Workers running with an SLO
+        report their ``slo`` sections, which merge into a fleet-wide
+        burn-rate state (window counts summed, burns recomputed) that
+        becomes the coordinator's own status.
         """
         workers = []
         total_depth = 0
+        slo_sections: list[dict] = []
         for entry in self.supervisor.liveness():
             if entry["alive"]:
                 try:
@@ -366,13 +470,19 @@ class ClusterService:
                     entry["queue_depth"] = probe.get("queue_depth", 0)
                     entry["uptime_s"] = probe.get("uptime_s")
                     total_depth += int(entry["queue_depth"] or 0)
+                    if probe.get("slo"):
+                        slo_sections.append(probe["slo"])
                 except Exception:  # noqa: BLE001 - probe is best-effort
                     entry["status"] = "unreachable"
             else:
                 entry["status"] = "restarting"
             workers.append(entry)
-        return {
-            "status": "draining" if self._closed else "ok",
+        status = "draining" if self._closed else "ok"
+        fleet_slo = merge_slo(slo_sections)
+        if fleet_slo is not None and status == "ok":
+            status = fleet_slo["state"]
+        payload = {
+            "status": status,
             "role": "coordinator",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "queue_depth": total_depth,
@@ -383,6 +493,9 @@ class ClusterService:
             },
             "workers": workers,
         }
+        if fleet_slo is not None:
+            payload["slo"] = fleet_slo
+        return payload
 
     def merged_metrics(self) -> dict[str, Any]:
         """Fleet-wide metrics view for ``GET /metrics.json``.
@@ -397,6 +510,7 @@ class ClusterService:
         same way.
         """
         merged: dict[str, Any] = {}
+        slo_gauges: list[dict[str, float]] = []
         for handle in self.supervisor.workers:
             if not handle.alive:
                 continue
@@ -404,14 +518,23 @@ class ClusterService:
                 summary = ServiceClient(handle.url, timeout=5.0).metrics()
             except Exception:  # noqa: BLE001 - a mid-restart shard is fine
                 continue
+            worker_slo: dict[str, float] = {}
             for name, value in summary.get("metrics", {}).items():
                 if isinstance(value, Mapping):
                     merged[name] = _merge_histogram(merged.get(name), value)
                 elif isinstance(value, (int, float)):
+                    if name.startswith("service.slo."):
+                        # Burn rates and the state encoding don't sum;
+                        # reduced properly below from the raw counts.
+                        worker_slo[name] = float(value)
+                        continue
                     base = merged.get(name, 0.0)
                     if not isinstance(base, (int, float)):
                         base = 0.0
                     merged[name] = float(base) + float(value)
+            if worker_slo:
+                slo_gauges.append(worker_slo)
+        merged.update(merge_slo_gauges(slo_gauges))
         # Overlay only the coordinator's own series: anything else in
         # this process's registry (e.g. service.* counters from an
         # in-process ReproService in the same interpreter) would clobber
@@ -442,6 +565,17 @@ def _merge_histogram(
         a, b = base.get(field, math.nan), update.get(field, math.nan)
         finite = [v for v in (a, b) if isinstance(v, (int, float)) and not math.isnan(v)]
         out[field] = max(finite) if finite else math.nan
+    incoming = update.get("exemplars")
+    if incoming:
+        # Fleet exemplar per bucket: whichever shard saw the worse one.
+        combined = dict(base.get("exemplars") or {})
+        for bound, cell in incoming.items():
+            current = combined.get(bound)
+            if current is None or cell.get("value", 0.0) >= current.get(
+                "value", 0.0
+            ):
+                combined[bound] = dict(cell)
+        out["exemplars"] = combined
     return out
 
 
@@ -519,6 +653,17 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
                     prometheus_text(registry=METRICS).encode("utf-8"),
                     content_type=PROMETHEUS_CONTENT_TYPE,
                 )
+            elif self.path.startswith("/v1/trace/"):
+                trace_id = self.path[len("/v1/trace/"):]
+                payload = self.service.trace_payload(trace_id)
+                if payload is None:
+                    self._error(
+                        404, f"no shard retains trace {trace_id!r}"
+                    )
+                else:
+                    self._respond_json(200, payload)
+            elif self.path == "/v1/debug/recent":
+                self._respond_json(200, self.service.recent_payload())
             elif self.path in ("/v1/solve", "/v1/simulate", "/v1/solve_batch"):
                 self._error(405, f"use POST for {self.path}")
             else:

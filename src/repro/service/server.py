@@ -47,11 +47,21 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.core.memo import SOLVER_CACHE, publish_cache_metrics
+from repro.obs.flightrec import FlightRecorder, stitch_spans
 from repro.obs.logconf import ensure_configured, get_logger
 from repro.obs.metrics import LATENCY_BUCKETS, METRICS
 from repro.obs.promexport import PROMETHEUS_CONTENT_TYPE, prometheus_text
 from repro.obs.slo import SlidingWindowRate
-from repro.obs.spans import TRACEPARENT_HEADER, parse_traceparent, span
+from repro.obs.sloengine import SLOEngine, SLOSpec
+from repro.obs.spans import (
+    TRACEPARENT_HEADER,
+    current_context,
+    get_span_recorder,
+    parse_traceparent,
+    set_span_recorder,
+    span,
+    span_to_dict,
+)
 from repro.core.batch_solve import resolve_batch_solve
 from repro.service.api import (
     BUILDERS,
@@ -123,6 +133,22 @@ class ReproService:
         ``POST /v1/*`` request.  Only the crash-recovery tests (which
         need a worker provably *mid-request* when killed) and drain
         experiments set it; production paths leave it 0.
+    slo:
+        Declarative service-level objective: an ``"99.9:0.25s"`` spec
+        string (availability percent : latency threshold), an
+        :class:`~repro.obs.sloengine.SLOSpec`, or a fully configured
+        :class:`~repro.obs.sloengine.SLOEngine` (tests use the latter
+        to shrink the burn windows).  When set, every finished POST is
+        classified good/bad, ``service.slo.*`` gauges are published,
+        and ``/healthz`` reports ``ok``/``degraded``/``critical`` from
+        the multi-window burn rate.  ``None`` (default) keeps the
+        plain liveness healthz.
+    slo_fast_window_s / slo_slow_window_s:
+        Burn-rate window lengths when ``slo`` is a spec (ignored when
+        an engine instance is passed).
+    flight_capacity / flight_keep_slowest:
+        Sizing of the in-memory flight recorder behind
+        ``GET /v1/trace/<id>`` (active only while span recording is).
     """
 
     def __init__(
@@ -139,6 +165,11 @@ class ReproService:
         batch_solve: bool | None = None,
         shard_id: int | None = None,
         request_delay_s: float = 0.0,
+        slo: str | SLOSpec | SLOEngine | None = None,
+        slo_fast_window_s: float | None = None,
+        slo_slow_window_s: float | None = None,
+        flight_capacity: int = 256,
+        flight_keep_slowest: int = 32,
     ):
         # The repro logger tree drops records without a handler
         # (propagate=False); make sure handler/scheduler threads log even
@@ -180,6 +211,22 @@ class ReproService:
         # these answer "how hot right now").
         self._requests_window = SlidingWindowRate()
         self._sheds_window = SlidingWindowRate()
+        self.slo_engine = _resolve_slo_engine(
+            slo, fast_window_s=slo_fast_window_s, slow_window_s=slo_slow_window_s
+        )
+        # Flight recorder: wrap the installed span recorder so completed
+        # request traces stay queryable in memory (GET /v1/trace/<id>).
+        # The JSONL sink keeps receiving every span through the wrapped
+        # recorder; with recording off the wrapper never sees a span.
+        self.flight = FlightRecorder(
+            get_span_recorder(),
+            capacity=flight_capacity,
+            keep_slowest=flight_keep_slowest,
+        )
+        self._flight_installed = False
+        if self.flight.active:
+            set_span_recorder(self.flight)
+            self._flight_installed = True
 
     # ------------------------------------------------------------ runtime
 
@@ -229,6 +276,13 @@ class ReproService:
         if self._thread is not None:
             self._thread.join()
         self.scheduler.close(drain=drain)
+        if self._flight_installed:
+            # Restore the wrapped recorder — but only if our wrapper is
+            # still the installed one (a later service or a `recording()`
+            # scope may have layered on top; leave their stack alone).
+            if get_span_recorder() is self.flight:
+                set_span_recorder(self.flight.inner)
+            self._flight_installed = False
         if self.store is not None:
             SOLVER_CACHE.detach_store(self.store)
             self.store.close()
@@ -241,16 +295,19 @@ class ReproService:
 
     # -------------------------------------------------------- introspection
 
-    def observe_window(self, *, shed: bool) -> None:
+    def observe_window(self, *, outcome: str, elapsed: float) -> None:
         """Record one finished POST in the sliding SLO windows.
 
         Updates ``service.window_rps`` (requests/s over the trailing
-        window) and ``service.window_shed_rate`` (shed fraction of the
-        same window's requests) so ``GET /metrics.json`` carries a live
-        load view alongside the lifetime series.
+        window), ``service.window_shed_rate`` (shed fraction of the same
+        window's requests), and ``service.window_saturated`` (1 when the
+        window's event cap is dropping in-window events, i.e. the rate
+        gauges are floors, not measurements).  With an SLO configured,
+        also classifies the request against the spec and republishes the
+        ``service.slo.*`` gauges.
         """
         self._requests_window.record()
-        if shed:
+        if outcome == "shed":
             self._sheds_window.record()
         total = self._requests_window.count()
         METRICS.gauge("service.window_rps").set(
@@ -259,18 +316,68 @@ class ReproService:
         METRICS.gauge("service.window_shed_rate").set(
             round(self._sheds_window.count() / total, 4) if total else 0.0
         )
+        METRICS.gauge("service.window_saturated").set(
+            1.0 if self._requests_window.saturated() else 0.0
+        )
+        if self.slo_engine is not None:
+            self.slo_engine.record(
+                good=self.slo_engine.classify(outcome=outcome, elapsed_s=elapsed)
+            )
+            self.slo_engine.publish(METRICS)
+
+    def trace_payload(self, trace_id: str) -> dict | None:
+        """``GET /v1/trace/<id>`` body, or ``None`` when unknown.
+
+        Spans come back in :func:`~repro.obs.flightrec.stitch_spans`
+        order — the same canonical order the coordinator's fan-out and
+        the offline file stitch produce, so all three views of one trace
+        are bit-identical.
+        """
+        spans = self.flight.get(trace_id) if self.flight.active else None
+        if not spans:
+            return None
+        ordered = stitch_spans(spans)
+        payload: dict = {
+            "trace_id": trace_id,
+            "span_count": len(ordered),
+            "spans": [span_to_dict(record) for record in ordered],
+        }
+        if self.shard_id is not None:
+            payload["shards"] = [self.shard_id]
+        return payload
+
+    def recent_payload(self, *, limit: int = 20) -> dict:
+        """``GET /v1/debug/recent`` body: what just happened here."""
+        payload: dict = {
+            "recording": self.flight.active,
+            "flight": self.flight.stats(),
+            "recent": self.flight.recent(limit),
+            "slowest": self.flight.slowest(limit),
+        }
+        if self.shard_id is not None:
+            payload["shard"] = self.shard_id
+        return payload
 
     def healthz(self) -> dict:
-        """Liveness payload served on ``GET /healthz``.
+        """Liveness + health payload served on ``GET /healthz``.
 
         One probe for everyone: the cluster supervisor's health checks,
         external load balancers, and operators all read the same body —
         liveness, queue pressure, uptime, and (for a cluster worker)
-        which shard this process is.
+        which shard this process is.  With an SLO configured the status
+        escalates from plain liveness to burn-rate health:
+        ``ok``/``degraded``/``critical`` plus a full ``slo`` section
+        (``draining`` still wins during shutdown).
         """
         stats = SOLVER_CACHE.stats()
+        status = "draining" if self._closed else "ok"
+        slo_view = None
+        if self.slo_engine is not None:
+            slo_view = self.slo_engine.evaluate()
+            if status == "ok":
+                status = slo_view["state"]
         payload: dict = {
-            "status": "draining" if self._closed else "ok",
+            "status": status,
             "role": "single" if self.shard_id is None else "worker",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "queue_depth": self.scheduler.queue_depth(),
@@ -289,9 +396,34 @@ class ReproService:
                 "version": self.store.version if self.store is not None else None,
             },
         }
+        if slo_view is not None:
+            payload["slo"] = slo_view
         if self.shard_id is not None:
             payload["shard"] = self.shard_id
         return payload
+
+
+def _resolve_slo_engine(
+    slo: str | SLOSpec | SLOEngine | None,
+    *,
+    fast_window_s: float | None,
+    slow_window_s: float | None,
+) -> SLOEngine | None:
+    if slo is None or isinstance(slo, SLOEngine):
+        return slo
+    spec = SLOSpec.parse(slo) if isinstance(slo, str) else slo
+    kwargs: dict = {}
+    if fast_window_s is not None:
+        kwargs["fast_window_s"] = float(fast_window_s)
+    if slow_window_s is not None:
+        kwargs["slow_window_s"] = float(slow_window_s)
+    return SLOEngine(spec, **kwargs)
+
+
+def _current_trace_id() -> str | None:
+    """Trace id of the live ``server.request`` span (None when off)."""
+    context = current_context()
+    return context.trace_id if context is not None else None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -370,6 +502,21 @@ class _Handler(BaseHTTPRequestHandler):
             elif self.path == "/metrics.json":
                 publish_cache_metrics()
                 self._respond_json(200, {"metrics": METRICS.summary()})
+            elif self.path.startswith("/v1/trace/"):
+                trace_id = self.path[len("/v1/trace/"):]
+                payload = self.service.trace_payload(trace_id)
+                if payload is None:
+                    detail = (
+                        "" if self.service.flight.active
+                        else " (span recording is off)"
+                    )
+                    self._error(
+                        404, f"no retained trace {trace_id!r}{detail}"
+                    )
+                else:
+                    self._respond_json(200, payload)
+            elif self.path == "/v1/debug/recent":
+                self._respond_json(200, self.service.recent_payload())
             elif self.path in ("/v1/solve", "/v1/simulate", "/v1/solve_batch"):
                 self._error(405, f"use POST for {self.path}")
             else:
@@ -474,16 +621,19 @@ class _Handler(BaseHTTPRequestHandler):
             # GET /metrics, p50/p95/p99 on /metrics.json.  The aggregate
             # per-endpoint series is what dashboards alert on; the
             # per-outcome split shows *why* the latency is what it is
-            # (cache hits are µs, fresh executions are ms–s).
+            # (cache hits are µs, fresh executions are ms–s).  The trace
+            # id rides along as the bucket's exemplar, linking a latency
+            # spike on /metrics.json to a fetchable /v1/trace/<id>.
+            exemplar = _current_trace_id()
             METRICS.histogram(
                 f"service.request_seconds.{endpoint}", buckets=LATENCY_BUCKETS
-            ).observe(elapsed)
+            ).observe(elapsed, exemplar=exemplar)
             METRICS.histogram(
                 f"service.request_seconds.{endpoint}.{outcome}",
                 buckets=LATENCY_BUCKETS,
-            ).observe(elapsed)
+            ).observe(elapsed, exemplar=exemplar)
             METRICS.counter(f"service.outcomes.{endpoint}.{outcome}").inc()
-            self.service.observe_window(shed=outcome == "shed")
+            self.service.observe_window(outcome=outcome, elapsed=elapsed)
         self._respond(200, canonical_json(payload))
 
     def _handle_solve_batch(self, body) -> None:
@@ -543,16 +693,17 @@ class _Handler(BaseHTTPRequestHandler):
                 outcome = "cache_hit"
         finally:
             elapsed = time.perf_counter() - start
+            exemplar = _current_trace_id()
             METRICS.histogram(
                 f"service.request_seconds.{endpoint}", buckets=LATENCY_BUCKETS
-            ).observe(elapsed)
+            ).observe(elapsed, exemplar=exemplar)
             METRICS.histogram(
                 f"service.request_seconds.{endpoint}.{outcome}",
                 buckets=LATENCY_BUCKETS,
-            ).observe(elapsed)
+            ).observe(elapsed, exemplar=exemplar)
             METRICS.counter(f"service.outcomes.{endpoint}.{outcome}").inc()
             METRICS.histogram("service.solve_batch_items").observe(
                 len(body.get("requests", [])) if isinstance(body, dict) else 0
             )
-            self.service.observe_window(shed=outcome == "shed")
+            self.service.observe_window(outcome=outcome, elapsed=elapsed)
         self._respond(200, canonical_json(solve_batch_payload(results)))

@@ -280,7 +280,7 @@ class WorkerSupervisor:
         client = ServiceClient(handle.url, timeout=self.probe_timeout_s)
         try:
             payload = client.healthz()
-            healthy = payload.get("status") in ("ok", "draining")
+            healthy = self._probe_healthy_status(payload.get("status"))
         except Exception:  # noqa: BLE001 - any probe failure counts
             healthy = False
         if healthy:
@@ -289,6 +289,16 @@ class WorkerSupervisor:
         handle.probe_failures += 1
         if handle.probe_failures >= self.unhealthy_threshold:
             self._maybe_restart(handle, reason="unresponsive")
+
+    @staticmethod
+    def _probe_healthy_status(status: object) -> bool:
+        """Whether a ``/healthz`` status means the worker is *alive*.
+
+        degraded/critical are SLO burn-rate states: the worker is alive
+        and answering — restarting it would dump its cache and make the
+        burn worse.  Only unreachable/unknown statuses count as failures.
+        """
+        return status in ("ok", "draining", "degraded", "critical")
 
     def restart_now(self, shard: int, *, failed_port: int | None = None) -> WorkerHandle:
         """Synchronously replace one worker (used by the scatter path).

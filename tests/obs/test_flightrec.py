@@ -1,0 +1,159 @@
+"""Flight-recorder retention policy and canonical span stitching."""
+
+import pytest
+
+from repro.obs.flightrec import FlightRecorder, stitch_spans
+from repro.obs.spans import NULL_SPAN_RECORDER, Span, SpanRecorder
+
+
+def _span(
+    trace: str,
+    name: str = "server.request",
+    *,
+    start: float = 0.0,
+    end: float = 1.0,
+    parent: str | None = None,
+    status: str = "ok",
+) -> Span:
+    return Span(
+        name=name,
+        trace_id=trace,
+        span_id=f"{trace}-{name}-{start}-{end}",
+        parent_id=parent,
+        start=start,
+        end=end,
+        status=status,
+    )
+
+
+def _complete(rec: FlightRecorder, trace: str, *, duration: float = 1.0):
+    """Emit one child + root pair, completing ``trace``."""
+    rec.emit(_span(trace, "scheduler.execute", start=0.1, end=duration - 0.1))
+    rec.emit(_span(trace, "server.request", start=0.0, end=duration))
+
+
+class TestRecorderProtocol:
+    def test_active_mirrors_inner(self, tmp_path):
+        assert not FlightRecorder(NULL_SPAN_RECORDER).active
+        live = SpanRecorder(tmp_path / "spans.jsonl")
+        assert FlightRecorder(live).active
+
+    def test_forwards_to_inner(self, tmp_path):
+        inner = SpanRecorder(tmp_path / "spans.jsonl")
+        rec = FlightRecorder(inner)
+        _complete(rec, "t1")
+        assert [s.trace_id for s in inner.spans] == ["t1", "t1"]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError, match="keep_slowest"):
+            FlightRecorder(capacity=4, keep_slowest=4)
+        with pytest.raises(ValueError, match="max_pending"):
+            FlightRecorder(max_pending=0)
+
+
+class TestRetention:
+    def test_get_returns_completed_spans(self):
+        rec = FlightRecorder()
+        _complete(rec, "t1")
+        spans = rec.get("t1")
+        assert {s.name for s in spans} == {"scheduler.execute", "server.request"}
+        assert rec.get("missing") is None
+
+    def test_pending_fragments_visible(self):
+        rec = FlightRecorder()
+        rec.emit(_span("t1", "client.request"))
+        assert [s.name for s in rec.get("t1")] == ["client.request"]
+        assert rec.stats()["pending"] == 1
+        assert len(rec) == 0
+
+    def test_ring_evicts_oldest_first(self):
+        rec = FlightRecorder(capacity=3, keep_slowest=0)
+        for i in range(5):
+            _complete(rec, f"t{i}")
+        assert rec.get("t0") is None
+        assert rec.get("t1") is None
+        assert [e["trace_id"] for e in rec.recent()] == ["t4", "t3", "t2"]
+
+    def test_wraparound_keeps_slowest(self):
+        rec = FlightRecorder(capacity=4, keep_slowest=1)
+        _complete(rec, "slow", duration=9.0)
+        for i in range(10):
+            _complete(rec, f"fast{i}", duration=0.5)
+        # The slow trace left the ring long ago but stays reachable.
+        assert rec.get("slow") is not None
+        assert [e["trace_id"] for e in rec.slowest()] == ["slow"]
+        assert len(rec) <= rec.capacity + rec.keep_slowest
+
+    def test_slow_set_displacement_drops_unreachable(self):
+        rec = FlightRecorder(capacity=4, keep_slowest=1)
+        _complete(rec, "medium", duration=5.0)
+        for i in range(6):
+            _complete(rec, f"fast{i}", duration=0.5)
+        assert rec.get("medium") is not None  # protected survivor
+        # A slower trace takes the slot; "medium" (not in the ring any
+        # more) becomes unreachable and is deleted outright.
+        _complete(rec, "slowest", duration=9.0)
+        assert rec.get("medium") is None
+        assert rec.get("slowest") is not None
+        assert [e["trace_id"] for e in rec.slowest()] == ["slowest"]
+
+    def test_faster_trace_does_not_displace(self):
+        rec = FlightRecorder(capacity=4, keep_slowest=1)
+        _complete(rec, "slow", duration=9.0)
+        _complete(rec, "quick", duration=0.1)
+        assert [e["trace_id"] for e in rec.slowest()] == ["slow"]
+
+    def test_pending_eviction_oldest_first(self):
+        rec = FlightRecorder(max_pending=2)
+        rec.emit(_span("p0", "client.request"))
+        rec.emit(_span("p1", "client.request"))
+        rec.emit(_span("p2", "client.request"))
+        assert rec.get("p0") is None
+        assert rec.get("p1") is not None
+        assert rec.get("p2") is not None
+
+    def test_repeated_completion_absorbs(self):
+        rec = FlightRecorder()
+        _complete(rec, "t1", duration=1.0)
+        _complete(rec, "t1", duration=3.0)
+        (entry,) = rec.recent()
+        assert entry["completions"] == 2
+        assert entry["duration_s"] == pytest.approx(3.0)
+        assert entry["spans"] == 4
+        assert len(rec) == 1
+
+    def test_non_ok_root_status_wins(self):
+        rec = FlightRecorder()
+        rec.emit(_span("t1", "server.request"))
+        rec.emit(_span("t1", "server.request", status="error"))
+        rec.emit(_span("t1", "server.request"))
+        (entry,) = rec.recent()
+        assert entry["status"] == "error"
+
+    def test_recent_newest_first_with_limit(self):
+        rec = FlightRecorder()
+        for i in range(5):
+            _complete(rec, f"t{i}")
+        assert [e["trace_id"] for e in rec.recent(limit=2)] == ["t4", "t3"]
+
+
+class TestStitchSpans:
+    def test_orders_by_end_then_start_then_id(self):
+        spans = [
+            _span("t", "c", start=0.5, end=2.0),
+            _span("t", "a", start=0.0, end=1.0),
+            _span("t", "b", start=0.2, end=1.0),
+        ]
+        assert [s.name for s in stitch_spans(spans)] == ["a", "b", "c"]
+
+    def test_merge_order_invariant(self):
+        shard_a = [
+            _span("t", "a", start=0.0, end=1.0),
+            _span("t", "root", start=0.0, end=3.0),
+        ]
+        shard_b = [_span("t", "b", start=0.5, end=2.0)]
+        assert stitch_spans(shard_a + shard_b) == stitch_spans(
+            shard_b + shard_a
+        )

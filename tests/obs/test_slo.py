@@ -1,0 +1,256 @@
+"""SlidingWindowRate edge cases and the SLO burn-rate engine."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SlidingWindowRate
+from repro.obs.sloengine import (
+    STATE_SEVERITY,
+    SLOEngine,
+    SLOSpec,
+    merge_slo,
+    merge_slo_gauges,
+)
+
+
+class TestSlidingWindowRate:
+    def test_empty_window(self):
+        w = SlidingWindowRate(10.0)
+        assert w.count(now=0.0) == 0
+        assert w.rate(now=0.0) == 0.0
+        assert not w.saturated(now=0.0)
+
+    def test_counts_and_rate(self):
+        w = SlidingWindowRate(10.0)
+        for t in (0.0, 1.0, 2.0):
+            w.record(now=t)
+        assert w.count(now=2.0) == 3
+        assert w.rate(now=2.0) == pytest.approx(0.3)
+
+    def test_exact_boundary_event_is_retained(self):
+        # _expire drops strictly-older-than-cutoff events: an event at
+        # exactly age == window is still inside the trailing window.
+        w = SlidingWindowRate(10.0)
+        w.record(now=0.0)
+        assert w.count(now=10.0) == 1
+        assert w.count(now=10.0 + 1e-9) == 0
+
+    def test_expiry_is_lazy_but_complete(self):
+        w = SlidingWindowRate(1.0)
+        for t in (0.0, 0.1, 0.2):
+            w.record(now=t)
+        assert w.count(now=5.0) == 0
+
+    def test_saturation_flags_undercount(self):
+        # Cap of 2: the third in-window record evicts a live event, so
+        # the count is a floor and saturated() must say so.
+        w = SlidingWindowRate(10.0, max_events=2)
+        w.record(now=0.0)
+        w.record(now=1.0)
+        assert not w.saturated(now=1.0)
+        w.record(now=2.0)
+        assert w.count(now=2.0) == 2  # honest floor, not 3
+        assert w.saturated(now=2.0)
+
+    def test_saturation_clears_after_window(self):
+        w = SlidingWindowRate(10.0, max_events=2)
+        for t in (0.0, 1.0, 2.0):
+            w.record(now=t)
+        # The evicted event (t=0) would have aged out at t=10: the
+        # undercount cannot persist past that, so the flag clears.
+        assert w.saturated(now=9.9)
+        assert not w.saturated(now=10.0)
+
+    def test_eviction_of_expired_event_is_not_saturation(self):
+        w = SlidingWindowRate(1.0, max_events=2)
+        w.record(now=0.0)
+        w.record(now=0.5)
+        w.record(now=5.0)  # evicts t=0, which had already expired
+        assert not w.saturated(now=5.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="window"):
+            SlidingWindowRate(0.0)
+        with pytest.raises(ValueError, match="max_events"):
+            SlidingWindowRate(1.0, max_events=0)
+
+
+class TestSLOSpec:
+    def test_parse_seconds(self):
+        spec = SLOSpec.parse("99.9:0.25s")
+        assert spec.target == pytest.approx(0.999)
+        assert spec.threshold_s == pytest.approx(0.25)
+        assert spec.error_budget == pytest.approx(0.001)
+
+    def test_parse_milliseconds_and_bare(self):
+        assert SLOSpec.parse("99:250ms").threshold_s == pytest.approx(0.25)
+        assert SLOSpec.parse("99:0.25").threshold_s == pytest.approx(0.25)
+
+    def test_describe_round_trips(self):
+        spec = SLOSpec.parse("99.9:0.25s")
+        assert SLOSpec.parse(spec.describe()) == spec
+
+    @pytest.mark.parametrize(
+        "text", ["", "99.9", ":0.25s", "99.9:", "abc:0.25s", "99:xs",
+                 "0:0.25s", "100:0.25s", "99:-1s"]
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            SLOSpec.parse(text)
+
+
+def _engine(**overrides):
+    kwargs = dict(
+        fast_window_s=10.0,
+        slow_window_s=100.0,
+        min_events=4,
+    )
+    kwargs.update(overrides)
+    return SLOEngine(SLOSpec.parse("99:1s"), **kwargs)
+
+
+class TestSLOEngine:
+    def test_classify_outcome_and_latency(self):
+        engine = _engine()
+        assert engine.classify(outcome="ok", elapsed_s=0.5)
+        assert engine.classify(outcome="cache_hit", elapsed_s=1.0)
+        assert not engine.classify(outcome="ok", elapsed_s=1.5)
+        assert not engine.classify(outcome="shed", elapsed_s=0.0)
+        assert not engine.classify(outcome="error", elapsed_s=0.0)
+
+    def test_idle_engine_is_ok(self):
+        assert _engine().state(now=0.0) == "ok"
+
+    def test_min_events_guard(self):
+        # Three straight failures on an idle service: not an incident.
+        engine = _engine(min_events=4)
+        for _ in range(3):
+            engine.record(good=False, now=1.0)
+        assert engine.state(now=1.0) == "ok"
+        engine.record(good=False, now=1.0)
+        assert engine.state(now=1.0) == "critical"
+
+    def test_degraded_requires_both_windows(self):
+        engine = _engine(degraded_burn=1.0, critical_burn=1000.0)
+        # Old failures burning the slow window only: the fast window has
+        # recovered, so the state must already be ok.
+        for t in range(8):
+            engine.record(good=False, now=float(t))
+        for t in range(20, 30):
+            engine.record(good=True, now=float(t))
+        view = engine.evaluate(now=30.0)
+        assert view["windows"]["slow"]["burn_rate"] >= 1.0
+        assert view["windows"]["fast"]["burn_rate"] == 0.0
+        assert view["state"] == "ok"
+
+    def test_escalation_and_fast_recovery(self):
+        engine = _engine()
+        for _ in range(10):
+            engine.record(good=False, now=5.0)
+        assert engine.state(now=5.0) == "critical"
+        # Fast window (10 s) drains first: recovery does not wait for
+        # the slow window (100 s) to forget the incident.
+        assert engine.state(now=16.0) == "ok"
+
+    def test_degraded_between_thresholds(self):
+        engine = _engine(min_events=2)
+        # 5% bad with a 1% budget: burn 5.0 — above degraded (1.0),
+        # below critical (14.4).
+        engine.record(good=False, now=1.0)
+        for _ in range(19):
+            engine.record(good=True, now=1.0)
+        assert engine.state(now=1.0) == "degraded"
+
+    def test_evaluate_budget_accounting(self):
+        engine = _engine()
+        for _ in range(9):
+            engine.record(good=True, now=1.0)
+        engine.record(good=False, now=1.0)
+        budget = engine.evaluate(now=1.0)["budget"]
+        assert budget == {
+            "good": 9,
+            "bad": 1,
+            "total": 10,
+            "bad_fraction": 0.1,
+            "consumed": 10.0,  # 10% bad against a 1% budget
+        }
+
+    def test_publish_mirrors_gauges(self):
+        registry = MetricsRegistry()
+        engine = _engine()
+        for _ in range(9):
+            engine.record(good=True, now=1.0)
+        engine.record(good=False, now=1.0)
+        view = engine.publish(registry, now=1.0)
+        snapshot = registry.summary()
+        assert snapshot["service.slo.state"] == float(
+            STATE_SEVERITY[view["state"]]
+        )
+        assert snapshot["service.slo.good_total"] == 9.0
+        assert snapshot["service.slo.bad_total"] == 1.0
+        assert snapshot["service.slo.fast_total"] == 10.0
+        assert snapshot["service.slo.fast_burn_rate"] == view[
+            "windows"]["fast"]["burn_rate"]
+        assert snapshot["service.slo.budget_consumed"] == view[
+            "budget"]["consumed"]
+
+    def test_rejects_bad_windows(self):
+        spec = SLOSpec.parse("99:1s")
+        with pytest.raises(ValueError, match="shorter"):
+            SLOEngine(spec, fast_window_s=100.0, slow_window_s=10.0)
+        with pytest.raises(ValueError, match="exceed"):
+            SLOEngine(
+                spec, fast_window_s=1.0, slow_window_s=10.0,
+                degraded_burn=20.0, critical_burn=14.4,
+            )
+
+
+class TestFleetMerge:
+    def _view(self, *, good, bad, now=1.0):
+        engine = _engine(min_events=2)
+        for _ in range(good):
+            engine.record(good=True, now=now)
+        for _ in range(bad):
+            engine.record(good=False, now=now)
+        return engine.evaluate(now=now)
+
+    def test_merge_slo_sums_counts_and_recomputes(self):
+        healthy = self._view(good=20, bad=0)
+        burning = self._view(good=0, bad=20)
+        fleet = merge_slo([healthy, burning])
+        assert fleet["workers"] == 2
+        assert fleet["budget"]["good"] == 20
+        assert fleet["budget"]["bad"] == 20
+        # Fleet bad fraction 0.5 against a 1% budget: burn 50, critical.
+        assert fleet["windows"]["fast"]["burn_rate"] == pytest.approx(50.0)
+        assert fleet["state"] == "critical"
+
+    def test_merge_slo_empty(self):
+        assert merge_slo([]) is None
+        assert merge_slo([None, {}]) is None
+
+    def test_merge_slo_gauges(self):
+        registry_a, registry_b = MetricsRegistry(), MetricsRegistry()
+        self._engine_into(registry_a, good=20, bad=0)
+        self._engine_into(registry_b, good=0, bad=20)
+        merged = merge_slo_gauges(
+            [registry_a.summary(), registry_b.summary()]
+        )
+        assert merged["service.slo.good_total"] == 20.0
+        assert merged["service.slo.bad_total"] == 20.0
+        assert merged["service.slo.fast_burn_rate"] == pytest.approx(50.0)
+        assert merged["service.slo.budget_consumed"] == pytest.approx(50.0)
+        # State merges as the max severity any worker reports.
+        assert merged["service.slo.state"] == 2.0
+
+    def test_merge_slo_gauges_empty(self):
+        assert merge_slo_gauges([]) == {}
+        assert merge_slo_gauges([{}, {}]) == {}
+
+    def _engine_into(self, registry, *, good, bad):
+        engine = _engine(min_events=2)
+        for _ in range(good):
+            engine.record(good=True, now=1.0)
+        for _ in range(bad):
+            engine.record(good=False, now=1.0)
+        engine.publish(registry, now=1.0)

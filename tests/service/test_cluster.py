@@ -30,6 +30,7 @@ from collections import defaultdict
 
 import pytest
 
+from repro.obs.flightrec import stitch_spans
 from repro.obs.metrics import METRICS
 from repro.obs.spans import read_spans_jsonl, span_tree_signature
 from repro.service.client import ServiceClient
@@ -102,9 +103,13 @@ def _single_process_reference() -> dict[str, bytes]:
     return out
 
 
-def _run_topology(workers: int, spans_dir) -> tuple[dict, dict]:
-    """One cluster run: response bytes + per-trace span signatures."""
+def _run_topology(workers: int, spans_dir) -> tuple[dict, dict, dict]:
+    """One cluster run: response bytes + per-trace span signatures,
+    both offline (stitched shard files) and online (coordinator
+    ``GET /v1/trace/<id>`` against the live workers' flight recorders).
+    """
     responses: dict[str, bytes] = {}
+    online: dict[str, str] = {}
     with ClusterService(
         workers=workers, store_dir=None, spans_dir=spans_dir
     ) as svc:
@@ -127,6 +132,20 @@ def _run_topology(workers: int, spans_dir) -> tuple[dict, dict]:
                 statuses.append(status)
                 responses[f"{name}.{phase}"] = raw
         assert statuses == [200] * 6
+        # While the workers are still alive: the coordinator stitches
+        # each trace from the shards' in-memory flight recorders.
+        from repro.obs.spans import span_from_dict
+
+        for trace_base in (10, 20):
+            for offset in range(3):
+                trace = _trace(trace_base + offset)
+                with urllib.request.urlopen(
+                    f"{svc.url}/v1/trace/{trace}", timeout=10.0
+                ) as resp:
+                    payload = json.loads(resp.read())
+                online[trace] = span_tree_signature(
+                    [span_from_dict(s) for s in payload["spans"]]
+                )
     # Workers have drained and exited: their span files are complete.
     spans = []
     for sink in sorted(spans_dir.glob("spans-shard*.jsonl")):
@@ -134,11 +153,15 @@ def _run_topology(workers: int, spans_dir) -> tuple[dict, dict]:
     by_trace: dict[str, list] = defaultdict(list)
     for record in spans:
         by_trace[record.trace_id].append(record)
+    # Stitch into canonical order first: a multi-shard trace's spans
+    # arrive interleaved across files, and the online fan-out stitches
+    # the same way — that shared ordering is what makes the two sides
+    # bit-comparable.
     signatures = {
-        trace: span_tree_signature(members)
+        trace: span_tree_signature(stitch_spans(members))
         for trace, members in by_trace.items()
     }
-    return responses, signatures
+    return responses, signatures, online
 
 
 class TestEquivalenceMatrix:
@@ -152,7 +175,7 @@ class TestEquivalenceMatrix:
 
         # Response bytes: every topology, every endpoint, cold and warm,
         # byte-identical to the single-process answer.
-        for workers, (responses, _) in results.items():
+        for workers, (responses, _, _) in results.items():
             for name, expected in reference.items():
                 assert responses[name] == expected, (
                     f"{name} differs at --workers {workers}"
@@ -161,9 +184,9 @@ class TestEquivalenceMatrix:
         # Worker-side span trees: identical signatures across topologies
         # for the single-request endpoints (the coordinator forwards the
         # client's traceparent unchanged, so ids derive identically).
-        _, sig1 = results[1]
+        _, sig1, _ = results[1]
         for workers in (2, 4):
-            _, sigs = results[workers]
+            _, sigs, _ = results[workers]
             for trace_base in (10, 20):  # cold and warm
                 for offset in (0, 1):  # solve, simulate
                     trace = _trace(trace_base + offset)
@@ -176,11 +199,24 @@ class TestEquivalenceMatrix:
         # count, so batch traces assert *within-topology* determinism:
         # cold(1 worker) == cold(1 worker rerun) is covered by the byte
         # assert; here: every batch trace produced a non-empty tree.
-        for workers, (_, sigs) in results.items():
+        for workers, (_, sigs, _) in results.items():
             for trace_base in (10, 20):
                 assert sigs[_trace(trace_base + 2)], (
                     f"no batch spans recorded at --workers {workers}"
                 )
+
+        # Online == offline: the coordinator's live /v1/trace/<id>
+        # (fan-out over worker flight recorders, stitched) describes
+        # bit-identically the same tree as merging the shards' span
+        # files after shutdown — for every trace, at every topology.
+        for workers, (_, sigs, online) in results.items():
+            for trace_base in (10, 20):
+                for offset in range(3):
+                    trace = _trace(trace_base + offset)
+                    assert online[trace] == sigs[trace], (
+                        f"online trace {trace} differs from the stitched "
+                        f"span files at --workers {workers}"
+                    )
 
     def test_batch_span_signature_is_deterministic_per_topology(
         self, tmp_path

@@ -1,0 +1,225 @@
+"""SLO burn-rate health states, trace endpoints, and exemplars end to end.
+
+The acceptance behavior for the fleet trace/SLO work: under overload the
+service's ``/healthz`` transitions to ``degraded``/``critical`` via the
+burn-rate evaluation — liveness never flips, the process is fine — and
+recovers to ``ok`` once the fast window drains; the flight recorder
+serves completed traces over ``GET /v1/trace/<id>``; histogram buckets
+carry trace-id exemplars in ``/metrics.json`` while the Prometheus text
+document stays byte-canonical (no exemplar leakage).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.obs.sloengine import STATE_SEVERITY, SLOEngine, SLOSpec
+from repro.obs.spans import (
+    SpanRecorder,
+    set_span_recorder,
+    span_tree_signature,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ReproService
+from repro.service.supervisor import WorkerSupervisor
+
+BODY = {"te_core_days": 200.0, "case": "24-12-6-3", "ideal_scale": 2000.0}
+
+
+def _tiny_engine(**overrides) -> SLOEngine:
+    kwargs = dict(
+        fast_window_s=0.6,
+        slow_window_s=1.2,
+        min_events=4,
+    )
+    kwargs.update(overrides)
+    return SLOEngine(SLOSpec.parse("99:10s"), **kwargs)
+
+
+class TestHealthStates:
+    def test_healthz_without_slo_has_no_section(self):
+        with ReproService(port=0, store_path=None, jobs=1) as svc:
+            payload = ServiceClient(svc.url).healthz()
+            assert payload["status"] == "ok"
+            assert "slo" not in payload
+
+    def test_spec_string_accepted(self):
+        with ReproService(
+            port=0, store_path=None, jobs=1, slo="99.9:0.25s"
+        ) as svc:
+            payload = ServiceClient(svc.url).healthz()
+            assert payload["status"] == "ok"
+            assert payload["slo"]["spec"] == "99.9:0.25s"
+            assert payload["slo"]["state"] == "ok"
+
+    def test_overload_degrades_then_recovers(self):
+        # Tiny queue + slow handler: most of the flood sheds (429), each
+        # shed is a bad event against the SLO, and the burn rate pushes
+        # the health state off ok.  Liveness never flips — the process
+        # is healthy the whole time; only the SLO view degrades.
+        # Windows sized so the whole flood (sheds return instantly, the
+        # couple of accepted solves take a few hundred ms) fits inside
+        # the fast window, while recovery stays a short wait.
+        engine = _tiny_engine(fast_window_s=2.0, slow_window_s=4.0)
+        with ReproService(
+            port=0,
+            store_path=None,
+            jobs=1,
+            queue_max=1,
+            request_delay_s=0.05,
+            slo=engine,
+        ) as svc:
+            client = ServiceClient(svc.url)
+
+            def flood(n: int = 24) -> None:
+                # Distinct bodies per request — identical ones would
+                # coalesce into a single execution and never fill the
+                # queue.
+                threads = [
+                    threading.Thread(
+                        target=lambda i=i: client.request(
+                            "POST",
+                            "/v1/solve",
+                            {**BODY, "te_core_days": 200.0 + i},
+                        )
+                    )
+                    for i in range(n)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+
+            flood()
+            payload = client.healthz()
+            assert payload["slo"]["state"] in ("degraded", "critical")
+            # The burn-rate state IS the reported status: an operator
+            # polling /healthz sees the SLO view, not bare liveness.
+            assert payload["status"] == payload["slo"]["state"]
+            assert payload["slo"]["windows"]["fast"]["bad"] > 0
+
+            # Recovery: the fast window (2 s) drains and the state
+            # returns to ok without waiting out the slow window.
+            time.sleep(2.1)
+            payload = client.healthz()
+            assert payload["status"] == "ok"
+            assert payload["slo"]["state"] == "ok"
+
+    def test_healthz_matches_published_gauges(self):
+        with ReproService(
+            port=0, store_path=None, jobs=1, slo=_tiny_engine()
+        ) as svc:
+            client = ServiceClient(svc.url)
+            for _ in range(3):
+                client.solve(**BODY)
+            metrics = client.metrics()["metrics"]
+            view = client.healthz()["slo"]
+            assert metrics["service.slo.state"] == float(
+                STATE_SEVERITY[view["state"]]
+            )
+            assert metrics["service.slo.good_total"] == view["budget"]["good"]
+            assert metrics["service.slo.bad_total"] == view["budget"]["bad"]
+            assert metrics["service.slo.budget_consumed"] == pytest.approx(
+                view["budget"]["consumed"]
+            )
+
+    def test_supervisor_probe_accepts_slo_states(self):
+        # degraded/critical mean "alive but burning budget" — restarting
+        # the worker would dump its cache and make the burn worse.
+        for status in ("ok", "draining", "degraded", "critical"):
+            assert WorkerSupervisor._probe_healthy_status(status)
+        assert not WorkerSupervisor._probe_healthy_status("gone")
+
+
+class TestTraceEndpoints:
+    def test_trace_404_hints_when_recording_off(self):
+        with ReproService(port=0, store_path=None, jobs=1) as svc:
+            with pytest.raises(ServiceError) as excinfo:
+                ServiceClient(svc.url).trace("00" * 16)
+            assert excinfo.value.status == 404
+            assert "recording is off" in str(excinfo.value)
+
+    def test_trace_query_and_recent(self, tmp_path):
+        previous = set_span_recorder(
+            SpanRecorder(tmp_path / "spans.jsonl")
+        )
+        try:
+            with ReproService(port=0, store_path=None, jobs=1) as svc:
+                client = ServiceClient(svc.url)
+                client.solve(**BODY)
+                recent = client.debug_recent()
+                assert recent["recording"] is True
+                assert recent["flight"]["completed"] >= 1
+                trace_id = recent["recent"][0]["trace_id"]
+
+                payload = client.trace(trace_id)
+                assert payload["trace_id"] == trace_id
+                names = {s["name"] for s in payload["spans"]}
+                assert "server.request" in names
+                assert payload["span_count"] == len(payload["spans"])
+
+                with pytest.raises(ServiceError) as excinfo:
+                    client.trace("ff" * 16)
+                assert excinfo.value.status == 404
+        finally:
+            set_span_recorder(previous)
+
+    def test_online_trace_matches_file(self, tmp_path):
+        # The flight-recorded spans and the JSONL sink must describe the
+        # same tree: identical span_tree_signature for the trace.
+        from repro.obs.spans import read_spans_jsonl, span_from_dict
+
+        sink = tmp_path / "spans.jsonl"
+        previous = set_span_recorder(SpanRecorder(sink))
+        try:
+            with ReproService(port=0, store_path=None, jobs=1) as svc:
+                client = ServiceClient(svc.url)
+                client.solve(**BODY)
+                trace_id = client.debug_recent()["recent"][0]["trace_id"]
+                online = [
+                    span_from_dict(s)
+                    for s in client.trace(trace_id)["spans"]
+                ]
+        finally:
+            set_span_recorder(previous)
+        offline = [
+            s for s in read_spans_jsonl(sink) if s.trace_id == trace_id
+        ]
+        assert span_tree_signature(online) == span_tree_signature(offline)
+
+
+class TestExemplars:
+    def test_metrics_json_carries_exemplars_text_does_not(self, tmp_path):
+        previous = set_span_recorder(
+            SpanRecorder(tmp_path / "spans.jsonl")
+        )
+        try:
+            with ReproService(port=0, store_path=None, jobs=1) as svc:
+                client = ServiceClient(svc.url)
+                client.solve(**BODY)
+                entry = client.metrics()["metrics"][
+                    "service.request_seconds.solve"
+                ]
+                exemplars = entry["exemplars"]
+                assert exemplars  # the request left at least one behind
+                # Each bucket's exemplar links a worst-recent latency to
+                # its trace (the registry is process-global, so an
+                # earlier, slower request may rightfully hold the slot).
+                for bucket, cell in exemplars.items():
+                    assert set(cell) == {"value", "trace_id"}
+                    assert len(cell["trace_id"]) == 32
+                    int(cell["trace_id"], 16)
+                    assert cell["value"] >= 0.0
+                # Prometheus 0.0.4 has no exemplar syntax: the text
+                # document must not change shape when exemplars exist.
+                text = client.metrics_text()
+                assert "exemplar" not in text
+                for cell in exemplars.values():
+                    assert cell["trace_id"] not in text
+        finally:
+            set_span_recorder(previous)

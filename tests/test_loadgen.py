@@ -14,6 +14,7 @@ from benchmarks.loadgen import (
     _shard_breakdown,
     batch_schedule,
     build_report,
+    error_budget_section,
     make_schedule,
     percentile,
     summarize_phase,
@@ -263,6 +264,66 @@ class TestSummary:
         assert report["phases"]["sustained"]["ok"] == 3
         assert report["slo"]["worst_shed_rate"] == 0.25
         assert report["slo"]["sustained_p99_ms"] == phase["latency_ms"]["p99"]
+
+
+class TestErrorBudget:
+    def _metrics(self):
+        # What GET /metrics.json exposes after a run with --slo 99:1s:
+        # 9 good / 1 bad, burn 10x against the 1% budget.
+        return {
+            "metrics": {
+                "service.slo.state": 2.0,
+                "service.slo.error_budget": 0.01,
+                "service.slo.fast_burn_rate": 10.0,
+                "service.slo.slow_burn_rate": 10.0,
+                "service.slo.good_total": 9.0,
+                "service.slo.bad_total": 1.0,
+                "service.slo.budget_consumed": 10.0,
+            }
+        }
+
+    def test_section_mirrors_gauges(self):
+        section = error_budget_section(
+            self._metrics(),
+            {"status": "critical", "slo": {"state": "critical"}},
+        )
+        assert section == {
+            "state": "critical",
+            "error_budget": 0.01,
+            "fast_burn_rate": 10.0,
+            "slow_burn_rate": 10.0,
+            "good": 9.0,
+            "bad": 1.0,
+            "budget_consumed": 10.0,
+            "healthz_status": "critical",
+            "healthz_state": "critical",
+        }
+
+    def test_none_without_slo_gauges(self):
+        assert error_budget_section({"metrics": {"service.rps": 1.0}}) is None
+        assert error_budget_section(None) is None
+
+    def test_report_carries_section(self):
+        phase = summarize_phase("steady", [], [])
+        section = error_budget_section(self._metrics())
+        report = build_report({"seed": 0}, [phase], error_budget=section)
+        assert report["error_budget"]["state"] == "critical"
+        no_slo = build_report({"seed": 0}, [phase], error_budget=None)
+        assert "error_budget" not in no_slo
+
+    def test_renderer_shows_budget(self):
+        phase = summarize_phase("steady", [], [])
+        report = build_report(
+            {"seed": 0},
+            [phase],
+            error_budget=error_budget_section(
+                self._metrics(), {"status": "critical"}
+            ),
+        )
+        text = format_load_report(report)
+        assert "error budget: state critical (healthz: critical)" in text
+        assert "good 9 / bad 1" in text
+        assert "10x fast / 10x slow" in text
 
 
 class TestRenderer:
