@@ -302,6 +302,7 @@ def run_schedule(
     *,
     workers: int = 64,
     timeout: float = 30.0,
+    keepalive: bool | None = None,
 ) -> list[RequestResult]:
     """Fire ``schedule`` open-loop against ``url``; return all results.
 
@@ -310,10 +311,15 @@ def run_schedule(
     thread pool; size it above the worst expected concurrent in-flight
     count or late arrivals queue behind slow ones (the run records
     actual send times, so any such distortion is visible as send lag).
+
+    Requests ride the process-wide pooled keep-alive transport: each
+    worker thread effectively keeps one persistent connection, so the
+    steady-state cost per request is the request itself, not a TCP
+    handshake.  ``keepalive=False`` restores connection-per-request.
     """
     from repro.service.client import ServiceClient
 
-    client = ServiceClient(url, timeout=timeout)
+    client = ServiceClient(url, timeout=timeout, keepalive=keepalive)
     results: list[RequestResult] = []
     results_lock = threading.Lock()
     cursor = 0
@@ -409,6 +415,46 @@ DELTA_METRICS = (
 )
 
 
+def transport_snapshot() -> dict[str, Any]:
+    """Cumulative client-side transport state (see ``PooledTransport
+    .stats``): connection counters, reuse ratio, and the retained
+    connect-time samples.  Taken before/after a phase, two snapshots
+    delta into that phase's :func:`transport_section`.  Always read
+    from *this* process — the load generator is the client, so its
+    transport tells the connection-churn story no matter whether the
+    service is in-process, a subprocess cluster, or remote.
+    """
+    from repro.service.transport import TRANSPORT
+
+    return TRANSPORT.stats()
+
+
+def transport_section(
+    before: Mapping[str, Any], after: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Per-phase connection-churn report row from two snapshots.
+
+    ``reuse_ratio`` is the phase's reused / (opened + reused); the
+    connect-time percentiles cover only the connects that happened
+    during the phase (new samples since ``before``).
+    """
+    opened = int(after["opened"] - before["opened"])
+    reused = int(after["reused"] - before["reused"])
+    total = opened + reused
+    section: dict[str, Any] = {
+        "opened": opened,
+        "reused": reused,
+        "replaced": int(after["replaced"] - before["replaced"]),
+        "replays": int(after["replays"] - before["replays"]),
+        "reuse_ratio": round(reused / total, 4) if total else 0.0,
+    }
+    prior = len(before.get("connect_samples", ()))
+    fresh = list(after.get("connect_samples", ()))[prior:]
+    if fresh:
+        section["connect_ms"] = _latency_ms(fresh)
+    return section
+
+
 def _shard_breakdown(
     metrics_before: Mapping[str, Any] | None,
     metrics_after: Mapping[str, Any] | None,
@@ -446,6 +492,8 @@ def summarize_phase(
     *,
     metrics_before: Mapping[str, Any] | None = None,
     metrics_after: Mapping[str, Any] | None = None,
+    transport_before: Mapping[str, Any] | None = None,
+    transport_after: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Fold one phase's samples + server metric deltas into a report row.
 
@@ -454,6 +502,10 @@ def summarize_phase(
     see :func:`_shard_breakdown`); batch-mode runs (any result carrying
     more than one solve item) additionally report ``ok_items`` /
     ``items_rps`` so throughput stays comparable with unbatched runs.
+    When both ``transport_before``/``transport_after`` snapshots (see
+    :func:`transport_snapshot`) are given, the row carries a
+    ``transport`` section: connection reuse ratio and connect-time
+    percentiles for the phase.
     """
     span_s = max((r.at + r.latency for r in results), default=0.0)
     ok = [r for r in results if r.status == 200]
@@ -477,7 +529,7 @@ def summarize_phase(
         "ok": len(ok),
         "shed": len(shed),
         "errors": len(errors),
-        "ok_rps": round(len(ok) / span_s, 1) if span_s > 0 else 0.0,
+        "ok_rps": round(len(ok) / span_s, 2) if span_s > 0 else 0.0,
         "shed_rate": round(len(shed) / requests, 4) if requests else 0.0,
         "latency_ms": _latency_ms([r.latency for r in ok]),
         "server": {
@@ -493,6 +545,10 @@ def summarize_phase(
         summary["ok_items"] = ok_items
         summary["items_rps"] = (
             round(ok_items / span_s, 1) if span_s > 0 else 0.0
+        )
+    if transport_before is not None and transport_after is not None:
+        summary["transport"] = transport_section(
+            transport_before, transport_after
         )
     shards = _shard_breakdown(metrics_before, metrics_after)
     if shards:
@@ -574,6 +630,11 @@ def build_report(
             ),
         },
     }
+    first_transport = first.get("transport")
+    if first_transport:
+        report["slo"]["sustained_reuse_ratio"] = first_transport.get(
+            "reuse_ratio", 0.0
+        )
     if error_budget is not None:
         report["error_budget"] = dict(error_budget)
     return report
@@ -628,6 +689,15 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "clump up to N consecutive solve arrivals into one "
             "/v1/solve_batch request (0 = unbatched)"
+        ),
+    )
+    parser.add_argument(
+        "--no-keepalive",
+        action="store_true",
+        help=(
+            "open a fresh connection per request instead of pooling "
+            "keep-alive connections (and, with --self-serve, run the "
+            "service with keep-alive off too); see also $REPRO_KEEPALIVE=0"
         ),
     )
     parser.add_argument(
@@ -706,6 +776,9 @@ def main(argv: list[str] | None = None) -> int:
         config["cluster_workers"] = args.self_serve_workers
     if args.slo:
         config["slo"] = args.slo
+    keepalive = False if args.no_keepalive else None
+    if args.no_keepalive:
+        config["keepalive"] = False
 
     service = None
     previous_recorder = None
@@ -723,6 +796,7 @@ def main(argv: list[str] | None = None) -> int:
             slo=args.slo,
             slo_fast_window_s=args.slo_fast_window,
             slo_slow_window_s=args.slo_slow_window,
+            keepalive=keepalive,
         ).start()
         url = service.url
     elif args.self_serve:
@@ -746,11 +820,16 @@ def main(argv: list[str] | None = None) -> int:
             slo=args.slo,
             slo_fast_window_s=args.slo_fast_window,
             slo_slow_window_s=args.slo_slow_window,
+            keepalive=keepalive,
         ).start()
         url = service.url
     try:
         before = _fetch_metrics(url)
-        results = run_schedule(url, schedule, workers=args.workers)
+        transport_before = transport_snapshot()
+        results = run_schedule(
+            url, schedule, workers=args.workers, keepalive=keepalive
+        )
+        transport_after = transport_snapshot()
         after = _fetch_metrics(url)
         # Health (and its SLO view) must be read while the service is
         # still up — close() drains and the endpoints go away.
@@ -766,6 +845,7 @@ def main(argv: list[str] | None = None) -> int:
     phase = summarize_phase(
         args.profile, schedule, results,
         metrics_before=before, metrics_after=after,
+        transport_before=transport_before, transport_after=transport_after,
     )
     report = build_report(
         config, [phase],

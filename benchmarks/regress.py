@@ -52,6 +52,7 @@ GATED_METRICS: dict[str, dict[str, str]] = {
     "BENCH_load.json": {
         "phases.sustained.ok_rps": "higher",
         "phases.sustained.latency_ms.p99": "lower",
+        "phases.sustained.transport.reuse_ratio": "higher",
     },
     "BENCH_obs.json": {
         "untraced_seconds": "lower",
@@ -69,6 +70,18 @@ GATED_METRICS: dict[str, dict[str, str]] = {
     "BENCH_solve.json": {
         "solve.speedup": "higher",
         "solve.per_config_us": "lower",
+    },
+}
+
+
+#: Absolute floors checked against the *fresh* results regardless of what
+#: the committed baseline says.  Unlike GATED_METRICS (relative, baseline
+#: vs current), these encode hard product requirements: the pooled
+#: transport must actually reuse connections under sustained load, even
+#: if someone blesses a bad baseline.
+ABSOLUTE_FLOORS: dict[str, dict[str, float]] = {
+    "BENCH_load.json": {
+        "phases.sustained.transport.reuse_ratio": 0.95,
     },
 }
 
@@ -151,6 +164,20 @@ def compare(
                 status = "REGRESSION"
                 regressions += 1
             rows.append((name, path, base_value, cur_value, change, status))
+        for path, floor in sorted(ABSOLUTE_FLOORS.get(name, {}).items()):
+            cur_value = dotted_get(current, path)
+            if cur_value is None:
+                print(f"skip {name}:{path}: floored metric absent")
+                continue
+            cur_value = float(cur_value)
+            status = "ok"
+            if cur_value < floor:
+                status = "BELOW FLOOR"
+                regressions += 1
+            print(
+                f"floor {name}:{path}: {cur_value:.6g} "
+                f"(must be >= {floor:.6g})  {status}"
+            )
 
     if rows:
         width = max(len(f"{n}:{p}") for n, p, *_ in rows)

@@ -32,6 +32,7 @@ from benchmarks.loadgen import (
     make_schedule,
     run_schedule,
     summarize_phase,
+    transport_snapshot,
 )
 from repro.core.memo import SOLVER_CACHE
 from repro.obs.metrics import METRICS
@@ -97,16 +98,22 @@ def test_bench_load_sustained_overload_skew():
         client = ServiceClient(svc.url)
         _warm(client, sustained_schedule)
         before = client.metrics()
+        transport_before = transport_snapshot()
         results = run_schedule(svc.url, sustained_schedule)
+        transport_after = transport_snapshot()
         after = client.metrics()
     sustained = summarize_phase(
         "sustained", sustained_schedule, results,
         metrics_before=before, metrics_after=after,
+        transport_before=transport_before, transport_after=transport_after,
     )
     # Warm cache + provisioned queue: nothing may shed or fail.
     assert sustained["shed"] == 0
     assert sustained["errors"] == 0
     assert sustained["ok"] == len(sustained_schedule)
+    # The pooled transport must actually keep connections alive: under
+    # steady load the vast majority of requests ride a reused socket.
+    assert sustained["transport"]["reuse_ratio"] >= 0.95, sustained["transport"]
     phases.append(sustained)
 
     # ------------------------------------------------ overload (2x cold)
@@ -123,11 +130,14 @@ def test_bench_load_sustained_overload_skew():
             for i in range(n_requests)
         ]
         before = client.metrics()
+        transport_before = transport_snapshot()
         results = run_schedule(svc.url, overload_schedule, workers=32)
+        transport_after = transport_snapshot()
         after = client.metrics()
     overload = summarize_phase(
         "overload", overload_schedule, results,
         metrics_before=before, metrics_after=after,
+        transport_before=transport_before, transport_after=transport_after,
     )
     overload["offered_over_capacity"] = round(offered / capacity, 2)
     overload["probed_capacity_rps"] = round(capacity, 1)
@@ -155,12 +165,15 @@ def test_bench_load_sustained_overload_skew():
     ) as svc:
         client = ServiceClient(svc.url)
         before = client.metrics()
+        transport_before = transport_snapshot()
         results = run_schedule(svc.url, skew_schedule)
+        transport_after = transport_snapshot()
         after = client.metrics()
     executions = METRICS.counter("service.executions").value - executions_before
     skew = summarize_phase(
         "skew", skew_schedule, results,
         metrics_before=before, metrics_after=after,
+        transport_before=transport_before, transport_after=transport_after,
     )
     # Coalescing + memo collapse Zipf-skewed duplicates to exactly one
     # execution per unique (endpoint, configuration) key.
@@ -180,7 +193,8 @@ def test_bench_load_sustained_overload_skew():
     path = write_bench_json(RESULTS_DIR / "BENCH_load.json", report)
     print(
         f"\n[load bench] sustained {sustained['ok_rps']} ok/s "
-        f"(p99 {sustained['latency_ms']['p99']} ms), "
+        f"(p99 {sustained['latency_ms']['p99']} ms, "
+        f"conn reuse {sustained['transport']['reuse_ratio']:.1%}), "
         f"overload shed rate {overload['shed_rate']:.1%} at "
         f"{overload['offered_over_capacity']}x capacity, "
         f"skew: {skew['requests']} requests -> {executions} executions "

@@ -309,6 +309,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "to $REPRO_OBS_DIR/spans.jsonl for `repro obs trace`)"
         ),
     )
+    p_srv.add_argument(
+        "--no-keepalive",
+        action="store_true",
+        help=(
+            "disable HTTP keep-alive: answer every request with "
+            "Connection: close and make in-process clients open a fresh "
+            "connection per request (debugging escape hatch; see also "
+            "$REPRO_KEEPALIVE=0)"
+        ),
+    )
     _add_slo_arguments(p_srv)
     _add_jobs_argument(p_srv)
 
@@ -347,6 +357,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="fault-injection: sleep S seconds before each POST dispatch",
     )
+    p_wrk.add_argument("--no-keepalive", action="store_true")
     _add_slo_arguments(p_wrk)
     _add_jobs_argument(p_wrk)
 
@@ -527,6 +538,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slo=args.slo,
         slo_fast_window_s=args.slo_fast_window,
         slo_slow_window_s=args.slo_slow_window,
+        keepalive=False if args.no_keepalive else None,
     )
     print(f"repro.service listening on {service.url}")
     if store_path is None:
@@ -580,6 +592,7 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         slo=args.slo,
         slo_fast_window_s=args.slo_fast_window,
         slo_slow_window_s=args.slo_slow_window,
+        keepalive=False if args.no_keepalive else None,
     )
     print(
         f"repro.service cluster coordinator on {service.url} "
@@ -648,6 +661,7 @@ def _cmd_serve_worker(args: argparse.Namespace) -> int:
         slo=args.slo,
         slo_fast_window_s=args.slo_fast_window,
         slo_slow_window_s=args.slo_slow_window,
+        keepalive=False if args.no_keepalive else None,
     )
     print(
         _json.dumps(

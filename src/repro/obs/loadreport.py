@@ -32,6 +32,8 @@ def _fmt(value: Any) -> str:
 
 def _phase_row(phase: Mapping[str, Any]) -> dict[str, str]:
     latency = phase.get("latency_ms", {})
+    transport = phase.get("transport") or {}
+    reuse = transport.get("reuse_ratio")
     return {
         "phase": str(phase.get("label", "?")),
         "requests": _fmt(phase.get("requests", 0)),
@@ -40,6 +42,7 @@ def _phase_row(phase: Mapping[str, Any]) -> dict[str, str]:
         "p99 ms": _fmt(latency.get("p99", 0.0)),
         "shed": f"{phase.get('shed_rate', 0.0):.1%}",
         "coalesced": f"{phase.get('coalesce_ratio', 0.0):.1%}",
+        "reuse": f"{reuse:.1%}" if reuse is not None else "-",
         "errors": _fmt(phase.get("errors", 0)),
     }
 
@@ -95,16 +98,43 @@ def format_load_report(payload: Mapping[str, Any]) -> str:
             )
             lines.append(f"  shard {shard}: {knobs}")
 
+    transport_lines: list[str] = []
+    for label, phase in phases.items():
+        transport = phase.get("transport")
+        if not isinstance(transport, Mapping) or not transport:
+            continue
+        connect = transport.get("connect_ms") or {}
+        detail = (
+            f"  {label}: reuse {transport.get('reuse_ratio', 0.0):.1%} · "
+            f"opened {_fmt(transport.get('opened', 0))} · "
+            f"reused {_fmt(transport.get('reused', 0))} · "
+            f"replays {_fmt(transport.get('replays', 0))}"
+        )
+        if connect:
+            detail += (
+                f" · connect p50 {_fmt(connect.get('p50', 0.0))} ms / "
+                f"p99 {_fmt(connect.get('p99', 0.0))} ms"
+            )
+        transport_lines.append(detail)
+    if transport_lines:
+        lines.append("")
+        lines.append("transport: pooled keep-alive connections")
+        lines.extend(transport_lines)
+
     slo = payload.get("slo", {})
     if slo:
         lines.append("")
-        lines.append(
+        headline = (
             "SLO: "
             f"sustained {_fmt(slo.get('sustained_ok_rps', 0.0))} ok/s "
             f"at p99 {_fmt(slo.get('sustained_p99_ms', 0.0))} ms; "
             f"worst shed rate {slo.get('worst_shed_rate', 0.0):.1%}; "
             f"best coalesce ratio {slo.get('best_coalesce_ratio', 0.0):.1%}"
         )
+        reuse = slo.get("sustained_reuse_ratio")
+        if reuse is not None:
+            headline += f"; sustained conn reuse {reuse:.1%}"
+        lines.append(headline)
 
     budget = payload.get("error_budget")
     if isinstance(budget, Mapping) and budget:

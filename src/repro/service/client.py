@@ -1,6 +1,6 @@
 """Small stdlib HTTP client for :mod:`repro.service`.
 
-``urllib``-based, no dependencies::
+Stdlib-only, no dependencies::
 
     from repro.service.client import ServiceClient
 
@@ -19,6 +19,12 @@ exponential backoff: a cluster worker restarting between two attempts
 caller.  :meth:`ServiceClient.request` exposes the raw status/bytes for
 callers that need the exact wire payload (the bit-identity tests do).
 
+Transport: round-trips ride the process-wide pooled keep-alive
+transport (:data:`repro.service.transport.TRANSPORT`) — persistent
+connections, stale-socket replay-once, ``service.transport.*``
+telemetry.  ``keepalive=False`` (or ``REPRO_KEEPALIVE=0`` in the
+environment) degrades to one fresh connection per request.
+
 Tracing: with span recording on (see :mod:`repro.obs.spans`), every
 round-trip opens a ``client.request`` span — the root of the request's
 trace unless the caller is already inside one — and forwards its context
@@ -33,10 +39,10 @@ import http.client
 import json
 import time
 import urllib.error
-import urllib.request
 from typing import Any, Mapping, Sequence
 
 from repro.obs.spans import TRACEPARENT_HEADER, span
+from repro.service.transport import TRANSPORT, PooledTransport
 
 #: Transport failures worth retrying: the far end was not reachable or
 #: died mid-exchange.  A restarting cluster worker produces exactly
@@ -58,7 +64,8 @@ TRANSPORT_BACKOFF_BASE = 0.05
 
 
 def _retryable_transport_error(exc: BaseException) -> bool:
-    """Connection refused/reset (possibly urllib-wrapped)?"""
+    """Connection refused/reset (possibly urllib-wrapped — kept for
+    callers that still route raw urllib errors through this budget)?"""
     if isinstance(exc, RETRYABLE_TRANSPORT_ERRORS):
         return True
     if isinstance(exc, urllib.error.URLError):
@@ -92,9 +99,19 @@ class OverloadedError(ServiceError):
 class ServiceClient:
     """Thin JSON client bound to one service base URL."""
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0):
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        keepalive: bool | None = None,
+        transport: PooledTransport | None = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        #: ``None`` defers to the transport / ``REPRO_KEEPALIVE`` env.
+        self.keepalive = keepalive
+        self.transport = transport if transport is not None else TRANSPORT
 
     # ------------------------------------------------------------ plumbing
 
@@ -107,9 +124,11 @@ class ServiceClient:
         """One HTTP round-trip; returns ``(status, headers, raw bytes)``.
 
         Never raises on HTTP error statuses — only on transport failures
-        (connection refused, timeout).  When span recording is on, the
-        round-trip is wrapped in a ``client.request`` span whose context
-        travels in the ``traceparent`` header.
+        (connection refused, timeout).  ``headers`` is a case-insensitive
+        :class:`~repro.service.transport.HeaderMap` (duplicate header
+        lines reachable via ``get_all``).  When span recording is on,
+        the round-trip is wrapped in a ``client.request`` span whose
+        context travels in the ``traceparent`` header.
         """
         data = None
         headers = {"Accept": "application/json"}
@@ -122,17 +141,14 @@ class ServiceClient:
         ) as live:
             if live is not None:
                 headers[TRACEPARENT_HEADER] = live.context.to_traceparent()
-            req = urllib.request.Request(
-                f"{self.base_url}{path}", data=data, headers=headers,
-                method=method,
+            status, resp_headers, raw = self.transport.request(
+                method,
+                f"{self.base_url}{path}",
+                body=data,
+                headers=headers,
+                timeout=self.timeout,
+                keepalive=self.keepalive,
             )
-            try:
-                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                    status, resp_headers, raw = (
-                        resp.status, dict(resp.headers), resp.read()
-                    )
-            except urllib.error.HTTPError as exc:
-                status, resp_headers, raw = exc.code, dict(exc.headers), exc.read()
             if live is not None:
                 live.set_attribute("http.status", int(status))
             return status, resp_headers, raw

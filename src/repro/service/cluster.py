@@ -61,8 +61,6 @@ import json
 import math
 import time
 import threading
-import urllib.error
-import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler
 from pathlib import Path
@@ -92,6 +90,7 @@ from repro.service.client import ServiceClient, _retryable_transport_error
 from repro.service.hashring import DEFAULT_REPLICAS, HashRing
 from repro.service.server import MAX_BODY_BYTES, _HTTPServer
 from repro.service.supervisor import WorkerSupervisor
+from repro.service.transport import TRANSPORT, keepalive_enabled
 
 logger = get_logger("service.cluster")
 access_logger = get_logger("service.access")
@@ -173,6 +172,7 @@ class ClusterService:
         retry_attempts: int = 3,
         probe_interval_s: float = 1.0,
         forward_timeout_s: float = FORWARD_TIMEOUT_S,
+        keepalive: bool | None = None,
     ):
         ensure_configured()
         import logging
@@ -199,9 +199,12 @@ class ClusterService:
                 slo=slo,
                 slo_fast_window_s=slo_fast_window_s,
                 slo_slow_window_s=slo_slow_window_s,
+                keepalive=keepalive,
             ),
             probe_interval_s=probe_interval_s,
         )
+        #: Outbound keep-alive for forwards/probes (None defers to env).
+        self.keepalive = keepalive
         self._pool = ThreadPoolExecutor(
             max_workers=max(4, 2 * self.n_workers),
             thread_name_prefix="repro-cluster-scatter",
@@ -209,6 +212,7 @@ class ClusterService:
         self._httpd = _HTTPServer((host, port), _CoordinatorHandler)
         self._httpd.daemon_threads = False
         self._httpd.service = self  # type: ignore[attr-defined]
+        self._httpd.keepalive = keepalive_enabled(keepalive)
         self._thread: threading.Thread | None = None
         self._closed = False
         self._started_at = time.monotonic()
@@ -227,6 +231,7 @@ class ClusterService:
         slo: str | None,
         slo_fast_window_s: float | None,
         slo_slow_window_s: float | None,
+        keepalive: bool | None,
     ) -> list[str]:
         args = ["--queue-max", str(queue_max), "--batch-max", str(batch_max)]
         if jobs is not None:
@@ -249,6 +254,8 @@ class ClusterService:
                 args += ["--slo-fast-window", str(slo_fast_window_s)]
             if slo_slow_window_s is not None:
                 args += ["--slo-slow-window", str(slo_slow_window_s)]
+        if keepalive is False:
+            args += ["--no-keepalive"]
         return args
 
     # ------------------------------------------------------------ lifecycle
@@ -305,6 +312,10 @@ class ClusterService:
             self._thread = None
         self._pool.shutdown(wait=True)
         self.supervisor.stop()
+        # The workers are gone; drop their pooled upstream channels so
+        # the process-wide pool doesn't sit on sockets to dead ports.
+        for handle in self.supervisor.workers:
+            TRANSPORT.invalidate(handle.url)
 
     def __enter__(self) -> "ClusterService":
         return self.start()
@@ -332,6 +343,11 @@ class ClusterService:
         synchronously replaces the process and replays the request —
         solves are idempotent by canonical key, so a replay can at worst
         recompute a result the dead worker never persisted.
+
+        Forwards ride the pooled transport: each shard effectively gets
+        a persistent upstream channel that survives across batches; the
+        supervisor invalidates a restarted shard's pool, so the replay
+        here always builds a fresh channel to the replacement process.
         """
         handle = self.supervisor.workers[shard]
         METRICS.counter(f"cluster.shard.{shard}.requests").inc()
@@ -342,17 +358,14 @@ class ClusterService:
         for attempt in range(self.retry_attempts):
             port_before = handle.port
             try:
-                request = urllib.request.Request(
-                    f"{handle.url}{path}", data=body, headers=headers,
-                    method="POST",
+                return TRANSPORT.request(
+                    "POST",
+                    f"{handle.url}{path}",
+                    body=body,
+                    headers=headers,
+                    timeout=self.forward_timeout_s,
+                    keepalive=self.keepalive,
                 )
-                try:
-                    with urllib.request.urlopen(
-                        request, timeout=self.forward_timeout_s
-                    ) as resp:
-                        return resp.status, dict(resp.headers), resp.read()
-                except urllib.error.HTTPError as exc:
-                    return exc.code, dict(exc.headers), exc.read()
             except Exception as exc:  # noqa: BLE001 - classified below
                 if not _retryable_transport_error(exc):
                     raise
@@ -377,18 +390,25 @@ class ClusterService:
 
         Returns ``(shard, parsed_json | None)`` pairs in shard order —
         a dead, mid-restart, or non-200 shard contributes ``None``.
-        Plain urllib (not :class:`ServiceClient`) so fleet introspection
-        never emits ``client.request`` spans of its own.
+        Raw transport (not :class:`ServiceClient`) so fleet
+        introspection never emits ``client.request`` spans of its own —
+        but it shares the same per-worker pooled channels the forwards
+        keep warm.
         """
 
         def fetch(handle) -> Any:
             if not handle.alive:
                 return None
             try:
-                with urllib.request.urlopen(
-                    f"{handle.url}{path}", timeout=5.0
-                ) as resp:
-                    return json.loads(resp.read())
+                status, _, raw = TRANSPORT.request(
+                    "GET",
+                    f"{handle.url}{path}",
+                    timeout=5.0,
+                    keepalive=self.keepalive,
+                )
+                if status != 200:
+                    return None
+                return json.loads(raw)
             except Exception:  # noqa: BLE001 - introspection is best-effort
                 return None
 
@@ -465,7 +485,9 @@ class ClusterService:
         for entry in self.supervisor.liveness():
             if entry["alive"]:
                 try:
-                    probe = ServiceClient(entry["url"], timeout=2.0).healthz()
+                    probe = ServiceClient(
+                        entry["url"], timeout=2.0, keepalive=self.keepalive
+                    ).healthz()
                     entry["status"] = probe.get("status")
                     entry["queue_depth"] = probe.get("queue_depth", 0)
                     entry["uptime_s"] = probe.get("uptime_s")
@@ -515,7 +537,9 @@ class ClusterService:
             if not handle.alive:
                 continue
             try:
-                summary = ServiceClient(handle.url, timeout=5.0).metrics()
+                summary = ServiceClient(
+                    handle.url, timeout=5.0, keepalive=self.keepalive
+                ).metrics()
             except Exception:  # noqa: BLE001 - a mid-restart shard is fine
                 continue
             worker_slo: dict[str, float] = {}
@@ -538,12 +562,15 @@ class ClusterService:
         # Overlay only the coordinator's own series: anything else in
         # this process's registry (e.g. service.* counters from an
         # in-process ReproService in the same interpreter) would clobber
-        # the workers' summed values.
+        # the workers' summed values.  ``service.transport.*`` is the
+        # exception: workers make no outbound calls, so those series
+        # describe the coordinator's upstream channels and belong in the
+        # fleet view.
         merged.update(
             {
                 name: value
                 for name, value in METRICS.summary().items()
-                if name.startswith("cluster.")
+                if name.startswith(("cluster.", "service.transport."))
             }
         )
         return merged
@@ -584,6 +611,8 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = "repro.cluster/1.0"
+    #: See ``_Handler.disable_nagle_algorithm`` — same keep-alive stall.
+    disable_nagle_algorithm = True
 
     _status = 0
 
@@ -691,11 +720,16 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
                 self._access_log("POST", time.perf_counter() - start)
 
     def _read_body(self) -> Any:
+        # Consuming the body is not optional on a kept-alive connection
+        # — unread bytes would corrupt the next request's start line —
+        # so when the length itself is unusable the connection closes.
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
+            self.close_connection = True
             raise RequestError("bad Content-Length") from None
         if length > MAX_BODY_BYTES:
+            self.close_connection = True
             raise RequestError(f"body too large ({length} bytes)")
         raw = self.rfile.read(length) or b"{}"
         try:
@@ -704,6 +738,11 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
             raise RequestError(f"invalid JSON body: {exc}") from None
 
     def _handle_post(self, traceparent: str | None) -> None:
+        try:
+            raw, body = self._read_body()
+        except RequestError as exc:
+            self._error(400, str(exc))
+            return
         if not self.path.startswith("/v1/"):
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -712,11 +751,6 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
             self._error(404, f"unknown endpoint {endpoint!r}")
             return
         METRICS.counter(f"cluster.requests.{endpoint}").inc()
-        try:
-            raw, body = self._read_body()
-        except RequestError as exc:
-            self._error(400, str(exc))
-            return
         try:
             if endpoint == "solve_batch":
                 self._scatter_gather(raw, body, traceparent)

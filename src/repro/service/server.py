@@ -41,8 +41,10 @@ from __future__ import annotations
 import json
 import logging
 import math
+import socket
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
@@ -78,6 +80,7 @@ from repro.service.scheduler import (
     ServiceOverloaded,
 )
 from repro.service.store import ResultStore
+from repro.service.transport import keepalive_enabled
 from repro.util.iteration import FixedPointDiverged
 
 logger = get_logger("service.http")
@@ -93,13 +96,94 @@ class _HTTPServer(ThreadingHTTPServer):
     """`ThreadingHTTPServer` with a listen backlog sized for real load.
 
     socketserver's default accept backlog is 5: under open-loop bursts
-    (every request a fresh TCP connection) the kernel drops SYNs beyond
-    that, and clients see ~1s retransmit stalls or resets *before the
-    service's own backpressure can answer 429*.  Admission control
-    belongs to the bounded queue, not the accept backlog.
+    the kernel drops SYNs beyond that, and clients see ~1s retransmit
+    stalls or resets *before the service's own backpressure can answer
+    429*.  Admission control belongs to the bounded queue, not the
+    accept backlog.
+
+    Keep-alive shutdown: with persistent connections, handler threads
+    park in ``rfile.readline()`` between requests — and this server
+    runs ``daemon_threads=False`` so draining close joins every handler
+    thread.  An idle kept-alive connection would block that join
+    forever, so accepted sockets are tracked and ``server_close`` sends
+    each one ``shutdown(SHUT_RD)``: parked readers see EOF and finish
+    their connection loop, while in-flight *responses* still write out
+    (the send side stays open) — the draining contract survives.
     """
 
     request_queue_size = 128
+
+    #: Server-side half of the ``--no-keepalive`` escape hatch: when
+    #: False every response carries ``Connection: close``.
+    keepalive = True
+
+    def __init__(self, *args, **kwargs):
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        super().__init__(*args, **kwargs)
+
+    def get_request(self):
+        request, client_address = super().get_request()
+        with self._conns_lock:
+            self._conns.add(request)
+        return request, client_address
+
+    def shutdown_request(self, request) -> None:
+        with self._conns_lock:
+            self._conns.discard(request)
+        super().shutdown_request(request)
+
+    def server_close(self) -> None:
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass  # already disconnected; the handler is finishing
+        super().server_close()
+
+
+#: Default bound on the encoded-response cache (entries, not bytes —
+#: responses are small canonical-JSON documents).
+DEFAULT_ENCODED_CACHE_ENTRIES = 512
+
+
+class _EncodedResponseCache:
+    """Bounded LRU of canonical-JSON *bytes* keyed by canonical key.
+
+    The solver memo / result store deduplicate the *computation*; this
+    deduplicates the *serialization*: a repeat hit for a hot key skips
+    ``canonical_json`` entirely and goes straight to ``sendall``.  Safe
+    because a canonical key determines its payload (that determinism is
+    the service's byte-identity contract, and the tests assert the
+    cached bytes equal a fresh encode).
+    """
+
+    __slots__ = ("_entries", "_max_entries", "_lock")
+
+    def __init__(self, max_entries: int = DEFAULT_ENCODED_CACHE_ENTRIES):
+        self._entries: OrderedDict[object, bytes] = OrderedDict()
+        self._max_entries = int(max_entries)
+        self._lock = threading.Lock()
+
+    def get(self, key: object) -> bytes | None:
+        with self._lock:
+            body = self._entries.get(key)
+            if body is not None:
+                self._entries.move_to_end(key)
+            return body
+
+    def put(self, key: object, body: bytes) -> None:
+        with self._lock:
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class ReproService:
@@ -149,6 +233,14 @@ class ReproService:
     flight_capacity / flight_keep_slowest:
         Sizing of the in-memory flight recorder behind
         ``GET /v1/trace/<id>`` (active only while span recording is).
+    keepalive:
+        Server-side keep-alive switch.  ``None`` (default) defers to
+        ``REPRO_KEEPALIVE`` (on unless explicitly disabled); ``False``
+        sends ``Connection: close`` on every response — the debugging
+        escape hatch behind ``repro serve --no-keepalive``.
+    encoded_cache_entries:
+        LRU bound on the encoded-response fast path (memoized canonical
+        JSON bytes for hot keys); ``0`` disables the cache.
     """
 
     def __init__(
@@ -170,6 +262,8 @@ class ReproService:
         slo_slow_window_s: float | None = None,
         flight_capacity: int = 256,
         flight_keep_slowest: int = 32,
+        keepalive: bool | None = None,
+        encoded_cache_entries: int = DEFAULT_ENCODED_CACHE_ENTRIES,
     ):
         # The repro logger tree drops records without a handler
         # (propagate=False); make sure handler/scheduler threads log even
@@ -201,6 +295,12 @@ class ReproService:
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = False  # shutdown waits for handlers
         self._httpd.service = self  # type: ignore[attr-defined]
+        self._httpd.keepalive = keepalive_enabled(keepalive)
+        self._encoded = (
+            _EncodedResponseCache(encoded_cache_entries)
+            if encoded_cache_entries > 0
+            else None
+        )
         self._thread: threading.Thread | None = None
         self._closed = False
         self.shard_id = shard_id
@@ -292,6 +392,27 @@ class ReproService:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------ responses
+
+    def encoded_response(self, key: object, payload: dict) -> bytes:
+        """Canonical-JSON bytes for a successful response, memoized.
+
+        A canonical key fully determines its success payload (the
+        byte-identity contract), so hot keys skip re-serialization:
+        ``service.encoded.hits`` / ``.misses`` count the split.
+        """
+        cache = self._encoded
+        if cache is None:
+            return canonical_json(payload)
+        body = cache.get(key)
+        if body is None:
+            body = canonical_json(payload)
+            cache.put(key, body)
+            METRICS.counter("service.encoded.misses").inc()
+        else:
+            METRICS.counter("service.encoded.hits").inc()
+        return body
 
     # -------------------------------------------------------- introspection
 
@@ -431,6 +552,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = "repro.service/1.0"
+    #: TCP_NODELAY: on a persistent connection, Nagle + delayed ACK
+    #: turns the headers-then-body write pattern into ~40 ms tail stalls.
+    disable_nagle_algorithm = True
 
     #: Status of the last response sent on this connection (access log).
     _status = 0
@@ -455,6 +579,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if not getattr(self.server, "keepalive", True):
+            self.send_header("Connection", "close")
+            self.close_connection = True
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -543,6 +670,22 @@ class _Handler(BaseHTTPRequestHandler):
                 self._access_log("POST", elapsed, trace_id)
 
     def _handle_post(self) -> None:
+        # Read the body before routing: on a kept-alive connection an
+        # early error response must still consume the request's bytes,
+        # or they would be parsed as the *next* request's start line.
+        # When the body cannot be consumed (unparseable or oversized
+        # Content-Length), the connection is closed instead.
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self.close_connection = True
+            self._error(400, "bad Content-Length")
+            return
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            self._error(400, f"body too large ({length} bytes)")
+            return
+        raw_body = self.rfile.read(length)
         if not self.path.startswith("/v1/"):
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -552,15 +695,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, f"unknown endpoint {endpoint!r}")
             return
         try:
-            length = int(self.headers.get("Content-Length", 0))
-        except ValueError:
-            self._error(400, "bad Content-Length")
-            return
-        if length > MAX_BODY_BYTES:
-            self._error(400, f"body too large ({length} bytes)")
-            return
-        try:
-            body = json.loads(self.rfile.read(length) or b"{}")
+            body = json.loads(raw_body or b"{}")
         except json.JSONDecodeError as exc:
             self._error(400, f"invalid JSON body: {exc}")
             return
@@ -634,7 +769,7 @@ class _Handler(BaseHTTPRequestHandler):
             ).observe(elapsed, exemplar=exemplar)
             METRICS.counter(f"service.outcomes.{endpoint}.{outcome}").inc()
             self.service.observe_window(outcome=outcome, elapsed=elapsed)
-        self._respond(200, canonical_json(payload))
+        self._respond(200, self.service.encoded_response(key, payload))
 
     def _handle_solve_batch(self, body) -> None:
         """``POST /v1/solve_batch``: a whole sweep in one request.
@@ -706,4 +841,13 @@ class _Handler(BaseHTTPRequestHandler):
                 len(body.get("requests", [])) if isinstance(body, dict) else 0
             )
             self.service.observe_window(outcome=outcome, elapsed=elapsed)
-        self._respond(200, canonical_json(solve_batch_payload(results)))
+        # Batch responses memoize under the ordered tuple of item keys:
+        # a repeated sweep (the loadgen's hot-key skew, the figures'
+        # repeated grids) re-sends the exact bytes without re-encoding.
+        batch_key = ("solve_batch", tuple(key for key, _ in pairs))
+        self._respond(
+            200,
+            self.service.encoded_response(
+                batch_key, solve_batch_payload(results)
+            ),
+        )

@@ -48,6 +48,7 @@ from typing import Callable, Sequence
 from repro.obs.logconf import get_logger
 from repro.obs.metrics import METRICS
 from repro.service.client import ServiceClient
+from repro.service.transport import TRANSPORT
 
 logger = get_logger("service.supervisor")
 
@@ -277,6 +278,10 @@ class WorkerSupervisor:
         if not handle.alive:
             self._maybe_restart(handle, reason="exited")
             return
+        # The client is cheap to construct (it carries no connection
+        # state); the socket underneath comes from the process-wide
+        # pooled transport, so the 1 Hz probe loop reuses one persistent
+        # connection per worker instead of opening a socket per tick.
         client = ServiceClient(handle.url, timeout=self.probe_timeout_s)
         try:
             payload = client.healthz()
@@ -347,6 +352,12 @@ class WorkerSupervisor:
                 process.kill()  # unresponsive but alive: replace it
             if process is not None:
                 process.wait()
+            # The old process is dead: every pooled connection to its
+            # port is now a stale socket.  Drop them so the coordinator's
+            # next forward opens a fresh channel to the replacement
+            # instead of discovering the corpse one connection at a time.
+            if handle.port:
+                TRANSPORT.invalidate(handle.url)
             delay = min(
                 self.backoff_base_s * (2 ** handle.restarts),
                 self.backoff_cap_s,

@@ -1,0 +1,451 @@
+"""Pooled keep-alive HTTP transport for the service stack.
+
+Every outbound request in the repo — :class:`~repro.service.client.
+ServiceClient`, the coordinator's forward/scatter-gather fan-out, the
+supervisor's health probes, the loadgen workers — used to open a fresh
+TCP connection per request via ``urllib``.  Both servers speak
+HTTP/1.1 with persistent connections; the clients just never asked for
+them.  This module is the missing half: a dependency-free connection
+pool on :class:`http.client.HTTPConnection`.
+
+Design:
+
+* **Per-origin bounded pools, LIFO reuse.**  Idle connections live in a
+  per-``(host, port)`` deque; acquire pops the *newest* (its socket is
+  the least likely to have been idle-closed), release pushes back.  At
+  most :data:`DEFAULT_POOL_SIZE` idle connections are kept per origin
+  and :data:`DEFAULT_MAX_ORIGINS` origins total (least-recently-used
+  origin drained first) — concurrency beyond the idle bound still
+  works, the surplus connections are just closed on release instead of
+  pooled.
+* **Replay exactly once, and only on a reused connection.**  A pooled
+  socket can always lose the race with a server-side idle close.  Dead
+  idle sockets are detected cheaply at acquire (a zero-timeout
+  ``select`` — readable-while-idle means EOF) and replaced; if the
+  stale socket is only discovered mid-roundtrip (send succeeded, the
+  response never came), the request is transparently replayed **once**
+  on a fresh connection.  A *fresh* connection that fails never
+  replays: the error surfaces raw, so the caller-visible retry
+  contract (:func:`repro.service.client._retryable_transport_error`
+  and the ``retries=`` budget) is exactly what it was under urllib.
+* **Keep-alive is opt-out.**  ``REPRO_KEEPALIVE=0`` in the environment
+  (or ``keepalive=False`` per transport/request) degrades to the old
+  one-connection-per-request behavior through the same code path — the
+  escape hatch for debugging connection-state suspicions.
+
+Telemetry: the pool exports ``service.transport.*`` through the
+process-wide registry — connections ``opened`` / ``reused`` /
+``replaced`` (stale at acquire) / ``replays`` (mid-roundtrip stale,
+request replayed) / ``discarded`` (healthy but surplus or keep-alive
+off) / ``invalidated`` (dropped by :meth:`PooledTransport.invalidate`,
+e.g. the coordinator rebuilding a restarted worker's channel) — plus a
+``connect_seconds`` histogram of TCP connect times, so the reuse ratio
+is visible in ``/metrics.json`` and the loadgen report.
+
+The module-level :data:`TRANSPORT` is the shared process-wide pool;
+everything in-process funnels through it so the reuse ratio is a
+whole-process fact.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import select
+import socket
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Iterable, Iterator, Mapping
+from urllib.parse import urlsplit
+
+from repro.obs.metrics import LATENCY_BUCKETS, METRICS
+
+#: Max idle connections retained per origin.  Matches the order of
+#: concurrent workers the loadgen drives per process; beyond it,
+#: released connections are closed (counted ``discarded``), not leaked.
+DEFAULT_POOL_SIZE = 16
+
+#: Max origins with live pools; the least-recently-used origin is
+#: drained when a new one would exceed this.  Bounds sockets held by
+#: long-lived processes that talk to many short-lived test services.
+DEFAULT_MAX_ORIGINS = 32
+
+#: Retained connect-time observations (ring buffer) — connects are rare
+#: by design, so a small window covers any realistic bench phase.
+CONNECT_SAMPLE_WINDOW = 4096
+
+#: Errors that mean "the pooled socket went stale underneath us": the
+#: far end hung up between (or during) requests.  Only these — and only
+#: on a *reused* connection — trigger the transparent single replay.
+#: ``CannotSendRequest`` guards connection-state corruption (a prior
+#: response not fully drained); replacing the connection self-heals.
+STALE_SOCKET_ERRORS = (
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+)
+
+#: Environment escape hatch: ``REPRO_KEEPALIVE=0`` disables pooling
+#: everywhere (client, coordinator, supervisor, loadgen) at once.
+KEEPALIVE_ENV = "REPRO_KEEPALIVE"
+
+_FALSEY = frozenset({"0", "false", "no", "off"})
+
+
+def keepalive_enabled(override: bool | None = None) -> bool:
+    """Resolve the keep-alive switch: explicit ``override`` wins, else
+    the :data:`KEEPALIVE_ENV` environment variable, else on."""
+    if override is not None:
+        return bool(override)
+    return os.environ.get(KEEPALIVE_ENV, "1").strip().lower() not in _FALSEY
+
+
+class HeaderMap(Mapping[str, str]):
+    """Case-insensitive response-header mapping, duplicate-safe.
+
+    ``dict(resp.headers)`` — the old return shape — silently collapsed
+    duplicate header lines and was case-sensitive on lookup.  This keeps
+    every received line: ``headers["retry-after"]`` returns the *first*
+    value for the name (any casing), :meth:`get_all` returns all of
+    them in wire order, and iteration yields each distinct name once
+    under its first-seen casing — so ``dict(headers)`` still gives the
+    familiar single-valued view.
+    """
+
+    __slots__ = ("_pairs", "_index")
+
+    def __init__(self, items: Iterable[tuple[str, str]] = ()):
+        self._pairs: tuple[tuple[str, str], ...] = tuple(
+            (str(name), str(value)) for name, value in items
+        )
+        index: dict[str, list[str]] = {}
+        for name, value in self._pairs:
+            index.setdefault(name.lower(), []).append(value)
+        self._index = index
+
+    def __getitem__(self, name: str) -> str:
+        values = self._index.get(str(name).lower())
+        if not values:
+            raise KeyError(name)
+        return values[0]
+
+    def __iter__(self) -> Iterator[str]:
+        seen: set[str] = set()
+        for name, _ in self._pairs:
+            folded = name.lower()
+            if folded not in seen:
+                seen.add(folded)
+                yield name
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get_all(self, name: str) -> tuple[str, ...]:
+        """Every value received for ``name`` (any casing), wire order."""
+        return tuple(self._index.get(str(name).lower(), ()))
+
+    def items_raw(self) -> tuple[tuple[str, str], ...]:
+        """The raw ``(name, value)`` lines as received, duplicates kept."""
+        return self._pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HeaderMap({list(self._pairs)!r})"
+
+
+def _origin(url: str) -> tuple[str, str, int, str]:
+    """Split ``url`` into (scheme, host, port, path-with-query)."""
+    parts = urlsplit(url)
+    scheme = parts.scheme or "http"
+    host = parts.hostname
+    if not host:
+        raise ValueError(f"URL has no host: {url!r}")
+    port = parts.port or (443 if scheme == "https" else 80)
+    path = parts.path or "/"
+    if parts.query:
+        path = f"{path}?{parts.query}"
+    return scheme, host, port, path
+
+
+def _sock_is_dead(sock: Any) -> bool:
+    """Cheap liveness probe for an *idle* pooled socket: readable with
+    nothing outstanding means EOF (or protocol garbage) — either way the
+    connection is unusable for a fresh request."""
+    if sock is None:
+        return True
+    try:
+        readable, _, _ = select.select([sock], [], [], 0)
+    except (OSError, ValueError):
+        return True
+    return bool(readable)
+
+
+class PooledTransport:
+    """Bounded per-origin keep-alive connection pool (thread-safe).
+
+    :meth:`request` is the whole API surface callers need; it returns
+    ``(status, headers, body)`` for every HTTP status and raises only on
+    transport failures — the same contract ``ServiceClient.request``
+    has always exposed.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        max_origins: int = DEFAULT_MAX_ORIGINS,
+        keepalive: bool | None = None,
+        metric_prefix: str = "service.transport",
+    ):
+        self.pool_size = int(pool_size)
+        self.max_origins = int(max_origins)
+        self.keepalive = keepalive
+        self.metric_prefix = metric_prefix
+        self._pools: OrderedDict[
+            tuple[str, str, int], deque[http.client.HTTPConnection]
+        ] = OrderedDict()
+        self._lock = threading.Lock()
+        self._closed = False
+        # Internal tallies are the source of truth for stats(); the
+        # registry mirror is for /metrics.json and the loadgen report.
+        self._counts = {
+            "opened": 0, "reused": 0, "replaced": 0,
+            "replays": 0, "discarded": 0, "invalidated": 0,
+        }
+
+    # ------------------------------------------------------------ metrics
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += amount
+        METRICS.counter(f"{self.metric_prefix}.{name}").add(amount)
+
+    def _connect_histogram(self):
+        return METRICS.histogram(
+            f"{self.metric_prefix}.connect_seconds",
+            maxlen=CONNECT_SAMPLE_WINDOW,
+            buckets=LATENCY_BUCKETS,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Cumulative counters plus the headline ``reuse_ratio`` =
+        reused / (opened + reused) and the retained connect samples."""
+        with self._lock:
+            out: dict[str, Any] = dict(self._counts)
+        total = out["opened"] + out["reused"]
+        out["reuse_ratio"] = round(out["reused"] / total, 6) if total else 0.0
+        out["connect_samples"] = self._connect_histogram().samples
+        return out
+
+    # ------------------------------------------------------------ pooling
+
+    def _acquire(
+        self, origin: tuple[str, str, int], timeout: float | None
+    ) -> tuple[http.client.HTTPConnection, bool]:
+        """A ready connection for ``origin`` plus whether it was reused."""
+        while True:
+            with self._lock:
+                pool = self._pools.get(origin)
+                conn = pool.pop() if pool else None
+            if conn is None:
+                return self._open(origin, timeout), False
+            if _sock_is_dead(conn.sock):
+                conn.close()
+                self._bump("replaced")
+                continue
+            if timeout is not None:
+                conn.sock.settimeout(timeout)
+            self._bump("reused")
+            return conn, True
+
+    def _open(
+        self, origin: tuple[str, str, int], timeout: float | None
+    ) -> http.client.HTTPConnection:
+        scheme, host, port = origin
+        if scheme == "https":
+            conn: http.client.HTTPConnection = http.client.HTTPSConnection(
+                host, port, timeout=timeout
+            )
+        else:
+            conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        started = time.perf_counter()
+        conn.connect()
+        self._connect_histogram().observe(time.perf_counter() - started)
+        try:
+            # Nagle + delayed ACK on a persistent connection costs ~40 ms
+            # on the tail whenever a request goes out as two small writes.
+            conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        except OSError:  # pragma: no cover - non-TCP transports
+            pass
+        self._bump("opened")
+        return conn
+
+    def _release(
+        self, origin: tuple[str, str, int], conn: http.client.HTTPConnection
+    ) -> None:
+        with self._lock:
+            if not self._closed:
+                pool = self._pools.get(origin)
+                if pool is None:
+                    pool = self._pools[origin] = deque()
+                self._pools.move_to_end(origin)
+                if len(pool) < self.pool_size:
+                    pool.append(conn)
+                    evicted = self._evict_over_origin_bound()
+                else:
+                    evicted = [conn]
+            else:
+                evicted = [conn]
+        for stale in evicted:
+            stale.close()
+        if evicted:
+            self._bump("discarded", len(evicted))
+
+    def _evict_over_origin_bound(self) -> list[http.client.HTTPConnection]:
+        """Drain least-recently-used origins past ``max_origins``.
+        Caller holds the lock; returns the connections to close."""
+        evicted: list[http.client.HTTPConnection] = []
+        while len(self._pools) > self.max_origins:
+            _, pool = self._pools.popitem(last=False)
+            evicted.extend(pool)
+        return evicted
+
+    def invalidate(self, url: str) -> int:
+        """Drop every pooled connection to ``url``'s origin (the
+        supervisor calls this when it restarts a worker, so the
+        coordinator's next forward builds a fresh channel instead of
+        tripping over a socket to the dead process).  Returns how many
+        connections were dropped."""
+        scheme, host, port, _ = _origin(url)
+        with self._lock:
+            pool = self._pools.pop((scheme, host, port), None)
+        if not pool:
+            return 0
+        for conn in pool:
+            conn.close()
+        self._bump("invalidated", len(pool))
+        return len(pool)
+
+    def close(self) -> None:
+        """Drain every pool.  The transport stays usable (new requests
+        just open fresh connections) — this is for orderly teardown."""
+        with self._lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            for conn in pool:
+                conn.close()
+
+    # ------------------------------------------------------------ requests
+
+    def request(
+        self,
+        method: str,
+        url: str,
+        *,
+        body: bytes | None = None,
+        headers: Mapping[str, str] | None = None,
+        timeout: float | None = None,
+        keepalive: bool | None = None,
+    ) -> tuple[int, HeaderMap, bytes]:
+        """One HTTP round-trip; returns ``(status, headers, body)``.
+
+        Never raises on HTTP error statuses — only on transport
+        failures.  With keep-alive on (the default), the connection is
+        pooled for reuse; a stale reused connection is replayed at most
+        once, and a fresh connection's failure always surfaces raw.
+        """
+        if keepalive is None:
+            keepalive = self.keepalive
+        scheme, host, port, path = _origin(url)
+        origin = (scheme, host, port)
+        send_headers = dict(headers or {})
+        if not keepalive_enabled(keepalive):
+            return self._single_shot(
+                origin, method, path, body, send_headers, timeout
+            )
+        send_headers.setdefault("Connection", "keep-alive")
+        conn, reused = self._acquire(origin, timeout)
+        try:
+            status, resp_headers, raw, reusable = self._roundtrip(
+                conn, method, path, body, send_headers, timeout
+            )
+        except STALE_SOCKET_ERRORS:
+            conn.close()
+            if not reused:
+                raise
+            # The pooled socket died underneath us after the liveness
+            # check: replay exactly once on a fresh connection.  If
+            # *that* fails, the error surfaces raw — same as any fresh
+            # connection's failure.
+            self._bump("replays")
+            conn = self._open(origin, timeout)
+            try:
+                status, resp_headers, raw, reusable = self._roundtrip(
+                    conn, method, path, body, send_headers, timeout
+                )
+            except Exception:
+                conn.close()
+                raise
+        except Exception:
+            conn.close()
+            raise
+        if reusable:
+            self._release(origin, conn)
+        else:
+            conn.close()
+            self._bump("discarded")
+        return status, resp_headers, raw
+
+    def _single_shot(
+        self,
+        origin: tuple[str, str, int],
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str],
+        timeout: float | None,
+    ) -> tuple[int, HeaderMap, bytes]:
+        """Keep-alive off: one fresh connection, closed after use —
+        byte-for-byte the old urllib behavior, minus urllib."""
+        headers.setdefault("Connection", "close")
+        conn = self._open(origin, timeout)
+        try:
+            status, resp_headers, raw, _ = self._roundtrip(
+                conn, method, path, body, headers, timeout
+            )
+        finally:
+            conn.close()
+        self._bump("discarded")
+        return status, resp_headers, raw
+
+    @staticmethod
+    def _roundtrip(
+        conn: http.client.HTTPConnection,
+        method: str,
+        path: str,
+        body: bytes | None,
+        headers: dict[str, str],
+        timeout: float | None,
+    ) -> tuple[int, HeaderMap, bytes, bool]:
+        if timeout is not None and conn.sock is not None:
+            conn.sock.settimeout(timeout)
+        conn.request(method, path, body=body, headers=headers)
+        resp = conn.getresponse()
+        raw = resp.read()
+        resp_headers = HeaderMap(resp.headers.items())
+        # ``will_close`` folds in HTTP/1.0 semantics and any
+        # ``Connection: close`` the server sent.
+        return resp.status, resp_headers, raw, not resp.will_close
+
+
+#: The process-wide shared pool.  Client, coordinator, supervisor, and
+#: loadgen all route through this instance so connection reuse is a
+#: whole-process property and the ``service.transport.*`` series tells
+#: one coherent story.
+TRANSPORT = PooledTransport()

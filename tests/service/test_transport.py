@@ -1,0 +1,368 @@
+"""Transport-layer tests: pooling, replay-once, invalidation, escape hatch.
+
+Exercises :mod:`repro.service.transport` against both a real
+:class:`~repro.service.server.ReproService` (reuse, exhaustion, probes,
+encoded fast path) and scripted raw-socket servers that misbehave in
+exactly one way each (idle close, mid-roundtrip close, close-on-accept)
+so the stale-socket contract — replay **once** and only on a *reused*
+connection — is pinned down deterministically.
+"""
+
+from __future__ import annotations
+
+import http.client
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.service.client import ServiceClient
+from repro.service.server import ReproService
+from repro.service.supervisor import WorkerSupervisor
+from repro.service.transport import (
+    HeaderMap,
+    PooledTransport,
+    TRANSPORT,
+    keepalive_enabled,
+)
+
+from tests.service.conftest import FAST_BODY
+
+
+# --------------------------------------------------------------------------
+# HeaderMap
+# --------------------------------------------------------------------------
+
+
+class TestHeaderMap:
+    def test_case_insensitive_first_value(self):
+        headers = HeaderMap(
+            [("Retry-After", "1"), ("retry-after", "2"), ("X-Other", "y")]
+        )
+        assert headers["Retry-After"] == "1"
+        assert headers["retry-after"] == "1"
+        assert headers["RETRY-AFTER"] == "1"
+        assert headers.get("Retry-After") == "1"
+        assert headers.get("absent") is None
+
+    def test_get_all_preserves_wire_order(self):
+        headers = HeaderMap([("Set-Cookie", "a=1"), ("set-cookie", "b=2")])
+        assert headers.get_all("SET-COOKIE") == ("a=1", "b=2")
+        assert headers.get_all("absent") == ()
+        assert headers.items_raw() == (("Set-Cookie", "a=1"), ("set-cookie", "b=2"))
+
+    def test_iteration_and_dict_round_trip(self):
+        headers = HeaderMap(
+            [("Content-Type", "application/json"), ("content-TYPE", "x"), ("A", "b")]
+        )
+        # Distinct names once each, first-seen casing; dict() gives the
+        # familiar single-valued view (first value wins).
+        assert list(headers) == ["Content-Type", "A"]
+        assert len(headers) == 2
+        assert dict(headers) == {"Content-Type": "application/json", "A": "b"}
+
+    def test_missing_name_raises(self):
+        with pytest.raises(KeyError):
+            HeaderMap([("A", "b")])["nope"]
+
+
+# --------------------------------------------------------------------------
+# keepalive switch
+# --------------------------------------------------------------------------
+
+
+class TestKeepaliveSwitch:
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KEEPALIVE", "0")
+        assert keepalive_enabled(True) is True
+        monkeypatch.setenv("REPRO_KEEPALIVE", "1")
+        assert keepalive_enabled(False) is False
+
+    def test_env_falsey_values(self, monkeypatch):
+        for value in ("0", "false", "no", "off", " OFF "):
+            monkeypatch.setenv("REPRO_KEEPALIVE", value)
+            assert keepalive_enabled() is False
+        monkeypatch.setenv("REPRO_KEEPALIVE", "1")
+        assert keepalive_enabled() is True
+        monkeypatch.delenv("REPRO_KEEPALIVE")
+        assert keepalive_enabled() is True
+
+
+# --------------------------------------------------------------------------
+# Scripted raw-socket servers (one misbehavior each)
+# --------------------------------------------------------------------------
+
+
+def _read_request(conn: socket.socket) -> bytes:
+    """Read one bodiless request head; b"" means the client hung up."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = conn.recv(65536)
+        if not chunk:
+            return b""
+        data += chunk
+    return data
+
+
+def _send_200(conn: socket.socket, body: bytes = b"ok") -> None:
+    conn.sendall(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n"
+        b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+    )
+
+
+class _ScriptedServer:
+    """Accept loop running ``script(conn_index, conn)`` per connection."""
+
+    def __init__(self, script):
+        self._script = script
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.port = self._listener.getsockname()[1]
+        self.url = f"http://127.0.0.1:{self.port}"
+        self._stop = False
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def _loop(self):
+        index = 0
+        while not self._stop:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                self._script(index, conn)
+            finally:
+                conn.close()
+            index += 1
+
+    def close(self):
+        self._stop = True
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+class TestStaleSocketContract:
+    def test_mid_roundtrip_close_replays_exactly_once(self):
+        """Server answers request 1, then eats request 2 and hangs up:
+        the transport must replay once on a fresh connection, invisibly."""
+
+        def script(index, conn):
+            if index == 0:
+                assert _read_request(conn)
+                _send_200(conn, b"first")
+                # Read the next request off the kept-alive socket, then
+                # close WITHOUT answering — the classic idle-close race.
+                _read_request(conn)
+            else:
+                assert _read_request(conn)
+                _send_200(conn, b"replayed")
+
+        transport = PooledTransport()
+        with _ScriptedServer(script) as server:
+            status, _, raw = transport.request("GET", f"{server.url}/a")
+            assert (status, raw) == (200, b"first")
+            status, _, raw = transport.request("GET", f"{server.url}/b")
+            assert (status, raw) == (200, b"replayed")
+        stats = transport.stats()
+        assert stats["replays"] == 1
+        assert stats["reused"] == 1
+        assert stats["opened"] == 2
+        transport.close()
+
+    def test_fresh_connection_failure_surfaces_raw(self):
+        """Close-on-accept: a *fresh* connection's failure must raise —
+        never replay — so the client retry budget keeps its meaning."""
+
+        def script(index, conn):
+            _read_request(conn)
+            # close without answering (handled by _ScriptedServer)
+
+        transport = PooledTransport()
+        with _ScriptedServer(script) as server:
+            with pytest.raises(http.client.RemoteDisconnected):
+                transport.request("GET", f"{server.url}/a")
+        stats = transport.stats()
+        assert stats["replays"] == 0
+        assert stats["reused"] == 0
+        transport.close()
+
+    def test_idle_close_detected_at_acquire(self):
+        """Server closes the pooled socket while it idles: the acquire
+        liveness check must replace it without an error or a replay."""
+
+        def script(index, conn):
+            assert _read_request(conn)
+            _send_200(conn)
+            # returning closes the socket -> EOF reaches the idle pool
+
+        transport = PooledTransport()
+        with _ScriptedServer(script) as server:
+            assert transport.request("GET", f"{server.url}/a")[0] == 200
+            time.sleep(0.1)  # let the FIN land before the next acquire
+            assert transport.request("GET", f"{server.url}/b")[0] == 200
+        stats = transport.stats()
+        assert stats["replaced"] == 1
+        assert stats["replays"] == 0
+        assert stats["opened"] == 2
+        transport.close()
+
+
+# --------------------------------------------------------------------------
+# Pooling against a real service
+# --------------------------------------------------------------------------
+
+
+class TestPooling:
+    def test_sequential_requests_reuse_one_connection(self):
+        transport = PooledTransport()
+        with ReproService(port=0, store_path=None) as svc:
+            for _ in range(10):
+                status, _, _ = transport.request("GET", f"{svc.url}/healthz")
+                assert status == 200
+            stats = transport.stats()
+        assert stats["opened"] == 1
+        assert stats["reused"] == 9
+        assert stats["reuse_ratio"] == 0.9
+        transport.close()
+
+    def test_pool_exhaustion_under_concurrency(self):
+        """More concurrent requests than the idle bound: everything
+        succeeds, surplus connections are discarded on release, and the
+        idle pool never exceeds ``pool_size``."""
+        n_threads = 8
+        transport = PooledTransport(pool_size=2)
+        barrier = threading.Barrier(n_threads)
+
+        with ReproService(port=0, store_path=None, jobs=2) as svc:
+            def worker():
+                barrier.wait(timeout=10)
+                for _ in range(3):
+                    status, _, _ = transport.request(
+                        "GET", f"{svc.url}/healthz", timeout=10.0
+                    )
+                    assert status == 200
+
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                futures = [pool.submit(worker) for _ in range(n_threads)]
+                for future in futures:
+                    future.result(timeout=30)
+
+            origin = ("http", svc.host, svc.port)
+            idle = len(transport._pools.get(origin, ()))
+            stats = transport.stats()
+        assert idle <= 2
+        assert stats["discarded"] > 0
+        assert stats["opened"] + stats["reused"] == n_threads * 3
+        transport.close()
+
+    def test_invalidate_drops_pooled_connections(self):
+        transport = PooledTransport()
+        with ReproService(port=0, store_path=None) as svc:
+            assert transport.request("GET", f"{svc.url}/healthz")[0] == 200
+            assert transport.invalidate(svc.url) == 1
+            assert transport.invalidate(svc.url) == 0  # already empty
+            # The transport stays usable: next request opens fresh.
+            assert transport.request("GET", f"{svc.url}/healthz")[0] == 200
+        stats = transport.stats()
+        assert stats["invalidated"] == 1
+        assert stats["opened"] == 2
+        transport.close()
+
+    def test_no_keepalive_escape_hatch(self, monkeypatch):
+        """``REPRO_KEEPALIVE=0`` degrades to one connection per request;
+        an explicit ``keepalive=False`` client does the same."""
+        monkeypatch.setenv("REPRO_KEEPALIVE", "0")
+        transport = PooledTransport()
+        with ReproService(port=0, store_path=None) as svc:
+            for _ in range(3):
+                assert transport.request("GET", f"{svc.url}/healthz")[0] == 200
+            monkeypatch.delenv("REPRO_KEEPALIVE")
+            client = ServiceClient(svc.url, keepalive=False, transport=transport)
+            assert client.healthz()["status"] in ("ok", "degraded", "critical")
+        stats = transport.stats()
+        assert stats["reused"] == 0
+        assert stats["opened"] == 4
+        assert stats["discarded"] == 4
+        transport.close()
+
+
+# --------------------------------------------------------------------------
+# Supervisor probes ride the pool
+# --------------------------------------------------------------------------
+
+
+class _FakeAliveProcess:
+    def poll(self):
+        return None
+
+
+class TestSupervisorProbes:
+    def test_probe_loop_does_not_grow_connections(self):
+        """N health probes against a live worker must not open N sockets:
+        after the first probe warms the channel, opened stays flat."""
+        supervisor = WorkerSupervisor(1)
+        handle = supervisor.workers[0]
+        handle.process = _FakeAliveProcess()
+        with ReproService(port=0, store_path=None) as svc:
+            handle.port = svc.port
+            supervisor._probe(handle)  # warm the pooled channel
+            assert handle.probe_failures == 0
+            before = TRANSPORT.stats()
+            for _ in range(10):
+                supervisor._probe(handle)
+            after = TRANSPORT.stats()
+            assert handle.probe_failures == 0
+        assert after["opened"] == before["opened"]
+        assert after["reused"] - before["reused"] >= 10
+        TRANSPORT.invalidate(svc.url)
+
+
+# --------------------------------------------------------------------------
+# Encoded-response fast path
+# --------------------------------------------------------------------------
+
+
+class TestEncodedFastPath:
+    def test_cached_bytes_identical_to_slow_path(self):
+        """The memoized encoding must be byte-for-byte what a fresh
+        ``canonical_json`` serialization produces — proven end to end by
+        comparing a cache-miss response with its cache-hit repeat."""
+        with ReproService(port=0, store_path=None) as svc:
+            client = ServiceClient(svc.url)
+            hits_before = METRICS.counter("service.encoded.hits").value
+            status, _, first = client.request("POST", "/v1/solve", FAST_BODY)
+            assert status == 200
+            status, _, second = client.request("POST", "/v1/solve", FAST_BODY)
+            assert status == 200
+            hits_after = METRICS.counter("service.encoded.hits").value
+            TRANSPORT.invalidate(svc.url)
+        assert first == second
+        assert hits_after - hits_before >= 1
+
+    def test_cache_disabled_service_still_byte_identical(self):
+        """A service with the encoded cache off must answer with the
+        same bytes — the fast path is an encoding shortcut, not a
+        different serialization."""
+        with ReproService(port=0, store_path=None) as svc:
+            client = ServiceClient(svc.url)
+            _, _, cached = client.request("POST", "/v1/solve", FAST_BODY)
+            _, _, cached2 = client.request("POST", "/v1/solve", FAST_BODY)
+            TRANSPORT.invalidate(svc.url)
+        from repro.core.memo import SOLVER_CACHE
+
+        SOLVER_CACHE.clear()
+        with ReproService(port=0, store_path=None, encoded_cache_entries=0) as svc:
+            client = ServiceClient(svc.url)
+            _, _, uncached = client.request("POST", "/v1/solve", FAST_BODY)
+            TRANSPORT.invalidate(svc.url)
+        assert cached == cached2 == uncached
